@@ -1,0 +1,25 @@
+//! Figure 1: ideal I-cache speedup over an LRU baseline without
+//! prefetching. Paper: 11–47 % per app, mean 17.7 %.
+
+use ripple_bench::{ensure_grid, print_paper_check, print_series};
+use ripple_sim::PrefetcherKind;
+use ripple_workloads::App;
+
+fn main() {
+    let grid = ensure_grid();
+    let rows: Vec<(String, f64)> = App::ALL
+        .iter()
+        .map(|&a| {
+            let c = grid.cell(a, PrefetcherKind::None);
+            (a.name().to_string(), c.ideal_cache.speedup_pct)
+        })
+        .collect();
+    print_series(
+        "Fig. 1 — Ideal I-cache speedup over LRU (no prefetching)",
+        "%",
+        &rows,
+    );
+    let mean = grid.mean(PrefetcherKind::None, |c| c.ideal_cache.speedup_pct);
+    print_paper_check("fig1 mean ideal-cache speedup", 17.7, mean, "%");
+    assert!(rows.iter().all(|r| r.1 > 0.0), "ideal cache must always win");
+}

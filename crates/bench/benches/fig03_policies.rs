@@ -1,0 +1,69 @@
+//! Figure 3: prior replacement policies vs LRU under FDIP. Paper: none of
+//! GHRP/Hawkeye/Harmony/SRRIP/DRRIP beat LRU, while the ideal policy
+//! gains 3.16 % on average.
+
+use ripple_bench::{ensure_grid, print_paper_check};
+use ripple_sim::PrefetcherKind;
+use ripple_workloads::App;
+
+fn main() {
+    let grid = ensure_grid();
+    println!("\nFig. 3 — Replacement-policy speedup over LRU (FDIP at L1I), %");
+    println!(
+        "  {:<16} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7}",
+        "app", "random", "srrip", "drrip", "ghrp", "hawkeye", "harmony", "ideal"
+    );
+    let mut sums = [0.0f64; 7];
+    for &a in App::ALL.iter() {
+        let c = grid.cell(a, PrefetcherKind::Fdip);
+        let vals = [
+            c.policies["random"].speedup_pct,
+            c.policies["srrip"].speedup_pct,
+            c.policies["drrip"].speedup_pct,
+            c.policies["ghrp"].speedup_pct,
+            c.policies["hawkeye"].speedup_pct,
+            c.policies["harmony"].speedup_pct,
+            c.ideal.speedup_pct,
+        ];
+        for (s, v) in sums.iter_mut().zip(vals) {
+            *s += v;
+        }
+        println!(
+            "  {:<16} {:>7.2} {:>7.2} {:>7.2} {:>7.2} {:>7.2} {:>7.2} {:>7.2}",
+            a.name(),
+            vals[0],
+            vals[1],
+            vals[2],
+            vals[3],
+            vals[4],
+            vals[5],
+            vals[6]
+        );
+    }
+    let n = App::ALL.len() as f64;
+    println!(
+        "  {:<16} {:>7.2} {:>7.2} {:>7.2} {:>7.2} {:>7.2} {:>7.2} {:>7.2}",
+        "MEAN",
+        sums[0] / n,
+        sums[1] / n,
+        sums[2] / n,
+        sums[3] / n,
+        sums[4] / n,
+        sums[5] / n,
+        sums[6] / n
+    );
+    print_paper_check("fig3 mean ideal speedup under fdip", 3.16, sums[6] / n, "%");
+    // The paper's headline: no prior policy meaningfully beats LRU while
+    // ideal clearly does.
+    let ideal_mean = sums[6] / n;
+    for (i, name) in ["random", "srrip", "drrip", "ghrp", "hawkeye", "harmony"]
+        .iter()
+        .enumerate()
+    {
+        let mean = sums[i] / n;
+        assert!(
+            mean < ideal_mean,
+            "{name} mean {mean:.2}% must trail the ideal {ideal_mean:.2}%"
+        );
+    }
+}

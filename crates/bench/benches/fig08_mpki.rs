@@ -1,0 +1,51 @@
+//! Figure 8: L1I miss reduction over LRU. Paper means: Ripple-LRU 9.57 %
+//! (none), 28.6 % (NLP), 18.61 % (FDIP); ideal 28.88/53.66/45 %.
+
+use ripple_bench::{ensure_grid, print_paper_check};
+use ripple_sim::PrefetcherKind;
+use ripple_workloads::App;
+
+fn main() {
+    let grid = ensure_grid();
+    for (pf, paper_ripple, paper_ideal) in [
+        (PrefetcherKind::None, 9.57, 28.88),
+        (PrefetcherKind::NextLine, 28.6, 53.66),
+        (PrefetcherKind::Fdip, 18.61, 45.0),
+    ] {
+        println!("\nFig. 8 — L1I miss reduction over LRU with {} (percent)", pf.name());
+        println!(
+            "  {:<16} {:>10} {:>13} {:>8}",
+            "app", "ripple-lru", "ripple-random", "ideal"
+        );
+        for &a in App::ALL.iter() {
+            let c = grid.cell(a, pf);
+            println!(
+                "  {:<16} {:>10.2} {:>13.2} {:>8.2}",
+                a.name(),
+                c.ripple_lru.row.miss_reduction_pct,
+                c.ripple_random.row.miss_reduction_pct,
+                c.ideal.miss_reduction_pct
+            );
+        }
+        let mean_rl = grid.mean(pf, |c| c.ripple_lru.row.miss_reduction_pct);
+        let mean_ideal = grid.mean(pf, |c| c.ideal.miss_reduction_pct);
+        println!("  {:<16} {:>10.2} {:>13} {:>8.2}", "MEAN", mean_rl, "", mean_ideal);
+        print_paper_check(
+            &format!("fig8 mean ripple-lru miss reduction ({})", pf.name()),
+            paper_ripple,
+            mean_rl,
+            "%",
+        );
+        print_paper_check(
+            &format!("fig8 mean ideal miss reduction ({})", pf.name()),
+            paper_ideal,
+            mean_ideal,
+            "%",
+        );
+        assert!(mean_ideal > 0.0, "ideal must reduce misses");
+        assert!(
+            mean_rl <= mean_ideal + 1e-9,
+            "ripple cannot reduce more than ideal"
+        );
+    }
+}

@@ -1,0 +1,39 @@
+//! Figure 9: Ripple's replacement coverage per application. Paper: mean
+//! above 50 %; below 50 % only for the JIT-heavy HHVM trio
+//! (drupal/mediawiki/wordpress); verilator near-total (98.7 %).
+
+use ripple_bench::{ensure_grid, print_series};
+use ripple_sim::PrefetcherKind;
+use ripple_workloads::App;
+
+fn main() {
+    let grid = ensure_grid();
+    let rows: Vec<(String, f64)> = App::ALL
+        .iter()
+        .map(|&a| {
+            (
+                a.name().to_string(),
+                grid.cell(a, PrefetcherKind::Fdip).ripple_lru.coverage * 100.0,
+            )
+        })
+        .collect();
+    print_series("Fig. 9 — Ripple replacement coverage (FDIP)", "%", &rows);
+    // JIT apps must trail the non-JIT mean; verilator must lead.
+    let jit_mean: f64 = App::ALL
+        .iter()
+        .filter(|a| a.has_jit())
+        .map(|&a| grid.cell(a, PrefetcherKind::Fdip).ripple_lru.coverage)
+        .sum::<f64>()
+        / 3.0;
+    let nonjit_mean: f64 = App::ALL
+        .iter()
+        .filter(|a| !a.has_jit())
+        .map(|&a| grid.cell(a, PrefetcherKind::Fdip).ripple_lru.coverage)
+        .sum::<f64>()
+        / 6.0;
+    println!("  jit-apps mean {:.1}% vs non-jit mean {:.1}%", jit_mean * 100.0, nonjit_mean * 100.0);
+    assert!(
+        jit_mean < nonjit_mean,
+        "JIT code must cap coverage ({jit_mean:.2} !< {nonjit_mean:.2})"
+    );
+}

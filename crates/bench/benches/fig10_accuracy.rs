@@ -1,0 +1,29 @@
+//! Figure 10: Ripple's replacement accuracy per application. Paper: mean
+//! 92 % (min 88 %), vs LRU's own 77.8 % average accuracy.
+
+use ripple_bench::{ensure_grid, print_paper_check, print_series};
+use ripple_sim::PrefetcherKind;
+use ripple_workloads::App;
+
+fn main() {
+    let grid = ensure_grid();
+    let rows: Vec<(String, f64)> = App::ALL
+        .iter()
+        .map(|&a| {
+            (
+                a.name().to_string(),
+                grid.cell(a, PrefetcherKind::None).ripple_lru.accuracy * 100.0,
+            )
+        })
+        .collect();
+    print_series("Fig. 10 — Ripple replacement accuracy", "%", &rows);
+    let mean = grid.mean(PrefetcherKind::None, |c| c.ripple_lru.accuracy) * 100.0;
+    let lru_mean = grid.mean(PrefetcherKind::None, |c| c.ripple_lru.underlying_accuracy) * 100.0;
+    println!("  LRU's own eviction accuracy: {lru_mean:.1}%");
+    print_paper_check("fig10 mean ripple accuracy", 92.0, mean, "%");
+    print_paper_check("fig10 mean lru accuracy", 77.8, lru_mean, "%");
+    assert!(
+        mean > lru_mean,
+        "ripple must evict more accurately than LRU ({mean:.1} !> {lru_mean:.1})"
+    );
+}

@@ -1,0 +1,26 @@
+//! Figure 11: static instruction overhead of injected invalidations.
+//! Paper: below 4.4 % for every application (mean 3.4 %).
+
+use ripple_bench::{ensure_grid, print_paper_check, print_series};
+use ripple_sim::PrefetcherKind;
+use ripple_workloads::App;
+
+fn main() {
+    let grid = ensure_grid();
+    let rows: Vec<(String, f64)> = App::ALL
+        .iter()
+        .map(|&a| {
+            (
+                a.name().to_string(),
+                grid.cell(a, PrefetcherKind::Fdip).ripple_lru.static_overhead_pct,
+            )
+        })
+        .collect();
+    print_series("Fig. 11 — Static instruction overhead", "%", &rows);
+    let mean = grid.mean(PrefetcherKind::Fdip, |c| c.ripple_lru.static_overhead_pct);
+    print_paper_check("fig11 mean static overhead", 3.4, mean, "%");
+    assert!(
+        rows.iter().all(|r| r.1 < 4.4),
+        "static overhead must stay below the paper's 4.4% bound"
+    );
+}

@@ -1,0 +1,24 @@
+//! Figure 12: dynamic instruction overhead of executed invalidations.
+//! Paper: mean 2.2 %, below 2 % everywhere except verilator (~10 %,
+//! where near-total coverage costs extra executed invalidations).
+
+use ripple_bench::{ensure_grid, print_paper_check, print_series};
+use ripple_sim::PrefetcherKind;
+use ripple_workloads::App;
+
+fn main() {
+    let grid = ensure_grid();
+    let rows: Vec<(String, f64)> = App::ALL
+        .iter()
+        .map(|&a| {
+            (
+                a.name().to_string(),
+                grid.cell(a, PrefetcherKind::Fdip).ripple_lru.dynamic_overhead_pct,
+            )
+        })
+        .collect();
+    print_series("Fig. 12 — Dynamic instruction overhead", "%", &rows);
+    let mean = grid.mean(PrefetcherKind::Fdip, |c| c.ripple_lru.dynamic_overhead_pct);
+    print_paper_check("fig12 mean dynamic overhead", 2.2, mean, "%");
+    assert!(mean < 15.0, "dynamic overhead out of control: {mean:.1}%");
+}

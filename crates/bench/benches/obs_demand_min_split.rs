@@ -1,0 +1,64 @@
+//! §II-C Observations 1 & 2: where Demand-MIN's gain over LRU comes from
+//! under FDIP. Observation 1 (paper: 1.35 % of 3.16 %): early eviction of
+//! inaccurate prefetches — measured here via prefetch-pollution evictions.
+//! Observation 2 (paper: 1.81 %): retaining hard-to-prefetch lines —
+//! the remainder of the Demand-MIN gain.
+
+use ripple_bench::{bench_budget, load_app, print_paper_check};
+use ripple_sim::{simulate, PolicyKind, PrefetcherKind, SimConfig};
+use ripple_workloads::App;
+
+fn main() {
+    let budget = bench_budget() / 2;
+    println!("\n§II-C — Demand-MIN vs OPT vs LRU under FDIP");
+    println!(
+        "  {:<16} {:>9} {:>9} {:>9} {:>14} {:>14}",
+        "app", "lru-miss", "opt-miss", "dm-miss", "dm-speedup%", "opt-speedup%"
+    );
+    let mut dm_sum = 0.0;
+    let mut opt_sum = 0.0;
+    for app in App::ALL {
+        let loaded = load_app(app, budget);
+        let cfg = SimConfig::default().with_prefetcher(PrefetcherKind::Fdip);
+        let lru = simulate(&loaded.app.program, &loaded.layout, &loaded.trace, &cfg);
+        let opt = simulate(
+            &loaded.app.program,
+            &loaded.layout,
+            &loaded.trace,
+            &cfg.clone().with_policy(PolicyKind::Opt),
+        );
+        let dm = simulate(
+            &loaded.app.program,
+            &loaded.layout,
+            &loaded.trace,
+            &cfg.clone().with_policy(PolicyKind::DemandMin),
+        );
+        let dm_sp = dm.stats.speedup_pct_over(&lru.stats);
+        let opt_sp = opt.stats.speedup_pct_over(&lru.stats);
+        dm_sum += dm_sp;
+        opt_sum += opt_sp;
+        println!(
+            "  {:<16} {:>9} {:>9} {:>9} {:>14.2} {:>14.2}",
+            app.name(),
+            lru.stats.demand_misses,
+            opt.stats.demand_misses,
+            dm.stats.demand_misses,
+            dm_sp,
+            opt_sp
+        );
+        assert!(
+            dm.stats.demand_misses <= opt.stats.demand_misses,
+            "{app}: demand-min must not lose to opt under prefetching"
+        );
+    }
+    let n = App::ALL.len() as f64;
+    // OPT's gain ~ keeping hard-to-prefetch lines (Obs. 2); Demand-MIN's
+    // extra gain over OPT ~ early eviction of prefetched lines (Obs. 1).
+    println!(
+        "  split: obs2(OPT-over-LRU) {:.2}% + obs1(DM-over-OPT) {:.2}% = {:.2}%",
+        opt_sum / n,
+        dm_sum / n - opt_sum / n,
+        dm_sum / n
+    );
+    print_paper_check("obs total demand-min speedup (fdip)", 3.16, dm_sum / n, "%");
+}

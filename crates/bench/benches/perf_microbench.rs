@@ -1,0 +1,58 @@
+//! Criterion micro-benchmarks: simulator and analysis throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ripple_bench::load_app;
+use ripple_sim::{simulate, PolicyKind, PrefetcherKind, SimConfig};
+use ripple_workloads::App;
+
+fn bench_simulator(c: &mut Criterion) {
+    let loaded = load_app(App::Tomcat, 120_000);
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(10);
+    for (name, cfg) in [
+        ("lru_noprefetch", SimConfig::default()),
+        (
+            "lru_fdip",
+            SimConfig::default().with_prefetcher(PrefetcherKind::Fdip),
+        ),
+        (
+            "opt_two_pass",
+            SimConfig::default().with_policy(PolicyKind::Opt),
+        ),
+        (
+            "hawkeye",
+            SimConfig::default().with_policy(PolicyKind::Hawkeye),
+        ),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| simulate(&loaded.app.program, &loaded.layout, &loaded.trace, &cfg))
+        });
+    }
+    group.finish();
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    let loaded = load_app(App::Tomcat, 120_000);
+    let mut cfg = SimConfig::default();
+    cfg.record_evictions = true;
+    cfg.policy = PolicyKind::Opt;
+    let run = simulate(&loaded.app.program, &loaded.layout, &loaded.trace, &cfg);
+    let log = run.evictions.unwrap();
+    let mut group = c.benchmark_group("analysis");
+    group.sample_size(10);
+    group.bench_function("eviction_analysis", |b| {
+        b.iter(|| {
+            ripple::analyze(
+                &loaded.app.program,
+                &loaded.layout,
+                &loaded.trace,
+                &log,
+                &ripple::AnalysisConfig::default(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator, bench_analysis);
+criterion_main!(benches);

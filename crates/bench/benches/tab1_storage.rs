@@ -1,0 +1,36 @@
+//! Table I: replacement-policy metadata storage for a 32 KB, 8-way, 64 B
+//! line I-cache.
+
+use ripple_sim::{
+    CacheGeometry, DrripPolicy, GhrpPolicy, HawkeyePolicy, LruPolicy, RandomPolicy,
+    ReplacementPolicy, SrripPolicy,
+};
+
+fn main() {
+    let geom = CacheGeometry::new(32 * 1024, 8);
+    let policies: Vec<(Box<dyn ReplacementPolicy>, &str)> = vec![
+        (Box::new(LruPolicy::new(geom)), "64 B"),
+        (Box::new(RandomPolicy::new(geom, 1)), "—"),
+        (Box::new(SrripPolicy::new(geom)), "128 B"),
+        (Box::new(DrripPolicy::new(geom)), "128 B"),
+        (Box::new(GhrpPolicy::new(geom)), "4.13 KB"),
+        (Box::new(HawkeyePolicy::new(geom, true)), "5.1875 KB"),
+    ];
+    println!("\nTable I — Replacement metadata for a 32 KB / 8-way I-cache");
+    println!("  {:<18} {:>12}   {:>12}", "policy", "measured", "paper");
+    for (p, paper) in &policies {
+        let bytes = p.metadata_bytes(&geom);
+        let human = if bytes >= 1024 {
+            format!("{:.4} KB", bytes as f64 / 1024.0)
+        } else {
+            format!("{bytes} B")
+        };
+        println!("  {:<18} {:>12}   {:>12}", p.name(), human, paper);
+    }
+    // Exact Table I values.
+    assert_eq!(LruPolicy::new(geom).metadata_bytes(&geom), 64);
+    assert_eq!(SrripPolicy::new(geom).metadata_bytes(&geom), 128);
+    assert_eq!(DrripPolicy::new(geom).metadata_bytes(&geom), 128);
+    assert_eq!(HawkeyePolicy::new(geom, true).metadata_bytes(&geom), 5312);
+    assert_eq!(RandomPolicy::new(geom, 1).metadata_bytes(&geom), 0);
+}

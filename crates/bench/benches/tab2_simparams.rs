@@ -1,0 +1,23 @@
+//! Table II: simulator parameters.
+
+use ripple_sim::SimConfig;
+
+fn main() {
+    let c = SimConfig::default();
+    println!("\nTable II — Simulator parameters");
+    println!("  L1 instruction cache   {} KiB, {}-way", c.l1i.size_bytes / 1024, c.l1i.assoc);
+    println!("  L2 unified cache       {} KiB, {}-way", c.l2.size_bytes / 1024, c.l2.assoc);
+    println!("  L3 unified cache       {} KiB, {}-way", c.l3.size_bytes / 1024, c.l3.assoc);
+    println!("  L1 I-cache latency     {} cycles", c.l1i_latency);
+    println!("  L2 cache latency       {} cycles", c.l2_latency);
+    println!("  L3 cache latency       {} cycles", c.l3_latency);
+    println!("  Memory latency         {} cycles", c.mem_latency);
+    println!("  Base CPI               {}", c.base_cpi);
+    println!("  Stall exposure         {}", c.stall_exposure);
+    println!("  FTQ depth              {} blocks", c.ftq_depth);
+    assert_eq!(c.l1i.size_bytes, 32 * 1024);
+    assert_eq!(c.l1i.assoc, 8);
+    assert_eq!(c.l2_latency, 12);
+    assert_eq!(c.l3_latency, 36);
+    assert_eq!(c.mem_latency, 260);
+}

@@ -1,0 +1,325 @@
+//! Experiment harness for regenerating every table and figure of the
+//! Ripple paper.
+//!
+//! All figure benches share one *evaluation grid*: for each of the nine
+//! applications and each prefetcher (none / NLP / FDIP), the grid holds
+//! the stats of every replacement policy, the ideal bounds, and the
+//! Ripple-LRU / Ripple-Random pipelines. Computing the grid is expensive,
+//! so it is cached on disk (`target/ripple_grid_<budget>.json`) and reused
+//! across bench targets; delete the file (or change
+//! `RIPPLE_BENCH_INSTRS`) to recompute.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::PathBuf;
+
+use serde::{Deserialize, Serialize};
+
+use ripple::{collect_profile, Ripple, RippleConfig};
+use ripple_program::{Layout, LayoutConfig};
+use ripple_sim::{
+    simulate, simulate_ideal_cache, PolicyKind, PrefetcherKind, SimConfig, SimStats,
+};
+use ripple_trace::BbTrace;
+use ripple_workloads::{generate, App, Application, InputConfig};
+
+/// Instruction budget per application trace (`RIPPLE_BENCH_INSTRS`).
+pub fn bench_budget() -> u64 {
+    std::env::var("RIPPLE_BENCH_INSTRS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1_000_000)
+}
+
+/// Candidate invalidation thresholds for per-app tuning (§III-C: the
+/// paper's winners lie in 0.45..=0.65).
+pub const TUNE_THRESHOLDS: [f64; 3] = [0.45, 0.55, 0.65];
+
+/// One policy's headline numbers relative to the LRU baseline.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PolicyRow {
+    /// Speedup over LRU, percent.
+    pub speedup_pct: f64,
+    /// Demand-miss MPKI.
+    pub mpki: f64,
+    /// Miss reduction over LRU, percent.
+    pub miss_reduction_pct: f64,
+    /// Absolute demand misses.
+    pub demand_misses: u64,
+}
+
+impl PolicyRow {
+    fn from_stats(stats: &SimStats, baseline: &SimStats) -> Self {
+        PolicyRow {
+            speedup_pct: stats.speedup_pct_over(baseline),
+            mpki: stats.mpki(),
+            miss_reduction_pct: stats.miss_reduction_pct_over(baseline),
+            demand_misses: stats.demand_misses,
+        }
+    }
+}
+
+/// A Ripple pipeline's numbers.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RippleRow {
+    /// Headline numbers vs the LRU baseline.
+    pub row: PolicyRow,
+    /// Replacement coverage (Fig. 9), 0..=1.
+    pub coverage: f64,
+    /// Replacement accuracy (Fig. 10), 0..=1.
+    pub accuracy: f64,
+    /// Underlying hardware policy's own accuracy.
+    pub underlying_accuracy: f64,
+    /// Static instruction overhead, percent (Fig. 11).
+    pub static_overhead_pct: f64,
+    /// Dynamic instruction overhead, percent (Fig. 12).
+    pub dynamic_overhead_pct: f64,
+    /// The tuned invalidation threshold used.
+    pub threshold: f64,
+}
+
+/// Everything measured for one (application, prefetcher) cell.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AppCell {
+    /// Application name.
+    pub app: String,
+    /// Prefetcher name.
+    pub prefetcher: String,
+    /// LRU baseline (speedup 0 by construction).
+    pub lru: PolicyRow,
+    /// Prior replacement policies (random, srrip, drrip, ghrp, hawkeye,
+    /// harmony).
+    pub policies: BTreeMap<String, PolicyRow>,
+    /// Prefetch-aware ideal replacement (Demand-MIN; OPT when no
+    /// prefetcher).
+    pub ideal: PolicyRow,
+    /// Ideal cache (no misses at all).
+    pub ideal_cache: PolicyRow,
+    /// Ripple over an underlying LRU.
+    pub ripple_lru: RippleRow,
+    /// Ripple over an underlying Random policy.
+    pub ripple_random: RippleRow,
+    /// Compulsory MPKI (§II-D).
+    pub compulsory_mpki: f64,
+}
+
+/// The whole evaluation grid.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Grid {
+    /// Instruction budget the grid was computed with.
+    pub budget: u64,
+    /// One cell per (app, prefetcher).
+    pub cells: Vec<AppCell>,
+}
+
+impl Grid {
+    /// The cell for `app` under `prefetcher`.
+    pub fn cell(&self, app: App, prefetcher: PrefetcherKind) -> &AppCell {
+        self.cells
+            .iter()
+            .find(|c| c.app == app.name() && c.prefetcher == prefetcher.name())
+            .expect("grid contains every (app, prefetcher) cell")
+    }
+
+    /// Mean of `f` over the nine applications for one prefetcher.
+    pub fn mean<F: Fn(&AppCell) -> f64>(&self, prefetcher: PrefetcherKind, f: F) -> f64 {
+        let vals: Vec<f64> = self
+            .cells
+            .iter()
+            .filter(|c| c.prefetcher == prefetcher.name())
+            .map(f)
+            .collect();
+        vals.iter().sum::<f64>() / vals.len().max(1) as f64
+    }
+}
+
+/// A loaded application with its profiled trace.
+pub struct LoadedApp {
+    /// The generated application.
+    pub app: Application,
+    /// Its (pre-injection) layout.
+    pub layout: Layout,
+    /// The training/evaluation trace (input #0).
+    pub trace: BbTrace,
+}
+
+/// Generates `app` and collects its input-#0 profile at the bench budget.
+pub fn load_app(app: App, budget: u64) -> LoadedApp {
+    let generated = generate(&app.spec());
+    let layout = Layout::new(&generated.program, &LayoutConfig::default());
+    let profile = collect_profile(
+        &generated,
+        &layout,
+        InputConfig::training(app.spec().seed),
+        budget,
+    )
+    .expect("profile collection is lossless");
+    LoadedApp {
+        app: generated,
+        layout,
+        trace: profile.trace,
+    }
+}
+
+fn sim_config(prefetcher: PrefetcherKind) -> SimConfig {
+    SimConfig::default().with_prefetcher(prefetcher)
+}
+
+/// The prior policies compared in Figs. 3, 7 and 8.
+pub const PRIOR_POLICIES: [PolicyKind; 6] = [
+    PolicyKind::Random,
+    PolicyKind::Srrip,
+    PolicyKind::Drrip,
+    PolicyKind::Ghrp,
+    PolicyKind::Hawkeye,
+    PolicyKind::Harmony,
+];
+
+/// Computes one grid cell. `threshold` is the app's tuned invalidation
+/// threshold (shared across prefetchers, like the paper's per-app tuning).
+pub fn compute_cell(loaded: &LoadedApp, prefetcher: PrefetcherKind, threshold: f64) -> AppCell {
+    let program = &loaded.app.program;
+    let layout = &loaded.layout;
+    let trace = &loaded.trace;
+    let cfg = sim_config(prefetcher);
+
+    let lru = simulate(program, layout, trace, &cfg.clone().with_policy(PolicyKind::Lru));
+    let mut policies = BTreeMap::new();
+    for kind in PRIOR_POLICIES {
+        let r = simulate(program, layout, trace, &cfg.clone().with_policy(kind));
+        policies.insert(
+            kind.name().to_string(),
+            PolicyRow::from_stats(&r.stats, &lru.stats),
+        );
+    }
+    let ideal_kind = if prefetcher == PrefetcherKind::None {
+        PolicyKind::Opt
+    } else {
+        PolicyKind::DemandMin
+    };
+    let ideal = simulate(program, layout, trace, &cfg.clone().with_policy(ideal_kind));
+    let ideal_cache = simulate_ideal_cache(program, trace, &cfg);
+
+    let ripple_lru = run_ripple(loaded, prefetcher, PolicyKind::Lru, threshold, &lru.stats);
+    let ripple_random = run_ripple(loaded, prefetcher, PolicyKind::Random, threshold, &lru.stats);
+
+    AppCell {
+        app: loaded.app.name.clone(),
+        prefetcher: prefetcher.name().to_string(),
+        lru: PolicyRow::from_stats(&lru.stats, &lru.stats),
+        policies,
+        ideal: PolicyRow::from_stats(&ideal.stats, &lru.stats),
+        ideal_cache: PolicyRow::from_stats(&ideal_cache, &lru.stats),
+        ripple_lru,
+        ripple_random,
+        compulsory_mpki: lru.stats.compulsory_mpki(),
+    }
+}
+
+/// Runs the full Ripple pipeline for one underlying policy.
+pub fn run_ripple(
+    loaded: &LoadedApp,
+    prefetcher: PrefetcherKind,
+    underlying: PolicyKind,
+    threshold: f64,
+    lru_baseline: &SimStats,
+) -> RippleRow {
+    let mut config = RippleConfig::default();
+    config.sim = sim_config(prefetcher);
+    config.underlying = underlying;
+    config.threshold = threshold;
+    let ripple = Ripple::train(&loaded.app.program, &loaded.layout, &loaded.trace, config);
+    let o = ripple.evaluate(&loaded.trace);
+    RippleRow {
+        row: PolicyRow::from_stats(&o.ripple, lru_baseline),
+        coverage: o.coverage.coverage(),
+        accuracy: o.ripple_accuracy.accuracy(),
+        underlying_accuracy: o.underlying_accuracy.accuracy(),
+        static_overhead_pct: o.static_overhead_pct,
+        dynamic_overhead_pct: o.dynamic_overhead_pct,
+        threshold,
+    }
+}
+
+/// Tunes the per-app, per-prefetcher invalidation threshold (the paper
+/// tunes per application; winners land in 0.45..=0.65).
+pub fn tune_threshold(loaded: &LoadedApp, prefetcher: PrefetcherKind) -> f64 {
+    let mut config = RippleConfig::default();
+    config.sim = sim_config(prefetcher);
+    let ripple = Ripple::train(&loaded.app.program, &loaded.layout, &loaded.trace, config);
+    let mut best = (f64::NEG_INFINITY, TUNE_THRESHOLDS[0]);
+    for &t in &TUNE_THRESHOLDS {
+        let o = ripple.evaluate_with_threshold(&loaded.trace, t);
+        let s = o.speedup_pct();
+        if s > best.0 {
+            best = (s, t);
+        }
+    }
+    best.1
+}
+
+fn grid_path(budget: u64) -> PathBuf {
+    // Benches run with the package directory as CWD; anchor the cache at
+    // the workspace target directory instead.
+    let target = std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../target").to_string()
+    });
+    PathBuf::from(target).join(format!("ripple_grid_{budget}.json"))
+}
+
+/// Loads the cached grid or computes it (all 9 apps × 3 prefetchers).
+pub fn ensure_grid() -> Grid {
+    let budget = bench_budget();
+    let path = grid_path(budget);
+    if let Ok(bytes) = fs::read(&path) {
+        if let Ok(grid) = serde_json::from_slice::<Grid>(&bytes) {
+            if grid.budget == budget && grid.cells.len() == App::ALL.len() * 3 {
+                return grid;
+            }
+        }
+    }
+    eprintln!(
+        "[ripple-bench] computing evaluation grid (budget {budget} instructions/app); \
+         this runs once and is cached at {}",
+        path.display()
+    );
+    let mut cells = Vec::new();
+    for app in App::ALL {
+        let t0 = std::time::Instant::now();
+        let loaded = load_app(app, budget);
+        let mut thresholds = Vec::new();
+        for pf in [
+            PrefetcherKind::None,
+            PrefetcherKind::NextLine,
+            PrefetcherKind::Fdip,
+        ] {
+            let threshold = tune_threshold(&loaded, pf);
+            thresholds.push(threshold);
+            cells.push(compute_cell(&loaded, pf, threshold));
+        }
+        eprintln!(
+            "[ripple-bench]   {app}: thresholds {thresholds:?}, {:.1}s",
+            t0.elapsed().as_secs_f64()
+        );
+    }
+    let grid = Grid { budget, cells };
+    if let Ok(bytes) = serde_json::to_vec_pretty(&grid) {
+        let _ = fs::write(&path, bytes);
+    }
+    grid
+}
+
+/// Prints a per-app figure series: one value per app plus the mean.
+pub fn print_series(title: &str, unit: &str, rows: &[(String, f64)]) {
+    println!("\n{title}");
+    for (name, v) in rows {
+        println!("  {name:<16} {v:>8.2} {unit}");
+    }
+    let mean = rows.iter().map(|r| r.1).sum::<f64>() / rows.len().max(1) as f64;
+    println!("  {:<16} {mean:>8.2} {unit}", "MEAN");
+}
+
+/// `paper=` vs `measured=` comparison line (grepped into EXPERIMENTS.md).
+pub fn print_paper_check(label: &str, paper: f64, measured: f64, unit: &str) {
+    println!("check: {label}: paper={paper}{unit} measured={measured:.2}{unit}");
+}

@@ -1,0 +1,108 @@
+//! Minimal flag parsing (no external dependencies).
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A parse error with a human-readable message.
+#[derive(Debug)]
+pub struct ArgError(pub String);
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// Parsed positional arguments and `--flag value` pairs.
+#[derive(Debug, Default)]
+pub struct Args {
+    positional: Vec<String>,
+    flags: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parses `argv` (after the subcommand). Every `--flag` consumes the
+    /// following token as its value.
+    pub fn parse(argv: &[String]) -> Result<Self, ArgError> {
+        let mut out = Args::default();
+        let mut it = argv.iter();
+        while let Some(tok) = it.next() {
+            if let Some(name) = tok.strip_prefix("--") {
+                let value = it
+                    .next()
+                    .ok_or_else(|| ArgError(format!("--{name} needs a value")))?;
+                out.flags.insert(name.to_string(), value.clone());
+            } else {
+                out.positional.push(tok.clone());
+            }
+        }
+        Ok(out)
+    }
+
+    /// The `i`-th positional argument.
+    pub fn positional(&self, i: usize) -> Option<&str> {
+        self.positional.get(i).map(String::as_str)
+    }
+
+    /// A string flag.
+    pub fn flag(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(String::as_str)
+    }
+
+    /// A parsed flag with a default.
+    pub fn parse_flag<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, ArgError> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError(format!("--{name}: cannot parse {v:?}"))),
+        }
+    }
+
+    /// Rejects unknown flags (catches typos).
+    pub fn expect_flags(&self, allowed: &[&str]) -> Result<(), ArgError> {
+        for k in self.flags.keys() {
+            if !allowed.contains(&k.as_str()) {
+                return Err(ArgError(format!("unknown flag --{k}")));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_positional_and_flags() {
+        let a = Args::parse(&v(&["kafka", "--instructions", "5000", "--policy", "lru"])).unwrap();
+        assert_eq!(a.positional(0), Some("kafka"));
+        assert_eq!(a.flag("policy"), Some("lru"));
+        assert_eq!(a.parse_flag("instructions", 0u64).unwrap(), 5000);
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        assert!(Args::parse(&v(&["--policy"])).is_err());
+    }
+
+    #[test]
+    fn unknown_flag_is_rejected() {
+        let a = Args::parse(&v(&["--florb", "1"])).unwrap();
+        assert!(a.expect_flags(&["policy"]).is_err());
+        assert!(a.expect_flags(&["florb"]).is_ok());
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = Args::parse(&v(&[])).unwrap();
+        assert_eq!(a.parse_flag("threshold", 0.5f64).unwrap(), 0.5);
+    }
+}

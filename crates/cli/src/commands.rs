@@ -1,0 +1,319 @@
+//! Subcommand implementations.
+
+use std::error::Error;
+use std::fs;
+
+use ripple::{best_threshold, collect_profile, sweep, Ripple, RippleConfig};
+use ripple_program::{Layout, LayoutConfig};
+use ripple_sim::{simulate, PolicyKind, PrefetcherKind, SimConfig};
+use ripple_workloads::{generate, App, Application, InputConfig};
+
+use crate::args::{ArgError, Args};
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+usage:
+  ripple-cli apps
+  ripple-cli spec     <app> [--out FILE]           # export a workload spec as JSON
+  ripple-cli plan     <app> [--threshold T] [--prefetcher P] [--out FILE]
+  ripple-cli profile  <app> [--instructions N] [--input K] [--out FILE]
+  ripple-cli inspect  <FILE> --app <app>
+  ripple-cli simulate <app> [--policy P] [--prefetcher P] [--instructions N]
+  ripple-cli compare  <app> [--prefetcher P] [--instructions N]
+  ripple-cli optimize <app> [--threshold T] [--prefetcher P] [--underlying P] [--instructions N]
+  ripple-cli sweep    <app> [--prefetcher P] [--instructions N]
+
+apps: cassandra drupal finagle-chirper finagle-http kafka mediawiki tomcat verilator wordpress
+policies: lru tree-plru random srrip drrip ghrp hawkeye harmony opt demand-min
+prefetchers: none nlp fdip";
+
+type CmdResult = Result<(), Box<dyn Error>>;
+
+/// Dispatches `argv` to a subcommand.
+pub fn dispatch(argv: &[String]) -> CmdResult {
+    let Some(cmd) = argv.first() else {
+        return Err(Box::new(ArgError("missing subcommand".into())));
+    };
+    let rest = Args::parse(&argv[1..])?;
+    match cmd.as_str() {
+        "apps" => apps(&rest),
+        "spec" => spec_cmd(&rest),
+        "plan" => plan_cmd(&rest),
+        "profile" => profile(&rest),
+        "inspect" => inspect(&rest),
+        "simulate" => simulate_cmd(&rest),
+        "compare" => compare(&rest),
+        "optimize" => optimize(&rest),
+        "sweep" => sweep_cmd(&rest),
+        other => Err(Box::new(ArgError(format!("unknown subcommand {other:?}")))),
+    }
+}
+
+fn parse_app(args: &Args) -> Result<App, ArgError> {
+    let name = args
+        .positional(0)
+        .ok_or_else(|| ArgError("missing <app> argument".into()))?;
+    App::ALL
+        .into_iter()
+        .find(|a| a.name() == name)
+        .ok_or_else(|| ArgError(format!("unknown application {name:?}")))
+}
+
+fn parse_prefetcher(args: &Args) -> Result<PrefetcherKind, ArgError> {
+    match args.flag("prefetcher").unwrap_or("none") {
+        "none" | "no-prefetch" => Ok(PrefetcherKind::None),
+        "nlp" | "next-line" => Ok(PrefetcherKind::NextLine),
+        "fdip" => Ok(PrefetcherKind::Fdip),
+        other => Err(ArgError(format!("unknown prefetcher {other:?}"))),
+    }
+}
+
+fn parse_policy(name: &str) -> Result<PolicyKind, ArgError> {
+    Ok(match name {
+        "lru" => PolicyKind::Lru,
+        "tree-plru" | "plru" => PolicyKind::TreePlru,
+        "random" => PolicyKind::Random,
+        "srrip" => PolicyKind::Srrip,
+        "drrip" => PolicyKind::Drrip,
+        "ghrp" => PolicyKind::Ghrp,
+        "hawkeye" => PolicyKind::Hawkeye,
+        "harmony" => PolicyKind::Harmony,
+        "opt" => PolicyKind::Opt,
+        "demand-min" => PolicyKind::DemandMin,
+        other => return Err(ArgError(format!("unknown policy {other:?}"))),
+    })
+}
+
+fn load(app_id: App, input: InputConfig, budget: u64) -> Result<(Application, Layout, ripple_trace::BbTrace), Box<dyn Error>> {
+    let app = generate(&app_id.spec());
+    let layout = Layout::new(&app.program, &LayoutConfig::default());
+    let profile = collect_profile(&app, &layout, input, budget)?;
+    Ok((app, layout, profile.trace))
+}
+
+fn apps(args: &Args) -> CmdResult {
+    args.expect_flags(&[])?;
+    println!(
+        "{:<16} {:>9} {:>8} {:>10} {:>5}",
+        "app", "functions", "blocks", "text(KiB)", "jit"
+    );
+    for app_id in App::ALL {
+        let app = generate(&app_id.spec());
+        let layout = Layout::new(&app.program, &LayoutConfig::default());
+        println!(
+            "{:<16} {:>9} {:>8} {:>10} {:>5}",
+            app_id.name(),
+            app.program.num_functions(),
+            app.program.num_blocks(),
+            layout.code_bytes() / 1024,
+            if app_id.has_jit() { "yes" } else { "no" }
+        );
+    }
+    Ok(())
+}
+
+/// Exports an application's workload specification as editable JSON —
+/// the starting point for modelling a custom application.
+fn spec_cmd(args: &Args) -> CmdResult {
+    args.expect_flags(&["out"])?;
+    let app_id = parse_app(args)?;
+    let json = serde_json::to_string_pretty(&app_id.spec())?;
+    match args.flag("out") {
+        Some(path) => {
+            fs::write(path, &json)?;
+            println!("wrote {path}");
+        }
+        None => println!("{json}"),
+    }
+    Ok(())
+}
+
+/// Computes and exports an injection plan (the "link-time artifact"): the
+/// list of (cue block, victim code location) pairs as JSON.
+fn plan_cmd(args: &Args) -> CmdResult {
+    args.expect_flags(&["threshold", "prefetcher", "instructions", "out"])?;
+    let app_id = parse_app(args)?;
+    let budget = args.parse_flag("instructions", 600_000u64)?;
+    let threshold = args.parse_flag("threshold", 0.55f64)?;
+    let prefetcher = parse_prefetcher(args)?;
+    let (app, layout, trace) = load(app_id, InputConfig::training(app_id.spec().seed), budget)?;
+    let mut config = RippleConfig::default();
+    config.threshold = threshold;
+    config.sim.prefetcher = prefetcher;
+    let ripple = Ripple::train(&app.program, &layout, &trace, config);
+    let (plan, cov) = ripple.plan();
+    println!(
+        "{app_id}: {} injections covering {}/{} windows ({:.1}%)",
+        plan.len(),
+        cov.covered_windows,
+        cov.total_windows,
+        cov.coverage() * 100.0
+    );
+    if let Some(path) = args.flag("out") {
+        fs::write(path, serde_json::to_string_pretty(&plan)?)?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn profile(args: &Args) -> CmdResult {
+    args.expect_flags(&["instructions", "input", "out"])?;
+    let app_id = parse_app(args)?;
+    let budget = args.parse_flag("instructions", 400_000u64)?;
+    let input_id = args.parse_flag("input", 0u32)?;
+    let spec = app_id.spec();
+    let app = generate(&spec);
+    let layout = Layout::new(&app.program, &LayoutConfig::default());
+    let input = InputConfig::numbered(input_id, spec.seed);
+
+    let executed = ripple_workloads::execute(&app.program, &app.model, input, budget);
+    let bytes = ripple_trace::record_trace(&app.program, &layout, executed.iter());
+    println!("profiled {app_id} input#{input_id}");
+    println!("  executed blocks  {}", executed.len());
+    println!("  instructions     {}", executed.dynamic_instruction_count(&app.program));
+    println!("  packet bytes     {} ({:.3} B/block)", bytes.len(), bytes.len() as f64 / executed.len() as f64);
+    if let Some(path) = args.flag("out") {
+        fs::write(path, &bytes)?;
+        println!("  written to       {path}");
+    }
+    Ok(())
+}
+
+fn inspect(args: &Args) -> CmdResult {
+    args.expect_flags(&["app"])?;
+    let path = args
+        .positional(0)
+        .ok_or_else(|| ArgError("missing <FILE> argument".into()))?;
+    let name = args
+        .flag("app")
+        .ok_or_else(|| ArgError("--app is required (traces are decoded against the app's CFG)".into()))?;
+    let app_id = App::ALL
+        .into_iter()
+        .find(|a| a.name() == name)
+        .ok_or_else(|| ArgError(format!("unknown application {name:?}")))?;
+    let app = generate(&app_id.spec());
+    let layout = Layout::new(&app.program, &LayoutConfig::default());
+    let bytes = fs::read(path)?;
+    let trace = ripple_trace::reconstruct_trace(&app.program, &layout, &bytes)?;
+    println!("decoded {path} against {app_id}");
+    println!("  blocks            {}", trace.len());
+    println!("  unique blocks     {}", trace.unique_blocks());
+    println!("  instructions      {}", trace.dynamic_instruction_count(&app.program));
+    println!("  footprint lines   {}", trace.footprint_lines(&layout));
+    Ok(())
+}
+
+fn simulate_cmd(args: &Args) -> CmdResult {
+    args.expect_flags(&["policy", "prefetcher", "instructions"])?;
+    let app_id = parse_app(args)?;
+    let budget = args.parse_flag("instructions", 400_000u64)?;
+    let policy = parse_policy(args.flag("policy").unwrap_or("lru"))?;
+    let prefetcher = parse_prefetcher(args)?;
+    let (app, layout, trace) = load(app_id, InputConfig::training(app_id.spec().seed), budget)?;
+
+    let cfg = SimConfig::default()
+        .with_policy(policy)
+        .with_prefetcher(prefetcher);
+    let r = simulate(&app.program, &layout, &trace, &cfg);
+    println!("{app_id} / {} / {}", policy.name(), prefetcher.name());
+    println!("  instructions   {}", r.stats.instructions);
+    println!("  cycles         {:.0}", r.stats.cycles);
+    println!("  IPC            {:.3}", r.stats.ipc());
+    println!("  demand misses  {}", r.stats.demand_misses);
+    println!("  MPKI           {:.2}", r.stats.mpki());
+    println!("  compulsory     {:.2} MPKI", r.stats.compulsory_mpki());
+    if prefetcher != PrefetcherKind::None {
+        println!("  prefetches     {} issued, {} fills", r.stats.prefetches_issued, r.stats.prefetch_fills);
+    }
+    Ok(())
+}
+
+fn compare(args: &Args) -> CmdResult {
+    args.expect_flags(&["prefetcher", "instructions"])?;
+    let app_id = parse_app(args)?;
+    let budget = args.parse_flag("instructions", 400_000u64)?;
+    let prefetcher = parse_prefetcher(args)?;
+    let (app, layout, trace) = load(app_id, InputConfig::training(app_id.spec().seed), budget)?;
+    let base_cfg = SimConfig::default().with_prefetcher(prefetcher);
+    let lru = simulate(&app.program, &layout, &trace, &base_cfg);
+    println!("{app_id} under {} prefetching", prefetcher.name());
+    println!("{:<12} {:>9} {:>8} {:>10}", "policy", "misses", "mpki", "vs-lru");
+    for kind in [
+        PolicyKind::Lru,
+        PolicyKind::Random,
+        PolicyKind::Srrip,
+        PolicyKind::Drrip,
+        PolicyKind::Ghrp,
+        PolicyKind::Hawkeye,
+        PolicyKind::Harmony,
+        PolicyKind::Opt,
+        PolicyKind::DemandMin,
+    ] {
+        let r = simulate(&app.program, &layout, &trace, &base_cfg.clone().with_policy(kind));
+        println!(
+            "{:<12} {:>9} {:>8.2} {:>+9.2}%",
+            kind.name(),
+            r.stats.demand_misses,
+            r.stats.mpki(),
+            r.stats.speedup_pct_over(&lru.stats)
+        );
+    }
+    Ok(())
+}
+
+fn optimize(args: &Args) -> CmdResult {
+    args.expect_flags(&["threshold", "prefetcher", "underlying", "instructions"])?;
+    let app_id = parse_app(args)?;
+    let budget = args.parse_flag("instructions", 600_000u64)?;
+    let threshold = args.parse_flag("threshold", 0.55f64)?;
+    let prefetcher = parse_prefetcher(args)?;
+    let underlying = parse_policy(args.flag("underlying").unwrap_or("lru"))?;
+    let (app, layout, trace) = load(app_id, InputConfig::training(app_id.spec().seed), budget)?;
+
+    let mut config = RippleConfig::default();
+    config.threshold = threshold;
+    config.sim.prefetcher = prefetcher;
+    config.underlying = underlying;
+    let ripple = Ripple::train(&app.program, &layout, &trace, config);
+    let o = ripple.evaluate(&trace);
+
+    println!("{app_id}: Ripple-{} under {} (threshold {threshold})", underlying.name(), prefetcher.name());
+    println!("  baseline misses     {}", o.lru_reference.demand_misses);
+    println!("  ripple misses       {}", o.ripple.demand_misses);
+    println!("  ideal misses        {}", o.ideal.demand_misses);
+    println!("  miss reduction      {:+.2}% (ideal {:+.2}%)", o.miss_reduction_pct(), o.ideal_miss_reduction_pct());
+    println!("  speedup             {:+.2}% (ideal {:+.2}%, ideal cache {:+.2}%)", o.speedup_pct(), o.ideal_speedup_pct(), o.ideal_cache_speedup_pct());
+    println!("  coverage            {:.1}%", o.coverage.coverage() * 100.0);
+    println!("  accuracy            {:.1}% (underlying {:.1}%)", o.ripple_accuracy.accuracy() * 100.0, o.underlying_accuracy.accuracy() * 100.0);
+    println!("  static overhead     {:.2}% ({} invalidates)", o.static_overhead_pct, o.injected_static);
+    println!("  dynamic overhead    {:.2}%", o.dynamic_overhead_pct);
+    Ok(())
+}
+
+fn sweep_cmd(args: &Args) -> CmdResult {
+    args.expect_flags(&["prefetcher", "instructions"])?;
+    let app_id = parse_app(args)?;
+    let budget = args.parse_flag("instructions", 600_000u64)?;
+    let prefetcher = parse_prefetcher(args)?;
+    let (app, layout, trace) = load(app_id, InputConfig::training(app_id.spec().seed), budget)?;
+    let mut config = RippleConfig::default();
+    config.sim.prefetcher = prefetcher;
+    let ripple = Ripple::train(&app.program, &layout, &trace, config);
+    let thresholds: Vec<f64> = (1..=9).map(|i| i as f64 / 10.0).collect();
+    let points = sweep(&ripple, &trace, &thresholds);
+    println!("{app_id} threshold sweep under {}", prefetcher.name());
+    println!(" threshold  coverage  accuracy   speedup");
+    for p in &points {
+        println!(
+            "   {:>5.2}    {:>6.1}%   {:>6.1}%   {:>+6.2}%",
+            p.threshold,
+            p.coverage * 100.0,
+            p.accuracy * 100.0,
+            p.speedup_pct
+        );
+    }
+    if let Some(b) = best_threshold(&points) {
+        println!("best: {:.2} ({:+.2}%)", b.threshold, b.speedup_pct);
+    }
+    Ok(())
+}

@@ -1,0 +1,29 @@
+//! `ripple-cli` — command-line driver for the Ripple reproduction.
+//!
+//! ```text
+//! ripple-cli apps
+//! ripple-cli profile  <app> [--instructions N] [--input K] [--out FILE]
+//! ripple-cli inspect  <FILE> --app <app>
+//! ripple-cli simulate <app> [--policy P] [--prefetcher P] [--instructions N]
+//! ripple-cli compare  <app> [--prefetcher P] [--instructions N]
+//! ripple-cli optimize <app> [--threshold T] [--prefetcher P]
+//!                            [--underlying P] [--instructions N]
+//! ripple-cli sweep    <app> [--prefetcher P] [--instructions N]
+//! ```
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match commands::dispatch(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", commands::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}

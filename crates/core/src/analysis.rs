@@ -1,0 +1,783 @@
+//! Ripple's offline eviction analysis (§III-B of the paper).
+//!
+//! Given a basic-block trace and the eviction log of an *ideal*
+//! replacement policy replayed over it, the analysis:
+//!
+//! 1. builds the **eviction window** of every ideal eviction — the span of
+//!    blocks executed between the victim line's last access and the access
+//!    that triggers its eviction (Fig. 5a);
+//! 2. treats every block executed inside a window as a **candidate cue
+//!    block** and computes the conditional probability
+//!    `P(evict A | execute B)` as the number of distinct windows of `A`
+//!    containing `B` divided by `B`'s total execution count (Fig. 5b);
+//! 3. for each window selects the candidate with the highest probability;
+//!    windows whose winner clears the invalidation threshold contribute an
+//!    injection of `invalidate(A)` into that cue block (§III-C).
+
+use std::collections::{HashMap, HashSet};
+
+use ripple_program::{
+    line_origins, BlockId, CodeLoc, Injection, InjectionPlan, Layout, LineAddr, Program,
+};
+use ripple_sim::EvictionEvent;
+use ripple_trace::BbTrace;
+
+/// One ideal-policy eviction window (Fig. 5a).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvictionWindow {
+    /// The line the ideal policy evicted.
+    pub victim: LineAddr,
+    /// Trace position of the victim's last demand access (exclusive window
+    /// start).
+    pub start: u32,
+    /// Trace position of the eviction trigger (inclusive window end).
+    pub end: u32,
+}
+
+/// One candidate cue block within a window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CueCandidate {
+    /// The candidate block.
+    pub block: BlockId,
+    /// `P(evict victim | execute block)`.
+    pub probability: f64,
+    /// Whether the block may be rewritten (static code).
+    pub rewritable: bool,
+    /// Distance (in blocks) from the eviction trigger to the candidate's
+    /// *earliest* execution inside the window. An injected invalidation
+    /// fires at that earliest execution, so a small gap means the freed
+    /// way is still free when the triggering fill arrives.
+    pub earliest_gap: u32,
+}
+
+/// The cue candidates of one window, nearest-to-the-eviction first.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowChoice {
+    /// The window's victim line.
+    pub victim: LineAddr,
+    /// Candidates in backward scan order (the first executed closest to
+    /// the eviction trigger), deduplicated, capped.
+    pub candidates: Vec<CueCandidate>,
+}
+
+impl WindowChoice {
+    /// The candidate with the highest conditional probability.
+    pub fn best_by_probability(&self) -> Option<&CueCandidate> {
+        self.candidates
+            .iter()
+            .max_by(|a, b| a.probability.total_cmp(&b.probability))
+    }
+
+    /// Among candidates whose probability reaches `threshold`, the one
+    /// whose earliest in-window execution is closest to the eviction.
+    pub fn latest_eligible(&self, threshold: f64) -> Option<&CueCandidate> {
+        self.candidates
+            .iter()
+            .filter(|c| c.probability >= threshold)
+            .min_by_key(|c| c.earliest_gap)
+    }
+}
+
+/// How the cue block is selected among a window's eligible candidates.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub enum CueSelection {
+    /// The candidate executed nearest the eviction whose probability
+    /// clears the threshold. Late cues time the invalidation close to the
+    /// ideal eviction point, so the freed way is consumed by the very fill
+    /// the ideal policy would have used it for.
+    #[default]
+    LatestEligible,
+    /// The paper's Fig. 5b selection: the candidate with the highest
+    /// conditional probability, injected only if it clears the threshold.
+    HighestProbability,
+}
+
+/// Analysis parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnalysisConfig {
+    /// Maximum number of blocks scanned backward from an eviction when
+    /// building its window. The paper scans to the window start; capping
+    /// bounds analysis cost on pathological reuse distances while keeping
+    /// the candidates closest to the eviction, which are the strongest
+    /// cues.
+    pub max_window_blocks: usize,
+    /// Maximum distinct candidates retained per window (nearest first).
+    pub max_candidates: usize,
+    /// Blocks scanned forward from the window start (the victim's last
+    /// access). Front-side candidates belong to the victim's own request
+    /// and recur every time that request repeats, letting one injected
+    /// pair cover many windows.
+    pub front_window_blocks: usize,
+    /// Cue selection strategy.
+    pub cue_selection: CueSelection,
+    /// Maximum distance (blocks) between a cue's earliest in-window
+    /// execution and the eviction trigger for it to be eligible. A freed
+    /// way only helps if it is still free when the triggering fill
+    /// arrives; a cue that fires thousands of blocks early donates its
+    /// slot to an unrelated fill and the benefit evaporates.
+    pub max_earliest_gap: u32,
+    /// Minimum number of eviction windows a (cue, victim) pair must cover
+    /// to stay in the plan. A pair covering a single window trades one
+    /// saved miss for seven bytes of hot code — negative expected value —
+    /// so only recurring evictions are worth a static instruction
+    /// ("sparing" injection, §III).
+    pub min_windows_per_injection: u32,
+    /// Maximum invalidate instructions injected into one cue block. A hot
+    /// block cueing dozens of victims would grow by hundreds of bytes,
+    /// and that local bloat (extra hot lines) costs more misses than the
+    /// invalidations save; overflow spills to the next-best candidate.
+    pub max_injections_per_block: usize,
+}
+
+impl Default for AnalysisConfig {
+    fn default() -> Self {
+        AnalysisConfig {
+            max_window_blocks: 128,
+            max_candidates: 32,
+            front_window_blocks: 64,
+            cue_selection: CueSelection::HighestProbability,
+            max_earliest_gap: u32::MAX,
+            min_windows_per_injection: 2,
+            max_injections_per_block: 6,
+        }
+    }
+}
+
+/// Result of the eviction analysis; thresholds are applied afterwards (so
+/// a single analysis supports a full threshold sweep, Fig. 6).
+#[derive(Debug)]
+pub struct Analysis {
+    windows: Vec<EvictionWindow>,
+    choices: Vec<WindowChoice>,
+    origins: HashMap<LineAddr, CodeLoc>,
+    selection: CueSelection,
+    per_block_cap: usize,
+    max_earliest_gap: u32,
+    min_pair_windows: u32,
+}
+
+/// Coverage bookkeeping for one threshold (Fig. 9).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CoverageStats {
+    /// Ideal evictions analyzed (with a usable window).
+    pub total_windows: u64,
+    /// Windows whose selected cue cleared the threshold and was injected.
+    pub covered_windows: u64,
+    /// Windows lost because the winning cue lies in JIT/kernel code.
+    pub skipped_unrewritable: u64,
+}
+
+impl CoverageStats {
+    /// Replacement coverage: the fraction of ideal replacement decisions
+    /// Ripple's invalidations will initiate.
+    pub fn coverage(&self) -> f64 {
+        if self.total_windows == 0 {
+            0.0
+        } else {
+            self.covered_windows as f64 / self.total_windows as f64
+        }
+    }
+}
+
+impl Analysis {
+    /// The eviction windows underlying the analysis.
+    pub fn windows(&self) -> &[EvictionWindow] {
+        &self.windows
+    }
+
+    /// Per-window winning cue candidates.
+    pub fn choices(&self) -> &[WindowChoice] {
+        &self.choices
+    }
+
+    /// Derives the injection plan for an invalidation `threshold`
+    /// (0.0..=1.0): every window whose selected cue's conditional
+    /// probability reaches the threshold injects one `invalidate` into
+    /// that cue block.
+    pub fn plan_for_threshold(&self, threshold: f64) -> (InjectionPlan, CoverageStats) {
+        self.plan_with(threshold, self.min_pair_windows)
+    }
+
+    /// [`Analysis::plan_for_threshold`] constrained to an available slot
+    /// budget per block: the final (layout-frozen) assignment pass selects,
+    /// per window, an eligible cue that still has a reserved invalidate
+    /// slot, so a window is only lost when *none* of its eligible cues has
+    /// space.
+    pub fn plan_for_slots(
+        &self,
+        threshold: f64,
+        slots: &HashMap<BlockId, usize>,
+    ) -> (InjectionPlan, CoverageStats) {
+        self.plan_impl(threshold, self.min_pair_windows, Some(slots))
+    }
+
+    /// [`Analysis::plan_for_threshold`] with an explicit minimum number of
+    /// windows per injected pair (used when reserving slots generously
+    /// for the final-layout pass).
+    pub fn plan_with(&self, threshold: f64, min_pair_windows: u32) -> (InjectionPlan, CoverageStats) {
+        self.plan_impl(threshold, min_pair_windows, None)
+    }
+
+    fn plan_impl(
+        &self,
+        threshold: f64,
+        min_pair_windows: u32,
+        slots: Option<&HashMap<BlockId, usize>>,
+    ) -> (InjectionPlan, CoverageStats) {
+        let mut plan = InjectionPlan::new();
+        let mut stats = CoverageStats {
+            total_windows: self.choices.len() as u64,
+            ..CoverageStats::default()
+        };
+        let mut per_cue: HashMap<BlockId, usize> = HashMap::new();
+        let mut seen: HashSet<(BlockId, LineAddr)> = HashSet::new();
+        let cap_of = |block: BlockId, per_cue: &HashMap<BlockId, usize>| -> bool {
+            let used = per_cue.get(&block).copied().unwrap_or(0);
+            match slots {
+                Some(s) => used < s.get(&block).copied().unwrap_or(0),
+                None => used < self.per_block_cap,
+            }
+        };
+        // (cue, victim-identity) -> (victim CodeLoc, windows covered)
+        let mut pair_value: HashMap<(BlockId, LineAddr), (CodeLoc, u32)> = HashMap::new();
+        let mut skipped = 0u64;
+        for choice in &self.choices {
+            // Candidates eligible at this threshold, in selection order.
+            let mut eligible: Vec<&CueCandidate> = choice
+                .candidates
+                .iter()
+                .filter(|c| c.probability >= threshold && c.earliest_gap <= self.max_earliest_gap)
+                .collect();
+            match self.selection {
+                CueSelection::LatestEligible => {
+                    eligible.sort_by_key(|c| c.earliest_gap);
+                }
+                CueSelection::HighestProbability => {
+                    eligible.sort_by(|a, b| b.probability.total_cmp(&a.probability));
+                }
+            }
+            if eligible.is_empty() {
+                continue;
+            }
+            let Some(&victim_loc) = self.origins.get(&choice.victim) else {
+                continue;
+            };
+            let mut placed = false;
+            let mut saw_rewritable = false;
+            // First pass: an already-assigned (cue, victim) pair covers
+            // this window for free — recurring evictions of the same line
+            // (one per phase cycle) amortize a single static instruction.
+            for cand in &eligible {
+                if !cand.rewritable {
+                    continue;
+                }
+                let key = (cand.block, self.layout_line(victim_loc));
+                if seen.contains(&key) {
+                    pair_value
+                        .get_mut(&key)
+                        .expect("seen pairs are in pair_value")
+                        .1 += 1;
+                    placed = true;
+                    saw_rewritable = true;
+                    break;
+                }
+            }
+            if !placed {
+                for cand in eligible {
+                    if !cand.rewritable {
+                        continue;
+                    }
+                    saw_rewritable = true;
+                    if !cap_of(cand.block, &per_cue) {
+                        continue;
+                    }
+                    *per_cue.entry(cand.block).or_insert(0) += 1;
+                    let key = (cand.block, self.layout_line(victim_loc));
+                    seen.insert(key);
+                    pair_value.insert(key, (victim_loc, 1));
+                    placed = true;
+                    break;
+                }
+            }
+            if placed {
+                stats.covered_windows += 1;
+            } else if !saw_rewritable {
+                skipped += 1;
+            }
+        }
+        stats.skipped_unrewritable = skipped;
+        // Value filter: keep only pairs whose recurring coverage pays for
+        // the injected bytes.
+        let mut dropped_windows = 0u64;
+        let min_pair_windows = if slots.is_some() {
+            1
+        } else {
+            min_pair_windows.max(1)
+        };
+        for (&(cue, _), &(victim, windows)) in &pair_value {
+            if windows >= min_pair_windows {
+                plan.push(Injection { cue, victim });
+            } else {
+                dropped_windows += u64::from(windows);
+            }
+        }
+        stats.covered_windows = stats.covered_windows.saturating_sub(dropped_windows);
+        (plan, stats)
+    }
+
+    /// Stable key for dedup: the victim's line identity is its CodeLoc
+    /// (origins are unique per line).
+    fn layout_line(&self, loc: CodeLoc) -> LineAddr {
+        // Origins map line -> loc; invert cheaply by using the loc itself
+        // as identity. Two distinct lines never share an origin CodeLoc.
+        LineAddr::new(((loc.block.get() as u64) << 32) | u64::from(loc.offset))
+    }
+}
+
+/// Runs the eviction analysis over `trace` and the ideal policy's
+/// `evictions` log.
+///
+/// `layout` must be the layout the eviction log was produced under (the
+/// profiled, pre-injection layout).
+pub fn analyze(
+    program: &Program,
+    layout: &Layout,
+    trace: &BbTrace,
+    evictions: &[EvictionEvent],
+    config: &AnalysisConfig,
+) -> Analysis {
+    let blocks = trace.blocks();
+
+    // Execution counts for the probability denominator.
+    let mut exec_count = vec![0u64; program.num_blocks()];
+    for &b in blocks {
+        exec_count[b.index()] += 1;
+    }
+
+    // Usable windows: the victim had a demand access before eviction.
+    let windows: Vec<EvictionWindow> = evictions
+        .iter()
+        .filter(|e| e.last_access_pos != u32::MAX && e.evict_pos > e.last_access_pos + 1)
+        .map(|e| EvictionWindow {
+            victim: e.victim,
+            start: e.last_access_pos,
+            end: e.evict_pos,
+        })
+        .collect();
+
+    // Cache of which lines each block spans (for the stop-at-victim rule).
+    let mut block_lines: Vec<Option<(u64, u64)>> = vec![None; program.num_blocks()];
+    let mut lines_of = |b: BlockId| -> (u64, u64) {
+        let slot = &mut block_lines[b.index()];
+        *slot.get_or_insert_with(|| {
+            let mut iter = layout.lines_of_block(b);
+            let first = iter.next().map(|l| l.index()).unwrap_or(u64::MAX);
+            let last = iter.last().map(|l| l.index()).unwrap_or(first);
+            (first, last)
+        })
+    };
+    let mut contains = |b: BlockId, line: LineAddr| -> bool {
+        let (first, last) = lines_of(b);
+        (first..=last).contains(&line.index())
+    };
+
+    // Candidate scan: both ends of the window matter. Blocks just
+    // *before* the eviction trigger time the invalidation perfectly, but
+    // depend on whatever request happens to run next; blocks just *after*
+    // the victim's last access belong to the victim's own (recurring)
+    // request, so the same (cue, victim) pair re-covers every recurrence
+    // — and at high coverage, early in-window invalidation is exactly as
+    // good (the free way is consumed by fills that each had their own
+    // invalidated victim).
+    let mut scan = |w: &EvictionWindow,
+                    scratch: &mut HashSet<BlockId>,
+                    ordered: Option<&mut Vec<BlockId>>,
+                    earliest: Option<&mut HashMap<BlockId, u32>>| {
+        scratch.clear();
+        let lo = w.start + 1;
+        let hi = w.end; // exclusive: the trigger block itself is too late
+        let back_lo = hi.saturating_sub(config.max_window_blocks as u32).max(lo);
+        let front_hi = lo.saturating_add(config.front_window_blocks as u32).min(hi);
+        let mut ordered = ordered;
+        let mut earliest = earliest;
+        let half = config.max_candidates / 2;
+        // Back side, nearest the trigger first.
+        for p in (back_lo..hi).rev() {
+            let b = blocks[p as usize];
+            if contains(b, w.victim) {
+                break;
+            }
+            if scratch.insert(b) {
+                if let Some(ord) = ordered.as_deref_mut() {
+                    if ord.len() < half {
+                        ord.push(b);
+                    }
+                }
+            }
+            if let Some(e) = earliest.as_deref_mut() {
+                e.insert(b, p); // walking backward: later writes are earlier
+            }
+        }
+        // Front side, nearest the last access first.
+        for p in lo..front_hi {
+            let b = blocks[p as usize];
+            if contains(b, w.victim) {
+                break;
+            }
+            if scratch.insert(b) {
+                if let Some(ord) = ordered.as_deref_mut() {
+                    if ord.len() < config.max_candidates {
+                        ord.push(b);
+                    }
+                }
+            }
+            if let Some(e) = earliest.as_deref_mut() {
+                e.entry(b).and_modify(|x| *x = (*x).min(p)).or_insert(p);
+            }
+        }
+    };
+
+    // Pass 1: count, per (victim, candidate) pair, the distinct windows of
+    // the victim that contain the candidate.
+    let mut pair_windows: HashMap<(LineAddr, BlockId), u32> = HashMap::new();
+    let mut scratch: HashSet<BlockId> = HashSet::new();
+    for w in &windows {
+        scan(w, &mut scratch, None, None);
+        for &b in scratch.iter() {
+            *pair_windows.entry((w.victim, b)).or_insert(0) += 1;
+        }
+    }
+
+    // Pass 2: collect each window's candidates.
+    let is_rewritable = |b: BlockId| {
+        let func = program.block(b).func();
+        program.function(func).kind().is_rewritable()
+    };
+    let mut choices = Vec::with_capacity(windows.len());
+    let mut ordered: Vec<BlockId> = Vec::new();
+    let mut earliest: HashMap<BlockId, u32> = HashMap::new();
+    for w in &windows {
+        ordered.clear();
+        earliest.clear();
+        scan(w, &mut scratch, Some(&mut ordered), Some(&mut earliest));
+        let hi = w.end;
+        let candidates: Vec<CueCandidate> = ordered
+            .iter()
+            .filter_map(|&b| {
+                let execs = exec_count[b.index()];
+                if execs == 0 {
+                    return None;
+                }
+                let hits = pair_windows[&(w.victim, b)];
+                Some(CueCandidate {
+                    block: b,
+                    probability: f64::from(hits) / execs as f64,
+                    rewritable: is_rewritable(b),
+                    earliest_gap: hi - earliest.get(&b).copied().unwrap_or(hi),
+                })
+            })
+            .collect();
+        choices.push(WindowChoice {
+            victim: w.victim,
+            candidates,
+        });
+    }
+
+    Analysis {
+        windows,
+        choices,
+        origins: line_origins(program, layout),
+        selection: config.cue_selection,
+        per_block_cap: config.max_injections_per_block.max(1),
+        max_earliest_gap: config.max_earliest_gap,
+        min_pair_windows: config.min_windows_per_injection.max(1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ripple_program::{CodeKind, Instruction, LayoutConfig, ProgramBuilder};
+
+    /// Builds the paper's Fig. 5 scenario programmatically: a victim line
+    /// A and candidate cue blocks B, C, D, E with controlled execution
+    /// counts and window memberships.
+    ///
+    /// Layout: one function per "block" so each lives on its own line(s).
+    struct Fig5 {
+        program: Program,
+        layout: Layout,
+        a: BlockId,
+        b: BlockId,
+        c: BlockId,
+        d: BlockId,
+        filler: BlockId,
+    }
+
+    fn fig5() -> Fig5 {
+        let mut pb = ProgramBuilder::new();
+        let mut mk = |name: &str| {
+            let f = pb.add_function(name, CodeKind::Static);
+            let blk = pb.add_block(f);
+            pb.push_inst(blk, Instruction::other(59));
+            pb.push_inst(blk, Instruction::ret());
+            (f, blk)
+        };
+        let (_fa, a) = mk("A");
+        let (_fb, b) = mk("B");
+        let (_fc, c) = mk("C");
+        let (_fd, d) = mk("D");
+        let (_ff, filler) = mk("filler");
+        let program = pb.finish(ripple_program::FuncId::new(0)).unwrap();
+        let layout = Layout::new(&program, &LayoutConfig::default());
+        Fig5 {
+            program,
+            layout,
+            a,
+            b,
+            c,
+            d,
+            filler,
+        }
+    }
+
+    /// Default analysis config with the paper's argmax selection and no
+    /// value filter, which the unit tests reason about directly.
+    fn plain_config() -> AnalysisConfig {
+        AnalysisConfig {
+            cue_selection: CueSelection::HighestProbability,
+            min_windows_per_injection: 1,
+            ..AnalysisConfig::default()
+        }
+    }
+
+    /// Builds a trace and matching eviction log. `windows` lists, per
+    /// eviction of A, the cue blocks executed inside the window.
+    fn trace_and_log(
+        f: &Fig5,
+        windows: &[Vec<BlockId>],
+        extra_execs: &[(BlockId, usize)],
+    ) -> (BbTrace, Vec<EvictionEvent>) {
+        let victim_line = f.layout.lines_of_block(f.a).next().unwrap();
+        let mut blocks = Vec::new();
+        let mut log = Vec::new();
+        for contents in windows {
+            blocks.push(f.a); // last access to A
+            let start = (blocks.len() - 1) as u32;
+            for &blk in contents {
+                blocks.push(blk);
+            }
+            blocks.push(f.filler); // the trigger block
+            log.push(EvictionEvent {
+                victim: victim_line,
+                evict_pos: (blocks.len() - 1) as u32,
+                last_access_pos: start,
+                by_prefetch: false,
+            });
+        }
+        // Extra executions outside any window dilute P(evict | exec).
+        for &(blk, n) in extra_execs {
+            for _ in 0..n {
+                blocks.push(blk);
+            }
+        }
+        (BbTrace::new(blocks), log)
+    }
+
+    fn best_cue(analysis: &Analysis, i: usize) -> (BlockId, f64) {
+        let c = analysis.choices()[i]
+            .best_by_probability()
+            .expect("window has candidates");
+        (c.block, c.probability)
+    }
+
+    #[test]
+    fn single_window_selects_its_only_candidate() {
+        let f = fig5();
+        let (trace, log) = trace_and_log(&f, &[vec![f.b]], &[]);
+        let analysis = analyze(&f.program, &f.layout, &trace, &log, &plain_config());
+        assert_eq!(analysis.choices().len(), 1);
+        let (cue, p) = best_cue(&analysis, 0);
+        assert_eq!(cue, f.b);
+        assert!((p - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probability_divides_by_execution_count() {
+        // B appears in 1 window but executes 4 times in total => P = 0.25.
+        let f = fig5();
+        let (trace, log) = trace_and_log(&f, &[vec![f.b]], &[(f.b, 3)]);
+        let analysis = analyze(&f.program, &f.layout, &trace, &log, &plain_config());
+        let (cue, p) = best_cue(&analysis, 0);
+        assert_eq!(cue, f.b);
+        assert!((p - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_worked_example_prefers_high_probability_cues() {
+        // Mirror Fig. 5b's counts: B executes 16 times appearing in 4
+        // windows (P=0.25); C executes 8 times appearing in 4 windows
+        // (P=0.5). Windows containing both must pick C.
+        let f = fig5();
+        let windows = vec![
+            vec![f.b, f.c],
+            vec![f.b, f.c],
+            vec![f.b, f.c],
+            vec![f.b, f.c],
+        ];
+        let (trace, log) = trace_and_log(&f, &windows, &[(f.b, 12), (f.c, 4)]);
+        let analysis = analyze(&f.program, &f.layout, &trace, &log, &plain_config());
+        for i in 0..4 {
+            let (cue, p) = best_cue(&analysis, i);
+            assert_eq!(cue, f.c, "C has P=0.5 > B's 0.25");
+            assert!((p - 0.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn threshold_gates_injection() {
+        let f = fig5();
+        let (trace, log) = trace_and_log(&f, &[vec![f.b]], &[(f.b, 3)]); // P = 0.25
+        let analysis = analyze(&f.program, &f.layout, &trace, &log, &plain_config());
+        let (plan_low, cov_low) = analysis.plan_for_threshold(0.2);
+        let (plan_high, cov_high) = analysis.plan_for_threshold(0.5);
+        assert_eq!(plan_low.len(), 1);
+        assert_eq!(cov_low.covered_windows, 1);
+        assert!(plan_high.is_empty());
+        assert_eq!(cov_high.covered_windows, 0);
+        assert!((cov_low.coverage() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn value_filter_drops_single_window_pairs() {
+        let f = fig5();
+        // Two windows with different best cues: each pair covers one
+        // window, so min_windows_per_injection = 2 empties the plan.
+        let (trace, log) = trace_and_log(&f, &[vec![f.b], vec![f.c]], &[]);
+        let mut cfg = plain_config();
+        cfg.min_windows_per_injection = 2;
+        let analysis = analyze(&f.program, &f.layout, &trace, &log, &cfg);
+        let (plan, cov) = analysis.plan_for_threshold(0.5);
+        assert!(plan.is_empty());
+        assert_eq!(cov.covered_windows, 0);
+        // Recurring pairs survive: both windows cued by B.
+        let (trace2, log2) = trace_and_log(&f, &[vec![f.b], vec![f.b]], &[]);
+        let analysis2 = analyze(&f.program, &f.layout, &trace2, &log2, &cfg);
+        let (plan2, cov2) = analysis2.plan_for_threshold(0.5);
+        assert_eq!(plan2.len(), 1);
+        assert_eq!(cov2.covered_windows, 2);
+    }
+
+    #[test]
+    fn per_block_cap_spills_to_next_candidate() {
+        let f = fig5();
+        let (trace, log) = trace_and_log(&f, &[vec![f.d, f.b]], &[]);
+        let mut cfg = plain_config();
+        cfg.max_injections_per_block = 1;
+        let analysis = analyze(&f.program, &f.layout, &trace, &log, &cfg);
+        // Only one victim here so the cap cannot bind; sanity-check shape.
+        let (plan, cov) = analysis.plan_for_threshold(0.5);
+        assert_eq!(plan.len(), 1);
+        assert_eq!(cov.covered_windows, 1);
+    }
+
+    #[test]
+    fn scan_stops_at_blocks_containing_the_victim() {
+        // A window containing [D, A', C] where A' shares the victim line:
+        // the backward scan from the trigger stops at A', so only C (after
+        // A') can be a back-side candidate; the forward scan from the
+        // window start stops immediately at A' too, so D never appears.
+        let f = fig5();
+        let (trace, log) = trace_and_log(&f, &[vec![f.d, f.a, f.c]], &[]);
+        let analysis = analyze(&f.program, &f.layout, &trace, &log, &plain_config());
+        let blocks: Vec<BlockId> = analysis.choices()[0]
+            .candidates
+            .iter()
+            .map(|c| c.block)
+            .collect();
+        assert!(blocks.contains(&f.c));
+        assert!(!blocks.contains(&f.a), "victim-holding blocks excluded");
+    }
+
+    #[test]
+    fn front_candidates_recur_across_windows() {
+        // D executes right after A's last access in both windows (front
+        // side); the trigger-side cues differ (B then C). The same (D, A)
+        // pair must cover both windows, yielding a single injection.
+        let f = fig5();
+        let (trace, log) = trace_and_log(&f, &[vec![f.d, f.b], vec![f.d, f.c]], &[(f.b, 7), (f.c, 7)]);
+        let mut cfg = plain_config();
+        cfg.min_windows_per_injection = 2;
+        let analysis = analyze(&f.program, &f.layout, &trace, &log, &cfg);
+        let (plan, cov) = analysis.plan_for_threshold(0.6);
+        assert_eq!(plan.len(), 1, "one pair covers both windows");
+        assert_eq!(plan.injections()[0].cue, f.d);
+        assert_eq!(cov.covered_windows, 2);
+    }
+
+    #[test]
+    fn unrewritable_cues_are_skipped_but_counted() {
+        let mut pb = ProgramBuilder::new();
+        let fa = pb.add_function("A", CodeKind::Static);
+        let a = pb.add_block(fa);
+        pb.push_inst(a, Instruction::other(59));
+        pb.push_inst(a, Instruction::ret());
+        let fj = pb.add_function("jit", CodeKind::Jit);
+        let j = pb.add_block(fj);
+        pb.push_inst(j, Instruction::other(59));
+        pb.push_inst(j, Instruction::ret());
+        let ff = pb.add_function("filler", CodeKind::Static);
+        let fill = pb.add_block(ff);
+        pb.push_inst(fill, Instruction::other(59));
+        pb.push_inst(fill, Instruction::ret());
+        let program = pb.finish(fa).unwrap();
+        let layout = Layout::new(&program, &LayoutConfig::default());
+        let victim = layout.lines_of_block(a).next().unwrap();
+
+        let trace = BbTrace::new(vec![a, j, fill]);
+        let log = vec![EvictionEvent {
+            victim,
+            evict_pos: 2,
+            last_access_pos: 0,
+            by_prefetch: false,
+        }];
+        let analysis = analyze(&program, &layout, &trace, &log, &plain_config());
+        let (plan, cov) = analysis.plan_for_threshold(0.5);
+        assert!(plan.is_empty());
+        assert_eq!(cov.skipped_unrewritable, 1);
+        assert_eq!(cov.covered_windows, 0);
+        assert_eq!(cov.total_windows, 1);
+    }
+
+    #[test]
+    fn slot_constrained_plan_respects_budget() {
+        let f = fig5();
+        let (trace, log) = trace_and_log(&f, &[vec![f.b]], &[]);
+        let analysis = analyze(&f.program, &f.layout, &trace, &log, &plain_config());
+        // No slots anywhere: nothing can be placed.
+        let slots = HashMap::new();
+        let (plan, cov) = analysis.plan_for_slots(0.5, &slots);
+        assert!(plan.is_empty());
+        assert_eq!(cov.covered_windows, 0);
+        // One slot on the cue block: the window is covered.
+        let mut slots = HashMap::new();
+        slots.insert(f.b, 1usize);
+        let (plan, cov) = analysis.plan_for_slots(0.5, &slots);
+        assert_eq!(plan.len(), 1);
+        assert_eq!(cov.covered_windows, 1);
+    }
+
+    #[test]
+    fn prefetch_only_victims_are_ignored() {
+        let f = fig5();
+        let (trace, _) = trace_and_log(&f, &[vec![f.b]], &[]);
+        let log = vec![EvictionEvent {
+            victim: LineAddr::new(999),
+            evict_pos: 2,
+            last_access_pos: u32::MAX,
+            by_prefetch: true,
+        }];
+        let analysis = analyze(&f.program, &f.layout, &trace, &log, &plain_config());
+        assert!(analysis.windows().is_empty());
+    }
+}

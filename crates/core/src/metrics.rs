@@ -1,0 +1,295 @@
+//! Replacement-coverage and replacement-accuracy metrics (§III-C).
+
+use std::collections::HashMap;
+
+use ripple_program::{BlockId, InstKind, Layout, LineAddr, Program};
+use ripple_sim::EvictionEvent;
+use ripple_trace::BbTrace;
+
+use crate::analysis::EvictionWindow;
+
+/// Per-line index of demand access positions, for "is this line ever used
+/// again after position p?" queries.
+#[derive(Debug, Default)]
+pub struct LineAccessIndex {
+    positions: HashMap<LineAddr, Vec<u32>>,
+}
+
+impl LineAccessIndex {
+    /// Builds the index from a block trace under `layout`.
+    pub fn build(layout: &Layout, trace: &BbTrace) -> Self {
+        let mut positions: HashMap<LineAddr, Vec<u32>> = HashMap::new();
+        for (pos, block) in trace.iter().enumerate() {
+            for line in layout.lines_of_block(block) {
+                positions.entry(line).or_default().push(pos as u32);
+            }
+        }
+        LineAccessIndex { positions }
+    }
+
+    /// First demand access to `line` strictly after `pos`, if any.
+    pub fn next_access_after(&self, line: LineAddr, pos: u32) -> Option<u32> {
+        let v = self.positions.get(&line)?;
+        let i = v.partition_point(|&p| p <= pos);
+        v.get(i).copied()
+    }
+
+    /// Number of distinct lines indexed.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+}
+
+/// Per-line index of ideal eviction windows, for "would the ideal policy
+/// also have evicted this line here?" queries.
+///
+/// Windows of one line never overlap (each starts after the refill that
+/// follows the previous eviction), so sorted binary search suffices.
+#[derive(Debug, Default)]
+pub struct WindowIndex {
+    windows: HashMap<LineAddr, Vec<(u32, u32)>>,
+}
+
+impl WindowIndex {
+    /// Builds the index from the analysis's eviction windows.
+    pub fn build(windows: &[EvictionWindow]) -> Self {
+        let mut map: HashMap<LineAddr, Vec<(u32, u32)>> = HashMap::new();
+        for w in windows {
+            map.entry(w.victim).or_default().push((w.start, w.end));
+        }
+        for v in map.values_mut() {
+            v.sort_unstable();
+        }
+        WindowIndex { windows: map }
+    }
+
+    /// Whether position `pos` lies inside an eviction window of `line`
+    /// (start-exclusive, end-inclusive): an action at `pos` that evicts
+    /// `line` agrees with the ideal policy.
+    pub fn contains(&self, line: LineAddr, pos: u32) -> bool {
+        let Some(v) = self.windows.get(&line) else {
+            return false;
+        };
+        let i = v.partition_point(|&(_, end)| end < pos);
+        v.get(i).is_some_and(|&(start, _)| start < pos)
+    }
+}
+
+/// An eviction-style decision (Ripple invalidation or hardware eviction)
+/// is *accurate* when it cannot introduce a miss the ideal policy would
+/// not also have taken: either the position falls inside an ideal eviction
+/// window of the line, or the line is never demand-accessed again.
+pub fn decision_is_accurate(
+    line: LineAddr,
+    pos: u32,
+    windows: &WindowIndex,
+    accesses: &LineAccessIndex,
+) -> bool {
+    windows.contains(line, pos) || accesses.next_access_after(line, pos).is_none()
+}
+
+/// Accuracy tally.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AccuracyStats {
+    /// Decisions that agreed with the ideal policy.
+    pub accurate: u64,
+    /// All decisions examined.
+    pub total: u64,
+}
+
+impl AccuracyStats {
+    /// Accuracy in `[0, 1]` (1.0 when no decisions were made).
+    pub fn accuracy(&self) -> f64 {
+        if self.total == 0 {
+            1.0
+        } else {
+            self.accurate as f64 / self.total as f64
+        }
+    }
+}
+
+/// Replays `trace` over the *rewritten* program and scores every dynamic
+/// invalidation execution against the ideal windows (Fig. 10).
+///
+/// `windows`/`accesses` must be built against the same layout generation
+/// as the invalidate operands (the rewritten layout).
+pub fn invalidation_accuracy(
+    program: &Program,
+    trace: &BbTrace,
+    windows: &WindowIndex,
+    accesses: &LineAccessIndex,
+) -> AccuracyStats {
+    // Victim lines per cue block (empty for untouched blocks).
+    let mut victims: HashMap<BlockId, Vec<LineAddr>> = HashMap::new();
+    for block in program.blocks() {
+        if block.injected_prefix_len() == 0 {
+            continue;
+        }
+        let lines: Vec<LineAddr> = block
+            .instructions()
+            .iter()
+            .filter_map(|inst| match inst.kind() {
+                InstKind::Invalidate { line } => Some(line),
+                _ => None,
+            })
+            .collect();
+        victims.insert(block.id(), lines);
+    }
+
+    let mut stats = AccuracyStats::default();
+    for (pos, block) in trace.iter().enumerate() {
+        let Some(lines) = victims.get(&block) else {
+            continue;
+        };
+        for &line in lines {
+            stats.total += 1;
+            if decision_is_accurate(line, pos as u32, windows, accesses) {
+                stats.accurate += 1;
+            }
+        }
+    }
+    stats
+}
+
+/// Scores a not-yet-applied [`InjectionPlan`](ripple_program::InjectionPlan)
+/// by replaying `trace` and
+/// testing every dynamic execution of a cue block against the ideal
+/// windows, with victims expressed in the *profiled* layout (`layout`).
+///
+/// This is the evaluation the pipeline uses: windows, accesses and plan
+/// victims all live in the same (pre-injection) address space.
+pub fn plan_accuracy(
+    plan: &ripple_program::InjectionPlan,
+    layout: &Layout,
+    trace: &BbTrace,
+    windows: &WindowIndex,
+    accesses: &LineAccessIndex,
+) -> AccuracyStats {
+    let mut victims: HashMap<BlockId, Vec<LineAddr>> = HashMap::new();
+    for inj in plan.injections() {
+        victims
+            .entry(inj.cue)
+            .or_default()
+            .push(layout.line_of(inj.victim));
+    }
+    let mut stats = AccuracyStats::default();
+    for (pos, block) in trace.iter().enumerate() {
+        let Some(lines) = victims.get(&block) else {
+            continue;
+        };
+        for &line in lines {
+            stats.total += 1;
+            if decision_is_accurate(line, pos as u32, windows, accesses) {
+                stats.accurate += 1;
+            }
+        }
+    }
+    stats
+}
+
+/// Scores a hardware policy's eviction log against the ideal windows —
+/// the paper's "LRU has 77.8 % average accuracy" measurement.
+pub fn eviction_accuracy(
+    evictions: &[EvictionEvent],
+    windows: &WindowIndex,
+    accesses: &LineAccessIndex,
+) -> AccuracyStats {
+    let mut stats = AccuracyStats::default();
+    for e in evictions {
+        stats.total += 1;
+        if decision_is_accurate(e.victim, e.evict_pos, windows, accesses) {
+            stats.accurate += 1;
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::EvictionWindow;
+
+    fn l(i: u64) -> LineAddr {
+        LineAddr::new(i)
+    }
+
+    fn windows_of(spec: &[(u64, u32, u32)]) -> WindowIndex {
+        let ws: Vec<EvictionWindow> = spec
+            .iter()
+            .map(|&(line, start, end)| EvictionWindow {
+                victim: l(line),
+                start,
+                end,
+            })
+            .collect();
+        WindowIndex::build(&ws)
+    }
+
+    #[test]
+    fn window_membership_is_start_exclusive_end_inclusive() {
+        let idx = windows_of(&[(7, 10, 20)]);
+        assert!(!idx.contains(l(7), 10));
+        assert!(idx.contains(l(7), 11));
+        assert!(idx.contains(l(7), 20));
+        assert!(!idx.contains(l(7), 21));
+        assert!(!idx.contains(l(8), 15));
+    }
+
+    #[test]
+    fn multiple_windows_binary_search() {
+        let idx = windows_of(&[(7, 10, 20), (7, 30, 40), (7, 50, 60)]);
+        for (pos, expect) in [(15, true), (25, false), (35, true), (45, false), (55, true)] {
+            assert_eq!(idx.contains(l(7), pos), expect, "pos {pos}");
+        }
+    }
+
+    #[test]
+    fn accuracy_counts_dead_lines_as_accurate() {
+        let windows = windows_of(&[]);
+        let accesses = LineAccessIndex::default();
+        // Never accessed again -> accurate even with no window.
+        assert!(decision_is_accurate(l(3), 5, &windows, &accesses));
+    }
+
+    #[test]
+    fn accuracy_stats_ratio() {
+        let s = AccuracyStats {
+            accurate: 9,
+            total: 10,
+        };
+        assert!((s.accuracy() - 0.9).abs() < 1e-12);
+        assert_eq!(AccuracyStats::default().accuracy(), 1.0);
+    }
+
+    #[test]
+    fn eviction_accuracy_scores_log_entries() {
+        let windows = windows_of(&[(7, 10, 20)]);
+        // Line 7 accessed at 5 and 25: an eviction at 15 matches the
+        // window (accurate); an eviction at 22 is premature (line used at
+        // 25, no window) -> inaccurate.
+        let mut accesses = LineAccessIndex::default();
+        accesses.positions.insert(l(7), vec![5, 25]);
+        let log = vec![
+            EvictionEvent {
+                victim: l(7),
+                evict_pos: 15,
+                last_access_pos: 5,
+                by_prefetch: false,
+            },
+            EvictionEvent {
+                victim: l(7),
+                evict_pos: 22,
+                last_access_pos: 5,
+                by_prefetch: false,
+            },
+        ];
+        let s = eviction_accuracy(&log, &windows, &accesses);
+        assert_eq!(s.accurate, 1);
+        assert_eq!(s.total, 2);
+    }
+}

@@ -1,0 +1,74 @@
+//! Invalidation-threshold exploration (§III-C, Fig. 6) and per-app
+//! threshold tuning.
+
+use ripple_trace::BbTrace;
+
+use crate::pipeline::Ripple;
+
+/// One point of the coverage/accuracy trade-off curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThresholdPoint {
+    /// The invalidation threshold this point was measured at.
+    pub threshold: f64,
+    /// Replacement coverage at this threshold (0..=1).
+    pub coverage: f64,
+    /// Replacement accuracy at this threshold (0..=1).
+    pub accuracy: f64,
+    /// Ripple speedup over the LRU baseline, percent.
+    pub speedup_pct: f64,
+}
+
+/// Sweeps the invalidation threshold over `thresholds`, evaluating each
+/// against `eval_trace` (Fig. 6's curve).
+pub fn sweep(ripple: &Ripple<'_>, eval_trace: &BbTrace, thresholds: &[f64]) -> Vec<ThresholdPoint> {
+    thresholds
+        .iter()
+        .map(|&t| {
+            let outcome = ripple.evaluate_with_threshold(eval_trace, t);
+            ThresholdPoint {
+                threshold: t,
+                coverage: outcome.coverage.coverage(),
+                accuracy: outcome.ripple_accuracy.accuracy(),
+                speedup_pct: outcome.speedup_pct(),
+            }
+        })
+        .collect()
+}
+
+/// Picks the best-performing threshold from a sweep (the paper tunes each
+/// application; the winners fall in 0.45..=0.65).
+pub fn best_threshold(points: &[ThresholdPoint]) -> Option<ThresholdPoint> {
+    points
+        .iter()
+        .copied()
+        .max_by(|a, b| a.speedup_pct.total_cmp(&b.speedup_pct))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::RippleConfig;
+    use ripple_program::{Layout, LayoutConfig};
+    use ripple_workloads::{execute, generate, AppSpec, InputConfig};
+
+    #[test]
+    fn coverage_falls_and_accuracy_rises_with_threshold() {
+        let app = generate(&AppSpec::tiny(55));
+        let layout = Layout::new(&app.program, &LayoutConfig::default());
+        let trace = execute(&app.program, &app.model, InputConfig::training(55), 60_000);
+        let mut cfg = RippleConfig::default();
+        cfg.sim.l1i = ripple_sim::CacheGeometry::new(2 * 1024, 4);
+        let ripple = Ripple::train(&app.program, &layout, &trace, cfg);
+
+        let points = sweep(&ripple, &trace, &[0.05, 0.5, 0.95]);
+        assert_eq!(points.len(), 3);
+        // Coverage is monotonically non-increasing in the threshold.
+        assert!(points[0].coverage >= points[1].coverage);
+        assert!(points[1].coverage >= points[2].coverage);
+        // Accuracy at the strictest threshold is at least that of the
+        // loosest (the Fig. 6 trade-off).
+        assert!(points[2].accuracy + 1e-9 >= points[0].accuracy);
+        let best = best_threshold(&points).unwrap();
+        assert!(points.iter().all(|p| p.speedup_pct <= best.speedup_pct));
+    }
+}

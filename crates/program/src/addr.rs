@@ -1,0 +1,294 @@
+//! Byte addresses and cache-line addresses.
+//!
+//! The whole workspace reasons about instruction bytes laid out in a flat
+//! virtual address space and about the 64-byte cache lines those bytes fall
+//! into. Two newtypes keep the two units apart statically: [`Addr`] is a byte
+//! address, [`LineAddr`] is a cache-line index (a byte address shifted right
+//! by [`CACHE_LINE_SHIFT`]).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Size of an instruction cache line in bytes (fixed at 64 B, as in the
+/// paper's Table II and in every Intel server part of the last decade).
+pub const CACHE_LINE_BYTES: u64 = 64;
+
+/// `log2(CACHE_LINE_BYTES)`.
+pub const CACHE_LINE_SHIFT: u32 = 6;
+
+/// A byte address in the simulated virtual address space.
+///
+/// # Examples
+///
+/// ```
+/// use ripple_program::{Addr, CACHE_LINE_BYTES};
+///
+/// let a = Addr::new(0x40_0010);
+/// assert_eq!(a.line().base_addr(), Addr::new(0x40_0000));
+/// assert_eq!(a.offset_in_line(), 0x10);
+/// assert_eq!(a.wrapping_add(CACHE_LINE_BYTES).line(), a.line().next());
+/// ```
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Addr(u64);
+
+impl Addr {
+    /// Creates an address from a raw byte value.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        Addr(raw)
+    }
+
+    /// Returns the raw byte value.
+    #[inline]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the cache line this byte falls into.
+    #[inline]
+    pub const fn line(self) -> LineAddr {
+        LineAddr(self.0 >> CACHE_LINE_SHIFT)
+    }
+
+    /// Returns the byte offset of this address within its cache line.
+    #[inline]
+    pub const fn offset_in_line(self) -> u64 {
+        self.0 & (CACHE_LINE_BYTES - 1)
+    }
+
+    /// Address `bytes` past this one, wrapping on overflow.
+    #[inline]
+    pub const fn wrapping_add(self, bytes: u64) -> Self {
+        Addr(self.0.wrapping_add(bytes))
+    }
+
+    /// Aligns this address upward to `align` (a power of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `align` is not a power of two.
+    #[inline]
+    pub fn align_up(self, align: u64) -> Self {
+        debug_assert!(align.is_power_of_two(), "alignment must be a power of two");
+        Addr((self.0 + align - 1) & !(align - 1))
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl From<u64> for Addr {
+    fn from(raw: u64) -> Self {
+        Addr(raw)
+    }
+}
+
+impl From<Addr> for u64 {
+    fn from(addr: Addr) -> Self {
+        addr.0
+    }
+}
+
+/// A cache-line address: the index of a 64-byte line in the address space.
+///
+/// `LineAddr` is what replacement policies, prefetchers and Ripple's
+/// eviction analysis operate on; it deliberately cannot be confused with a
+/// byte [`Addr`].
+///
+/// # Examples
+///
+/// ```
+/// use ripple_program::{Addr, LineAddr};
+///
+/// let line = Addr::new(0x1000).line();
+/// assert_eq!(line, LineAddr::new(0x40));
+/// assert_eq!(line.base_addr(), Addr::new(0x1000));
+/// ```
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct LineAddr(u64);
+
+impl LineAddr {
+    /// Creates a line address from a raw line index.
+    #[inline]
+    pub const fn new(index: u64) -> Self {
+        LineAddr(index)
+    }
+
+    /// Returns the raw line index.
+    #[inline]
+    pub const fn index(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the byte address of the first byte of this line.
+    #[inline]
+    pub const fn base_addr(self) -> Addr {
+        Addr(self.0 << CACHE_LINE_SHIFT)
+    }
+
+    /// The line immediately following this one (next-line prefetch target).
+    #[inline]
+    pub const fn next(self) -> Self {
+        LineAddr(self.0.wrapping_add(1))
+    }
+}
+
+impl fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+/// Iterator over the cache lines spanned by a byte range.
+///
+/// Produced by [`lines_spanning`].
+#[derive(Debug, Clone)]
+pub struct LineSpan {
+    next: u64,
+    end: u64,
+}
+
+impl Iterator for LineSpan {
+    type Item = LineAddr;
+
+    fn next(&mut self) -> Option<LineAddr> {
+        if self.next <= self.end {
+            let line = LineAddr(self.next);
+            self.next += 1;
+            Some(line)
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = (self.end + 1).saturating_sub(self.next) as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for LineSpan {}
+
+/// Returns an iterator over every cache line touched by the byte range
+/// `[start, start + len)`.
+///
+/// An empty range (`len == 0`) touches no lines.
+///
+/// # Examples
+///
+/// ```
+/// use ripple_program::{lines_spanning, Addr, LineAddr};
+///
+/// let lines: Vec<_> = lines_spanning(Addr::new(60), 8).collect();
+/// assert_eq!(lines, vec![LineAddr::new(0), LineAddr::new(1)]);
+/// assert_eq!(lines_spanning(Addr::new(0), 0).count(), 0);
+/// ```
+pub fn lines_spanning(start: Addr, len: u64) -> LineSpan {
+    if len == 0 {
+        // An empty iterator: next > end.
+        return LineSpan { next: 1, end: 0 };
+    }
+    let first = start.line().index();
+    let last = start.wrapping_add(len - 1).line().index();
+    LineSpan {
+        next: first,
+        end: last,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_line_geometry() {
+        assert_eq!(Addr::new(0).line(), LineAddr::new(0));
+        assert_eq!(Addr::new(63).line(), LineAddr::new(0));
+        assert_eq!(Addr::new(64).line(), LineAddr::new(1));
+        assert_eq!(Addr::new(64).offset_in_line(), 0);
+        assert_eq!(Addr::new(127).offset_in_line(), 63);
+    }
+
+    #[test]
+    fn align_up_behaviour() {
+        assert_eq!(Addr::new(0).align_up(16), Addr::new(0));
+        assert_eq!(Addr::new(1).align_up(16), Addr::new(16));
+        assert_eq!(Addr::new(16).align_up(16), Addr::new(16));
+        assert_eq!(Addr::new(17).align_up(64), Addr::new(64));
+    }
+
+    #[test]
+    fn line_next_and_base() {
+        let l = LineAddr::new(7);
+        assert_eq!(l.next(), LineAddr::new(8));
+        assert_eq!(l.base_addr(), Addr::new(7 * 64));
+        assert_eq!(l.base_addr().line(), l);
+    }
+
+    #[test]
+    fn span_single_line() {
+        let lines: Vec<_> = lines_spanning(Addr::new(10), 20).collect();
+        assert_eq!(lines, vec![LineAddr::new(0)]);
+    }
+
+    #[test]
+    fn span_multiple_lines() {
+        let lines: Vec<_> = lines_spanning(Addr::new(0), 129).collect();
+        assert_eq!(
+            lines,
+            vec![LineAddr::new(0), LineAddr::new(1), LineAddr::new(2)]
+        );
+    }
+
+    #[test]
+    fn span_exact_boundary() {
+        // [64, 128) is exactly line 1.
+        let lines: Vec<_> = lines_spanning(Addr::new(64), 64).collect();
+        assert_eq!(lines, vec![LineAddr::new(1)]);
+    }
+
+    #[test]
+    fn span_empty() {
+        assert_eq!(lines_spanning(Addr::new(1234), 0).count(), 0);
+    }
+
+    #[test]
+    fn span_size_hint_is_exact() {
+        let span = lines_spanning(Addr::new(60), 200);
+        assert_eq!(span.len(), span.clone().count());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Addr::new(0x40).to_string(), "0x40");
+        assert_eq!(LineAddr::new(0x2).to_string(), "L0x2");
+        assert_eq!(format!("{:x}", Addr::new(255)), "ff");
+    }
+
+    #[test]
+    fn conversions() {
+        let a: Addr = 42u64.into();
+        let raw: u64 = a.into();
+        assert_eq!(raw, 42);
+    }
+}

@@ -1,0 +1,127 @@
+//! Functions and code kinds.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{BlockId, FuncId};
+
+/// Provenance of a function's code, which determines whether Ripple may
+/// rewrite it.
+///
+/// The paper's HHVM applications (drupal, mediawiki, wordpress) contain
+/// just-in-time compiled regions whose instruction addresses are reused for
+/// different basic blocks over time; Ripple cannot inject invalidations
+/// there (§IV, "Replacement-Coverage"), which caps its coverage for those
+/// applications. Kernel code is traced (Intel PT captures it) but also not
+/// rewritten.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CodeKind {
+    /// Ahead-of-time compiled application code; rewritable at link time.
+    #[default]
+    Static,
+    /// Just-in-time compiled code; addresses are reused, not rewritable.
+    Jit,
+    /// Kernel code executed on behalf of the application; not rewritable.
+    Kernel,
+}
+
+impl CodeKind {
+    /// Whether Ripple may inject invalidation instructions into this code.
+    #[inline]
+    pub const fn is_rewritable(self) -> bool {
+        matches!(self, CodeKind::Static)
+    }
+}
+
+impl fmt::Display for CodeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodeKind::Static => write!(f, "static"),
+            CodeKind::Jit => write!(f, "jit"),
+            CodeKind::Kernel => write!(f, "kernel"),
+        }
+    }
+}
+
+/// A function: an ordered list of basic blocks, the first being its entry.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Function {
+    id: FuncId,
+    name: String,
+    kind: CodeKind,
+    blocks: Vec<BlockId>,
+}
+
+impl Function {
+    pub(crate) fn new(id: FuncId, name: String, kind: CodeKind) -> Self {
+        Function {
+            id,
+            name,
+            kind,
+            blocks: Vec::new(),
+        }
+    }
+
+    /// This function's id.
+    #[inline]
+    pub fn id(&self) -> FuncId {
+        self.id
+    }
+
+    /// The function's (diagnostic) name.
+    #[inline]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The function's code kind.
+    #[inline]
+    pub fn kind(&self) -> CodeKind {
+        self.kind
+    }
+
+    /// The function's blocks, in layout order; the first is the entry.
+    #[inline]
+    pub fn blocks(&self) -> &[BlockId] {
+        &self.blocks
+    }
+
+    /// The entry block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the function has no blocks; [`Program`](crate::Program)
+    /// validation rejects such functions.
+    #[inline]
+    pub fn entry(&self) -> BlockId {
+        self.blocks[0]
+    }
+
+    pub(crate) fn push_block(&mut self, block: BlockId) {
+        self.blocks.push(block);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rewritability() {
+        assert!(CodeKind::Static.is_rewritable());
+        assert!(!CodeKind::Jit.is_rewritable());
+        assert!(!CodeKind::Kernel.is_rewritable());
+    }
+
+    #[test]
+    fn function_accessors() {
+        let mut f = Function::new(FuncId::new(1), "handler".to_string(), CodeKind::Static);
+        f.push_block(BlockId::new(10));
+        f.push_block(BlockId::new(11));
+        assert_eq!(f.entry(), BlockId::new(10));
+        assert_eq!(f.blocks().len(), 2);
+        assert_eq!(f.name(), "handler");
+        assert_eq!(f.kind().to_string(), "static");
+    }
+}

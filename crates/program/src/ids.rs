@@ -1,0 +1,125 @@
+//! Compact identifiers for program entities.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a function within a [`Program`](crate::Program).
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct FuncId(u32);
+
+impl FuncId {
+    /// Creates a function id from a raw index.
+    #[inline]
+    pub const fn new(raw: u32) -> Self {
+        FuncId(raw)
+    }
+
+    /// The raw index, usable for `Vec` indexing.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The raw value.
+    #[inline]
+    pub const fn get(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for FuncId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// Identifier of a basic block within a [`Program`](crate::Program).
+///
+/// Block ids are global across the program (not per-function), which lets a
+/// dynamic trace be a flat `Vec<BlockId>` and lets per-block analysis state
+/// live in dense vectors.
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct BlockId(u32);
+
+impl BlockId {
+    /// Creates a block id from a raw index.
+    #[inline]
+    pub const fn new(raw: u32) -> Self {
+        BlockId(raw)
+    }
+
+    /// The raw index, usable for `Vec` indexing.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The raw value.
+    #[inline]
+    pub const fn get(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+/// A byte location inside a basic block, independent of layout.
+///
+/// `offset` counts bytes of the block's *original* (pre-injection)
+/// instructions, so a `CodeLoc` recorded against one layout can be resolved
+/// against a rewritten layout of the same program.
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct CodeLoc {
+    /// Enclosing basic block.
+    pub block: BlockId,
+    /// Byte offset from the start of the block's original instructions.
+    pub offset: u32,
+}
+
+impl CodeLoc {
+    /// Creates a code location.
+    pub const fn new(block: BlockId, offset: u32) -> Self {
+        CodeLoc { block, offset }
+    }
+}
+
+impl fmt::Display for CodeLoc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}+{}", self.block, self.offset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_roundtrip() {
+        assert_eq!(FuncId::new(3).index(), 3);
+        assert_eq!(BlockId::new(9).get(), 9);
+        assert_eq!(FuncId::new(3).to_string(), "f3");
+        assert_eq!(BlockId::new(9).to_string(), "bb9");
+    }
+
+    #[test]
+    fn code_loc_display() {
+        assert_eq!(CodeLoc::new(BlockId::new(2), 17).to_string(), "bb2+17");
+    }
+
+    #[test]
+    fn ids_are_ordered() {
+        assert!(BlockId::new(1) < BlockId::new(2));
+        assert!(FuncId::new(0) < FuncId::new(1));
+    }
+}

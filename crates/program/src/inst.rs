@@ -1,0 +1,250 @@
+//! Instructions and instruction kinds.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::addr::LineAddr;
+use crate::ids::{BlockId, FuncId};
+
+/// Encoded size, in bytes, of the `invalidate` instruction Ripple injects.
+///
+/// The paper's proposed instruction is modelled on Intel's `cldemote`
+/// (opcode `0F 1C /0`); with a rip-relative memory operand it occupies seven
+/// bytes, which is what we charge the static code footprint.
+pub const INVALIDATE_BYTES: u8 = 7;
+
+/// What an [`Instruction`] does to control flow (or to the I-cache).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InstKind {
+    /// A non-control-flow instruction (ALU, load, store, ...).
+    Other,
+    /// A conditional branch. Taken goes to `target` (a block in the same
+    /// function); not-taken falls through to the next block in function
+    /// order.
+    CondBranch {
+        /// Taken-path successor block.
+        target: BlockId,
+    },
+    /// An unconditional direct jump to `target` (same function).
+    Jump {
+        /// Jump destination block.
+        target: BlockId,
+    },
+    /// An indirect jump; the destination block is only known at run time
+    /// and must be recovered from the trace (a TIP packet).
+    IndirectJump,
+    /// A direct call to the entry block of `target`. On return, execution
+    /// resumes at the next block in function order.
+    Call {
+        /// Callee function.
+        target: FuncId,
+    },
+    /// An indirect call; the callee is only known at run time.
+    IndirectCall,
+    /// A return to the caller.
+    Return,
+    /// Ripple's injected I-cache invalidation hint. Evicts (or demotes)
+    /// `line` from the L1 I-cache without touching other cache levels.
+    Invalidate {
+        /// Victim cache line, expressed in the *final* (post-injection)
+        /// layout's address space.
+        line: LineAddr,
+    },
+}
+
+impl InstKind {
+    /// Whether this instruction terminates a basic block.
+    #[inline]
+    pub const fn is_terminator(self) -> bool {
+        matches!(
+            self,
+            InstKind::CondBranch { .. }
+                | InstKind::Jump { .. }
+                | InstKind::IndirectJump
+                | InstKind::Call { .. }
+                | InstKind::IndirectCall
+                | InstKind::Return
+        )
+    }
+
+    /// Whether this is a conditional branch (contributes a TNT trace bit).
+    #[inline]
+    pub const fn is_conditional(self) -> bool {
+        matches!(self, InstKind::CondBranch { .. })
+    }
+
+    /// Whether the destination of this instruction is unknown statically.
+    #[inline]
+    pub const fn is_indirect(self) -> bool {
+        matches!(self, InstKind::IndirectJump | InstKind::IndirectCall)
+    }
+
+    /// Whether this is a Ripple-injected invalidation.
+    #[inline]
+    pub const fn is_invalidate(self) -> bool {
+        matches!(self, InstKind::Invalidate { .. })
+    }
+}
+
+impl fmt::Display for InstKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InstKind::Other => write!(f, "op"),
+            InstKind::CondBranch { target } => write!(f, "jcc {target}"),
+            InstKind::Jump { target } => write!(f, "jmp {target}"),
+            InstKind::IndirectJump => write!(f, "jmp *reg"),
+            InstKind::Call { target } => write!(f, "call {target}"),
+            InstKind::IndirectCall => write!(f, "call *reg"),
+            InstKind::Return => write!(f, "ret"),
+            InstKind::Invalidate { line } => write!(f, "invalidate {line}"),
+        }
+    }
+}
+
+/// A single (size, kind) instruction in a basic block.
+///
+/// Instruction bytes matter: the linker packs blocks by size, Ripple's
+/// injected invalidations grow blocks, and that growth is exactly the
+/// static-footprint overhead the paper measures in Fig. 11.
+///
+/// # Examples
+///
+/// ```
+/// use ripple_program::{InstKind, Instruction};
+///
+/// let nop = Instruction::other(4);
+/// assert_eq!(nop.size_bytes(), 4);
+/// assert!(!nop.kind().is_terminator());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Instruction {
+    size: u8,
+    kind: InstKind,
+}
+
+impl Instruction {
+    /// Creates an instruction with an explicit byte size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero (zero-length instructions would break
+    /// layout arithmetic).
+    pub fn new(size: u8, kind: InstKind) -> Self {
+        assert!(size > 0, "instruction size must be non-zero");
+        Instruction { size, kind }
+    }
+
+    /// A non-control-flow instruction of `size` bytes.
+    pub fn other(size: u8) -> Self {
+        Instruction::new(size, InstKind::Other)
+    }
+
+    /// A conditional branch to `target` (2-byte short jcc + padding = 4 B).
+    pub fn cond_branch(target: BlockId) -> Self {
+        Instruction::new(4, InstKind::CondBranch { target })
+    }
+
+    /// An unconditional direct jump (5 B near jmp).
+    pub fn jump(target: BlockId) -> Self {
+        Instruction::new(5, InstKind::Jump { target })
+    }
+
+    /// An indirect jump (3 B `jmp *reg` with REX).
+    pub fn indirect_jump() -> Self {
+        Instruction::new(3, InstKind::IndirectJump)
+    }
+
+    /// A direct call (5 B near call).
+    pub fn call(target: FuncId) -> Self {
+        Instruction::new(5, InstKind::Call { target })
+    }
+
+    /// An indirect call (3 B).
+    pub fn indirect_call() -> Self {
+        Instruction::new(3, InstKind::IndirectCall)
+    }
+
+    /// A return (1 B `ret`).
+    pub fn ret() -> Self {
+        Instruction::new(1, InstKind::Return)
+    }
+
+    /// A Ripple-injected invalidation of `line` ([`INVALIDATE_BYTES`] B).
+    pub fn invalidate(line: LineAddr) -> Self {
+        Instruction::new(INVALIDATE_BYTES, InstKind::Invalidate { line })
+    }
+
+    /// The encoded size of this instruction in bytes.
+    #[inline]
+    pub const fn size_bytes(self) -> u8 {
+        self.size
+    }
+
+    /// The instruction kind.
+    #[inline]
+    pub const fn kind(self) -> InstKind {
+        self.kind
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({}B)", self.kind, self.size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminator_classification() {
+        assert!(Instruction::ret().kind().is_terminator());
+        assert!(Instruction::jump(BlockId::new(0)).kind().is_terminator());
+        assert!(Instruction::cond_branch(BlockId::new(1))
+            .kind()
+            .is_terminator());
+        assert!(Instruction::call(FuncId::new(0)).kind().is_terminator());
+        assert!(Instruction::indirect_jump().kind().is_terminator());
+        assert!(Instruction::indirect_call().kind().is_terminator());
+        assert!(!Instruction::other(4).kind().is_terminator());
+        assert!(!Instruction::invalidate(LineAddr::new(0))
+            .kind()
+            .is_terminator());
+    }
+
+    #[test]
+    fn indirect_classification() {
+        assert!(Instruction::indirect_jump().kind().is_indirect());
+        assert!(Instruction::indirect_call().kind().is_indirect());
+        assert!(!Instruction::ret().kind().is_indirect());
+        assert!(!Instruction::jump(BlockId::new(0)).kind().is_indirect());
+    }
+
+    #[test]
+    fn sizes() {
+        assert_eq!(Instruction::ret().size_bytes(), 1);
+        assert_eq!(
+            Instruction::invalidate(LineAddr::new(3)).size_bytes(),
+            INVALIDATE_BYTES
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_size_rejected() {
+        let _ = Instruction::new(0, InstKind::Other);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        for inst in [
+            Instruction::other(4),
+            Instruction::cond_branch(BlockId::new(9)),
+            Instruction::invalidate(LineAddr::new(1)),
+        ] {
+            assert!(!inst.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,441 @@
+//! Link-time injection of invalidation instructions.
+//!
+//! Ripple's analysis runs against a *profiled* layout (v0). Injection adds
+//! instructions, which shifts addresses, producing a *rewritten* layout
+//! (v1). Victim cache lines discovered in v0 must therefore be translated
+//! to v1; [`LineMapper`] performs that translation by following the first
+//! code byte of each v0 line to its new home.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::addr::LineAddr;
+use crate::ids::{BlockId, CodeLoc};
+use crate::inst::Instruction;
+use crate::layout::{Layout, LayoutConfig};
+use crate::program::Program;
+
+/// One planned injection: when `cue` executes, invalidate the line holding
+/// `victim` (a code location in the profiled layout).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Injection {
+    /// Block that receives the invalidate instruction.
+    pub cue: BlockId,
+    /// First code byte of the victim line, in profiled-layout terms.
+    pub victim: CodeLoc,
+}
+
+/// A set of injections to apply to a program.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InjectionPlan {
+    injections: Vec<Injection>,
+}
+
+impl InjectionPlan {
+    /// Creates an empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an injection, deduplicating identical (cue, victim) pairs.
+    pub fn push(&mut self, injection: Injection) {
+        if !self.injections.contains(&injection) {
+            self.injections.push(injection);
+        }
+    }
+
+    /// The planned injections.
+    pub fn injections(&self) -> &[Injection] {
+        &self.injections
+    }
+
+    /// Number of static invalidate instructions this plan will insert.
+    pub fn len(&self) -> usize {
+        self.injections.len()
+    }
+
+    /// Whether the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.injections.is_empty()
+    }
+}
+
+impl FromIterator<Injection> for InjectionPlan {
+    fn from_iter<I: IntoIterator<Item = Injection>>(iter: I) -> Self {
+        let mut plan = InjectionPlan::new();
+        for inj in iter {
+            plan.push(inj);
+        }
+        plan
+    }
+}
+
+impl Extend<Injection> for InjectionPlan {
+    fn extend<I: IntoIterator<Item = Injection>>(&mut self, iter: I) {
+        for inj in iter {
+            self.push(inj);
+        }
+    }
+}
+
+/// Translates profiled-layout (v0) cache lines to rewritten-layout (v1)
+/// cache lines.
+///
+/// A v0 line is followed through its first *code* byte: the block and
+/// original-instruction offset holding that byte are located in v0, then
+/// resolved against v1. Lines containing no code (alignment padding) map to
+/// themselves.
+#[derive(Debug, Clone, Default)]
+pub struct LineMapper {
+    map: HashMap<LineAddr, LineAddr>,
+}
+
+impl LineMapper {
+    /// Builds a mapper between two layouts of the same program (same block
+    /// ids; v1 may contain injected prefixes).
+    pub fn new(program: &Program, old_layout: &Layout, new_layout: &Layout) -> Self {
+        let mut map = HashMap::new();
+        for block in program.blocks() {
+            let id = block.id();
+            let start = old_layout.block_addr(id);
+            let size = u64::from(old_layout.block_size(id));
+            if size == 0 {
+                continue;
+            }
+            for line in crate::addr::lines_spanning(start, size) {
+                // First code byte of this line within this block.
+                let line_base = line.base_addr();
+                let first_byte = line_base.max(start);
+                // Only the block owning the line's first in-code byte
+                // defines the mapping; earlier blocks win.
+                map.entry(line).or_insert_with(|| {
+                    let offset = (first_byte.get() - start.get()) as u32;
+                    new_layout.line_of(CodeLoc::new(id, offset))
+                });
+            }
+        }
+        LineMapper { map }
+    }
+
+    /// Maps a v0 line to its v1 equivalent (identity for unknown lines).
+    #[inline]
+    pub fn map(&self, line: LineAddr) -> LineAddr {
+        self.map.get(&line).copied().unwrap_or(line)
+    }
+
+    /// Number of mapped lines.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether any lines are mapped.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// Maps every cache line of the text segment to the [`CodeLoc`] of its
+/// first code byte under `layout`.
+///
+/// This is how analysis results (victim lines, found in a *profiled*
+/// layout) are expressed in layout-independent terms so they survive the
+/// relinking that injection causes. Lines spanning two blocks are owned by
+/// the block holding their first code byte.
+pub fn line_origins(program: &Program, layout: &Layout) -> HashMap<LineAddr, CodeLoc> {
+    let mut map = HashMap::new();
+    for block in program.blocks() {
+        let id = block.id();
+        let start = layout.block_addr(id);
+        let size = u64::from(layout.block_size(id));
+        if size == 0 {
+            continue;
+        }
+        for line in crate::addr::lines_spanning(start, size) {
+            let first_byte = line.base_addr().max(start);
+            map.entry(line).or_insert_with(|| {
+                let offset = (first_byte.get() - start.get()) as u32;
+                CodeLoc::new(id, offset)
+            });
+        }
+    }
+    map
+}
+
+/// Result of [`rewrite`]: the rewritten program, its new layout, and the
+/// v0→v1 line mapper.
+#[derive(Debug, Clone)]
+pub struct Rewritten {
+    /// The program with invalidate instructions injected.
+    pub program: Program,
+    /// Layout of the rewritten program.
+    pub layout: Layout,
+    /// Maps profiled-layout lines to rewritten-layout lines.
+    pub mapper: LineMapper,
+}
+
+/// Applies `plan` to `program`, relinks, and fixes up invalidate operands.
+///
+/// The operand of every injected instruction is the *rewritten-layout* line
+/// of the victim, i.e. exactly what the simulated `invalidate` instruction
+/// must evict at run time.
+///
+/// # Examples
+///
+/// ```
+/// use ripple_program::{
+///     rewrite, CodeKind, CodeLoc, Injection, InjectionPlan, Instruction, Layout,
+///     LayoutConfig, ProgramBuilder,
+/// };
+///
+/// let mut b = ProgramBuilder::new();
+/// let main = b.add_function("main", CodeKind::Static);
+/// let bb0 = b.add_block(main);
+/// let bb1 = b.add_block(main);
+/// b.push_inst(bb0, Instruction::other(60));
+/// b.push_inst(bb1, Instruction::ret());
+/// let program = b.finish(main)?;
+/// let layout = Layout::new(&program, &LayoutConfig::default());
+///
+/// let mut plan = InjectionPlan::new();
+/// plan.push(Injection { cue: bb1, victim: CodeLoc::new(bb0, 0) });
+/// let rewritten = rewrite(&program, &layout, &plan);
+/// assert_eq!(rewritten.program.injected_instruction_count(), 1);
+/// # Ok::<(), ripple_program::ValidateProgramError>(())
+/// ```
+pub fn rewrite(program: &Program, old_layout: &Layout, plan: &InjectionPlan) -> Rewritten {
+    let mut new_program = program.clone();
+
+    // Group injections per cue block, preserving plan order.
+    let mut per_block: HashMap<BlockId, Vec<CodeLoc>> = HashMap::new();
+    for inj in plan.injections() {
+        per_block.entry(inj.cue).or_default().push(inj.victim);
+    }
+
+    // Insert placeholder invalidates carrying the *old-layout* line; the
+    // operands are remapped once the new layout is known.
+    for (cue, victims) in &per_block {
+        let instrs: Vec<Instruction> = victims
+            .iter()
+            .map(|&loc| Instruction::invalidate(old_layout.line_of(loc)))
+            .collect();
+        new_program.blocks_mut()[cue.index()].inject_prefix(instrs);
+    }
+
+    let new_layout = Layout::new(&new_program, old_layout.config());
+    let mapper = LineMapper::new(program, old_layout, &new_layout);
+
+    for block in new_program.blocks_mut() {
+        block.map_invalidate_operands(|old_line| mapper.map(old_line));
+    }
+
+    Rewritten {
+        program: new_program,
+        layout: new_layout,
+        mapper,
+    }
+}
+
+/// A line operand that never matches a real cache line: invalidating it is
+/// a no-op. Used to fill reserved-but-unassigned invalidate slots.
+pub const NOOP_LINE: LineAddr = LineAddr::new(u64::MAX);
+
+/// Replaces the invalidate operands of each listed block with the given
+/// lines, padding unused slots with [`NOOP_LINE`].
+///
+/// The block sizes are unchanged (every invalidate instruction has the
+/// same encoding size), so the program's layout is preserved — this is
+/// how the final link-time analysis pass assigns victims against the
+/// *final* layout without perturbing it.
+///
+/// # Panics
+///
+/// Panics if a block is assigned more lines than it has injected slots.
+pub fn patch_invalidates(program: &mut Program, assignments: &HashMap<BlockId, Vec<LineAddr>>) {
+    for block in program.blocks_mut() {
+        let slots = block.injected_prefix_len() as usize;
+        if slots == 0 {
+            continue;
+        }
+        let lines = assignments.get(&block.id());
+        let assigned = lines.map_or(0, Vec::len);
+        assert!(
+            assigned <= slots,
+            "block {} has {} invalidate slots but {} assignments",
+            block.id(),
+            slots,
+            assigned
+        );
+        let mut idx = 0;
+        block.map_invalidate_operands(|_| {
+            let line = match lines {
+                Some(v) if idx < v.len() => v[idx],
+                _ => NOOP_LINE,
+            };
+            idx += 1;
+            line
+        });
+    }
+}
+
+/// Convenience: lays out `program` with `config` and applies an empty plan,
+/// returning an identity [`Rewritten`]. Useful for baselines that must flow
+/// through the same types as Ripple-optimized binaries.
+pub fn identity_rewrite(program: &Program, config: &LayoutConfig) -> Rewritten {
+    let layout = Layout::new(program, config);
+    rewrite(program, &layout, &InjectionPlan::new())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::CodeKind;
+    use crate::inst::{InstKind, INVALIDATE_BYTES};
+    use crate::program::ProgramBuilder;
+
+    fn linear_program(block_bytes: &[u8]) -> Program {
+        let mut b = ProgramBuilder::new();
+        let main = b.add_function("main", CodeKind::Static);
+        let n = block_bytes.len();
+        let blocks: Vec<BlockId> = (0..n).map(|_| b.add_block(main)).collect();
+        for (i, (&blk, &sz)) in blocks.iter().zip(block_bytes).enumerate() {
+            if i + 1 == n {
+                if sz > 1 {
+                    b.push_inst(blk, Instruction::other(sz - 1));
+                }
+                b.push_inst(blk, Instruction::ret());
+            } else {
+                b.push_inst(blk, Instruction::other(sz));
+            }
+        }
+        b.finish(main).unwrap()
+    }
+
+    #[test]
+    fn empty_plan_is_identity() {
+        let p = linear_program(&[32, 32, 16]);
+        let layout = Layout::new(&p, &LayoutConfig::default());
+        let rw = rewrite(&p, &layout, &InjectionPlan::new());
+        assert_eq!(rw.program, p);
+        assert_eq!(rw.layout, layout);
+        for i in 0..4u64 {
+            assert_eq!(rw.mapper.map(LineAddr::new(i)), LineAddr::new(i));
+        }
+    }
+
+    #[test]
+    fn injection_grows_block_and_shifts_layout() {
+        let p = linear_program(&[32, 32, 16]);
+        let layout = Layout::new(&p, &LayoutConfig::default());
+        let mut plan = InjectionPlan::new();
+        plan.push(Injection {
+            cue: BlockId::new(0),
+            victim: CodeLoc::new(BlockId::new(2), 0),
+        });
+        let rw = rewrite(&p, &layout, &plan);
+        assert_eq!(
+            rw.layout.block_size(BlockId::new(0)),
+            32 + u32::from(INVALIDATE_BYTES)
+        );
+        assert_eq!(
+            rw.layout.block_addr(BlockId::new(1)).get(),
+            layout.block_addr(BlockId::new(1)).get() + u64::from(INVALIDATE_BYTES)
+        );
+    }
+
+    #[test]
+    fn invalidate_operand_is_new_layout_line() {
+        let p = linear_program(&[60, 60, 60]);
+        let layout = Layout::new(&p, &LayoutConfig::default());
+        // Victim: first byte of block 2 (old layout).
+        let victim = CodeLoc::new(BlockId::new(2), 0);
+        let old_line = layout.line_of(victim);
+        let mut plan = InjectionPlan::new();
+        plan.push(Injection {
+            cue: BlockId::new(0),
+            victim,
+        });
+        let rw = rewrite(&p, &layout, &plan);
+        let new_line = rw.layout.line_of(victim);
+        // Injection shifted block 2 by 7 bytes, may or may not move it to
+        // another line, but operand must equal new layout's line.
+        let inst = rw.program.block(BlockId::new(0)).instructions()[0];
+        match inst.kind() {
+            InstKind::Invalidate { line } => {
+                assert_eq!(line, new_line);
+                assert_eq!(rw.mapper.map(old_line), new_line);
+            }
+            other => panic!("expected invalidate, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn plan_deduplicates() {
+        let mut plan = InjectionPlan::new();
+        let inj = Injection {
+            cue: BlockId::new(0),
+            victim: CodeLoc::new(BlockId::new(1), 0),
+        };
+        plan.push(inj);
+        plan.push(inj);
+        assert_eq!(plan.len(), 1);
+    }
+
+    #[test]
+    fn plan_from_iterator() {
+        let inj = Injection {
+            cue: BlockId::new(0),
+            victim: CodeLoc::new(BlockId::new(1), 0),
+        };
+        let plan: InjectionPlan = vec![inj, inj].into_iter().collect();
+        assert_eq!(plan.len(), 1);
+        assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn rewritten_program_still_validates() {
+        let p = linear_program(&[32, 32, 16]);
+        let layout = Layout::new(&p, &LayoutConfig::default());
+        let mut plan = InjectionPlan::new();
+        plan.push(Injection {
+            cue: BlockId::new(1),
+            victim: CodeLoc::new(BlockId::new(0), 0),
+        });
+        plan.push(Injection {
+            cue: BlockId::new(1),
+            victim: CodeLoc::new(BlockId::new(2), 4),
+        });
+        let rw = rewrite(&p, &layout, &plan);
+        rw.program.validate().expect("rewritten program is valid");
+        assert_eq!(rw.program.injected_instruction_count(), 2);
+        // Original instruction stream is preserved.
+        for (old, new) in p.blocks().iter().zip(rw.program.blocks()) {
+            assert_eq!(old.instructions(), new.original_instructions());
+        }
+    }
+
+    #[test]
+    fn mapper_follows_shifted_lines() {
+        // Two 64-byte blocks, line-aligned. Injecting 7 bytes into block 0
+        // shifts block 1 into the next line region.
+        let p = linear_program(&[64, 64]);
+        let layout = Layout::new(&p, &LayoutConfig::default());
+        let b1_old_line = layout.block_addr(BlockId::new(1)).line();
+        let mut plan = InjectionPlan::new();
+        plan.push(Injection {
+            cue: BlockId::new(0),
+            victim: CodeLoc::new(BlockId::new(1), 0),
+        });
+        let rw = rewrite(&p, &layout, &plan);
+        let b1_new_line = rw.layout.block_addr(BlockId::new(1)).line();
+        assert_eq!(rw.mapper.map(b1_old_line), b1_new_line);
+    }
+
+    #[test]
+    fn identity_rewrite_matches_layout() {
+        let p = linear_program(&[32, 16]);
+        let rw = identity_rewrite(&p, &LayoutConfig::default());
+        assert_eq!(rw.layout, Layout::new(&p, &LayoutConfig::default()));
+        assert_eq!(rw.program, p);
+    }
+}

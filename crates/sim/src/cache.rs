@@ -1,0 +1,294 @@
+//! Generic set-associative cache with pluggable replacement policy.
+
+use ripple_program::{Addr, LineAddr};
+
+use crate::config::CacheGeometry;
+use crate::policy::{AccessInfo, ReplacementPolicy, WayView};
+
+/// Outcome of one cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessOutcome {
+    /// The line was present.
+    Hit,
+    /// The line was absent and has been filled; `evicted` names the valid
+    /// line displaced by the fill, if any.
+    Miss {
+        /// Line evicted to make room, if the chosen way held one.
+        evicted: Option<LineAddr>,
+    },
+}
+
+impl AccessOutcome {
+    /// Whether this outcome is a hit.
+    #[inline]
+    pub fn is_hit(self) -> bool {
+        matches!(self, AccessOutcome::Hit)
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Way {
+    line: Option<LineAddr>,
+    prefetched: bool,
+}
+
+/// A set-associative cache of 64-byte lines, parameterized by a
+/// [`ReplacementPolicy`].
+///
+/// The cache owns placement (invalid ways are filled before the policy is
+/// asked for a victim) and exposes the `invalidate` / `demote` operations
+/// Ripple's injected instruction needs.
+#[derive(Debug)]
+pub struct Cache<P: ?Sized + ReplacementPolicy> {
+    geom: CacheGeometry,
+    ways: Vec<Way>, // sets × assoc, row-major
+    policy: Box<P>,
+}
+
+impl<P: ?Sized + ReplacementPolicy> Cache<P> {
+    /// Creates an empty cache.
+    pub fn new(geom: CacheGeometry, policy: Box<P>) -> Self {
+        let ways = vec![Way::default(); (geom.num_sets() * u64::from(geom.assoc)) as usize];
+        Cache { geom, ways, policy }
+    }
+
+    /// The cache geometry.
+    #[inline]
+    pub fn geometry(&self) -> &CacheGeometry {
+        &self.geom
+    }
+
+    /// The replacement policy.
+    #[inline]
+    pub fn policy(&self) -> &P {
+        &self.policy
+    }
+
+    /// Mutable access to the replacement policy.
+    #[inline]
+    pub fn policy_mut(&mut self) -> &mut P {
+        &mut self.policy
+    }
+
+    #[inline]
+    fn set_range(&self, set: u32) -> std::ops::Range<usize> {
+        let a = usize::from(self.geom.assoc);
+        let start = set as usize * a;
+        start..start + a
+    }
+
+    /// Whether `line` is currently cached.
+    pub fn contains(&self, line: LineAddr) -> bool {
+        let set = self.geom.set_of(line);
+        self.ways[self.set_range(set)]
+            .iter()
+            .any(|w| w.line == Some(line))
+    }
+
+    /// Number of valid lines currently cached.
+    pub fn occupancy(&self) -> usize {
+        self.ways.iter().filter(|w| w.line.is_some()).count()
+    }
+
+    /// Accesses `line`; on a miss the line is filled, evicting a victim
+    /// chosen by the policy when the set is full.
+    ///
+    /// `pc` is the fetch address responsible for the access (used by
+    /// signature/PC-indexed policies); `seq` is the global position of
+    /// this access in the request stream (used by offline-ideal policies).
+    pub fn access(&mut self, line: LineAddr, pc: Addr, is_prefetch: bool, seq: u64) -> AccessOutcome {
+        let set = self.geom.set_of(line);
+        let info = AccessInfo {
+            line,
+            set,
+            pc,
+            is_prefetch,
+            seq,
+        };
+        let range = self.set_range(set);
+
+        // Hit?
+        if let Some(off) = self.ways[range.clone()]
+            .iter()
+            .position(|w| w.line == Some(line))
+        {
+            let way = &mut self.ways[range.start + off];
+            if !is_prefetch {
+                way.prefetched = false;
+            }
+            self.policy.on_hit(&info, off);
+            return AccessOutcome::Hit;
+        }
+
+        // Fill an invalid way if one exists.
+        if let Some(off) = self.ways[range.clone()]
+            .iter()
+            .position(|w| w.line.is_none())
+        {
+            self.ways[range.start + off] = Way {
+                line: Some(line),
+                prefetched: is_prefetch,
+            };
+            self.policy.on_fill(&info, off);
+            return AccessOutcome::Miss { evicted: None };
+        }
+
+        // Ask the policy for a victim.
+        let views: Vec<WayView> = self.ways[range.clone()]
+            .iter()
+            .map(|w| WayView {
+                line: w.line.expect("set is full"),
+                prefetched: w.prefetched,
+            })
+            .collect();
+        let off = self.policy.victim(&info, &views);
+        assert!(
+            off < views.len(),
+            "policy {} returned way {off} of {}",
+            self.policy.name(),
+            views.len()
+        );
+        let evicted = self.ways[range.start + off].line;
+        if let Some(v) = evicted {
+            self.policy.on_evict(set, off, v);
+        }
+        self.ways[range.start + off] = Way {
+            line: Some(line),
+            prefetched: is_prefetch,
+        };
+        self.policy.on_fill(&info, off);
+        AccessOutcome::Miss { evicted }
+    }
+
+    /// Invalidates `line` if present; returns whether it was present.
+    pub fn invalidate(&mut self, line: LineAddr) -> bool {
+        let set = self.geom.set_of(line);
+        let range = self.set_range(set);
+        if let Some(off) = self.ways[range.clone()]
+            .iter()
+            .position(|w| w.line == Some(line))
+        {
+            self.ways[range.start + off] = Way::default();
+            self.policy.on_invalidate(set, off);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Demotes `line` to the bottom of the replacement order if present;
+    /// returns whether it was present.
+    pub fn demote(&mut self, line: LineAddr) -> bool {
+        let set = self.geom.set_of(line);
+        let range = self.set_range(set);
+        if let Some(off) = self.ways[range]
+            .iter()
+            .position(|w| w.line == Some(line))
+        {
+            self.policy.on_demote(set, off);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::LruPolicy;
+
+    fn small_cache() -> Cache<LruPolicy> {
+        // 2 sets × 2 ways.
+        let geom = CacheGeometry::new(4 * 64, 2);
+        Cache::new(geom, Box::new(LruPolicy::new(geom)))
+    }
+
+    fn l(i: u64) -> LineAddr {
+        LineAddr::new(i)
+    }
+
+    #[test]
+    fn fills_then_hits() {
+        let mut c = small_cache();
+        assert!(!c.access(l(0), Addr::new(0), false, 0).is_hit());
+        assert!(c.access(l(0), Addr::new(0), false, 1).is_hit());
+        assert_eq!(c.occupancy(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut c = small_cache();
+        // Lines 0, 2, 4 map to set 0 (2 sets).
+        c.access(l(0), Addr::new(0), false, 0);
+        c.access(l(2), Addr::new(0), false, 1);
+        c.access(l(0), Addr::new(0), false, 2); // 0 is now MRU
+        let out = c.access(l(4), Addr::new(0), false, 3);
+        assert_eq!(
+            out,
+            AccessOutcome::Miss {
+                evicted: Some(l(2))
+            }
+        );
+        assert!(c.contains(l(0)));
+        assert!(!c.contains(l(2)));
+    }
+
+    #[test]
+    fn invalidate_frees_way() {
+        let mut c = small_cache();
+        c.access(l(0), Addr::new(0), false, 0);
+        c.access(l(2), Addr::new(0), false, 1);
+        assert!(c.invalidate(l(0)));
+        assert!(!c.contains(l(0)));
+        // The next fill in set 0 must not evict line 2.
+        let out = c.access(l(4), Addr::new(0), false, 2);
+        assert_eq!(out, AccessOutcome::Miss { evicted: None });
+        assert!(c.contains(l(2)));
+    }
+
+    #[test]
+    fn invalidate_absent_line_is_noop() {
+        let mut c = small_cache();
+        assert!(!c.invalidate(l(9)));
+    }
+
+    #[test]
+    fn demote_changes_victim_order() {
+        let mut c = small_cache();
+        c.access(l(0), Addr::new(0), false, 0);
+        c.access(l(2), Addr::new(0), false, 1);
+        // MRU is 2; demote it so it becomes the next victim.
+        assert!(c.demote(l(2)));
+        let out = c.access(l(4), Addr::new(0), false, 2);
+        assert_eq!(
+            out,
+            AccessOutcome::Miss {
+                evicted: Some(l(2))
+            }
+        );
+    }
+
+    #[test]
+    fn prefetch_bit_tracks_last_filler() {
+        let mut c = small_cache();
+        c.access(l(0), Addr::new(0), true, 0);
+        // A demand hit clears the prefetched bit (observable via policy
+        // views on the next victim call; here just exercise the path).
+        assert!(c.access(l(0), Addr::new(0), false, 1).is_hit());
+    }
+
+    #[test]
+    fn sets_are_independent() {
+        let mut c = small_cache();
+        c.access(l(0), Addr::new(0), false, 0); // set 0
+        c.access(l(1), Addr::new(0), false, 1); // set 1
+        c.access(l(2), Addr::new(0), false, 2); // set 0
+        c.access(l(3), Addr::new(0), false, 3); // set 1
+        assert_eq!(c.occupancy(), 4);
+        // Filling set 0 again cannot evict set-1 lines.
+        c.access(l(4), Addr::new(0), false, 4);
+        assert!(c.contains(l(1)));
+        assert!(c.contains(l(3)));
+    }
+}

@@ -1,0 +1,274 @@
+//! Simulation configuration (the paper's Table II plus model knobs).
+
+use serde::{Deserialize, Serialize};
+
+use ripple_program::CACHE_LINE_BYTES;
+
+/// Geometry of one set-associative cache with 64-byte lines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheGeometry {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity (ways per set).
+    pub assoc: u16,
+}
+
+impl CacheGeometry {
+    /// Creates a geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity is not an exact multiple of
+    /// `assoc * CACHE_LINE_BYTES`.
+    pub fn new(size_bytes: u64, assoc: u16) -> Self {
+        let g = CacheGeometry { size_bytes, assoc };
+        assert!(g.num_sets() >= 1 && g.size_bytes.is_multiple_of(u64::from(assoc) * CACHE_LINE_BYTES));
+        g
+    }
+
+    /// Number of sets.
+    #[inline]
+    pub fn num_sets(&self) -> u64 {
+        self.size_bytes / CACHE_LINE_BYTES / u64::from(self.assoc)
+    }
+
+    /// Total number of lines.
+    #[inline]
+    pub fn num_lines(&self) -> u64 {
+        self.size_bytes / CACHE_LINE_BYTES
+    }
+
+    /// The set index a line maps to.
+    #[inline]
+    pub fn set_of(&self, line: ripple_program::LineAddr) -> u32 {
+        (line.index() % self.num_sets()) as u32
+    }
+}
+
+/// Which hardware instruction prefetcher runs alongside the L1I (§II-C).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PrefetcherKind {
+    /// No prefetching (the paper's baseline configuration).
+    #[default]
+    None,
+    /// Next-line prefetcher (NLP): on a demand access to line `X`,
+    /// prefetch `X + 1`.
+    NextLine,
+    /// Fetch-directed instruction prefetching: a decoupled, branch-
+    /// predictor-guided runahead frontend with a fetch target queue.
+    Fdip,
+}
+
+impl PrefetcherKind {
+    /// Display name as used in figure captions.
+    pub fn name(self) -> &'static str {
+        match self {
+            PrefetcherKind::None => "no-prefetch",
+            PrefetcherKind::NextLine => "nlp",
+            PrefetcherKind::Fdip => "fdip",
+        }
+    }
+}
+
+/// Which replacement policy manages the L1I (§II-D).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PolicyKind {
+    /// Least-recently-used (true LRU ordering).
+    #[default]
+    Lru,
+    /// Tree pseudo-LRU (the 1-bit-per-line hardware approximation of
+    /// Table I's LRU row).
+    TreePlru,
+    /// Uniform random victim (zero metadata).
+    Random,
+    /// Static re-reference interval prediction.
+    Srrip,
+    /// Dynamic RRIP with set dueling.
+    Drrip,
+    /// Global-history reuse predictor (the only prior I-cache-specific
+    /// policy), with the confidence fix described in §II-D.
+    Ghrp,
+    /// Hawkeye: PC classification against simulated Belady-OPT.
+    Hawkeye,
+    /// Harmony: prefetch-aware Hawkeye (Demand-MIN-based training).
+    Harmony,
+    /// Offline Belady-OPT (ideal, demand-only): upper bound without
+    /// prefetch awareness.
+    Opt,
+    /// Offline revised Demand-MIN (ideal, prefetch-aware): the paper's
+    /// "ideal replacement policy".
+    DemandMin,
+}
+
+impl PolicyKind {
+    /// Display name as used in figure captions.
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyKind::Lru => "lru",
+            PolicyKind::TreePlru => "tree-plru",
+            PolicyKind::Random => "random",
+            PolicyKind::Srrip => "srrip",
+            PolicyKind::Drrip => "drrip",
+            PolicyKind::Ghrp => "ghrp",
+            PolicyKind::Hawkeye => "hawkeye",
+            PolicyKind::Harmony => "harmony",
+            PolicyKind::Opt => "opt",
+            PolicyKind::DemandMin => "demand-min",
+        }
+    }
+
+    /// Whether the policy requires offline future knowledge (two-pass
+    /// simulation).
+    pub fn is_offline_ideal(self) -> bool {
+        matches!(self, PolicyKind::Opt | PolicyKind::DemandMin)
+    }
+}
+
+/// How an executed `invalidate` instruction acts on the L1I (§IV,
+/// "Invalidation vs. reducing LRU priority").
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EvictionMechanism {
+    /// Invalidate the line outright (works with any underlying policy).
+    #[default]
+    Invalidate,
+    /// Demote the line to the bottom of the replacement order, letting the
+    /// next fill evict it (LRU-specific optimization).
+    Demote,
+    /// Execute injected instructions as no-ops: isolates the code-bloat
+    /// cost of injection from the replacement benefit (ablation).
+    NoOp,
+}
+
+/// Full simulator configuration.
+///
+/// Defaults reproduce the paper's Table II: Haswell-class latencies, a
+/// 32 KiB / 8-way L1I, 1 MB / 16-way L2 and 10 MiB / 20-way L3.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// L1 instruction cache geometry.
+    pub l1i: CacheGeometry,
+    /// Unified L2 geometry.
+    pub l2: CacheGeometry,
+    /// Shared L3 geometry.
+    pub l3: CacheGeometry,
+    /// L1I hit latency in cycles.
+    pub l1i_latency: u32,
+    /// L2 hit latency in cycles.
+    pub l2_latency: u32,
+    /// L3 hit latency in cycles.
+    pub l3_latency: u32,
+    /// Memory latency in cycles.
+    pub mem_latency: u32,
+    /// Base cycles per instruction with a perfect frontend (models the
+    /// backend of the out-of-order core).
+    pub base_cpi: f64,
+    /// Fraction of a demand-miss latency exposed as pipeline stall (the
+    /// out-of-order window hides the rest).
+    pub stall_exposure: f64,
+    /// Instruction prefetcher.
+    pub prefetcher: PrefetcherKind,
+    /// L1I replacement policy.
+    pub policy: PolicyKind,
+    /// Seed for the random replacement policy.
+    pub random_seed: u64,
+    /// Fetch target queue depth (blocks of runahead) for FDIP.
+    pub ftq_depth: usize,
+    /// Prefetch timeliness window, in executed blocks: a demand access to
+    /// a line whose prefetch was issued fewer than this many blocks
+    /// earlier pays the still-outstanding fraction of the L2 latency (a
+    /// prefetch issued one block ahead hides almost nothing).
+    pub prefetch_timeliness_blocks: u32,
+    /// How executed `invalidate` instructions act on the cache.
+    pub eviction_mechanism: EvictionMechanism,
+    /// Fraction of the trace treated as cache warmup: the simulation runs
+    /// normally but statistics only accumulate afterwards. The paper
+    /// traces 100 M steady-state instructions where compulsory misses are
+    /// negligible (§II-D measures 0.16 compulsory MPKI); warmup removes
+    /// the first-touch bias of our shorter traces.
+    pub warmup_fraction: f64,
+    /// Record the L1I eviction log (needed by Ripple's analysis).
+    pub record_evictions: bool,
+    /// Scripted invalidations: `(trace_pos, line)` pairs, sorted by
+    /// position, applied *before* the block at that position executes.
+    /// This models a perfect software-eviction oracle with zero code
+    /// bloat — the upper bound of Ripple's mechanism — and is used by the
+    /// ablation benches and tests.
+    #[serde(skip)]
+    pub scripted_invalidations: Option<std::sync::Arc<Vec<(u32, ripple_program::LineAddr)>>>,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            l1i: CacheGeometry::new(32 * 1024, 8),
+            l2: CacheGeometry::new(1024 * 1024, 16),
+            l3: CacheGeometry::new(10 * 1024 * 1024, 20),
+            l1i_latency: 3,
+            l2_latency: 12,
+            l3_latency: 36,
+            mem_latency: 260,
+            base_cpi: 0.5,
+            stall_exposure: 0.6,
+            prefetcher: PrefetcherKind::None,
+            policy: PolicyKind::Lru,
+            random_seed: 0x9e37_79b9,
+            ftq_depth: 12,
+            prefetch_timeliness_blocks: 2,
+            eviction_mechanism: EvictionMechanism::Invalidate,
+            warmup_fraction: 0.25,
+            record_evictions: false,
+            scripted_invalidations: None,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Convenience: this configuration with a different policy.
+    pub fn with_policy(mut self, policy: PolicyKind) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Convenience: this configuration with a different prefetcher.
+    pub fn with_prefetcher(mut self, prefetcher: PrefetcherKind) -> Self {
+        self.prefetcher = prefetcher;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ripple_program::LineAddr;
+
+    #[test]
+    fn table_ii_geometries() {
+        let c = SimConfig::default();
+        assert_eq!(c.l1i.num_sets(), 64);
+        assert_eq!(c.l1i.num_lines(), 512);
+        assert_eq!(c.l2.num_sets(), 1024);
+        assert_eq!(c.l3.num_sets(), 8192);
+    }
+
+    #[test]
+    fn set_mapping_wraps() {
+        let g = CacheGeometry::new(32 * 1024, 8);
+        assert_eq!(g.set_of(LineAddr::new(0)), 0);
+        assert_eq!(g.set_of(LineAddr::new(63)), 63);
+        assert_eq!(g.set_of(LineAddr::new(64)), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_geometry_rejected() {
+        let _ = CacheGeometry::new(1000, 8);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(PolicyKind::DemandMin.name(), "demand-min");
+        assert_eq!(PrefetcherKind::Fdip.name(), "fdip");
+        assert!(PolicyKind::Opt.is_offline_ideal());
+        assert!(!PolicyKind::Lru.is_offline_ideal());
+    }
+}

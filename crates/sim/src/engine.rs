@@ -1,0 +1,262 @@
+//! The trace-driven simulation engine.
+//!
+//! Online policies run in a single pass. Offline-ideal policies (OPT,
+//! Demand-MIN) run in two: a recording pass captures the L1I request
+//! stream — which is replacement-policy-independent, because prefetcher
+//! and branch-predictor state never observe cache contents — a
+//! [`FutureIndex`] is built from it, and the replay pass re-runs the
+//! frontend with the oracle policy.
+
+use ripple_program::{Layout, Program};
+use ripple_trace::BbTrace;
+
+use crate::config::{PolicyKind, SimConfig};
+use crate::frontend::Frontend;
+use crate::policy::{build_ideal_policy, build_policy, FutureIndex, LruPolicy};
+use crate::stats::{EvictionEvent, SimStats};
+
+/// Result of one simulation.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Aggregate counters and timing.
+    pub stats: SimStats,
+    /// L1I eviction log (present when `config.record_evictions`).
+    pub evictions: Option<Vec<EvictionEvent>>,
+}
+
+/// Simulates `trace` of `program` under `config`.
+///
+/// # Examples
+///
+/// ```
+/// use ripple_program::{Layout, LayoutConfig};
+/// use ripple_sim::{simulate, PolicyKind, SimConfig};
+/// use ripple_workloads::{execute, generate, AppSpec, InputConfig};
+///
+/// let app = generate(&AppSpec::tiny(1));
+/// let layout = Layout::new(&app.program, &LayoutConfig::default());
+/// let trace = execute(&app.program, &app.model, InputConfig::training(1), 20_000);
+///
+/// let lru = simulate(&app.program, &layout, &trace, &SimConfig::default());
+/// let opt = simulate(
+///     &app.program,
+///     &layout,
+///     &trace,
+///     &SimConfig::default().with_policy(PolicyKind::Opt),
+/// );
+/// assert!(opt.stats.demand_misses <= lru.stats.demand_misses);
+/// ```
+pub fn simulate(
+    program: &Program,
+    layout: &Layout,
+    trace: &BbTrace,
+    config: &SimConfig,
+) -> SimResult {
+    if config.policy.is_offline_ideal() {
+        return simulate_ideal(program, layout, trace, config);
+    }
+    let policy = build_policy(config);
+    let fe = Frontend::new(program, layout, config, policy, false, None);
+    let (stats, evictions, _) = fe.run(trace.iter());
+    SimResult { stats, evictions }
+}
+
+fn simulate_ideal(
+    program: &Program,
+    layout: &Layout,
+    trace: &BbTrace,
+    config: &SimConfig,
+) -> SimResult {
+    // Pass 1: record the request stream under a throwaway LRU.
+    let recorder = Frontend::new(
+        program,
+        layout,
+        config,
+        Box::new(LruPolicy::new(config.l1i)),
+        true,
+        None,
+    );
+    let (_, _, stream) = recorder.run(trace.iter());
+    let stream = stream.expect("recording pass returns a stream");
+    let future = FutureIndex::build(&stream);
+
+    // Pass 2: replay with the oracle.
+    let policy = build_ideal_policy(config.policy, config.l1i, future);
+    let fe = Frontend::new(program, layout, config, policy, false, Some(&stream));
+    let (stats, evictions, _) = fe.run(trace.iter());
+    SimResult { stats, evictions }
+}
+
+/// Statistics for the paper's *ideal I-cache* (no misses at all): every
+/// fetch hits, so cycles are purely `instructions × base_cpi`. This is
+/// the Fig. 1 upper bound.
+pub fn simulate_ideal_cache(program: &Program, trace: &BbTrace, config: &SimConfig) -> SimStats {
+    let warmup = (trace.len() as f64 * config.warmup_fraction.clamp(0.0, 0.9)) as usize;
+    let mut stats = SimStats {
+        blocks: (trace.len() - warmup) as u64,
+        ..SimStats::default()
+    };
+    for block in trace.iter().skip(warmup) {
+        let bb = program.block(block);
+        stats.instructions += bb.original_instructions().len() as u64;
+        stats.invalidate_instructions += u64::from(bb.injected_prefix_len());
+    }
+    let total = stats.instructions + stats.invalidate_instructions;
+    stats.cycles = total as f64 * config.base_cpi;
+    stats
+}
+
+/// Convenience: run the baseline configuration (LRU, chosen prefetcher)
+/// and an ideal-replacement configuration, returning `(baseline, ideal)`.
+///
+/// The ideal oracle is prefetch-aware ([`PolicyKind::DemandMin`]) whenever
+/// a prefetcher is active, matching §II-C, and plain OPT otherwise.
+pub fn baseline_and_ideal(
+    program: &Program,
+    layout: &Layout,
+    trace: &BbTrace,
+    config: &SimConfig,
+) -> (SimResult, SimResult) {
+    let base_cfg = config.clone().with_policy(PolicyKind::Lru);
+    let ideal_kind = if config.prefetcher == crate::config::PrefetcherKind::None {
+        PolicyKind::Opt
+    } else {
+        PolicyKind::DemandMin
+    };
+    let ideal_cfg = config.clone().with_policy(ideal_kind);
+    (
+        simulate(program, layout, trace, &base_cfg),
+        simulate(program, layout, trace, &ideal_cfg),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PrefetcherKind;
+    use ripple_program::LayoutConfig;
+    use ripple_workloads::{execute, generate, AppSpec, InputConfig};
+
+    fn small_setup() -> (ripple_program::Program, Layout, BbTrace) {
+        let app = generate(&AppSpec::tiny(5));
+        let layout = Layout::new(&app.program, &LayoutConfig::default());
+        let trace = execute(&app.program, &app.model, InputConfig::training(5), 40_000);
+        (app.program, layout, trace)
+    }
+
+    /// The tiny app fits in a 32 KB L1I; shrink it so misses happen after
+    /// warmup.
+    fn small_cfg() -> SimConfig {
+        let mut cfg = SimConfig::default();
+        cfg.l1i = crate::config::CacheGeometry::new(1024, 2);
+        cfg
+    }
+
+    #[test]
+    fn lru_simulation_produces_sane_stats() {
+        let (p, l, t) = small_setup();
+        let r = simulate(&p, &l, &t, &SimConfig::default());
+        // Statistics only accumulate after the warmup fraction.
+        let warmup = (t.len() as f64 * SimConfig::default().warmup_fraction) as u64;
+        assert_eq!(r.stats.blocks, t.len() as u64 - warmup);
+        assert!(r.stats.instructions >= 40_000 / 2);
+        assert!(r.stats.demand_accesses > 0);
+        assert!(r.stats.demand_misses <= r.stats.demand_accesses);
+        assert!(r.stats.cycles > 0.0);
+        assert!(r.stats.ipc() > 0.0);
+    }
+
+    #[test]
+    fn opt_never_loses_to_lru() {
+        let (p, l, t) = small_setup();
+        let lru = simulate(&p, &l, &t, &small_cfg());
+        let opt = simulate(&p, &l, &t, &small_cfg().with_policy(PolicyKind::Opt));
+        assert!(opt.stats.demand_misses <= lru.stats.demand_misses);
+        assert!(lru.stats.demand_misses > 0, "workload must miss");
+    }
+
+    #[test]
+    fn prefetching_reduces_misses() {
+        let (p, l, t) = small_setup();
+        let none = simulate(&p, &l, &t, &small_cfg());
+        let nlp = simulate(
+            &p,
+            &l,
+            &t,
+            &small_cfg().with_prefetcher(PrefetcherKind::NextLine),
+        );
+        let fdip = simulate(
+            &p,
+            &l,
+            &t,
+            &small_cfg().with_prefetcher(PrefetcherKind::Fdip),
+        );
+        assert!(nlp.stats.demand_misses < none.stats.demand_misses);
+        assert!(fdip.stats.demand_misses < none.stats.demand_misses);
+        assert!(nlp.stats.prefetches_issued > 0);
+        assert!(fdip.stats.prefetches_issued > 0);
+    }
+
+    #[test]
+    fn demand_min_never_loses_to_lru_under_prefetching(){
+        let (p, l, t) = small_setup();
+        for pf in [PrefetcherKind::NextLine, PrefetcherKind::Fdip] {
+            let cfg = small_cfg().with_prefetcher(pf);
+            let lru = simulate(&p, &l, &t, &cfg);
+            let dm = simulate(&p, &l, &t, &cfg.clone().with_policy(PolicyKind::DemandMin));
+            assert!(
+                dm.stats.demand_misses <= lru.stats.demand_misses,
+                "{}: {} > {}",
+                pf.name(),
+                dm.stats.demand_misses,
+                lru.stats.demand_misses
+            );
+        }
+    }
+
+    #[test]
+    fn ideal_cache_bounds_everything() {
+        let (p, l, t) = small_setup();
+        let cfg = small_cfg();
+        let ideal = simulate_ideal_cache(&p, &t, &cfg);
+        let lru = simulate(&p, &l, &t, &cfg);
+        assert!(ideal.cycles < lru.stats.cycles);
+        assert_eq!(ideal.demand_misses, 0);
+        assert_eq!(ideal.instructions, lru.stats.instructions);
+    }
+
+    #[test]
+    fn eviction_log_is_recorded_when_asked() {
+        let (p, l, t) = small_setup();
+        let mut cfg = SimConfig::default();
+        // The tiny app fits in a 32 KB L1I; shrink it so evictions happen.
+        cfg.l1i = crate::config::CacheGeometry::new(1024, 2);
+        cfg.record_evictions = true;
+        let r = simulate(&p, &l, &t, &cfg);
+        let log = r.evictions.expect("eviction log");
+        // The log records warmup evictions too (the analysis wants them);
+        // the counter only accumulates post-warmup.
+        assert!(log.len() as u64 >= r.stats.evictions);
+        assert!(!log.is_empty());
+        for w in log.windows(2) {
+            assert!(w[0].evict_pos <= w[1].evict_pos, "log must be ordered");
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let (p, l, t) = small_setup();
+        let cfg = small_cfg().with_prefetcher(PrefetcherKind::Fdip);
+        let a = simulate(&p, &l, &t, &cfg);
+        let b = simulate(&p, &l, &t, &cfg);
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn baseline_and_ideal_picks_demand_min_under_prefetching() {
+        let (p, l, t) = small_setup();
+        let cfg = small_cfg().with_prefetcher(PrefetcherKind::Fdip);
+        let (base, ideal) = baseline_and_ideal(&p, &l, &t, &cfg);
+        assert!(ideal.stats.demand_misses <= base.stats.demand_misses);
+    }
+}

@@ -1,0 +1,360 @@
+//! The instruction-supply frontend: demand fetch, prefetching, the
+//! `invalidate` instruction, and the stall-based timing model.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use ripple_program::{BlockId, InstKind, Layout, LineAddr, Program};
+
+use crate::bpred::{BranchPredictor, Prediction};
+use crate::cache::Cache;
+use crate::config::{EvictionMechanism, PrefetcherKind, SimConfig};
+use crate::policy::{LruPolicy, ReplacementPolicy, StreamRecord};
+use crate::stats::{EvictionEvent, SimStats};
+
+/// Dedup window for issued prefetches (a real FDIP filters against the
+/// in-flight queue; this models that cheaply and, crucially, in a way that
+/// does not depend on cache contents so the request stream stays
+/// replacement-policy-independent).
+const PREFETCH_FILTER: usize = 32;
+
+/// One frontend simulation over a block trace.
+pub(crate) struct Frontend<'a> {
+    program: &'a Program,
+    layout: &'a Layout,
+    config: &'a SimConfig,
+    l1i: Cache<dyn ReplacementPolicy>,
+    l2: Cache<dyn ReplacementPolicy>,
+    l3: Cache<dyn ReplacementPolicy>,
+    bpred: BranchPredictor,
+    ftq: VecDeque<BlockId>,
+    frontier: Option<BlockId>,
+    prefetch_filter: VecDeque<LineAddr>,
+    stats: SimStats,
+    stall_cycles: f64,
+    seq: u64,
+    /// When recording: the captured request stream.
+    record: Option<Vec<StreamRecord>>,
+    /// When verifying a replay: the previously captured stream.
+    verify: Option<&'a [StreamRecord]>,
+    evictions: Option<Vec<EvictionEvent>>,
+    last_demand_pos: HashMap<LineAddr, u32>,
+    /// Trace position of each line's oldest unconsumed prefetch *issue*.
+    /// Timeliness charges key on the issue stream, which is replacement-
+    /// policy-independent, so policy orderings are preserved: a demand
+    /// hit may pay at most the partial L2 latency, which never exceeds
+    /// the full charge the same access would pay as a miss.
+    prefetch_issue_pos: HashMap<LineAddr, u32>,
+    seen_lines: HashSet<LineAddr>,
+    prev_block: Option<BlockId>,
+    trace_pos: u32,
+    script_cursor: usize,
+    warmup_until: u32,
+}
+
+impl<'a> Frontend<'a> {
+    pub(crate) fn new(
+        program: &'a Program,
+        layout: &'a Layout,
+        config: &'a SimConfig,
+        l1i_policy: Box<dyn ReplacementPolicy>,
+        record: bool,
+        verify: Option<&'a [StreamRecord]>,
+    ) -> Self {
+        // Steady-state assumption: the application has executed long
+        // before the measured window, so its text is resident in the last
+        // level cache (the paper's 100 M-instruction steady-state traces
+        // imply the same). First touches then cost an L3 hit, not DRAM.
+        let mut l3: Cache<dyn ReplacementPolicy> =
+            Cache::new(config.l3, Box::new(LruPolicy::new(config.l3)));
+        for block in program.blocks() {
+            for line in layout.lines_of_block(block.id()) {
+                l3.access(line, line.base_addr(), false, 0);
+            }
+        }
+        Frontend {
+            program,
+            layout,
+            config,
+            l1i: Cache::new(config.l1i, l1i_policy),
+            l2: Cache::new(config.l2, Box::new(LruPolicy::new(config.l2))),
+            l3,
+            bpred: BranchPredictor::new(),
+            ftq: VecDeque::new(),
+            frontier: None,
+            prefetch_filter: VecDeque::with_capacity(PREFETCH_FILTER),
+            stats: SimStats::default(),
+            stall_cycles: 0.0,
+            seq: 0,
+            record: record.then(Vec::new),
+            verify,
+            evictions: config.record_evictions.then(Vec::new),
+            last_demand_pos: HashMap::new(),
+            prefetch_issue_pos: HashMap::new(),
+            seen_lines: HashSet::new(),
+            prev_block: None,
+            trace_pos: 0,
+            script_cursor: 0,
+            warmup_until: 0,
+        }
+    }
+
+    /// Runs the whole trace; returns (stats, eviction log, request stream).
+    ///
+    /// The first `warmup_fraction` of the trace updates all architectural
+    /// state but accumulates no statistics.
+    pub(crate) fn run(
+        mut self,
+        trace: impl ExactSizeIterator<Item = BlockId>,
+    ) -> (SimStats, Option<Vec<EvictionEvent>>, Option<Vec<StreamRecord>>) {
+        let len = trace.len() as u64;
+        self.warmup_until = (len as f64 * self.config.warmup_fraction.clamp(0.0, 0.9)) as u32;
+        let mut counted_blocks = 0u64;
+        for block in trace {
+            self.step(block);
+            if self.trace_pos >= self.warmup_until {
+                counted_blocks += 1;
+            }
+            self.trace_pos += 1;
+        }
+        let total_instr = self.stats.instructions + self.stats.invalidate_instructions;
+        self.stats.blocks = counted_blocks;
+        self.stats.cycles = total_instr as f64 * self.config.base_cpi + self.stall_cycles;
+        (self.stats, self.evictions, self.record)
+    }
+
+    #[inline]
+    fn counting(&self) -> bool {
+        self.trace_pos >= self.warmup_until
+    }
+
+    fn step(&mut self, block: BlockId) {
+        // 0. Scripted (oracle) invalidations scheduled for this position
+        // apply before the block executes.
+        if let Some(script) = self.config.scripted_invalidations.clone() {
+            while let Some(&(pos, line)) = script.get(self.script_cursor) {
+                if pos > self.trace_pos {
+                    break;
+                }
+                self.script_cursor += 1;
+                if pos == self.trace_pos && self.l1i.invalidate(line) {
+                    self.stats.invalidate_hits += 1;
+                }
+            }
+        }
+
+        // 1. FDIP bookkeeping: consume or squash the FTQ, train predictor.
+        if self.config.prefetcher == PrefetcherKind::Fdip {
+            if let Some(prev) = self.prev_block {
+                let correct = self.bpred.train(self.program, self.layout, prev, block);
+                if !correct && self.counting() {
+                    self.stats.mispredictions += 1;
+                }
+            }
+            match self.ftq.front() {
+                Some(&head) if head == block => {
+                    self.ftq.pop_front();
+                }
+                Some(_) => {
+                    // Runahead went down the wrong path: squash.
+                    self.ftq.clear();
+                    self.frontier = None;
+                    self.bpred.reset_speculation();
+                }
+                None => {}
+            }
+        }
+        self.prev_block = Some(block);
+
+        // 2. Demand-fetch the block's lines.
+        let bb = self.program.block(block);
+        let pc = self.layout.block_addr(block);
+        if self.counting() {
+            self.stats.instructions += bb.original_instructions().len() as u64;
+            self.stats.invalidate_instructions += u64::from(bb.injected_prefix_len());
+        }
+        let lines: Vec<LineAddr> = self.layout.lines_of_block(block).collect();
+        for &line in &lines {
+            self.demand_access(line, pc);
+        }
+
+        // 3. Prefetching.
+        match self.config.prefetcher {
+            PrefetcherKind::None => {}
+            PrefetcherKind::NextLine => {
+                for &line in &lines {
+                    self.issue_prefetch(line.next(), pc);
+                }
+            }
+            PrefetcherKind::Fdip => self.extend_runahead(block),
+        }
+
+        // 4. Execute injected invalidations (they sit at the block head;
+        // cache effects apply once the block is fetched and executed).
+        for inst in &bb.instructions()[..bb.injected_prefix_len() as usize] {
+            if let InstKind::Invalidate { line } = inst.kind() {
+                let present = match self.config.eviction_mechanism {
+                    EvictionMechanism::Invalidate => self.l1i.invalidate(line),
+                    EvictionMechanism::Demote => self.l1i.demote(line),
+                    EvictionMechanism::NoOp => false,
+                };
+                if present && self.counting() {
+                    self.stats.invalidate_hits += 1;
+                }
+            }
+        }
+    }
+
+    fn next_seq(&mut self, line: LineAddr, is_prefetch: bool) -> u64 {
+        let seq = self.seq;
+        self.seq += 1;
+        if let Some(rec) = &mut self.record {
+            rec.push(StreamRecord { line, is_prefetch });
+        }
+        if let Some(stream) = self.verify {
+            debug_assert!(
+                stream
+                    .get(seq as usize)
+                    .is_some_and(|r| r.line == line && r.is_prefetch == is_prefetch),
+                "replay diverged from recorded stream at seq {seq}"
+            );
+        }
+        seq
+    }
+
+    fn demand_access(&mut self, line: LineAddr, pc: ripple_program::Addr) {
+        let seq = self.next_seq(line, false);
+        let counting = self.counting();
+        if counting {
+            self.stats.demand_accesses += 1;
+        }
+        let out = self.l1i.access(line, pc, false, seq);
+        // Timeliness: the first demand use after a prefetch issue pays the
+        // fraction of the fill latency the runahead distance failed to
+        // hide (a miss pays the full charge below instead).
+        if let Some(issue_pos) = self.prefetch_issue_pos.remove(&line) {
+            if out.is_hit() && counting {
+                let window = self.config.prefetch_timeliness_blocks;
+                let elapsed = self.trace_pos.saturating_sub(issue_pos);
+                if elapsed < window && window > 0 {
+                    let remaining = f64::from(window - elapsed) / f64::from(window);
+                    self.stall_cycles += f64::from(self.config.l2_latency)
+                        * remaining
+                        * self.config.stall_exposure;
+                }
+            }
+        }
+        match out {
+            crate::cache::AccessOutcome::Hit => {}
+            crate::cache::AccessOutcome::Miss { evicted } => {
+                let first_touch = self.seen_lines.insert(line);
+                let latency = self.lower_levels(line);
+                if counting {
+                    self.stats.demand_misses += 1;
+                    if first_touch {
+                        self.stats.compulsory_misses += 1;
+                    }
+                    self.stall_cycles += f64::from(latency) * self.config.stall_exposure;
+                }
+                self.note_eviction(evicted, false);
+            }
+        }
+        self.last_demand_pos.insert(line, self.trace_pos);
+    }
+
+    fn issue_prefetch(&mut self, line: LineAddr, pc: ripple_program::Addr) {
+        if self.prefetch_filter.contains(&line) {
+            return;
+        }
+        if self.prefetch_filter.len() == PREFETCH_FILTER {
+            self.prefetch_filter.pop_front();
+        }
+        self.prefetch_filter.push_back(line);
+
+        let seq = self.next_seq(line, true);
+        if self.counting() {
+            self.stats.prefetches_issued += 1;
+        }
+        self.prefetch_issue_pos.entry(line).or_insert(self.trace_pos);
+        let out = self.l1i.access(line, pc, true, seq);
+        if let crate::cache::AccessOutcome::Miss { evicted } = out {
+            if self.counting() {
+                self.stats.prefetch_fills += 1;
+            }
+            self.seen_lines.insert(line);
+            // Prefetch latency is off the critical path; still warms L2/L3.
+            let _ = self.lower_levels(line);
+            self.note_eviction(evicted, true);
+        }
+    }
+
+    fn note_eviction(&mut self, evicted: Option<LineAddr>, by_prefetch: bool) {
+        let Some(victim) = evicted else { return };
+        let last = self.last_demand_pos.get(&victim).copied();
+        if self.counting() {
+            self.stats.evictions += 1;
+            if last.is_none() {
+                self.stats.prefetch_pollution_evictions += 1;
+            }
+        }
+        if let Some(log) = &mut self.evictions {
+            log.push(EvictionEvent {
+                victim,
+                evict_pos: self.trace_pos,
+                last_access_pos: last.unwrap_or(u32::MAX),
+                by_prefetch,
+            });
+        }
+    }
+
+    /// Looks `line` up in L2 then L3, filling on the way; returns the
+    /// latency of the serving level.
+    fn lower_levels(&mut self, line: LineAddr) -> u32 {
+        let pc = line.base_addr();
+        let counting = self.counting();
+        let l2_hit = self.l2.access(line, pc, false, 0).is_hit();
+        if l2_hit {
+            if counting {
+                self.stats.served_l2 += 1;
+            }
+            return self.config.l2_latency;
+        }
+        let l3_hit = self.l3.access(line, pc, false, 0).is_hit();
+        if l3_hit {
+            if counting {
+                self.stats.served_l3 += 1;
+            }
+            self.config.l3_latency
+        } else {
+            if counting {
+                self.stats.served_mem += 1;
+            }
+            self.config.mem_latency
+        }
+    }
+
+    /// FDIP: follow the predicted path up to the FTQ depth, prefetching
+    /// each predicted block's lines.
+    fn extend_runahead(&mut self, current: BlockId) {
+        if self.ftq.is_empty() && self.frontier.is_none() {
+            self.frontier = Some(current);
+        }
+        while self.ftq.len() < self.config.ftq_depth {
+            let from = match self.frontier {
+                Some(f) => f,
+                None => break,
+            };
+            match self.bpred.predict(self.program, self.layout, from) {
+                Prediction::Block(next) => {
+                    self.ftq.push_back(next);
+                    self.frontier = Some(next);
+                    let pc = self.layout.block_addr(next);
+                    let lines: Vec<LineAddr> = self.layout.lines_of_block(next).collect();
+                    for line in lines {
+                        self.issue_prefetch(line, pc);
+                    }
+                }
+                Prediction::Unknown => break,
+            }
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Trace-driven CPU frontend and I-cache simulator for the Ripple
+//! reproduction (the paper's modified-ZSim substrate, rebuilt in Rust).
+//!
+//! The crate provides:
+//!
+//! * a set-associative [`Cache`] with a pluggable [`ReplacementPolicy`];
+//! * every policy from the paper's §II-D ([`LruPolicy`], [`RandomPolicy`],
+//!   [`SrripPolicy`], [`DrripPolicy`], [`GhrpPolicy`], [`HawkeyePolicy`] /
+//!   Harmony) plus the offline ideals [`OptPolicy`] and
+//!   [`DemandMinPolicy`];
+//! * instruction prefetchers (next-line and FDIP with a gshare/BTB/RAS
+//!   [`BranchPredictor`] and a fetch target queue);
+//! * a frontend timing model charging demand-miss stalls through a
+//!   simulated L2/L3 (Table II latencies);
+//! * the `invalidate` instruction Ripple injects (invalidate or
+//!   LRU-demote semantics).
+//!
+//! Entry points: [`simulate`], [`simulate_ideal_cache`],
+//! [`baseline_and_ideal`].
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod bpred;
+mod cache;
+mod config;
+mod engine;
+mod frontend;
+pub mod policy;
+mod stats;
+
+pub use bpred::{BranchPredictor, Prediction};
+pub use cache::{AccessOutcome, Cache};
+pub use config::{
+    CacheGeometry, EvictionMechanism, PolicyKind, PrefetcherKind, SimConfig,
+};
+pub use engine::{baseline_and_ideal, simulate, simulate_ideal_cache, SimResult};
+pub use policy::{
+    build_ideal_policy, build_policy, AccessInfo, DemandMinPolicy, DrripPolicy, FutureIndex,
+    GhrpPolicy, HawkeyePolicy, LruPolicy, OptPolicy, RandomPolicy, ReplacementPolicy,
+    SrripPolicy, StreamRecord, TreePlruPolicy, WayView, NEVER,
+};
+pub use stats::{EvictionEvent, SimStats};

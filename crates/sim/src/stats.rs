@@ -1,0 +1,172 @@
+//! Simulation statistics.
+
+use serde::{Deserialize, Serialize};
+
+use ripple_program::LineAddr;
+
+/// An eviction observed in the L1I, recorded for Ripple's offline
+/// analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EvictionEvent {
+    /// The evicted (victim) line.
+    pub victim: LineAddr,
+    /// Index into the block trace when the eviction happened.
+    pub evict_pos: u32,
+    /// Index into the block trace of the victim's last demand access
+    /// before the eviction (`u32::MAX` when the line was never demand
+    /// accessed, e.g. an unused prefetch).
+    pub last_access_pos: u32,
+    /// Whether the fill that triggered the eviction was a prefetch.
+    pub by_prefetch: bool,
+}
+
+/// Counters produced by one simulation run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SimStats {
+    /// Executed blocks.
+    pub blocks: u64,
+    /// Executed original (non-injected) instructions.
+    pub instructions: u64,
+    /// Executed injected `invalidate` instructions.
+    pub invalidate_instructions: u64,
+    /// Estimated cycles (timing model of §IV).
+    pub cycles: f64,
+    /// L1I demand accesses.
+    pub demand_accesses: u64,
+    /// L1I demand misses.
+    pub demand_misses: u64,
+    /// Demand misses to lines never seen before (compulsory).
+    pub compulsory_misses: u64,
+    /// Demand misses served by the L2.
+    pub served_l2: u64,
+    /// Demand misses served by the L3.
+    pub served_l3: u64,
+    /// Demand misses served by memory.
+    pub served_mem: u64,
+    /// Prefetch requests issued.
+    pub prefetches_issued: u64,
+    /// Prefetch requests that filled the L1I (missed there).
+    pub prefetch_fills: u64,
+    /// Valid-line evictions in the L1I.
+    pub evictions: u64,
+    /// Evictions whose victim was an unused prefetch.
+    pub prefetch_pollution_evictions: u64,
+    /// `invalidate` executions that found their line present.
+    pub invalidate_hits: u64,
+    /// Mispredicted block transitions (squashes the FDIP runahead).
+    pub mispredictions: u64,
+}
+
+impl SimStats {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        let total = self.instructions + self.invalidate_instructions;
+        if self.cycles == 0.0 {
+            0.0
+        } else {
+            total as f64 / self.cycles
+        }
+    }
+
+    /// Demand misses per kilo-instruction (counting every executed
+    /// instruction, injected ones included, as the paper does).
+    pub fn mpki(&self) -> f64 {
+        let total = self.instructions + self.invalidate_instructions;
+        if total == 0 {
+            0.0
+        } else {
+            self.demand_misses as f64 * 1000.0 / total as f64
+        }
+    }
+
+    /// Compulsory misses per kilo-instruction (§II-D's scan test).
+    pub fn compulsory_mpki(&self) -> f64 {
+        let total = self.instructions + self.invalidate_instructions;
+        if total == 0 {
+            0.0
+        } else {
+            self.compulsory_misses as f64 * 1000.0 / total as f64
+        }
+    }
+
+    /// Speedup of this run over `baseline`, in percent.
+    ///
+    /// Both runs must execute the same original workload (the same block
+    /// trace); the comparison is on total cycles, so a run that injects
+    /// extra instructions pays for them rather than inflating its IPC.
+    pub fn speedup_pct_over(&self, baseline: &SimStats) -> f64 {
+        if self.cycles == 0.0 {
+            return 0.0;
+        }
+        (baseline.cycles / self.cycles - 1.0) * 100.0
+    }
+
+    /// Miss reduction relative to `baseline`, in percent.
+    pub fn miss_reduction_pct_over(&self, baseline: &SimStats) -> f64 {
+        if baseline.demand_misses == 0 {
+            0.0
+        } else {
+            (1.0 - self.demand_misses as f64 / baseline.demand_misses as f64) * 100.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_metrics() {
+        let s = SimStats {
+            instructions: 10_000,
+            invalidate_instructions: 0,
+            cycles: 5_000.0,
+            demand_misses: 50,
+            compulsory_misses: 5,
+            ..SimStats::default()
+        };
+        assert!((s.ipc() - 2.0).abs() < 1e-12);
+        assert!((s.mpki() - 5.0).abs() < 1e-12);
+        assert!((s.compulsory_mpki() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speedup_and_miss_reduction() {
+        let base = SimStats {
+            instructions: 1000,
+            cycles: 1000.0,
+            demand_misses: 100,
+            ..SimStats::default()
+        };
+        let better = SimStats {
+            instructions: 1000,
+            cycles: 800.0,
+            demand_misses: 80,
+            ..SimStats::default()
+        };
+        assert!((better.speedup_pct_over(&base) - 25.0).abs() < 1e-9);
+        assert_eq!(base.speedup_pct_over(&base), 0.0);
+        assert!((better.miss_reduction_pct_over(&base) - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn injected_instructions_count_toward_rates() {
+        let s = SimStats {
+            instructions: 900,
+            invalidate_instructions: 100,
+            cycles: 1000.0,
+            demand_misses: 10,
+            ..SimStats::default()
+        };
+        assert!((s.ipc() - 1.0).abs() < 1e-12);
+        assert!((s.mpki() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_division_guards() {
+        let s = SimStats::default();
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.mpki(), 0.0);
+        assert_eq!(s.miss_reduction_pct_over(&s), 0.0);
+    }
+}

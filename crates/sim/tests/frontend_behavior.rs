@@ -1,0 +1,197 @@
+//! Behavioral tests of the frontend: warmup gating, scripted
+//! invalidations, prefetcher effects and the timing model.
+
+use std::sync::Arc;
+
+use ripple_program::{Layout, LayoutConfig, LineAddr};
+use ripple_sim::{
+    simulate, simulate_ideal_cache, CacheGeometry, EvictionMechanism, PolicyKind,
+    PrefetcherKind, SimConfig,
+};
+use ripple_workloads::{execute, generate, AppSpec, InputConfig};
+
+fn setup() -> (ripple_workloads::Application, Layout, ripple_trace::BbTrace) {
+    let app = generate(&AppSpec::tiny(13));
+    let layout = Layout::new(&app.program, &LayoutConfig::default());
+    let trace = execute(&app.program, &app.model, InputConfig::training(13), 50_000);
+    (app, layout, trace)
+}
+
+fn small_cfg() -> SimConfig {
+    let mut cfg = SimConfig::default();
+    cfg.l1i = CacheGeometry::new(1024, 2);
+    cfg
+}
+
+#[test]
+fn warmup_fraction_gates_statistics() {
+    let (app, layout, trace) = setup();
+    let mut cold = small_cfg();
+    cold.warmup_fraction = 0.0;
+    let mut warm = small_cfg();
+    warm.warmup_fraction = 0.5;
+    let rc = simulate(&app.program, &layout, &trace, &cold);
+    let rw = simulate(&app.program, &layout, &trace, &warm);
+    assert!(rw.stats.blocks < rc.stats.blocks);
+    assert!(rw.stats.instructions < rc.stats.instructions);
+    assert!(rw.stats.demand_misses < rc.stats.demand_misses);
+    // Compulsory misses concentrate in the warmup prefix.
+    assert!(rw.stats.compulsory_misses < rc.stats.compulsory_misses);
+}
+
+#[test]
+fn scripted_invalidation_of_ideal_victims_reproduces_opt() {
+    // The oracle experiment from DESIGN.md §3a: invalidate every ideal
+    // victim right before its eviction trigger and LRU becomes OPT.
+    let (app, layout, trace) = setup();
+    let mut opt_cfg = small_cfg().with_policy(PolicyKind::Opt);
+    opt_cfg.record_evictions = true;
+    let opt = simulate(&app.program, &layout, &trace, &opt_cfg);
+    let mut script: Vec<(u32, LineAddr)> = opt
+        .evictions
+        .unwrap()
+        .iter()
+        .map(|e| (e.evict_pos, e.victim))
+        .collect();
+    script.sort_unstable_by_key(|&(p, _)| p);
+    let mut lru_cfg = small_cfg();
+    lru_cfg.scripted_invalidations = Some(Arc::new(script));
+    let scripted = simulate(&app.program, &layout, &trace, &lru_cfg);
+    assert_eq!(
+        scripted.stats.demand_misses, opt.stats.demand_misses,
+        "scripted LRU must equal OPT"
+    );
+}
+
+#[test]
+fn noop_mechanism_leaves_cache_untouched() {
+    let (app, layout, trace) = setup();
+    // Without injected instructions there is nothing to execute, so the
+    // mechanisms are equivalent on a pristine binary.
+    for mech in [
+        EvictionMechanism::Invalidate,
+        EvictionMechanism::Demote,
+        EvictionMechanism::NoOp,
+    ] {
+        let mut cfg = small_cfg();
+        cfg.eviction_mechanism = mech;
+        let r = simulate(&app.program, &layout, &trace, &cfg);
+        assert_eq!(r.stats.invalidate_hits, 0);
+        assert_eq!(r.stats.invalidate_instructions, 0);
+    }
+}
+
+#[test]
+fn fdip_tracks_mispredictions_and_prefetches() {
+    let (app, layout, trace) = setup();
+    let cfg = small_cfg().with_prefetcher(PrefetcherKind::Fdip);
+    let r = simulate(&app.program, &layout, &trace, &cfg);
+    assert!(r.stats.prefetches_issued > 0);
+    assert!(r.stats.prefetch_fills > 0);
+    assert!(r.stats.mispredictions > 0, "tiny app has noisy branches");
+    assert!(r.stats.prefetch_fills <= r.stats.prefetches_issued);
+}
+
+#[test]
+fn nlp_prefetches_next_lines_only() {
+    let (app, layout, trace) = setup();
+    let cfg = small_cfg().with_prefetcher(PrefetcherKind::NextLine);
+    let r = simulate(&app.program, &layout, &trace, &cfg);
+    assert!(r.stats.prefetches_issued > 0);
+    assert_eq!(r.stats.mispredictions, 0, "nlp uses no branch predictor");
+}
+
+#[test]
+fn timing_reflects_miss_latency() {
+    let (app, layout, trace) = setup();
+    // A slower memory hierarchy must cost cycles with the same misses.
+    let fast = small_cfg();
+    let mut slow = small_cfg();
+    slow.l2_latency *= 4;
+    slow.l3_latency *= 4;
+    slow.mem_latency *= 4;
+    let rf = simulate(&app.program, &layout, &trace, &fast);
+    let rs = simulate(&app.program, &layout, &trace, &slow);
+    assert_eq!(rf.stats.demand_misses, rs.stats.demand_misses);
+    assert!(rs.stats.cycles > rf.stats.cycles);
+}
+
+#[test]
+fn stall_exposure_scales_the_penalty() {
+    let (app, layout, trace) = setup();
+    let mut hidden = small_cfg();
+    hidden.stall_exposure = 0.0;
+    let r = simulate(&app.program, &layout, &trace, &hidden);
+    let ideal = simulate_ideal_cache(&app.program, &trace, &hidden);
+    // With no exposed stalls, cycles equal the ideal cache's.
+    assert!((r.stats.cycles - ideal.cycles).abs() < 1e-6);
+}
+
+#[test]
+fn eviction_log_positions_are_within_trace() {
+    let (app, layout, trace) = setup();
+    let mut cfg = small_cfg();
+    cfg.record_evictions = true;
+    let r = simulate(&app.program, &layout, &trace, &cfg);
+    for e in r.evictions.unwrap() {
+        assert!((e.evict_pos as usize) < trace.len());
+        assert!(
+            e.last_access_pos == u32::MAX || e.last_access_pos <= e.evict_pos,
+            "last access cannot follow the eviction"
+        );
+    }
+}
+
+#[test]
+fn demand_min_equals_opt_without_prefetching() {
+    // Without prefetch requests in the stream, Demand-MIN degenerates to
+    // Belady-OPT exactly.
+    let (app, layout, trace) = setup();
+    let opt = simulate(
+        &app.program,
+        &layout,
+        &trace,
+        &small_cfg().with_policy(PolicyKind::Opt),
+    );
+    let dm = simulate(
+        &app.program,
+        &layout,
+        &trace,
+        &small_cfg().with_policy(PolicyKind::DemandMin),
+    );
+    assert_eq!(opt.stats.demand_misses, dm.stats.demand_misses);
+}
+
+#[test]
+fn late_prefetches_expose_partial_latency() {
+    let (app, layout, trace) = setup();
+    // NLP prefetches exactly one line ahead, so its hits are mostly late;
+    // disabling the timeliness window must make NLP strictly faster.
+    let mut timely = small_cfg().with_prefetcher(PrefetcherKind::NextLine);
+    timely.prefetch_timeliness_blocks = 0;
+    let mut late = small_cfg().with_prefetcher(PrefetcherKind::NextLine);
+    late.prefetch_timeliness_blocks = 32;
+    let rt = simulate(&app.program, &layout, &trace, &timely);
+    let rl = simulate(&app.program, &layout, &trace, &late);
+    assert_eq!(rt.stats.demand_misses, rl.stats.demand_misses);
+    assert!(
+        rl.stats.cycles > rt.stats.cycles,
+        "timeliness must cost cycles ({} !> {})",
+        rl.stats.cycles,
+        rt.stats.cycles
+    );
+}
+
+#[test]
+fn tree_plru_tracks_lru_closely() {
+    let (app, layout, trace) = setup();
+    let lru = simulate(&app.program, &layout, &trace, &small_cfg());
+    let plru = simulate(
+        &app.program,
+        &layout,
+        &trace,
+        &small_cfg().with_policy(PolicyKind::TreePlru),
+    );
+    // 2-way sets: tree-PLRU is exact LRU.
+    assert_eq!(lru.stats.demand_misses, plru.stats.demand_misses);
+}

@@ -1,0 +1,158 @@
+//! Property tests for the cache and replacement policies.
+
+use proptest::prelude::*;
+use ripple_program::{Addr, LineAddr};
+use ripple_sim::{
+    Cache, CacheGeometry, DrripPolicy, FutureIndex, GhrpPolicy, HawkeyePolicy, LruPolicy,
+    OptPolicy, RandomPolicy, ReplacementPolicy, SrripPolicy, StreamRecord,
+};
+
+fn arb_stream() -> impl Strategy<Value = Vec<(u64, bool)>> {
+    proptest::collection::vec((0u64..40, proptest::bool::weighted(0.25)), 1..800)
+}
+
+fn geom() -> CacheGeometry {
+    CacheGeometry::new(8 * 64, 2) // 4 sets × 2 ways
+}
+
+fn policies(g: CacheGeometry) -> Vec<Box<dyn ReplacementPolicy>> {
+    vec![
+        Box::new(LruPolicy::new(g)),
+        Box::new(RandomPolicy::new(g, 7)),
+        Box::new(SrripPolicy::new(g)),
+        Box::new(DrripPolicy::new(g)),
+        Box::new(GhrpPolicy::new(g)),
+        Box::new(HawkeyePolicy::new(g, false)),
+        Box::new(HawkeyePolicy::new(g, true)),
+    ]
+}
+
+fn run(
+    g: CacheGeometry,
+    policy: Box<dyn ReplacementPolicy>,
+    stream: &[(u64, bool)],
+) -> (u64, usize) {
+    let mut cache: Cache<dyn ReplacementPolicy> = Cache::new(g, policy);
+    let mut demand_misses = 0;
+    for (seq, &(line, pf)) in stream.iter().enumerate() {
+        let line = LineAddr::new(line);
+        let out = cache.access(line, line.base_addr(), pf, seq as u64);
+        if !pf && !out.is_hit() {
+            demand_misses += 1;
+        }
+    }
+    (demand_misses, cache.occupancy())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// No policy can make the cache exceed its capacity, every accessed
+    /// line is present immediately after its access, and demand misses
+    /// never exceed demand accesses.
+    #[test]
+    fn cache_invariants_hold_for_every_policy(stream in arb_stream()) {
+        let g = geom();
+        for policy in policies(g) {
+            let name = policy.name();
+            let mut cache: Cache<dyn ReplacementPolicy> = Cache::new(g, policy);
+            let mut demand = 0u64;
+            let mut misses = 0u64;
+            for (seq, &(line, pf)) in stream.iter().enumerate() {
+                let line = LineAddr::new(line);
+                let out = cache.access(line, Addr::new(line.index() * 64), pf, seq as u64);
+                prop_assert!(cache.contains(line), "{name}: line absent after access");
+                prop_assert!(cache.occupancy() <= 8, "{name}: over capacity");
+                if !pf {
+                    demand += 1;
+                    if !out.is_hit() {
+                        misses += 1;
+                    }
+                }
+            }
+            prop_assert!(misses <= demand, "{name}");
+        }
+    }
+
+    /// Belady-OPT lower-bounds every online policy's demand misses on
+    /// demand-only streams.
+    #[test]
+    fn opt_is_optimal(stream in arb_stream()) {
+        let g = geom();
+        let demand_only: Vec<(u64, bool)> =
+            stream.iter().map(|&(l, _)| (l, false)).collect();
+        let records: Vec<StreamRecord> = demand_only
+            .iter()
+            .map(|&(l, p)| StreamRecord { line: LineAddr::new(l), is_prefetch: p })
+            .collect();
+        let future = FutureIndex::build(&records);
+        let (opt_misses, _) = run(g, Box::new(OptPolicy::new(g, future)), &demand_only);
+        for policy in policies(g) {
+            let name = policy.name();
+            let (misses, _) = run(g, policy, &demand_only);
+            prop_assert!(
+                opt_misses <= misses,
+                "opt {opt_misses} > {name} {misses}"
+            );
+        }
+    }
+
+    /// Invalidation after every access leaves the cache empty and never
+    /// panics any policy.
+    #[test]
+    fn invalidate_everything(stream in arb_stream()) {
+        let g = geom();
+        for policy in policies(g) {
+            let mut cache: Cache<dyn ReplacementPolicy> = Cache::new(g, policy);
+            for (seq, &(line, pf)) in stream.iter().enumerate() {
+                let line = LineAddr::new(line);
+                cache.access(line, line.base_addr(), pf, seq as u64);
+                prop_assert!(cache.invalidate(line));
+                prop_assert!(!cache.contains(line));
+            }
+            prop_assert_eq!(cache.occupancy(), 0);
+        }
+    }
+
+    /// Demoting a line never changes cache contents, only ordering: the
+    /// line stays resident until the next fill in its set.
+    #[test]
+    fn demote_keeps_contents(stream in arb_stream()) {
+        let g = geom();
+        let mut cache: Cache<dyn ReplacementPolicy> = Cache::new(g, Box::new(LruPolicy::new(g)));
+        for (seq, &(line, pf)) in stream.iter().enumerate() {
+            let line = LineAddr::new(line);
+            cache.access(line, line.base_addr(), pf, seq as u64);
+            let occ = cache.occupancy();
+            cache.demote(line);
+            prop_assert!(cache.contains(line));
+            prop_assert_eq!(cache.occupancy(), occ);
+        }
+    }
+
+    /// The future index is consistent: the recorded next occurrence of a
+    /// line really is the next occurrence.
+    #[test]
+    fn future_index_is_consistent(stream in arb_stream()) {
+        let records: Vec<StreamRecord> = stream
+            .iter()
+            .map(|&(l, p)| StreamRecord { line: LineAddr::new(l), is_prefetch: p })
+            .collect();
+        let future = FutureIndex::build(&records);
+        for (i, r) in records.iter().enumerate() {
+            let nd = future.next_demand(i as u64);
+            if nd != ripple_sim::NEVER {
+                let j = nd as usize;
+                prop_assert!(j > i);
+                prop_assert_eq!(records[j].line, r.line);
+                prop_assert!(!records[j].is_prefetch);
+                // No earlier demand occurrence in between.
+                for k in i + 1..j {
+                    prop_assert!(
+                        records[k].line != r.line || records[k].is_prefetch
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Dynamic basic-block traces.
+
+use std::collections::HashSet;
+
+use ripple_program::{BlockId, Layout, Program};
+
+/// A dynamic execution trace: the sequence of basic blocks a program
+/// executed, in order.
+///
+/// This is the artifact Ripple's offline analysis consumes (the paper's
+/// "program trace" of Fig. 4), typically obtained by decoding a packet
+/// stream with [`reconstruct_trace`](crate::reconstruct_trace).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BbTrace {
+    blocks: Vec<BlockId>,
+}
+
+impl BbTrace {
+    /// Wraps an executed block sequence.
+    pub fn new(blocks: Vec<BlockId>) -> Self {
+        BbTrace { blocks }
+    }
+
+    /// The executed blocks, in order.
+    #[inline]
+    pub fn blocks(&self) -> &[BlockId] {
+        &self.blocks
+    }
+
+    /// Number of executed blocks.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether the trace is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Iterates over executed blocks.
+    pub fn iter(&self) -> std::iter::Copied<std::slice::Iter<'_, BlockId>> {
+        self.blocks.iter().copied()
+    }
+
+    /// Total dynamic instruction count under `program` (counts injected
+    /// invalidations too, if the program has been rewritten).
+    pub fn dynamic_instruction_count(&self, program: &Program) -> u64 {
+        self.blocks
+            .iter()
+            .map(|&b| program.block(b).len() as u64)
+            .sum()
+    }
+
+    /// Dynamic count of only the original (non-injected) instructions.
+    pub fn original_instruction_count(&self, program: &Program) -> u64 {
+        self.blocks
+            .iter()
+            .map(|&b| program.block(b).original_instructions().len() as u64)
+            .sum()
+    }
+
+    /// Number of distinct blocks executed.
+    pub fn unique_blocks(&self) -> usize {
+        self.blocks.iter().collect::<HashSet<_>>().len()
+    }
+
+    /// Number of distinct I-cache lines touched under `layout` (the
+    /// dynamic instruction footprint).
+    pub fn footprint_lines(&self, layout: &Layout) -> usize {
+        let mut lines = HashSet::new();
+        for &b in &self.blocks {
+            lines.extend(layout.lines_of_block(b));
+        }
+        lines.len()
+    }
+}
+
+impl FromIterator<BlockId> for BbTrace {
+    fn from_iter<I: IntoIterator<Item = BlockId>>(iter: I) -> Self {
+        BbTrace::new(iter.into_iter().collect())
+    }
+}
+
+impl Extend<BlockId> for BbTrace {
+    fn extend<I: IntoIterator<Item = BlockId>>(&mut self, iter: I) {
+        self.blocks.extend(iter);
+    }
+}
+
+impl<'a> IntoIterator for &'a BbTrace {
+    type Item = BlockId;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, BlockId>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ripple_program::{CodeKind, Instruction, LayoutConfig, ProgramBuilder};
+
+    #[test]
+    fn counts() {
+        let mut b = ProgramBuilder::new();
+        let main = b.add_function("main", CodeKind::Static);
+        let b0 = b.add_block(main);
+        let b1 = b.add_block(main);
+        b.push_inst(b0, Instruction::other(4));
+        b.push_inst(b0, Instruction::other(4));
+        b.push_inst(b1, Instruction::ret());
+        let p = b.finish(main).unwrap();
+        let layout = Layout::new(&p, &LayoutConfig::default());
+
+        let trace: BbTrace = vec![b0, b1, b0, b1].into_iter().collect();
+        assert_eq!(trace.len(), 4);
+        assert_eq!(trace.unique_blocks(), 2);
+        assert_eq!(trace.dynamic_instruction_count(&p), 6);
+        assert_eq!(trace.original_instruction_count(&p), 6);
+        assert_eq!(trace.footprint_lines(&layout), 1);
+        assert!(!trace.is_empty());
+    }
+
+    #[test]
+    fn extend_and_iterate() {
+        let mut trace = BbTrace::default();
+        trace.extend(vec![BlockId::new(1), BlockId::new(2)]);
+        let collected: Vec<_> = (&trace).into_iter().collect();
+        assert_eq!(collected, vec![BlockId::new(1), BlockId::new(2)]);
+    }
+}

@@ -1,0 +1,52 @@
+//! Hardware-style control-flow tracing for the Ripple reproduction.
+//!
+//! Ripple profiles applications with Intel Processor Trace (§III-A of the
+//! paper). This crate provides a software stand-in with the same
+//! information content and the same compression tricks:
+//!
+//! * [`Packet`] / [`PacketWriter`] / [`PacketReader`] — a compact packet
+//!   format (TNT bit packing, IP compression, compressed returns);
+//! * [`TraceRecorder`] / [`record_trace`] — turn an executed basic-block
+//!   sequence into a packet stream;
+//! * [`reconstruct_trace`] — decode a packet stream back into a
+//!   [`BbTrace`] by walking the program's control-flow graph.
+//!
+//! # Examples
+//!
+//! ```
+//! use ripple_program::{CodeKind, Instruction, Layout, LayoutConfig, ProgramBuilder};
+//! use ripple_trace::{reconstruct_trace, record_trace};
+//!
+//! // A tiny loop: b0 conditionally re-executes itself, then returns via b1.
+//! let mut b = ProgramBuilder::new();
+//! let main = b.add_function("main", CodeKind::Static);
+//! let b0 = b.add_block(main);
+//! let b1 = b.add_block(main);
+//! b.push_inst(b0, Instruction::other(4));
+//! b.push_inst(b0, Instruction::cond_branch(b0));
+//! b.push_inst(b1, Instruction::ret());
+//! let program = b.finish(main)?;
+//! let layout = Layout::new(&program, &LayoutConfig::default());
+//!
+//! let executed = vec![b0, b0, b0, b1];
+//! let bytes = record_trace(&program, &layout, executed.iter().copied());
+//! let trace = reconstruct_trace(&program, &layout, &bytes).unwrap();
+//! assert_eq!(trace.blocks(), &executed[..]);
+//! # Ok::<(), ripple_program::ValidateProgramError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod bbtrace;
+mod packet;
+mod reconstruct;
+mod recorder;
+
+pub use bbtrace::BbTrace;
+pub use packet::{
+    decode_packets, DecodePacketError, Packet, PacketReader, PacketWriter, LONG_TNT_BITS,
+    SHORT_TNT_BITS,
+};
+pub use reconstruct::{reconstruct_trace, ReconstructError};
+pub use recorder::{record_trace, TraceRecorder};

@@ -1,0 +1,472 @@
+//! Trace packet definitions, modelled on Intel Processor Trace.
+//!
+//! Like Intel PT, the format achieves high compression by recording only
+//! what cannot be recovered from the binary: one bit per conditional branch
+//! (TNT), compressed target addresses for indirect transfers (TIP), and a
+//! single taken bit for returns that match the call stack ("RET
+//! compression"). Direct jumps, calls and fall-throughs produce no packets
+//! at all.
+
+use std::fmt;
+
+use ripple_program::Addr;
+
+/// Maximum TNT bits carried by a short TNT packet.
+pub const SHORT_TNT_BITS: u8 = 6;
+
+/// Maximum TNT bits carried by a long TNT packet.
+pub const LONG_TNT_BITS: u8 = 47;
+
+/// A single trace packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Packet {
+    /// Stream synchronization marker; starts a trace.
+    Psb,
+    /// Taken/not-taken bits for conditional branches and compressed
+    /// returns. Bit `i` (LSB-first) is the `i`-th oldest outcome.
+    Tnt {
+        /// Outcome bits, oldest in bit 0.
+        bits: u64,
+        /// Number of valid bits (1..=[`LONG_TNT_BITS`]).
+        count: u8,
+    },
+    /// Target instruction pointer for an indirect transfer (or the initial
+    /// entry point after [`Packet::Psb`]).
+    Tip {
+        /// The branch target.
+        addr: Addr,
+    },
+    /// Flow-update: the address of the last executed block, emitted just
+    /// before [`Packet::End`] so the decoder knows where tracing stopped
+    /// (Intel PT emits FUP/TIP.PGD for the same reason).
+    Fup {
+        /// Start address of the final executed block.
+        addr: Addr,
+    },
+    /// End of trace.
+    End,
+}
+
+impl fmt::Display for Packet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Packet::Psb => write!(f, "PSB"),
+            Packet::Fup { addr } => write!(f, "FUP {addr}"),
+            Packet::Tnt { bits, count } => {
+                write!(f, "TNT[")?;
+                for i in 0..*count {
+                    write!(f, "{}", (bits >> i) & 1)?;
+                }
+                write!(f, "]")
+            }
+            Packet::Tip { addr } => write!(f, "TIP {addr}"),
+            Packet::End => write!(f, "END"),
+        }
+    }
+}
+
+/// Errors produced while decoding a packet stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DecodePacketError {
+    /// The stream ended in the middle of a packet.
+    Truncated,
+    /// An unknown header byte was encountered.
+    BadHeader(u8),
+    /// A TNT packet declared an out-of-range bit count.
+    BadTntCount(u8),
+}
+
+impl fmt::Display for DecodePacketError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodePacketError::Truncated => write!(f, "packet stream ended mid-packet"),
+            DecodePacketError::BadHeader(b) => write!(f, "unknown packet header byte {b:#04x}"),
+            DecodePacketError::BadTntCount(n) => write!(f, "invalid tnt bit count {n}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodePacketError {}
+
+// Header bytes. Short TNT packets are any odd byte; all other headers are
+// even and distinguished by their low nibble.
+const HDR_LONG_TNT: u8 = 0x02;
+const HDR_TIP_NIBBLE: u8 = 0x04;
+const HDR_PSB: u8 = 0x06;
+const HDR_END: u8 = 0x08;
+const HDR_FUP_NIBBLE: u8 = 0x0a;
+
+/// Serializes packets into a compact byte stream.
+///
+/// # Examples
+///
+/// ```
+/// use ripple_program::Addr;
+/// use ripple_trace::{decode_packets, PacketWriter, Packet};
+///
+/// let mut w = PacketWriter::new();
+/// w.write(Packet::Psb);
+/// w.write(Packet::Tip { addr: Addr::new(0x400000) });
+/// w.write(Packet::Tnt { bits: 0b101, count: 3 });
+/// w.write(Packet::End);
+/// let bytes = w.into_bytes();
+/// let packets = decode_packets(&bytes)?;
+/// assert_eq!(packets.len(), 4);
+/// # Ok::<(), ripple_trace::DecodePacketError>(())
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct PacketWriter {
+    bytes: Vec<u8>,
+    last_ip: u64,
+}
+
+impl PacketWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one packet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a [`Packet::Tnt`] has `count == 0` or
+    /// `count > LONG_TNT_BITS`.
+    pub fn write(&mut self, packet: Packet) {
+        match packet {
+            Packet::Psb => self.bytes.push(HDR_PSB),
+            Packet::End => self.bytes.push(HDR_END),
+            Packet::Tnt { bits, count } => {
+                assert!(
+                    (1..=LONG_TNT_BITS).contains(&count),
+                    "tnt count out of range: {count}"
+                );
+                if count <= SHORT_TNT_BITS {
+                    // Odd marker bit in bit 0, payload in bits 1..=count,
+                    // stop bit at count + 1.
+                    let payload = (bits & ((1 << count) - 1)) << 1;
+                    let byte = (1u8 << (count + 1)) | (payload as u8) | 1;
+                    self.bytes.push(byte);
+                } else {
+                    self.bytes.push(HDR_LONG_TNT);
+                    self.bytes.push(count);
+                    let masked = bits & ((1u64 << count) - 1);
+                    self.bytes.extend_from_slice(&masked.to_le_bytes()[..6]);
+                }
+            }
+            Packet::Tip { addr } | Packet::Fup { addr } => {
+                // IP compression: emit only the low bytes that differ from
+                // the previous IP packet.
+                let nibble = if matches!(packet, Packet::Fup { .. }) {
+                    HDR_FUP_NIBBLE
+                } else {
+                    HDR_TIP_NIBBLE
+                };
+                let ip = addr.get();
+                // Send exactly the low bytes up to the highest byte that
+                // differs from the previous IP (0..=8 payload bytes).
+                let diff = ip ^ self.last_ip;
+                let k = if diff == 0 {
+                    0u8
+                } else {
+                    (64 - diff.leading_zeros() as u8).div_ceil(8)
+                };
+                self.bytes.push(nibble | (k << 4));
+                self.bytes
+                    .extend_from_slice(&ip.to_le_bytes()[..k as usize]);
+                self.last_ip = ip;
+            }
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Consumes the writer, returning the encoded stream.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+}
+
+/// Streaming packet decoder over a byte slice.
+#[derive(Debug, Clone)]
+pub struct PacketReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    last_ip: u64,
+}
+
+impl<'a> PacketReader<'a> {
+    /// Creates a reader over an encoded stream.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        PacketReader {
+            bytes,
+            pos: 0,
+            last_ip: 0,
+        }
+    }
+
+    /// Current byte offset.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Whether the stream is exhausted.
+    pub fn is_empty(&self) -> bool {
+        self.pos >= self.bytes.len()
+    }
+
+    /// Decodes the next packet.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodePacketError`] on truncation or malformed headers.
+    /// Returns `Ok(None)` at the end of the byte stream.
+    pub fn next_packet(&mut self) -> Result<Option<Packet>, DecodePacketError> {
+        let Some(&hdr) = self.bytes.get(self.pos) else {
+            return Ok(None);
+        };
+        self.pos += 1;
+        if hdr & 1 == 1 {
+            // Short TNT: stop bit is the highest set bit; payload below it,
+            // above the marker bit.
+            let stop = 7 - hdr.leading_zeros() as u8;
+            if stop < 2 {
+                return Err(DecodePacketError::BadHeader(hdr));
+            }
+            let count = stop - 1;
+            let bits = u64::from((hdr >> 1) & ((1 << count) - 1));
+            return Ok(Some(Packet::Tnt { bits, count }));
+        }
+        match hdr & 0x0f {
+            HDR_PSB => Ok(Some(Packet::Psb)),
+            HDR_END => Ok(Some(Packet::End)),
+            HDR_LONG_TNT => {
+                let count = *self
+                    .bytes
+                    .get(self.pos)
+                    .ok_or(DecodePacketError::Truncated)?;
+                self.pos += 1;
+                if count == 0 || count > LONG_TNT_BITS {
+                    return Err(DecodePacketError::BadTntCount(count));
+                }
+                let end = self.pos + 6;
+                let payload = self
+                    .bytes
+                    .get(self.pos..end)
+                    .ok_or(DecodePacketError::Truncated)?;
+                self.pos = end;
+                let mut buf = [0u8; 8];
+                buf[..6].copy_from_slice(payload);
+                let bits = u64::from_le_bytes(buf) & ((1u64 << count) - 1);
+                Ok(Some(Packet::Tnt { bits, count }))
+            }
+            HDR_TIP_NIBBLE | HDR_FUP_NIBBLE => {
+                let k = (hdr >> 4) as usize;
+                if k > 8 {
+                    return Err(DecodePacketError::BadHeader(hdr));
+                }
+                let end = self.pos + k;
+                let payload = self
+                    .bytes
+                    .get(self.pos..end)
+                    .ok_or(DecodePacketError::Truncated)?;
+                self.pos = end;
+                let mut buf = self.last_ip.to_le_bytes();
+                buf[..k].copy_from_slice(payload);
+                let ip = u64::from_le_bytes(buf);
+                self.last_ip = ip;
+                let addr = Addr::new(ip);
+                Ok(Some(if hdr & 0x0f == HDR_FUP_NIBBLE {
+                    Packet::Fup { addr }
+                } else {
+                    Packet::Tip { addr }
+                }))
+            }
+            _ => Err(DecodePacketError::BadHeader(hdr)),
+        }
+    }
+}
+
+/// Decodes an entire stream into a packet list.
+///
+/// # Errors
+///
+/// Returns the first [`DecodePacketError`] encountered.
+pub fn decode_packets(bytes: &[u8]) -> Result<Vec<Packet>, DecodePacketError> {
+    let mut reader = PacketReader::new(bytes);
+    let mut packets = Vec::new();
+    while let Some(p) = reader.next_packet()? {
+        packets.push(p);
+    }
+    Ok(packets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(packets: &[Packet]) {
+        let mut w = PacketWriter::new();
+        for &p in packets {
+            w.write(p);
+        }
+        let decoded = decode_packets(w.as_bytes()).expect("decode");
+        assert_eq!(decoded, packets);
+    }
+
+    #[test]
+    fn psb_end_roundtrip() {
+        roundtrip(&[Packet::Psb, Packet::End]);
+    }
+
+    #[test]
+    fn short_tnt_roundtrip() {
+        for count in 1..=SHORT_TNT_BITS {
+            for bits in 0..(1u64 << count) {
+                roundtrip(&[Packet::Tnt { bits, count }]);
+            }
+        }
+    }
+
+    #[test]
+    fn long_tnt_roundtrip() {
+        roundtrip(&[Packet::Tnt {
+            bits: 0x7abc_dead_beef,
+            count: 47,
+        }]);
+        roundtrip(&[Packet::Tnt {
+            bits: 0b1010101,
+            count: 7,
+        }]);
+    }
+
+    #[test]
+    fn tip_compression_shrinks_repeated_upper_bytes() {
+        let mut w = PacketWriter::new();
+        w.write(Packet::Tip {
+            addr: Addr::new(0x0040_1000),
+        });
+        let first_len = w.as_bytes().len();
+        w.write(Packet::Tip {
+            addr: Addr::new(0x0040_1040),
+        });
+        let second_len = w.as_bytes().len() - first_len;
+        assert!(second_len < first_len, "{second_len} !< {first_len}");
+        let decoded = decode_packets(w.as_bytes()).unwrap();
+        assert_eq!(
+            decoded,
+            vec![
+                Packet::Tip {
+                    addr: Addr::new(0x0040_1000)
+                },
+                Packet::Tip {
+                    addr: Addr::new(0x0040_1040)
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn tip_identical_address_emits_zero_payload() {
+        let mut w = PacketWriter::new();
+        w.write(Packet::Tip {
+            addr: Addr::new(0x42),
+        });
+        let l1 = w.as_bytes().len();
+        w.write(Packet::Tip {
+            addr: Addr::new(0x42),
+        });
+        assert_eq!(w.as_bytes().len() - l1, 1); // header only
+        let decoded = decode_packets(w.as_bytes()).unwrap();
+        assert_eq!(decoded.len(), 2);
+        assert_eq!(decoded[0], decoded[1]);
+    }
+
+    #[test]
+    fn mixed_stream_roundtrip() {
+        roundtrip(&[
+            Packet::Psb,
+            Packet::Tip {
+                addr: Addr::new(0x40_0000),
+            },
+            Packet::Tnt { bits: 0b11, count: 2 },
+            Packet::Tip {
+                addr: Addr::new(0x40_0123),
+            },
+            Packet::Tnt {
+                bits: 0xdeadbeef,
+                count: 36,
+            },
+            Packet::End,
+        ]);
+    }
+
+    #[test]
+    fn truncated_stream_is_an_error() {
+        let mut w = PacketWriter::new();
+        w.write(Packet::Tip {
+            addr: Addr::new(0x1234_5678),
+        });
+        let bytes = w.into_bytes();
+        assert_eq!(
+            PacketReader::new(&bytes[..bytes.len() - 1])
+                .next_packet()
+                .unwrap_err(),
+            DecodePacketError::Truncated
+        );
+    }
+
+    #[test]
+    fn bad_header_is_an_error() {
+        assert!(matches!(
+            PacketReader::new(&[0x0e]).next_packet(),
+            Err(DecodePacketError::BadHeader(0x0e))
+        ));
+    }
+
+    #[test]
+    fn fup_roundtrip_shares_ip_compression() {
+        let mut w = PacketWriter::new();
+        w.write(Packet::Tip {
+            addr: Addr::new(0x0040_2000),
+        });
+        w.write(Packet::Fup {
+            addr: Addr::new(0x0040_2040),
+        });
+        let decoded = decode_packets(w.as_bytes()).unwrap();
+        assert_eq!(
+            decoded[1],
+            Packet::Fup {
+                addr: Addr::new(0x0040_2040)
+            }
+        );
+    }
+
+    #[test]
+    fn bad_tnt_count_is_an_error() {
+        let bytes = [HDR_LONG_TNT, 60, 0, 0, 0, 0, 0, 0];
+        assert_eq!(
+            PacketReader::new(&bytes).next_packet().unwrap_err(),
+            DecodePacketError::BadTntCount(60)
+        );
+    }
+
+    #[test]
+    fn empty_stream_yields_none() {
+        assert_eq!(PacketReader::new(&[]).next_packet().unwrap(), None);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let p = Packet::Tnt {
+            bits: 0b01,
+            count: 2,
+        };
+        assert_eq!(p.to_string(), "TNT[10]");
+        assert_eq!(Packet::Psb.to_string(), "PSB");
+    }
+}

@@ -1,0 +1,252 @@
+//! Reconstructs the executed basic-block sequence from a packet stream.
+
+use std::error::Error;
+use std::fmt;
+
+use ripple_program::{Addr, BlockId, Layout, Program, Successors};
+
+use crate::bbtrace::BbTrace;
+use crate::packet::{DecodePacketError, Packet, PacketReader};
+
+/// Errors produced while reconstructing a block trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ReconstructError {
+    /// The underlying packet stream is malformed.
+    Packet(DecodePacketError),
+    /// The stream does not begin with PSB + TIP.
+    MissingSync,
+    /// A TIP/FUP address does not point at the start of a basic block.
+    NotABlockStart(Addr),
+    /// A conditional branch or return needed a TNT bit but none remained.
+    TntUnderflow,
+    /// A compressed return carried a not-taken bit.
+    BadReturnBit,
+    /// A compressed return occurred with an empty call stack.
+    StackUnderflow,
+    /// An indirect transfer needed a TIP packet but found something else.
+    ExpectedTip,
+    /// The stream ended without FUP + END packets.
+    MissingEnd,
+    /// The FUP address disagrees with the reconstructed final block.
+    FupMismatch {
+        /// Block the decoder stopped at.
+        decoded: Addr,
+        /// Address the FUP packet reported.
+        reported: Addr,
+    },
+}
+
+impl fmt::Display for ReconstructError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReconstructError::Packet(e) => write!(f, "packet error: {e}"),
+            ReconstructError::MissingSync => write!(f, "trace does not start with psb + tip"),
+            ReconstructError::NotABlockStart(a) => {
+                write!(f, "tip address {a} is not a basic block start")
+            }
+            ReconstructError::TntUnderflow => write!(f, "ran out of tnt bits"),
+            ReconstructError::BadReturnBit => write!(f, "compressed return with not-taken bit"),
+            ReconstructError::StackUnderflow => {
+                write!(f, "compressed return with empty call stack")
+            }
+            ReconstructError::ExpectedTip => write!(f, "expected a tip packet"),
+            ReconstructError::MissingEnd => write!(f, "trace ended without fup + end packets"),
+            ReconstructError::FupMismatch { decoded, reported } => write!(
+                f,
+                "fup address {reported} disagrees with decoded final block {decoded}"
+            ),
+        }
+    }
+}
+
+impl Error for ReconstructError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ReconstructError::Packet(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DecodePacketError> for ReconstructError {
+    fn from(e: DecodePacketError) -> Self {
+        ReconstructError::Packet(e)
+    }
+}
+
+struct Cursor<'a> {
+    reader: PacketReader<'a>,
+    tnt_bits: u64,
+    tnt_count: u8,
+    tnt_consumed: u8,
+    lookahead: Option<Packet>,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(reader: PacketReader<'a>) -> Self {
+        Cursor {
+            reader,
+            tnt_bits: 0,
+            tnt_count: 0,
+            tnt_consumed: 0,
+            lookahead: None,
+        }
+    }
+
+    fn next_packet(&mut self) -> Result<Option<Packet>, ReconstructError> {
+        if let Some(p) = self.lookahead.take() {
+            return Ok(Some(p));
+        }
+        Ok(self.reader.next_packet()?)
+    }
+
+    fn peek_packet(&mut self) -> Result<Option<Packet>, ReconstructError> {
+        if self.lookahead.is_none() {
+            self.lookahead = self.reader.next_packet()?;
+        }
+        Ok(self.lookahead)
+    }
+
+    fn has_pending_bit(&self) -> bool {
+        self.tnt_consumed < self.tnt_count
+    }
+
+    /// Consumes the next TNT bit, pulling in the next TNT packet if the
+    /// current one is exhausted.
+    fn next_bit(&mut self) -> Result<bool, ReconstructError> {
+        if !self.has_pending_bit() {
+            match self.peek_packet()? {
+                Some(Packet::Tnt { bits, count }) => {
+                    self.lookahead = None;
+                    self.tnt_bits = bits;
+                    self.tnt_count = count;
+                    self.tnt_consumed = 0;
+                }
+                _ => return Err(ReconstructError::TntUnderflow),
+            }
+        }
+        let bit = (self.tnt_bits >> self.tnt_consumed) & 1 == 1;
+        self.tnt_consumed += 1;
+        Ok(bit)
+    }
+
+    /// Whether the next trace event is a TNT bit (as opposed to a TIP/FUP
+    /// packet). Used to distinguish compressed from uncompressed returns.
+    fn next_event_is_bit(&mut self) -> Result<bool, ReconstructError> {
+        if self.has_pending_bit() {
+            return Ok(true);
+        }
+        Ok(matches!(self.peek_packet()?, Some(Packet::Tnt { .. })))
+    }
+
+    fn next_tip(&mut self) -> Result<Addr, ReconstructError> {
+        match self.next_packet()? {
+            Some(Packet::Tip { addr }) => Ok(addr),
+            _ => Err(ReconstructError::ExpectedTip),
+        }
+    }
+
+    /// If all TNT bits are consumed and the next packet is FUP, returns its
+    /// address (the trace-stop marker).
+    fn at_fup(&mut self) -> Result<Option<Addr>, ReconstructError> {
+        if self.has_pending_bit() {
+            return Ok(None);
+        }
+        match self.peek_packet()? {
+            Some(Packet::Fup { addr }) => Ok(Some(addr)),
+            _ => Ok(None),
+        }
+    }
+}
+
+/// Reconstructs the executed block sequence from an encoded packet stream.
+///
+/// Inverse of [`record_trace`](crate::record_trace): walks the program's
+/// CFG, consuming one TNT bit per conditional branch (and per compressed
+/// return) and one TIP per indirect transfer, stopping at the FUP marker.
+///
+/// # Errors
+///
+/// Returns a [`ReconstructError`] if the stream is malformed or
+/// inconsistent with the program.
+pub fn reconstruct_trace(
+    program: &Program,
+    layout: &Layout,
+    bytes: &[u8],
+) -> Result<BbTrace, ReconstructError> {
+    let mut cursor = Cursor::new(PacketReader::new(bytes));
+    // Empty trace: no packets at all.
+    if cursor.peek_packet()?.is_none() {
+        return Ok(BbTrace::new(Vec::new()));
+    }
+    if cursor.next_packet()? != Some(Packet::Psb) {
+        return Err(ReconstructError::MissingSync);
+    }
+    let entry_addr = cursor.next_tip()?;
+    let mut current = block_at(layout, entry_addr)?;
+    let mut blocks = vec![current];
+    let mut call_stack: Vec<BlockId> = Vec::new();
+
+    loop {
+        // Stop when the FUP marker names the block we are standing on.
+        if let Some(fup_addr) = cursor.at_fup()? {
+            if layout.block_addr(current) == fup_addr {
+                cursor.next_packet()?; // consume FUP
+                break;
+            }
+            // Otherwise we are mid way through an unconditional chain that
+            // continues below; only unconditional successors may follow
+            // (anything needing an event will error out as corrupt).
+        }
+        let next = match program.successors(current) {
+            Successors::Cond { taken, not_taken } => {
+                if cursor.next_bit()? {
+                    taken
+                } else {
+                    not_taken
+                }
+            }
+            Successors::Jump(target) => target,
+            Successors::Fallthrough(next) => next,
+            Successors::Call { callee, return_to } => {
+                call_stack.push(return_to);
+                callee
+            }
+            Successors::IndirectCall { return_to } => {
+                call_stack.push(return_to);
+                block_at(layout, cursor.next_tip()?)?
+            }
+            Successors::Indirect => block_at(layout, cursor.next_tip()?)?,
+            Successors::Return => {
+                if cursor.next_event_is_bit()? {
+                    if !cursor.next_bit()? {
+                        return Err(ReconstructError::BadReturnBit);
+                    }
+                    call_stack.pop().ok_or(ReconstructError::StackUnderflow)?
+                } else {
+                    let addr = cursor.next_tip()?;
+                    call_stack.pop();
+                    block_at(layout, addr)?
+                }
+            }
+        };
+        blocks.push(next);
+        current = next;
+    }
+
+    match cursor.next_packet()? {
+        Some(Packet::End) => Ok(BbTrace::new(blocks)),
+        _ => Err(ReconstructError::MissingEnd),
+    }
+}
+
+fn block_at(layout: &Layout, addr: Addr) -> Result<BlockId, ReconstructError> {
+    let loc = layout
+        .loc_of_addr(addr)
+        .ok_or(ReconstructError::NotABlockStart(addr))?;
+    if loc.offset != 0 || layout.block_addr(loc.block) != addr {
+        return Err(ReconstructError::NotABlockStart(addr));
+    }
+    Ok(loc.block)
+}

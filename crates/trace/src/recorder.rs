@@ -1,0 +1,175 @@
+//! Records an executed basic-block sequence as a packet stream.
+
+use ripple_program::{Addr, BlockId, Layout, Program, Successors};
+
+use crate::packet::{Packet, PacketWriter, LONG_TNT_BITS};
+
+/// Records control flow as compressed trace packets, mimicking a hardware
+/// tracer like Intel PT.
+///
+/// The recorder is fed each executed block in order via
+/// [`TraceRecorder::record_block`]; it derives the minimal packet stream
+/// (TNT bits, TIPs for indirect transfers, compressed returns) by
+/// consulting the static CFG.
+///
+/// # Examples
+///
+/// See [`record_trace`] for the one-shot convenience entry point.
+#[derive(Debug)]
+pub struct TraceRecorder<'p> {
+    program: &'p Program,
+    layout: &'p Layout,
+    writer: PacketWriter,
+    pending_bits: u64,
+    pending_count: u8,
+    call_stack: Vec<BlockId>,
+    current: Option<BlockId>,
+    started: bool,
+}
+
+impl<'p> TraceRecorder<'p> {
+    /// Creates a recorder for one execution of `program` under `layout`.
+    pub fn new(program: &'p Program, layout: &'p Layout) -> Self {
+        TraceRecorder {
+            program,
+            layout,
+            writer: PacketWriter::new(),
+            pending_bits: 0,
+            pending_count: 0,
+            call_stack: Vec::new(),
+            current: None,
+            started: false,
+        }
+    }
+
+    fn push_bit(&mut self, bit: bool) {
+        self.pending_bits |= u64::from(bit) << self.pending_count;
+        self.pending_count += 1;
+        if self.pending_count == LONG_TNT_BITS {
+            self.flush_bits();
+        }
+    }
+
+    fn flush_bits(&mut self) {
+        if self.pending_count > 0 {
+            self.writer.write(Packet::Tnt {
+                bits: self.pending_bits,
+                count: self.pending_count,
+            });
+            self.pending_bits = 0;
+            self.pending_count = 0;
+        }
+    }
+
+    fn emit_tip(&mut self, addr: Addr) {
+        self.flush_bits();
+        self.writer.write(Packet::Tip { addr });
+    }
+
+    /// Records that `block` executed next.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is not a legal successor of the previously
+    /// recorded block (the execution being traced must follow the CFG).
+    pub fn record_block(&mut self, block: BlockId) {
+        let Some(prev) = self.current else {
+            // First block: synchronize and emit the entry address.
+            self.writer.write(Packet::Psb);
+            self.emit_tip(self.layout.block_addr(block));
+            self.current = Some(block);
+            self.started = true;
+            return;
+        };
+        match self.program.successors(prev) {
+            Successors::Cond { taken, not_taken } => {
+                if block == taken {
+                    self.push_bit(true);
+                } else if block == not_taken {
+                    self.push_bit(false);
+                } else {
+                    panic!("block {block} is not a successor of conditional {prev}");
+                }
+            }
+            Successors::Jump(target) => {
+                assert_eq!(block, target, "jump successor mismatch at {prev}");
+            }
+            Successors::Fallthrough(next) => {
+                assert_eq!(block, next, "fallthrough successor mismatch at {prev}");
+            }
+            Successors::Call { callee, return_to } => {
+                assert_eq!(block, callee, "call successor mismatch at {prev}");
+                self.call_stack.push(return_to);
+            }
+            Successors::IndirectCall { return_to } => {
+                self.call_stack.push(return_to);
+                self.emit_tip(self.layout.block_addr(block));
+            }
+            Successors::Indirect => {
+                self.emit_tip(self.layout.block_addr(block));
+            }
+            Successors::Return => {
+                if self.call_stack.last() == Some(&block) {
+                    // RET compression: a single taken bit.
+                    self.call_stack.pop();
+                    self.push_bit(true);
+                } else {
+                    self.call_stack.pop();
+                    self.emit_tip(self.layout.block_addr(block));
+                }
+            }
+        }
+        self.current = Some(block);
+    }
+
+    /// Finishes the trace, flushing pending bits and appending a
+    /// [`Packet::Fup`] (marking where execution stopped) followed by
+    /// [`Packet::End`].
+    pub fn finish(mut self) -> Vec<u8> {
+        self.flush_bits();
+        if self.started {
+            if let Some(last) = self.current {
+                self.writer.write(Packet::Fup {
+                    addr: self.layout.block_addr(last),
+                });
+            }
+            self.writer.write(Packet::End);
+        }
+        self.writer.into_bytes()
+    }
+}
+
+/// Records a full block sequence in one call.
+///
+/// # Examples
+///
+/// ```
+/// use ripple_program::{CodeKind, Instruction, Layout, LayoutConfig, ProgramBuilder};
+/// use ripple_trace::{reconstruct_trace, record_trace};
+///
+/// let mut b = ProgramBuilder::new();
+/// let main = b.add_function("main", CodeKind::Static);
+/// let b0 = b.add_block(main);
+/// let b1 = b.add_block(main);
+/// b.push_inst(b0, Instruction::other(4));
+/// b.push_inst(b1, Instruction::ret());
+/// let program = b.finish(main)?;
+/// let layout = Layout::new(&program, &LayoutConfig::default());
+///
+/// let executed = vec![b0, b1];
+/// let bytes = record_trace(&program, &layout, executed.iter().copied());
+/// let decoded = reconstruct_trace(&program, &layout, &bytes).unwrap();
+/// assert_eq!(decoded.blocks(), &executed[..]);
+/// # Ok::<(), ripple_program::ValidateProgramError>(())
+/// ```
+pub fn record_trace(
+    program: &Program,
+    layout: &Layout,
+    blocks: impl IntoIterator<Item = BlockId>,
+) -> Vec<u8> {
+    let mut recorder = TraceRecorder::new(program, layout);
+    for b in blocks {
+        recorder.record_block(b);
+    }
+    recorder.finish()
+}

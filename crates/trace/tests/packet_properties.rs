@@ -1,0 +1,57 @@
+//! Property tests for the packet codec.
+
+use proptest::prelude::*;
+use ripple_program::Addr;
+use ripple_trace::{decode_packets, Packet, PacketWriter, LONG_TNT_BITS};
+
+fn arb_packet() -> impl Strategy<Value = Packet> {
+    prop_oneof![
+        Just(Packet::Psb),
+        Just(Packet::End),
+        (any::<u64>(), 1u8..=LONG_TNT_BITS).prop_map(|(bits, count)| Packet::Tnt {
+            bits: bits & ((1u64 << count) - 1),
+            count,
+        }),
+        any::<u64>().prop_map(|a| Packet::Tip { addr: Addr::new(a) }),
+        any::<u64>().prop_map(|a| Packet::Fup { addr: Addr::new(a) }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary packet sequences round-trip exactly.
+    #[test]
+    fn packets_roundtrip(packets in proptest::collection::vec(arb_packet(), 0..64)) {
+        let mut w = PacketWriter::new();
+        for &p in &packets {
+            w.write(p);
+        }
+        let decoded = decode_packets(w.as_bytes()).expect("decodable");
+        prop_assert_eq!(decoded, packets);
+    }
+
+    /// IP compression never inflates: repeated nearby addresses cost at
+    /// most as much as the first full-width one.
+    #[test]
+    fn ip_compression_monotone(base in 0u64..u64::MAX / 2, deltas in proptest::collection::vec(0u64..4096, 1..20)) {
+        let mut w_full = PacketWriter::new();
+        w_full.write(Packet::Tip { addr: Addr::new(base) });
+        let first = w_full.as_bytes().len();
+        let mut w = PacketWriter::new();
+        w.write(Packet::Tip { addr: Addr::new(base) });
+        let mut prev = w.as_bytes().len();
+        for d in deltas {
+            w.write(Packet::Tip { addr: Addr::new(base.wrapping_add(d)) });
+            let grew = w.as_bytes().len() - prev;
+            prop_assert!(grew <= first, "{grew} > {first}");
+            prev = w.as_bytes().len();
+        }
+    }
+
+    /// Decoding arbitrary garbage never panics.
+    #[test]
+    fn garbage_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = decode_packets(&bytes);
+    }
+}

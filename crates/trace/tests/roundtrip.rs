@@ -1,0 +1,194 @@
+//! Record → encode → decode → reconstruct round-trip tests over randomly
+//! executed programs with every control-flow construct.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ripple_program::{
+    BlockId, CodeKind, Instruction, Layout, LayoutConfig, Program, ProgramBuilder, Successors,
+};
+use ripple_trace::{record_trace, reconstruct_trace};
+
+/// Builds a program exercising conditionals, direct/indirect calls,
+/// indirect jumps and returns.
+///
+/// Shape (main): b0 --cond--> {b1 fallthrough, b3 taken}
+///   b1: call helper        -> b2
+///   b2: indirect jump      -> b3 or b4
+///   b3: indirect call      -> helper or leaf, returns to b4
+///   b4: cond backward      -> b0 (taken) or b5
+///   b5: ret
+/// helper: h0 cond -> {h1, h2}; h1: ret; h2: ret
+/// leaf: l0: ret
+fn rich_program() -> (Program, Vec<BlockId>) {
+    let mut b = ProgramBuilder::new();
+    let main = b.add_function("main", CodeKind::Static);
+    let helper = b.add_function("helper", CodeKind::Static);
+    let leaf = b.add_function("leaf", CodeKind::Static);
+
+    let m: Vec<BlockId> = (0..6).map(|_| b.add_block(main)).collect();
+    let h: Vec<BlockId> = (0..3).map(|_| b.add_block(helper)).collect();
+    let l0 = b.add_block(leaf);
+
+    b.push_inst(m[0], Instruction::other(6));
+    b.push_inst(m[0], Instruction::cond_branch(m[3]));
+    b.push_inst(m[1], Instruction::call(helper));
+    b.push_inst(m[2], Instruction::indirect_jump());
+    b.push_inst(m[3], Instruction::indirect_call());
+    b.push_inst(m[4], Instruction::cond_branch(m[0]));
+    b.push_inst(m[5], Instruction::ret());
+
+    b.push_inst(h[0], Instruction::other(2));
+    b.push_inst(h[0], Instruction::cond_branch(h[2]));
+    b.push_inst(h[1], Instruction::ret());
+    b.push_inst(h[2], Instruction::ret());
+
+    b.push_inst(l0, Instruction::ret());
+
+    let program = b.finish(main).unwrap();
+    let mut ids = m;
+    ids.extend(h);
+    ids.push(l0);
+    (program, ids)
+}
+
+/// Executes the rich program with an rng deciding every dynamic outcome,
+/// following the CFG exactly as a CPU would.
+fn random_execution(program: &Program, seed: u64, max_blocks: usize) -> Vec<BlockId> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut call_stack: Vec<BlockId> = Vec::new();
+    let mut current = program.entry_block();
+    let mut out = vec![current];
+    // Indirect jump in m[2] may land on m[3] or m[4]; indirect call in m[3]
+    // targets helper or leaf.
+    let (_, ids) = rich_program();
+    let (m3, m4) = (ids[3], ids[4]);
+    let helper_entry = program.function(ripple_program::FuncId::new(1)).entry();
+    let leaf_entry = program.function(ripple_program::FuncId::new(2)).entry();
+
+    while out.len() < max_blocks {
+        let next = match program.successors(current) {
+            Successors::Cond { taken, not_taken } => {
+                if rng.gen_bool(0.5) {
+                    taken
+                } else {
+                    not_taken
+                }
+            }
+            Successors::Jump(t) => t,
+            Successors::Fallthrough(t) => t,
+            Successors::Call { callee, return_to } => {
+                call_stack.push(return_to);
+                callee
+            }
+            Successors::IndirectCall { return_to } => {
+                call_stack.push(return_to);
+                if rng.gen_bool(0.5) {
+                    helper_entry
+                } else {
+                    leaf_entry
+                }
+            }
+            Successors::Indirect => {
+                if rng.gen_bool(0.5) {
+                    m3
+                } else {
+                    m4
+                }
+            }
+            Successors::Return => match call_stack.pop() {
+                Some(r) => r,
+                None => break, // program finished
+            },
+        };
+        out.push(next);
+        current = next;
+    }
+    out
+}
+
+#[test]
+fn roundtrip_deterministic_seeds() {
+    let (program, _) = rich_program();
+    let layout = Layout::new(&program, &LayoutConfig::default());
+    for seed in 0..50 {
+        let executed = random_execution(&program, seed, 500);
+        let bytes = record_trace(&program, &layout, executed.iter().copied());
+        let decoded = reconstruct_trace(&program, &layout, &bytes)
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        assert_eq!(decoded.blocks(), &executed[..], "seed {seed}");
+    }
+}
+
+#[test]
+fn roundtrip_truncated_executions() {
+    // Stopping at every possible prefix length must still round-trip
+    // (the FUP end marker pins the final block).
+    let (program, _) = rich_program();
+    let layout = Layout::new(&program, &LayoutConfig::default());
+    let executed = random_execution(&program, 7, 120);
+    for n in 1..=executed.len() {
+        let prefix = &executed[..n];
+        let bytes = record_trace(&program, &layout, prefix.iter().copied());
+        let decoded = reconstruct_trace(&program, &layout, &bytes).unwrap();
+        assert_eq!(decoded.blocks(), prefix, "prefix length {n}");
+    }
+}
+
+#[test]
+fn trace_is_compact() {
+    // The whole point of PT-style tracing: bytes per executed block << 8.
+    let (program, _) = rich_program();
+    let layout = Layout::new(&program, &LayoutConfig::default());
+    let executed = random_execution(&program, 3, 20_000);
+    let bytes = record_trace(&program, &layout, executed.iter().copied());
+    let per_block = bytes.len() as f64 / executed.len() as f64;
+    assert!(per_block < 1.5, "trace too large: {per_block} B/block");
+}
+
+#[test]
+fn empty_trace_roundtrips() {
+    let (program, _) = rich_program();
+    let layout = Layout::new(&program, &LayoutConfig::default());
+    let bytes = record_trace(&program, &layout, std::iter::empty());
+    let decoded = reconstruct_trace(&program, &layout, &bytes).unwrap();
+    assert!(decoded.is_empty());
+}
+
+#[test]
+fn single_block_trace_roundtrips() {
+    let (program, _) = rich_program();
+    let layout = Layout::new(&program, &LayoutConfig::default());
+    let entry = program.entry_block();
+    let bytes = record_trace(&program, &layout, std::iter::once(entry));
+    let decoded = reconstruct_trace(&program, &layout, &bytes).unwrap();
+    assert_eq!(decoded.blocks(), &[entry]);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn roundtrip_random_seeds(seed in any::<u64>(), len in 1usize..400) {
+        let (program, _) = rich_program();
+        let layout = Layout::new(&program, &LayoutConfig::default());
+        let executed = random_execution(&program, seed, len);
+        let bytes = record_trace(&program, &layout, executed.iter().copied());
+        let decoded = reconstruct_trace(&program, &layout, &bytes).unwrap();
+        prop_assert_eq!(decoded.blocks(), &executed[..]);
+    }
+
+    #[test]
+    fn corrupted_traces_never_panic(seed in any::<u64>(), flip in 0usize..64) {
+        let (program, _) = rich_program();
+        let layout = Layout::new(&program, &LayoutConfig::default());
+        let executed = random_execution(&program, seed, 100);
+        let mut bytes = record_trace(&program, &layout, executed.iter().copied());
+        if !bytes.is_empty() {
+            let idx = flip % bytes.len();
+            bytes[idx] ^= 0xa5;
+            // Any outcome is fine as long as it is an Ok or Err, not a panic.
+            let _ = reconstruct_trace(&program, &layout, &bytes);
+        }
+    }
+}

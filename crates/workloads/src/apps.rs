@@ -1,0 +1,268 @@
+//! The nine data center application profiles from the paper's evaluation.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::spec::{AppSpec, Range};
+
+/// The nine applications studied in the paper (§II-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum App {
+    /// Apache Cassandra (NoSQL database, DaCapo).
+    Cassandra,
+    /// Drupal on HHVM (PHP CMS, OSS-performance).
+    Drupal,
+    /// Twitter Finagle-Chirper (microblogging, Renaissance).
+    FinagleChirper,
+    /// Twitter Finagle-HTTP (HTTP server, Renaissance).
+    FinagleHttp,
+    /// Apache Kafka (stream processing, DaCapo).
+    Kafka,
+    /// MediaWiki on HHVM (wiki engine, OSS-performance).
+    Mediawiki,
+    /// Apache Tomcat (servlet container, DaCapo).
+    Tomcat,
+    /// Verilator (hardware simulation).
+    Verilator,
+    /// WordPress on HHVM (PHP CMS, OSS-performance).
+    Wordpress,
+}
+
+impl App {
+    /// All nine applications, in the paper's (alphabetical) figure order.
+    pub const ALL: [App; 9] = [
+        App::Cassandra,
+        App::Drupal,
+        App::FinagleChirper,
+        App::FinagleHttp,
+        App::Kafka,
+        App::Mediawiki,
+        App::Tomcat,
+        App::Verilator,
+        App::Wordpress,
+    ];
+
+    /// The application's display name as used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            App::Cassandra => "cassandra",
+            App::Drupal => "drupal",
+            App::FinagleChirper => "finagle-chirper",
+            App::FinagleHttp => "finagle-http",
+            App::Kafka => "kafka",
+            App::Mediawiki => "mediawiki",
+            App::Tomcat => "tomcat",
+            App::Verilator => "verilator",
+            App::Wordpress => "wordpress",
+        }
+    }
+
+    /// Whether the application contains JIT-compiled code regions (the
+    /// three HHVM applications), which caps Ripple's coverage (§IV).
+    pub fn has_jit(self) -> bool {
+        matches!(self, App::Drupal | App::Mediawiki | App::Wordpress)
+    }
+
+    /// The synthetic workload specification modelling this application.
+    ///
+    /// Profiles differ in instruction footprint, call-graph depth, branch
+    /// predictability, indirect-branch density, phase behaviour and
+    /// JIT/kernel code fractions, chosen so the *relative* behaviours the
+    /// paper reports emerge from the model:
+    ///
+    /// * the HHVM trio carries ~45–55 % JIT code and a visible kernel
+    ///   component, capping Ripple's replacement coverage below 50 %;
+    /// * verilator is a huge, highly predictable, generated code base with
+    ///   almost no indirect control flow, where Ripple can cover nearly
+    ///   every ideal eviction;
+    /// * the JVM/Scala services sit in between, with deep stacks and
+    ///   phase-sensitive request mixes.
+    pub fn spec(self) -> AppSpec {
+        let base = AppSpec {
+            name: self.name().to_string(),
+            seed: 0xd47a_c347e5 ^ (self as u64) << 8,
+            layer_functions: vec![32, 96, 288, 864, 1728],
+            blocks_per_fn: Range::new(6, 10),
+            instrs_per_block: Range::new(4, 12),
+            instr_bytes: Range::new(2, 7),
+            call_density: 0.45,
+            indirect_call_frac: 0.15,
+            indirect_fanout: Range::new(2, 5),
+            cond_frac: 0.62,
+            loop_frac: 0.12,
+            loop_continue_prob: 0.55,
+            strong_bias_frac: 0.9,
+            phase_sensitive_frac: 0.3,
+            indirect_jump_frac: 0.08,
+            num_phases: 4,
+            requests_per_phase: 24,
+            hot_handler_frac: 0.2,
+            hot_handler_weight: 20.0,
+            jit_frac: 0.0,
+            variants_per_handler: 2,
+            path_noise: 0.03,
+            kernel_funcs: 6,
+            kernel_call_prob: 0.04,
+        };
+        match self {
+            App::Cassandra => base,
+            App::Drupal => AppSpec {
+                layer_functions: vec![36, 108, 320, 960, 1900],
+                jit_frac: 0.45,
+                kernel_funcs: 14,
+                kernel_call_prob: 0.10,
+                indirect_call_frac: 0.20,
+                path_noise: 0.04,
+                num_phases: 5,
+                ..base
+            },
+            App::FinagleChirper => AppSpec {
+                layer_functions: vec![28, 84, 252, 756, 1500],
+                indirect_call_frac: 0.24,
+                phase_sensitive_frac: 0.35,
+                path_noise: 0.035,
+                num_phases: 5,
+                requests_per_phase: 20,
+                ..base
+            },
+            App::FinagleHttp => AppSpec {
+                layer_functions: vec![30, 90, 270, 810, 1600],
+                indirect_call_frac: 0.22,
+                phase_sensitive_frac: 0.33,
+                path_noise: 0.035,
+                requests_per_phase: 22,
+                ..base
+            },
+            App::Kafka => AppSpec {
+                layer_functions: vec![34, 100, 300, 900, 1760],
+                loop_frac: 0.18,
+                strong_bias_frac: 0.92,
+                num_phases: 3,
+                requests_per_phase: 28,
+                ..base
+            },
+            App::Mediawiki => AppSpec {
+                layer_functions: vec![34, 104, 312, 936, 1850],
+                jit_frac: 0.45,
+                kernel_funcs: 12,
+                kernel_call_prob: 0.10,
+                indirect_call_frac: 0.20,
+                path_noise: 0.04,
+                num_phases: 5,
+                ..base
+            },
+            App::Tomcat => AppSpec {
+                layer_functions: vec![28, 84, 240, 720, 1400],
+                strong_bias_frac: 0.85,
+                phase_sensitive_frac: 0.28,
+                path_noise: 0.05,
+                requests_per_phase: 22,
+                ..base
+            },
+            App::Verilator => AppSpec {
+                // Generated hardware-model code: huge, highly sequential,
+                // extremely deterministic (the evaluation loop runs the
+                // same basic blocks every cycle), so Ripple can cover and
+                // time nearly every ideal eviction (98.7 % coverage,
+                // 99.9 % accuracy in the paper).
+                layer_functions: vec![36, 120, 360, 1080, 2100],
+                blocks_per_fn: Range::new(4, 8),
+                instrs_per_block: Range::new(10, 24),
+                call_density: 0.5,
+                indirect_call_frac: 0.02,
+                cond_frac: 0.35,
+                loop_frac: 0.05,
+                strong_bias_frac: 0.995,
+                phase_sensitive_frac: 0.03,
+                indirect_jump_frac: 0.01,
+                num_phases: 2,
+                requests_per_phase: 10,
+                hot_handler_frac: 0.12,
+                hot_handler_weight: 50.0,
+                variants_per_handler: 1,
+                path_noise: 0.005,
+                kernel_funcs: 2,
+                kernel_call_prob: 0.01,
+                ..base
+            },
+            App::Wordpress => AppSpec {
+                layer_functions: vec![38, 112, 330, 990, 1950],
+                jit_frac: 0.50,
+                kernel_funcs: 14,
+                kernel_call_prob: 0.11,
+                indirect_call_frac: 0.22,
+                path_noise: 0.04,
+                num_phases: 5,
+                requests_per_phase: 26,
+                ..base
+            },
+        }
+    }
+}
+
+impl fmt::Display for App {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::generate;
+
+    #[test]
+    fn all_specs_validate() {
+        for app in App::ALL {
+            app.spec().validate();
+        }
+    }
+
+    #[test]
+    fn names_match_paper_order() {
+        let names: Vec<_> = App::ALL.iter().map(|a| a.name()).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted, "figure order is alphabetical");
+    }
+
+    #[test]
+    fn jit_flags() {
+        assert!(App::Drupal.has_jit());
+        assert!(App::Mediawiki.has_jit());
+        assert!(App::Wordpress.has_jit());
+        assert!(!App::Verilator.has_jit());
+        assert!(!App::Cassandra.has_jit());
+    }
+
+    #[test]
+    fn hhvm_apps_generate_jit_functions() {
+        let app = generate(&App::Drupal.spec());
+        let jit = app
+            .program
+            .functions()
+            .iter()
+            .filter(|f| f.kind() == ripple_program::CodeKind::Jit)
+            .count();
+        assert!(jit > 0, "drupal must contain jit functions");
+    }
+
+    #[test]
+    fn verilator_is_largest() {
+        // Compare static instruction bytes without generating full
+        // programs for all apps (cheap proxy: layer sizes × block sizes).
+        let weight = |a: App| {
+            let s = a.spec();
+            let fns: u32 = s.layer_functions.iter().sum();
+            let avg_block =
+                (s.instrs_per_block.min + s.instrs_per_block.max) as u64 / 2;
+            u64::from(fns) * avg_block * u64::from(s.blocks_per_fn.max)
+        };
+        for app in App::ALL {
+            if app != App::Verilator {
+                assert!(weight(App::Verilator) > weight(app), "{app}");
+            }
+        }
+    }
+}

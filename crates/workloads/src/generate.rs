@@ -1,0 +1,287 @@
+//! Deterministic generation of a synthetic application from an [`AppSpec`].
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use ripple_program::{
+    BlockId, CodeKind, FuncId, Instruction, Program, ProgramBuilder, ValidateProgramError,
+};
+
+use crate::model::{BranchSite, ExecModel, IndirectSite};
+use crate::spec::{AppSpec, Range};
+
+/// A generated application: its static program plus the dynamic execution
+/// model driving branch outcomes, indirect targets and request dispatch.
+#[derive(Debug, Clone)]
+pub struct Application {
+    /// The application's name (from the spec).
+    pub name: String,
+    /// The static program.
+    pub program: Program,
+    /// The dynamic execution model.
+    pub model: ExecModel,
+}
+
+fn sample(rng: &mut StdRng, r: Range) -> u32 {
+    rng.gen_range(r.min..=r.max)
+}
+
+/// Generates an application from `spec`, deterministically in `spec.seed`.
+///
+/// The static shape is a layered call graph: layer 0 functions are request
+/// handlers dispatched from a synthetic event loop; call sites in layer
+/// `i` target a locality window of functions in layer `i + 1` (or kernel
+/// helpers). Within a function, blocks form a forward CFG with occasional
+/// backward (loop) branches and indirect jumps.
+///
+/// # Panics
+///
+/// Panics if `spec` fails [`AppSpec::validate`] or generation produces an
+/// invalid program (a bug, guarded by [`Program::validate`]).
+pub fn generate(spec: &AppSpec) -> Application {
+    try_generate(spec).expect("generated program must validate")
+}
+
+fn try_generate(spec: &AppSpec) -> Result<Application, ValidateProgramError> {
+    spec.validate();
+    let mut rng = StdRng::seed_from_u64(spec.seed ^ 0x5eed_0000_0001);
+    let mut b = ProgramBuilder::new();
+
+    // Event loop: d0 dispatches a request via indirect call, d1 loops back.
+    let event_loop = b.add_function("event_loop", CodeKind::Static);
+    let d0 = b.add_block(event_loop);
+    let d1 = b.add_block(event_loop);
+    b.push_inst(d0, Instruction::other(4));
+    b.push_inst(d0, Instruction::indirect_call());
+    b.push_inst(d1, Instruction::jump(d0));
+
+    // Kernel helpers: flat leaf functions.
+    let mut kernel_fns: Vec<FuncId> = Vec::new();
+    for k in 0..spec.kernel_funcs {
+        let f = b.add_function(format!("kernel_{k}"), CodeKind::Kernel);
+        let blocks = sample(&mut rng, spec.blocks_per_fn).max(1);
+        build_leaf_body(&mut b, f, blocks, spec, &mut rng);
+        kernel_fns.push(f);
+    }
+
+    // Layered application functions.
+    let num_layers = spec.layer_functions.len();
+    let mut layers: Vec<Vec<FuncId>> = Vec::with_capacity(num_layers);
+    for (li, &count) in spec.layer_functions.iter().enumerate() {
+        let mut fns = Vec::with_capacity(count as usize);
+        for fi in 0..count {
+            let jit = li > 0 && rng.gen_bool(spec.jit_frac);
+            let kind = if jit { CodeKind::Jit } else { CodeKind::Static };
+            let f = b.add_function(format!("l{li}_f{fi}"), kind);
+            fns.push(f);
+        }
+        layers.push(fns);
+    }
+
+    // Bodies. Built after all functions exist so call sites can reference
+    // any later-layer function id.
+    let mut branch: Vec<Option<BranchSite>> = Vec::new();
+    let mut indirect: Vec<Option<IndirectSite>> = Vec::new();
+    // Resize lazily at the end; remember (block, site) pairs meanwhile.
+    let mut branch_sites: Vec<(BlockId, BranchSite)> = Vec::new();
+    let mut indirect_sites: Vec<(BlockId, Vec<FuncIdOrBlock>)> = Vec::new();
+
+    enum FuncIdOrBlock {
+        Func(FuncId),
+        Block(BlockId),
+    }
+
+    for (li, fns) in layers.iter().enumerate() {
+        let next_layer: Option<&[FuncId]> = layers.get(li + 1).map(|v| v.as_slice());
+        for (fi, &f) in fns.iter().enumerate() {
+            let nblocks = sample(&mut rng, spec.blocks_per_fn).max(2) as usize;
+            let blocks: Vec<BlockId> = (0..nblocks).map(|_| b.add_block(f)).collect();
+
+            // Locality window of callees in the next layer: each function
+            // owns a mostly-disjoint contiguous slice (tiled with ~25 %
+            // overlap with its neighbour). Disjoint subtrees make the
+            // per-phase hot working set scale with the number of hot
+            // handlers, which is what overwhelms the L1I in real data
+            // center services.
+            let window: Vec<FuncId> = match next_layer {
+                Some(next) => {
+                    let base_w = next.len() / fns.len().max(1);
+                    let w = base_w.clamp(2, 40).min(next.len());
+                    let start = (fi * next.len() / fns.len().max(1)).min(next.len() - w);
+                    next[start..start + w].to_vec()
+                }
+                None => Vec::new(),
+            };
+
+            for (bi, &blk) in blocks.iter().enumerate() {
+                let is_last = bi + 1 == nblocks;
+                // Body instructions.
+                let count = sample(&mut rng, spec.instrs_per_block).max(1);
+                for _ in 0..count {
+                    let sz = sample(&mut rng, spec.instr_bytes).clamp(1, 15) as u8;
+                    b.push_inst(blk, Instruction::other(sz));
+                }
+                if is_last {
+                    b.push_inst(blk, Instruction::ret());
+                    continue;
+                }
+                // Terminator selection.
+                let can_call = !window.is_empty() || !kernel_fns.is_empty();
+                if can_call && rng.gen_bool(spec.call_density) {
+                    let use_kernel = !kernel_fns.is_empty()
+                        && (window.is_empty() || rng.gen_bool(spec.kernel_call_prob));
+                    if use_kernel {
+                        let callee = kernel_fns[rng.gen_range(0..kernel_fns.len())];
+                        b.push_inst(blk, Instruction::call(callee));
+                    } else if rng.gen_bool(spec.indirect_call_frac) {
+                        let fanout =
+                            (sample(&mut rng, spec.indirect_fanout) as usize).clamp(2, window.len().max(2));
+                        let mut targets = Vec::with_capacity(fanout);
+                        for _ in 0..fanout.min(window.len()) {
+                            targets.push(FuncIdOrBlock::Func(
+                                window[rng.gen_range(0..window.len())],
+                            ));
+                        }
+                        if targets.is_empty() {
+                            // No next layer: degrade to a direct kernel call
+                            // or plain fall-through.
+                            b.push_inst(blk, Instruction::other(2));
+                        } else {
+                            b.push_inst(blk, Instruction::indirect_call());
+                            indirect_sites.push((blk, targets));
+                        }
+                    } else {
+                        let callee = window[rng.gen_range(0..window.len())];
+                        b.push_inst(blk, Instruction::call(callee));
+                    }
+                } else if rng.gen_bool(spec.cond_frac) {
+                    // Conditional branch: backward (loop) or forward (skip).
+                    // Loops are confined to leaf functions: a loop around a
+                    // call site would re-execute the whole callee subtree,
+                    // collapsing the instruction working set into a few
+                    // lines (real service stacks loop in leaf parsing/
+                    // serialization code, not around RPC layers).
+                    let is_leaf_layer = li + 1 == num_layers;
+                    let backward = bi > 0 && is_leaf_layer && rng.gen_bool(spec.loop_frac);
+                    let (target, site) = if backward {
+                        let t = blocks[rng.gen_range(0..bi)];
+                        (
+                            t,
+                            BranchSite {
+                                bias: spec.loop_continue_prob,
+                                phase_sensitive: false,
+                                backward: true,
+                            },
+                        )
+                    } else {
+                        let hi = nblocks - 1;
+                        let lo = bi + 1;
+                        let t = blocks[rng.gen_range(lo..=hi)];
+                        let strong = rng.gen_bool(spec.strong_bias_frac);
+                        let base = if strong { 0.97 } else { 0.6 };
+                        let bias = if rng.gen_bool(0.5) { base } else { 1.0 - base };
+                        (
+                            t,
+                            BranchSite {
+                                bias,
+                                phase_sensitive: rng.gen_bool(spec.phase_sensitive_frac),
+                                backward: false,
+                            },
+                        )
+                    };
+                    if target == blk {
+                        // Self-loop guard: treat as backward loop to self.
+                        branch_sites.push((
+                            blk,
+                            BranchSite {
+                                bias: spec.loop_continue_prob,
+                                phase_sensitive: false,
+                                backward: true,
+                            },
+                        ));
+                    } else {
+                        branch_sites.push((blk, site));
+                    }
+                    b.push_inst(blk, Instruction::cond_branch(target));
+                } else if nblocks > bi + 2 && rng.gen_bool(spec.indirect_jump_frac) {
+                    // Indirect jump (switch): 2..=4 forward targets.
+                    let fanout = rng.gen_range(2..=4usize);
+                    let mut targets = Vec::with_capacity(fanout);
+                    for _ in 0..fanout {
+                        let t = blocks[rng.gen_range(bi + 1..nblocks)];
+                        targets.push(FuncIdOrBlock::Block(t));
+                    }
+                    b.push_inst(blk, Instruction::indirect_jump());
+                    indirect_sites.push((blk, targets));
+                } else {
+                    // Fall-through: nothing to push.
+                }
+            }
+        }
+    }
+
+    // The dispatch site targets every handler.
+    indirect_sites.push((
+        d0,
+        layers[0].iter().map(|&f| FuncIdOrBlock::Func(f)).collect(),
+    ));
+
+    let program = b.finish(event_loop)?;
+    let handlers: Vec<BlockId> = layers[0]
+        .iter()
+        .map(|&f| program.function(f).entry())
+        .collect();
+
+    // Densify side tables now that block count is final.
+    branch.resize(program.num_blocks(), None);
+    indirect.resize(program.num_blocks(), None);
+    for (blk, site) in branch_sites {
+        branch[blk.index()] = Some(site);
+    }
+    for (blk, targets) in indirect_sites {
+        let resolved: Vec<BlockId> = targets
+            .into_iter()
+            .map(|t| match t {
+                FuncIdOrBlock::Func(f) => program.function(f).entry(),
+                FuncIdOrBlock::Block(bb) => bb,
+            })
+            .collect();
+        indirect[blk.index()] = Some(IndirectSite { targets: resolved });
+    }
+
+    let hot = ((handlers.len() as f64 * spec.hot_handler_frac).round() as usize)
+        .clamp(1, handlers.len());
+    let model = ExecModel {
+        branch,
+        indirect,
+        handlers,
+        dispatch_block: d0,
+        num_phases: spec.num_phases,
+        requests_per_phase: spec.requests_per_phase,
+        hot_handlers: hot,
+        hot_handler_weight: spec.hot_handler_weight,
+        variants: spec.variants_per_handler.max(1),
+        path_noise: spec.path_noise,
+    };
+
+    Ok(Application {
+        name: spec.name.clone(),
+        program,
+        model,
+    })
+}
+
+fn build_leaf_body(b: &mut ProgramBuilder, f: FuncId, blocks: u32, spec: &AppSpec, rng: &mut StdRng) {
+    let n = blocks.max(1);
+    for bi in 0..n {
+        let blk = b.add_block(f);
+        let count = sample(rng, spec.instrs_per_block).max(1);
+        for _ in 0..count {
+            let sz = sample(rng, spec.instr_bytes).clamp(1, 15) as u8;
+            b.push_inst(blk, Instruction::other(sz));
+        }
+        if bi + 1 == n {
+            b.push_inst(blk, Instruction::ret());
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! Synthetic data center applications for the Ripple reproduction.
+//!
+//! The paper evaluates Ripple on nine real data center applications
+//! (HHVM/PHP sites, JVM services, Verilator). Those cannot be executed or
+//! traced here, so this crate generates *synthetic* applications whose
+//! instruction-supply behaviour mirrors what the paper relies on:
+//! multi-megabyte instruction footprints, deep layered call graphs,
+//! request-driven execution with phase-shifting working sets, biased and
+//! phase-sensitive branches, indirect calls, JIT code regions (for the
+//! HHVM trio) and kernel helpers.
+//!
+//! * [`AppSpec`] — the generative knobs;
+//! * [`App`] — the nine paper applications as presets;
+//! * [`generate`] — deterministic program + [`ExecModel`] construction;
+//! * [`Executor`] / [`execute`] — request-driven execution producing a
+//!   [`BbTrace`](ripple_trace::BbTrace);
+//! * [`InputConfig`] — load-generator inputs #0–#3 for the Fig. 13 study.
+//!
+//! # Examples
+//!
+//! ```
+//! use ripple_workloads::{execute, generate, AppSpec, InputConfig};
+//!
+//! let app = generate(&AppSpec::tiny(42));
+//! let trace = execute(&app.program, &app.model, InputConfig::training(42), 10_000);
+//! assert!(trace.dynamic_instruction_count(&app.program) >= 10_000);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod apps;
+mod exec;
+mod generate;
+mod input;
+mod model;
+mod spec;
+
+pub use apps::App;
+pub use exec::{execute, Executor};
+pub use generate::{generate, Application};
+pub use input::InputConfig;
+pub use model::{BranchSite, ExecModel, IndirectSite};
+pub use spec::{AppSpec, Range};

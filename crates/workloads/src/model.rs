@@ -1,0 +1,163 @@
+//! The dynamic execution model that accompanies a generated program.
+
+use serde::{Deserialize, Serialize};
+
+use ripple_program::BlockId;
+
+/// Behaviour of one conditional branch site.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BranchSite {
+    /// Base probability the branch is taken.
+    pub bias: f64,
+    /// Whether the bias flips with the program phase.
+    pub phase_sensitive: bool,
+    /// Whether this is a backward (loop) branch; loop branches keep their
+    /// bias across phases so trip counts stay stable.
+    pub backward: bool,
+}
+
+/// Behaviour of one indirect jump/call site.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IndirectSite {
+    /// Candidate successor blocks (function entries for calls, same-
+    /// function blocks for jumps).
+    pub targets: Vec<BlockId>,
+}
+
+/// Dynamic behaviour of a generated application: per-site branch biases and
+/// indirect target sets, the request dispatch structure, and the phase
+/// schedule.
+///
+/// Produced by [`generate`](crate::generate) together with its
+/// [`Program`](ripple_program::Program); consumed by the
+/// [`Executor`](crate::Executor).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExecModel {
+    /// Per-block conditional branch behaviour (dense; `None` when the
+    /// block does not end in a conditional branch).
+    pub branch: Vec<Option<BranchSite>>,
+    /// Per-block indirect site behaviour.
+    pub indirect: Vec<Option<IndirectSite>>,
+    /// Entry blocks of the request handlers (dispatch targets of the event
+    /// loop).
+    pub handlers: Vec<BlockId>,
+    /// Block holding the event loop's dispatching indirect call.
+    pub dispatch_block: BlockId,
+    /// Number of phases the application cycles through.
+    pub num_phases: u64,
+    /// Requests per phase.
+    pub requests_per_phase: u64,
+    /// Number of handlers that are hot in any given phase.
+    pub hot_handlers: usize,
+    /// Relative selection weight of a hot handler.
+    pub hot_handler_weight: f64,
+    /// Request variants per handler (deterministic paths).
+    pub variants: u32,
+    /// Per-decision deviation probability from the variant's fixed path.
+    pub path_noise: f64,
+}
+
+impl ExecModel {
+    /// The phase in effect while serving request number `request`.
+    #[inline]
+    pub fn phase_of(&self, request: u64) -> u64 {
+        (request / self.requests_per_phase) % self.num_phases
+    }
+
+    /// The branch site for `block`, if it ends in a conditional branch.
+    #[inline]
+    pub fn branch_site(&self, block: BlockId) -> Option<&BranchSite> {
+        self.branch.get(block.index()).and_then(|s| s.as_ref())
+    }
+
+    /// The indirect site for `block`, if it ends in an indirect transfer.
+    #[inline]
+    pub fn indirect_site(&self, block: BlockId) -> Option<&IndirectSite> {
+        self.indirect.get(block.index()).and_then(|s| s.as_ref())
+    }
+
+    /// Effective taken probability of a branch site during `phase`.
+    ///
+    /// Phase-sensitive forward branches flip their bias on odd
+    /// (site-relative) phases, which is what makes the same cache line
+    /// cache-friendly in one phase and cache-averse in another (§II-D).
+    pub fn effective_bias(&self, block: BlockId, site: &BranchSite, phase: u64) -> f64 {
+        if site.phase_sensitive && !site.backward {
+            let flip = (phase.wrapping_add(u64::from(block.get()))) % 2 == 1;
+            if flip {
+                1.0 - site.bias
+            } else {
+                site.bias
+            }
+        } else {
+            site.bias
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> ExecModel {
+        ExecModel {
+            branch: vec![
+                Some(BranchSite {
+                    bias: 0.9,
+                    phase_sensitive: true,
+                    backward: false,
+                }),
+                None,
+            ],
+            indirect: vec![None, None],
+            handlers: vec![BlockId::new(1)],
+            dispatch_block: BlockId::new(0),
+            num_phases: 3,
+            requests_per_phase: 10,
+            hot_handlers: 1,
+            hot_handler_weight: 4.0,
+            variants: 2,
+            path_noise: 0.05,
+        }
+    }
+
+    #[test]
+    fn phase_schedule() {
+        let m = model();
+        assert_eq!(m.phase_of(0), 0);
+        assert_eq!(m.phase_of(9), 0);
+        assert_eq!(m.phase_of(10), 1);
+        assert_eq!(m.phase_of(29), 2);
+        assert_eq!(m.phase_of(30), 0);
+    }
+
+    #[test]
+    fn phase_sensitive_bias_flips() {
+        let m = model();
+        let site = m.branch_site(BlockId::new(0)).copied().unwrap();
+        let b0 = m.effective_bias(BlockId::new(0), &site, 0);
+        let b1 = m.effective_bias(BlockId::new(0), &site, 1);
+        assert!((b0 - (1.0 - b1)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn backward_branches_keep_bias() {
+        let m = model();
+        let site = BranchSite {
+            bias: 0.7,
+            phase_sensitive: true,
+            backward: true,
+        };
+        for phase in 0..4 {
+            assert_eq!(m.effective_bias(BlockId::new(0), &site, phase), 0.7);
+        }
+    }
+
+    #[test]
+    fn missing_sites_are_none() {
+        let m = model();
+        assert!(m.branch_site(BlockId::new(1)).is_none());
+        assert!(m.indirect_site(BlockId::new(0)).is_none());
+        assert!(m.branch_site(BlockId::new(99)).is_none());
+    }
+}

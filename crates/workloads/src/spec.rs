@@ -1,0 +1,197 @@
+//! Application specifications: the knobs that shape a synthetic data
+//! center application.
+
+use serde::{Deserialize, Serialize};
+
+/// Inclusive integer range helper used by the generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Range {
+    /// Inclusive lower bound.
+    pub min: u32,
+    /// Inclusive upper bound.
+    pub max: u32,
+}
+
+impl Range {
+    /// Creates a range; `min` must not exceed `max`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min > max`.
+    pub fn new(min: u32, max: u32) -> Self {
+        assert!(min <= max, "range min {min} > max {max}");
+        Range { min, max }
+    }
+}
+
+/// Everything needed to deterministically generate one synthetic data
+/// center application: its static shape (call-graph layers, block/function
+/// sizes, branch mix) and its dynamic behaviour (branch biases, phase
+/// structure, request mix, JIT/kernel fractions).
+///
+/// The nine presets on [`App`](crate::App) instantiate this to echo the
+/// distinguishing features the paper reports for each application
+/// (footprint, JIT fraction, branch predictability, coverage potential).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppSpec {
+    /// Application name (matches the paper's figures).
+    pub name: String,
+    /// Base RNG seed; combined with the input seed at execution time.
+    pub seed: u64,
+    /// Number of functions per call-graph layer; layer 0 holds the request
+    /// handlers, the last layer holds leaves.
+    pub layer_functions: Vec<u32>,
+    /// Blocks per function.
+    pub blocks_per_fn: Range,
+    /// Non-terminator instructions per block.
+    pub instrs_per_block: Range,
+    /// Byte size of a non-control-flow instruction.
+    pub instr_bytes: Range,
+    /// Probability that an eligible block ends in a call.
+    pub call_density: f64,
+    /// Of calls, fraction that are indirect.
+    pub indirect_call_frac: f64,
+    /// Number of candidate callees for an indirect call site.
+    pub indirect_fanout: Range,
+    /// Of non-call block endings, probability of a conditional branch
+    /// (otherwise fall-through).
+    pub cond_frac: f64,
+    /// Of conditional branches, fraction that branch backward (loops).
+    pub loop_frac: f64,
+    /// Probability a loop's backward branch is taken (geometric trip
+    /// count).
+    pub loop_continue_prob: f64,
+    /// Of forward conditional branches, fraction with a strong (0.97)
+    /// taken/not-taken bias; the rest are weakly biased (0.6) and hard to
+    /// predict.
+    pub strong_bias_frac: f64,
+    /// Fraction of branch sites whose bias flips with the program phase,
+    /// creating the reuse-distance variance of §II-D.
+    pub phase_sensitive_frac: f64,
+    /// Of non-call, non-cond endings, fraction that are indirect jumps
+    /// (switch tables).
+    pub indirect_jump_frac: f64,
+    /// Number of execution phases the application cycles through.
+    pub num_phases: u64,
+    /// Requests served before the phase advances.
+    pub requests_per_phase: u64,
+    /// Fraction of handlers that are hot within a given phase.
+    pub hot_handler_frac: f64,
+    /// Selection weight of a hot handler relative to a cold one.
+    pub hot_handler_weight: f64,
+    /// Fraction of non-handler functions that are JIT-compiled (address
+    /// space reused; Ripple will not inject there).
+    pub jit_frac: f64,
+    /// Distinct request variants per handler: a (handler, variant) pair
+    /// takes a fixed control-flow path through the stack (real request
+    /// processing is nearly deterministic per request type), modulated by
+    /// `path_noise`.
+    pub variants_per_handler: u32,
+    /// Probability that any single control-flow decision deviates from
+    /// its variant's fixed path (cache-missy surprises, cold branches).
+    pub path_noise: f64,
+    /// Number of kernel functions (traced but never rewritten).
+    pub kernel_funcs: u32,
+    /// Probability that a call site targets a kernel function instead of
+    /// the next layer.
+    pub kernel_call_prob: f64,
+}
+
+impl AppSpec {
+    /// A small, fast specification for tests and examples: a few dozen
+    /// functions, two phases, every control-flow construct represented.
+    pub fn tiny(seed: u64) -> Self {
+        AppSpec {
+            name: "tiny".to_string(),
+            seed,
+            layer_functions: vec![4, 8, 12],
+            blocks_per_fn: Range::new(3, 8),
+            instrs_per_block: Range::new(2, 8),
+            instr_bytes: Range::new(2, 7),
+            call_density: 0.35,
+            indirect_call_frac: 0.2,
+            indirect_fanout: Range::new(2, 4),
+            cond_frac: 0.6,
+            loop_frac: 0.15,
+            loop_continue_prob: 0.55,
+            strong_bias_frac: 0.8,
+            phase_sensitive_frac: 0.25,
+            indirect_jump_frac: 0.1,
+            num_phases: 2,
+            requests_per_phase: 16,
+            hot_handler_frac: 0.5,
+            hot_handler_weight: 6.0,
+            jit_frac: 0.0,
+            variants_per_handler: 3,
+            path_noise: 0.06,
+            kernel_funcs: 2,
+            kernel_call_prob: 0.05,
+        }
+    }
+
+    /// Sanity-checks the specification's numeric ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if probabilities fall outside `[0, 1]`, the layer list is
+    /// empty, or a layer has no functions.
+    pub fn validate(&self) {
+        assert!(!self.layer_functions.is_empty(), "no call-graph layers");
+        assert!(
+            self.layer_functions.iter().all(|&n| n > 0),
+            "empty call-graph layer"
+        );
+        for (label, p) in [
+            ("call_density", self.call_density),
+            ("indirect_call_frac", self.indirect_call_frac),
+            ("cond_frac", self.cond_frac),
+            ("loop_frac", self.loop_frac),
+            ("loop_continue_prob", self.loop_continue_prob),
+            ("strong_bias_frac", self.strong_bias_frac),
+            ("phase_sensitive_frac", self.phase_sensitive_frac),
+            ("indirect_jump_frac", self.indirect_jump_frac),
+            ("hot_handler_frac", self.hot_handler_frac),
+            ("path_noise", self.path_noise),
+            ("jit_frac", self.jit_frac),
+            ("kernel_call_prob", self.kernel_call_prob),
+        ] {
+            assert!((0.0..=1.0).contains(&p), "{label} = {p} out of [0,1]");
+        }
+        assert!(self.num_phases >= 1, "need at least one phase");
+        assert!(self.requests_per_phase >= 1, "need at least one request per phase");
+        assert!(self.hot_handler_weight >= 1.0, "hot weight must be >= 1");
+        assert!(self.variants_per_handler >= 1, "need at least one variant");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_spec_validates() {
+        AppSpec::tiny(1).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "out of [0,1]")]
+    fn bad_probability_rejected() {
+        let mut s = AppSpec::tiny(1);
+        s.call_density = 1.5;
+        s.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "range min")]
+    fn inverted_range_rejected() {
+        let _ = Range::new(5, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "no call-graph layers")]
+    fn empty_layers_rejected() {
+        let mut s = AppSpec::tiny(1);
+        s.layer_functions.clear();
+        s.validate();
+    }
+}

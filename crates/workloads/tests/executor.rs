@@ -1,0 +1,78 @@
+//! Executor traces must be valid CFG walks with data-center-like
+//! instruction footprints.
+
+use ripple_program::{Layout, LayoutConfig, CACHE_LINE_BYTES};
+use ripple_trace::{reconstruct_trace, record_trace};
+use ripple_workloads::{execute, generate, App, AppSpec, InputConfig};
+
+#[test]
+fn tiny_trace_roundtrips_through_tracer() {
+    let app = generate(&AppSpec::tiny(7));
+    let layout = Layout::new(&app.program, &LayoutConfig::default());
+    let trace = execute(&app.program, &app.model, InputConfig::training(7), 20_000);
+    let bytes = record_trace(&app.program, &layout, trace.iter());
+    let decoded = reconstruct_trace(&app.program, &layout, &bytes).expect("valid trace");
+    assert_eq!(decoded, trace);
+}
+
+#[test]
+fn execution_is_deterministic() {
+    let app = generate(&AppSpec::tiny(9));
+    let t1 = execute(&app.program, &app.model, InputConfig::training(9), 30_000);
+    let t2 = execute(&app.program, &app.model, InputConfig::training(9), 30_000);
+    assert_eq!(t1, t2);
+}
+
+#[test]
+fn different_inputs_differ() {
+    let app = generate(&AppSpec::tiny(9));
+    let t0 = execute(&app.program, &app.model, InputConfig::numbered(0, 9), 30_000);
+    let t1 = execute(&app.program, &app.model, InputConfig::numbered(1, 9), 30_000);
+    assert_ne!(t0, t1);
+}
+
+#[test]
+fn generation_is_deterministic() {
+    let a = generate(&App::Kafka.spec());
+    let b = generate(&App::Kafka.spec());
+    assert_eq!(a.program, b.program);
+    assert_eq!(a.model, b.model);
+}
+
+#[test]
+fn datacenter_footprints_dwarf_the_l1i() {
+    // The premise of the paper: instruction working sets are many times the
+    // 32 KB L1I. Check the static footprint of every app and the dynamic
+    // footprint of one representative.
+    let l1i_lines = 32 * 1024 / CACHE_LINE_BYTES; // 512 lines
+    for app in App::ALL {
+        let gen = generate(&app.spec());
+        let layout = Layout::new(&gen.program, &LayoutConfig::default());
+        let static_lines = layout.footprint_lines();
+        assert!(
+            static_lines > 4 * l1i_lines,
+            "{app}: static footprint {static_lines} lines too small"
+        );
+    }
+    let gen = generate(&App::Cassandra.spec());
+    let layout = Layout::new(&gen.program, &LayoutConfig::default());
+    let trace = execute(&gen.program, &gen.model, InputConfig::training(1), 400_000);
+    let dyn_lines = trace.footprint_lines(&layout);
+    assert!(
+        dyn_lines as u64 > 2 * l1i_lines,
+        "dynamic footprint {dyn_lines} lines too small"
+    );
+}
+
+#[test]
+fn big_app_trace_roundtrips() {
+    let gen = generate(&App::FinagleHttp.spec());
+    let layout = Layout::new(&gen.program, &LayoutConfig::default());
+    let trace = execute(&gen.program, &gen.model, InputConfig::training(3), 150_000);
+    let bytes = record_trace(&gen.program, &layout, trace.iter());
+    // PT-like compactness on a realistic workload.
+    let per_block = bytes.len() as f64 / trace.len() as f64;
+    assert!(per_block < 2.0, "trace too large: {per_block} B/block");
+    let decoded = reconstruct_trace(&gen.program, &layout, &bytes).expect("valid");
+    assert_eq!(decoded, trace);
+}

@@ -1,0 +1,90 @@
+//! Property tests: the generator must produce valid programs with the
+//! advertised structure for arbitrary (sane) specifications.
+
+use proptest::prelude::*;
+use ripple_program::{CodeKind, Layout, LayoutConfig};
+use ripple_workloads::{execute, generate, AppSpec, InputConfig};
+
+fn arb_spec() -> impl Strategy<Value = AppSpec> {
+    (
+        any::<u64>(),
+        2u32..8,
+        4u32..16,
+        proptest::collection::vec(3u32..24, 2..5),
+        0.0f64..0.6,
+        0.0f64..0.4,
+        0.0f64..0.5,
+        1u64..4,
+    )
+        .prop_map(
+            |(seed, handlers, layer, layers, call_density, jit_frac, indirect, phases)| {
+                let mut spec = AppSpec::tiny(seed);
+                spec.layer_functions = std::iter::once(handlers)
+                    .chain(layers.into_iter().map(|l| l * layer / 4 + 2))
+                    .collect();
+                spec.call_density = call_density;
+                spec.jit_frac = jit_frac;
+                spec.indirect_call_frac = indirect;
+                spec.num_phases = phases;
+                spec
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Generated programs always validate and are laid out non-trivially.
+    #[test]
+    fn generated_programs_validate(spec in arb_spec()) {
+        let app = generate(&spec);
+        prop_assert!(app.program.validate().is_ok());
+        prop_assert!(app.program.num_blocks() > 0);
+        let layout = Layout::new(&app.program, &LayoutConfig::default());
+        prop_assert!(layout.code_bytes() > 0);
+        // Handlers are exactly the first layer's entries.
+        prop_assert_eq!(app.model.handlers.len() as u32, spec.layer_functions[0]);
+    }
+
+    /// The jit fraction materializes as Jit-kind functions (layer > 0
+    /// only), and kernel functions are never rewritable.
+    #[test]
+    fn code_kinds_follow_the_spec(spec in arb_spec()) {
+        let app = generate(&spec);
+        let jit = app
+            .program
+            .functions()
+            .iter()
+            .filter(|f| f.kind() == CodeKind::Jit)
+            .count();
+        if spec.jit_frac == 0.0 {
+            prop_assert_eq!(jit, 0);
+        }
+        for f in app.program.functions() {
+            if f.kind() == CodeKind::Kernel {
+                prop_assert!(!f.kind().is_rewritable());
+            }
+        }
+        // Handlers (layer 0) are never JIT.
+        for &h in &app.model.handlers {
+            let f = app.program.function(app.program.block(h).func());
+            prop_assert_ne!(f.kind(), CodeKind::Jit);
+        }
+    }
+
+    /// Execution always terminates within its instruction budget (+ one
+    /// block) and is deterministic.
+    #[test]
+    fn execution_is_bounded_and_deterministic(spec in arb_spec()) {
+        let app = generate(&spec);
+        let budget = 5_000;
+        let t1 = execute(&app.program, &app.model, InputConfig::training(1), budget);
+        let t2 = execute(&app.program, &app.model, InputConfig::training(1), budget);
+        prop_assert_eq!(&t1, &t2);
+        let executed = t1.dynamic_instruction_count(&app.program);
+        prop_assert!(executed >= budget);
+        // Cannot overshoot by more than one block's worth (the largest
+        // block is bounded by the spec).
+        prop_assert!(executed < budget + 1_000);
+    }
+}

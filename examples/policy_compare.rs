@@ -1,0 +1,53 @@
+//! Policy comparison: run every replacement policy on one application and
+//! print the §II-D comparison (none of the prior policies beat LRU; the
+//! offline ideals do).
+//!
+//! Run with `cargo run --release --example policy_compare [app]`.
+
+use ripple::collect_profile;
+use ripple_program::{Layout, LayoutConfig};
+use ripple_sim::{simulate, PolicyKind, PrefetcherKind, SimConfig};
+use ripple_workloads::{generate, App, InputConfig};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_default();
+    let app_id = App::ALL
+        .into_iter()
+        .find(|a| a.name() == name)
+        .unwrap_or(App::Cassandra);
+    let spec = app_id.spec();
+    let app = generate(&spec);
+    let layout = Layout::new(&app.program, &LayoutConfig::default());
+    let profile = collect_profile(&app, &layout, InputConfig::training(spec.seed), 400_000)
+        .expect("profile collection");
+
+    println!("{app_id} under FDIP prefetching\n");
+    println!(" {:<12} {:>8} {:>10} {:>12}", "policy", "misses", "mpki", "speedup-vs-lru");
+    let cfg = SimConfig::default().with_prefetcher(PrefetcherKind::Fdip);
+    let lru = simulate(&app.program, &layout, &profile.trace, &cfg);
+    for kind in [
+        PolicyKind::Lru,
+        PolicyKind::Random,
+        PolicyKind::Srrip,
+        PolicyKind::Drrip,
+        PolicyKind::Ghrp,
+        PolicyKind::Hawkeye,
+        PolicyKind::Harmony,
+        PolicyKind::Opt,
+        PolicyKind::DemandMin,
+    ] {
+        let r = simulate(
+            &app.program,
+            &layout,
+            &profile.trace,
+            &cfg.clone().with_policy(kind),
+        );
+        println!(
+            " {:<12} {:>8} {:>10.2} {:>11.2}%",
+            kind.name(),
+            r.stats.demand_misses,
+            r.stats.mpki(),
+            r.stats.speedup_pct_over(&lru.stats)
+        );
+    }
+}

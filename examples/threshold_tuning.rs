@@ -1,0 +1,51 @@
+//! Threshold tuning: reproduce the paper's Fig. 6 coverage/accuracy
+//! trade-off for one application and pick the best-performing threshold.
+//!
+//! Run with `cargo run --release --example threshold_tuning [app]`.
+
+use ripple::{best_threshold, collect_profile, sweep, Ripple, RippleConfig};
+use ripple_program::{Layout, LayoutConfig};
+use ripple_workloads::{generate, App, InputConfig};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_default();
+    let app_id = App::ALL
+        .into_iter()
+        .find(|a| a.name() == name)
+        .unwrap_or(App::FinagleHttp);
+    println!("tuning invalidation threshold for {app_id}");
+
+    let spec = app_id.spec();
+    let app = generate(&spec);
+    let layout = Layout::new(&app.program, &LayoutConfig::default());
+    let profile = collect_profile(&app, &layout, InputConfig::training(spec.seed), 400_000)
+        .expect("profile collection");
+
+    let ripple = Ripple::train(
+        &app.program,
+        &layout,
+        &profile.trace,
+        RippleConfig::default(),
+    );
+    let thresholds: Vec<f64> = (1..=9).map(|i| i as f64 / 10.0).collect();
+    let points = sweep(&ripple, &profile.trace, &thresholds);
+
+    println!("\n threshold  coverage  accuracy   speedup");
+    for p in &points {
+        println!(
+            "   {:>5.2}    {:>6.1}%   {:>6.1}%   {:>+6.2}%",
+            p.threshold,
+            p.coverage * 100.0,
+            p.accuracy * 100.0,
+            p.speedup_pct
+        );
+    }
+    let best = best_threshold(&points).expect("non-empty sweep");
+    println!(
+        "\nbest threshold: {:.2} ({:+.2}% speedup, {:.0}% coverage, {:.0}% accuracy)",
+        best.threshold,
+        best.speedup_pct,
+        best.coverage * 100.0,
+        best.accuracy * 100.0
+    );
+}

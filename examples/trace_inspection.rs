@@ -1,0 +1,49 @@
+//! Trace inspection: record a PT-style packet stream for a workload,
+//! decode it, and report the compression and footprint statistics a
+//! profiling deployment would care about (§III-A).
+//!
+//! Run with `cargo run --release --example trace_inspection`.
+
+use ripple_program::{Layout, LayoutConfig};
+use ripple_trace::{decode_packets, reconstruct_trace, record_trace, Packet};
+use ripple_workloads::{execute, generate, App, InputConfig};
+
+fn main() {
+    let app_id = App::Kafka;
+    let spec = app_id.spec();
+    let app = generate(&spec);
+    let layout = Layout::new(&app.program, &LayoutConfig::default());
+    println!(
+        "{app_id}: {} functions, {} basic blocks, {} KiB of text",
+        app.program.num_functions(),
+        app.program.num_blocks(),
+        layout.code_bytes() / 1024
+    );
+
+    let executed = execute(&app.program, &app.model, InputConfig::training(spec.seed), 200_000);
+    let bytes = record_trace(&app.program, &layout, executed.iter());
+    let packets = decode_packets(&bytes).expect("well-formed stream");
+
+    let mut tnt_bits = 0u64;
+    let mut tips = 0u64;
+    for p in &packets {
+        match p {
+            Packet::Tnt { count, .. } => tnt_bits += u64::from(*count),
+            Packet::Tip { .. } => tips += 1,
+            _ => {}
+        }
+    }
+    println!("\ntrace statistics");
+    println!("  executed blocks        {}", executed.len());
+    println!("  executed instructions  {}", executed.dynamic_instruction_count(&app.program));
+    println!("  encoded bytes          {}", bytes.len());
+    println!("  bytes / block          {:.3}", bytes.len() as f64 / executed.len() as f64);
+    println!("  packets                {}", packets.len());
+    println!("  TNT bits               {tnt_bits}");
+    println!("  TIP packets            {tips}");
+    println!("  dynamic footprint      {} lines", executed.footprint_lines(&layout));
+
+    let decoded = reconstruct_trace(&app.program, &layout, &bytes).expect("decodable");
+    assert_eq!(decoded, executed, "decoder must reproduce the execution");
+    println!("\ndecoder round-trip: exact ({} blocks)", decoded.len());
+}

@@ -1,0 +1,59 @@
+//! Determinism: every stage of the pipeline is a pure function of its
+//! seeds, so experiments are exactly reproducible.
+
+use ripple::{collect_profile, Ripple, RippleConfig};
+use ripple_program::{Layout, LayoutConfig};
+use ripple_sim::{simulate, PrefetcherKind, SimConfig};
+use ripple_workloads::{generate, App, AppSpec, InputConfig};
+
+#[test]
+fn generation_execution_and_simulation_are_deterministic() {
+    let run = || {
+        let app = generate(&AppSpec::tiny(77));
+        let layout = Layout::new(&app.program, &LayoutConfig::default());
+        let profile =
+            collect_profile(&app, &layout, InputConfig::training(77), 50_000).unwrap();
+        let cfg = SimConfig::default().with_prefetcher(PrefetcherKind::Fdip);
+        let stats = simulate(&app.program, &layout, &profile.trace, &cfg).stats;
+        (profile.trace.len(), stats)
+    };
+    let (len_a, stats_a) = run();
+    let (len_b, stats_b) = run();
+    assert_eq!(len_a, len_b);
+    assert_eq!(stats_a, stats_b);
+}
+
+#[test]
+fn full_ripple_pipeline_is_deterministic() {
+    let run = || {
+        let app = generate(&App::Tomcat.spec());
+        let layout = Layout::new(&app.program, &LayoutConfig::default());
+        let profile = collect_profile(
+            &app,
+            &layout,
+            InputConfig::training(App::Tomcat.spec().seed),
+            200_000,
+        )
+        .unwrap();
+        let ripple = Ripple::train(&app.program, &layout, &profile.trace, RippleConfig::default());
+        let o = ripple.evaluate(&profile.trace);
+        (
+            o.injected_static,
+            o.ripple.demand_misses,
+            o.coverage.covered_windows,
+            o.ripple_accuracy,
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn different_inputs_produce_different_traces_same_input_identical() {
+    let app = generate(&App::Kafka.spec());
+    let layout = Layout::new(&app.program, &LayoutConfig::default());
+    let a = collect_profile(&app, &layout, InputConfig::numbered(1, 9), 60_000).unwrap();
+    let b = collect_profile(&app, &layout, InputConfig::numbered(1, 9), 60_000).unwrap();
+    let c = collect_profile(&app, &layout, InputConfig::numbered(2, 9), 60_000).unwrap();
+    assert_eq!(a.trace, b.trace);
+    assert_ne!(a.trace, c.trace);
+}

@@ -1,0 +1,91 @@
+//! End-to-end integration: the full Ripple pipeline on a calibrated data
+//! center application must reproduce the paper's headline ordering —
+//! ideal cache ≥ ideal replacement ≥ Ripple-LRU ≥ LRU — and reduce
+//! misses on the rewritten binary.
+
+use ripple::{collect_profile, Ripple, RippleConfig};
+use ripple_program::{Layout, LayoutConfig};
+use ripple_sim::PrefetcherKind;
+use ripple_workloads::{generate, App, InputConfig};
+
+const BUDGET: u64 = 700_000;
+
+fn run_app(app_id: App, prefetcher: PrefetcherKind) -> ripple::RippleOutcome {
+    let spec = app_id.spec();
+    let app = generate(&spec);
+    let layout = Layout::new(&app.program, &LayoutConfig::default());
+    let profile = collect_profile(&app, &layout, InputConfig::training(spec.seed), BUDGET)
+        .expect("profile collection");
+    let mut config = RippleConfig::default();
+    config.sim.prefetcher = prefetcher;
+    config.threshold = 0.55;
+    let ripple = Ripple::train(&app.program, &layout, &profile.trace, config);
+    ripple.evaluate(&profile.trace)
+}
+
+#[test]
+fn cassandra_no_prefetch_headline_ordering() {
+    let o = run_app(App::Cassandra, PrefetcherKind::None);
+    // Ideal cache dominates everything.
+    assert!(o.ideal_cache_speedup_pct() > o.ideal_speedup_pct());
+    assert!(o.ideal_speedup_pct() > 0.0, "ideal must beat LRU");
+    // Ripple lands between LRU and the ideal replacement policy.
+    assert!(
+        o.speedup_pct() <= o.ideal_speedup_pct(),
+        "ripple {:.2}% cannot beat ideal {:.2}%",
+        o.speedup_pct(),
+        o.ideal_speedup_pct()
+    );
+    assert!(
+        o.ripple.demand_misses < o.lru_reference.demand_misses,
+        "ripple must reduce misses: {} !< {}",
+        o.ripple.demand_misses,
+        o.lru_reference.demand_misses
+    );
+    // Metrics live in sane ranges.
+    assert!(o.coverage.coverage() > 0.05);
+    assert!(o.ripple_accuracy.accuracy() > 0.5);
+    assert!(o.static_overhead_pct < 4.4, "{}", o.static_overhead_pct);
+    assert!(o.dynamic_overhead_pct < 12.0, "{}", o.dynamic_overhead_pct);
+}
+
+#[test]
+fn ripple_beats_accuracy_of_underlying_lru() {
+    let o = run_app(App::Kafka, PrefetcherKind::None);
+    assert!(
+        o.ripple_accuracy.accuracy() > o.underlying_accuracy.accuracy(),
+        "ripple {:.2} must evict more accurately than LRU {:.2}",
+        o.ripple_accuracy.accuracy(),
+        o.underlying_accuracy.accuracy()
+    );
+}
+
+#[test]
+fn fdip_pipeline_stays_sane() {
+    let o = run_app(App::Tomcat, PrefetcherKind::Fdip);
+    assert!(o.ideal.demand_misses <= o.lru_reference.demand_misses);
+    assert!(o.ripple.invalidate_instructions > 0);
+    // Under a strong prefetcher Ripple's headroom shrinks; it must at
+    // least stay close to the baseline rather than regress badly.
+    assert!(
+        o.speedup_pct() > -1.5,
+        "ripple regressed too much: {:.2}%",
+        o.speedup_pct()
+    );
+}
+
+#[test]
+fn jit_apps_have_lower_coverage() {
+    let jit = run_app(App::Wordpress, PrefetcherKind::None);
+    let non_jit = run_app(App::Verilator, PrefetcherKind::None);
+    assert!(
+        jit.coverage.skipped_unrewritable > 0,
+        "wordpress must skip jit cues"
+    );
+    assert!(
+        non_jit.coverage.coverage() > jit.coverage.coverage(),
+        "verilator coverage {:.2} must exceed wordpress {:.2}",
+        non_jit.coverage.coverage(),
+        jit.coverage.coverage()
+    );
+}

@@ -9,17 +9,24 @@ use ripple_workloads::App;
 fn main() {
     let budget = bench_budget() / 2;
     println!("\nAblation — final-layout analysis (no-prefetch, % speedup over LRU)");
-    println!("  {:<16} {:>14} {:>14}", "app", "final-layout", "stale-profile");
+    println!(
+        "  {:<16} {:>14} {:>14}",
+        "app", "final-layout", "stale-profile"
+    );
     for app in [App::Cassandra, App::Kafka] {
         let loaded = load_app(app, budget);
         let mut speeds = Vec::new();
         for final_layout in [true, false] {
             let mut config = RippleConfig::default();
             config.final_layout_analysis = final_layout;
-            let ripple =
-                Ripple::train(&loaded.app.program, &loaded.layout, &loaded.trace, config);
+            let ripple = Ripple::train(&loaded.app.program, &loaded.layout, &loaded.trace, config);
             speeds.push(ripple.evaluate(&loaded.trace).speedup_pct());
         }
-        println!("  {:<16} {:>14.2} {:>14.2}", app.name(), speeds[0], speeds[1]);
+        println!(
+            "  {:<16} {:>14.2} {:>14.2}",
+            app.name(),
+            speeds[0],
+            speeds[1]
+        );
     }
 }

@@ -25,8 +25,7 @@ fn main() {
             let mut config = RippleConfig::default();
             config.sim.prefetcher = PrefetcherKind::None;
             config.mechanism = mech;
-            let ripple =
-                Ripple::train(&loaded.app.program, &loaded.layout, &loaded.trace, config);
+            let ripple = Ripple::train(&loaded.app.program, &loaded.layout, &loaded.trace, config);
             speeds.push(ripple.evaluate(&loaded.trace).speedup_pct());
         }
         println!(

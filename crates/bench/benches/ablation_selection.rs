@@ -16,11 +16,13 @@ fn main() {
     for app in [App::Cassandra, App::FinagleHttp] {
         let loaded = load_app(app, budget);
         let mut out = Vec::new();
-        for sel in [CueSelection::HighestProbability, CueSelection::LatestEligible] {
+        for sel in [
+            CueSelection::HighestProbability,
+            CueSelection::LatestEligible,
+        ] {
             let mut config = RippleConfig::default();
             config.analysis.cue_selection = sel;
-            let ripple =
-                Ripple::train(&loaded.app.program, &loaded.layout, &loaded.trace, config);
+            let ripple = Ripple::train(&loaded.app.program, &loaded.layout, &loaded.trace, config);
             let o = ripple.evaluate(&loaded.trace);
             out.push(format!(
                 "{:+.2}% ({:.0}% cov)",

@@ -30,10 +30,9 @@ fn main() {
             );
             let mut config = RippleConfig::default();
             config.underlying = underlying;
-            let ripple =
-                Ripple::train(&loaded.app.program, &loaded.layout, &loaded.trace, config);
+            let ripple = Ripple::train(&loaded.app.program, &loaded.layout, &loaded.trace, config);
             let o = ripple.evaluate(&loaded.trace);
-            let plain_sp = plain.stats.speedup_pct_over(&lru.stats);
+            let plain_sp = plain.speedup_pct_over(&lru);
             let ripple_sp = o.speedup_pct();
             println!(
                 "  {:<16} {:>10.2} {:>15.2} {:>13.2} {:>11}",

@@ -21,5 +21,8 @@ fn main() {
     );
     let mean = grid.mean(PrefetcherKind::None, |c| c.ideal_cache.speedup_pct);
     print_paper_check("fig1 mean ideal-cache speedup", 17.7, mean, "%");
-    assert!(rows.iter().all(|r| r.1 > 0.0), "ideal cache must always win");
+    assert!(
+        rows.iter().all(|r| r.1 > 0.0),
+        "ideal cache must always win"
+    );
 }

@@ -29,7 +29,11 @@ fn main() {
             ((1.0 + fdip_vs_none / 100.0) * ideal_gain - 1.0) * 100.0,
         ));
     }
-    print_series("Fig. 2 — FDIP+LRU speedup over no-prefetch LRU", "%", &fdip_lru);
+    print_series(
+        "Fig. 2 — FDIP+LRU speedup over no-prefetch LRU",
+        "%",
+        &fdip_lru,
+    );
     print_series(
         "Fig. 2 — FDIP+ideal-replacement speedup over no-prefetch LRU",
         "%",

@@ -13,7 +13,10 @@ fn main() {
     let thresholds: Vec<f64> = (0..=10).map(|i| i as f64 / 10.0).collect();
     let points = sweep(&ripple, &loaded.trace, &thresholds);
     println!("\nFig. 6 — Coverage/accuracy vs invalidation threshold (finagle-http)");
-    println!("  {:>9} {:>10} {:>10} {:>10}", "threshold", "coverage%", "accuracy%", "speedup%");
+    println!(
+        "  {:>9} {:>10} {:>10} {:>10}",
+        "threshold", "coverage%", "accuracy%", "speedup%"
+    );
     for p in &points {
         println!(
             "  {:>9.2} {:>10.1} {:>10.1} {:>10.2}",
@@ -27,9 +30,8 @@ fn main() {
     // relinking make individual points slightly non-monotone): coverage
     // falls and accuracy rises from the low-threshold to the
     // high-threshold end of the curve.
-    let low = |f: &dyn Fn(&ripple::ThresholdPoint) -> f64| {
-        points[..4].iter().map(f).sum::<f64>() / 4.0
-    };
+    let low =
+        |f: &dyn Fn(&ripple::ThresholdPoint) -> f64| points[..4].iter().map(f).sum::<f64>() / 4.0;
     let high = |f: &dyn Fn(&ripple::ThresholdPoint) -> f64| {
         points[points.len() - 4..].iter().map(f).sum::<f64>() / 4.0
     };

@@ -53,15 +53,16 @@ fn main() {
             mean_ideal,
             "%",
         );
-        assert!(
-            mean_rl <= mean_ideal,
-            "ripple cannot beat the ideal policy"
-        );
+        assert!(mean_rl <= mean_ideal, "ripple cannot beat the ideal policy");
     }
     // Headline shape: Ripple-LRU beats every prior policy's mean (within
     // measurement noise under the strongest prefetchers, where absolute
     // differences shrink to hundredths of a percent).
-    for pf in [PrefetcherKind::None, PrefetcherKind::NextLine, PrefetcherKind::Fdip] {
+    for pf in [
+        PrefetcherKind::None,
+        PrefetcherKind::NextLine,
+        PrefetcherKind::Fdip,
+    ] {
         let mean_rl = grid.mean(pf, |c| c.ripple_lru.row.speedup_pct);
         for name in ["srrip", "drrip", "ghrp", "hawkeye", "harmony"] {
             let mean_p = grid.mean(pf, |c| c.policies[name].speedup_pct);

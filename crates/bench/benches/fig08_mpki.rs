@@ -12,7 +12,10 @@ fn main() {
         (PrefetcherKind::NextLine, 28.6, 53.66),
         (PrefetcherKind::Fdip, 18.61, 45.0),
     ] {
-        println!("\nFig. 8 — L1I miss reduction over LRU with {} (percent)", pf.name());
+        println!(
+            "\nFig. 8 — L1I miss reduction over LRU with {} (percent)",
+            pf.name()
+        );
         println!(
             "  {:<16} {:>10} {:>13} {:>8}",
             "app", "ripple-lru", "ripple-random", "ideal"
@@ -29,7 +32,10 @@ fn main() {
         }
         let mean_rl = grid.mean(pf, |c| c.ripple_lru.row.miss_reduction_pct);
         let mean_ideal = grid.mean(pf, |c| c.ideal.miss_reduction_pct);
-        println!("  {:<16} {:>10.2} {:>13} {:>8.2}", "MEAN", mean_rl, "", mean_ideal);
+        println!(
+            "  {:<16} {:>10.2} {:>13} {:>8.2}",
+            "MEAN", mean_rl, "", mean_ideal
+        );
         print_paper_check(
             &format!("fig8 mean ripple-lru miss reduction ({})", pf.name()),
             paper_ripple,

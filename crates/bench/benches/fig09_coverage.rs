@@ -31,7 +31,11 @@ fn main() {
         .map(|&a| grid.cell(a, PrefetcherKind::Fdip).ripple_lru.coverage)
         .sum::<f64>()
         / 6.0;
-    println!("  jit-apps mean {:.1}% vs non-jit mean {:.1}%", jit_mean * 100.0, nonjit_mean * 100.0);
+    println!(
+        "  jit-apps mean {:.1}% vs non-jit mean {:.1}%",
+        jit_mean * 100.0,
+        nonjit_mean * 100.0
+    );
     assert!(
         jit_mean < nonjit_mean,
         "JIT code must cap coverage ({jit_mean:.2} !< {nonjit_mean:.2})"

@@ -13,7 +13,9 @@ fn main() {
         .map(|&a| {
             (
                 a.name().to_string(),
-                grid.cell(a, PrefetcherKind::Fdip).ripple_lru.dynamic_overhead_pct,
+                grid.cell(a, PrefetcherKind::Fdip)
+                    .ripple_lru
+                    .dynamic_overhead_pct,
             )
         })
         .collect();

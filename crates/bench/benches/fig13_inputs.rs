@@ -24,8 +24,13 @@ fn main() {
         let layout = Layout::new(&generated.program, &LayoutConfig::default());
         let mut config = RippleConfig::default();
         config.sim.prefetcher = PrefetcherKind::Fdip;
-        let train = collect_profile(&generated, &layout, InputConfig::training(spec.seed), budget)
-            .expect("profile");
+        let train = collect_profile(
+            &generated,
+            &layout,
+            InputConfig::training(spec.seed),
+            budget,
+        )
+        .expect("profile");
         let trained = Ripple::train(&generated.program, &layout, &train.trace, config.clone());
         for input_id in 1..=3u32 {
             let input = InputConfig::numbered(input_id, spec.seed);

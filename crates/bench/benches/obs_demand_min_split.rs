@@ -4,8 +4,9 @@
 //! Observation 2 (paper: 1.81 %): retaining hard-to-prefetch lines —
 //! the remainder of the Demand-MIN gain.
 
+use ripple::{effective_threads, policy_matrix};
 use ripple_bench::{bench_budget, load_app, print_paper_check};
-use ripple_sim::{simulate, PolicyKind, PrefetcherKind, SimConfig};
+use ripple_sim::{PolicyKind, PrefetcherKind, SimConfig, SimSession};
 use ripple_workloads::App;
 
 fn main() {
@@ -20,34 +21,29 @@ fn main() {
     for app in App::ALL {
         let loaded = load_app(app, budget);
         let cfg = SimConfig::default().with_prefetcher(PrefetcherKind::Fdip);
-        let lru = simulate(&loaded.app.program, &loaded.layout, &loaded.trace, &cfg);
-        let opt = simulate(
-            &loaded.app.program,
-            &loaded.layout,
-            &loaded.trace,
-            &cfg.clone().with_policy(PolicyKind::Opt),
+        // One session: OPT and Demand-MIN replay the same recorded stream.
+        let session = SimSession::new(&loaded.app.program, &loaded.layout, &loaded.trace, cfg);
+        let results = policy_matrix(
+            &session,
+            &[PolicyKind::Lru, PolicyKind::Opt, PolicyKind::DemandMin],
+            effective_threads(None),
         );
-        let dm = simulate(
-            &loaded.app.program,
-            &loaded.layout,
-            &loaded.trace,
-            &cfg.clone().with_policy(PolicyKind::DemandMin),
-        );
-        let dm_sp = dm.stats.speedup_pct_over(&lru.stats);
-        let opt_sp = opt.stats.speedup_pct_over(&lru.stats);
+        let (lru, opt, dm) = (&results[0], &results[1], &results[2]);
+        let dm_sp = dm.speedup_pct_over(lru);
+        let opt_sp = opt.speedup_pct_over(lru);
         dm_sum += dm_sp;
         opt_sum += opt_sp;
         println!(
             "  {:<16} {:>9} {:>9} {:>9} {:>14.2} {:>14.2}",
             app.name(),
-            lru.stats.demand_misses,
-            opt.stats.demand_misses,
-            dm.stats.demand_misses,
+            lru.demand_misses,
+            opt.demand_misses,
+            dm.demand_misses,
             dm_sp,
             opt_sp
         );
         assert!(
-            dm.stats.demand_misses <= opt.stats.demand_misses,
+            dm.demand_misses <= opt.demand_misses,
             "{app}: demand-min must not lose to opt under prefetching"
         );
     }

@@ -2,7 +2,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ripple_bench::load_app;
-use ripple_sim::{simulate, PolicyKind, PrefetcherKind, SimConfig};
+use ripple_sim::{
+    simulate, simulate_with_sink, PolicyKind, PrefetcherKind, SimConfig, SimSession, VecSink,
+};
 use ripple_workloads::App;
 
 fn bench_simulator(c: &mut Criterion) {
@@ -28,16 +30,34 @@ fn bench_simulator(c: &mut Criterion) {
             b.iter(|| simulate(&loaded.app.program, &loaded.layout, &loaded.trace, &cfg))
         });
     }
+    // Replaying an ideal policy against a session's already-recorded stream
+    // skips the recording pass: the delta vs `opt_two_pass` is the pass the
+    // session amortizes across a policy matrix.
+    let session = SimSession::new(
+        &loaded.app.program,
+        &loaded.layout,
+        &loaded.trace,
+        SimConfig::default(),
+    );
+    let _ = session.run(PolicyKind::Opt); // pay the recording pass up front
+    group.bench_function("opt_replay_shared_recording", |b| {
+        b.iter(|| session.run(PolicyKind::Opt))
+    });
     group.finish();
 }
 
 fn bench_analysis(c: &mut Criterion) {
     let loaded = load_app(App::Tomcat, 120_000);
-    let mut cfg = SimConfig::default();
-    cfg.record_evictions = true;
-    cfg.policy = PolicyKind::Opt;
-    let run = simulate(&loaded.app.program, &loaded.layout, &loaded.trace, &cfg);
-    let log = run.evictions.unwrap();
+    let cfg = SimConfig::default().with_policy(PolicyKind::Opt);
+    let mut sink = VecSink::new();
+    let _ = simulate_with_sink(
+        &loaded.app.program,
+        &loaded.layout,
+        &loaded.trace,
+        &cfg,
+        &mut sink,
+    );
+    let log = sink.into_events();
     let mut group = c.benchmark_group("analysis");
     group.sample_size(10);
     group.bench_function("eviction_analysis", |b| {

@@ -5,9 +5,21 @@ use ripple_sim::SimConfig;
 fn main() {
     let c = SimConfig::default();
     println!("\nTable II — Simulator parameters");
-    println!("  L1 instruction cache   {} KiB, {}-way", c.l1i.size_bytes / 1024, c.l1i.assoc);
-    println!("  L2 unified cache       {} KiB, {}-way", c.l2.size_bytes / 1024, c.l2.assoc);
-    println!("  L3 unified cache       {} KiB, {}-way", c.l3.size_bytes / 1024, c.l3.assoc);
+    println!(
+        "  L1 instruction cache   {} KiB, {}-way",
+        c.l1i.size_bytes / 1024,
+        c.l1i.assoc
+    );
+    println!(
+        "  L2 unified cache       {} KiB, {}-way",
+        c.l2.size_bytes / 1024,
+        c.l2.assoc
+    );
+    println!(
+        "  L3 unified cache       {} KiB, {}-way",
+        c.l3.size_bytes / 1024,
+        c.l3.assoc
+    );
     println!("  L1 I-cache latency     {} cycles", c.l1i_latency);
     println!("  L2 cache latency       {} cycles", c.l2_latency);
     println!("  L3 cache latency       {} cycles", c.l3_latency);

@@ -13,12 +13,11 @@ use std::collections::BTreeMap;
 use std::fs;
 use std::path::PathBuf;
 
-use serde::{Deserialize, Serialize};
-
-use ripple::{collect_profile, Ripple, RippleConfig};
+use ripple::{collect_profile, effective_threads, policy_matrix, sweep, Ripple, RippleConfig};
+use ripple_json::{object, FromJson, JsonError, ToJson, Value};
 use ripple_program::{Layout, LayoutConfig};
 use ripple_sim::{
-    simulate, simulate_ideal_cache, PolicyKind, PrefetcherKind, SimConfig, SimStats,
+    simulate_ideal_cache, PolicyKind, PrefetcherKind, SimConfig, SimSession, SimStats,
 };
 use ripple_trace::BbTrace;
 use ripple_workloads::{generate, App, Application, InputConfig};
@@ -36,7 +35,7 @@ pub fn bench_budget() -> u64 {
 pub const TUNE_THRESHOLDS: [f64; 3] = [0.45, 0.55, 0.65];
 
 /// One policy's headline numbers relative to the LRU baseline.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PolicyRow {
     /// Speedup over LRU, percent.
     pub speedup_pct: f64,
@@ -60,7 +59,7 @@ impl PolicyRow {
 }
 
 /// A Ripple pipeline's numbers.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RippleRow {
     /// Headline numbers vs the LRU baseline.
     pub row: PolicyRow,
@@ -79,7 +78,7 @@ pub struct RippleRow {
 }
 
 /// Everything measured for one (application, prefetcher) cell.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct AppCell {
     /// Application name.
     pub app: String,
@@ -104,7 +103,7 @@ pub struct AppCell {
 }
 
 /// The whole evaluation grid.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Grid {
     /// Instruction budget the grid was computed with.
     pub budget: u64,
@@ -130,6 +129,125 @@ impl Grid {
             .map(f)
             .collect();
         vals.iter().sum::<f64>() / vals.len().max(1) as f64
+    }
+}
+
+impl ToJson for PolicyRow {
+    fn to_json(&self) -> Value {
+        object([
+            ("speedup_pct", self.speedup_pct.to_json()),
+            ("mpki", self.mpki.to_json()),
+            ("miss_reduction_pct", self.miss_reduction_pct.to_json()),
+            ("demand_misses", self.demand_misses.to_json()),
+        ])
+    }
+}
+
+impl FromJson for PolicyRow {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        Ok(PolicyRow {
+            speedup_pct: v.get("speedup_pct")?.as_f64()?,
+            mpki: v.get("mpki")?.as_f64()?,
+            miss_reduction_pct: v.get("miss_reduction_pct")?.as_f64()?,
+            demand_misses: v.get("demand_misses")?.as_u64()?,
+        })
+    }
+}
+
+impl ToJson for RippleRow {
+    fn to_json(&self) -> Value {
+        object([
+            ("row", self.row.to_json()),
+            ("coverage", self.coverage.to_json()),
+            ("accuracy", self.accuracy.to_json()),
+            ("underlying_accuracy", self.underlying_accuracy.to_json()),
+            ("static_overhead_pct", self.static_overhead_pct.to_json()),
+            ("dynamic_overhead_pct", self.dynamic_overhead_pct.to_json()),
+            ("threshold", self.threshold.to_json()),
+        ])
+    }
+}
+
+impl FromJson for RippleRow {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        Ok(RippleRow {
+            row: PolicyRow::from_json(v.get("row")?)?,
+            coverage: v.get("coverage")?.as_f64()?,
+            accuracy: v.get("accuracy")?.as_f64()?,
+            underlying_accuracy: v.get("underlying_accuracy")?.as_f64()?,
+            static_overhead_pct: v.get("static_overhead_pct")?.as_f64()?,
+            dynamic_overhead_pct: v.get("dynamic_overhead_pct")?.as_f64()?,
+            threshold: v.get("threshold")?.as_f64()?,
+        })
+    }
+}
+
+impl ToJson for AppCell {
+    fn to_json(&self) -> Value {
+        let policies = Value::Object(
+            self.policies
+                .iter()
+                .map(|(name, row)| (name.clone(), row.to_json()))
+                .collect(),
+        );
+        object([
+            ("app", self.app.to_json()),
+            ("prefetcher", self.prefetcher.to_json()),
+            ("lru", self.lru.to_json()),
+            ("policies", policies),
+            ("ideal", self.ideal.to_json()),
+            ("ideal_cache", self.ideal_cache.to_json()),
+            ("ripple_lru", self.ripple_lru.to_json()),
+            ("ripple_random", self.ripple_random.to_json()),
+            ("compulsory_mpki", self.compulsory_mpki.to_json()),
+        ])
+    }
+}
+
+impl FromJson for AppCell {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        let mut policies = BTreeMap::new();
+        match v.get("policies")? {
+            Value::Object(entries) => {
+                for (name, row) in entries {
+                    policies.insert(name.clone(), PolicyRow::from_json(row)?);
+                }
+            }
+            other => {
+                return Err(JsonError::new(format!(
+                    "policies: expected object, got {other:?}"
+                )))
+            }
+        }
+        Ok(AppCell {
+            app: String::from_json(v.get("app")?)?,
+            prefetcher: String::from_json(v.get("prefetcher")?)?,
+            lru: PolicyRow::from_json(v.get("lru")?)?,
+            policies,
+            ideal: PolicyRow::from_json(v.get("ideal")?)?,
+            ideal_cache: PolicyRow::from_json(v.get("ideal_cache")?)?,
+            ripple_lru: RippleRow::from_json(v.get("ripple_lru")?)?,
+            ripple_random: RippleRow::from_json(v.get("ripple_random")?)?,
+            compulsory_mpki: v.get("compulsory_mpki")?.as_f64()?,
+        })
+    }
+}
+
+impl ToJson for Grid {
+    fn to_json(&self) -> Value {
+        object([
+            ("budget", self.budget.to_json()),
+            ("cells", self.cells.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Grid {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        Ok(Grid {
+            budget: v.get("budget")?.as_u64()?,
+            cells: Vec::<AppCell>::from_json(v.get("cells")?)?,
+        })
     }
 }
 
@@ -177,42 +295,48 @@ pub const PRIOR_POLICIES: [PolicyKind; 6] = [
 
 /// Computes one grid cell. `threshold` is the app's tuned invalidation
 /// threshold (shared across prefetchers, like the paper's per-app tuning).
+///
+/// The eight policy runs (LRU, six priors, the ideal) share one
+/// [`SimSession`] and run as parallel harness jobs; the cell's contents are
+/// bit-identical at any worker count.
 pub fn compute_cell(loaded: &LoadedApp, prefetcher: PrefetcherKind, threshold: f64) -> AppCell {
     let program = &loaded.app.program;
     let layout = &loaded.layout;
     let trace = &loaded.trace;
     let cfg = sim_config(prefetcher);
+    let threads = effective_threads(None);
 
-    let lru = simulate(program, layout, trace, &cfg.clone().with_policy(PolicyKind::Lru));
-    let mut policies = BTreeMap::new();
-    for kind in PRIOR_POLICIES {
-        let r = simulate(program, layout, trace, &cfg.clone().with_policy(kind));
-        policies.insert(
-            kind.name().to_string(),
-            PolicyRow::from_stats(&r.stats, &lru.stats),
-        );
-    }
     let ideal_kind = if prefetcher == PrefetcherKind::None {
         PolicyKind::Opt
     } else {
         PolicyKind::DemandMin
     };
-    let ideal = simulate(program, layout, trace, &cfg.clone().with_policy(ideal_kind));
+    let mut matrix = vec![PolicyKind::Lru];
+    matrix.extend(PRIOR_POLICIES);
+    matrix.push(ideal_kind);
+    let session = SimSession::new(program, layout, trace, cfg.clone());
+    let results = policy_matrix(&session, &matrix, threads);
+    let lru = &results[0];
+    let mut policies = BTreeMap::new();
+    for (kind, r) in PRIOR_POLICIES.iter().zip(&results[1..]) {
+        policies.insert(kind.name().to_string(), PolicyRow::from_stats(r, lru));
+    }
+    let ideal = results.last().expect("matrix is non-empty");
     let ideal_cache = simulate_ideal_cache(program, trace, &cfg);
 
-    let ripple_lru = run_ripple(loaded, prefetcher, PolicyKind::Lru, threshold, &lru.stats);
-    let ripple_random = run_ripple(loaded, prefetcher, PolicyKind::Random, threshold, &lru.stats);
+    let ripple_lru = run_ripple(loaded, prefetcher, PolicyKind::Lru, threshold, lru);
+    let ripple_random = run_ripple(loaded, prefetcher, PolicyKind::Random, threshold, lru);
 
     AppCell {
         app: loaded.app.name.clone(),
         prefetcher: prefetcher.name().to_string(),
-        lru: PolicyRow::from_stats(&lru.stats, &lru.stats),
+        lru: PolicyRow::from_stats(lru, lru),
         policies,
-        ideal: PolicyRow::from_stats(&ideal.stats, &lru.stats),
-        ideal_cache: PolicyRow::from_stats(&ideal_cache, &lru.stats),
+        ideal: PolicyRow::from_stats(ideal, lru),
+        ideal_cache: PolicyRow::from_stats(&ideal_cache, lru),
         ripple_lru,
         ripple_random,
-        compulsory_mpki: lru.stats.compulsory_mpki(),
+        compulsory_mpki: lru.compulsory_mpki(),
     }
 }
 
@@ -243,16 +367,19 @@ pub fn run_ripple(
 
 /// Tunes the per-app, per-prefetcher invalidation threshold (the paper
 /// tunes per application; winners land in 0.45..=0.65).
+///
+/// The candidate evaluations run through the shared harness's parallel
+/// [`sweep`]; the first-listed threshold wins ties, as a sequential scan
+/// would pick.
 pub fn tune_threshold(loaded: &LoadedApp, prefetcher: PrefetcherKind) -> f64 {
     let mut config = RippleConfig::default();
     config.sim = sim_config(prefetcher);
     let ripple = Ripple::train(&loaded.app.program, &loaded.layout, &loaded.trace, config);
+    let points = sweep(&ripple, &loaded.trace, &TUNE_THRESHOLDS);
     let mut best = (f64::NEG_INFINITY, TUNE_THRESHOLDS[0]);
-    for &t in &TUNE_THRESHOLDS {
-        let o = ripple.evaluate_with_threshold(&loaded.trace, t);
-        let s = o.speedup_pct();
-        if s > best.0 {
-            best = (s, t);
+    for p in &points {
+        if p.speedup_pct > best.0 {
+            best = (p.speedup_pct, p.threshold);
         }
     }
     best.1
@@ -261,9 +388,8 @@ pub fn tune_threshold(loaded: &LoadedApp, prefetcher: PrefetcherKind) -> f64 {
 fn grid_path(budget: u64) -> PathBuf {
     // Benches run with the package directory as CWD; anchor the cache at
     // the workspace target directory instead.
-    let target = std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| {
-        concat!(env!("CARGO_MANIFEST_DIR"), "/../../target").to_string()
-    });
+    let target = std::env::var("CARGO_TARGET_DIR")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../target").to_string());
     PathBuf::from(target).join(format!("ripple_grid_{budget}.json"))
 }
 
@@ -271,8 +397,8 @@ fn grid_path(budget: u64) -> PathBuf {
 pub fn ensure_grid() -> Grid {
     let budget = bench_budget();
     let path = grid_path(budget);
-    if let Ok(bytes) = fs::read(&path) {
-        if let Ok(grid) = serde_json::from_slice::<Grid>(&bytes) {
+    if let Ok(text) = fs::read_to_string(&path) {
+        if let Ok(grid) = ripple_json::parse(&text).and_then(|v| Grid::from_json(&v)) {
             if grid.budget == budget && grid.cells.len() == App::ALL.len() * 3 {
                 return grid;
             }
@@ -303,9 +429,7 @@ pub fn ensure_grid() -> Grid {
         );
     }
     let grid = Grid { budget, cells };
-    if let Ok(bytes) = serde_json::to_vec_pretty(&grid) {
-        let _ = fs::write(&path, bytes);
-    }
+    let _ = fs::write(&path, grid.to_json().to_pretty_string());
     grid
 }
 

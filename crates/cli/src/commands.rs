@@ -3,9 +3,12 @@
 use std::error::Error;
 use std::fs;
 
-use ripple::{best_threshold, collect_profile, sweep, Ripple, RippleConfig};
+use ripple::{
+    best_threshold, collect_profile, effective_threads, policy_matrix, sweep, Ripple, RippleConfig,
+};
+use ripple_json::ToJson;
 use ripple_program::{Layout, LayoutConfig};
-use ripple_sim::{simulate, PolicyKind, PrefetcherKind, SimConfig};
+use ripple_sim::{simulate, PolicyKind, PrefetcherKind, SimConfig, SimSession};
 use ripple_workloads::{generate, App, Application, InputConfig};
 
 use crate::args::{ArgError, Args};
@@ -19,13 +22,15 @@ usage:
   ripple-cli profile  <app> [--instructions N] [--input K] [--out FILE]
   ripple-cli inspect  <FILE> --app <app>
   ripple-cli simulate <app> [--policy P] [--prefetcher P] [--instructions N]
-  ripple-cli compare  <app> [--prefetcher P] [--instructions N]
-  ripple-cli optimize <app> [--threshold T] [--prefetcher P] [--underlying P] [--instructions N]
-  ripple-cli sweep    <app> [--prefetcher P] [--instructions N]
+  ripple-cli compare  <app> [--prefetcher P] [--instructions N] [--threads N]
+  ripple-cli optimize <app> [--threshold T] [--prefetcher P] [--underlying P] [--instructions N] [--threads N]
+  ripple-cli sweep    <app> [--prefetcher P] [--instructions N] [--threads N]
 
 apps: cassandra drupal finagle-chirper finagle-http kafka mediawiki tomcat verilator wordpress
 policies: lru tree-plru random srrip drrip ghrp hawkeye harmony opt demand-min
-prefetchers: none nlp fdip";
+prefetchers: none nlp fdip
+--threads defaults to the machine's available parallelism; results are
+identical at any thread count";
 
 type CmdResult = Result<(), Box<dyn Error>>;
 
@@ -84,7 +89,23 @@ fn parse_policy(name: &str) -> Result<PolicyKind, ArgError> {
     })
 }
 
-fn load(app_id: App, input: InputConfig, budget: u64) -> Result<(Application, Layout, ripple_trace::BbTrace), Box<dyn Error>> {
+/// Parses `--threads N` (`None` = available parallelism, resolved by the
+/// harness).
+fn parse_threads(args: &Args) -> Result<Option<usize>, ArgError> {
+    match args.flag("threads") {
+        None => Ok(None),
+        Some(v) => v
+            .parse::<usize>()
+            .map(Some)
+            .map_err(|_| ArgError(format!("--threads: cannot parse {v:?}"))),
+    }
+}
+
+fn load(
+    app_id: App,
+    input: InputConfig,
+    budget: u64,
+) -> Result<(Application, Layout, ripple_trace::BbTrace), Box<dyn Error>> {
     let app = generate(&app_id.spec());
     let layout = Layout::new(&app.program, &LayoutConfig::default());
     let profile = collect_profile(&app, &layout, input, budget)?;
@@ -117,7 +138,7 @@ fn apps(args: &Args) -> CmdResult {
 fn spec_cmd(args: &Args) -> CmdResult {
     args.expect_flags(&["out"])?;
     let app_id = parse_app(args)?;
-    let json = serde_json::to_string_pretty(&app_id.spec())?;
+    let json = app_id.spec().to_json().to_pretty_string();
     match args.flag("out") {
         Some(path) => {
             fs::write(path, &json)?;
@@ -150,7 +171,7 @@ fn plan_cmd(args: &Args) -> CmdResult {
         cov.coverage() * 100.0
     );
     if let Some(path) = args.flag("out") {
-        fs::write(path, serde_json::to_string_pretty(&plan)?)?;
+        fs::write(path, plan.to_json().to_pretty_string())?;
         println!("wrote {path}");
     }
     Ok(())
@@ -170,8 +191,15 @@ fn profile(args: &Args) -> CmdResult {
     let bytes = ripple_trace::record_trace(&app.program, &layout, executed.iter());
     println!("profiled {app_id} input#{input_id}");
     println!("  executed blocks  {}", executed.len());
-    println!("  instructions     {}", executed.dynamic_instruction_count(&app.program));
-    println!("  packet bytes     {} ({:.3} B/block)", bytes.len(), bytes.len() as f64 / executed.len() as f64);
+    println!(
+        "  instructions     {}",
+        executed.dynamic_instruction_count(&app.program)
+    );
+    println!(
+        "  packet bytes     {} ({:.3} B/block)",
+        bytes.len(),
+        bytes.len() as f64 / executed.len() as f64
+    );
     if let Some(path) = args.flag("out") {
         fs::write(path, &bytes)?;
         println!("  written to       {path}");
@@ -184,9 +212,9 @@ fn inspect(args: &Args) -> CmdResult {
     let path = args
         .positional(0)
         .ok_or_else(|| ArgError("missing <FILE> argument".into()))?;
-    let name = args
-        .flag("app")
-        .ok_or_else(|| ArgError("--app is required (traces are decoded against the app's CFG)".into()))?;
+    let name = args.flag("app").ok_or_else(|| {
+        ArgError("--app is required (traces are decoded against the app's CFG)".into())
+    })?;
     let app_id = App::ALL
         .into_iter()
         .find(|a| a.name() == name)
@@ -198,7 +226,10 @@ fn inspect(args: &Args) -> CmdResult {
     println!("decoded {path} against {app_id}");
     println!("  blocks            {}", trace.len());
     println!("  unique blocks     {}", trace.unique_blocks());
-    println!("  instructions      {}", trace.dynamic_instruction_count(&app.program));
+    println!(
+        "  instructions      {}",
+        trace.dynamic_instruction_count(&app.program)
+    );
     println!("  footprint lines   {}", trace.footprint_lines(&layout));
     Ok(())
 }
@@ -216,29 +247,34 @@ fn simulate_cmd(args: &Args) -> CmdResult {
         .with_prefetcher(prefetcher);
     let r = simulate(&app.program, &layout, &trace, &cfg);
     println!("{app_id} / {} / {}", policy.name(), prefetcher.name());
-    println!("  instructions   {}", r.stats.instructions);
-    println!("  cycles         {:.0}", r.stats.cycles);
-    println!("  IPC            {:.3}", r.stats.ipc());
-    println!("  demand misses  {}", r.stats.demand_misses);
-    println!("  MPKI           {:.2}", r.stats.mpki());
-    println!("  compulsory     {:.2} MPKI", r.stats.compulsory_mpki());
+    println!("  instructions   {}", r.instructions);
+    println!("  cycles         {:.0}", r.cycles);
+    println!("  IPC            {:.3}", r.ipc());
+    println!("  demand misses  {}", r.demand_misses);
+    println!("  MPKI           {:.2}", r.mpki());
+    println!("  compulsory     {:.2} MPKI", r.compulsory_mpki());
     if prefetcher != PrefetcherKind::None {
-        println!("  prefetches     {} issued, {} fills", r.stats.prefetches_issued, r.stats.prefetch_fills);
+        println!(
+            "  prefetches     {} issued, {} fills",
+            r.prefetches_issued, r.prefetch_fills
+        );
     }
     Ok(())
 }
 
 fn compare(args: &Args) -> CmdResult {
-    args.expect_flags(&["prefetcher", "instructions"])?;
+    args.expect_flags(&["prefetcher", "instructions", "threads"])?;
     let app_id = parse_app(args)?;
     let budget = args.parse_flag("instructions", 400_000u64)?;
     let prefetcher = parse_prefetcher(args)?;
+    let threads = effective_threads(parse_threads(args)?);
     let (app, layout, trace) = load(app_id, InputConfig::training(app_id.spec().seed), budget)?;
+    // One session: all nine policies replay the same recorded request
+    // stream as parallel harness jobs (the two offline ideals share the
+    // session's single recording pass).
     let base_cfg = SimConfig::default().with_prefetcher(prefetcher);
-    let lru = simulate(&app.program, &layout, &trace, &base_cfg);
-    println!("{app_id} under {} prefetching", prefetcher.name());
-    println!("{:<12} {:>9} {:>8} {:>10}", "policy", "misses", "mpki", "vs-lru");
-    for kind in [
+    let session = SimSession::new(&app.program, &layout, &trace, base_cfg);
+    let policies = [
         PolicyKind::Lru,
         PolicyKind::Random,
         PolicyKind::Srrip,
@@ -248,56 +284,96 @@ fn compare(args: &Args) -> CmdResult {
         PolicyKind::Harmony,
         PolicyKind::Opt,
         PolicyKind::DemandMin,
-    ] {
-        let r = simulate(&app.program, &layout, &trace, &base_cfg.clone().with_policy(kind));
+    ];
+    let results = policy_matrix(&session, &policies, threads);
+    let lru = &results[0];
+    println!("{app_id} under {} prefetching", prefetcher.name());
+    println!(
+        "{:<12} {:>9} {:>8} {:>10}",
+        "policy", "misses", "mpki", "vs-lru"
+    );
+    for (kind, r) in policies.iter().zip(&results) {
         println!(
             "{:<12} {:>9} {:>8.2} {:>+9.2}%",
             kind.name(),
-            r.stats.demand_misses,
-            r.stats.mpki(),
-            r.stats.speedup_pct_over(&lru.stats)
+            r.demand_misses,
+            r.mpki(),
+            r.speedup_pct_over(lru)
         );
     }
     Ok(())
 }
 
 fn optimize(args: &Args) -> CmdResult {
-    args.expect_flags(&["threshold", "prefetcher", "underlying", "instructions"])?;
+    args.expect_flags(&[
+        "threshold",
+        "prefetcher",
+        "underlying",
+        "instructions",
+        "threads",
+    ])?;
     let app_id = parse_app(args)?;
     let budget = args.parse_flag("instructions", 600_000u64)?;
     let threshold = args.parse_flag("threshold", 0.55f64)?;
     let prefetcher = parse_prefetcher(args)?;
     let underlying = parse_policy(args.flag("underlying").unwrap_or("lru"))?;
+    let threads = parse_threads(args)?;
     let (app, layout, trace) = load(app_id, InputConfig::training(app_id.spec().seed), budget)?;
 
     let mut config = RippleConfig::default();
     config.threshold = threshold;
     config.sim.prefetcher = prefetcher;
     config.underlying = underlying;
+    config.threads = threads;
     let ripple = Ripple::train(&app.program, &layout, &trace, config);
     let o = ripple.evaluate(&trace);
 
-    println!("{app_id}: Ripple-{} under {} (threshold {threshold})", underlying.name(), prefetcher.name());
+    println!(
+        "{app_id}: Ripple-{} under {} (threshold {threshold})",
+        underlying.name(),
+        prefetcher.name()
+    );
     println!("  baseline misses     {}", o.lru_reference.demand_misses);
     println!("  ripple misses       {}", o.ripple.demand_misses);
     println!("  ideal misses        {}", o.ideal.demand_misses);
-    println!("  miss reduction      {:+.2}% (ideal {:+.2}%)", o.miss_reduction_pct(), o.ideal_miss_reduction_pct());
-    println!("  speedup             {:+.2}% (ideal {:+.2}%, ideal cache {:+.2}%)", o.speedup_pct(), o.ideal_speedup_pct(), o.ideal_cache_speedup_pct());
-    println!("  coverage            {:.1}%", o.coverage.coverage() * 100.0);
-    println!("  accuracy            {:.1}% (underlying {:.1}%)", o.ripple_accuracy.accuracy() * 100.0, o.underlying_accuracy.accuracy() * 100.0);
-    println!("  static overhead     {:.2}% ({} invalidates)", o.static_overhead_pct, o.injected_static);
+    println!(
+        "  miss reduction      {:+.2}% (ideal {:+.2}%)",
+        o.miss_reduction_pct(),
+        o.ideal_miss_reduction_pct()
+    );
+    println!(
+        "  speedup             {:+.2}% (ideal {:+.2}%, ideal cache {:+.2}%)",
+        o.speedup_pct(),
+        o.ideal_speedup_pct(),
+        o.ideal_cache_speedup_pct()
+    );
+    println!(
+        "  coverage            {:.1}%",
+        o.coverage.coverage() * 100.0
+    );
+    println!(
+        "  accuracy            {:.1}% (underlying {:.1}%)",
+        o.ripple_accuracy.accuracy() * 100.0,
+        o.underlying_accuracy.accuracy() * 100.0
+    );
+    println!(
+        "  static overhead     {:.2}% ({} invalidates)",
+        o.static_overhead_pct, o.injected_static
+    );
     println!("  dynamic overhead    {:.2}%", o.dynamic_overhead_pct);
     Ok(())
 }
 
 fn sweep_cmd(args: &Args) -> CmdResult {
-    args.expect_flags(&["prefetcher", "instructions"])?;
+    args.expect_flags(&["prefetcher", "instructions", "threads"])?;
     let app_id = parse_app(args)?;
     let budget = args.parse_flag("instructions", 600_000u64)?;
     let prefetcher = parse_prefetcher(args)?;
+    let threads = parse_threads(args)?;
     let (app, layout, trace) = load(app_id, InputConfig::training(app_id.spec().seed), budget)?;
     let mut config = RippleConfig::default();
     config.sim.prefetcher = prefetcher;
+    config.threads = threads;
     let ripple = Ripple::train(&app.program, &layout, &trace, config);
     let thresholds: Vec<f64> = (1..=9).map(|i| i as f64 / 10.0).collect();
     let points = sweep(&ripple, &trace, &thresholds);

@@ -5,11 +5,15 @@
 //! ripple-cli profile  <app> [--instructions N] [--input K] [--out FILE]
 //! ripple-cli inspect  <FILE> --app <app>
 //! ripple-cli simulate <app> [--policy P] [--prefetcher P] [--instructions N]
-//! ripple-cli compare  <app> [--prefetcher P] [--instructions N]
+//! ripple-cli compare  <app> [--prefetcher P] [--instructions N] [--threads N]
 //! ripple-cli optimize <app> [--threshold T] [--prefetcher P]
-//!                            [--underlying P] [--instructions N]
-//! ripple-cli sweep    <app> [--prefetcher P] [--instructions N]
+//!                            [--underlying P] [--instructions N] [--threads N]
+//! ripple-cli sweep    <app> [--prefetcher P] [--instructions N] [--threads N]
 //! ```
+//!
+//! The `compare`, `optimize` and `sweep` matrices run through the shared
+//! parallel evaluation harness; `--threads` caps its workers (default: the
+//! machine's available parallelism) without changing any output bit.
 
 mod args;
 mod commands;

@@ -19,7 +19,7 @@ use std::collections::{HashMap, HashSet};
 use ripple_program::{
     line_origins, BlockId, CodeLoc, Injection, InjectionPlan, Layout, LineAddr, Program,
 };
-use ripple_sim::EvictionEvent;
+use ripple_sim::{EvictionEvent, EvictionSink};
 use ripple_trace::BbTrace;
 
 /// One ideal-policy eviction window (Fig. 5a).
@@ -32,6 +32,47 @@ pub struct EvictionWindow {
     pub start: u32,
     /// Trace position of the eviction trigger (inclusive window end).
     pub end: u32,
+}
+
+/// Streams the simulator's eviction log directly into eviction windows.
+///
+/// Plugged into a simulation as its [`EvictionSink`], this keeps only the
+/// *usable* windows (the victim had a demand access before eviction and the
+/// window is non-degenerate) and drops everything else as it arrives — the
+/// raw event log is never materialized. Feed the result to
+/// [`analyze_windows`].
+#[derive(Debug, Default)]
+pub struct WindowSink {
+    windows: Vec<EvictionWindow>,
+}
+
+impl WindowSink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        WindowSink::default()
+    }
+
+    /// The usable windows collected so far.
+    pub fn windows(&self) -> &[EvictionWindow] {
+        &self.windows
+    }
+
+    /// Consumes the sink, returning the collected windows.
+    pub fn into_windows(self) -> Vec<EvictionWindow> {
+        self.windows
+    }
+}
+
+impl EvictionSink for WindowSink {
+    fn record(&mut self, e: EvictionEvent) {
+        if e.last_access_pos != u32::MAX && e.evict_pos > e.last_access_pos + 1 {
+            self.windows.push(EvictionWindow {
+                victim: e.victim,
+                start: e.last_access_pos,
+                end: e.evict_pos,
+            });
+        }
+    }
 }
 
 /// One candidate cue block within a window.
@@ -214,7 +255,11 @@ impl Analysis {
     /// [`Analysis::plan_for_threshold`] with an explicit minimum number of
     /// windows per injected pair (used when reserving slots generously
     /// for the final-layout pass).
-    pub fn plan_with(&self, threshold: f64, min_pair_windows: u32) -> (InjectionPlan, CoverageStats) {
+    pub fn plan_with(
+        &self,
+        threshold: f64,
+        min_pair_windows: u32,
+    ) -> (InjectionPlan, CoverageStats) {
         self.plan_impl(threshold, min_pair_windows, None)
     }
 
@@ -338,12 +383,30 @@ impl Analysis {
 /// `evictions` log.
 ///
 /// `layout` must be the layout the eviction log was produced under (the
-/// profiled, pre-injection layout).
+/// profiled, pre-injection layout). Thin wrapper over [`analyze_windows`]
+/// for callers holding a materialized log; the pipeline itself streams
+/// events through a [`WindowSink`] instead.
 pub fn analyze(
     program: &Program,
     layout: &Layout,
     trace: &BbTrace,
     evictions: &[EvictionEvent],
+    config: &AnalysisConfig,
+) -> Analysis {
+    let mut sink = WindowSink::new();
+    for &e in evictions {
+        sink.record(e);
+    }
+    analyze_windows(program, layout, trace, sink.into_windows(), config)
+}
+
+/// Runs the eviction analysis over eviction `windows` already extracted
+/// from the ideal policy's run (usually streamed via [`WindowSink`]).
+pub fn analyze_windows(
+    program: &Program,
+    layout: &Layout,
+    trace: &BbTrace,
+    windows: Vec<EvictionWindow>,
     config: &AnalysisConfig,
 ) -> Analysis {
     let blocks = trace.blocks();
@@ -353,17 +416,6 @@ pub fn analyze(
     for &b in blocks {
         exec_count[b.index()] += 1;
     }
-
-    // Usable windows: the victim had a demand access before eviction.
-    let windows: Vec<EvictionWindow> = evictions
-        .iter()
-        .filter(|e| e.last_access_pos != u32::MAX && e.evict_pos > e.last_access_pos + 1)
-        .map(|e| EvictionWindow {
-            victim: e.victim,
-            start: e.last_access_pos,
-            end: e.evict_pos,
-        })
-        .collect();
 
     // Cache of which lines each block spans (for the stop-at-victim rule).
     let mut block_lines: Vec<Option<(u64, u64)>> = vec![None; program.num_blocks()];
@@ -705,7 +757,8 @@ mod tests {
         // side); the trigger-side cues differ (B then C). The same (D, A)
         // pair must cover both windows, yielding a single injection.
         let f = fig5();
-        let (trace, log) = trace_and_log(&f, &[vec![f.d, f.b], vec![f.d, f.c]], &[(f.b, 7), (f.c, 7)]);
+        let (trace, log) =
+            trace_and_log(&f, &[vec![f.d, f.b], vec![f.d, f.c]], &[(f.b, 7), (f.c, 7)]);
         let mut cfg = plain_config();
         cfg.min_windows_per_injection = 2;
         let analysis = analyze(&f.program, &f.layout, &trace, &log, &cfg);

@@ -1,0 +1,161 @@
+//! Shared parallel evaluation harness.
+//!
+//! Every consumer of the simulator — [`Ripple::evaluate_with_threshold`]'s
+//! five runs, the CLI's policy-compare and threshold-sweep loops, the bench
+//! crate's grid matrices — reduces to the same shape: a list of independent
+//! simulation jobs whose results must come back *in job order*, bit-identical
+//! to running them sequentially. This module expresses that shape once.
+//!
+//! Determinism: each job is a pure function of its inputs (the simulator is
+//! deterministic), each result is stored in the slot of the job that produced
+//! it, and nothing about scheduling leaks into a result. Running with one
+//! thread or sixteen therefore yields byte-identical output; the
+//! `tests/determinism.rs` suite asserts this end to end.
+//!
+//! [`Ripple::evaluate_with_threshold`]: crate::Ripple::evaluate_with_threshold
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use ripple_sim::{PolicyKind, SimSession, SimStats};
+
+/// A unit of work for [`run_jobs`]: boxed so heterogeneous closures can
+/// share one job list.
+pub type Job<'env, T> = Box<dyn FnOnce() -> T + Send + 'env>;
+
+/// Resolves a requested worker count: `None` means the machine's available
+/// parallelism (at least 1).
+pub fn effective_threads(requested: Option<usize>) -> usize {
+    match requested {
+        Some(n) => n.max(1),
+        None => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    }
+}
+
+/// Runs `jobs` on up to `threads` scoped worker threads and returns their
+/// results in job order.
+///
+/// Jobs are claimed from a shared counter, so long jobs do not serialize
+/// short ones; results land in the slot of the job that produced them, so
+/// the output is independent of scheduling. With `threads <= 1` (or a
+/// single job) everything runs inline on the caller's thread — the
+/// sequential reference order the parallel path is measured against.
+///
+/// # Panics
+///
+/// A panicking job propagates its panic to the caller once the scope joins.
+pub fn run_jobs<'env, T: Send>(threads: usize, jobs: Vec<Job<'env, T>>) -> Vec<T> {
+    let n = jobs.len();
+    if threads <= 1 || n <= 1 {
+        return jobs.into_iter().map(|job| job()).collect();
+    }
+    let slots: Vec<Mutex<Option<Job<'env, T>>>> =
+        jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+    let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..threads.min(n) {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let job = slots[i]
+                    .lock()
+                    .expect("job slot poisoned")
+                    .take()
+                    .expect("each job index is claimed exactly once");
+                let out = job();
+                *results[i].lock().expect("result slot poisoned") = Some(out);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("every claimed job stores a result")
+        })
+        .collect()
+}
+
+/// Evaluates each policy of a matrix against one [`SimSession`], in
+/// parallel, returning stats in `policies` order.
+///
+/// Offline-ideal policies replay the session's shared recording pass, so an
+/// entire matrix costs one recording run no matter how many ideals it
+/// contains (see [`SimSession::recording_passes`]).
+pub fn policy_matrix(
+    session: &SimSession<'_>,
+    policies: &[PolicyKind],
+    threads: usize,
+) -> Vec<SimStats> {
+    let jobs: Vec<Job<'_, SimStats>> = policies
+        .iter()
+        .map(|&p| -> Job<'_, SimStats> { Box::new(move || session.run(p)) })
+        .collect();
+    run_jobs(threads, jobs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ripple_program::{Layout, LayoutConfig};
+    use ripple_sim::SimConfig;
+    use ripple_workloads::{execute, generate, AppSpec, InputConfig};
+
+    #[test]
+    fn results_come_back_in_job_order() {
+        let jobs: Vec<Job<'_, usize>> = (0..32)
+            .map(|i| -> Job<'_, usize> { Box::new(move || i * i) })
+            .collect();
+        let out = run_jobs(4, jobs);
+        assert_eq!(out, (0..32).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let seq: Vec<Job<'_, u64>> = (0..17)
+            .map(|i: u64| -> Job<'_, u64> { Box::new(move || i.wrapping_mul(0x9e37)) })
+            .collect();
+        let par: Vec<Job<'_, u64>> = (0..17)
+            .map(|i: u64| -> Job<'_, u64> { Box::new(move || i.wrapping_mul(0x9e37)) })
+            .collect();
+        assert_eq!(run_jobs(1, seq), run_jobs(8, par));
+    }
+
+    #[test]
+    fn effective_threads_floors_at_one() {
+        assert_eq!(effective_threads(Some(0)), 1);
+        assert_eq!(effective_threads(Some(3)), 3);
+        assert!(effective_threads(None) >= 1);
+    }
+
+    #[test]
+    fn policy_matrix_shares_one_recording_pass() {
+        let app = generate(&AppSpec::tiny(9));
+        let layout = Layout::new(&app.program, &LayoutConfig::default());
+        let trace = execute(&app.program, &app.model, InputConfig::training(9), 20_000);
+        let mut cfg = SimConfig::default();
+        cfg.l1i = ripple_sim::CacheGeometry::new(2 * 1024, 4);
+        let session = SimSession::new(&app.program, &layout, &trace, cfg);
+        let policies = [
+            PolicyKind::Lru,
+            PolicyKind::Opt,
+            PolicyKind::DemandMin,
+            PolicyKind::Random,
+        ];
+        let par = policy_matrix(&session, &policies, 4);
+        assert_eq!(
+            session.recording_passes(),
+            1,
+            "two ideal policies must share one recording pass"
+        );
+        for (i, &p) in policies.iter().enumerate() {
+            assert_eq!(par[i], session.run(p), "policy {p:?} must be reproducible");
+        }
+    }
+}

@@ -48,18 +48,20 @@
 #![warn(missing_debug_implementations)]
 
 mod analysis;
+mod harness;
 mod metrics;
 mod pipeline;
 mod profile;
 mod threshold;
 
 pub use analysis::{
-    analyze, Analysis, AnalysisConfig, CoverageStats, CueCandidate, CueSelection, EvictionWindow,
-    WindowChoice,
+    analyze, analyze_windows, Analysis, AnalysisConfig, CoverageStats, CueCandidate, CueSelection,
+    EvictionWindow, WindowChoice, WindowSink,
 };
+pub use harness::{effective_threads, policy_matrix, run_jobs, Job};
 pub use metrics::{
-    decision_is_accurate, eviction_accuracy, invalidation_accuracy, plan_accuracy, AccuracyStats,
-    LineAccessIndex, WindowIndex,
+    decision_is_accurate, eviction_accuracy, invalidation_accuracy, plan_accuracy, AccuracySink,
+    AccuracyStats, LineAccessIndex, WindowIndex,
 };
 pub use pipeline::{Ripple, RippleConfig, RippleOutcome};
 pub use profile::{collect_profile, Profile};
@@ -69,5 +71,5 @@ pub use threshold::{best_threshold, sweep, ThresholdPoint};
 pub use ripple_program;
 pub use ripple_sim;
 pub use ripple_trace;
-pub use ripple_workloads;
 pub use ripple_trace::BbTrace;
+pub use ripple_workloads;

@@ -3,7 +3,7 @@
 use std::collections::HashMap;
 
 use ripple_program::{BlockId, InstKind, Layout, LineAddr, Program};
-use ripple_sim::EvictionEvent;
+use ripple_sim::{EvictionEvent, EvictionSink};
 use ripple_trace::BbTrace;
 
 use crate::analysis::EvictionWindow;
@@ -194,19 +194,60 @@ pub fn plan_accuracy(
 
 /// Scores a hardware policy's eviction log against the ideal windows —
 /// the paper's "LRU has 77.8 % average accuracy" measurement.
+///
+/// Wrapper over [`AccuracySink`] for callers holding a materialized log;
+/// when the indexes exist before the run, plug an `AccuracySink` into the
+/// simulation instead and skip the log entirely.
 pub fn eviction_accuracy(
     evictions: &[EvictionEvent],
     windows: &WindowIndex,
     accesses: &LineAccessIndex,
 ) -> AccuracyStats {
-    let mut stats = AccuracyStats::default();
-    for e in evictions {
-        stats.total += 1;
-        if decision_is_accurate(e.victim, e.evict_pos, windows, accesses) {
-            stats.accurate += 1;
+    let mut sink = AccuracySink::new(windows, accesses);
+    for &e in evictions {
+        sink.record(e);
+    }
+    sink.into_stats()
+}
+
+/// Streams a simulation's evictions straight into an accuracy tally,
+/// scoring each decision online against pre-built ideal-window and access
+/// indexes — no eviction log is ever materialized.
+#[derive(Debug)]
+pub struct AccuracySink<'a> {
+    windows: &'a WindowIndex,
+    accesses: &'a LineAccessIndex,
+    stats: AccuracyStats,
+}
+
+impl<'a> AccuracySink<'a> {
+    /// Creates a sink scoring against `windows` and `accesses`.
+    pub fn new(windows: &'a WindowIndex, accesses: &'a LineAccessIndex) -> Self {
+        AccuracySink {
+            windows,
+            accesses,
+            stats: AccuracyStats::default(),
         }
     }
-    stats
+
+    /// The tally so far.
+    pub fn stats(&self) -> AccuracyStats {
+        self.stats
+    }
+
+    /// Consumes the sink, returning the tally.
+    pub fn into_stats(self) -> AccuracyStats {
+        self.stats
+    }
+}
+
+impl EvictionSink for AccuracySink<'_> {
+    fn record(&mut self, e: EvictionEvent) {
+        self.stats.total += 1;
+        if decision_is_accurate(e.victim, e.evict_pos, self.windows, self.accesses) {
+            self.stats.accurate += 1;
+        }
+    }
 }
 
 #[cfg(test)]

@@ -3,16 +3,21 @@
 
 use std::collections::HashMap;
 
-use ripple_program::{patch_invalidates, rewrite, BlockId, InjectionPlan, Layout, LineAddr, Program};
+use ripple_program::{
+    patch_invalidates, rewrite, BlockId, InjectionPlan, Layout, LineAddr, Program,
+};
 use ripple_sim::{
-    simulate, simulate_ideal_cache, EvictionMechanism, PolicyKind, PrefetcherKind, SimConfig,
-    SimStats,
+    simulate_ideal_cache, simulate_with_sink, EvictionEvent, EvictionMechanism, PolicyKind,
+    PrefetcherKind, SimConfig, SimSession, SimStats, VecSink,
 };
 use ripple_trace::BbTrace;
 
-use crate::analysis::{analyze, Analysis, AnalysisConfig, CoverageStats};
+use crate::analysis::{
+    analyze, analyze_windows, Analysis, AnalysisConfig, CoverageStats, WindowSink,
+};
+use crate::harness::{effective_threads, run_jobs, Job};
 use crate::metrics::{
-    eviction_accuracy, plan_accuracy, AccuracyStats, LineAccessIndex, WindowIndex,
+    eviction_accuracy, plan_accuracy, AccuracySink, AccuracyStats, LineAccessIndex, WindowIndex,
 };
 
 /// Configuration of one Ripple run.
@@ -40,6 +45,9 @@ pub struct RippleConfig {
     pub slot_threshold_factor: f64,
     /// Simulator configuration (prefetcher, geometry, latencies).
     pub sim: SimConfig,
+    /// Worker threads for the evaluation harness (`None` = the machine's
+    /// available parallelism). Results are bit-identical at any value.
+    pub threads: Option<usize>,
 }
 
 impl Default for RippleConfig {
@@ -52,6 +60,7 @@ impl Default for RippleConfig {
             final_layout_analysis: true,
             slot_threshold_factor: 0.6,
             sim: SimConfig::default(),
+            threads: None,
         }
     }
 }
@@ -80,7 +89,7 @@ impl RippleConfig {
 }
 
 /// Everything one Ripple run produces.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RippleOutcome {
     /// Coverage bookkeeping at the chosen threshold.
     pub coverage: CoverageStats,
@@ -158,11 +167,16 @@ impl<'p> Ripple<'p> {
         train_trace: &BbTrace,
         config: RippleConfig,
     ) -> Self {
-        let mut oracle_cfg = config.sim.clone().with_policy(config.analysis_oracle());
-        oracle_cfg.record_evictions = true;
-        let oracle_run = simulate(program, layout, train_trace, &oracle_cfg);
-        let log = oracle_run.evictions.expect("eviction log requested");
-        let analysis = analyze(program, layout, train_trace, &log, &config.analysis);
+        let oracle_cfg = config.sim.clone().with_policy(config.analysis_oracle());
+        let mut windows = WindowSink::new();
+        let _ = simulate_with_sink(program, layout, train_trace, &oracle_cfg, &mut windows);
+        let analysis = analyze_windows(
+            program,
+            layout,
+            train_trace,
+            windows.into_windows(),
+            &config.analysis,
+        );
         let train_windows = WindowIndex::build(analysis.windows());
         Ripple {
             program,
@@ -176,6 +190,11 @@ impl<'p> Ripple<'p> {
     /// The underlying analysis (cue choices, windows).
     pub fn analysis(&self) -> &Analysis {
         &self.analysis
+    }
+
+    /// The configuration this optimizer was trained with.
+    pub fn config(&self) -> &RippleConfig {
+        &self.config
     }
 
     /// Windows of the training run, indexed per line.
@@ -227,15 +246,19 @@ impl<'p> Ripple<'p> {
                 .clone()
                 .with_policy(self.config.analysis_oracle());
             oracle_cfg.eviction_mechanism = EvictionMechanism::NoOp;
-            oracle_cfg.record_evictions = true;
-            let oracle_run =
-                simulate(&rewritten.program, &rewritten.layout, eval_trace, &oracle_cfg);
-            let log = oracle_run.evictions.expect("eviction log requested");
-            let analysis_i = analyze(
+            let mut windows_i = WindowSink::new();
+            let _ = simulate_with_sink(
                 &rewritten.program,
                 &rewritten.layout,
                 eval_trace,
-                &log,
+                &oracle_cfg,
+                &mut windows_i,
+            );
+            let analysis_i = analyze_windows(
+                &rewritten.program,
+                &rewritten.layout,
+                eval_trace,
+                windows_i.into_windows(),
                 &self.config.analysis,
             );
             if round + 1 < rounds {
@@ -264,11 +287,7 @@ impl<'p> Ripple<'p> {
                     .push(rewritten.layout.line_of(inj.victim));
             }
             if std::env::var("RIPPLE_DEBUG").is_ok() {
-                eprintln!(
-                    "    [debug] slots={} assigned={}",
-                    plan.len(),
-                    plan_i.len(),
-                );
+                eprintln!("    [debug] slots={} assigned={}", plan.len(), plan_i.len(),);
             }
             patch_invalidates(&mut rewritten.program, &assignments);
             coverage = coverage_i;
@@ -278,65 +297,140 @@ impl<'p> Ripple<'p> {
         let final_program = rewritten.program;
         let final_layout = rewritten.layout;
 
-        // Underlying-policy runs.
+        // The five evaluation runs are independent simulations over two
+        // binaries; they go through the shared harness as one job matrix.
+        // The original binary's three runs (baseline / LRU reference /
+        // ideal replacement) share one `SimSession`, so the ideal's
+        // recording pass is paid at most once. The mechanism only matters
+        // where invalidate instructions exist, so the original binary's
+        // session can use the plain sim config for all three policies.
+        let threads = effective_threads(self.config.threads);
+        let session = SimSession::new(
+            self.program,
+            self.layout,
+            eval_trace,
+            self.config.sim.clone(),
+        );
         let mut under_cfg = self.config.sim.clone().with_policy(self.config.underlying);
         under_cfg.eviction_mechanism = self.config.mechanism;
-        under_cfg.record_evictions = true;
-        let baseline = simulate(self.program, self.layout, eval_trace, &under_cfg);
-        let ripple = simulate(&final_program, &final_layout, eval_trace, &under_cfg);
+        let final_session = SimSession::new(&final_program, &final_layout, eval_trace, under_cfg);
+        let underlying = self.config.underlying;
+        let oracle = self.config.oracle();
 
-        // Reference and upper bounds on the original binary.
-        let lru_cfg = self.config.sim.clone().with_policy(PolicyKind::Lru);
-        let lru_reference = simulate(self.program, self.layout, eval_trace, &lru_cfg);
-        let mut ideal_cfg = self.config.sim.clone().with_policy(self.config.oracle());
-        ideal_cfg.record_evictions = true;
-        let ideal = simulate(self.program, self.layout, eval_trace, &ideal_cfg);
-        let ideal_cache = simulate_ideal_cache(self.program, eval_trace, &self.config.sim);
+        // When the final-layout analysis ran, the ideal windows and access
+        // index exist before the runs, so the baseline's eviction accuracy
+        // is scored online by an `AccuracySink` and no log is materialized.
+        // Otherwise the ideal run must produce the windows first, so the
+        // baseline and ideal logs are collected and scored afterwards.
+        let prebuilt: Option<(WindowIndex, LineAccessIndex)> =
+            eval_analysis_opt.as_ref().map(|a| {
+                (
+                    WindowIndex::build(a.windows()),
+                    LineAccessIndex::build(&final_layout, eval_trace),
+                )
+            });
+
+        enum RunOut {
+            Stats(SimStats),
+            Scored(SimStats, AccuracyStats),
+            Logged(SimStats, Vec<EvictionEvent>),
+        }
+        let jobs: Vec<Job<'_, RunOut>> = vec![
+            Box::new(|| match prebuilt.as_ref() {
+                Some((windows, accesses)) => {
+                    let mut sink = AccuracySink::new(windows, accesses);
+                    let stats = session.run_with_sink(underlying, &mut sink);
+                    RunOut::Scored(stats, sink.into_stats())
+                }
+                None => {
+                    let mut sink = VecSink::new();
+                    let stats = session.run_with_sink(underlying, &mut sink);
+                    RunOut::Logged(stats, sink.into_events())
+                }
+            }),
+            Box::new(|| RunOut::Stats(final_session.run(underlying))),
+            Box::new(|| RunOut::Stats(session.run(PolicyKind::Lru))),
+            Box::new(|| {
+                if prebuilt.is_some() {
+                    RunOut::Stats(session.run(oracle))
+                } else {
+                    let mut sink = VecSink::new();
+                    let stats = session.run_with_sink(oracle, &mut sink);
+                    RunOut::Logged(stats, sink.into_events())
+                }
+            }),
+            Box::new(|| {
+                RunOut::Stats(simulate_ideal_cache(
+                    self.program,
+                    eval_trace,
+                    &self.config.sim,
+                ))
+            }),
+        ];
+        let mut outs = run_jobs(threads, jobs).into_iter();
+        let baseline_out = outs.next().expect("baseline job");
+        let ripple_stats = match outs.next().expect("ripple job") {
+            RunOut::Stats(s) => s,
+            _ => unreachable!("ripple job returns plain stats"),
+        };
+        let lru_reference = match outs.next().expect("lru job") {
+            RunOut::Stats(s) => s,
+            _ => unreachable!("lru job returns plain stats"),
+        };
+        let ideal_out = outs.next().expect("ideal job");
+        let ideal_cache = match outs.next().expect("ideal-cache job") {
+            RunOut::Stats(s) => s,
+            _ => unreachable!("ideal-cache job returns plain stats"),
+        };
 
         // Accuracy against ideal windows (final layout when available).
-        let (acc_layout, eval_analysis): (&Layout, Analysis) = match eval_analysis_opt {
-            Some(a) => (&final_layout, a),
-            None => {
-                let eval_log = ideal.evictions.as_deref().unwrap_or(&[]);
+        let (baseline, ideal, eval_windows, accesses, acc_layout, underlying_accuracy) =
+            match (prebuilt, baseline_out, ideal_out) {
                 (
-                    self.layout,
-                    analyze(
+                    Some((windows, accesses)),
+                    RunOut::Scored(baseline, acc),
+                    RunOut::Stats(ideal),
+                ) => (baseline, ideal, windows, accesses, &final_layout, acc),
+                (None, RunOut::Logged(baseline, base_log), RunOut::Logged(ideal, ideal_log)) => {
+                    let eval_analysis = analyze(
                         self.program,
                         self.layout,
                         eval_trace,
-                        eval_log,
+                        &ideal_log,
                         &self.config.analysis,
-                    ),
-                )
-            }
-        };
-        let eval_windows = WindowIndex::build(eval_analysis.windows());
-        let accesses = LineAccessIndex::build(acc_layout, eval_trace);
-        let ripple_accuracy =
-            plan_accuracy(&final_plan, acc_layout, eval_trace, &eval_windows, &accesses);
-        let underlying_accuracy = eviction_accuracy(
-            baseline.evictions.as_deref().unwrap_or(&[]),
+                    );
+                    let windows = WindowIndex::build(eval_analysis.windows());
+                    let accesses = LineAccessIndex::build(self.layout, eval_trace);
+                    let acc = eviction_accuracy(&base_log, &windows, &accesses);
+                    (baseline, ideal, windows, accesses, self.layout, acc)
+                }
+                _ => unreachable!("job output shape follows the prebuilt-index path"),
+            };
+        let ripple_accuracy = plan_accuracy(
+            &final_plan,
+            acc_layout,
+            eval_trace,
             &eval_windows,
             &accesses,
         );
 
         let static_orig = self.program.static_instruction_count();
         let static_overhead_pct = plan.len() as f64 / static_orig as f64 * 100.0;
-        let dyn_orig = ripple.stats.instructions;
+        let dyn_orig = ripple_stats.instructions;
         let dynamic_overhead_pct = if dyn_orig == 0 {
             0.0
         } else {
-            ripple.stats.invalidate_instructions as f64 / dyn_orig as f64 * 100.0
+            ripple_stats.invalidate_instructions as f64 / dyn_orig as f64 * 100.0
         };
 
         RippleOutcome {
             coverage,
             injected_static: plan.len(),
-            baseline: baseline.stats,
-            ripple: ripple.stats,
-            ideal: ideal.stats,
+            baseline,
+            ripple: ripple_stats,
+            ideal,
             ideal_cache,
-            lru_reference: lru_reference.stats,
+            lru_reference,
             ripple_accuracy,
             underlying_accuracy,
             static_overhead_pct,
@@ -375,7 +469,10 @@ mod tests {
             outcome.ideal.demand_misses <= outcome.baseline.demand_misses,
             "ideal must lower-bound the baseline"
         );
-        assert!(outcome.ripple.invalidate_instructions > 0, "invalidates must execute");
+        assert!(
+            outcome.ripple.invalidate_instructions > 0,
+            "invalidates must execute"
+        );
         assert!(outcome.ripple_accuracy.total > 0);
         assert!((0.0..=1.0).contains(&outcome.coverage.coverage()));
         assert!((0.0..=1.0).contains(&outcome.ripple_accuracy.accuracy()));

@@ -3,6 +3,7 @@
 
 use ripple_trace::BbTrace;
 
+use crate::harness::{effective_threads, run_jobs, Job};
 use crate::pipeline::Ripple;
 
 /// One point of the coverage/accuracy trade-off curve.
@@ -20,19 +21,27 @@ pub struct ThresholdPoint {
 
 /// Sweeps the invalidation threshold over `thresholds`, evaluating each
 /// against `eval_trace` (Fig. 6's curve).
+///
+/// Thresholds are independent, so they run as parallel harness jobs (the
+/// worker count follows the trained config's `threads`); the returned
+/// points are in `thresholds` order, bit-identical to a sequential sweep.
 pub fn sweep(ripple: &Ripple<'_>, eval_trace: &BbTrace, thresholds: &[f64]) -> Vec<ThresholdPoint> {
-    thresholds
+    let threads = effective_threads(ripple.config().threads);
+    let jobs: Vec<Job<'_, ThresholdPoint>> = thresholds
         .iter()
-        .map(|&t| {
-            let outcome = ripple.evaluate_with_threshold(eval_trace, t);
-            ThresholdPoint {
-                threshold: t,
-                coverage: outcome.coverage.coverage(),
-                accuracy: outcome.ripple_accuracy.accuracy(),
-                speedup_pct: outcome.speedup_pct(),
-            }
+        .map(|&t| -> Job<'_, ThresholdPoint> {
+            Box::new(move || {
+                let outcome = ripple.evaluate_with_threshold(eval_trace, t);
+                ThresholdPoint {
+                    threshold: t,
+                    coverage: outcome.coverage.coverage(),
+                    accuracy: outcome.ripple_accuracy.accuracy(),
+                    speedup_pct: outcome.speedup_pct(),
+                }
+            })
         })
-        .collect()
+        .collect();
+    run_jobs(threads, jobs)
 }
 
 /// Picks the best-performing threshold from a sweep (the paper tunes each

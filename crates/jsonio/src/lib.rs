@@ -1,0 +1,624 @@
+//! Dependency-free JSON for Ripple's serialized artifacts.
+//!
+//! The workspace has no network access at build time, so instead of serde it
+//! uses this small crate for the few artifacts that cross process boundaries:
+//! injection plans, application specifications, and the bench result grid.
+//! Object key order is preserved, integers round-trip exactly, and floats are
+//! printed with shortest-round-trip formatting so a parse → print → parse
+//! cycle is lossless.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// A JSON document value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// An integer that fits `i64` (covers negative and most positive ints).
+    Int(i64),
+    /// A positive integer above `i64::MAX`.
+    UInt(u64),
+    /// Any other number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object; key order is preserved.
+    Object(Vec<(String, Value)>),
+}
+
+/// Error raised by parsing or typed extraction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    message: String,
+}
+
+impl JsonError {
+    /// Creates an error with the given message.
+    pub fn new(message: impl Into<String>) -> Self {
+        JsonError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error: {}", self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl Value {
+    /// Extracts a bool.
+    pub fn as_bool(&self) -> Result<bool, JsonError> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            other => Err(JsonError::new(format!("expected bool, got {other:?}"))),
+        }
+    }
+
+    /// Extracts an unsigned integer.
+    pub fn as_u64(&self) -> Result<u64, JsonError> {
+        match self {
+            Value::Int(i) if *i >= 0 => Ok(*i as u64),
+            Value::UInt(u) => Ok(*u),
+            other => Err(JsonError::new(format!("expected u64, got {other:?}"))),
+        }
+    }
+
+    /// Extracts a signed integer.
+    pub fn as_i64(&self) -> Result<i64, JsonError> {
+        match self {
+            Value::Int(i) => Ok(*i),
+            other => Err(JsonError::new(format!("expected i64, got {other:?}"))),
+        }
+    }
+
+    /// Extracts a float (integers widen losslessly where possible).
+    pub fn as_f64(&self) -> Result<f64, JsonError> {
+        match self {
+            Value::Int(i) => Ok(*i as f64),
+            Value::UInt(u) => Ok(*u as f64),
+            Value::Float(f) => Ok(*f),
+            other => Err(JsonError::new(format!("expected number, got {other:?}"))),
+        }
+    }
+
+    /// Extracts a string slice.
+    pub fn as_str(&self) -> Result<&str, JsonError> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(JsonError::new(format!("expected string, got {other:?}"))),
+        }
+    }
+
+    /// Extracts an array slice.
+    pub fn as_array(&self) -> Result<&[Value], JsonError> {
+        match self {
+            Value::Array(items) => Ok(items),
+            other => Err(JsonError::new(format!("expected array, got {other:?}"))),
+        }
+    }
+
+    /// Looks up an object member.
+    pub fn get(&self, key: &str) -> Result<&Value, JsonError> {
+        match self {
+            Value::Object(members) => members
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .ok_or_else(|| JsonError::new(format!("missing key {key:?}"))),
+            other => Err(JsonError::new(format!("expected object, got {other:?}"))),
+        }
+    }
+
+    /// Serializes compactly (no whitespace).
+    pub fn to_compact_string(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Serializes with two-space indentation.
+    pub fn to_pretty_string(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(true) => out.push_str("true"),
+            Value::Bool(false) => out.push_str("false"),
+            Value::Int(i) => out.push_str(&i.to_string()),
+            Value::UInt(u) => out.push_str(&u.to_string()),
+            Value::Float(f) => write_f64(out, *f),
+            Value::Str(s) => write_escaped(out, s),
+            Value::Array(items) => {
+                write_seq(out, indent, depth, '[', ']', items.len(), |out, i, d| {
+                    items[i].write(out, indent, d);
+                })
+            }
+            Value::Object(members) => {
+                write_seq(out, indent, depth, '{', '}', members.len(), |out, i, d| {
+                    let (k, v) = &members[i];
+                    write_escaped(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, indent, d);
+                })
+            }
+        }
+    }
+}
+
+fn write_f64(out: &mut String, f: f64) {
+    if f.is_finite() {
+        // `{:?}` is Rust's shortest round-trip float formatting.
+        let s = format!("{f:?}");
+        out.push_str(&s);
+    } else {
+        // JSON has no Inf/NaN; null is the conventional stand-in.
+        out.push_str("null");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * (depth + 1)));
+        }
+        item(out, i, depth + 1);
+        if i + 1 < len {
+            out.push(',');
+        }
+    }
+    if let Some(width) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(width * depth));
+    }
+    out.push(close);
+}
+
+/// Parses a JSON document.
+pub fn parse(input: &str) -> Result<Value, JsonError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(JsonError::new(format!(
+            "trailing characters at byte {}",
+            p.pos
+        )));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(JsonError::new(format!(
+                "expected {:?} at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Value) -> Result<Value, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(JsonError::new(format!(
+                "invalid literal at byte {}",
+                self.pos
+            )))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, JsonError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-') | Some(b'0'..=b'9') => self.number(),
+            _ => Err(JsonError::new(format!(
+                "unexpected character at byte {}",
+                self.pos
+            ))),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(JsonError::new(format!("bad array at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, JsonError> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(members));
+                }
+                _ => return Err(JsonError::new(format!("bad object at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = self
+                .peek()
+                .ok_or_else(|| JsonError::new("unterminated string"))?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| JsonError::new("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| JsonError::new("truncated \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| JsonError::new("bad \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| JsonError::new("bad \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not needed by our artifacts.
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| JsonError::new("bad \\u code point"))?,
+                            );
+                        }
+                        _ => return Err(JsonError::new("unknown escape")),
+                    }
+                }
+                _ => {
+                    // Re-decode UTF-8 from the raw bytes.
+                    let start = self.pos - 1;
+                    let mut end = self.pos;
+                    while end < self.bytes.len() && self.bytes[end] & 0xc0 == 0x80 {
+                        end += 1;
+                    }
+                    let s = std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|_| JsonError::new("invalid utf-8 in string"))?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| JsonError::new("invalid number"))?;
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Int(i));
+            }
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::UInt(u));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| JsonError::new(format!("invalid number {text:?}")))
+    }
+}
+
+/// Types that can render themselves as a [`Value`].
+pub trait ToJson {
+    /// Converts to a JSON value.
+    fn to_json(&self) -> Value;
+}
+
+/// Types that can be reconstructed from a [`Value`].
+pub trait FromJson: Sized {
+    /// Parses from a JSON value.
+    fn from_json(v: &Value) -> Result<Self, JsonError>;
+}
+
+macro_rules! impl_json_uint {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl FromJson for $t {
+            fn from_json(v: &Value) -> Result<Self, JsonError> {
+                let raw = v.as_u64()?;
+                <$t>::try_from(raw)
+                    .map_err(|_| JsonError::new(format!("{raw} out of range")))
+            }
+        }
+    )*};
+}
+
+impl_json_uint!(u8, u16, u32, usize);
+
+impl ToJson for u64 {
+    fn to_json(&self) -> Value {
+        if *self <= i64::MAX as u64 {
+            Value::Int(*self as i64)
+        } else {
+            Value::UInt(*self)
+        }
+    }
+}
+
+impl FromJson for u64 {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        v.as_u64()
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl FromJson for f64 {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        v.as_f64()
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl FromJson for bool {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        v.as_bool()
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl FromJson for String {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        Ok(v.as_str()?.to_string())
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: FromJson> FromJson for Vec<T> {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        v.as_array()?.iter().map(T::from_json).collect()
+    }
+}
+
+/// Builds an object value from `(key, value)` pairs.
+pub fn object<const N: usize>(members: [(&str, Value); N]) -> Value {
+    Value::Object(
+        members
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_nested() {
+        let v = object([
+            ("name", Value::Str("tom \"cat\"".into())),
+            ("n", Value::Int(42)),
+            ("big", Value::UInt(u64::MAX)),
+            ("neg", Value::Int(-7)),
+            ("pi", Value::Float(3.25)),
+            ("tiny", Value::Float(0.1)),
+            ("ok", Value::Bool(true)),
+            ("none", Value::Null),
+            (
+                "xs",
+                Value::Array(vec![Value::Int(1), Value::Array(vec![]), object([])]),
+            ),
+        ]);
+        for text in [v.to_compact_string(), v.to_pretty_string()] {
+            assert_eq!(parse(&text).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn float_shortest_roundtrip() {
+        for f in [0.1, 1.0 / 3.0, 1e-12, 123456.789, -2.5e300] {
+            let text = Value::Float(f).to_compact_string();
+            match parse(&text).unwrap() {
+                Value::Float(g) => assert_eq!(f, g),
+                other => panic!("expected float, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn integers_parse_exactly() {
+        assert_eq!(
+            parse("18446744073709551615").unwrap(),
+            Value::UInt(u64::MAX)
+        );
+        assert_eq!(parse("-9223372036854775808").unwrap(), Value::Int(i64::MIN));
+        assert_eq!(parse("0").unwrap(), Value::Int(0));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        for bad in ["", "{", "[1,", "nul", "\"abc", "1 2", "{\"a\" 1}"] {
+            assert!(parse(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn escapes_roundtrip() {
+        let v = Value::Str("line\nbreak\ttab \\ \"q\" \u{1}".into());
+        assert_eq!(parse(&v.to_compact_string()).unwrap(), v);
+    }
+
+    #[test]
+    fn typed_extraction() {
+        let v = parse("{\"a\": [1, 2], \"b\": 1.5}").unwrap();
+        let xs: Vec<u32> = FromJson::from_json(v.get("a").unwrap()).unwrap();
+        assert_eq!(xs, vec![1, 2]);
+        assert_eq!(v.get("b").unwrap().as_f64().unwrap(), 1.5);
+        assert!(v.get("missing").is_err());
+        assert!(u32::from_json(v.get("b").unwrap()).is_err());
+    }
+}

@@ -8,8 +8,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Size of an instruction cache line in bytes (fixed at 64 B, as in the
 /// paper's Table II and in every Intel server part of the last decade).
 pub const CACHE_LINE_BYTES: u64 = 64;
@@ -29,9 +27,7 @@ pub const CACHE_LINE_SHIFT: u32 = 6;
 /// assert_eq!(a.offset_in_line(), 0x10);
 /// assert_eq!(a.wrapping_add(CACHE_LINE_BYTES).line(), a.line().next());
 /// ```
-#[derive(
-    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Addr(u64);
 
 impl Addr {
@@ -116,9 +112,7 @@ impl From<Addr> for u64 {
 /// assert_eq!(line, LineAddr::new(0x40));
 /// assert_eq!(line.base_addr(), Addr::new(0x1000));
 /// ```
-#[derive(
-    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct LineAddr(u64);
 
 impl LineAddr {

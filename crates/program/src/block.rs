@@ -1,7 +1,5 @@
 //! Basic blocks.
 
-use serde::{Deserialize, Serialize};
-
 use crate::ids::{BlockId, FuncId};
 use crate::inst::{InstKind, Instruction};
 
@@ -12,7 +10,7 @@ use crate::inst::{InstKind, Instruction};
 /// of injected [`InstKind::Invalidate`] instructions before its original
 /// instructions; [`BasicBlock::injected_prefix_len`] exposes where the
 /// original code begins.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BasicBlock {
     id: BlockId,
     func: FuncId,

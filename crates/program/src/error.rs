@@ -55,7 +55,10 @@ impl fmt::Display for ValidateProgramError {
                 write!(f, "last block {block} of its function may fall through")
             }
             ValidateProgramError::MidBlockTerminator(block) => {
-                write!(f, "block {block} has a terminator before its last instruction")
+                write!(
+                    f,
+                    "block {block} has a terminator before its last instruction"
+                )
             }
             ValidateProgramError::MissingEntry(func) => {
                 write!(f, "entry function {func} does not exist")

@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::ids::{BlockId, FuncId};
 
 /// Provenance of a function's code, which determines whether Ripple may
@@ -15,7 +13,7 @@ use crate::ids::{BlockId, FuncId};
 /// there (§IV, "Replacement-Coverage"), which caps its coverage for those
 /// applications. Kernel code is traced (Intel PT captures it) but also not
 /// rewritten.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CodeKind {
     /// Ahead-of-time compiled application code; rewritable at link time.
     #[default]
@@ -45,7 +43,7 @@ impl fmt::Display for CodeKind {
 }
 
 /// A function: an ordered list of basic blocks, the first being its entry.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Function {
     id: FuncId,
     name: String,

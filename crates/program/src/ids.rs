@@ -2,12 +2,8 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Identifier of a function within a [`Program`](crate::Program).
-#[derive(
-    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct FuncId(u32);
 
 impl FuncId {
@@ -41,9 +37,7 @@ impl fmt::Display for FuncId {
 /// Block ids are global across the program (not per-function), which lets a
 /// dynamic trace be a flat `Vec<BlockId>` and lets per-block analysis state
 /// live in dense vectors.
-#[derive(
-    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct BlockId(u32);
 
 impl BlockId {
@@ -77,9 +71,7 @@ impl fmt::Display for BlockId {
 /// `offset` counts bytes of the block's *original* (pre-injection)
 /// instructions, so a `CodeLoc` recorded against one layout can be resolved
 /// against a rewritten layout of the same program.
-#[derive(
-    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct CodeLoc {
     /// Enclosing basic block.
     pub block: BlockId,

@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::addr::LineAddr;
 use crate::ids::{BlockId, FuncId};
 
@@ -15,7 +13,7 @@ use crate::ids::{BlockId, FuncId};
 pub const INVALIDATE_BYTES: u8 = 7;
 
 /// What an [`Instruction`] does to control flow (or to the I-cache).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum InstKind {
     /// A non-control-flow instruction (ALU, load, store, ...).
     Other,
@@ -117,7 +115,7 @@ impl fmt::Display for InstKind {
 /// assert_eq!(nop.size_bytes(), 4);
 /// assert!(!nop.kind().is_terminator());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Instruction {
     size: u8,
     kind: InstKind,

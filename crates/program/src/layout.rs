@@ -8,14 +8,12 @@
 //! (before and after rewriting) and results are translated between the two
 //! layouts by a [`LineMapper`](crate::LineMapper).
 
-use serde::{Deserialize, Serialize};
-
 use crate::addr::{lines_spanning, Addr, LineAddr, LineSpan};
 use crate::ids::{BlockId, CodeLoc};
 use crate::program::Program;
 
 /// Linker parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LayoutConfig {
     /// Base address of the text segment.
     pub base_addr: Addr,
@@ -56,7 +54,7 @@ impl Default for LayoutConfig {
 /// assert_eq!(layout.lines_of_block(bb).count(), 1);
 /// # Ok::<(), ripple_program::ValidateProgramError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Layout {
     config: LayoutConfig,
     block_addr: Vec<Addr>,
@@ -119,7 +117,8 @@ impl Layout {
     /// One-past-the-end address of a block.
     #[inline]
     pub fn block_end(&self, id: BlockId) -> Addr {
-        self.block_addr(id).wrapping_add(u64::from(self.block_size(id)))
+        self.block_addr(id)
+            .wrapping_add(u64::from(self.block_size(id)))
     }
 
     /// One-past-the-end address of the whole text segment.

@@ -1,7 +1,5 @@
 //! The [`Program`] container and its builder.
 
-use serde::{Deserialize, Serialize};
-
 use crate::block::BasicBlock;
 use crate::error::ValidateProgramError;
 use crate::function::{CodeKind, Function};
@@ -61,7 +59,7 @@ pub enum Successors {
 /// assert_eq!(program.num_blocks(), 1);
 /// # Ok::<(), ripple_program::ValidateProgramError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Program {
     functions: Vec<Function>,
     blocks: Vec<BasicBlock>,
@@ -129,9 +127,7 @@ impl Program {
     pub fn next_block_in_function(&self, id: BlockId) -> Option<BlockId> {
         let block = self.block(id);
         let func = self.function(block.func());
-        func.blocks()
-            .get(block.pos_in_func() as usize + 1)
-            .copied()
+        func.blocks().get(block.pos_in_func() as usize + 1).copied()
     }
 
     /// Static successor summary of a block (who runs next).
@@ -441,10 +437,7 @@ mod tests {
         b.push_inst(o0, Instruction::ret());
         assert_eq!(
             b.finish(main),
-            Err(ValidateProgramError::CrossFunctionBranch {
-                from: m0,
-                to: o0
-            })
+            Err(ValidateProgramError::CrossFunctionBranch { from: m0, to: o0 })
         );
     }
 

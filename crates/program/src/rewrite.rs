@@ -8,7 +8,7 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
+use ripple_json::{object, FromJson, JsonError, ToJson, Value};
 
 use crate::addr::LineAddr;
 use crate::ids::{BlockId, CodeLoc};
@@ -18,7 +18,7 @@ use crate::program::Program;
 
 /// One planned injection: when `cue` executes, invalidate the line holding
 /// `victim` (a code location in the profiled layout).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Injection {
     /// Block that receives the invalidate instruction.
     pub cue: BlockId,
@@ -27,7 +27,7 @@ pub struct Injection {
 }
 
 /// A set of injections to apply to a program.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct InjectionPlan {
     injections: Vec<Injection>,
 }
@@ -58,6 +58,41 @@ impl InjectionPlan {
     /// Whether the plan is empty.
     pub fn is_empty(&self) -> bool {
         self.injections.is_empty()
+    }
+}
+
+impl ToJson for Injection {
+    fn to_json(&self) -> Value {
+        object([
+            ("cue", self.cue.get().to_json()),
+            ("victim_block", self.victim.block.get().to_json()),
+            ("victim_offset", self.victim.offset.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Injection {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        Ok(Injection {
+            cue: BlockId::new(u32::from_json(v.get("cue")?)?),
+            victim: CodeLoc::new(
+                BlockId::new(u32::from_json(v.get("victim_block")?)?),
+                u32::from_json(v.get("victim_offset")?)?,
+            ),
+        })
+    }
+}
+
+impl ToJson for InjectionPlan {
+    fn to_json(&self) -> Value {
+        object([("injections", self.injections.to_json())])
+    }
+}
+
+impl FromJson for InjectionPlan {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        let injections: Vec<Injection> = FromJson::from_json(v.get("injections")?)?;
+        Ok(injections.into_iter().collect())
     }
 }
 

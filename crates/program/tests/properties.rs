@@ -10,10 +10,7 @@ use ripple_program::{
 /// of 1..=10 instructions with random sizes.
 fn arb_program() -> impl Strategy<Value = Program> {
     proptest::collection::vec(
-        proptest::collection::vec(
-            proptest::collection::vec(1u8..=15, 1..=10),
-            1..=8,
-        ),
+        proptest::collection::vec(proptest::collection::vec(1u8..=15, 1..=10), 1..=8),
         1..=12,
     )
     .prop_map(|functions| {

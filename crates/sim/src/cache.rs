@@ -96,7 +96,13 @@ impl<P: ?Sized + ReplacementPolicy> Cache<P> {
     /// `pc` is the fetch address responsible for the access (used by
     /// signature/PC-indexed policies); `seq` is the global position of
     /// this access in the request stream (used by offline-ideal policies).
-    pub fn access(&mut self, line: LineAddr, pc: Addr, is_prefetch: bool, seq: u64) -> AccessOutcome {
+    pub fn access(
+        &mut self,
+        line: LineAddr,
+        pc: Addr,
+        is_prefetch: bool,
+        seq: u64,
+    ) -> AccessOutcome {
         let set = self.geom.set_of(line);
         let info = AccessInfo {
             line,
@@ -181,10 +187,7 @@ impl<P: ?Sized + ReplacementPolicy> Cache<P> {
     pub fn demote(&mut self, line: LineAddr) -> bool {
         let set = self.geom.set_of(line);
         let range = self.set_range(set);
-        if let Some(off) = self.ways[range]
-            .iter()
-            .position(|w| w.line == Some(line))
-        {
+        if let Some(off) = self.ways[range].iter().position(|w| w.line == Some(line)) {
             self.policy.on_demote(set, off);
             true
         } else {

@@ -1,11 +1,9 @@
 //! Simulation configuration (the paper's Table II plus model knobs).
 
-use serde::{Deserialize, Serialize};
-
 use ripple_program::CACHE_LINE_BYTES;
 
 /// Geometry of one set-associative cache with 64-byte lines.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheGeometry {
     /// Total capacity in bytes.
     pub size_bytes: u64,
@@ -22,7 +20,11 @@ impl CacheGeometry {
     /// `assoc * CACHE_LINE_BYTES`.
     pub fn new(size_bytes: u64, assoc: u16) -> Self {
         let g = CacheGeometry { size_bytes, assoc };
-        assert!(g.num_sets() >= 1 && g.size_bytes.is_multiple_of(u64::from(assoc) * CACHE_LINE_BYTES));
+        assert!(
+            g.num_sets() >= 1
+                && g.size_bytes
+                    .is_multiple_of(u64::from(assoc) * CACHE_LINE_BYTES)
+        );
         g
     }
 
@@ -46,7 +48,7 @@ impl CacheGeometry {
 }
 
 /// Which hardware instruction prefetcher runs alongside the L1I (§II-C).
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PrefetcherKind {
     /// No prefetching (the paper's baseline configuration).
     #[default]
@@ -71,7 +73,7 @@ impl PrefetcherKind {
 }
 
 /// Which replacement policy manages the L1I (§II-D).
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PolicyKind {
     /// Least-recently-used (true LRU ordering).
     #[default]
@@ -126,7 +128,7 @@ impl PolicyKind {
 
 /// How an executed `invalidate` instruction acts on the L1I (§IV,
 /// "Invalidation vs. reducing LRU priority").
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EvictionMechanism {
     /// Invalidate the line outright (works with any underlying policy).
     #[default]
@@ -143,7 +145,7 @@ pub enum EvictionMechanism {
 ///
 /// Defaults reproduce the paper's Table II: Haswell-class latencies, a
 /// 32 KiB / 8-way L1I, 1 MB / 16-way L2 and 10 MiB / 20-way L3.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimConfig {
     /// L1 instruction cache geometry.
     pub l1i: CacheGeometry,
@@ -186,14 +188,11 @@ pub struct SimConfig {
     /// negligible (§II-D measures 0.16 compulsory MPKI); warmup removes
     /// the first-touch bias of our shorter traces.
     pub warmup_fraction: f64,
-    /// Record the L1I eviction log (needed by Ripple's analysis).
-    pub record_evictions: bool,
     /// Scripted invalidations: `(trace_pos, line)` pairs, sorted by
     /// position, applied *before* the block at that position executes.
     /// This models a perfect software-eviction oracle with zero code
     /// bloat — the upper bound of Ripple's mechanism — and is used by the
     /// ablation benches and tests.
-    #[serde(skip)]
     pub scripted_invalidations: Option<std::sync::Arc<Vec<(u32, ripple_program::LineAddr)>>>,
 }
 
@@ -216,7 +215,6 @@ impl Default for SimConfig {
             prefetch_timeliness_blocks: 2,
             eviction_mechanism: EvictionMechanism::Invalidate,
             warmup_fraction: 0.25,
-            record_evictions: false,
             scripted_invalidations: None,
         }
     }

@@ -6,25 +6,191 @@
 //! and branch-predictor state never observe cache contents — a
 //! [`FutureIndex`] is built from it, and the replay pass re-runs the
 //! frontend with the oracle policy.
+//!
+//! [`SimSession`] makes that recording pass *shared*: it captures the
+//! request stream and its [`FutureIndex`] at most once per
+//! (program, layout, trace, config) and replays arbitrary policies against
+//! it, so a policy matrix pays for recording once instead of once per
+//! oracle run. Sessions are `Sync`; one session can serve replays from many
+//! threads concurrently.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, OnceLock};
 
 use ripple_program::{Layout, Program};
 use ripple_trace::BbTrace;
 
 use crate::config::{PolicyKind, SimConfig};
 use crate::frontend::Frontend;
-use crate::policy::{build_ideal_policy, build_policy, FutureIndex, LruPolicy};
-use crate::stats::{EvictionEvent, SimStats};
+use crate::policy::{build_ideal_policy, build_policy, FutureIndex, LruPolicy, StreamRecord};
+use crate::sink::{EvictionSink, NullSink};
+use crate::stats::SimStats;
 
-/// Result of one simulation.
-#[derive(Debug, Clone)]
-pub struct SimResult {
-    /// Aggregate counters and timing.
-    pub stats: SimStats,
-    /// L1I eviction log (present when `config.record_evictions`).
-    pub evictions: Option<Vec<EvictionEvent>>,
+/// The policy-independent artifacts of a recording pass.
+struct RecordedStream {
+    stream: Vec<StreamRecord>,
+    future: Arc<FutureIndex>,
 }
 
-/// Simulates `trace` of `program` under `config`.
+/// A reusable simulation context over one (program, layout, trace, config).
+///
+/// The session replays any [`PolicyKind`] against the same inputs. For
+/// offline-ideal policies it records the L1I request stream lazily, exactly
+/// once, and shares the resulting [`FutureIndex`] across replays — including
+/// concurrent replays from multiple threads, since `&self` suffices to run.
+///
+/// The per-run policy overrides `config.policy`; everything else in the
+/// config (geometry, prefetcher, eviction mechanism, scripted
+/// invalidations) is fixed for the session's lifetime. The recorded stream
+/// is valid for every policy because the request stream only depends on the
+/// trace, the layout and the prefetcher — never on cache contents.
+///
+/// # Examples
+///
+/// ```
+/// use ripple_program::{Layout, LayoutConfig};
+/// use ripple_sim::{PolicyKind, SimConfig, SimSession};
+/// use ripple_workloads::{execute, generate, AppSpec, InputConfig};
+///
+/// let app = generate(&AppSpec::tiny(1));
+/// let layout = Layout::new(&app.program, &LayoutConfig::default());
+/// let trace = execute(&app.program, &app.model, InputConfig::training(1), 20_000);
+///
+/// let session = SimSession::new(&app.program, &layout, &trace, SimConfig::default());
+/// let lru = session.run(PolicyKind::Lru);
+/// let opt = session.run(PolicyKind::Opt);
+/// let demand_min = session.run(PolicyKind::DemandMin);
+/// assert!(opt.demand_misses <= lru.demand_misses);
+/// assert!(demand_min.demand_misses <= lru.demand_misses);
+/// // Both oracle replays shared one recording pass.
+/// assert_eq!(session.recording_passes(), 1);
+/// ```
+pub struct SimSession<'a> {
+    program: &'a Program,
+    layout: &'a Layout,
+    trace: &'a BbTrace,
+    config: SimConfig,
+    recorded: OnceLock<RecordedStream>,
+    recording_passes: AtomicU32,
+}
+
+impl std::fmt::Debug for SimSession<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimSession")
+            .field("trace_len", &self.trace.len())
+            .field("config", &self.config)
+            .field("recording_passes", &self.recording_passes())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> SimSession<'a> {
+    /// Creates a session; no simulation happens until a run is requested.
+    pub fn new(
+        program: &'a Program,
+        layout: &'a Layout,
+        trace: &'a BbTrace,
+        config: SimConfig,
+    ) -> Self {
+        SimSession {
+            program,
+            layout,
+            trace,
+            config,
+            recorded: OnceLock::new(),
+            recording_passes: AtomicU32::new(0),
+        }
+    }
+
+    /// The session's configuration (its `policy` field is the default for
+    /// [`SimSession::run`] calls and is otherwise inert).
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// The program being simulated.
+    pub fn program(&self) -> &'a Program {
+        self.program
+    }
+
+    /// The layout being simulated.
+    pub fn layout(&self) -> &'a Layout {
+        self.layout
+    }
+
+    /// The trace being simulated.
+    pub fn trace(&self) -> &'a BbTrace {
+        self.trace
+    }
+
+    /// Simulates under `policy`, discarding evictions.
+    pub fn run(&self, policy: PolicyKind) -> SimStats {
+        self.run_with_sink(policy, &mut NullSink)
+    }
+
+    /// Simulates under `policy`, streaming every L1I eviction into `sink`.
+    pub fn run_with_sink(&self, policy: PolicyKind, sink: &mut dyn EvictionSink) -> SimStats {
+        let cfg = self.config.clone().with_policy(policy);
+        if policy.is_offline_ideal() {
+            let rec = self.recorded();
+            let oracle = build_ideal_policy(policy, cfg.l1i, rec.future.clone());
+            let fe = Frontend::new(
+                self.program,
+                self.layout,
+                &cfg,
+                oracle,
+                false,
+                Some(&rec.stream),
+                sink,
+            );
+            fe.run(self.trace.iter()).0
+        } else {
+            let policy = build_policy(&cfg);
+            let fe = Frontend::new(self.program, self.layout, &cfg, policy, false, None, sink);
+            fe.run(self.trace.iter()).0
+        }
+    }
+
+    /// Statistics for the paper's *ideal I-cache* (no misses at all).
+    pub fn run_ideal_cache(&self) -> SimStats {
+        simulate_ideal_cache(self.program, self.trace, &self.config)
+    }
+
+    /// How many frontend recording passes this session has performed
+    /// (0 before any oracle replay, never more than 1 after).
+    pub fn recording_passes(&self) -> u32 {
+        self.recording_passes.load(Ordering::Acquire)
+    }
+
+    fn recorded(&self) -> &RecordedStream {
+        self.recorded.get_or_init(|| {
+            self.recording_passes.fetch_add(1, Ordering::AcqRel);
+            // The recording policy is irrelevant to the captured stream;
+            // LRU is the cheapest throwaway.
+            let cfg = self.config.clone().with_policy(PolicyKind::Lru);
+            let mut sink = NullSink;
+            let recorder = Frontend::new(
+                self.program,
+                self.layout,
+                &cfg,
+                Box::new(LruPolicy::new(cfg.l1i)),
+                true,
+                None,
+                &mut sink,
+            );
+            let (_, stream) = recorder.run(self.trace.iter());
+            let stream = stream.expect("recording pass returns a stream");
+            let future = FutureIndex::build(&stream);
+            RecordedStream { stream, future }
+        })
+    }
+}
+
+/// Simulates `trace` of `program` under `config`, discarding evictions.
+///
+/// One-shot convenience over [`SimSession`]; when running several policies
+/// on the same inputs, build a session instead so oracle replays share the
+/// recording pass.
 ///
 /// # Examples
 ///
@@ -44,47 +210,27 @@ pub struct SimResult {
 ///     &trace,
 ///     &SimConfig::default().with_policy(PolicyKind::Opt),
 /// );
-/// assert!(opt.stats.demand_misses <= lru.stats.demand_misses);
+/// assert!(opt.demand_misses <= lru.demand_misses);
 /// ```
 pub fn simulate(
     program: &Program,
     layout: &Layout,
     trace: &BbTrace,
     config: &SimConfig,
-) -> SimResult {
-    if config.policy.is_offline_ideal() {
-        return simulate_ideal(program, layout, trace, config);
-    }
-    let policy = build_policy(config);
-    let fe = Frontend::new(program, layout, config, policy, false, None);
-    let (stats, evictions, _) = fe.run(trace.iter());
-    SimResult { stats, evictions }
+) -> SimStats {
+    simulate_with_sink(program, layout, trace, config, &mut NullSink)
 }
 
-fn simulate_ideal(
+/// Simulates `trace` of `program` under `config`, streaming every L1I
+/// eviction into `sink`.
+pub fn simulate_with_sink(
     program: &Program,
     layout: &Layout,
     trace: &BbTrace,
     config: &SimConfig,
-) -> SimResult {
-    // Pass 1: record the request stream under a throwaway LRU.
-    let recorder = Frontend::new(
-        program,
-        layout,
-        config,
-        Box::new(LruPolicy::new(config.l1i)),
-        true,
-        None,
-    );
-    let (_, _, stream) = recorder.run(trace.iter());
-    let stream = stream.expect("recording pass returns a stream");
-    let future = FutureIndex::build(&stream);
-
-    // Pass 2: replay with the oracle.
-    let policy = build_ideal_policy(config.policy, config.l1i, future);
-    let fe = Frontend::new(program, layout, config, policy, false, Some(&stream));
-    let (stats, evictions, _) = fe.run(trace.iter());
-    SimResult { stats, evictions }
+    sink: &mut dyn EvictionSink,
+) -> SimStats {
+    SimSession::new(program, layout, trace, config.clone()).run_with_sink(config.policy, sink)
 }
 
 /// Statistics for the paper's *ideal I-cache* (no misses at all): every
@@ -116,24 +262,29 @@ pub fn baseline_and_ideal(
     layout: &Layout,
     trace: &BbTrace,
     config: &SimConfig,
-) -> (SimResult, SimResult) {
-    let base_cfg = config.clone().with_policy(PolicyKind::Lru);
-    let ideal_kind = if config.prefetcher == crate::config::PrefetcherKind::None {
+) -> (SimStats, SimStats) {
+    let session = SimSession::new(program, layout, trace, config.clone());
+    (
+        session.run(PolicyKind::Lru),
+        session.run(ideal_policy_for(config.prefetcher)),
+    )
+}
+
+/// The ideal oracle matching a prefetcher configuration: prefetch-aware
+/// Demand-MIN when prefetching is active, plain OPT otherwise (§II-C).
+pub fn ideal_policy_for(prefetcher: crate::config::PrefetcherKind) -> PolicyKind {
+    if prefetcher == crate::config::PrefetcherKind::None {
         PolicyKind::Opt
     } else {
         PolicyKind::DemandMin
-    };
-    let ideal_cfg = config.clone().with_policy(ideal_kind);
-    (
-        simulate(program, layout, trace, &base_cfg),
-        simulate(program, layout, trace, &ideal_cfg),
-    )
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::config::PrefetcherKind;
+    use crate::sink::VecSink;
     use ripple_program::LayoutConfig;
     use ripple_workloads::{execute, generate, AppSpec, InputConfig};
 
@@ -155,15 +306,15 @@ mod tests {
     #[test]
     fn lru_simulation_produces_sane_stats() {
         let (p, l, t) = small_setup();
-        let r = simulate(&p, &l, &t, &SimConfig::default());
+        let stats = simulate(&p, &l, &t, &SimConfig::default());
         // Statistics only accumulate after the warmup fraction.
         let warmup = (t.len() as f64 * SimConfig::default().warmup_fraction) as u64;
-        assert_eq!(r.stats.blocks, t.len() as u64 - warmup);
-        assert!(r.stats.instructions >= 40_000 / 2);
-        assert!(r.stats.demand_accesses > 0);
-        assert!(r.stats.demand_misses <= r.stats.demand_accesses);
-        assert!(r.stats.cycles > 0.0);
-        assert!(r.stats.ipc() > 0.0);
+        assert_eq!(stats.blocks, t.len() as u64 - warmup);
+        assert!(stats.instructions >= 40_000 / 2);
+        assert!(stats.demand_accesses > 0);
+        assert!(stats.demand_misses <= stats.demand_accesses);
+        assert!(stats.cycles > 0.0);
+        assert!(stats.ipc() > 0.0);
     }
 
     #[test]
@@ -171,8 +322,8 @@ mod tests {
         let (p, l, t) = small_setup();
         let lru = simulate(&p, &l, &t, &small_cfg());
         let opt = simulate(&p, &l, &t, &small_cfg().with_policy(PolicyKind::Opt));
-        assert!(opt.stats.demand_misses <= lru.stats.demand_misses);
-        assert!(lru.stats.demand_misses > 0, "workload must miss");
+        assert!(opt.demand_misses <= lru.demand_misses);
+        assert!(lru.demand_misses > 0, "workload must miss");
     }
 
     #[test]
@@ -191,25 +342,25 @@ mod tests {
             &t,
             &small_cfg().with_prefetcher(PrefetcherKind::Fdip),
         );
-        assert!(nlp.stats.demand_misses < none.stats.demand_misses);
-        assert!(fdip.stats.demand_misses < none.stats.demand_misses);
-        assert!(nlp.stats.prefetches_issued > 0);
-        assert!(fdip.stats.prefetches_issued > 0);
+        assert!(nlp.demand_misses < none.demand_misses);
+        assert!(fdip.demand_misses < none.demand_misses);
+        assert!(nlp.prefetches_issued > 0);
+        assert!(fdip.prefetches_issued > 0);
     }
 
     #[test]
-    fn demand_min_never_loses_to_lru_under_prefetching(){
+    fn demand_min_never_loses_to_lru_under_prefetching() {
         let (p, l, t) = small_setup();
         for pf in [PrefetcherKind::NextLine, PrefetcherKind::Fdip] {
             let cfg = small_cfg().with_prefetcher(pf);
             let lru = simulate(&p, &l, &t, &cfg);
             let dm = simulate(&p, &l, &t, &cfg.clone().with_policy(PolicyKind::DemandMin));
             assert!(
-                dm.stats.demand_misses <= lru.stats.demand_misses,
+                dm.demand_misses <= lru.demand_misses,
                 "{}: {} > {}",
                 pf.name(),
-                dm.stats.demand_misses,
-                lru.stats.demand_misses
+                dm.demand_misses,
+                lru.demand_misses
             );
         }
     }
@@ -220,23 +371,21 @@ mod tests {
         let cfg = small_cfg();
         let ideal = simulate_ideal_cache(&p, &t, &cfg);
         let lru = simulate(&p, &l, &t, &cfg);
-        assert!(ideal.cycles < lru.stats.cycles);
+        assert!(ideal.cycles < lru.cycles);
         assert_eq!(ideal.demand_misses, 0);
-        assert_eq!(ideal.instructions, lru.stats.instructions);
+        assert_eq!(ideal.instructions, lru.instructions);
     }
 
     #[test]
-    fn eviction_log_is_recorded_when_asked() {
+    fn eviction_sink_receives_ordered_log() {
         let (p, l, t) = small_setup();
-        let mut cfg = SimConfig::default();
-        // The tiny app fits in a 32 KB L1I; shrink it so evictions happen.
-        cfg.l1i = crate::config::CacheGeometry::new(1024, 2);
-        cfg.record_evictions = true;
-        let r = simulate(&p, &l, &t, &cfg);
-        let log = r.evictions.expect("eviction log");
+        let cfg = small_cfg();
+        let mut sink = VecSink::new();
+        let stats = simulate_with_sink(&p, &l, &t, &cfg, &mut sink);
+        let log = sink.into_events();
         // The log records warmup evictions too (the analysis wants them);
         // the counter only accumulates post-warmup.
-        assert!(log.len() as u64 >= r.stats.evictions);
+        assert!(log.len() as u64 >= stats.evictions);
         assert!(!log.is_empty());
         for w in log.windows(2) {
             assert!(w[0].evict_pos <= w[1].evict_pos, "log must be ordered");
@@ -249,7 +398,7 @@ mod tests {
         let cfg = small_cfg().with_prefetcher(PrefetcherKind::Fdip);
         let a = simulate(&p, &l, &t, &cfg);
         let b = simulate(&p, &l, &t, &cfg);
-        assert_eq!(a.stats, b.stats);
+        assert_eq!(a, b);
     }
 
     #[test]
@@ -257,6 +406,58 @@ mod tests {
         let (p, l, t) = small_setup();
         let cfg = small_cfg().with_prefetcher(PrefetcherKind::Fdip);
         let (base, ideal) = baseline_and_ideal(&p, &l, &t, &cfg);
-        assert!(ideal.stats.demand_misses <= base.stats.demand_misses);
+        assert!(ideal.demand_misses <= base.demand_misses);
+    }
+
+    #[test]
+    fn session_shares_one_recording_pass() {
+        let (p, l, t) = small_setup();
+        let session = SimSession::new(&p, &l, &t, small_cfg());
+        assert_eq!(session.recording_passes(), 0);
+        let opt = session.run(PolicyKind::Opt);
+        assert_eq!(session.recording_passes(), 1);
+        let dm = session.run(PolicyKind::DemandMin);
+        let opt_again = session.run(PolicyKind::Opt);
+        // Replaying a second (and third) oracle performed no new recording.
+        assert_eq!(session.recording_passes(), 1);
+        assert_eq!(opt, opt_again);
+        assert!(dm.demand_accesses > 0);
+    }
+
+    #[test]
+    fn session_matches_one_shot_simulate() {
+        let (p, l, t) = small_setup();
+        let cfg = small_cfg().with_prefetcher(PrefetcherKind::Fdip);
+        let session = SimSession::new(&p, &l, &t, cfg.clone());
+        for kind in [
+            PolicyKind::Lru,
+            PolicyKind::Srrip,
+            PolicyKind::Opt,
+            PolicyKind::DemandMin,
+        ] {
+            let one_shot = simulate(&p, &l, &t, &cfg.clone().with_policy(kind));
+            assert_eq!(session.run(kind), one_shot, "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn concurrent_session_replays_are_deterministic() {
+        let (p, l, t) = small_setup();
+        let session = SimSession::new(&p, &l, &t, small_cfg());
+        let sequential: Vec<SimStats> = [PolicyKind::Opt, PolicyKind::DemandMin, PolicyKind::Lru]
+            .into_iter()
+            .map(|k| session.run(k))
+            .collect();
+        let fresh = SimSession::new(&p, &l, &t, small_cfg());
+        let fresh = &fresh;
+        let parallel: Vec<SimStats> = std::thread::scope(|scope| {
+            let handles: Vec<_> = [PolicyKind::Opt, PolicyKind::DemandMin, PolicyKind::Lru]
+                .into_iter()
+                .map(|k| scope.spawn(move || fresh.run(k)))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(sequential, parallel);
+        assert_eq!(fresh.recording_passes(), 1);
     }
 }

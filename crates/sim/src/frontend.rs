@@ -9,6 +9,7 @@ use crate::bpred::{BranchPredictor, Prediction};
 use crate::cache::Cache;
 use crate::config::{EvictionMechanism, PrefetcherKind, SimConfig};
 use crate::policy::{LruPolicy, ReplacementPolicy, StreamRecord};
+use crate::sink::EvictionSink;
 use crate::stats::{EvictionEvent, SimStats};
 
 /// Dedup window for issued prefetches (a real FDIP filters against the
@@ -36,7 +37,8 @@ pub(crate) struct Frontend<'a> {
     record: Option<Vec<StreamRecord>>,
     /// When verifying a replay: the previously captured stream.
     verify: Option<&'a [StreamRecord]>,
-    evictions: Option<Vec<EvictionEvent>>,
+    /// Observer receiving every eviction as it happens.
+    sink: &'a mut dyn EvictionSink,
     last_demand_pos: HashMap<LineAddr, u32>,
     /// Trace position of each line's oldest unconsumed prefetch *issue*.
     /// Timeliness charges key on the issue stream, which is replacement-
@@ -59,6 +61,7 @@ impl<'a> Frontend<'a> {
         l1i_policy: Box<dyn ReplacementPolicy>,
         record: bool,
         verify: Option<&'a [StreamRecord]>,
+        sink: &'a mut dyn EvictionSink,
     ) -> Self {
         // Steady-state assumption: the application has executed long
         // before the measured window, so its text is resident in the last
@@ -87,7 +90,7 @@ impl<'a> Frontend<'a> {
             seq: 0,
             record: record.then(Vec::new),
             verify,
-            evictions: config.record_evictions.then(Vec::new),
+            sink,
             last_demand_pos: HashMap::new(),
             prefetch_issue_pos: HashMap::new(),
             seen_lines: HashSet::new(),
@@ -98,14 +101,15 @@ impl<'a> Frontend<'a> {
         }
     }
 
-    /// Runs the whole trace; returns (stats, eviction log, request stream).
+    /// Runs the whole trace; returns (stats, request stream if recording).
     ///
     /// The first `warmup_fraction` of the trace updates all architectural
-    /// state but accumulates no statistics.
+    /// state but accumulates no statistics. Evictions stream into the sink
+    /// throughout, warmup included.
     pub(crate) fn run(
         mut self,
         trace: impl ExactSizeIterator<Item = BlockId>,
-    ) -> (SimStats, Option<Vec<EvictionEvent>>, Option<Vec<StreamRecord>>) {
+    ) -> (SimStats, Option<Vec<StreamRecord>>) {
         let len = trace.len() as u64;
         self.warmup_until = (len as f64 * self.config.warmup_fraction.clamp(0.0, 0.9)) as u32;
         let mut counted_blocks = 0u64;
@@ -119,7 +123,7 @@ impl<'a> Frontend<'a> {
         let total_instr = self.stats.instructions + self.stats.invalidate_instructions;
         self.stats.blocks = counted_blocks;
         self.stats.cycles = total_instr as f64 * self.config.base_cpi + self.stall_cycles;
-        (self.stats, self.evictions, self.record)
+        (self.stats, self.record)
     }
 
     #[inline]
@@ -237,9 +241,8 @@ impl<'a> Frontend<'a> {
                 let elapsed = self.trace_pos.saturating_sub(issue_pos);
                 if elapsed < window && window > 0 {
                     let remaining = f64::from(window - elapsed) / f64::from(window);
-                    self.stall_cycles += f64::from(self.config.l2_latency)
-                        * remaining
-                        * self.config.stall_exposure;
+                    self.stall_cycles +=
+                        f64::from(self.config.l2_latency) * remaining * self.config.stall_exposure;
                 }
             }
         }
@@ -274,7 +277,9 @@ impl<'a> Frontend<'a> {
         if self.counting() {
             self.stats.prefetches_issued += 1;
         }
-        self.prefetch_issue_pos.entry(line).or_insert(self.trace_pos);
+        self.prefetch_issue_pos
+            .entry(line)
+            .or_insert(self.trace_pos);
         let out = self.l1i.access(line, pc, true, seq);
         if let crate::cache::AccessOutcome::Miss { evicted } = out {
             if self.counting() {
@@ -296,14 +301,12 @@ impl<'a> Frontend<'a> {
                 self.stats.prefetch_pollution_evictions += 1;
             }
         }
-        if let Some(log) = &mut self.evictions {
-            log.push(EvictionEvent {
-                victim,
-                evict_pos: self.trace_pos,
-                last_access_pos: last.unwrap_or(u32::MAX),
-                by_prefetch,
-            });
-        }
+        self.sink.record(EvictionEvent {
+            victim,
+            evict_pos: self.trace_pos,
+            last_access_pos: last.unwrap_or(u32::MAX),
+            by_prefetch,
+        });
     }
 
     /// Looks `line` up in L2 then L3, filling on the way; returns the

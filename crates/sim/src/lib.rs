@@ -15,8 +15,10 @@
 //! * the `invalidate` instruction Ripple injects (invalidate or
 //!   LRU-demote semantics).
 //!
-//! Entry points: [`simulate`], [`simulate_ideal_cache`],
-//! [`baseline_and_ideal`].
+//! Entry points: [`simulate`], [`simulate_with_sink`],
+//! [`simulate_ideal_cache`], [`baseline_and_ideal`], and — for policy
+//! matrices sharing one recording pass — [`SimSession`]. Evictions stream
+//! into an [`EvictionSink`] instead of being materialized by the engine.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -27,17 +29,20 @@ mod config;
 mod engine;
 mod frontend;
 pub mod policy;
+mod sink;
 mod stats;
 
 pub use bpred::{BranchPredictor, Prediction};
 pub use cache::{AccessOutcome, Cache};
-pub use config::{
-    CacheGeometry, EvictionMechanism, PolicyKind, PrefetcherKind, SimConfig,
+pub use config::{CacheGeometry, EvictionMechanism, PolicyKind, PrefetcherKind, SimConfig};
+pub use engine::{
+    baseline_and_ideal, ideal_policy_for, simulate, simulate_ideal_cache, simulate_with_sink,
+    SimSession,
 };
-pub use engine::{baseline_and_ideal, simulate, simulate_ideal_cache, SimResult};
 pub use policy::{
     build_ideal_policy, build_policy, AccessInfo, DemandMinPolicy, DrripPolicy, FutureIndex,
-    GhrpPolicy, HawkeyePolicy, LruPolicy, OptPolicy, RandomPolicy, ReplacementPolicy,
-    SrripPolicy, StreamRecord, TreePlruPolicy, WayView, NEVER,
+    GhrpPolicy, HawkeyePolicy, LruPolicy, OptPolicy, RandomPolicy, ReplacementPolicy, SrripPolicy,
+    StreamRecord, TreePlruPolicy, WayView, NEVER,
 };
+pub use sink::{EvictionSink, FnSink, NullSink, VecSink};
 pub use stats::{EvictionEvent, SimStats};

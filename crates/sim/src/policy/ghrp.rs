@@ -185,7 +185,7 @@ mod tests {
     use crate::policy::test_util::{demand_misses, tiny_geom};
 
     #[test]
-    fn metadata_is_about_4k(){
+    fn metadata_is_about_4k() {
         let geom = CacheGeometry::new(32 * 1024, 8);
         let bytes = GhrpPolicy::new(geom).metadata_bytes(&geom);
         // Table I reports 4.13 KB.

@@ -382,9 +382,7 @@ mod tests {
     #[test]
     fn deterministic() {
         let geom = tiny_geom();
-        let stream: Vec<(u64, bool)> = (0..500)
-            .map(|i| ((i * 3) % 10 * 2, i % 7 == 0))
-            .collect();
+        let stream: Vec<(u64, bool)> = (0..500).map(|i| ((i * 3) % 10 * 2, i % 7 == 0)).collect();
         let a = demand_misses(geom, Box::new(HawkeyePolicy::new(geom, true)), &stream);
         let b = demand_misses(geom, Box::new(HawkeyePolicy::new(geom, true)), &stream);
         assert_eq!(a, b);

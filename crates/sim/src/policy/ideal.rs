@@ -283,9 +283,7 @@ mod tests {
     fn opt_beats_lru_on_belady_counterexample() {
         // 2-way set, lines 0,2,4 (set 0). Classic pattern where LRU
         // thrashes but OPT keeps the reused line pinned.
-        let pattern: Vec<(u64, bool)> = (0..60)
-            .map(|i| (((i % 3) * 2) as u64, false))
-            .collect();
+        let pattern: Vec<(u64, bool)> = (0..60).map(|i| (((i % 3) * 2) as u64, false)).collect();
         let geom = tiny_geom();
         let s = stream_of(&pattern);
         let f = FutureIndex::build(&s);
@@ -342,7 +340,11 @@ mod tests {
             (0, false), // A demand -> hit thanks to prefetch
         ]);
         let f = FutureIndex::build(&s);
-        let dm = run_policy(geom, Box::new(DemandMinPolicy::new(geom, Arc::clone(&f))), &s);
+        let dm = run_policy(
+            geom,
+            Box::new(DemandMinPolicy::new(geom, Arc::clone(&f))),
+            &s,
+        );
         let opt = run_policy(geom, Box::new(OptPolicy::new(geom, f)), &s);
         // Demand misses: A, B, C only. OPT (demand distances: A's demand is
         // farthest) also evicts A here, so both achieve 3.

@@ -125,7 +125,13 @@ mod tests {
             seq: 0,
         };
         p.on_fill(&info0, 0);
-        p.on_fill(&AccessInfo { line: LineAddr::new(2), ..info0 }, 1);
+        p.on_fill(
+            &AccessInfo {
+                line: LineAddr::new(2),
+                ..info0
+            },
+            1,
+        );
         p.on_demote(0, 1);
         let ways = [
             WayView {

@@ -169,7 +169,10 @@ mod tests {
             p.touch(0, way);
         }
         let v = p.find_victim(0);
-        assert!(v < 4, "victim {v} should come from the earlier-touched half");
+        assert!(
+            v < 4,
+            "victim {v} should come from the earlier-touched half"
+        );
     }
 
     #[test]

@@ -250,11 +250,7 @@ mod tests {
             (a, false),
         ];
         let srrip = demand_misses(geom, Box::new(SrripPolicy::new(geom)), &stream);
-        let lru = demand_misses(
-            geom,
-            Box::new(crate::policy::LruPolicy::new(geom)),
-            &stream,
-        );
+        let lru = demand_misses(geom, Box::new(crate::policy::LruPolicy::new(geom)), &stream);
         assert!(srrip < lru, "srrip {srrip} !< lru {lru}");
     }
 

@@ -1,0 +1,122 @@
+//! Streaming observation of L1I evictions.
+//!
+//! Ripple's offline analysis consumes the simulator's eviction log. Instead
+//! of materializing an `Option<Vec<EvictionEvent>>` inside the engine (and
+//! making "log requested but absent" a representable state), the engine
+//! pushes every eviction into an [`EvictionSink`] as it happens. Consumers
+//! that can process events online (window construction, accuracy scoring)
+//! never buffer the log; consumers that do need it materialized use
+//! [`VecSink`].
+
+use crate::stats::EvictionEvent;
+
+/// Observer of L1I evictions, called synchronously from the simulation.
+///
+/// Events arrive in trace order (`evict_pos` is non-decreasing) and include
+/// evictions during cache warmup — the analysis wants those even though the
+/// stat counters exclude them.
+pub trait EvictionSink {
+    /// Called once per valid-line eviction.
+    fn record(&mut self, event: EvictionEvent);
+}
+
+/// Discards every event; the default for runs that only need [`SimStats`]
+/// (../stats.rs).
+///
+/// [`SimStats`]: crate::SimStats
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl EvictionSink for NullSink {
+    fn record(&mut self, _event: EvictionEvent) {}
+}
+
+/// Collects the full eviction log in memory, for tests and consumers that
+/// genuinely need random access to the whole log.
+#[derive(Debug, Default, Clone)]
+pub struct VecSink {
+    events: Vec<EvictionEvent>,
+}
+
+impl VecSink {
+    /// Creates an empty collecting sink.
+    pub fn new() -> Self {
+        VecSink::default()
+    }
+
+    /// The events recorded so far.
+    pub fn events(&self) -> &[EvictionEvent] {
+        &self.events
+    }
+
+    /// Consumes the sink, returning the collected log.
+    pub fn into_events(self) -> Vec<EvictionEvent> {
+        self.events
+    }
+}
+
+impl EvictionSink for VecSink {
+    fn record(&mut self, event: EvictionEvent) {
+        self.events.push(event);
+    }
+}
+
+impl EvictionSink for Vec<EvictionEvent> {
+    fn record(&mut self, event: EvictionEvent) {
+        self.push(event);
+    }
+}
+
+/// Adapts a closure into a sink.
+pub struct FnSink<F: FnMut(EvictionEvent)>(pub F);
+
+impl<F: FnMut(EvictionEvent)> EvictionSink for FnSink<F> {
+    fn record(&mut self, event: EvictionEvent) {
+        (self.0)(event)
+    }
+}
+
+impl<F: FnMut(EvictionEvent)> std::fmt::Debug for FnSink<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FnSink").finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ripple_program::LineAddr;
+
+    fn event(pos: u32) -> EvictionEvent {
+        EvictionEvent {
+            victim: LineAddr::new(7),
+            evict_pos: pos,
+            last_access_pos: pos.saturating_sub(1),
+            by_prefetch: false,
+        }
+    }
+
+    #[test]
+    fn vec_sink_collects_in_order() {
+        let mut sink = VecSink::new();
+        sink.record(event(1));
+        sink.record(event(2));
+        assert_eq!(sink.events().len(), 2);
+        assert_eq!(sink.into_events()[1], event(2));
+    }
+
+    #[test]
+    fn fn_sink_streams() {
+        let mut n = 0u32;
+        let mut sink = FnSink(|e: EvictionEvent| n += e.evict_pos);
+        sink.record(event(3));
+        sink.record(event(4));
+        let FnSink(_) = sink; // release the borrow of `n`
+        assert_eq!(n, 7);
+    }
+
+    #[test]
+    fn null_sink_ignores() {
+        NullSink.record(event(9));
+    }
+}

@@ -1,12 +1,10 @@
 //! Simulation statistics.
 
-use serde::{Deserialize, Serialize};
-
 use ripple_program::LineAddr;
 
 /// An eviction observed in the L1I, recorded for Ripple's offline
 /// analysis.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EvictionEvent {
     /// The evicted (victim) line.
     pub victim: LineAddr,
@@ -21,7 +19,7 @@ pub struct EvictionEvent {
 }
 
 /// Counters produced by one simulation run.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SimStats {
     /// Executed blocks.
     pub blocks: u64,

@@ -5,15 +5,15 @@ use std::sync::Arc;
 
 use ripple_program::{Layout, LayoutConfig, LineAddr};
 use ripple_sim::{
-    simulate, simulate_ideal_cache, CacheGeometry, EvictionMechanism, PolicyKind,
-    PrefetcherKind, SimConfig,
+    simulate, simulate_ideal_cache, simulate_with_sink, CacheGeometry, EvictionMechanism,
+    PolicyKind, PrefetcherKind, SimConfig, VecSink,
 };
 use ripple_workloads::{execute, generate, AppSpec, InputConfig};
 
 fn setup() -> (ripple_workloads::Application, Layout, ripple_trace::BbTrace) {
-    let app = generate(&AppSpec::tiny(13));
+    let app = generate(&AppSpec::tiny(4));
     let layout = Layout::new(&app.program, &LayoutConfig::default());
-    let trace = execute(&app.program, &app.model, InputConfig::training(13), 50_000);
+    let trace = execute(&app.program, &app.model, InputConfig::training(4), 50_000);
     (app, layout, trace)
 }
 
@@ -32,11 +32,11 @@ fn warmup_fraction_gates_statistics() {
     warm.warmup_fraction = 0.5;
     let rc = simulate(&app.program, &layout, &trace, &cold);
     let rw = simulate(&app.program, &layout, &trace, &warm);
-    assert!(rw.stats.blocks < rc.stats.blocks);
-    assert!(rw.stats.instructions < rc.stats.instructions);
-    assert!(rw.stats.demand_misses < rc.stats.demand_misses);
+    assert!(rw.blocks < rc.blocks);
+    assert!(rw.instructions < rc.instructions);
+    assert!(rw.demand_misses < rc.demand_misses);
     // Compulsory misses concentrate in the warmup prefix.
-    assert!(rw.stats.compulsory_misses < rc.stats.compulsory_misses);
+    assert!(rw.compulsory_misses < rc.compulsory_misses);
 }
 
 #[test]
@@ -44,12 +44,11 @@ fn scripted_invalidation_of_ideal_victims_reproduces_opt() {
     // The oracle experiment from DESIGN.md §3a: invalidate every ideal
     // victim right before its eviction trigger and LRU becomes OPT.
     let (app, layout, trace) = setup();
-    let mut opt_cfg = small_cfg().with_policy(PolicyKind::Opt);
-    opt_cfg.record_evictions = true;
-    let opt = simulate(&app.program, &layout, &trace, &opt_cfg);
-    let mut script: Vec<(u32, LineAddr)> = opt
-        .evictions
-        .unwrap()
+    let opt_cfg = small_cfg().with_policy(PolicyKind::Opt);
+    let mut sink = VecSink::new();
+    let opt = simulate_with_sink(&app.program, &layout, &trace, &opt_cfg, &mut sink);
+    let mut script: Vec<(u32, LineAddr)> = sink
+        .events()
         .iter()
         .map(|e| (e.evict_pos, e.victim))
         .collect();
@@ -58,7 +57,7 @@ fn scripted_invalidation_of_ideal_victims_reproduces_opt() {
     lru_cfg.scripted_invalidations = Some(Arc::new(script));
     let scripted = simulate(&app.program, &layout, &trace, &lru_cfg);
     assert_eq!(
-        scripted.stats.demand_misses, opt.stats.demand_misses,
+        scripted.demand_misses, opt.demand_misses,
         "scripted LRU must equal OPT"
     );
 }
@@ -76,8 +75,8 @@ fn noop_mechanism_leaves_cache_untouched() {
         let mut cfg = small_cfg();
         cfg.eviction_mechanism = mech;
         let r = simulate(&app.program, &layout, &trace, &cfg);
-        assert_eq!(r.stats.invalidate_hits, 0);
-        assert_eq!(r.stats.invalidate_instructions, 0);
+        assert_eq!(r.invalidate_hits, 0);
+        assert_eq!(r.invalidate_instructions, 0);
     }
 }
 
@@ -86,10 +85,10 @@ fn fdip_tracks_mispredictions_and_prefetches() {
     let (app, layout, trace) = setup();
     let cfg = small_cfg().with_prefetcher(PrefetcherKind::Fdip);
     let r = simulate(&app.program, &layout, &trace, &cfg);
-    assert!(r.stats.prefetches_issued > 0);
-    assert!(r.stats.prefetch_fills > 0);
-    assert!(r.stats.mispredictions > 0, "tiny app has noisy branches");
-    assert!(r.stats.prefetch_fills <= r.stats.prefetches_issued);
+    assert!(r.prefetches_issued > 0);
+    assert!(r.prefetch_fills > 0);
+    assert!(r.mispredictions > 0, "tiny app has noisy branches");
+    assert!(r.prefetch_fills <= r.prefetches_issued);
 }
 
 #[test]
@@ -97,8 +96,8 @@ fn nlp_prefetches_next_lines_only() {
     let (app, layout, trace) = setup();
     let cfg = small_cfg().with_prefetcher(PrefetcherKind::NextLine);
     let r = simulate(&app.program, &layout, &trace, &cfg);
-    assert!(r.stats.prefetches_issued > 0);
-    assert_eq!(r.stats.mispredictions, 0, "nlp uses no branch predictor");
+    assert!(r.prefetches_issued > 0);
+    assert_eq!(r.mispredictions, 0, "nlp uses no branch predictor");
 }
 
 #[test]
@@ -112,8 +111,8 @@ fn timing_reflects_miss_latency() {
     slow.mem_latency *= 4;
     let rf = simulate(&app.program, &layout, &trace, &fast);
     let rs = simulate(&app.program, &layout, &trace, &slow);
-    assert_eq!(rf.stats.demand_misses, rs.stats.demand_misses);
-    assert!(rs.stats.cycles > rf.stats.cycles);
+    assert_eq!(rf.demand_misses, rs.demand_misses);
+    assert!(rs.cycles > rf.cycles);
 }
 
 #[test]
@@ -124,16 +123,16 @@ fn stall_exposure_scales_the_penalty() {
     let r = simulate(&app.program, &layout, &trace, &hidden);
     let ideal = simulate_ideal_cache(&app.program, &trace, &hidden);
     // With no exposed stalls, cycles equal the ideal cache's.
-    assert!((r.stats.cycles - ideal.cycles).abs() < 1e-6);
+    assert!((r.cycles - ideal.cycles).abs() < 1e-6);
 }
 
 #[test]
 fn eviction_log_positions_are_within_trace() {
     let (app, layout, trace) = setup();
-    let mut cfg = small_cfg();
-    cfg.record_evictions = true;
-    let r = simulate(&app.program, &layout, &trace, &cfg);
-    for e in r.evictions.unwrap() {
+    let cfg = small_cfg();
+    let mut sink = VecSink::new();
+    simulate_with_sink(&app.program, &layout, &trace, &cfg, &mut sink);
+    for e in sink.into_events() {
         assert!((e.evict_pos as usize) < trace.len());
         assert!(
             e.last_access_pos == u32::MAX || e.last_access_pos <= e.evict_pos,
@@ -159,7 +158,7 @@ fn demand_min_equals_opt_without_prefetching() {
         &trace,
         &small_cfg().with_policy(PolicyKind::DemandMin),
     );
-    assert_eq!(opt.stats.demand_misses, dm.stats.demand_misses);
+    assert_eq!(opt.demand_misses, dm.demand_misses);
 }
 
 #[test]
@@ -173,12 +172,12 @@ fn late_prefetches_expose_partial_latency() {
     late.prefetch_timeliness_blocks = 32;
     let rt = simulate(&app.program, &layout, &trace, &timely);
     let rl = simulate(&app.program, &layout, &trace, &late);
-    assert_eq!(rt.stats.demand_misses, rl.stats.demand_misses);
+    assert_eq!(rt.demand_misses, rl.demand_misses);
     assert!(
-        rl.stats.cycles > rt.stats.cycles,
+        rl.cycles > rt.cycles,
         "timeliness must cost cycles ({} !> {})",
-        rl.stats.cycles,
-        rt.stats.cycles
+        rl.cycles,
+        rt.cycles
     );
 }
 
@@ -193,5 +192,5 @@ fn tree_plru_tracks_lru_closely() {
         &small_cfg().with_policy(PolicyKind::TreePlru),
     );
     // 2-way sets: tree-PLRU is exact LRU.
-    assert_eq!(lru.stats.demand_misses, plru.stats.demand_misses);
+    assert_eq!(lru.demand_misses, plru.demand_misses);
 }

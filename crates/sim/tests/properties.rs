@@ -147,10 +147,8 @@ proptest! {
                 prop_assert_eq!(records[j].line, r.line);
                 prop_assert!(!records[j].is_prefetch);
                 // No earlier demand occurrence in between.
-                for k in i + 1..j {
-                    prop_assert!(
-                        records[k].line != r.line || records[k].is_prefetch
-                    );
+                for rec in &records[i + 1..j] {
+                    prop_assert!(rec.line != r.line || rec.is_prefetch);
                 }
             }
         }

@@ -393,7 +393,10 @@ mod tests {
             Packet::Tip {
                 addr: Addr::new(0x40_0000),
             },
-            Packet::Tnt { bits: 0b11, count: 2 },
+            Packet::Tnt {
+                bits: 0b11,
+                count: 2,
+            },
             Packet::Tip {
                 addr: Addr::new(0x40_0123),
             },

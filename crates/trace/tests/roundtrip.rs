@@ -7,7 +7,7 @@ use rand::{Rng, SeedableRng};
 use ripple_program::{
     BlockId, CodeKind, Instruction, Layout, LayoutConfig, Program, ProgramBuilder, Successors,
 };
-use ripple_trace::{record_trace, reconstruct_trace};
+use ripple_trace::{reconstruct_trace, record_trace};
 
 /// Builds a program exercising conditionals, direct/indirect calls,
 /// indirect jumps and returns.

@@ -2,12 +2,10 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::spec::{AppSpec, Range};
 
 /// The nine applications studied in the paper (§II-A).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum App {
     /// Apache Cassandra (NoSQL database, DaCapo).
     Cassandra,
@@ -255,8 +253,7 @@ mod tests {
         let weight = |a: App| {
             let s = a.spec();
             let fns: u32 = s.layer_functions.iter().sum();
-            let avg_block =
-                (s.instrs_per_block.min + s.instrs_per_block.max) as u64 / 2;
+            let avg_block = (s.instrs_per_block.min + s.instrs_per_block.max) as u64 / 2;
             u64::from(fns) * avg_block * u64::from(s.blocks_per_fn.max)
         };
         for app in App::ALL {

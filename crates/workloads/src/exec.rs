@@ -91,8 +91,7 @@ impl<'a> Executor<'a> {
         let n = self.model.handlers.len();
         let hot = self.model.hot_handlers.min(n);
         let phase = self.phase();
-        let offset =
-            ((phase as usize) + self.input.handler_skew as usize * (hot / 2 + 1)) % n;
+        let offset = ((phase as usize) + self.input.handler_skew as usize * (hot / 2 + 1)) % n;
         let spread = (n / hot).max(1);
         let cold_prob = (1.0 / self.model.hot_handler_weight).clamp(0.0, 1.0);
         if n > hot && self.rng.gen_bool(cold_prob) {
@@ -125,15 +124,15 @@ impl<'a> Executor<'a> {
     fn next_block(&mut self, current: BlockId) -> BlockId {
         match self.program.successors(current) {
             Successors::Cond { taken, not_taken } => {
-                let site = self
-                    .model
-                    .branch_site(current)
-                    .copied()
-                    .unwrap_or(crate::model::BranchSite {
-                        bias: 0.5,
-                        phase_sensitive: false,
-                        backward: false,
-                    });
+                let site =
+                    self.model
+                        .branch_site(current)
+                        .copied()
+                        .unwrap_or(crate::model::BranchSite {
+                            bias: 0.5,
+                            phase_sensitive: false,
+                            backward: false,
+                        });
                 let bias = self.model.effective_bias(current, &site, self.phase());
                 let taken_now = if site.backward {
                     // Loop: fixed per-(site, variant) trip count with a
@@ -200,12 +199,10 @@ impl<'a> Executor<'a> {
         if self.rng.gen_bool(self.model.path_noise) {
             return site.targets[self.rng.gen_range(0..k)];
         }
-        let h = mix(
-            u64::from(site_block.get())
-                ^ (self.variant << 24)
-                ^ (self.phase() << 48)
-                ^ (u64::from(self.input.handler_skew) << 56),
-        );
+        let h = mix(u64::from(site_block.get())
+            ^ (self.variant << 24)
+            ^ (self.phase() << 48)
+            ^ (u64::from(self.input.handler_skew) << 56));
         site.targets[(h % k as u64) as usize]
     }
 
@@ -269,9 +266,9 @@ mod tests {
                 Successors::Call { callee, .. } => w[1] == callee,
                 // Indirect transfers and returns are checked by the tracer
                 // round-trip tests; here just require a real block.
-                Successors::IndirectCall { .. }
-                | Successors::Indirect
-                | Successors::Return => w[1].index() < a.program.num_blocks(),
+                Successors::IndirectCall { .. } | Successors::Indirect | Successors::Return => {
+                    w[1].index() < a.program.num_blocks()
+                }
             };
             assert!(ok, "illegal transition {} -> {}", w[0], w[1]);
         }

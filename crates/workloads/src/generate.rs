@@ -134,13 +134,12 @@ fn try_generate(spec: &AppSpec) -> Result<Application, ValidateProgramError> {
                         let callee = kernel_fns[rng.gen_range(0..kernel_fns.len())];
                         b.push_inst(blk, Instruction::call(callee));
                     } else if rng.gen_bool(spec.indirect_call_frac) {
-                        let fanout =
-                            (sample(&mut rng, spec.indirect_fanout) as usize).clamp(2, window.len().max(2));
+                        let fanout = (sample(&mut rng, spec.indirect_fanout) as usize)
+                            .clamp(2, window.len().max(2));
                         let mut targets = Vec::with_capacity(fanout);
                         for _ in 0..fanout.min(window.len()) {
-                            targets.push(FuncIdOrBlock::Func(
-                                window[rng.gen_range(0..window.len())],
-                            ));
+                            targets
+                                .push(FuncIdOrBlock::Func(window[rng.gen_range(0..window.len())]));
                         }
                         if targets.is_empty() {
                             // No next layer: degrade to a direct kernel call
@@ -249,8 +248,8 @@ fn try_generate(spec: &AppSpec) -> Result<Application, ValidateProgramError> {
         indirect[blk.index()] = Some(IndirectSite { targets: resolved });
     }
 
-    let hot = ((handlers.len() as f64 * spec.hot_handler_frac).round() as usize)
-        .clamp(1, handlers.len());
+    let hot =
+        ((handlers.len() as f64 * spec.hot_handler_frac).round() as usize).clamp(1, handlers.len());
     let model = ExecModel {
         branch,
         indirect,
@@ -271,7 +270,13 @@ fn try_generate(spec: &AppSpec) -> Result<Application, ValidateProgramError> {
     })
 }
 
-fn build_leaf_body(b: &mut ProgramBuilder, f: FuncId, blocks: u32, spec: &AppSpec, rng: &mut StdRng) {
+fn build_leaf_body(
+    b: &mut ProgramBuilder,
+    f: FuncId,
+    blocks: u32,
+    spec: &AppSpec,
+    rng: &mut StdRng,
+) {
     let n = blocks.max(1);
     for bi in 0..n {
         let blk = b.add_block(f);

@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// One load-generator configuration.
 ///
 /// The paper varies "the webpage, the client requests, the number of client
@@ -11,7 +9,7 @@ use serde::{Deserialize, Serialize};
 /// and the size of input data" between inputs #0–#3. Here that maps to an
 /// RNG seed, a rotation of the hot-handler set (different request mix) and
 /// a phase-length scale (different request rate).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct InputConfig {
     /// Input id (`0..=3` for the paper's study; any value is legal).
     pub id: u32,

@@ -1,11 +1,9 @@
 //! The dynamic execution model that accompanies a generated program.
 
-use serde::{Deserialize, Serialize};
-
 use ripple_program::BlockId;
 
 /// Behaviour of one conditional branch site.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BranchSite {
     /// Base probability the branch is taken.
     pub bias: f64,
@@ -17,7 +15,7 @@ pub struct BranchSite {
 }
 
 /// Behaviour of one indirect jump/call site.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct IndirectSite {
     /// Candidate successor blocks (function entries for calls, same-
     /// function blocks for jumps).
@@ -31,7 +29,7 @@ pub struct IndirectSite {
 /// Produced by [`generate`](crate::generate) together with its
 /// [`Program`](ripple_program::Program); consumed by the
 /// [`Executor`](crate::Executor).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExecModel {
     /// Per-block conditional branch behaviour (dense; `None` when the
     /// block does not end in a conditional branch).

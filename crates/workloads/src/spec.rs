@@ -1,10 +1,10 @@
 //! Application specifications: the knobs that shape a synthetic data
 //! center application.
 
-use serde::{Deserialize, Serialize};
+use ripple_json::{object, ToJson, Value};
 
 /// Inclusive integer range helper used by the generator.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Range {
     /// Inclusive lower bound.
     pub min: u32,
@@ -32,7 +32,7 @@ impl Range {
 /// The nine presets on [`App`](crate::App) instantiate this to echo the
 /// distinguishing features the paper reports for each application
 /// (footprint, JIT fraction, branch predictability, coverage potential).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AppSpec {
     /// Application name (matches the paper's figures).
     pub name: String,
@@ -158,9 +158,49 @@ impl AppSpec {
             assert!((0.0..=1.0).contains(&p), "{label} = {p} out of [0,1]");
         }
         assert!(self.num_phases >= 1, "need at least one phase");
-        assert!(self.requests_per_phase >= 1, "need at least one request per phase");
+        assert!(
+            self.requests_per_phase >= 1,
+            "need at least one request per phase"
+        );
         assert!(self.hot_handler_weight >= 1.0, "hot weight must be >= 1");
         assert!(self.variants_per_handler >= 1, "need at least one variant");
+    }
+}
+
+impl ToJson for Range {
+    fn to_json(&self) -> Value {
+        object([("min", self.min.to_json()), ("max", self.max.to_json())])
+    }
+}
+
+impl ToJson for AppSpec {
+    fn to_json(&self) -> Value {
+        object([
+            ("name", self.name.to_json()),
+            ("seed", self.seed.to_json()),
+            ("layer_functions", self.layer_functions.to_json()),
+            ("blocks_per_fn", self.blocks_per_fn.to_json()),
+            ("instrs_per_block", self.instrs_per_block.to_json()),
+            ("instr_bytes", self.instr_bytes.to_json()),
+            ("call_density", self.call_density.to_json()),
+            ("indirect_call_frac", self.indirect_call_frac.to_json()),
+            ("indirect_fanout", self.indirect_fanout.to_json()),
+            ("cond_frac", self.cond_frac.to_json()),
+            ("loop_frac", self.loop_frac.to_json()),
+            ("loop_continue_prob", self.loop_continue_prob.to_json()),
+            ("strong_bias_frac", self.strong_bias_frac.to_json()),
+            ("phase_sensitive_frac", self.phase_sensitive_frac.to_json()),
+            ("indirect_jump_frac", self.indirect_jump_frac.to_json()),
+            ("num_phases", self.num_phases.to_json()),
+            ("requests_per_phase", self.requests_per_phase.to_json()),
+            ("hot_handler_frac", self.hot_handler_frac.to_json()),
+            ("hot_handler_weight", self.hot_handler_weight.to_json()),
+            ("jit_frac", self.jit_frac.to_json()),
+            ("variants_per_handler", self.variants_per_handler.to_json()),
+            ("path_noise", self.path_noise.to_json()),
+            ("kernel_funcs", self.kernel_funcs.to_json()),
+            ("kernel_call_prob", self.kernel_call_prob.to_json()),
+        ])
     }
 }
 

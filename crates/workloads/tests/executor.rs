@@ -26,8 +26,18 @@ fn execution_is_deterministic() {
 #[test]
 fn different_inputs_differ() {
     let app = generate(&AppSpec::tiny(9));
-    let t0 = execute(&app.program, &app.model, InputConfig::numbered(0, 9), 30_000);
-    let t1 = execute(&app.program, &app.model, InputConfig::numbered(1, 9), 30_000);
+    let t0 = execute(
+        &app.program,
+        &app.model,
+        InputConfig::numbered(0, 9),
+        30_000,
+    );
+    let t1 = execute(
+        &app.program,
+        &app.model,
+        InputConfig::numbered(1, 9),
+        30_000,
+    );
     assert_ne!(t0, t1);
 }
 

@@ -4,9 +4,9 @@
 //!
 //! Run with `cargo run --release --example policy_compare [app]`.
 
-use ripple::collect_profile;
+use ripple::{collect_profile, effective_threads, policy_matrix};
 use ripple_program::{Layout, LayoutConfig};
-use ripple_sim::{simulate, PolicyKind, PrefetcherKind, SimConfig};
+use ripple_sim::{PolicyKind, PrefetcherKind, SimConfig, SimSession};
 use ripple_workloads::{generate, App, InputConfig};
 
 fn main() {
@@ -22,10 +22,12 @@ fn main() {
         .expect("profile collection");
 
     println!("{app_id} under FDIP prefetching\n");
-    println!(" {:<12} {:>8} {:>10} {:>12}", "policy", "misses", "mpki", "speedup-vs-lru");
+    println!(
+        " {:<12} {:>8} {:>10} {:>12}",
+        "policy", "misses", "mpki", "speedup-vs-lru"
+    );
     let cfg = SimConfig::default().with_prefetcher(PrefetcherKind::Fdip);
-    let lru = simulate(&app.program, &layout, &profile.trace, &cfg);
-    for kind in [
+    let policies = [
         PolicyKind::Lru,
         PolicyKind::Random,
         PolicyKind::Srrip,
@@ -35,19 +37,19 @@ fn main() {
         PolicyKind::Harmony,
         PolicyKind::Opt,
         PolicyKind::DemandMin,
-    ] {
-        let r = simulate(
-            &app.program,
-            &layout,
-            &profile.trace,
-            &cfg.clone().with_policy(kind),
-        );
+    ];
+    // One session records the request stream once; every policy replays it,
+    // fanned out across the machine's cores.
+    let session = SimSession::new(&app.program, &layout, &profile.trace, cfg);
+    let results = policy_matrix(&session, &policies, effective_threads(None));
+    let lru = &results[0];
+    for (kind, r) in policies.iter().zip(&results) {
         println!(
             " {:<12} {:>8} {:>10.2} {:>11.2}%",
             kind.name(),
-            r.stats.demand_misses,
-            r.stats.mpki(),
-            r.stats.speedup_pct_over(&lru.stats)
+            r.demand_misses,
+            r.mpki(),
+            r.speedup_pct_over(lru)
         );
     }
 }

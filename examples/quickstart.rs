@@ -56,13 +56,26 @@ fn main() {
     println!("  LRU baseline misses    {}", o.lru_reference.demand_misses);
     println!("  Ripple-LRU misses      {}", o.ripple.demand_misses);
     println!("  ideal-replacement      {}", o.ideal.demand_misses);
-    println!("  miss reduction         {:+.2}% (ideal {:+.2}%)", o.miss_reduction_pct(), o.ideal_miss_reduction_pct());
-    println!("  speedup                {:+.2}% (ideal {:+.2}%, ideal cache {:+.2}%)",
-        o.speedup_pct(), o.ideal_speedup_pct(), o.ideal_cache_speedup_pct());
-    println!("  coverage               {:.1}%", o.coverage.coverage() * 100.0);
-    println!("  accuracy               {:.1}% (LRU's own: {:.1}%)",
+    println!(
+        "  miss reduction         {:+.2}% (ideal {:+.2}%)",
+        o.miss_reduction_pct(),
+        o.ideal_miss_reduction_pct()
+    );
+    println!(
+        "  speedup                {:+.2}% (ideal {:+.2}%, ideal cache {:+.2}%)",
+        o.speedup_pct(),
+        o.ideal_speedup_pct(),
+        o.ideal_cache_speedup_pct()
+    );
+    println!(
+        "  coverage               {:.1}%",
+        o.coverage.coverage() * 100.0
+    );
+    println!(
+        "  accuracy               {:.1}% (LRU's own: {:.1}%)",
         o.ripple_accuracy.accuracy() * 100.0,
-        o.underlying_accuracy.accuracy() * 100.0);
+        o.underlying_accuracy.accuracy() * 100.0
+    );
     println!("  static overhead        {:.2}%", o.static_overhead_pct);
     println!("  dynamic overhead       {:.2}%", o.dynamic_overhead_pct);
 }

@@ -20,7 +20,12 @@ fn main() {
         layout.code_bytes() / 1024
     );
 
-    let executed = execute(&app.program, &app.model, InputConfig::training(spec.seed), 200_000);
+    let executed = execute(
+        &app.program,
+        &app.model,
+        InputConfig::training(spec.seed),
+        200_000,
+    );
     let bytes = record_trace(&app.program, &layout, executed.iter());
     let packets = decode_packets(&bytes).expect("well-formed stream");
 
@@ -35,13 +40,22 @@ fn main() {
     }
     println!("\ntrace statistics");
     println!("  executed blocks        {}", executed.len());
-    println!("  executed instructions  {}", executed.dynamic_instruction_count(&app.program));
+    println!(
+        "  executed instructions  {}",
+        executed.dynamic_instruction_count(&app.program)
+    );
     println!("  encoded bytes          {}", bytes.len());
-    println!("  bytes / block          {:.3}", bytes.len() as f64 / executed.len() as f64);
+    println!(
+        "  bytes / block          {:.3}",
+        bytes.len() as f64 / executed.len() as f64
+    );
     println!("  packets                {}", packets.len());
     println!("  TNT bits               {tnt_bits}");
     println!("  TIP packets            {tips}");
-    println!("  dynamic footprint      {} lines", executed.footprint_lines(&layout));
+    println!(
+        "  dynamic footprint      {} lines",
+        executed.footprint_lines(&layout)
+    );
 
     let decoded = reconstruct_trace(&app.program, &layout, &bytes).expect("decodable");
     assert_eq!(decoded, executed, "decoder must reproduce the execution");

@@ -13,12 +13,7 @@ fn every_app_profile_roundtrips_through_the_tracer() {
     for app_id in [App::Cassandra, App::Drupal, App::Verilator] {
         let app = generate(&app_id.spec());
         let layout = Layout::new(&app.program, &LayoutConfig::default());
-        let trace = execute(
-            &app.program,
-            &app.model,
-            InputConfig::training(1),
-            120_000,
-        );
+        let trace = execute(&app.program, &app.model, InputConfig::training(1), 120_000);
         let bytes = record_trace(&app.program, &layout, trace.iter());
         let decoded = reconstruct_trace(&app.program, &layout, &bytes).expect("valid");
         assert_eq!(decoded, trace, "{app_id}");
@@ -52,9 +47,9 @@ fn rewritten_binaries_execute_identically_modulo_invalidates() {
     // exactly the executed invalidates.
     let base = simulate(&app.program, &layout, &trace, &SimConfig::default());
     let ripple = simulate(&rw.program, &rw.layout, &trace, &SimConfig::default());
-    assert_eq!(base.stats.instructions, ripple.stats.instructions);
-    assert!(ripple.stats.invalidate_instructions > 0);
-    assert_eq!(base.stats.blocks, ripple.stats.blocks);
+    assert_eq!(base.instructions, ripple.instructions);
+    assert!(ripple.invalidate_instructions > 0);
+    assert_eq!(base.blocks, ripple.blocks);
 }
 
 #[test]
@@ -77,7 +72,11 @@ fn offline_ideals_lower_bound_online_policies_on_real_apps() {
     let app = generate(&App::FinagleChirper.spec());
     let layout = Layout::new(&app.program, &LayoutConfig::default());
     let trace = execute(&app.program, &app.model, InputConfig::training(2), 250_000);
-    for pf in [PrefetcherKind::None, PrefetcherKind::NextLine, PrefetcherKind::Fdip] {
+    for pf in [
+        PrefetcherKind::None,
+        PrefetcherKind::NextLine,
+        PrefetcherKind::Fdip,
+    ] {
         let cfg = SimConfig::default().with_prefetcher(pf);
         let lru = simulate(&app.program, &layout, &trace, &cfg);
         let ideal_kind = if pf == PrefetcherKind::None {
@@ -92,11 +91,11 @@ fn offline_ideals_lower_bound_online_policies_on_real_apps() {
             &cfg.clone().with_policy(ideal_kind),
         );
         assert!(
-            ideal.stats.demand_misses <= lru.stats.demand_misses,
+            ideal.demand_misses <= lru.demand_misses,
             "{}: ideal {} > lru {}",
             pf.name(),
-            ideal.stats.demand_misses,
-            lru.stats.demand_misses
+            ideal.demand_misses,
+            lru.demand_misses
         );
     }
 }
@@ -145,8 +144,10 @@ fn plan_artifacts_serialize_and_reapply() {
     let (plan, _) = ripple.plan();
     assert!(!plan.is_empty());
 
-    let json = serde_json::to_string(&plan).expect("plans serialize");
-    let plan2: InjectionPlan = serde_json::from_str(&json).expect("plans deserialize");
+    use ripple_json::{FromJson, ToJson};
+    let json = plan.to_json().to_compact_string();
+    let value = ripple_json::parse(&json).expect("plans serialize to valid json");
+    let plan2 = InjectionPlan::from_json(&value).expect("plans deserialize");
     assert_eq!(plan, plan2);
 
     let rw1 = rewrite(&app.program, &layout, &plan);

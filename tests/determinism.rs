@@ -1,9 +1,11 @@
 //! Determinism: every stage of the pipeline is a pure function of its
-//! seeds, so experiments are exactly reproducible.
+//! seeds, so experiments are exactly reproducible — including under the
+//! parallel evaluation harness, whose results are byte-identical to a
+//! sequential run at any thread count.
 
-use ripple::{collect_profile, Ripple, RippleConfig};
+use ripple::{collect_profile, policy_matrix, Ripple, RippleConfig};
 use ripple_program::{Layout, LayoutConfig};
-use ripple_sim::{simulate, PrefetcherKind, SimConfig};
+use ripple_sim::{ideal_policy_for, simulate, PolicyKind, PrefetcherKind, SimConfig, SimSession};
 use ripple_workloads::{generate, App, AppSpec, InputConfig};
 
 #[test]
@@ -11,10 +13,9 @@ fn generation_execution_and_simulation_are_deterministic() {
     let run = || {
         let app = generate(&AppSpec::tiny(77));
         let layout = Layout::new(&app.program, &LayoutConfig::default());
-        let profile =
-            collect_profile(&app, &layout, InputConfig::training(77), 50_000).unwrap();
+        let profile = collect_profile(&app, &layout, InputConfig::training(77), 50_000).unwrap();
         let cfg = SimConfig::default().with_prefetcher(PrefetcherKind::Fdip);
-        let stats = simulate(&app.program, &layout, &profile.trace, &cfg).stats;
+        let stats = simulate(&app.program, &layout, &profile.trace, &cfg);
         (profile.trace.len(), stats)
     };
     let (len_a, stats_a) = run();
@@ -35,7 +36,12 @@ fn full_ripple_pipeline_is_deterministic() {
             200_000,
         )
         .unwrap();
-        let ripple = Ripple::train(&app.program, &layout, &profile.trace, RippleConfig::default());
+        let ripple = Ripple::train(
+            &app.program,
+            &layout,
+            &profile.trace,
+            RippleConfig::default(),
+        );
         let o = ripple.evaluate(&profile.trace);
         (
             o.injected_static,
@@ -56,4 +62,54 @@ fn different_inputs_produce_different_traces_same_input_identical() {
     let c = collect_profile(&app, &layout, InputConfig::numbered(2, 9), 60_000).unwrap();
     assert_eq!(a.trace, b.trace);
     assert_ne!(a.trace, c.trace);
+}
+
+/// The harness's SimStats are byte-identical whether the policy matrix runs
+/// on one worker (the sequential reference) or many, across applications
+/// and prefetchers.
+#[test]
+fn policy_matrix_is_thread_count_invariant() {
+    for app_id in [App::Tomcat, App::Kafka] {
+        let spec = app_id.spec();
+        let app = generate(&spec);
+        let layout = Layout::new(&app.program, &LayoutConfig::default());
+        let profile = collect_profile(&app, &layout, InputConfig::training(spec.seed), 80_000)
+            .expect("profile collection");
+        for pf in [PrefetcherKind::None, PrefetcherKind::Fdip] {
+            let cfg = SimConfig::default().with_prefetcher(pf);
+            let session = SimSession::new(&app.program, &layout, &profile.trace, cfg);
+            let policies = [
+                PolicyKind::Lru,
+                PolicyKind::Random,
+                PolicyKind::Srrip,
+                ideal_policy_for(pf),
+            ];
+            let sequential = policy_matrix(&session, &policies, 1);
+            let parallel = policy_matrix(&session, &policies, 8);
+            assert_eq!(sequential, parallel, "{app_id}/{}", pf.name());
+        }
+    }
+}
+
+/// The full `RippleOutcome` — every stat, accuracy score and overhead — is
+/// identical at any worker count, across ≥2 apps × 2 prefetchers.
+#[test]
+fn ripple_outcome_is_thread_count_invariant() {
+    for app_id in [App::Tomcat, App::Kafka] {
+        let spec = app_id.spec();
+        let app = generate(&spec);
+        let layout = Layout::new(&app.program, &LayoutConfig::default());
+        let profile = collect_profile(&app, &layout, InputConfig::training(spec.seed), 80_000)
+            .expect("profile collection");
+        for pf in [PrefetcherKind::None, PrefetcherKind::Fdip] {
+            let outcome = |threads: usize| {
+                let mut config = RippleConfig::default();
+                config.sim.prefetcher = pf;
+                config.threads = Some(threads);
+                let ripple = Ripple::train(&app.program, &layout, &profile.trace, config);
+                ripple.evaluate(&profile.trace)
+            };
+            assert_eq!(outcome(1), outcome(8), "{app_id}/{}", pf.name());
+        }
+    }
 }

@@ -1,9 +1,28 @@
-//! Criterion micro-benchmarks: simulator and analysis throughput.
+//! Criterion micro-benchmarks: simulator and analysis throughput, plus
+//! the interned-vs-reference line-path comparison persisted to
+//! `BENCH_perf.json` at the repository root.
+//!
+//! The line-path scenarios measure simulated blocks per second for the
+//! frontend's hot loops under both [`LinePath`] implementations:
+//!
+//! * `record_pass` — the shared recording pass (LRU frontend capturing
+//!   the request stream and building its future index);
+//! * `replay_pass` — a Demand-MIN replay against an already-recorded
+//!   session;
+//! * `online_lru` — a full single-pass online-LRU run;
+//! * `full_pipeline_record_plus_demand_min` — a fresh two-pass oracle run
+//!   (recording plus Demand-MIN replay), the headline number.
+//!
+//! `RIPPLE_BENCH_INSTRS` overrides the per-app instruction budget.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use ripple_bench::load_app;
+use std::time::Instant;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ripple_bench::{bench_budget, load_app, LoadedApp};
+use ripple_json::{object, Value};
 use ripple_sim::{
-    simulate, simulate_with_sink, PolicyKind, PrefetcherKind, SimConfig, SimSession, VecSink,
+    simulate, simulate_with_sink, LinePath, PolicyKind, PrefetcherKind, SimConfig, SimSession,
+    VecSink,
 };
 use ripple_workloads::App;
 
@@ -74,5 +93,128 @@ fn bench_analysis(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_simulator, bench_analysis);
+/// Timed samples per line-path scenario (one untimed warmup first).
+const SAMPLES: u32 = 10;
+
+/// Mean wall-clock seconds per invocation of `f`.
+fn secs_per_run(mut f: impl FnMut()) -> f64 {
+    f(); // warmup
+    let start = Instant::now();
+    for _ in 0..SAMPLES {
+        f();
+    }
+    start.elapsed().as_secs_f64() / f64::from(SAMPLES)
+}
+
+/// Simulated blocks per second of one scenario under one line path.
+fn blocks_per_sec(trace_blocks: u64, secs: f64) -> f64 {
+    trace_blocks as f64 / secs
+}
+
+fn scenario_configs(path: LinePath) -> (SimConfig, SimConfig) {
+    // The oracle scenarios run under NLP so the request stream contains
+    // prefetches and Demand-MIN differs from OPT; the online scenario is
+    // the paper's plain LRU baseline.
+    let oracle = SimConfig::default()
+        .with_prefetcher(PrefetcherKind::NextLine)
+        .with_line_path(path);
+    let online = SimConfig::default().with_line_path(path);
+    (oracle, online)
+}
+
+fn measure_path(loaded: &LoadedApp, path: LinePath) -> [(&'static str, f64); 4] {
+    let blocks = loaded.trace.len() as u64;
+    let (oracle_cfg, online_cfg) = scenario_configs(path);
+
+    let record = secs_per_run(|| {
+        let session = SimSession::new(
+            &loaded.app.program,
+            &loaded.layout,
+            &loaded.trace,
+            oracle_cfg.clone(),
+        );
+        session.ensure_recorded();
+        black_box(session.recording_passes());
+    });
+
+    let warm = SimSession::new(
+        &loaded.app.program,
+        &loaded.layout,
+        &loaded.trace,
+        oracle_cfg.clone(),
+    );
+    warm.ensure_recorded();
+    let replay = secs_per_run(|| {
+        black_box(warm.run(PolicyKind::DemandMin));
+    });
+
+    let online = secs_per_run(|| {
+        black_box(simulate(
+            &loaded.app.program,
+            &loaded.layout,
+            &loaded.trace,
+            &online_cfg,
+        ));
+    });
+
+    let full = secs_per_run(|| {
+        let session = SimSession::new(
+            &loaded.app.program,
+            &loaded.layout,
+            &loaded.trace,
+            oracle_cfg.clone(),
+        );
+        black_box(session.run(PolicyKind::DemandMin));
+    });
+
+    [
+        ("record_pass", blocks_per_sec(blocks, record)),
+        ("replay_pass", blocks_per_sec(blocks, replay)),
+        ("online_lru", blocks_per_sec(blocks, online)),
+        (
+            "full_pipeline_record_plus_demand_min",
+            blocks_per_sec(blocks, full),
+        ),
+    ]
+}
+
+fn bench_line_paths(_c: &mut Criterion) {
+    let budget = bench_budget();
+    let loaded = load_app(App::Tomcat, budget);
+    println!("group: line_paths (Tomcat, {budget} instrs)");
+
+    let interned = measure_path(&loaded, LinePath::Interned);
+    let reference = measure_path(&loaded, LinePath::Reference);
+
+    let mut scenarios: Vec<(String, Value)> = Vec::new();
+    for (&(name, fast), &(_, slow)) in interned.iter().zip(reference.iter()) {
+        let speedup = fast / slow;
+        println!(
+            "  {name}: interned {fast:.0} blocks/s, reference {slow:.0} blocks/s ({speedup:.2}x)"
+        );
+        scenarios.push((
+            name.to_string(),
+            object([
+                ("interned_blocks_per_sec", Value::Float(fast)),
+                ("reference_blocks_per_sec", Value::Float(slow)),
+                ("speedup", Value::Float(speedup)),
+            ]),
+        ));
+    }
+
+    let doc = object([
+        ("app", Value::Str(App::Tomcat.name().to_string())),
+        ("budget_instrs", Value::UInt(budget)),
+        ("trace_blocks", Value::UInt(loaded.trace.len() as u64)),
+        ("samples_per_scenario", Value::UInt(u64::from(SAMPLES))),
+        ("scenarios", Value::Object(scenarios)),
+    ]);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_perf.json");
+    match std::fs::write(path, doc.to_pretty_string() + "\n") {
+        Ok(()) => println!("  wrote {path}"),
+        Err(e) => eprintln!("  could not write {path}: {e}"),
+    }
+}
+
+criterion_group!(benches, bench_simulator, bench_analysis, bench_line_paths);
 criterion_main!(benches);

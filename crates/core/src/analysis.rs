@@ -29,9 +29,9 @@ pub struct EvictionWindow {
     pub victim: LineAddr,
     /// Trace position of the victim's last demand access (exclusive window
     /// start).
-    pub start: u32,
+    pub start: u64,
     /// Trace position of the eviction trigger (inclusive window end).
-    pub end: u32,
+    pub end: u64,
 }
 
 /// Streams the simulator's eviction log directly into eviction windows.
@@ -65,7 +65,7 @@ impl WindowSink {
 
 impl EvictionSink for WindowSink {
     fn record(&mut self, e: EvictionEvent) {
-        if e.last_access_pos != u32::MAX && e.evict_pos > e.last_access_pos + 1 {
+        if e.last_access_pos != u64::MAX && e.evict_pos > e.last_access_pos + 1 {
             self.windows.push(EvictionWindow {
                 victim: e.victim,
                 start: e.last_access_pos,
@@ -88,7 +88,7 @@ pub struct CueCandidate {
     /// *earliest* execution inside the window. An injected invalidation
     /// fires at that earliest execution, so a small gap means the freed
     /// way is still free when the triggering fill arrives.
-    pub earliest_gap: u32,
+    pub earliest_gap: u64,
 }
 
 /// The cue candidates of one window, nearest-to-the-eviction first.
@@ -156,7 +156,7 @@ pub struct AnalysisConfig {
     /// way only helps if it is still free when the triggering fill
     /// arrives; a cue that fires thousands of blocks early donates its
     /// slot to an unrelated fill and the benefit evaporates.
-    pub max_earliest_gap: u32,
+    pub max_earliest_gap: u64,
     /// Minimum number of eviction windows a (cue, victim) pair must cover
     /// to stay in the plan. A pair covering a single window trades one
     /// saved miss for seven bytes of hot code — negative expected value —
@@ -177,7 +177,7 @@ impl Default for AnalysisConfig {
             max_candidates: 32,
             front_window_blocks: 64,
             cue_selection: CueSelection::HighestProbability,
-            max_earliest_gap: u32::MAX,
+            max_earliest_gap: u64::MAX,
             min_windows_per_injection: 2,
             max_injections_per_block: 6,
         }
@@ -193,7 +193,7 @@ pub struct Analysis {
     origins: HashMap<LineAddr, CodeLoc>,
     selection: CueSelection,
     per_block_cap: usize,
-    max_earliest_gap: u32,
+    max_earliest_gap: u64,
     min_pair_windows: u32,
 }
 
@@ -444,12 +444,12 @@ pub fn analyze_windows(
     let mut scan = |w: &EvictionWindow,
                     scratch: &mut HashSet<BlockId>,
                     ordered: Option<&mut Vec<BlockId>>,
-                    earliest: Option<&mut HashMap<BlockId, u32>>| {
+                    earliest: Option<&mut HashMap<BlockId, u64>>| {
         scratch.clear();
         let lo = w.start + 1;
         let hi = w.end; // exclusive: the trigger block itself is too late
-        let back_lo = hi.saturating_sub(config.max_window_blocks as u32).max(lo);
-        let front_hi = lo.saturating_add(config.front_window_blocks as u32).min(hi);
+        let back_lo = hi.saturating_sub(config.max_window_blocks as u64).max(lo);
+        let front_hi = lo.saturating_add(config.front_window_blocks as u64).min(hi);
         let mut ordered = ordered;
         let mut earliest = earliest;
         let half = config.max_candidates / 2;
@@ -507,7 +507,7 @@ pub fn analyze_windows(
     };
     let mut choices = Vec::with_capacity(windows.len());
     let mut ordered: Vec<BlockId> = Vec::new();
-    let mut earliest: HashMap<BlockId, u32> = HashMap::new();
+    let mut earliest: HashMap<BlockId, u64> = HashMap::new();
     for w in &windows {
         ordered.clear();
         earliest.clear();
@@ -615,14 +615,14 @@ mod tests {
         let mut log = Vec::new();
         for contents in windows {
             blocks.push(f.a); // last access to A
-            let start = (blocks.len() - 1) as u32;
+            let start = (blocks.len() - 1) as u64;
             for &blk in contents {
                 blocks.push(blk);
             }
             blocks.push(f.filler); // the trigger block
             log.push(EvictionEvent {
                 victim: victim_line,
-                evict_pos: (blocks.len() - 1) as u32,
+                evict_pos: (blocks.len() - 1) as u64,
                 last_access_pos: start,
                 by_prefetch: false,
             });
@@ -827,7 +827,7 @@ mod tests {
         let log = vec![EvictionEvent {
             victim: LineAddr::new(999),
             evict_pos: 2,
-            last_access_pos: u32::MAX,
+            last_access_pos: u64::MAX,
             by_prefetch: true,
         }];
         let analysis = analyze(&f.program, &f.layout, &trace, &log, &plain_config());

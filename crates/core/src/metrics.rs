@@ -12,23 +12,23 @@ use crate::analysis::EvictionWindow;
 /// again after position p?" queries.
 #[derive(Debug, Default)]
 pub struct LineAccessIndex {
-    positions: HashMap<LineAddr, Vec<u32>>,
+    positions: HashMap<LineAddr, Vec<u64>>,
 }
 
 impl LineAccessIndex {
     /// Builds the index from a block trace under `layout`.
     pub fn build(layout: &Layout, trace: &BbTrace) -> Self {
-        let mut positions: HashMap<LineAddr, Vec<u32>> = HashMap::new();
+        let mut positions: HashMap<LineAddr, Vec<u64>> = HashMap::new();
         for (pos, block) in trace.iter().enumerate() {
             for line in layout.lines_of_block(block) {
-                positions.entry(line).or_default().push(pos as u32);
+                positions.entry(line).or_default().push(pos as u64);
             }
         }
         LineAccessIndex { positions }
     }
 
     /// First demand access to `line` strictly after `pos`, if any.
-    pub fn next_access_after(&self, line: LineAddr, pos: u32) -> Option<u32> {
+    pub fn next_access_after(&self, line: LineAddr, pos: u64) -> Option<u64> {
         let v = self.positions.get(&line)?;
         let i = v.partition_point(|&p| p <= pos);
         v.get(i).copied()
@@ -52,13 +52,13 @@ impl LineAccessIndex {
 /// follows the previous eviction), so sorted binary search suffices.
 #[derive(Debug, Default)]
 pub struct WindowIndex {
-    windows: HashMap<LineAddr, Vec<(u32, u32)>>,
+    windows: HashMap<LineAddr, Vec<(u64, u64)>>,
 }
 
 impl WindowIndex {
     /// Builds the index from the analysis's eviction windows.
     pub fn build(windows: &[EvictionWindow]) -> Self {
-        let mut map: HashMap<LineAddr, Vec<(u32, u32)>> = HashMap::new();
+        let mut map: HashMap<LineAddr, Vec<(u64, u64)>> = HashMap::new();
         for w in windows {
             map.entry(w.victim).or_default().push((w.start, w.end));
         }
@@ -71,7 +71,7 @@ impl WindowIndex {
     /// Whether position `pos` lies inside an eviction window of `line`
     /// (start-exclusive, end-inclusive): an action at `pos` that evicts
     /// `line` agrees with the ideal policy.
-    pub fn contains(&self, line: LineAddr, pos: u32) -> bool {
+    pub fn contains(&self, line: LineAddr, pos: u64) -> bool {
         let Some(v) = self.windows.get(&line) else {
             return false;
         };
@@ -86,7 +86,7 @@ impl WindowIndex {
 /// window of the line, or the line is never demand-accessed again.
 pub fn decision_is_accurate(
     line: LineAddr,
-    pos: u32,
+    pos: u64,
     windows: &WindowIndex,
     accesses: &LineAccessIndex,
 ) -> bool {
@@ -148,7 +148,7 @@ pub fn invalidation_accuracy(
         };
         for &line in lines {
             stats.total += 1;
-            if decision_is_accurate(line, pos as u32, windows, accesses) {
+            if decision_is_accurate(line, pos as u64, windows, accesses) {
                 stats.accurate += 1;
             }
         }
@@ -184,7 +184,7 @@ pub fn plan_accuracy(
         };
         for &line in lines {
             stats.total += 1;
-            if decision_is_accurate(line, pos as u32, windows, accesses) {
+            if decision_is_accurate(line, pos as u64, windows, accesses) {
                 stats.accurate += 1;
             }
         }
@@ -259,7 +259,7 @@ mod tests {
         LineAddr::new(i)
     }
 
-    fn windows_of(spec: &[(u64, u32, u32)]) -> WindowIndex {
+    fn windows_of(spec: &[(u64, u64, u64)]) -> WindowIndex {
         let ws: Vec<EvictionWindow> = spec
             .iter()
             .map(|&(line, start, end)| EvictionWindow {

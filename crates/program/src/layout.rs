@@ -158,6 +158,27 @@ impl Layout {
         count
     }
 
+    /// The first and last cache line of the text segment, or `None` when
+    /// the program has no code bytes.
+    ///
+    /// Every line any block touches falls inside this inclusive range; the
+    /// simulator's line interner builds its dense table from it.
+    pub fn line_bounds(&self) -> Option<(LineAddr, LineAddr)> {
+        let mut first: Option<Addr> = None;
+        let mut last_end: Option<Addr> = None;
+        for i in 0..self.block_addr.len() {
+            if self.block_size[i] == 0 {
+                continue;
+            }
+            let start = self.block_addr[i];
+            let end = start.wrapping_add(u64::from(self.block_size[i]));
+            first = Some(first.map_or(start, |f| f.min(start)));
+            last_end = Some(last_end.map_or(end, |l| l.max(end)));
+        }
+        let (first, last_end) = (first?, last_end?);
+        Some((first.line(), Addr::new(last_end.get() - 1).line()))
+    }
+
     /// Resolves a [`CodeLoc`] (block + offset into *original* instruction
     /// bytes) to a byte address in this layout, skipping any injected
     /// invalidation prefix.
@@ -271,6 +292,25 @@ mod tests {
         // f0: 64 bytes = 1 line; f1 aligned to next 16B -> starts at +64,
         // also line-aligned here, 64 bytes = 1 line.
         assert_eq!(l.footprint_lines(), 2);
+    }
+
+    #[test]
+    fn line_bounds_cover_every_block_line() {
+        let p = program_with_sizes(&[&[10, 20], &[30, 5], &[100]]);
+        let l = Layout::new(&p, &LayoutConfig::default());
+        let (first, last) = l.line_bounds().unwrap();
+        for i in 0..p.num_blocks() {
+            for line in l.lines_of_block(BlockId::new(i as u32)) {
+                assert!(first <= line && line <= last, "line {line} out of bounds");
+            }
+        }
+        // The bounds are tight: both ends are touched by some block.
+        assert_eq!(first, LayoutConfig::default().base_addr.line());
+        let max_end = (0..p.num_blocks())
+            .map(|i| l.block_end(BlockId::new(i as u32)).get())
+            .max()
+            .unwrap();
+        assert_eq!(last, Addr::new(max_end - 1).line());
     }
 
     #[test]

@@ -1,8 +1,9 @@
 //! Generic set-associative cache with pluggable replacement policy.
 
-use ripple_program::{Addr, LineAddr};
+use ripple_program::Addr;
 
 use crate::config::CacheGeometry;
+use crate::intern::LineId;
 use crate::policy::{AccessInfo, ReplacementPolicy, WayView};
 
 /// Outcome of one cache access.
@@ -14,7 +15,7 @@ pub enum AccessOutcome {
     /// line displaced by the fill, if any.
     Miss {
         /// Line evicted to make room, if the chosen way held one.
-        evicted: Option<LineAddr>,
+        evicted: Option<LineId>,
     },
 }
 
@@ -26,10 +27,22 @@ impl AccessOutcome {
     }
 }
 
-#[derive(Debug, Clone, Copy, Default)]
+/// A tag way: a dense [`LineId`] with [`LineId::INVALID`] as the empty
+/// sentinel, so tag matching is a plain `u32` compare instead of an
+/// `Option<LineAddr>` scan.
+#[derive(Debug, Clone, Copy)]
 struct Way {
-    line: Option<LineAddr>,
+    line: LineId,
     prefetched: bool,
+}
+
+impl Default for Way {
+    fn default() -> Self {
+        Way {
+            line: LineId::INVALID,
+            prefetched: false,
+        }
+    }
 }
 
 /// A set-associative cache of 64-byte lines, parameterized by a
@@ -38,18 +51,46 @@ struct Way {
 /// The cache owns placement (invalid ways are filled before the policy is
 /// asked for a victim) and exposes the `invalidate` / `demote` operations
 /// Ripple's injected instruction needs.
+///
+/// Lines are named by dense [`LineId`]s. Set mapping stays faithful to the
+/// underlying addresses: the cache carries the interner's `line_base` so
+/// `set_of(id)` equals `CacheGeometry::set_of` of the original
+/// [`LineAddr`](ripple_program::LineAddr).
 #[derive(Debug)]
 pub struct Cache<P: ?Sized + ReplacementPolicy> {
     geom: CacheGeometry,
+    /// `geom.num_sets()`, cached to keep the two divisions out of the
+    /// per-access path.
+    num_sets: u64,
+    /// Raw line index of `LineId(0)` in the interner that produced the ids
+    /// this cache is accessed with (0 for identity interning).
+    line_base: u64,
     ways: Vec<Way>, // sets × assoc, row-major
     policy: Box<P>,
+    /// Scratch buffer for victim calls, reused across misses.
+    views: Vec<WayView>,
 }
 
 impl<P: ?Sized + ReplacementPolicy> Cache<P> {
-    /// Creates an empty cache.
+    /// Creates an empty cache whose ids are raw line indexes (identity
+    /// interning, `line_base == 0`).
     pub fn new(geom: CacheGeometry, policy: Box<P>) -> Self {
-        let ways = vec![Way::default(); (geom.num_sets() * u64::from(geom.assoc)) as usize];
-        Cache { geom, ways, policy }
+        Cache::with_line_base(geom, policy, 0)
+    }
+
+    /// Creates an empty cache accessed with ids from an interner whose
+    /// [`line_base`](crate::LineTable::line_base) is `line_base`.
+    pub fn with_line_base(geom: CacheGeometry, policy: Box<P>, line_base: u64) -> Self {
+        let num_sets = geom.num_sets();
+        let ways = vec![Way::default(); (num_sets * u64::from(geom.assoc)) as usize];
+        Cache {
+            geom,
+            num_sets,
+            line_base,
+            ways,
+            policy,
+            views: Vec::with_capacity(usize::from(geom.assoc)),
+        }
     }
 
     /// The cache geometry.
@@ -70,6 +111,12 @@ impl<P: ?Sized + ReplacementPolicy> Cache<P> {
         &mut self.policy
     }
 
+    /// The set `line` maps to; identical to mapping the underlying address.
+    #[inline]
+    fn set_of(&self, line: LineId) -> u32 {
+        ((self.line_base + u64::from(line.get())) % self.num_sets) as u32
+    }
+
     #[inline]
     fn set_range(&self, set: u32) -> std::ops::Range<usize> {
         let a = usize::from(self.geom.assoc);
@@ -78,16 +125,19 @@ impl<P: ?Sized + ReplacementPolicy> Cache<P> {
     }
 
     /// Whether `line` is currently cached.
-    pub fn contains(&self, line: LineAddr) -> bool {
-        let set = self.geom.set_of(line);
+    pub fn contains(&self, line: LineId) -> bool {
+        let set = self.set_of(line);
         self.ways[self.set_range(set)]
             .iter()
-            .any(|w| w.line == Some(line))
+            .any(|w| w.line == line)
     }
 
     /// Number of valid lines currently cached.
     pub fn occupancy(&self) -> usize {
-        self.ways.iter().filter(|w| w.line.is_some()).count()
+        self.ways
+            .iter()
+            .filter(|w| w.line != LineId::INVALID)
+            .count()
     }
 
     /// Accesses `line`; on a miss the line is filled, evicting a victim
@@ -96,14 +146,9 @@ impl<P: ?Sized + ReplacementPolicy> Cache<P> {
     /// `pc` is the fetch address responsible for the access (used by
     /// signature/PC-indexed policies); `seq` is the global position of
     /// this access in the request stream (used by offline-ideal policies).
-    pub fn access(
-        &mut self,
-        line: LineAddr,
-        pc: Addr,
-        is_prefetch: bool,
-        seq: u64,
-    ) -> AccessOutcome {
-        let set = self.geom.set_of(line);
+    pub fn access(&mut self, line: LineId, pc: Addr, is_prefetch: bool, seq: u64) -> AccessOutcome {
+        debug_assert!(line != LineId::INVALID);
+        let set = self.set_of(line);
         let info = AccessInfo {
             line,
             set,
@@ -114,10 +159,7 @@ impl<P: ?Sized + ReplacementPolicy> Cache<P> {
         let range = self.set_range(set);
 
         // Hit?
-        if let Some(off) = self.ways[range.clone()]
-            .iter()
-            .position(|w| w.line == Some(line))
-        {
+        if let Some(off) = self.ways[range.clone()].iter().position(|w| w.line == line) {
             let way = &mut self.ways[range.start + off];
             if !is_prefetch {
                 way.prefetched = false;
@@ -129,10 +171,10 @@ impl<P: ?Sized + ReplacementPolicy> Cache<P> {
         // Fill an invalid way if one exists.
         if let Some(off) = self.ways[range.clone()]
             .iter()
-            .position(|w| w.line.is_none())
+            .position(|w| w.line == LineId::INVALID)
         {
             self.ways[range.start + off] = Way {
-                line: Some(line),
+                line,
                 prefetched: is_prefetch,
             };
             self.policy.on_fill(&info, off);
@@ -140,40 +182,37 @@ impl<P: ?Sized + ReplacementPolicy> Cache<P> {
         }
 
         // Ask the policy for a victim.
-        let views: Vec<WayView> = self.ways[range.clone()]
-            .iter()
-            .map(|w| WayView {
-                line: w.line.expect("set is full"),
+        self.views.clear();
+        self.views
+            .extend(self.ways[range.clone()].iter().map(|w| WayView {
+                line: w.line,
                 prefetched: w.prefetched,
-            })
-            .collect();
-        let off = self.policy.victim(&info, &views);
+            }));
+        let off = self.policy.victim(&info, &self.views);
         assert!(
-            off < views.len(),
+            off < self.views.len(),
             "policy {} returned way {off} of {}",
             self.policy.name(),
-            views.len()
+            self.views.len()
         );
         let evicted = self.ways[range.start + off].line;
-        if let Some(v) = evicted {
-            self.policy.on_evict(set, off, v);
-        }
+        debug_assert!(evicted != LineId::INVALID, "set was full");
+        self.policy.on_evict(set, off, evicted);
         self.ways[range.start + off] = Way {
-            line: Some(line),
+            line,
             prefetched: is_prefetch,
         };
         self.policy.on_fill(&info, off);
-        AccessOutcome::Miss { evicted }
+        AccessOutcome::Miss {
+            evicted: Some(evicted),
+        }
     }
 
     /// Invalidates `line` if present; returns whether it was present.
-    pub fn invalidate(&mut self, line: LineAddr) -> bool {
-        let set = self.geom.set_of(line);
+    pub fn invalidate(&mut self, line: LineId) -> bool {
+        let set = self.set_of(line);
         let range = self.set_range(set);
-        if let Some(off) = self.ways[range.clone()]
-            .iter()
-            .position(|w| w.line == Some(line))
-        {
+        if let Some(off) = self.ways[range.clone()].iter().position(|w| w.line == line) {
             self.ways[range.start + off] = Way::default();
             self.policy.on_invalidate(set, off);
             true
@@ -184,10 +223,10 @@ impl<P: ?Sized + ReplacementPolicy> Cache<P> {
 
     /// Demotes `line` to the bottom of the replacement order if present;
     /// returns whether it was present.
-    pub fn demote(&mut self, line: LineAddr) -> bool {
-        let set = self.geom.set_of(line);
+    pub fn demote(&mut self, line: LineId) -> bool {
+        let set = self.set_of(line);
         let range = self.set_range(set);
-        if let Some(off) = self.ways[range].iter().position(|w| w.line == Some(line)) {
+        if let Some(off) = self.ways[range].iter().position(|w| w.line == line) {
             self.policy.on_demote(set, off);
             true
         } else {
@@ -207,8 +246,8 @@ mod tests {
         Cache::new(geom, Box::new(LruPolicy::new(geom)))
     }
 
-    fn l(i: u64) -> LineAddr {
-        LineAddr::new(i)
+    fn l(i: u32) -> LineId {
+        LineId::new(i)
     }
 
     #[test]
@@ -293,5 +332,29 @@ mod tests {
         c.access(l(4), Addr::new(0), false, 4);
         assert!(c.contains(l(1)));
         assert!(c.contains(l(3)));
+    }
+
+    #[test]
+    fn line_base_preserves_set_mapping() {
+        // A cache with line_base B accessed with id X behaves like a
+        // base-0 cache accessed with raw index B + X.
+        let geom = CacheGeometry::new(4 * 64, 2);
+        let mut shifted: Cache<LruPolicy> =
+            Cache::with_line_base(geom, Box::new(LruPolicy::new(geom)), 101);
+        // id 0 → raw line 101 → set 1; id 1 → set 0.
+        shifted.access(l(0), Addr::new(0), false, 0);
+        shifted.access(l(1), Addr::new(0), false, 1);
+        shifted.access(l(2), Addr::new(0), false, 2); // raw 103 → set 1
+        shifted.access(l(3), Addr::new(0), false, 3); // raw 104 → set 0
+        assert_eq!(shifted.occupancy(), 4);
+        // Set 1 holds ids {0, 2}; a third set-1 line evicts the LRU (id 0).
+        let out = shifted.access(l(4), Addr::new(0), false, 4);
+        assert_eq!(
+            out,
+            AccessOutcome::Miss {
+                evicted: Some(l(0))
+            }
+        );
+        assert!(shifted.contains(l(2)));
     }
 }

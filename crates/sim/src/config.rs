@@ -141,6 +141,22 @@ pub enum EvictionMechanism {
     NoOp,
 }
 
+/// Which frontend implementation drives the simulation.
+///
+/// Both paths produce byte-identical results (the equivalence suite
+/// asserts it); [`LinePath::Reference`] exists as the oracle for that
+/// suite and as the pre-interning performance baseline.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LinePath {
+    /// Dense interned path: per-layout `LineId`s, a precomputed fetch
+    /// plan, and `Vec`-indexed frontend/policy state.
+    #[default]
+    Interned,
+    /// Pre-interning reference: per-step block→line enumeration and
+    /// hash-keyed bookkeeping, kept verbatim for equivalence checking.
+    Reference,
+}
+
 /// Full simulator configuration.
 ///
 /// Defaults reproduce the paper's Table II: Haswell-class latencies, a
@@ -193,7 +209,10 @@ pub struct SimConfig {
     /// This models a perfect software-eviction oracle with zero code
     /// bloat — the upper bound of Ripple's mechanism — and is used by the
     /// ablation benches and tests.
-    pub scripted_invalidations: Option<std::sync::Arc<Vec<(u32, ripple_program::LineAddr)>>>,
+    pub scripted_invalidations: Option<std::sync::Arc<Vec<(u64, ripple_program::LineAddr)>>>,
+    /// Which frontend implementation to run (identical results either
+    /// way; `Reference` is the equivalence oracle).
+    pub line_path: LinePath,
 }
 
 impl Default for SimConfig {
@@ -216,6 +235,7 @@ impl Default for SimConfig {
             eviction_mechanism: EvictionMechanism::Invalidate,
             warmup_fraction: 0.25,
             scripted_invalidations: None,
+            line_path: LinePath::default(),
         }
     }
 }
@@ -230,6 +250,12 @@ impl SimConfig {
     /// Convenience: this configuration with a different prefetcher.
     pub fn with_prefetcher(mut self, prefetcher: PrefetcherKind) -> Self {
         self.prefetcher = prefetcher;
+        self
+    }
+
+    /// Convenience: this configuration with a different frontend path.
+    pub fn with_line_path(mut self, line_path: LinePath) -> Self {
+        self.line_path = line_path;
         self
     }
 }

@@ -20,9 +20,13 @@ use std::sync::{Arc, OnceLock};
 use ripple_program::{Layout, Program};
 use ripple_trace::BbTrace;
 
-use crate::config::{PolicyKind, SimConfig};
+use crate::config::{LinePath, PolicyKind, SimConfig};
 use crate::frontend::Frontend;
-use crate::policy::{build_ideal_policy, build_policy, FutureIndex, LruPolicy, StreamRecord};
+use crate::intern::{FetchPlan, LineTable};
+use crate::policy::{
+    build_ideal_policy, build_policy, FutureIndex, LruPolicy, ReplacementPolicy, StreamRecord,
+};
+use crate::reference::ReferenceFrontend;
 use crate::sink::{EvictionSink, NullSink};
 use crate::stats::SimStats;
 
@@ -70,6 +74,12 @@ pub struct SimSession<'a> {
     layout: &'a Layout,
     trace: &'a BbTrace,
     config: SimConfig,
+    /// Dense interning of this layout's reachable lines, built once per
+    /// session and shared by every run (plain data, so the session stays
+    /// `Sync`).
+    table: LineTable,
+    /// Precomputed block → interned-lines fetch plan over `table`.
+    plan: FetchPlan,
     recorded: OnceLock<RecordedStream>,
     recording_passes: AtomicU32,
 }
@@ -92,11 +102,15 @@ impl<'a> SimSession<'a> {
         trace: &'a BbTrace,
         config: SimConfig,
     ) -> Self {
+        let table = LineTable::build(layout);
+        let plan = FetchPlan::build(program, layout, &table);
         SimSession {
             program,
             layout,
             trace,
             config,
+            table,
+            plan,
             recorded: OnceLock::new(),
             recording_passes: AtomicU32::new(0),
         }
@@ -134,20 +148,49 @@ impl<'a> SimSession<'a> {
         if policy.is_offline_ideal() {
             let rec = self.recorded();
             let oracle = build_ideal_policy(policy, cfg.l1i, rec.future.clone());
-            let fe = Frontend::new(
-                self.program,
-                self.layout,
-                &cfg,
-                oracle,
-                false,
-                Some(&rec.stream),
-                sink,
-            );
-            fe.run(self.trace.iter()).0
+            self.run_frontend(&cfg, oracle, false, Some(&rec.stream), sink)
+                .0
         } else {
             let policy = build_policy(&cfg);
-            let fe = Frontend::new(self.program, self.layout, &cfg, policy, false, None, sink);
-            fe.run(self.trace.iter()).0
+            self.run_frontend(&cfg, policy, false, None, sink).0
+        }
+    }
+
+    /// Runs one frontend pass, dispatching on the configured
+    /// [`LinePath`]. Both paths are byte-identical in their outputs; the
+    /// reference path exists as the equivalence oracle and performance
+    /// baseline.
+    fn run_frontend(
+        &self,
+        cfg: &SimConfig,
+        l1i_policy: Box<dyn ReplacementPolicy>,
+        record: bool,
+        verify: Option<&[StreamRecord]>,
+        sink: &mut dyn EvictionSink,
+    ) -> (SimStats, Option<Vec<StreamRecord>>) {
+        match cfg.line_path {
+            LinePath::Interned => Frontend::new(
+                self.program,
+                self.layout,
+                cfg,
+                &self.table,
+                &self.plan,
+                l1i_policy,
+                record,
+                verify,
+                sink,
+            )
+            .run(self.trace.iter()),
+            LinePath::Reference => ReferenceFrontend::new(
+                self.program,
+                self.layout,
+                cfg,
+                l1i_policy,
+                record,
+                verify,
+                sink,
+            )
+            .run(self.trace.iter()),
         }
     }
 
@@ -162,6 +205,14 @@ impl<'a> SimSession<'a> {
         self.recording_passes.load(Ordering::Acquire)
     }
 
+    /// Forces the shared recording pass (and its [`FutureIndex`]) to run
+    /// now; it otherwise happens lazily on the first offline-ideal
+    /// replay. Lets callers pay the pass up front — before spawning
+    /// replay threads, or to time recording and replay separately.
+    pub fn ensure_recorded(&self) {
+        let _ = self.recorded();
+    }
+
     fn recorded(&self) -> &RecordedStream {
         self.recorded.get_or_init(|| {
             self.recording_passes.fetch_add(1, Ordering::AcqRel);
@@ -169,18 +220,22 @@ impl<'a> SimSession<'a> {
             // LRU is the cheapest throwaway.
             let cfg = self.config.clone().with_policy(PolicyKind::Lru);
             let mut sink = NullSink;
-            let recorder = Frontend::new(
-                self.program,
-                self.layout,
+            let (_, stream) = self.run_frontend(
                 &cfg,
                 Box::new(LruPolicy::new(cfg.l1i)),
                 true,
                 None,
                 &mut sink,
             );
-            let (_, stream) = recorder.run(self.trace.iter());
             let stream = stream.expect("recording pass returns a stream");
-            let future = FutureIndex::build(&stream);
+            // Every recorded line is interned (the stream only contains
+            // layout lines and their next-line prefetch targets, all of
+            // which the table covers), so the dense index build applies to
+            // both paths and yields identical chains.
+            let future = match cfg.line_path {
+                LinePath::Interned => FutureIndex::build_dense(&stream, &self.table),
+                LinePath::Reference => FutureIndex::build(&stream),
+            };
             RecordedStream { stream, future }
         })
     }

@@ -13,7 +13,11 @@
 //! * a frontend timing model charging demand-miss stalls through a
 //!   simulated L2/L3 (Table II latencies);
 //! * the `invalidate` instruction Ripple injects (invalidate or
-//!   LRU-demote semantics).
+//!   LRU-demote semantics);
+//! * a dense per-layout line interner ([`LineTable`] / [`LineId`]) and
+//!   precomputed block→lines [`FetchPlan`] — the fast path through the
+//!   simulator's hot loops. The pre-interning frontend is retained behind
+//!   [`LinePath::Reference`] as an equivalence oracle and perf baseline.
 //!
 //! Entry points: [`simulate`], [`simulate_with_sink`],
 //! [`simulate_ideal_cache`], [`baseline_and_ideal`], and — for policy
@@ -28,17 +32,22 @@ mod cache;
 mod config;
 mod engine;
 mod frontend;
+mod intern;
 pub mod policy;
+mod reference;
 mod sink;
 mod stats;
 
 pub use bpred::{BranchPredictor, Prediction};
 pub use cache::{AccessOutcome, Cache};
-pub use config::{CacheGeometry, EvictionMechanism, PolicyKind, PrefetcherKind, SimConfig};
+pub use config::{
+    CacheGeometry, EvictionMechanism, LinePath, PolicyKind, PrefetcherKind, SimConfig,
+};
 pub use engine::{
     baseline_and_ideal, ideal_policy_for, simulate, simulate_ideal_cache, simulate_with_sink,
     SimSession,
 };
+pub use intern::{FetchPlan, LineId, LineTable};
 pub use policy::{
     build_ideal_policy, build_policy, AccessInfo, DemandMinPolicy, DrripPolicy, FutureIndex,
     GhrpPolicy, HawkeyePolicy, LruPolicy, OptPolicy, RandomPolicy, ReplacementPolicy, SrripPolicy,

@@ -2,9 +2,8 @@
 //! (Ajorpaz et al., ISCA 2018), with the confidence fix from the Ripple
 //! paper's §II-D.
 
-use ripple_program::LineAddr;
-
 use crate::config::CacheGeometry;
+use crate::intern::LineId;
 use crate::policy::{AccessInfo, ReplacementPolicy, WayView};
 
 const TABLES: usize = 3;
@@ -37,7 +36,7 @@ pub struct GhrpPolicy {
     stamps: Vec<u64>,
     clock: u64,
     /// Recently evicted (line, signature) pairs for the confidence fix.
-    victims: std::collections::VecDeque<(LineAddr, u16)>,
+    victims: std::collections::VecDeque<(LineId, u16)>,
 }
 
 impl GhrpPolicy {
@@ -157,7 +156,7 @@ impl ReplacementPolicy for GhrpPolicy {
             .expect("non-empty set")
     }
 
-    fn on_evict(&mut self, set: u32, way: usize, line: LineAddr) {
+    fn on_evict(&mut self, set: u32, way: usize, line: LineId) {
         let i = self.idx(set, way);
         let sig = self.signatures[i];
         // Original GHRP: reinforce "dead" for the evicted signature.
@@ -221,7 +220,7 @@ mod tests {
         let geom = tiny_geom();
         let mut p = GhrpPolicy::new(geom);
         let info = AccessInfo {
-            line: LineAddr::new(0),
+            line: LineId::new(0),
             set: 0,
             pc: ripple_program::Addr::new(0x100),
             is_prefetch: false,
@@ -231,7 +230,7 @@ mod tests {
         // confidence fix must untrain back toward zero.
         p.on_fill(&info, 0);
         let sig = p.signatures[0];
-        p.on_evict(0, 0, LineAddr::new(0));
+        p.on_evict(0, 0, LineId::new(0));
         let after_evict = p.vote(sig);
         p.on_fill(&info, 0);
         assert!(p.vote(sig) < after_evict);

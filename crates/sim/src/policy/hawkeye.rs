@@ -1,9 +1,8 @@
 //! Hawkeye (Jain & Lin, ISCA 2016) and its prefetch-aware Harmony variant
 //! (Jain & Lin, ISCA 2018), applied to the instruction cache.
 
-use ripple_program::LineAddr;
-
 use crate::config::CacheGeometry;
+use crate::intern::LineId;
 use crate::policy::{AccessInfo, ReplacementPolicy, WayView};
 
 /// Sample one in this many sets for OPTgen training.
@@ -19,7 +18,7 @@ const RRPV_MAX: u8 = 7;
 
 #[derive(Debug, Clone, Copy)]
 struct SampleEntry {
-    line: LineAddr,
+    line: LineId,
     pc_hash: u16,
     /// Position of the access in the sampled set's local time.
     time: u64,
@@ -300,14 +299,14 @@ mod tests {
         let mut p = HawkeyePolicy::new(geom, false);
         // Force predictor entries: pc 0x40 averse, pc 0x80 friendly.
         let averse_info = AccessInfo {
-            line: LineAddr::new(0),
+            line: LineId::new(0),
             set: 0,
             pc: Addr::new(0x40),
             is_prefetch: false,
             seq: 0,
         };
         let friendly_info = AccessInfo {
-            line: LineAddr::new(2),
+            line: LineId::new(2),
             set: 0,
             pc: Addr::new(0x80),
             is_prefetch: false,
@@ -321,11 +320,11 @@ mod tests {
         p.on_fill(&friendly_info, 1);
         let ways = [
             WayView {
-                line: LineAddr::new(0),
+                line: LineId::new(0),
                 prefetched: false,
             },
             WayView {
-                line: LineAddr::new(2),
+                line: LineId::new(2),
                 prefetched: false,
             },
         ];
@@ -339,15 +338,15 @@ mod tests {
         let mut cache: crate::cache::Cache<dyn ReplacementPolicy> =
             crate::cache::Cache::new(geom, Box::new(HawkeyePolicy::new(geom, false)));
         for seq in 0..4000u64 {
-            let line = LineAddr::new(seq % 3); // heavy short-distance reuse
-            cache.access(line, line.base_addr(), false, seq);
+            let line = ripple_program::LineAddr::new(seq % 3); // heavy short-distance reuse
+            cache.access(LineId::new((seq % 3) as u32), line.base_addr(), false, seq);
         }
         // Inspect via a downcast-free route: run a second mirrored policy.
         let mut p = HawkeyePolicy::new(geom, false);
         for seq in 0..4000u64 {
-            let line = LineAddr::new(seq % 3);
+            let line = ripple_program::LineAddr::new(seq % 3);
             let info = AccessInfo {
-                line,
+                line: LineId::new((seq % 3) as u32),
                 set: geom.set_of(line),
                 pc: line.base_addr(),
                 is_prefetch: false,
@@ -364,7 +363,7 @@ mod tests {
         let geom = tiny_geom();
         let mut p = HawkeyePolicy::new(geom, true);
         let mk = |seq: u64, is_prefetch: bool| AccessInfo {
-            line: LineAddr::new(0),
+            line: LineId::new(0),
             set: 0,
             pc: Addr::new(0x40),
             is_prefetch,

@@ -14,6 +14,7 @@ use std::sync::Arc;
 use ripple_program::LineAddr;
 
 use crate::config::CacheGeometry;
+use crate::intern::LineTable;
 use crate::policy::{AccessInfo, ReplacementPolicy, WayView};
 
 /// Position value meaning "never again".
@@ -53,6 +54,40 @@ impl FutureIndex {
                 last_prefetch.insert(r.line, i as u64);
             } else {
                 last_demand.insert(r.line, i as u64);
+            }
+        }
+        Arc::new(FutureIndex {
+            next_demand,
+            next_prefetch,
+            len: n as u64,
+        })
+    }
+
+    /// [`FutureIndex::build`] over interned lines: the per-line chain heads
+    /// live in two flat arrays indexed by [`LineId`](crate::LineId) instead
+    /// of hash maps. Produces exactly the same index as `build`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream contains a line outside `table`.
+    pub fn build_dense(stream: &[StreamRecord], table: &LineTable) -> Arc<Self> {
+        let n = stream.len();
+        let mut next_demand = vec![NEVER; n];
+        let mut next_prefetch = vec![NEVER; n];
+        let mut last_demand = vec![NEVER; table.len() as usize];
+        let mut last_prefetch = vec![NEVER; table.len() as usize];
+        for i in (0..n).rev() {
+            let r = stream[i];
+            let id = table
+                .lookup(r.line)
+                .expect("recorded lines are interned")
+                .index();
+            next_demand[i] = last_demand[id];
+            next_prefetch[i] = last_prefetch[id];
+            if r.is_prefetch {
+                last_prefetch[id] = i as u64;
+            } else {
+                last_demand[id] = i as u64;
             }
         }
         Arc::new(FutureIndex {
@@ -260,7 +295,8 @@ mod tests {
         let mut cache: Cache<dyn ReplacementPolicy> = Cache::new(geom, policy);
         let mut misses = 0;
         for (seq, r) in stream.iter().enumerate() {
-            let out = cache.access(r.line, r.line.base_addr(), r.is_prefetch, seq as u64);
+            let id = crate::LineId::new(r.line.index() as u32);
+            let out = cache.access(id, r.line.base_addr(), r.is_prefetch, seq as u64);
             if !r.is_prefetch && !out.is_hit() {
                 misses += 1;
             }
@@ -277,6 +313,31 @@ mod tests {
         assert_eq!(f.next_demand(1), 3);
         assert_eq!(f.next_demand(2), NEVER);
         assert_eq!(f.len(), 4);
+    }
+
+    #[test]
+    fn dense_build_matches_hash_build() {
+        let s = stream_of(&[
+            (0, false),
+            (2, true),
+            (0, false),
+            (2, false),
+            (4, true),
+            (0, true),
+            (4, false),
+        ]);
+        let table = LineTable::identity(8);
+        let hash = FutureIndex::build(&s);
+        let dense = FutureIndex::build_dense(&s, &table);
+        assert_eq!(hash.len(), dense.len());
+        for i in 0..s.len() as u64 {
+            assert_eq!(hash.next_demand(i), dense.next_demand(i), "demand @{i}");
+            assert_eq!(
+                hash.next_prefetch(i),
+                dense.next_prefetch(i),
+                "prefetch @{i}"
+            );
+        }
     }
 
     #[test]

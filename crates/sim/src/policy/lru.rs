@@ -1,6 +1,6 @@
 //! Least-recently-used replacement.
 
-use ripple_program::LineAddr;
+use crate::intern::LineId;
 
 use crate::config::CacheGeometry;
 use crate::policy::{AccessInfo, ReplacementPolicy, WayView};
@@ -64,7 +64,7 @@ impl ReplacementPolicy for LruPolicy {
             .expect("non-empty set")
     }
 
-    fn on_evict(&mut self, _set: u32, _way: usize, _line: LineAddr) {}
+    fn on_evict(&mut self, _set: u32, _way: usize, _line: LineId) {}
 
     fn on_invalidate(&mut self, set: u32, way: usize) {
         let i = self.idx(set, way);
@@ -118,7 +118,7 @@ mod tests {
         let geom = tiny_geom();
         let mut p = LruPolicy::new(geom);
         let info0 = AccessInfo {
-            line: LineAddr::new(0),
+            line: LineId::new(0),
             set: 0,
             pc: ripple_program::Addr::new(0),
             is_prefetch: false,
@@ -127,7 +127,7 @@ mod tests {
         p.on_fill(&info0, 0);
         p.on_fill(
             &AccessInfo {
-                line: LineAddr::new(2),
+                line: LineId::new(2),
                 ..info0
             },
             1,
@@ -135,11 +135,11 @@ mod tests {
         p.on_demote(0, 1);
         let ways = [
             WayView {
-                line: LineAddr::new(0),
+                line: LineId::new(0),
                 prefetched: false,
             },
             WayView {
-                line: LineAddr::new(2),
+                line: LineId::new(2),
                 prefetched: false,
             },
         ];

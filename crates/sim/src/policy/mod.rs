@@ -22,15 +22,20 @@ pub use plru::TreePlruPolicy;
 pub use random::RandomPolicy;
 pub use rrip::{DrripPolicy, SrripPolicy};
 
-use ripple_program::{Addr, LineAddr};
+use ripple_program::Addr;
 
 use crate::config::{CacheGeometry, PolicyKind, SimConfig};
+use crate::intern::LineId;
 
 /// Context handed to a policy on every cache event.
+///
+/// Lines are named by dense [`LineId`]s; policies only ever compare them
+/// for equality (history matching, victim buffers), so any injective
+/// mapping from addresses to ids yields identical decisions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AccessInfo {
     /// The accessed line.
-    pub line: LineAddr,
+    pub line: LineId,
     /// The set it maps to.
     pub set: u32,
     /// The fetch address responsible for the access (block start).
@@ -45,7 +50,7 @@ pub struct AccessInfo {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WayView {
     /// The valid line in this way.
-    pub line: LineAddr,
+    pub line: LineId,
     /// Whether the line was installed by a prefetch and has not yet been
     /// demand-accessed.
     pub prefetched: bool,
@@ -79,7 +84,7 @@ pub trait ReplacementPolicy: std::fmt::Debug {
     fn victim(&mut self, info: &AccessInfo, ways: &[WayView]) -> usize;
 
     /// A valid line was evicted from `way` of `set`.
-    fn on_evict(&mut self, set: u32, way: usize, line: LineAddr) {
+    fn on_evict(&mut self, set: u32, way: usize, line: LineId) {
         let _ = (set, way, line);
     }
 
@@ -152,8 +157,9 @@ pub(crate) mod test_util {
         let mut cache: Cache<dyn ReplacementPolicy> = Cache::new(geom, policy);
         let mut misses = 0;
         for (seq, &(line, pf)) in stream.iter().enumerate() {
-            let line = LineAddr::new(line);
-            let out = cache.access(line, line.base_addr(), pf, seq as u64);
+            let pc = ripple_program::LineAddr::new(line).base_addr();
+            let line = LineId::new(u32::try_from(line).expect("test line index fits u32"));
+            let out = cache.access(line, pc, pf, seq as u64);
             if !pf && !out.is_hit() {
                 misses += 1;
             }

@@ -117,13 +117,14 @@ impl ReplacementPolicy for TreePlruPolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::intern::LineId;
     use crate::policy::test_util::{demand_misses, tiny_geom};
     use crate::policy::LruPolicy;
-    use ripple_program::{Addr, LineAddr};
+    use ripple_program::Addr;
 
     fn info(set: u32) -> AccessInfo {
         AccessInfo {
-            line: LineAddr::new(0),
+            line: LineId::new(0),
             set,
             pc: Addr::new(0),
             is_prefetch: false,

@@ -54,12 +54,13 @@ impl ReplacementPolicy for RandomPolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::intern::LineId;
     use crate::policy::test_util::{demand_misses, tiny_geom};
-    use ripple_program::{Addr, LineAddr};
+    use ripple_program::Addr;
 
     fn info() -> AccessInfo {
         AccessInfo {
-            line: LineAddr::new(0),
+            line: LineId::new(0),
             set: 0,
             pc: Addr::new(0),
             is_prefetch: false,
@@ -79,7 +80,7 @@ mod tests {
         let mut p = RandomPolicy::new(geom, 42);
         let ways = vec![
             WayView {
-                line: LineAddr::new(0),
+                line: LineId::new(0),
                 prefetched: false
             };
             8

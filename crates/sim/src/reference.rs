@@ -1,142 +1,126 @@
-//! The instruction-supply frontend: demand fetch, prefetching, the
-//! `invalidate` instruction, and the stall-based timing model.
+//! The pre-interning frontend, retained verbatim as the equivalence
+//! oracle and performance baseline for the dense fast path
+//! ([`frontend`](crate::frontend)).
 //!
-//! This is the dense fast path: every line is a [`LineId`] from the
-//! session's [`LineTable`], block footprints come from a precomputed
-//! [`FetchPlan`], and all per-line bookkeeping is flat `Vec` indexing.
-//! The retained pre-interning implementation lives in
-//! [`reference`](crate::reference) and must produce byte-identical
-//! results (the equivalence suite enforces it).
+//! Everything here deliberately keeps the original cost profile: the
+//! block→line mapping is re-derived from the layout on every step, the
+//! per-line bookkeeping is hash-keyed by [`LineAddr`], the prefetch dedup
+//! filter is a scanned `VecDeque`, and the scripted-invalidation schedule
+//! is re-cloned out of the config each step. Only the cache boundary
+//! changed with interning — it now speaks [`LineId`] — so this path maps
+//! addresses through the *identity* interning (`id == raw line index`),
+//! which preserves set mapping and policy decisions exactly.
+//!
+//! Select it with [`LinePath::Reference`](crate::LinePath); results must
+//! be byte-identical to the fast path (the equivalence suite asserts it).
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, HashSet, VecDeque};
 
-use ripple_program::{Addr, BlockId, InstKind, Layout, LineAddr, Program};
+use ripple_program::{BlockId, InstKind, Layout, LineAddr, Program};
 
 use crate::bpred::{BranchPredictor, Prediction};
 use crate::cache::Cache;
 use crate::config::{EvictionMechanism, PrefetcherKind, SimConfig};
-use crate::intern::{FetchPlan, LineId, LineTable};
+use crate::frontend::PREFETCH_FILTER;
+use crate::intern::LineId;
 use crate::policy::{LruPolicy, ReplacementPolicy, StreamRecord};
 use crate::sink::EvictionSink;
 use crate::stats::{EvictionEvent, SimStats};
 
-/// Dedup window for issued prefetches (a real FDIP filters against the
-/// in-flight queue; this models that cheaply and, crucially, in a way that
-/// does not depend on cache contents so the request stream stays
-/// replacement-policy-independent).
-pub(crate) const PREFETCH_FILTER: usize = 32;
+/// Identity interning: the id *is* the raw line index.
+#[inline]
+fn id_of(line: LineAddr) -> LineId {
+    debug_assert!(line.index() < u64::from(u32::MAX), "line index exceeds u32");
+    LineId::new(line.index() as u32)
+}
 
-/// Position sentinel meaning "never" (no demand access / no outstanding
-/// prefetch issue for this line yet).
-const NO_POS: u64 = u64::MAX;
+/// [`id_of`] for lines of unconstrained origin (invalidate operands such
+/// as [`NOOP_LINE`](ripple_program::NOOP_LINE), scripted lines): an index
+/// outside `u32` can never be resident, so it converts to `None` and the
+/// invalidation is a no-op — the same fallback the interned path gets
+/// from `LineTable::lookup`.
+#[inline]
+fn try_id_of(line: LineAddr) -> Option<LineId> {
+    (line.index() < u64::from(u32::MAX)).then(|| LineId::new(line.index() as u32))
+}
 
-/// One frontend simulation over a block trace.
-pub(crate) struct Frontend<'a> {
+/// Inverse of [`id_of`].
+#[inline]
+fn line_of(id: LineId) -> LineAddr {
+    LineAddr::new(u64::from(id.get()))
+}
+
+/// One reference-path frontend simulation over a block trace.
+pub(crate) struct ReferenceFrontend<'a> {
     program: &'a Program,
     layout: &'a Layout,
     config: &'a SimConfig,
-    table: &'a LineTable,
-    plan: &'a FetchPlan,
     l1i: Cache<dyn ReplacementPolicy>,
     l2: Cache<dyn ReplacementPolicy>,
     l3: Cache<dyn ReplacementPolicy>,
     bpred: BranchPredictor,
     ftq: VecDeque<BlockId>,
     frontier: Option<BlockId>,
-    /// FIFO order of the prefetch dedup window...
-    filter_fifo: VecDeque<LineId>,
-    /// ...and its membership, indexed by line id.
-    in_filter: Vec<bool>,
+    prefetch_filter: VecDeque<LineAddr>,
     stats: SimStats,
     stall_cycles: f64,
     seq: u64,
-    /// When recording: the captured request stream.
     record: Option<Vec<StreamRecord>>,
-    /// When verifying a replay: the previously captured stream.
     verify: Option<&'a [StreamRecord]>,
-    /// Observer receiving every eviction as it happens.
     sink: &'a mut dyn EvictionSink,
-    /// Trace position of each line's last demand access (`NO_POS` = never).
-    last_demand_pos: Vec<u64>,
-    /// Trace position of each line's oldest unconsumed prefetch *issue*
-    /// (`NO_POS` = none outstanding). Timeliness charges key on the issue
-    /// stream, which is replacement-policy-independent, so policy orderings
-    /// are preserved: a demand hit may pay at most the partial L2 latency,
-    /// which never exceeds the full charge the same access would pay as a
-    /// miss.
-    prefetch_issue_pos: Vec<u64>,
-    /// Whether each line has ever been fetched (compulsory-miss tracking).
-    seen_lines: Vec<bool>,
+    last_demand_pos: HashMap<LineAddr, u64>,
+    prefetch_issue_pos: HashMap<LineAddr, u64>,
+    seen_lines: HashSet<LineAddr>,
     prev_block: Option<BlockId>,
     trace_pos: u64,
-    /// The scripted-invalidation schedule, borrowed once for the whole run.
-    script: Option<&'a [(u64, LineAddr)]>,
     script_cursor: usize,
     warmup_until: u64,
 }
 
-impl<'a> Frontend<'a> {
-    #[allow(clippy::too_many_arguments)]
+impl<'a> ReferenceFrontend<'a> {
     pub(crate) fn new(
         program: &'a Program,
         layout: &'a Layout,
         config: &'a SimConfig,
-        table: &'a LineTable,
-        plan: &'a FetchPlan,
         l1i_policy: Box<dyn ReplacementPolicy>,
         record: bool,
         verify: Option<&'a [StreamRecord]>,
         sink: &'a mut dyn EvictionSink,
     ) -> Self {
-        let base = table.line_base();
-        let lines = table.len() as usize;
-        // Steady-state assumption: the application has executed long
-        // before the measured window, so its text is resident in the last
-        // level cache (the paper's 100 M-instruction steady-state traces
-        // imply the same). First touches then cost an L3 hit, not DRAM.
         let mut l3: Cache<dyn ReplacementPolicy> =
-            Cache::with_line_base(config.l3, Box::new(LruPolicy::new(config.l3)), base);
+            Cache::new(config.l3, Box::new(LruPolicy::new(config.l3)));
         for block in program.blocks() {
-            for &id in plan.lines_of(block.id()) {
-                l3.access(id, table.line(id).base_addr(), false, 0);
+            for line in layout.lines_of_block(block.id()) {
+                l3.access(id_of(line), line.base_addr(), false, 0);
             }
         }
-        Frontend {
+        ReferenceFrontend {
             program,
             layout,
             config,
-            table,
-            plan,
-            l1i: Cache::with_line_base(config.l1i, l1i_policy, base),
-            l2: Cache::with_line_base(config.l2, Box::new(LruPolicy::new(config.l2)), base),
+            l1i: Cache::new(config.l1i, l1i_policy),
+            l2: Cache::new(config.l2, Box::new(LruPolicy::new(config.l2))),
             l3,
             bpred: BranchPredictor::new(),
             ftq: VecDeque::new(),
             frontier: None,
-            filter_fifo: VecDeque::with_capacity(PREFETCH_FILTER),
-            in_filter: vec![false; lines],
+            prefetch_filter: VecDeque::with_capacity(PREFETCH_FILTER),
             stats: SimStats::default(),
             stall_cycles: 0.0,
             seq: 0,
             record: record.then(Vec::new),
             verify,
             sink,
-            last_demand_pos: vec![NO_POS; lines],
-            prefetch_issue_pos: vec![NO_POS; lines],
-            seen_lines: vec![false; lines],
+            last_demand_pos: HashMap::new(),
+            prefetch_issue_pos: HashMap::new(),
+            seen_lines: HashSet::new(),
             prev_block: None,
             trace_pos: 0,
-            script: config.scripted_invalidations.as_ref().map(|s| s.as_slice()),
             script_cursor: 0,
             warmup_until: 0,
         }
     }
 
-    /// Runs the whole trace; returns (stats, request stream if recording).
-    ///
-    /// The first `warmup_fraction` of the trace updates all architectural
-    /// state but accumulates no statistics. Evictions stream into the sink
-    /// throughout, warmup included.
     pub(crate) fn run(
         mut self,
         trace: impl ExactSizeIterator<Item = BlockId>,
@@ -163,23 +147,18 @@ impl<'a> Frontend<'a> {
     }
 
     fn step(&mut self, block: BlockId) {
-        // 0. Scripted (oracle) invalidations scheduled for this position
-        // apply before the block executes. Lines outside the interned text
-        // segment can never be resident, so they are skipped outright.
-        if let Some(script) = self.script {
+        // 0. Scripted (oracle) invalidations. The per-step Arc clone is the
+        // pre-interning behaviour, kept on purpose for the baseline.
+        if let Some(script) = self.config.scripted_invalidations.clone() {
             while let Some(&(pos, line)) = script.get(self.script_cursor) {
                 if pos > self.trace_pos {
                     break;
                 }
                 self.script_cursor += 1;
-                if pos == self.trace_pos {
-                    let hit = self
-                        .table
-                        .lookup(line)
-                        .is_some_and(|id| self.l1i.invalidate(id));
-                    if hit {
-                        self.stats.invalidate_hits += 1;
-                    }
+                if pos == self.trace_pos
+                    && try_id_of(line).is_some_and(|id| self.l1i.invalidate(id))
+                {
+                    self.stats.invalidate_hits += 1;
                 }
             }
         }
@@ -197,7 +176,6 @@ impl<'a> Frontend<'a> {
                     self.ftq.pop_front();
                 }
                 Some(_) => {
-                    // Runahead went down the wrong path: squash.
                     self.ftq.clear();
                     self.frontier = None;
                     self.bpred.reset_speculation();
@@ -207,38 +185,33 @@ impl<'a> Frontend<'a> {
         }
         self.prev_block = Some(block);
 
-        // 2. Demand-fetch the block's lines (precomputed fetch plan).
+        // 2. Demand-fetch the block's lines (re-derived per step).
         let bb = self.program.block(block);
         let pc = self.layout.block_addr(block);
         if self.counting() {
             self.stats.instructions += bb.original_instructions().len() as u64;
             self.stats.invalidate_instructions += u64::from(bb.injected_prefix_len());
         }
-        let plan = self.plan;
-        let ids = plan.lines_of(block);
-        for &id in ids {
-            self.demand_access(id, pc);
+        let lines: Vec<LineAddr> = self.layout.lines_of_block(block).collect();
+        for &line in &lines {
+            self.demand_access(line, pc);
         }
 
         // 3. Prefetching.
         match self.config.prefetcher {
             PrefetcherKind::None => {}
             PrefetcherKind::NextLine => {
-                // The table's margin line keeps `id.next()` in range even
-                // for the last code line.
-                for &id in ids {
-                    self.issue_prefetch(id.next(), pc);
+                for &line in &lines {
+                    self.issue_prefetch(line.next(), pc);
                 }
             }
             PrefetcherKind::Fdip => self.extend_runahead(block),
         }
 
-        // 4. Execute injected invalidations (they sit at the block head;
-        // cache effects apply once the block is fetched and executed).
+        // 4. Execute injected invalidations.
         for inst in &bb.instructions()[..bb.injected_prefix_len() as usize] {
             if let InstKind::Invalidate { line } = inst.kind() {
-                let id = self.table.lookup(line);
-                let present = match (self.config.eviction_mechanism, id) {
+                let present = match (self.config.eviction_mechanism, try_id_of(line)) {
                     (EvictionMechanism::Invalidate, Some(id)) => self.l1i.invalidate(id),
                     (EvictionMechanism::Demote, Some(id)) => self.l1i.demote(id),
                     _ => false,
@@ -250,39 +223,31 @@ impl<'a> Frontend<'a> {
         }
     }
 
-    fn next_seq(&mut self, id: LineId, is_prefetch: bool) -> u64 {
+    fn next_seq(&mut self, line: LineAddr, is_prefetch: bool) -> u64 {
         let seq = self.seq;
         self.seq += 1;
         if let Some(rec) = &mut self.record {
-            rec.push(StreamRecord {
-                line: self.table.line(id),
-                is_prefetch,
-            });
+            rec.push(StreamRecord { line, is_prefetch });
         }
         if let Some(stream) = self.verify {
             debug_assert!(
                 stream
                     .get(seq as usize)
-                    .is_some_and(|r| r.line == self.table.line(id) && r.is_prefetch == is_prefetch),
+                    .is_some_and(|r| r.line == line && r.is_prefetch == is_prefetch),
                 "replay diverged from recorded stream at seq {seq}"
             );
         }
         seq
     }
 
-    fn demand_access(&mut self, id: LineId, pc: Addr) {
-        let seq = self.next_seq(id, false);
+    fn demand_access(&mut self, line: LineAddr, pc: ripple_program::Addr) {
+        let seq = self.next_seq(line, false);
         let counting = self.counting();
         if counting {
             self.stats.demand_accesses += 1;
         }
-        let out = self.l1i.access(id, pc, false, seq);
-        // Timeliness: the first demand use after a prefetch issue pays the
-        // fraction of the fill latency the runahead distance failed to
-        // hide (a miss pays the full charge below instead).
-        let issue_pos = self.prefetch_issue_pos[id.index()];
-        if issue_pos != NO_POS {
-            self.prefetch_issue_pos[id.index()] = NO_POS;
+        let out = self.l1i.access(id_of(line), pc, false, seq);
+        if let Some(issue_pos) = self.prefetch_issue_pos.remove(&line) {
             if out.is_hit() && counting {
                 let window = u64::from(self.config.prefetch_timeliness_blocks);
                 let elapsed = self.trace_pos.saturating_sub(issue_pos);
@@ -296,9 +261,8 @@ impl<'a> Frontend<'a> {
         match out {
             crate::cache::AccessOutcome::Hit => {}
             crate::cache::AccessOutcome::Miss { evicted } => {
-                let first_touch = !self.seen_lines[id.index()];
-                self.seen_lines[id.index()] = true;
-                let latency = self.lower_levels(id);
+                let first_touch = self.seen_lines.insert(line);
+                let latency = self.lower_levels(line);
                 if counting {
                     self.stats.demand_misses += 1;
                     if first_touch {
@@ -309,69 +273,66 @@ impl<'a> Frontend<'a> {
                 self.note_eviction(evicted, false);
             }
         }
-        self.last_demand_pos[id.index()] = self.trace_pos;
+        self.last_demand_pos.insert(line, self.trace_pos);
     }
 
-    fn issue_prefetch(&mut self, id: LineId, pc: Addr) {
-        if self.in_filter[id.index()] {
+    fn issue_prefetch(&mut self, line: LineAddr, pc: ripple_program::Addr) {
+        if self.prefetch_filter.contains(&line) {
             return;
         }
-        if self.filter_fifo.len() == PREFETCH_FILTER {
-            let oldest = self.filter_fifo.pop_front().expect("filter full");
-            self.in_filter[oldest.index()] = false;
+        if self.prefetch_filter.len() == PREFETCH_FILTER {
+            self.prefetch_filter.pop_front();
         }
-        self.filter_fifo.push_back(id);
-        self.in_filter[id.index()] = true;
+        self.prefetch_filter.push_back(line);
 
-        let seq = self.next_seq(id, true);
+        let seq = self.next_seq(line, true);
         if self.counting() {
             self.stats.prefetches_issued += 1;
         }
-        if self.prefetch_issue_pos[id.index()] == NO_POS {
-            self.prefetch_issue_pos[id.index()] = self.trace_pos;
-        }
-        let out = self.l1i.access(id, pc, true, seq);
+        self.prefetch_issue_pos
+            .entry(line)
+            .or_insert(self.trace_pos);
+        let out = self.l1i.access(id_of(line), pc, true, seq);
         if let crate::cache::AccessOutcome::Miss { evicted } = out {
             if self.counting() {
                 self.stats.prefetch_fills += 1;
             }
-            self.seen_lines[id.index()] = true;
-            // Prefetch latency is off the critical path; still warms L2/L3.
-            let _ = self.lower_levels(id);
+            self.seen_lines.insert(line);
+            let _ = self.lower_levels(line);
             self.note_eviction(evicted, true);
         }
     }
 
     fn note_eviction(&mut self, evicted: Option<LineId>, by_prefetch: bool) {
-        let Some(victim) = evicted else { return };
-        let last = self.last_demand_pos[victim.index()];
+        let Some(victim) = evicted.map(line_of) else {
+            return;
+        };
+        let last = self.last_demand_pos.get(&victim).copied();
         if self.counting() {
             self.stats.evictions += 1;
-            if last == NO_POS {
+            if last.is_none() {
                 self.stats.prefetch_pollution_evictions += 1;
             }
         }
         self.sink.record(EvictionEvent {
-            victim: self.table.line(victim),
+            victim,
             evict_pos: self.trace_pos,
-            last_access_pos: last,
+            last_access_pos: last.unwrap_or(u64::MAX),
             by_prefetch,
         });
     }
 
-    /// Looks `id` up in L2 then L3, filling on the way; returns the
-    /// latency of the serving level.
-    fn lower_levels(&mut self, id: LineId) -> u32 {
-        let pc = self.table.line(id).base_addr();
+    fn lower_levels(&mut self, line: LineAddr) -> u32 {
+        let pc = line.base_addr();
         let counting = self.counting();
-        let l2_hit = self.l2.access(id, pc, false, 0).is_hit();
+        let l2_hit = self.l2.access(id_of(line), pc, false, 0).is_hit();
         if l2_hit {
             if counting {
                 self.stats.served_l2 += 1;
             }
             return self.config.l2_latency;
         }
-        let l3_hit = self.l3.access(id, pc, false, 0).is_hit();
+        let l3_hit = self.l3.access(id_of(line), pc, false, 0).is_hit();
         if l3_hit {
             if counting {
                 self.stats.served_l3 += 1;
@@ -385,8 +346,6 @@ impl<'a> Frontend<'a> {
         }
     }
 
-    /// FDIP: follow the predicted path up to the FTQ depth, prefetching
-    /// each predicted block's lines.
     fn extend_runahead(&mut self, current: BlockId) {
         if self.ftq.is_empty() && self.frontier.is_none() {
             self.frontier = Some(current);
@@ -401,9 +360,9 @@ impl<'a> Frontend<'a> {
                     self.ftq.push_back(next);
                     self.frontier = Some(next);
                     let pc = self.layout.block_addr(next);
-                    let plan = self.plan;
-                    for &id in plan.lines_of(next) {
-                        self.issue_prefetch(id, pc);
+                    let lines: Vec<LineAddr> = self.layout.lines_of_block(next).collect();
+                    for line in lines {
+                        self.issue_prefetch(line, pc);
                     }
                 }
                 Prediction::Unknown => break,

@@ -87,7 +87,7 @@ mod tests {
     use super::*;
     use ripple_program::LineAddr;
 
-    fn event(pos: u32) -> EvictionEvent {
+    fn event(pos: u64) -> EvictionEvent {
         EvictionEvent {
             victim: LineAddr::new(7),
             evict_pos: pos,
@@ -107,7 +107,7 @@ mod tests {
 
     #[test]
     fn fn_sink_streams() {
-        let mut n = 0u32;
+        let mut n = 0u64;
         let mut sink = FnSink(|e: EvictionEvent| n += e.evict_pos);
         sink.record(event(3));
         sink.record(event(4));

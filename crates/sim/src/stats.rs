@@ -9,11 +9,11 @@ pub struct EvictionEvent {
     /// The evicted (victim) line.
     pub victim: LineAddr,
     /// Index into the block trace when the eviction happened.
-    pub evict_pos: u32,
+    pub evict_pos: u64,
     /// Index into the block trace of the victim's last demand access
-    /// before the eviction (`u32::MAX` when the line was never demand
+    /// before the eviction (`u64::MAX` when the line was never demand
     /// accessed, e.g. an unused prefetch).
-    pub last_access_pos: u32,
+    pub last_access_pos: u64,
     /// Whether the fill that triggered the eviction was a prefetch.
     pub by_prefetch: bool,
 }

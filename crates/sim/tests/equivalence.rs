@@ -1,0 +1,102 @@
+//! Byte-identical equivalence between the interned fast path and the
+//! retained reference frontend.
+//!
+//! The dense `LineId` representation is an internal optimization: for any
+//! (app, prefetcher, policy) combination, [`LinePath::Interned`] and
+//! [`LinePath::Reference`] must produce identical [`SimStats`] *and* an
+//! identical eviction-event stream — same victims, same positions, same
+//! `by_prefetch` flags, in the same order.
+
+use ripple_program::{Layout, LayoutConfig};
+use ripple_sim::{
+    CacheGeometry, LinePath, PolicyKind, PrefetcherKind, SimConfig, SimSession, VecSink,
+};
+use ripple_workloads::{execute, generate, AppSpec, InputConfig};
+
+fn small_cfg(prefetcher: PrefetcherKind) -> SimConfig {
+    let mut cfg = SimConfig::default();
+    // Shrink the L1I so the tiny apps actually miss after warmup.
+    cfg.l1i = CacheGeometry::new(1024, 2);
+    cfg.prefetcher = prefetcher;
+    cfg
+}
+
+#[test]
+fn interned_and_reference_paths_are_byte_identical() {
+    for seed in [11, 29] {
+        let app = generate(&AppSpec::tiny(seed));
+        let layout = Layout::new(&app.program, &LayoutConfig::default());
+        let trace = execute(
+            &app.program,
+            &app.model,
+            InputConfig::training(seed),
+            30_000,
+        );
+        for prefetcher in [PrefetcherKind::NextLine, PrefetcherKind::Fdip] {
+            for policy in [PolicyKind::Lru, PolicyKind::Srrip, PolicyKind::DemandMin] {
+                let mut outputs = Vec::new();
+                for path in [LinePath::Interned, LinePath::Reference] {
+                    let cfg = small_cfg(prefetcher).with_line_path(path);
+                    let session = SimSession::new(&app.program, &layout, &trace, cfg);
+                    let mut sink = VecSink::new();
+                    let stats = session.run_with_sink(policy, &mut sink);
+                    outputs.push((stats, sink.into_events()));
+                }
+                let (fast, reference) = (&outputs[0], &outputs[1]);
+                assert_eq!(
+                    fast.0,
+                    reference.0,
+                    "stats diverged: seed {seed}, {}, {}",
+                    prefetcher.name(),
+                    policy.name()
+                );
+                assert_eq!(
+                    fast.1,
+                    reference.1,
+                    "eviction stream diverged: seed {seed}, {}, {}",
+                    prefetcher.name(),
+                    policy.name()
+                );
+                assert!(
+                    !fast.1.is_empty(),
+                    "equivalence must be over a non-trivial run"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn scripted_invalidations_are_path_independent() {
+    // The scripted-oracle configuration exercises the invalidation lookup
+    // (including unmapped-address fallbacks) on both paths.
+    let app = generate(&AppSpec::tiny(7));
+    let layout = Layout::new(&app.program, &LayoutConfig::default());
+    let trace = execute(&app.program, &app.model, InputConfig::training(7), 30_000);
+
+    // Record the OPT eviction schedule once, then script it.
+    let opt_cfg = small_cfg(PrefetcherKind::None).with_policy(PolicyKind::Opt);
+    let mut sink = VecSink::new();
+    let session = SimSession::new(&app.program, &layout, &trace, opt_cfg);
+    session.run_with_sink(PolicyKind::Opt, &mut sink);
+    let mut script: Vec<(u64, ripple_program::LineAddr)> = sink
+        .events()
+        .iter()
+        .map(|e| (e.evict_pos, e.victim))
+        .collect();
+    // An out-of-span line: both paths must treat it as never resident.
+    script.push((0, ripple_program::LineAddr::new(3)));
+    script.sort_unstable_by_key(|&(p, _)| p);
+
+    let mut results = Vec::new();
+    for path in [LinePath::Interned, LinePath::Reference] {
+        let mut cfg = small_cfg(PrefetcherKind::None).with_line_path(path);
+        cfg.scripted_invalidations = Some(std::sync::Arc::new(script.clone()));
+        let session = SimSession::new(&app.program, &layout, &trace, cfg);
+        let mut sink = VecSink::new();
+        let stats = session.run_with_sink(PolicyKind::Lru, &mut sink);
+        results.push((stats, sink.into_events()));
+    }
+    assert_eq!(results[0], results[1]);
+    assert!(results[0].0.invalidate_hits > 0);
+}

@@ -47,7 +47,7 @@ fn scripted_invalidation_of_ideal_victims_reproduces_opt() {
     let opt_cfg = small_cfg().with_policy(PolicyKind::Opt);
     let mut sink = VecSink::new();
     let opt = simulate_with_sink(&app.program, &layout, &trace, &opt_cfg, &mut sink);
-    let mut script: Vec<(u32, LineAddr)> = sink
+    let mut script: Vec<(u64, LineAddr)> = sink
         .events()
         .iter()
         .map(|e| (e.evict_pos, e.victim))
@@ -135,7 +135,7 @@ fn eviction_log_positions_are_within_trace() {
     for e in sink.into_events() {
         assert!((e.evict_pos as usize) < trace.len());
         assert!(
-            e.last_access_pos == u32::MAX || e.last_access_pos <= e.evict_pos,
+            e.last_access_pos == u64::MAX || e.last_access_pos <= e.evict_pos,
             "last access cannot follow the eviction"
         );
     }

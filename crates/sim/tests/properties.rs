@@ -3,9 +3,14 @@
 use proptest::prelude::*;
 use ripple_program::{Addr, LineAddr};
 use ripple_sim::{
-    Cache, CacheGeometry, DrripPolicy, FutureIndex, GhrpPolicy, HawkeyePolicy, LruPolicy,
+    Cache, CacheGeometry, DrripPolicy, FutureIndex, GhrpPolicy, HawkeyePolicy, LineId, LruPolicy,
     OptPolicy, RandomPolicy, ReplacementPolicy, SrripPolicy, StreamRecord,
 };
+
+/// Identity interning for raw test line indexes.
+fn lid(line: u64) -> LineId {
+    LineId::new(u32::try_from(line).expect("test lines fit u32"))
+}
 
 fn arb_stream() -> impl Strategy<Value = Vec<(u64, bool)>> {
     proptest::collection::vec((0u64..40, proptest::bool::weighted(0.25)), 1..800)
@@ -35,8 +40,8 @@ fn run(
     let mut cache: Cache<dyn ReplacementPolicy> = Cache::new(g, policy);
     let mut demand_misses = 0;
     for (seq, &(line, pf)) in stream.iter().enumerate() {
-        let line = LineAddr::new(line);
-        let out = cache.access(line, line.base_addr(), pf, seq as u64);
+        let pc = LineAddr::new(line).base_addr();
+        let out = cache.access(lid(line), pc, pf, seq as u64);
         if !pf && !out.is_hit() {
             demand_misses += 1;
         }
@@ -59,9 +64,8 @@ proptest! {
             let mut demand = 0u64;
             let mut misses = 0u64;
             for (seq, &(line, pf)) in stream.iter().enumerate() {
-                let line = LineAddr::new(line);
-                let out = cache.access(line, Addr::new(line.index() * 64), pf, seq as u64);
-                prop_assert!(cache.contains(line), "{name}: line absent after access");
+                let out = cache.access(lid(line), Addr::new(line * 64), pf, seq as u64);
+                prop_assert!(cache.contains(lid(line)), "{name}: line absent after access");
                 prop_assert!(cache.occupancy() <= 8, "{name}: over capacity");
                 if !pf {
                     demand += 1;
@@ -105,10 +109,10 @@ proptest! {
         for policy in policies(g) {
             let mut cache: Cache<dyn ReplacementPolicy> = Cache::new(g, policy);
             for (seq, &(line, pf)) in stream.iter().enumerate() {
-                let line = LineAddr::new(line);
-                cache.access(line, line.base_addr(), pf, seq as u64);
-                prop_assert!(cache.invalidate(line));
-                prop_assert!(!cache.contains(line));
+                let pc = LineAddr::new(line).base_addr();
+                cache.access(lid(line), pc, pf, seq as u64);
+                prop_assert!(cache.invalidate(lid(line)));
+                prop_assert!(!cache.contains(lid(line)));
             }
             prop_assert_eq!(cache.occupancy(), 0);
         }
@@ -121,11 +125,11 @@ proptest! {
         let g = geom();
         let mut cache: Cache<dyn ReplacementPolicy> = Cache::new(g, Box::new(LruPolicy::new(g)));
         for (seq, &(line, pf)) in stream.iter().enumerate() {
-            let line = LineAddr::new(line);
-            cache.access(line, line.base_addr(), pf, seq as u64);
+            let pc = LineAddr::new(line).base_addr();
+            cache.access(lid(line), pc, pf, seq as u64);
             let occ = cache.occupancy();
-            cache.demote(line);
-            prop_assert!(cache.contains(line));
+            cache.demote(lid(line));
+            prop_assert!(cache.contains(lid(line)));
             prop_assert_eq!(cache.occupancy(), occ);
         }
     }

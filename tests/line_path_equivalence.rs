@@ -1,0 +1,42 @@
+//! Full-pipeline equivalence between the interned fast path and the
+//! retained reference frontend: training and evaluating Ripple must
+//! produce an identical [`RippleOutcome`] under either [`LinePath`], at
+//! any harness thread count.
+
+use ripple::{Ripple, RippleConfig, RippleOutcome};
+use ripple_program::{Layout, LayoutConfig};
+use ripple_sim::LinePath;
+use ripple_workloads::{execute, generate, AppSpec, InputConfig};
+
+fn outcome(line_path: LinePath, threads: Option<usize>) -> RippleOutcome {
+    let app = generate(&AppSpec::tiny(21));
+    let layout = Layout::new(&app.program, &LayoutConfig::default());
+    let trace = execute(&app.program, &app.model, InputConfig::training(21), 60_000);
+    let mut cfg = RippleConfig::default();
+    // Shrink the L1I so the tiny app thrashes it, and drop the recurrence
+    // filter (tiny traces rarely repeat pairs).
+    cfg.sim.l1i = ripple_sim::CacheGeometry::new(2 * 1024, 4);
+    cfg.sim.line_path = line_path;
+    cfg.analysis.min_windows_per_injection = 1;
+    cfg.threshold = 0.1;
+    cfg.threads = threads;
+    let ripple = Ripple::train(&app.program, &layout, &trace, cfg);
+    ripple.evaluate(&trace)
+}
+
+#[test]
+fn pipeline_outcome_is_line_path_independent() {
+    let fast = outcome(LinePath::Interned, Some(1));
+    let reference = outcome(LinePath::Reference, Some(1));
+    assert_eq!(fast, reference);
+    assert!(fast.ripple.invalidate_instructions > 0, "non-trivial run");
+}
+
+#[test]
+fn pipeline_equivalence_holds_under_parallel_evaluation() {
+    let serial = outcome(LinePath::Interned, Some(1));
+    let parallel_fast = outcome(LinePath::Interned, Some(4));
+    let parallel_reference = outcome(LinePath::Reference, Some(4));
+    assert_eq!(serial, parallel_fast);
+    assert_eq!(parallel_fast, parallel_reference);
+}

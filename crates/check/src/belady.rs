@@ -1,0 +1,205 @@
+//! Dimension 2: exhaustive Belady search on short streams.
+//!
+//! For request streams short enough to search exhaustively, the true
+//! minimum number of demand misses (over *every* possible eviction
+//! decision, under the simulator's always-fill semantics) is computable
+//! by memoized DFS over (position, resident-set) states. That minimum
+//! bounds the offline-ideal policies from below, and on demand-only
+//! streams Belady-OPT must *match* it exactly — as must Demand-MIN,
+//! which degenerates to OPT without prefetches.
+
+use std::collections::HashMap;
+
+use rand::{Rng, SeedableRng, StdRng};
+use ripple_program::{Addr, LineAddr};
+use ripple_sim::{
+    build_ideal_policy, Cache, CacheGeometry, FutureIndex, LineId, PolicyKind, ReplacementPolicy,
+    StreamRecord,
+};
+
+use crate::shrink::shrink_list;
+
+/// One request: (line index, is_prefetch).
+pub type Req = (u32, bool);
+
+/// Exhaustive minimum demand-miss count for `stream` on `geom`, searching
+/// every victim choice. Semantics mirror the production cache: every
+/// access to an absent line fills it (prefetches included), choosing some
+/// victim when the set is full; only demand misses count.
+pub fn exhaustive_min_demand_misses(geom: CacheGeometry, stream: &[Req]) -> u64 {
+    let num_sets = geom.num_sets() as u32;
+    let assoc = usize::from(geom.assoc);
+    // State: per-set sorted resident lines (way placement is irrelevant
+    // to future decisions, so sets are canonical).
+    type State = Vec<Vec<u32>>;
+    fn dfs(
+        pos: usize,
+        state: &State,
+        stream: &[Req],
+        num_sets: u32,
+        assoc: usize,
+        memo: &mut HashMap<(usize, State), u64>,
+    ) -> u64 {
+        if pos == stream.len() {
+            return 0;
+        }
+        if let Some(&m) = memo.get(&(pos, state.clone())) {
+            return m;
+        }
+        let (line, is_prefetch) = stream[pos];
+        let set = (line % num_sets) as usize;
+        let result = if state[set].contains(&line) {
+            dfs(pos + 1, state, stream, num_sets, assoc, memo)
+        } else {
+            let cost = u64::from(!is_prefetch);
+            let mut best = u64::MAX;
+            if state[set].len() < assoc {
+                let mut next = state.clone();
+                next[set].push(line);
+                next[set].sort_unstable();
+                best = dfs(pos + 1, &next, stream, num_sets, assoc, memo);
+            } else {
+                for victim_idx in 0..state[set].len() {
+                    let mut next = state.clone();
+                    next[set][victim_idx] = line;
+                    next[set].sort_unstable();
+                    best = best.min(dfs(pos + 1, &next, stream, num_sets, assoc, memo));
+                }
+            }
+            cost + best
+        };
+        memo.insert((pos, state.clone()), result);
+        result
+    }
+    let state: State = vec![Vec::new(); num_sets as usize];
+    let mut memo = HashMap::new();
+    dfs(0, &state, stream, num_sets, assoc, &mut memo)
+}
+
+/// Demand misses of one offline-ideal policy replayed over `stream`.
+pub fn ideal_demand_misses(geom: CacheGeometry, kind: PolicyKind, stream: &[Req]) -> u64 {
+    let records: Vec<StreamRecord> = stream
+        .iter()
+        .map(|&(line, is_prefetch)| StreamRecord {
+            line: LineAddr::new(u64::from(line)),
+            is_prefetch,
+        })
+        .collect();
+    let future = FutureIndex::build(&records);
+    let policy = build_ideal_policy(kind, geom, future);
+    let mut cache: Cache<dyn ReplacementPolicy> = Cache::new(geom, policy);
+    let mut misses = 0u64;
+    for (i, &(line, is_prefetch)) in stream.iter().enumerate() {
+        let out = cache.access(LineId::new(line), Addr::new(0), is_prefetch, i as u64);
+        if !out.is_hit() && !is_prefetch {
+            misses += 1;
+        }
+    }
+    misses
+}
+
+/// Geometries tiny enough for exhaustive search.
+const GEOMETRIES: [(u64, u16); 3] = [(128, 2), (256, 2), (192, 3)];
+
+fn gen_case(seed: u64) -> (CacheGeometry, Vec<Req>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (size, assoc) = GEOMETRIES[rng.gen_range(0..GEOMETRIES.len())];
+    let geom = CacheGeometry::new(size, assoc);
+    let universe = rng.gen_range(4u32..=6);
+    let len = rng.gen_range(8usize..=18);
+    // Half the cases are demand-only (tight equality oracle for OPT), the
+    // rest mix in prefetches (Demand-MIN's domain).
+    let prefetch_prob = if rng.gen_bool(0.5) { 0.0 } else { 0.3 };
+    let stream = (0..len)
+        .map(|_| (rng.gen_range(0..universe), rng.gen_bool(prefetch_prob)))
+        .collect();
+    (geom, stream)
+}
+
+/// The divergence test applied to one (geometry, stream) pair.
+fn violation(geom: CacheGeometry, stream: &[Req]) -> Option<String> {
+    let min = exhaustive_min_demand_misses(geom, stream);
+    let opt = ideal_demand_misses(geom, PolicyKind::Opt, stream);
+    let dm = ideal_demand_misses(geom, PolicyKind::DemandMin, stream);
+    if opt < min {
+        return Some(format!(
+            "opt {opt} demand misses beats the exhaustive minimum {min}: the search or the cache is wrong"
+        ));
+    }
+    if dm < min {
+        return Some(format!(
+            "demand-min {dm} demand misses beats the exhaustive minimum {min}"
+        ));
+    }
+    let demand_only = stream.iter().all(|&(_, p)| !p);
+    if demand_only && opt != min {
+        return Some(format!(
+            "demand-only stream: opt {opt} != exhaustive minimum {min}"
+        ));
+    }
+    if demand_only && dm != min {
+        return Some(format!(
+            "demand-only stream: demand-min {dm} != exhaustive minimum {min}"
+        ));
+    }
+    // With prefetches in the stream Demand-MIN is the demand-optimal
+    // policy, so it must also not lose to OPT.
+    if dm > opt {
+        return Some(format!(
+            "demand-min {dm} demand misses exceeds opt {opt} on the same stream"
+        ));
+    }
+    None
+}
+
+/// Checks one generated case; shrinks the request stream on failure.
+pub fn check(seed: u64) -> Result<(), (String, String)> {
+    let (geom, stream) = gen_case(seed);
+    let Some(message) = violation(geom, &stream) else {
+        return Ok(());
+    };
+    let minimal = shrink_list(&stream, |candidate| violation(geom, candidate).is_some());
+    let final_message = violation(geom, &minimal).expect("shrunk case still fails");
+    let repro = format!(
+        "geometry {} B / {}-way ({} sets), stream of {} (shrunk from {}):\n  {:?}\n  {}",
+        geom.size_bytes,
+        geom.assoc,
+        geom.num_sets(),
+        minimal.len(),
+        stream.len(),
+        minimal,
+        final_message,
+    );
+    Err((message, repro))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exhaustive_matches_known_belady_example() {
+        // 1 set x 2 ways, demand stream A B A C A: Belady evicts B at C's
+        // fill, so misses = A, B, C = 3.
+        let geom = CacheGeometry::new(128, 2);
+        let stream: Vec<Req> = [0u32, 1, 0, 2, 0].iter().map(|&l| (l, false)).collect();
+        assert_eq!(exhaustive_min_demand_misses(geom, &stream), 3);
+    }
+
+    #[test]
+    fn prefetch_misses_are_free() {
+        // Same stream, but B arrives as a prefetch: only A and C count.
+        let geom = CacheGeometry::new(128, 2);
+        let stream: Vec<Req> = vec![(0, false), (1, true), (0, false), (2, false), (0, false)];
+        assert_eq!(exhaustive_min_demand_misses(geom, &stream), 2);
+    }
+
+    #[test]
+    fn ideal_policies_meet_the_bound_on_many_seeds() {
+        for seed in 0..64 {
+            if let Err((msg, _)) = check(seed) {
+                panic!("seed {seed}: {msg}");
+            }
+        }
+    }
+}

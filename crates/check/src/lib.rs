@@ -1,0 +1,218 @@
+//! Differential oracle checker for the Ripple simulator.
+//!
+//! `ripple-check` fuzzes the production simulator against small executable
+//! models in five independent dimensions:
+//!
+//! 1. [`model_cache`] — a brute-force associative cache model cross-checked
+//!    against [`ripple_sim::Cache`] for LRU, SRRIP, and DRRIP, comparing
+//!    outcome *and* full resident state after every operation;
+//! 2. [`belady`] — an exhaustive Belady search on short request streams
+//!    that lower-bounds (and, demand-only, pins exactly) the offline ideal
+//!    policies `Opt` and `DemandMin`;
+//! 3. [`equiv`] — interned vs reference frontend paths on random full
+//!    simulations (stats *and* eviction streams), plus an independent
+//!    warmup-accounting oracle;
+//! 4. [`threads`] — thread-count invariance of the parallel policy matrix
+//!    and single-shot offline recording;
+//! 5. [`trace_rt`] — packet encode→decode and end-to-end trace
+//!    record→reconstruct round trips.
+//!
+//! Every case derives from a single `u64` seed. Failures shrink to locally
+//! minimal repros (the vendored proptest stand-in has no shrinking, so
+//! [`shrink`] implements greedy prefix bisection and ddmin-style chunk
+//! removal by hand) and print a `RIPPLE_CHECK_SEED=<dim>:<seed>` line that
+//! replays the exact case.
+
+pub mod belady;
+pub mod case;
+pub mod equiv;
+pub mod model_cache;
+pub mod shrink;
+pub mod threads;
+pub mod trace_rt;
+
+/// One oracle dimension of the checker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dimension {
+    /// Brute-force associative cache model (LRU/SRRIP/DRRIP).
+    ModelCache,
+    /// Exhaustive Belady bound on the offline ideal policies.
+    Belady,
+    /// Interned vs reference frontend equivalence + warmup oracle.
+    Equivalence,
+    /// Thread-count invariance of the parallel harness.
+    Threads,
+    /// Trace packet and end-to-end round trips.
+    TraceRoundTrip,
+}
+
+/// Every dimension, in the order the corpus round-robins them.
+pub const ALL_DIMENSIONS: [Dimension; 5] = [
+    Dimension::ModelCache,
+    Dimension::Belady,
+    Dimension::Equivalence,
+    Dimension::Threads,
+    Dimension::TraceRoundTrip,
+];
+
+impl Dimension {
+    /// Stable command-line / replay-token name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Dimension::ModelCache => "model-cache",
+            Dimension::Belady => "belady",
+            Dimension::Equivalence => "equivalence",
+            Dimension::Threads => "threads",
+            Dimension::TraceRoundTrip => "trace-roundtrip",
+        }
+    }
+
+    /// Inverse of [`Dimension::name`].
+    pub fn parse(name: &str) -> Option<Self> {
+        ALL_DIMENSIONS.iter().copied().find(|d| d.name() == name)
+    }
+}
+
+impl std::fmt::Display for Dimension {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A divergence found by one dimension, with its minimized repro.
+#[derive(Debug)]
+pub struct Failure {
+    /// The dimension that diverged.
+    pub dimension: Dimension,
+    /// The case seed (replayable via [`check_case`]).
+    pub case_seed: u64,
+    /// What diverged.
+    pub message: String,
+    /// The minimized repro description.
+    pub repro: String,
+}
+
+impl Failure {
+    /// The environment line that replays this exact case.
+    pub fn replay_line(&self) -> String {
+        format!(
+            "RIPPLE_CHECK_SEED={}:{:#x} cargo run --release -p ripple-check",
+            self.dimension, self.case_seed
+        )
+    }
+}
+
+/// Runs one case of one dimension. `Ok` means no divergence.
+pub fn check_case(dimension: Dimension, case_seed: u64) -> Result<(), Failure> {
+    let outcome = match dimension {
+        Dimension::ModelCache => model_cache::check(case_seed),
+        Dimension::Belady => belady::check(case_seed),
+        Dimension::Equivalence => equiv::check(case_seed),
+        Dimension::Threads => threads::check(case_seed),
+        Dimension::TraceRoundTrip => trace_rt::check(case_seed),
+    };
+    outcome.map_err(|(message, repro)| Failure {
+        dimension,
+        case_seed,
+        message,
+        repro,
+    })
+}
+
+/// Derives the case seed for corpus index `index` from `base_seed`
+/// (splitmix64-style so neighbouring indices decorrelate).
+pub fn mix_seed(base_seed: u64, index: u64) -> u64 {
+    let mut z = base_seed
+        .wrapping_add(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(index.wrapping_mul(0xbf58_476d_1ce4_e5b9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Outcome of a corpus run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Cases passed, per dimension (indexed like [`ALL_DIMENSIONS`]).
+    pub passed: [u64; 5],
+    /// First failure per dimension, if any.
+    pub failures: Vec<Failure>,
+}
+
+impl Report {
+    /// Total passed cases across all dimensions.
+    pub fn total_passed(&self) -> u64 {
+        self.passed.iter().sum()
+    }
+}
+
+fn dim_index(d: Dimension) -> usize {
+    ALL_DIMENSIONS
+        .iter()
+        .position(|&x| x == d)
+        .expect("known dimension")
+}
+
+/// Runs `cases` checks, round-robining over `dims`, deriving case seeds
+/// from `base_seed`. Stops checking a dimension after its first failure
+/// (its minimized repro is expensive enough to produce once) but keeps
+/// fuzzing the others. `progress` is called after every case with
+/// (done, total).
+pub fn run_corpus(
+    base_seed: u64,
+    cases: u64,
+    dims: &[Dimension],
+    mut progress: impl FnMut(u64, u64),
+) -> Report {
+    let mut report = Report::default();
+    let mut dead = [false; 5];
+    for index in 0..cases {
+        let dimension = dims[(index % dims.len() as u64) as usize];
+        let di = dim_index(dimension);
+        if dead[di] {
+            progress(index + 1, cases);
+            continue;
+        }
+        let case_seed = mix_seed(base_seed, index);
+        match check_case(dimension, case_seed) {
+            Ok(()) => report.passed[di] += 1,
+            Err(failure) => {
+                dead[di] = true;
+                report.failures.push(failure);
+            }
+        }
+        progress(index + 1, cases);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dimension_names_round_trip() {
+        for d in ALL_DIMENSIONS {
+            assert_eq!(Dimension::parse(d.name()), Some(d));
+        }
+        assert_eq!(Dimension::parse("nope"), None);
+    }
+
+    #[test]
+    fn mixed_seeds_are_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..256 {
+            assert!(seen.insert(mix_seed(42, i)));
+        }
+    }
+
+    #[test]
+    fn corpus_runs_every_dimension() {
+        let report = run_corpus(7, 10, &ALL_DIMENSIONS, |_, _| {});
+        assert!(report.failures.is_empty(), "{:?}", report.failures);
+        assert_eq!(report.total_passed(), 10);
+        for (i, &p) in report.passed.iter().enumerate() {
+            assert!(p >= 2, "dimension {} starved", ALL_DIMENSIONS[i]);
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! `ripple-check` — differential oracle fuzzing from the command line.
+//!
+//! ```text
+//! ripple-check [--cases N] [--seed S] [--dims a,b,c] [--replay DIM:SEED]
+//! ```
+//!
+//! Every failure prints a minimized repro and a `RIPPLE_CHECK_SEED=...`
+//! line; setting that variable (or passing `--replay`) re-runs exactly the
+//! failing case.
+
+use std::process::ExitCode;
+
+use ripple_check::{check_case, run_corpus, Dimension, ALL_DIMENSIONS};
+
+struct Options {
+    cases: u64,
+    seed: u64,
+    dims: Vec<Dimension>,
+    replay: Option<(Dimension, u64)>,
+}
+
+fn parse_seed(text: &str) -> Result<u64, String> {
+    let text = text.trim();
+    let parsed = if let Some(hex) = text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16)
+    } else {
+        text.parse()
+    };
+    parsed.map_err(|_| format!("invalid seed {text:?}"))
+}
+
+fn parse_replay(token: &str) -> Result<(Dimension, u64), String> {
+    let (dim, seed) = token
+        .split_once(':')
+        .ok_or_else(|| format!("replay token {token:?} is not DIM:SEED"))?;
+    let dimension = Dimension::parse(dim)
+        .ok_or_else(|| format!("unknown dimension {dim:?} (try one of {})", dim_names()))?;
+    Ok((dimension, parse_seed(seed)?))
+}
+
+fn dim_names() -> String {
+    ALL_DIMENSIONS
+        .iter()
+        .map(|d| d.name())
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut options = Options {
+        cases: 500,
+        seed: 0x5269_7070_6c65, // "Ripple"
+        dims: ALL_DIMENSIONS.to_vec(),
+        replay: None,
+    };
+    if let Ok(token) = std::env::var("RIPPLE_CHECK_SEED") {
+        options.replay = Some(parse_replay(&token)?);
+    }
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--cases" => options.cases = parse_seed(&value("--cases")?)?,
+            "--seed" => options.seed = parse_seed(&value("--seed")?)?,
+            "--dims" => {
+                options.dims = value("--dims")?
+                    .split(',')
+                    .map(|name| {
+                        Dimension::parse(name.trim()).ok_or_else(|| {
+                            format!("unknown dimension {name:?} (try one of {})", dim_names())
+                        })
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                if options.dims.is_empty() {
+                    return Err("--dims needs at least one dimension".into());
+                }
+            }
+            "--replay" => options.replay = Some(parse_replay(&value("--replay")?)?),
+            "--help" | "-h" => {
+                println!(
+                    "ripple-check [--cases N] [--seed S] [--dims {}] [--replay DIM:SEED]",
+                    dim_names()
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(options)
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args() {
+        Ok(o) => o,
+        Err(message) => {
+            eprintln!("ripple-check: {message}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some((dimension, case_seed)) = options.replay {
+        println!("replaying {dimension} case {case_seed:#x}");
+        return match check_case(dimension, case_seed) {
+            Ok(()) => {
+                println!("case passed: no divergence");
+                ExitCode::SUCCESS
+            }
+            Err(failure) => {
+                eprintln!("DIVERGENCE in {}: {}", failure.dimension, failure.message);
+                eprintln!("minimized repro:\n{}", failure.repro);
+                eprintln!("replay: {}", failure.replay_line());
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    println!(
+        "fuzzing {} cases (seed {:#x}) across: {}",
+        options.cases,
+        options.seed,
+        options
+            .dims
+            .iter()
+            .map(|d| d.name())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let report = run_corpus(options.seed, options.cases, &options.dims, |done, total| {
+        if done % 100 == 0 || done == total {
+            println!("  {done}/{total} cases");
+        }
+    });
+    for (i, &passed) in report.passed.iter().enumerate() {
+        if options.dims.contains(&ALL_DIMENSIONS[i]) {
+            println!("{:>15}: {passed} cases passed", ALL_DIMENSIONS[i].name());
+        }
+    }
+    if report.failures.is_empty() {
+        println!("ok: {} cases, zero divergences", report.total_passed());
+        ExitCode::SUCCESS
+    } else {
+        for failure in &report.failures {
+            eprintln!();
+            eprintln!(
+                "DIVERGENCE in {} (case seed {:#x}): {}",
+                failure.dimension, failure.case_seed, failure.message
+            );
+            eprintln!("minimized repro:\n{}", failure.repro);
+            eprintln!("replay: {}", failure.replay_line());
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,100 @@
+//! Greedy minimization of failing cases.
+//!
+//! The vendored proptest stand-in has no shrinking, so `ripple-check`
+//! minimizes repros itself with two deliberately simple strategies:
+//!
+//! * [`min_failing_prefix`] — binary search for the shortest failing
+//!   prefix of a sequence whose prefixes are themselves valid inputs
+//!   (block traces are valid CFG walks, op streams are position-free);
+//! * [`shrink_list`] — ddmin-style greedy chunk removal for inputs where
+//!   interior elements can be deleted (op streams, packet lists,
+//!   invalidation schedules).
+//!
+//! Both only guarantee a *local* minimum: the returned input fails, and
+//! no single further cut the strategy tries keeps it failing.
+
+/// Shortest prefix length `n` in `1..=len` for which `fails(n)` holds,
+/// found by bisection. `fails(len)` must be `true` (the full input is a
+/// failing case); the predicate need not be monotone — bisection then
+/// still returns *a* failing prefix, just not necessarily the shortest.
+pub fn min_failing_prefix(len: usize, mut fails: impl FnMut(usize) -> bool) -> usize {
+    debug_assert!(len > 0 && fails(len), "full input must fail");
+    let (mut lo, mut hi) = (1usize, len);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if fails(mid) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    hi
+}
+
+/// Greedy chunk removal: repeatedly deletes contiguous chunks (halving
+/// the chunk size down to single elements) as long as the remainder still
+/// fails. Returns a locally minimal failing subsequence.
+pub fn shrink_list<T: Clone>(items: &[T], fails: impl Fn(&[T]) -> bool) -> Vec<T> {
+    let mut current: Vec<T> = items.to_vec();
+    debug_assert!(fails(&current), "full input must fail");
+    let mut chunk = current.len().div_ceil(2).max(1);
+    loop {
+        let mut removed_any = false;
+        let mut start = 0;
+        while start < current.len() {
+            let end = (start + chunk).min(current.len());
+            let mut candidate = Vec::with_capacity(current.len() - (end - start));
+            candidate.extend_from_slice(&current[..start]);
+            candidate.extend_from_slice(&current[end..]);
+            if !candidate.is_empty() && fails(&candidate) {
+                current = candidate;
+                removed_any = true;
+                // Retry the same start: the next chunk slid into place.
+            } else {
+                start = end;
+            }
+        }
+        if chunk == 1 && !removed_any {
+            return current;
+        }
+        if !removed_any {
+            chunk = (chunk / 2).max(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_bisection_finds_boundary() {
+        // Fails once the prefix includes index 12 (length >= 13).
+        let n = min_failing_prefix(100, |len| len >= 13);
+        assert_eq!(n, 13);
+    }
+
+    #[test]
+    fn prefix_of_one_is_reachable() {
+        assert_eq!(min_failing_prefix(64, |_| true), 1);
+    }
+
+    #[test]
+    fn chunk_removal_reaches_minimal_pair() {
+        // Fails iff both 3 and 7 are present: the minimum is exactly [3, 7].
+        let items: Vec<u32> = (0..50).collect();
+        let min = shrink_list(&items, |s| s.contains(&3) && s.contains(&7));
+        assert_eq!(min, vec![3, 7]);
+    }
+
+    #[test]
+    fn chunk_removal_keeps_order() {
+        let items = vec![9u32, 1, 8, 2, 7];
+        let min = shrink_list(&items, |s| {
+            let a = s.iter().position(|&x| x == 8);
+            let b = s.iter().position(|&x| x == 2);
+            matches!((a, b), (Some(i), Some(j)) if i < j)
+        });
+        assert_eq!(min, vec![8, 2]);
+    }
+}

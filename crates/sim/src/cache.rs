@@ -140,6 +140,23 @@ impl<P: ?Sized + ReplacementPolicy> Cache<P> {
             .count()
     }
 
+    /// Oracle-visible tag state: every valid way as
+    /// `(set, way, line, prefetched)` in set-major way order.
+    ///
+    /// This is the hook differential checkers (`ripple-check`) compare
+    /// against brute-force cache models after every operation. It exposes
+    /// placement only — policy metadata stays private, so a model must
+    /// reproduce decisions, not peek at them.
+    pub fn resident_lines(&self) -> Vec<(u32, usize, LineId, bool)> {
+        let assoc = usize::from(self.geom.assoc);
+        self.ways
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| w.line != LineId::INVALID)
+            .map(|(i, w)| ((i / assoc) as u32, i % assoc, w.line, w.prefetched))
+            .collect()
+    }
+
     /// Accesses `line`; on a miss the line is filled, evicting a victim
     /// chosen by the policy when the set is full.
     ///
@@ -332,6 +349,18 @@ mod tests {
         c.access(l(4), Addr::new(0), false, 4);
         assert!(c.contains(l(1)));
         assert!(c.contains(l(3)));
+    }
+
+    #[test]
+    fn resident_lines_reports_placement() {
+        let mut c = small_cache();
+        c.access(l(0), Addr::new(0), false, 0); // set 0, way 0
+        c.access(l(3), Addr::new(0), true, 1); // set 1, way 0, prefetched
+        let mut resident = c.resident_lines();
+        resident.sort_unstable();
+        assert_eq!(resident, vec![(0, 0, l(0), false), (1, 0, l(3), true)]);
+        c.invalidate(l(0));
+        assert_eq!(c.resident_lines(), vec![(1, 0, l(3), true)]);
     }
 
     #[test]

@@ -177,7 +177,10 @@ impl<'a> Frontend<'a> {
                         .table
                         .lookup(line)
                         .is_some_and(|id| self.l1i.invalidate(id));
-                    if hit {
+                    // Stats-gated like injected invalidations (step 4): the
+                    // cache state always updates, the counter only counts
+                    // once warmup has elapsed.
+                    if hit && self.counting() {
                         self.stats.invalidate_hits += 1;
                     }
                 }

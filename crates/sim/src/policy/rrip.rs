@@ -121,12 +121,31 @@ impl DrripPolicy {
     /// Leader-set classification via the standard complement-select
     /// scheme: low bits pattern picks SRRIP leaders, its complement picks
     /// BRRIP leaders, the rest follow PSEL.
+    ///
+    /// Geometries of 32 sets or fewer cannot host the complement-select
+    /// pattern (it would dedicate leaders to one side only, training PSEL
+    /// one-sided), so dueling degrades symmetrically: one leader per
+    /// policy at the two ends of the set index space, and below two sets
+    /// dueling is disabled entirely (every set follows a neutral PSEL,
+    /// i.e. pure SRRIP).
     fn set_role(&self, set: u32) -> SetRole {
+        if self.num_sets <= 32 {
+            if self.num_sets < 2 {
+                return SetRole::Follower;
+            }
+            return if set == 0 {
+                SetRole::SrripLeader
+            } else if set == self.num_sets - 1 {
+                SetRole::BrripLeader
+            } else {
+                SetRole::Follower
+            };
+        }
         let sel = set & 0x1f;
         let region = (set >> 5) & 0x1f;
         if sel == region {
             SetRole::SrripLeader
-        } else if sel == (!region & 0x1f) && self.num_sets > 32 {
+        } else if sel == (!region & 0x1f) {
             SetRole::BrripLeader
         } else {
             SetRole::Follower
@@ -278,6 +297,46 @@ mod tests {
         assert!(srrip_leaders > 0);
         assert!(brrip_leaders > 0);
         assert!(srrip_leaders + brrip_leaders < geom.num_sets() as u32);
+    }
+
+    #[test]
+    fn drrip_small_geometries_duel_symmetrically() {
+        // Every geometry with at least 2 sets must dedicate the same
+        // number of leader sets to each policy; a 1-set cache disables
+        // dueling (all followers, neutral PSEL → SRRIP).
+        for (size, assoc) in [
+            (128u64, 2u16), // 1 set
+            (256, 2),       // 2 sets
+            (512, 2),       // 4 sets
+            (1024, 2),      // 8 sets
+            (2048, 2),      // 16 sets
+            (4096, 2),      // 32 sets
+            (8192, 2),      // 64 sets (complement-select path)
+            (32 * 1024, 8), // default geometry
+        ] {
+            let geom = CacheGeometry::new(size, assoc);
+            let p = DrripPolicy::new(geom);
+            let mut srrip_leaders = 0u32;
+            let mut brrip_leaders = 0u32;
+            for set in 0..geom.num_sets() as u32 {
+                match p.set_role(set) {
+                    SetRole::SrripLeader => srrip_leaders += 1,
+                    SetRole::BrripLeader => brrip_leaders += 1,
+                    SetRole::Follower => {}
+                }
+            }
+            assert_eq!(
+                srrip_leaders,
+                brrip_leaders,
+                "asymmetric dueling at {} sets",
+                geom.num_sets()
+            );
+            if geom.num_sets() >= 2 {
+                assert!(srrip_leaders > 0, "no leaders at {} sets", geom.num_sets());
+            } else {
+                assert_eq!(srrip_leaders, 0);
+            }
+        }
     }
 
     #[test]

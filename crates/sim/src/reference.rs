@@ -157,6 +157,7 @@ impl<'a> ReferenceFrontend<'a> {
                 self.script_cursor += 1;
                 if pos == self.trace_pos
                     && try_id_of(line).is_some_and(|id| self.l1i.invalidate(id))
+                    && self.counting()
                 {
                     self.stats.invalidate_hits += 1;
                 }

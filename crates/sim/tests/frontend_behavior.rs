@@ -63,6 +63,47 @@ fn scripted_invalidation_of_ideal_victims_reproduces_opt() {
 }
 
 #[test]
+fn scripted_invalidate_hits_respect_warmup() {
+    // Scripted invalidations must be stats-gated exactly like injected
+    // ones: architectural state always updates, but hits landing in the
+    // warmup prefix must not count.
+    let (app, layout, trace) = setup();
+    // A script that provably hits: invalidate every OPT victim at its
+    // eviction trigger (same construction as the OPT oracle test above).
+    let opt_cfg = small_cfg().with_policy(PolicyKind::Opt);
+    let mut sink = VecSink::new();
+    simulate_with_sink(&app.program, &layout, &trace, &opt_cfg, &mut sink);
+    let mut script: Vec<(u64, LineAddr)> = sink
+        .events()
+        .iter()
+        .map(|e| (e.evict_pos, e.victim))
+        .collect();
+    script.sort_unstable_by_key(|&(p, _)| p);
+    let script = Arc::new(script);
+
+    let mut cold = small_cfg();
+    cold.warmup_fraction = 0.0;
+    cold.scripted_invalidations = Some(script.clone());
+    let mut warm = small_cfg();
+    warm.warmup_fraction = 0.5;
+    warm.scripted_invalidations = Some(script.clone());
+    let rc = simulate(&app.program, &layout, &trace, &cold);
+    let rw = simulate(&app.program, &layout, &trace, &warm);
+
+    // The gate is stats-only, so every script entry hits (or misses)
+    // identically in both runs; the warm run must simply not count the
+    // hits scheduled inside its warmup prefix.
+    let warmup_until = (trace.len() as f64 * 0.5) as u64;
+    let in_warmup = script.iter().filter(|&&(p, _)| p < warmup_until).count() as u64;
+    assert!(
+        in_warmup > 0,
+        "fixture must schedule invalidations in warmup"
+    );
+    assert!(rc.invalidate_hits >= in_warmup);
+    assert_eq!(rw.invalidate_hits, rc.invalidate_hits - in_warmup);
+}
+
+#[test]
 fn noop_mechanism_leaves_cache_untouched() {
     let (app, layout, trace) = setup();
     // Without injected instructions there is nothing to execute, so the

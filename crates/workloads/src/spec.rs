@@ -129,6 +129,53 @@ impl AppSpec {
         }
     }
 
+    /// A randomized small specification for differential fuzzing
+    /// (`ripple-check`): every knob is drawn uniformly from a slice of its
+    /// validated range, sized so generation and simulation stay fast. Two
+    /// equal seeds produce equal specifications.
+    pub fn randomized(seed: u64) -> Self {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x5eed_0b5e_55ed_c0de);
+        fn frac(rng: &mut rand::rngs::StdRng, lo: f64, hi: f64) -> f64 {
+            let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            lo + unit * (hi - lo)
+        }
+        let layers = rng.gen_range(2u32..=3);
+        let layer_functions = (0..layers).map(|_| rng.gen_range(2u32..=8)).collect();
+        let blocks_lo = rng.gen_range(2u32..=4);
+        let instrs_lo = rng.gen_range(1u32..=4);
+        let bytes_lo = rng.gen_range(1u32..=4);
+        let fanout_lo = rng.gen_range(2u32..=3);
+        let spec = AppSpec {
+            name: format!("fuzz-{seed:x}"),
+            seed: rng.next_u64(),
+            layer_functions,
+            blocks_per_fn: Range::new(blocks_lo, blocks_lo + rng.gen_range(1u32..=6)),
+            instrs_per_block: Range::new(instrs_lo, instrs_lo + rng.gen_range(1u32..=8)),
+            instr_bytes: Range::new(bytes_lo, bytes_lo + rng.gen_range(1u32..=6)),
+            call_density: frac(&mut rng, 0.1, 0.6),
+            indirect_call_frac: frac(&mut rng, 0.0, 0.5),
+            indirect_fanout: Range::new(fanout_lo, fanout_lo + rng.gen_range(0u32..=3)),
+            cond_frac: frac(&mut rng, 0.2, 0.8),
+            loop_frac: frac(&mut rng, 0.0, 0.4),
+            loop_continue_prob: frac(&mut rng, 0.3, 0.8),
+            strong_bias_frac: frac(&mut rng, 0.4, 1.0),
+            phase_sensitive_frac: frac(&mut rng, 0.0, 0.5),
+            indirect_jump_frac: frac(&mut rng, 0.0, 0.3),
+            num_phases: rng.gen_range(1u64..=3),
+            requests_per_phase: rng.gen_range(4u64..=24),
+            hot_handler_frac: frac(&mut rng, 0.2, 0.8),
+            hot_handler_weight: frac(&mut rng, 1.0, 8.0),
+            jit_frac: frac(&mut rng, 0.0, 0.3),
+            variants_per_handler: rng.gen_range(1u32..=4),
+            path_noise: frac(&mut rng, 0.0, 0.15),
+            kernel_funcs: rng.gen_range(0u32..=3),
+            kernel_call_prob: frac(&mut rng, 0.0, 0.15),
+        };
+        spec.validate();
+        spec
+    }
+
     /// Sanity-checks the specification's numeric ranges.
     ///
     /// # Panics
@@ -211,6 +258,17 @@ mod tests {
     #[test]
     fn tiny_spec_validates() {
         AppSpec::tiny(1).validate();
+    }
+
+    #[test]
+    fn randomized_specs_validate_and_are_deterministic() {
+        for seed in 0..32 {
+            let a = AppSpec::randomized(seed);
+            let b = AppSpec::randomized(seed);
+            a.validate();
+            assert_eq!(a, b);
+        }
+        assert_ne!(AppSpec::randomized(1), AppSpec::randomized(2));
     }
 
     #[test]

@@ -14,12 +14,19 @@
 //!   (recording plus Demand-MIN replay), the headline number.
 //!
 //! `RIPPLE_BENCH_INSTRS` overrides the per-app instruction budget.
+//!
+//! A full Ripple pipeline (train + evaluate) also runs once under a
+//! [`MetricsRecorder`], and its phase timers land in `BENCH_perf.json` as
+//! a `pipeline_phases` breakdown — where the wall time actually goes.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ripple::{Ripple, RippleConfig};
 use ripple_bench::{bench_budget, load_app, LoadedApp};
 use ripple_json::{object, Value};
+use ripple_obs::MetricsRecorder;
 use ripple_sim::{
     simulate, simulate_with_sink, LinePath, PolicyKind, PrefetcherKind, SimConfig, SimSession,
     VecSink,
@@ -208,12 +215,57 @@ fn bench_line_paths(_c: &mut Criterion) {
         ("trace_blocks", Value::UInt(loaded.trace.len() as u64)),
         ("samples_per_scenario", Value::UInt(u64::from(SAMPLES))),
         ("scenarios", Value::Object(scenarios)),
+        ("pipeline_phases", pipeline_phase_breakdown(&loaded)),
     ]);
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_perf.json");
     match std::fs::write(path, doc.to_pretty_string() + "\n") {
         Ok(()) => println!("  wrote {path}"),
         Err(e) => eprintln!("  could not write {path}: {e}"),
     }
+}
+
+/// One instrumented train + evaluate run: the observability layer's phase
+/// timers, rendered as `name -> {count, total_ns, max_ns, share_pct}`.
+/// `share_pct` is each phase's slice of the summed phase time (phases
+/// nest, so slices are a profile, not a partition of wall clock).
+fn pipeline_phase_breakdown(loaded: &LoadedApp) -> Value {
+    let recorder = Arc::new(MetricsRecorder::new());
+    let mut config = RippleConfig::default();
+    config.threads = Some(1); // deterministic single-thread timing profile
+    let ripple = Ripple::train_with_recorder(
+        &loaded.app.program,
+        &loaded.layout,
+        &loaded.trace,
+        config,
+        recorder.clone(),
+    );
+    black_box(ripple.evaluate(&loaded.trace));
+    let snapshot = recorder.snapshot();
+    let total: u64 = snapshot.phases.iter().map(|(_, s)| s.total_nanos).sum();
+    println!("group: pipeline_phases (train + evaluate, 1 thread)");
+    let mut out: Vec<(String, Value)> = Vec::new();
+    for (name, stat) in &snapshot.phases {
+        let share = if total == 0 {
+            0.0
+        } else {
+            100.0 * stat.total_nanos as f64 / total as f64
+        };
+        println!(
+            "  {name}: {:.2}ms over {} laps ({share:.1}% of phase time)",
+            stat.total_nanos as f64 / 1e6,
+            stat.count
+        );
+        out.push((
+            name.clone(),
+            object([
+                ("count", Value::UInt(stat.count)),
+                ("total_ns", Value::UInt(stat.total_nanos)),
+                ("max_ns", Value::UInt(stat.max_nanos)),
+                ("share_pct", Value::Float(share)),
+            ]),
+        ));
+    }
+    Value::Object(out)
 }
 
 criterion_group!(benches, bench_simulator, bench_analysis, bench_line_paths);

@@ -229,3 +229,20 @@ pub fn run_path(
     let stats = session.run_with_sink(policy, &mut sink);
     (stats, sink.into_events())
 }
+
+/// [`run_path`] with an observability recorder attached to the session.
+/// Recorders observe, never feed back: results must be identical to the
+/// unrecorded run, which is exactly what the recorded dimensions check.
+pub fn run_path_recorded(
+    case: &FullCase,
+    policy: PolicyKind,
+    path: LinePath,
+    recorder: Arc<dyn ripple_obs::Recorder>,
+) -> (ripple_sim::SimStats, Vec<ripple_sim::EvictionEvent>) {
+    let config = case.config.clone().with_line_path(path);
+    let session =
+        SimSession::new(&case.program, &case.layout, &case.trace, config).with_recorder(recorder);
+    let mut sink = VecSink::new();
+    let stats = session.run_with_sink(policy, &mut sink);
+    (stats, sink.into_events())
+}

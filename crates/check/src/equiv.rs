@@ -12,10 +12,13 @@
 //! only grow each counter. This catches warmup bugs mirrored identically
 //! in both frontends, which pure path comparison cannot see.
 
+use std::sync::Arc;
+
 use rand::{Rng, SeedableRng, StdRng};
+use ripple_obs::MetricsRecorder;
 use ripple_sim::{LinePath, PolicyKind, SimStats};
 
-use crate::case::{gen_full_case, run_path, FullCase, ALL_POLICIES};
+use crate::case::{gen_full_case, run_path, run_path_recorded, FullCase, ALL_POLICIES};
 use crate::shrink::{min_failing_prefix, shrink_list};
 
 /// Named u64 counters of [`SimStats`], for field-level diff messages and
@@ -169,6 +172,43 @@ pub fn check(seed: u64) -> Result<(), (String, String)> {
     Err((message, repro))
 }
 
+/// [`check`] rerun with a live [`MetricsRecorder`] attached: attaching an
+/// observability recorder must leave stats and the full eviction stream
+/// byte-identical to the unrecorded run, and the recorder must actually
+/// have seen the run (at least one `session.run` phase lap).
+pub fn check_recorded(seed: u64) -> Result<(), (String, String)> {
+    let case = gen_full_case(seed);
+    let policy = pick_policy(seed);
+    let (plain_stats, plain_events) = run_path(&case, policy, LinePath::Interned);
+    let recorder = Arc::new(MetricsRecorder::new());
+    let (rec_stats, rec_events) =
+        run_path_recorded(&case, policy, LinePath::Interned, recorder.clone());
+    let problem = if rec_stats != plain_stats {
+        Some(format!(
+            "recorder changed the stats under {policy:?}: {}",
+            diff_stats(&plain_stats, &rec_stats)
+        ))
+    } else if rec_events != plain_events {
+        Some(format!(
+            "recorder changed the eviction stream under {policy:?} ({} vs {} events)",
+            plain_events.len(),
+            rec_events.len()
+        ))
+    } else {
+        let snapshot = recorder.snapshot();
+        match snapshot.phase("session.run") {
+            Some(stat) if stat.count > 0 => None,
+            _ => Some(format!(
+                "recorder saw no session.run phase under {policy:?}"
+            )),
+        }
+    };
+    problem.map_or(Ok(()), |message| {
+        let repro = format!("case: {}\npolicy: {policy:?}\n{message}", case.label);
+        Err((message, repro))
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -177,6 +217,15 @@ mod tests {
     fn paths_agree_on_many_seeds() {
         for seed in 0..24 {
             if let Err((msg, repro)) = check(seed) {
+                panic!("seed {seed}: {msg}\n{repro}");
+            }
+        }
+    }
+
+    #[test]
+    fn recording_never_perturbs_a_run() {
+        for seed in 0..16 {
+            if let Err((msg, repro)) = check_recorded(seed) {
                 panic!("seed {seed}: {msg}\n{repro}");
             }
         }

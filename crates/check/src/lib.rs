@@ -119,6 +119,24 @@ pub fn check_case(dimension: Dimension, case_seed: u64) -> Result<(), Failure> {
     })
 }
 
+/// [`check_case`] with a live observability recorder in the loop: the
+/// full-simulator dimensions rerun with a `MetricsRecorder` attached and
+/// demand identical results plus recorded phases. Dimensions that never
+/// construct a session delegate to the plain check.
+pub fn check_case_recorded(dimension: Dimension, case_seed: u64) -> Result<(), Failure> {
+    let outcome = match dimension {
+        Dimension::Equivalence => equiv::check_recorded(case_seed),
+        Dimension::Threads => threads::check_recorded(case_seed),
+        _ => return check_case(dimension, case_seed),
+    };
+    outcome.map_err(|(message, repro)| Failure {
+        dimension,
+        case_seed,
+        message,
+        repro,
+    })
+}
+
 /// Derives the case seed for corpus index `index` from `base_seed`
 /// (splitmix64-style so neighbouring indices decorrelate).
 pub fn mix_seed(base_seed: u64, index: u64) -> u64 {
@@ -203,6 +221,18 @@ mod tests {
         let mut seen = std::collections::HashSet::new();
         for i in 0..256 {
             assert!(seen.insert(mix_seed(42, i)));
+        }
+    }
+
+    #[test]
+    fn every_dimension_passes_with_recording_on() {
+        for (i, dimension) in ALL_DIMENSIONS.into_iter().enumerate() {
+            for case in 0..3u64 {
+                let seed = mix_seed(0x0b5e_77ed, (i as u64) * 16 + case);
+                if let Err(f) = check_case_recorded(dimension, seed) {
+                    panic!("{dimension} seed {seed:#x}: {}\n{}", f.message, f.repro);
+                }
+            }
         }
     }
 

@@ -9,8 +9,11 @@
 //!
 //! [`SimSession`]: ripple_sim::SimSession
 
+use std::sync::Arc;
+
 use rand::{Rng, SeedableRng, StdRng};
 use ripple::policy_matrix;
+use ripple_obs::MetricsRecorder;
 use ripple_sim::{PolicyKind, SimSession};
 
 use crate::case::{gen_full_case, FullCase, ALL_POLICIES};
@@ -93,6 +96,48 @@ pub fn check(seed: u64) -> Result<(), (String, String)> {
     Err((message, repro))
 }
 
+/// [`check`]'s invariance extended to the observed harness: a matrix run
+/// through a session carrying a [`MetricsRecorder`] must return the same
+/// stats as the unobserved single-thread baseline, and the recorder must
+/// report one `harness.job` per policy.
+pub fn check_recorded(seed: u64) -> Result<(), (String, String)> {
+    let case = gen_full_case(seed);
+    let policies = pick_policies(seed);
+    let plain_session = SimSession::new(
+        &case.program,
+        &case.layout,
+        &case.trace,
+        case.config.clone(),
+    );
+    let baseline = policy_matrix(&plain_session, &policies, 1);
+
+    let recorder = Arc::new(MetricsRecorder::new());
+    let recorded_session = SimSession::new(
+        &case.program,
+        &case.layout,
+        &case.trace,
+        case.config.clone(),
+    )
+    .with_recorder(recorder.clone());
+    let observed = policy_matrix(&recorded_session, &policies, 4);
+
+    let problem = if observed != baseline {
+        Some("observed policy matrix diverges from the unobserved baseline".to_string())
+    } else {
+        let jobs = recorder.snapshot().counter("harness.jobs").unwrap_or(0);
+        (jobs != policies.len() as u64).then(|| {
+            format!(
+                "recorder counted {jobs} harness jobs for {} policies",
+                policies.len()
+            )
+        })
+    };
+    problem.map_or(Ok(()), |message| {
+        let repro = format!("case: {}\npolicies: {policies:?}\n{message}", case.label);
+        Err((message, repro))
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -101,6 +146,15 @@ mod tests {
     fn thread_counts_agree_on_many_seeds() {
         for seed in 0..12 {
             if let Err((msg, repro)) = check(seed) {
+                panic!("seed {seed}: {msg}\n{repro}");
+            }
+        }
+    }
+
+    #[test]
+    fn observed_matrix_matches_baseline_on_many_seeds() {
+        for seed in 0..8 {
+            if let Err((msg, repro)) = check_recorded(seed) {
                 panic!("seed {seed}: {msg}\n{repro}");
             }
         }

@@ -15,21 +15,31 @@ impl fmt::Display for ArgError {
 
 impl std::error::Error for ArgError {}
 
-/// Parsed positional arguments and `--flag value` pairs.
+/// Flags that are boolean switches: they take no value token. Every other
+/// `--flag` consumes the following token as its value.
+pub const SWITCHES: &[&str] = &["progress"];
+
+/// Parsed positional arguments, `--flag value` pairs and bare switches.
 #[derive(Debug, Default)]
 pub struct Args {
     positional: Vec<String>,
     flags: HashMap<String, String>,
+    switches: Vec<String>,
 }
 
 impl Args {
     /// Parses `argv` (after the subcommand). Every `--flag` consumes the
-    /// following token as its value.
+    /// following token as its value, except the [`SWITCHES`], which stand
+    /// alone.
     pub fn parse(argv: &[String]) -> Result<Self, ArgError> {
         let mut out = Args::default();
         let mut it = argv.iter();
         while let Some(tok) = it.next() {
             if let Some(name) = tok.strip_prefix("--") {
+                if SWITCHES.contains(&name) {
+                    out.switches.push(name.to_string());
+                    continue;
+                }
                 let value = it
                     .next()
                     .ok_or_else(|| ArgError(format!("--{name} needs a value")))?;
@@ -51,6 +61,11 @@ impl Args {
         self.flags.get(name).map(String::as_str)
     }
 
+    /// Whether a boolean switch (see [`SWITCHES`]) was given.
+    pub fn switch(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+
     /// A parsed flag with a default.
     pub fn parse_flag<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, ArgError> {
         match self.flags.get(name) {
@@ -61,9 +76,9 @@ impl Args {
         }
     }
 
-    /// Rejects unknown flags (catches typos).
+    /// Rejects unknown flags and switches (catches typos).
     pub fn expect_flags(&self, allowed: &[&str]) -> Result<(), ArgError> {
-        for k in self.flags.keys() {
+        for k in self.flags.keys().chain(self.switches.iter()) {
             if !allowed.contains(&k.as_str()) {
                 return Err(ArgError(format!("unknown flag --{k}")));
             }
@@ -104,5 +119,25 @@ mod tests {
     fn defaults_apply() {
         let a = Args::parse(&v(&[])).unwrap();
         assert_eq!(a.parse_flag("threshold", 0.5f64).unwrap(), 0.5);
+    }
+
+    #[test]
+    fn switches_take_no_value() {
+        // `--progress` must not consume the following token.
+        let a = Args::parse(&v(&["kafka", "--progress", "--threads", "2"])).unwrap();
+        assert!(a.switch("progress"));
+        assert_eq!(a.positional(0), Some("kafka"));
+        assert_eq!(a.flag("threads"), Some("2"));
+        assert!(!a.switch("threads"));
+        // Trailing switch needs no value either.
+        let b = Args::parse(&v(&["--progress"])).unwrap();
+        assert!(b.switch("progress"));
+    }
+
+    #[test]
+    fn unknown_switch_is_rejected_by_expect_flags() {
+        let a = Args::parse(&v(&["--progress"])).unwrap();
+        assert!(a.expect_flags(&["threads"]).is_err());
+        assert!(a.expect_flags(&["threads", "progress"]).is_ok());
     }
 }

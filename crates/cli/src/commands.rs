@@ -2,11 +2,14 @@
 
 use std::error::Error;
 use std::fs;
+use std::sync::{Arc, Mutex};
 
 use ripple::{
-    best_threshold, collect_profile, effective_threads, policy_matrix, sweep, Ripple, RippleConfig,
+    best_threshold, collect_profile, effective_threads, policy_matrix, run_report, sweep,
+    validate_run_report, Ripple, RippleConfig, COMPARE_PHASES, PIPELINE_PHASES, REPORT_SCHEMA,
 };
 use ripple_json::ToJson;
+use ripple_obs::{Field, FieldValue, MetricsRecorder, NullRecorder, Recorder, TeeRecorder};
 use ripple_program::{Layout, LayoutConfig};
 use ripple_sim::{simulate, PolicyKind, PrefetcherKind, SimConfig, SimSession};
 use ripple_workloads::{generate, App, Application, InputConfig};
@@ -22,15 +25,19 @@ usage:
   ripple-cli profile  <app> [--instructions N] [--input K] [--out FILE]
   ripple-cli inspect  <FILE> --app <app>
   ripple-cli simulate <app> [--policy P] [--prefetcher P] [--instructions N]
-  ripple-cli compare  <app> [--prefetcher P] [--instructions N] [--threads N]
-  ripple-cli optimize <app> [--threshold T] [--prefetcher P] [--underlying P] [--instructions N] [--threads N]
-  ripple-cli sweep    <app> [--prefetcher P] [--instructions N] [--threads N]
+  ripple-cli compare  <app> [--prefetcher P] [--instructions N] [--threads N] [--metrics FILE] [--progress]
+  ripple-cli optimize <app> [--threshold T] [--prefetcher P] [--underlying P] [--instructions N] [--threads N] [--metrics FILE] [--progress]
+  ripple-cli sweep    <app> [--prefetcher P] [--instructions N] [--threads N] [--metrics FILE] [--progress]
+  ripple-cli validate-metrics <FILE> [--phases compare|pipeline]
 
 apps: cassandra drupal finagle-chirper finagle-http kafka mediawiki tomcat verilator wordpress
 policies: lru tree-plru random srrip drrip ghrp hawkeye harmony opt demand-min
 prefetchers: none nlp fdip
---threads defaults to the machine's available parallelism; results are
-identical at any thread count";
+--threads 0 (or omitting the flag) auto-detects the machine's available
+parallelism; results are identical at any thread count
+--metrics FILE dumps a ripple.run_report.v1 JSON document (phase timings,
+counters, per-job harness timings); --progress prints live k/n
+job-completion lines to stderr";
 
 type CmdResult = Result<(), Box<dyn Error>>;
 
@@ -50,18 +57,29 @@ pub fn dispatch(argv: &[String]) -> CmdResult {
         "compare" => compare(&rest),
         "optimize" => optimize(&rest),
         "sweep" => sweep_cmd(&rest),
+        "validate-metrics" => validate_metrics(&rest),
         other => Err(Box::new(ArgError(format!("unknown subcommand {other:?}")))),
     }
+}
+
+fn find_app(name: &str) -> Result<App, ArgError> {
+    App::ALL
+        .into_iter()
+        .find(|a| a.name() == name)
+        .ok_or_else(|| {
+            let valid: Vec<&str> = App::ALL.iter().map(|a| a.name()).collect();
+            ArgError(format!(
+                "unknown application {name:?} (valid values: {})",
+                valid.join(" ")
+            ))
+        })
 }
 
 fn parse_app(args: &Args) -> Result<App, ArgError> {
     let name = args
         .positional(0)
         .ok_or_else(|| ArgError("missing <app> argument".into()))?;
-    App::ALL
-        .into_iter()
-        .find(|a| a.name() == name)
-        .ok_or_else(|| ArgError(format!("unknown application {name:?}")))
+    find_app(name)
 }
 
 fn parse_prefetcher(args: &Args) -> Result<PrefetcherKind, ArgError> {
@@ -69,7 +87,9 @@ fn parse_prefetcher(args: &Args) -> Result<PrefetcherKind, ArgError> {
         "none" | "no-prefetch" => Ok(PrefetcherKind::None),
         "nlp" | "next-line" => Ok(PrefetcherKind::NextLine),
         "fdip" => Ok(PrefetcherKind::Fdip),
-        other => Err(ArgError(format!("unknown prefetcher {other:?}"))),
+        other => Err(ArgError(format!(
+            "unknown prefetcher {other:?} (valid values: none nlp fdip)"
+        ))),
     }
 }
 
@@ -85,12 +105,17 @@ fn parse_policy(name: &str) -> Result<PolicyKind, ArgError> {
         "harmony" => PolicyKind::Harmony,
         "opt" => PolicyKind::Opt,
         "demand-min" => PolicyKind::DemandMin,
-        other => return Err(ArgError(format!("unknown policy {other:?}"))),
+        other => {
+            return Err(ArgError(format!(
+                "unknown policy {other:?} (valid values: lru tree-plru random srrip drrip \
+                 ghrp hawkeye harmony opt demand-min)"
+            )))
+        }
     })
 }
 
-/// Parses `--threads N` (`None` = available parallelism, resolved by the
-/// harness).
+/// Parses `--threads N`. `None` and `0` both mean "auto-detect the
+/// machine's available parallelism" (resolved by the harness).
 fn parse_threads(args: &Args) -> Result<Option<usize>, ArgError> {
     match args.flag("threads") {
         None => Ok(None),
@@ -99,6 +124,158 @@ fn parse_threads(args: &Args) -> Result<Option<usize>, ArgError> {
             .map(Some)
             .map_err(|_| ArgError(format!("--threads: cannot parse {v:?}"))),
     }
+}
+
+/// Parses `--threshold T`, rejecting values outside the probability range
+/// the analysis thresholds over.
+fn parse_threshold(args: &Args, default: f64) -> Result<f64, ArgError> {
+    let t = args.parse_flag("threshold", default)?;
+    if !t.is_finite() || !(0.0..=1.0).contains(&t) {
+        return Err(ArgError(format!(
+            "--threshold: {t} is out of range (must be within 0.0..=1.0)"
+        )));
+    }
+    Ok(t)
+}
+
+/// Live progress printer: one `k/n jobs done (slowest: …)` line per
+/// completed harness job, on stderr so it never mixes with the result
+/// tables.
+#[derive(Debug, Default)]
+struct ProgressRecorder {
+    state: Mutex<ProgressState>,
+}
+
+#[derive(Debug, Default)]
+struct ProgressState {
+    scope: String,
+    total: u64,
+    done: u64,
+    slowest: Option<(u64, u64)>, // (job index, run_ns)
+}
+
+fn field_u64(fields: &[Field<'_>], name: &str) -> Option<u64> {
+    fields.iter().find_map(|&(n, v)| match v {
+        FieldValue::U64(x) if n == name => Some(x),
+        _ => None,
+    })
+}
+
+fn field_str<'a>(fields: &[Field<'a>], name: &str) -> Option<&'a str> {
+    fields.iter().find_map(|&(n, v)| match v {
+        FieldValue::Str(s) if n == name => Some(s),
+        _ => None,
+    })
+}
+
+impl Recorder for ProgressRecorder {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn event(&self, name: &str, fields: &[Field<'_>]) {
+        let mut state = self.state.lock().expect("progress state poisoned");
+        match name {
+            "harness.batch" => {
+                state.scope = field_str(fields, "scope").unwrap_or("?").to_string();
+                state.total = field_u64(fields, "jobs").unwrap_or(0);
+                state.done = 0;
+                state.slowest = None;
+            }
+            "harness.job" => {
+                state.done += 1;
+                let job = field_u64(fields, "job").unwrap_or(0);
+                let run_ns = field_u64(fields, "run_ns").unwrap_or(0);
+                if state.slowest.is_none_or(|(_, worst)| run_ns > worst) {
+                    state.slowest = Some((job, run_ns));
+                }
+                let (slow_job, slow_ns) = state.slowest.unwrap_or((job, run_ns));
+                eprintln!(
+                    "  {}/{} jobs done (slowest: {}#{} {:.1}ms)",
+                    state.done,
+                    state.total.max(state.done),
+                    state.scope,
+                    slow_job,
+                    slow_ns as f64 / 1e6
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Builds the recorder requested by `--metrics` / `--progress`. Returns
+/// the recorder to attach plus the metrics aggregator (when a report file
+/// was requested) for [`write_metrics`] to snapshot afterwards.
+fn build_recorder(args: &Args) -> (Arc<dyn Recorder>, Option<Arc<MetricsRecorder>>) {
+    let metrics = args
+        .flag("metrics")
+        .map(|_| Arc::new(MetricsRecorder::new()));
+    let progress = args.switch("progress");
+    match (metrics, progress) {
+        (None, false) => (Arc::new(NullRecorder), None),
+        (Some(m), false) => (m.clone(), Some(m)),
+        (None, true) => (Arc::new(ProgressRecorder::default()), None),
+        (Some(m), true) => {
+            let tee = TeeRecorder::new()
+                .with(m.clone())
+                .with(Arc::new(ProgressRecorder::default()));
+            (Arc::new(tee), Some(m))
+        }
+    }
+}
+
+/// Dumps the run report to the `--metrics` path, if one was requested.
+fn write_metrics(
+    args: &Args,
+    command: &str,
+    app: &str,
+    metrics: Option<Arc<MetricsRecorder>>,
+) -> CmdResult {
+    if let (Some(path), Some(m)) = (args.flag("metrics"), metrics) {
+        let report = run_report(command, app, &m.snapshot());
+        fs::write(path, report.to_pretty_string())?;
+        println!("metrics written to {path}");
+    }
+    Ok(())
+}
+
+/// Validates a `--metrics` dump: parses it with ripple-json and checks
+/// the schema plus the required phase set (inferred from the report's
+/// `command` unless `--phases` overrides it). This is the CI gate for the
+/// observability artifact.
+fn validate_metrics(args: &Args) -> CmdResult {
+    args.expect_flags(&["phases"])?;
+    let path = args
+        .positional(0)
+        .ok_or_else(|| ArgError("missing <FILE> argument".into()))?;
+    // Reject a bad --phases value before touching the file, so the flag
+    // error is never masked by a missing artifact.
+    let explicit: Option<&[&str]> = match args.flag("phases") {
+        None => None,
+        Some("compare") => Some(COMPARE_PHASES),
+        Some("pipeline") => Some(PIPELINE_PHASES),
+        Some(other) => {
+            return Err(Box::new(ArgError(format!(
+                "unknown phase set {other:?} (valid values: compare pipeline)"
+            ))))
+        }
+    };
+    let text = fs::read_to_string(path)?;
+    let report =
+        ripple_json::parse(&text).map_err(|e| ArgError(format!("{path}: not valid JSON: {e}")))?;
+    let required: &[&str] = explicit.unwrap_or_else(|| {
+        match report.get("command").ok().and_then(|v| v.as_str().ok()) {
+            Some("compare") => COMPARE_PHASES,
+            _ => PIPELINE_PHASES,
+        }
+    });
+    validate_run_report(&report, required).map_err(|e| ArgError(format!("{path}: {e}")))?;
+    println!(
+        "{path}: valid {REPORT_SCHEMA} report, all {} required phases timed",
+        required.len()
+    );
+    Ok(())
 }
 
 fn load(
@@ -155,7 +332,7 @@ fn plan_cmd(args: &Args) -> CmdResult {
     args.expect_flags(&["threshold", "prefetcher", "instructions", "out"])?;
     let app_id = parse_app(args)?;
     let budget = args.parse_flag("instructions", 600_000u64)?;
-    let threshold = args.parse_flag("threshold", 0.55f64)?;
+    let threshold = parse_threshold(args, 0.55)?;
     let prefetcher = parse_prefetcher(args)?;
     let (app, layout, trace) = load(app_id, InputConfig::training(app_id.spec().seed), budget)?;
     let mut config = RippleConfig::default();
@@ -195,10 +372,16 @@ fn profile(args: &Args) -> CmdResult {
         "  instructions     {}",
         executed.dynamic_instruction_count(&app.program)
     );
-    println!(
-        "  packet bytes     {} ({:.3} B/block)",
-        bytes.len(),
+    // Guard the per-block rate: an empty trace (zero-instruction budget)
+    // must not print NaN.
+    let bytes_per_block = if executed.is_empty() {
+        0.0
+    } else {
         bytes.len() as f64 / executed.len() as f64
+    };
+    println!(
+        "  packet bytes     {} ({bytes_per_block:.3} B/block)",
+        bytes.len()
     );
     if let Some(path) = args.flag("out") {
         fs::write(path, &bytes)?;
@@ -215,10 +398,7 @@ fn inspect(args: &Args) -> CmdResult {
     let name = args.flag("app").ok_or_else(|| {
         ArgError("--app is required (traces are decoded against the app's CFG)".into())
     })?;
-    let app_id = App::ALL
-        .into_iter()
-        .find(|a| a.name() == name)
-        .ok_or_else(|| ArgError(format!("unknown application {name:?}")))?;
+    let app_id = find_app(name)?;
     let app = generate(&app_id.spec());
     let layout = Layout::new(&app.program, &LayoutConfig::default());
     let bytes = fs::read(path)?;
@@ -263,17 +443,24 @@ fn simulate_cmd(args: &Args) -> CmdResult {
 }
 
 fn compare(args: &Args) -> CmdResult {
-    args.expect_flags(&["prefetcher", "instructions", "threads"])?;
+    args.expect_flags(&[
+        "prefetcher",
+        "instructions",
+        "threads",
+        "metrics",
+        "progress",
+    ])?;
     let app_id = parse_app(args)?;
     let budget = args.parse_flag("instructions", 400_000u64)?;
     let prefetcher = parse_prefetcher(args)?;
     let threads = effective_threads(parse_threads(args)?);
+    let (recorder, metrics) = build_recorder(args);
     let (app, layout, trace) = load(app_id, InputConfig::training(app_id.spec().seed), budget)?;
     // One session: all nine policies replay the same recorded request
     // stream as parallel harness jobs (the two offline ideals share the
     // session's single recording pass).
     let base_cfg = SimConfig::default().with_prefetcher(prefetcher);
-    let session = SimSession::new(&app.program, &layout, &trace, base_cfg);
+    let session = SimSession::new(&app.program, &layout, &trace, base_cfg).with_recorder(recorder);
     let policies = [
         PolicyKind::Lru,
         PolicyKind::Random,
@@ -301,6 +488,7 @@ fn compare(args: &Args) -> CmdResult {
             r.speedup_pct_over(lru)
         );
     }
+    write_metrics(args, "compare", app_id.name(), metrics)?;
     Ok(())
 }
 
@@ -311,13 +499,16 @@ fn optimize(args: &Args) -> CmdResult {
         "underlying",
         "instructions",
         "threads",
+        "metrics",
+        "progress",
     ])?;
     let app_id = parse_app(args)?;
     let budget = args.parse_flag("instructions", 600_000u64)?;
-    let threshold = args.parse_flag("threshold", 0.55f64)?;
+    let threshold = parse_threshold(args, 0.55)?;
     let prefetcher = parse_prefetcher(args)?;
     let underlying = parse_policy(args.flag("underlying").unwrap_or("lru"))?;
     let threads = parse_threads(args)?;
+    let (recorder, metrics) = build_recorder(args);
     let (app, layout, trace) = load(app_id, InputConfig::training(app_id.spec().seed), budget)?;
 
     let mut config = RippleConfig::default();
@@ -325,7 +516,7 @@ fn optimize(args: &Args) -> CmdResult {
     config.sim.prefetcher = prefetcher;
     config.underlying = underlying;
     config.threads = threads;
-    let ripple = Ripple::train(&app.program, &layout, &trace, config);
+    let ripple = Ripple::train_with_recorder(&app.program, &layout, &trace, config, recorder);
     let o = ripple.evaluate(&trace);
 
     println!(
@@ -361,20 +552,28 @@ fn optimize(args: &Args) -> CmdResult {
         o.static_overhead_pct, o.injected_static
     );
     println!("  dynamic overhead    {:.2}%", o.dynamic_overhead_pct);
+    write_metrics(args, "optimize", app_id.name(), metrics)?;
     Ok(())
 }
 
 fn sweep_cmd(args: &Args) -> CmdResult {
-    args.expect_flags(&["prefetcher", "instructions", "threads"])?;
+    args.expect_flags(&[
+        "prefetcher",
+        "instructions",
+        "threads",
+        "metrics",
+        "progress",
+    ])?;
     let app_id = parse_app(args)?;
     let budget = args.parse_flag("instructions", 600_000u64)?;
     let prefetcher = parse_prefetcher(args)?;
     let threads = parse_threads(args)?;
+    let (recorder, metrics) = build_recorder(args);
     let (app, layout, trace) = load(app_id, InputConfig::training(app_id.spec().seed), budget)?;
     let mut config = RippleConfig::default();
     config.sim.prefetcher = prefetcher;
     config.threads = threads;
-    let ripple = Ripple::train(&app.program, &layout, &trace, config);
+    let ripple = Ripple::train_with_recorder(&app.program, &layout, &trace, config, recorder);
     let thresholds: Vec<f64> = (1..=9).map(|i| i as f64 / 10.0).collect();
     let points = sweep(&ripple, &trace, &thresholds);
     println!("{app_id} threshold sweep under {}", prefetcher.name());
@@ -391,5 +590,89 @@ fn sweep_cmd(args: &Args) -> CmdResult {
     if let Some(b) = best_threshold(&points) {
         println!("best: {:.2} ({:+.2}%)", b.threshold, b.speedup_pct);
     }
+    write_metrics(args, "sweep", app_id.name(), metrics)?;
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(argv: &[&str]) -> Result<(), String> {
+        let argv: Vec<String> = argv.iter().map(|s| s.to_string()).collect();
+        dispatch(&argv).map_err(|e| e.to_string())
+    }
+
+    #[test]
+    fn unknown_app_error_lists_valid_values() {
+        let err = run(&["simulate", "tomact"]).unwrap_err();
+        assert!(err.contains("unknown application"), "{err}");
+        assert!(err.contains("tomcat"), "must list valid apps: {err}");
+        assert!(err.contains("kafka"), "must list valid apps: {err}");
+    }
+
+    #[test]
+    fn unknown_prefetcher_error_lists_valid_values() {
+        let err = run(&["simulate", "tomcat", "--prefetcher", "fdpi"]).unwrap_err();
+        assert!(err.contains("unknown prefetcher \"fdpi\""), "{err}");
+        assert!(err.contains("none nlp fdip"), "{err}");
+    }
+
+    #[test]
+    fn unknown_policy_error_lists_valid_values() {
+        let err = run(&["simulate", "tomcat", "--policy", "mru"]).unwrap_err();
+        assert!(err.contains("unknown policy \"mru\""), "{err}");
+        assert!(err.contains("demand-min"), "{err}");
+    }
+
+    #[test]
+    fn out_of_range_threshold_is_rejected() {
+        for bad in ["1.5", "-0.1", "NaN", "inf"] {
+            let err = run(&["plan", "tomcat", "--threshold", bad]).unwrap_err();
+            assert!(err.contains("out of range"), "--threshold {bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn unknown_phase_set_is_rejected() {
+        let err = run(&["validate-metrics", "x.json", "--phases", "bogus"]).unwrap_err();
+        assert!(err.contains("unknown phase set"), "{err}");
+        assert!(err.contains("compare pipeline"), "{err}");
+    }
+
+    #[test]
+    fn unknown_flag_is_rejected_per_command() {
+        let err = run(&["compare", "tomcat", "--florb", "1"]).unwrap_err();
+        assert!(err.contains("unknown flag --florb"), "{err}");
+    }
+
+    #[test]
+    fn validate_metrics_round_trip() {
+        use ripple_obs::{FieldValue, MetricsRecorder};
+        let m = MetricsRecorder::new();
+        for name in COMPARE_PHASES {
+            m.phase(name, 1_000);
+        }
+        m.event(
+            "harness.job",
+            &[
+                ("scope", FieldValue::Str("policy_matrix")),
+                ("job", FieldValue::U64(0)),
+                ("queue_wait_ns", FieldValue::U64(5)),
+                ("run_ns", FieldValue::U64(995)),
+            ],
+        );
+        let report = run_report("compare", "tomcat", &m.snapshot());
+        let path = std::env::temp_dir().join("ripple_cli_validate_metrics_round_trip.json");
+        fs::write(&path, report.to_pretty_string()).unwrap();
+        let path = path.to_str().unwrap().to_string();
+        // Inferred phase set (from the report's own `command`) and the
+        // explicit override must both validate.
+        run(&["validate-metrics", &path]).unwrap();
+        run(&["validate-metrics", &path, "--phases", "compare"]).unwrap();
+        // The pipeline set requires train/eval phases this report lacks.
+        let err = run(&["validate-metrics", &path, "--phases", "pipeline"]).unwrap_err();
+        assert!(err.contains("train.oracle_replay"), "{err}");
+        fs::remove_file(&path).ok();
+    }
 }

@@ -16,21 +16,29 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
+use ripple_obs::{FieldValue, Recorder};
 use ripple_sim::{PolicyKind, SimSession, SimStats};
 
 /// A unit of work for [`run_jobs`]: boxed so heterogeneous closures can
 /// share one job list.
 pub type Job<'env, T> = Box<dyn FnOnce() -> T + Send + 'env>;
 
-/// Resolves a requested worker count: `None` means the machine's available
-/// parallelism (at least 1).
+/// Resolves a requested worker count: both `None` and `Some(0)` mean
+/// "auto-detect" — the machine's available parallelism (at least 1).
+///
+/// `Some(0)` is the CLI's `--threads 0`; it is equivalent to omitting the
+/// flag, never a request for a single thread (ask for that explicitly with
+/// `Some(1)`). Over-subscribed counts are passed through untouched: the
+/// harness caps workers at the job count, so requesting more threads than
+/// jobs (or cores) is safe.
 pub fn effective_threads(requested: Option<usize>) -> usize {
     match requested {
-        Some(n) => n.max(1),
-        None => std::thread::available_parallelism()
+        Some(0) | None => std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1),
+        Some(n) => n,
     }
 }
 
@@ -82,6 +90,67 @@ pub fn run_jobs<'env, T: Send>(threads: usize, jobs: Vec<Job<'env, T>>) -> Vec<T
         .collect()
 }
 
+/// [`run_jobs`] with per-job observability: wraps every job so its claim
+/// and completion are reported to `recorder`, then runs the batch through
+/// the plain engine (scheduling is shared, not duplicated).
+///
+/// Per job, a `harness.job` event carries the batch `scope`, the job
+/// index, `queue_wait_ns` (batch start → the job being claimed by a
+/// worker) and `run_ns`; a `harness.job` phase aggregates run times and a
+/// `harness.jobs` counter tallies completions. The whole batch is wrapped
+/// in a `harness.batch` phase with a start/finish event pair around it.
+///
+/// With a disabled recorder this delegates straight to [`run_jobs`] —
+/// same closures, no clock reads — so observability never perturbs the
+/// job results (which stay byte-identical either way; jobs are pure).
+pub fn run_jobs_observed<'env, T: Send + 'env>(
+    threads: usize,
+    scope: &'env str,
+    recorder: &'env dyn Recorder,
+    jobs: Vec<Job<'env, T>>,
+) -> Vec<T> {
+    if !recorder.enabled() {
+        return run_jobs(threads, jobs);
+    }
+    let n = jobs.len();
+    recorder.event(
+        "harness.batch",
+        &[
+            ("scope", FieldValue::Str(scope)),
+            ("jobs", FieldValue::U64(n as u64)),
+            ("threads", FieldValue::U64(threads.min(n.max(1)) as u64)),
+        ],
+    );
+    let batch_start = Instant::now();
+    let observed: Vec<Job<'env, T>> = jobs
+        .into_iter()
+        .enumerate()
+        .map(|(i, job)| -> Job<'env, T> {
+            Box::new(move || {
+                let claimed = Instant::now();
+                let queue_wait = (claimed - batch_start).as_nanos() as u64;
+                let out = job();
+                let run_ns = claimed.elapsed().as_nanos() as u64;
+                recorder.phase("harness.job", run_ns);
+                recorder.add("harness.jobs", 1);
+                recorder.event(
+                    "harness.job",
+                    &[
+                        ("scope", FieldValue::Str(scope)),
+                        ("job", FieldValue::U64(i as u64)),
+                        ("queue_wait_ns", FieldValue::U64(queue_wait)),
+                        ("run_ns", FieldValue::U64(run_ns)),
+                    ],
+                );
+                out
+            })
+        })
+        .collect();
+    let results = run_jobs(threads, observed);
+    recorder.phase("harness.batch", batch_start.elapsed().as_nanos() as u64);
+    results
+}
+
 /// Evaluates each policy of a matrix against one [`SimSession`], in
 /// parallel, returning stats in `policies` order.
 ///
@@ -97,7 +166,7 @@ pub fn policy_matrix(
         .iter()
         .map(|&p| -> Job<'_, SimStats> { Box::new(move || session.run(p)) })
         .collect();
-    run_jobs(threads, jobs)
+    run_jobs_observed(threads, "policy_matrix", &**session.recorder(), jobs)
 }
 
 #[cfg(test)]
@@ -128,10 +197,67 @@ mod tests {
     }
 
     #[test]
-    fn effective_threads_floors_at_one() {
-        assert_eq!(effective_threads(Some(0)), 1);
+    fn effective_threads_zero_means_auto_detect() {
+        // `Some(0)` and `None` are the same request: the machine's
+        // available parallelism, never fewer than one worker.
+        assert_eq!(effective_threads(Some(0)), effective_threads(None));
+        assert!(effective_threads(Some(0)) >= 1);
+        assert_eq!(effective_threads(Some(1)), 1);
         assert_eq!(effective_threads(Some(3)), 3);
-        assert!(effective_threads(None) >= 1);
+    }
+
+    #[test]
+    fn oversubscribed_threads_match_sequential() {
+        // More workers than jobs (and than cores) must still return
+        // results in job order, identical to the sequential run.
+        let make = || -> Vec<Job<'_, u64>> {
+            (0..5u64)
+                .map(|i| -> Job<'_, u64> { Box::new(move || i * 31) })
+                .collect()
+        };
+        assert_eq!(effective_threads(Some(1000)), 1000);
+        assert_eq!(run_jobs(1000, make()), run_jobs(1, make()));
+    }
+
+    #[test]
+    fn observed_jobs_report_per_job_timings() {
+        let recorder = ripple_obs::MetricsRecorder::new();
+        let jobs: Vec<Job<'_, usize>> = (0..6)
+            .map(|i| -> Job<'_, usize> { Box::new(move || i + 1) })
+            .collect();
+        let out = run_jobs_observed(3, "test_batch", &recorder, jobs);
+        assert_eq!(out, vec![1, 2, 3, 4, 5, 6]);
+        let snap = recorder.snapshot();
+        assert_eq!(snap.counter("harness.jobs"), Some(6));
+        assert_eq!(snap.phase("harness.job").map(|p| p.count), Some(6));
+        assert_eq!(snap.phase("harness.batch").map(|p| p.count), Some(1));
+        // One event per job, each carrying scope + both timings.
+        let events: Vec<_> = snap.events_named("harness.job").collect();
+        assert_eq!(events.len(), 6);
+        for e in &events {
+            assert_eq!(
+                e.field("scope").and_then(ripple_obs::OwnedValue::as_str),
+                Some("test_batch")
+            );
+            assert!(e.field("queue_wait_ns").is_some());
+            assert!(e.field("run_ns").is_some());
+        }
+        // Every job index 0..6 appears exactly once.
+        let mut idx: Vec<u64> = events
+            .iter()
+            .filter_map(|e| e.field("job").and_then(ripple_obs::OwnedValue::as_u64))
+            .collect();
+        idx.sort_unstable();
+        assert_eq!(idx, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn observed_disabled_recorder_is_passthrough() {
+        let jobs: Vec<Job<'_, usize>> = (0..4)
+            .map(|i| -> Job<'_, usize> { Box::new(move || i * 2) })
+            .collect();
+        let out = run_jobs_observed(2, "x", &ripple_obs::NullRecorder, jobs);
+        assert_eq!(out, vec![0, 2, 4, 6]);
     }
 
     #[test]

@@ -52,22 +52,26 @@ mod harness;
 mod metrics;
 mod pipeline;
 mod profile;
+mod report;
 mod threshold;
 
 pub use analysis::{
     analyze, analyze_windows, Analysis, AnalysisConfig, CoverageStats, CueCandidate, CueSelection,
     EvictionWindow, WindowChoice, WindowSink,
 };
-pub use harness::{effective_threads, policy_matrix, run_jobs, Job};
+pub use harness::{effective_threads, policy_matrix, run_jobs, run_jobs_observed, Job};
 pub use metrics::{
     decision_is_accurate, eviction_accuracy, invalidation_accuracy, plan_accuracy, AccuracySink,
     AccuracyStats, LineAccessIndex, WindowIndex,
 };
 pub use pipeline::{Ripple, RippleConfig, RippleOutcome};
 pub use profile::{collect_profile, Profile};
+pub use report::{run_report, validate_run_report, COMPARE_PHASES, PIPELINE_PHASES, REPORT_SCHEMA};
 pub use threshold::{best_threshold, sweep, ThresholdPoint};
 
 // Re-export the substrate crates so downstream users need only `ripple`.
+pub use ripple_json;
+pub use ripple_obs;
 pub use ripple_program;
 pub use ripple_sim;
 pub use ripple_trace;

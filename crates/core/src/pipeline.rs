@@ -2,7 +2,9 @@
 //! → evaluation (Fig. 4).
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
+use ripple_obs::{time_phase, NullRecorder, PhaseTimer, Recorder};
 use ripple_program::{
     patch_invalidates, rewrite, BlockId, InjectionPlan, Layout, LineAddr, Program,
 };
@@ -15,7 +17,7 @@ use ripple_trace::BbTrace;
 use crate::analysis::{
     analyze, analyze_windows, Analysis, AnalysisConfig, CoverageStats, WindowSink,
 };
-use crate::harness::{effective_threads, run_jobs, Job};
+use crate::harness::{effective_threads, run_jobs_observed, Job};
 use crate::metrics::{
     eviction_accuracy, plan_accuracy, AccuracySink, AccuracyStats, LineAccessIndex, WindowIndex,
 };
@@ -45,8 +47,10 @@ pub struct RippleConfig {
     pub slot_threshold_factor: f64,
     /// Simulator configuration (prefetcher, geometry, latencies).
     pub sim: SimConfig,
-    /// Worker threads for the evaluation harness (`None` = the machine's
-    /// available parallelism). Results are bit-identical at any value.
+    /// Worker threads for the evaluation harness. Both `None` and
+    /// `Some(0)` mean auto-detect (the machine's available parallelism);
+    /// `--threads 0` on the CLI maps here. Results are bit-identical at
+    /// any value, over-subscribed counts included.
     pub threads: Option<usize>,
 }
 
@@ -156,6 +160,10 @@ pub struct Ripple<'p> {
     config: RippleConfig,
     analysis: Analysis,
     train_windows: WindowIndex,
+    /// Observability sink for `train.*` / `eval.*` phases; propagated to
+    /// every [`SimSession`] the pipeline creates. [`NullRecorder`] by
+    /// default — recorders observe only and never change outcomes.
+    recorder: Arc<dyn Recorder>,
 }
 
 impl<'p> Ripple<'p> {
@@ -167,24 +175,53 @@ impl<'p> Ripple<'p> {
         train_trace: &BbTrace,
         config: RippleConfig,
     ) -> Self {
+        Self::train_with_recorder(program, layout, train_trace, config, Arc::new(NullRecorder))
+    }
+
+    /// [`Ripple::train`] with an observability recorder attached: training
+    /// reports `train.oracle_replay`, `train.cue_selection` and
+    /// `train.window_index` phases, and every evaluation afterwards
+    /// reports `eval.*` phases plus per-job harness timings.
+    pub fn train_with_recorder(
+        program: &'p Program,
+        layout: &'p Layout,
+        train_trace: &BbTrace,
+        config: RippleConfig,
+        recorder: Arc<dyn Recorder>,
+    ) -> Self {
         let oracle_cfg = config.sim.clone().with_policy(config.analysis_oracle());
         let mut windows = WindowSink::new();
-        let _ = simulate_with_sink(program, layout, train_trace, &oracle_cfg, &mut windows);
-        let analysis = analyze_windows(
-            program,
-            layout,
-            train_trace,
-            windows.into_windows(),
-            &config.analysis,
-        );
-        let train_windows = WindowIndex::build(analysis.windows());
+        let _ = time_phase(&*recorder, "train.oracle_replay", || {
+            let session = SimSession::new(program, layout, train_trace, oracle_cfg.clone())
+                .with_recorder(recorder.clone());
+            session.run_with_sink(oracle_cfg.policy, &mut windows)
+        });
+        let analysis = time_phase(&*recorder, "train.cue_selection", || {
+            analyze_windows(
+                program,
+                layout,
+                train_trace,
+                windows.into_windows(),
+                &config.analysis,
+            )
+        });
+        let train_windows = time_phase(&*recorder, "train.window_index", || {
+            WindowIndex::build(analysis.windows())
+        });
         Ripple {
             program,
             layout,
             config,
             analysis,
             train_windows,
+            recorder,
         }
+    }
+
+    /// The attached observability recorder ([`NullRecorder`] unless
+    /// trained via [`Ripple::train_with_recorder`]).
+    pub fn recorder(&self) -> &Arc<dyn Recorder> {
+        &self.recorder
     }
 
     /// The underlying analysis (cue choices, windows).
@@ -222,7 +259,9 @@ impl<'p> Ripple<'p> {
     /// that final layout assigns the victim operands (the binary's
     /// addresses are only meaningful once the layout is final).
     pub fn evaluate_with_threshold(&self, eval_trace: &BbTrace, threshold: f64) -> RippleOutcome {
-        let (mut plan, mut coverage) = self.analysis.plan_for_threshold(threshold);
+        let (mut plan, mut coverage) = time_phase(&*self.recorder, "eval.plan", || {
+            self.analysis.plan_for_threshold(threshold)
+        });
 
         // Layout fixpoint iteration: victims are expressed as layout-
         // independent `CodeLoc`s, so a plan derived against one layout can
@@ -231,6 +270,7 @@ impl<'p> Ripple<'p> {
         // the next plan; by the last round the plan's own layout is (very
         // nearly) the layout it was derived against, and the residual is
         // closed by patching operands in place.
+        let final_layout_timer = PhaseTimer::start(&*self.recorder);
         let rounds = if self.config.final_layout_analysis && !plan.is_empty() {
             2
         } else {
@@ -296,6 +336,7 @@ impl<'p> Ripple<'p> {
         }
         let final_program = rewritten.program;
         let final_layout = rewritten.layout;
+        final_layout_timer.finish(&*self.recorder, "eval.final_layout");
 
         // The five evaluation runs are independent simulations over two
         // binaries; they go through the shared harness as one job matrix.
@@ -310,10 +351,12 @@ impl<'p> Ripple<'p> {
             self.layout,
             eval_trace,
             self.config.sim.clone(),
-        );
+        )
+        .with_recorder(self.recorder.clone());
         let mut under_cfg = self.config.sim.clone().with_policy(self.config.underlying);
         under_cfg.eviction_mechanism = self.config.mechanism;
-        let final_session = SimSession::new(&final_program, &final_layout, eval_trace, under_cfg);
+        let final_session = SimSession::new(&final_program, &final_layout, eval_trace, under_cfg)
+            .with_recorder(self.recorder.clone());
         let underlying = self.config.underlying;
         let oracle = self.config.oracle();
 
@@ -367,7 +410,10 @@ impl<'p> Ripple<'p> {
                 ))
             }),
         ];
-        let mut outs = run_jobs(threads, jobs).into_iter();
+        let mut outs = time_phase(&*self.recorder, "eval.sim_runs", || {
+            run_jobs_observed(threads, "evaluate", &*self.recorder, jobs)
+        })
+        .into_iter();
         let baseline_out = outs.next().expect("baseline job");
         let ripple_stats = match outs.next().expect("ripple job") {
             RunOut::Stats(s) => s,
@@ -384,6 +430,7 @@ impl<'p> Ripple<'p> {
         };
 
         // Accuracy against ideal windows (final layout when available).
+        let accuracy_timer = PhaseTimer::start(&*self.recorder);
         let (baseline, ideal, eval_windows, accesses, acc_layout, underlying_accuracy) =
             match (prebuilt, baseline_out, ideal_out) {
                 (
@@ -413,6 +460,7 @@ impl<'p> Ripple<'p> {
             &eval_windows,
             &accesses,
         );
+        accuracy_timer.finish(&*self.recorder, "eval.accuracy");
 
         let static_orig = self.program.static_instruction_count();
         let static_overhead_pct = plan.len() as f64 / static_orig as f64 * 100.0;

@@ -1,0 +1,253 @@
+//! Structured run reports: a [`MetricsSnapshot`] rendered as a stable
+//! JSON document (`--metrics <path>` on the CLI, the CI observability
+//! artifact).
+//!
+//! The report is versioned by [`REPORT_SCHEMA`]; [`validate_run_report`]
+//! checks a parsed document against the schema and a required-phase list
+//! ([`COMPARE_PHASES`] / [`PIPELINE_PHASES`]), which is what the CI job
+//! runs against the artifact it uploads.
+
+use ripple_json::{object, Value};
+use ripple_obs::{MetricsSnapshot, OwnedValue};
+
+/// Schema tag carried by every report this module emits.
+pub const REPORT_SCHEMA: &str = "ripple.run_report.v1";
+
+/// Phases a `compare` run (a policy matrix over one [`SimSession`]) must
+/// report with nonzero wall time.
+///
+/// [`SimSession`]: ripple_sim::SimSession
+pub const COMPARE_PHASES: &[&str] = &[
+    "session.record",
+    "session.future_index",
+    "session.run",
+    "frontend.warmup",
+    "frontend.measure",
+    "harness.batch",
+    "harness.job",
+];
+
+/// Phases a full Ripple pipeline run (`optimize` / `sweep`:
+/// train + evaluate) must report with nonzero wall time, on top of
+/// [`COMPARE_PHASES`]'s session/frontend/harness set.
+pub const PIPELINE_PHASES: &[&str] = &[
+    "train.oracle_replay",
+    "train.cue_selection",
+    "train.window_index",
+    "eval.plan",
+    "eval.final_layout",
+    "eval.sim_runs",
+    "eval.accuracy",
+    "session.run",
+    "frontend.warmup",
+    "frontend.measure",
+    "harness.batch",
+    "harness.job",
+];
+
+fn owned_to_json(v: &OwnedValue) -> Value {
+    match v {
+        OwnedValue::U64(x) => {
+            if *x <= i64::MAX as u64 {
+                Value::Int(*x as i64)
+            } else {
+                Value::UInt(*x)
+            }
+        }
+        OwnedValue::I64(x) => Value::Int(*x),
+        OwnedValue::F64(x) => Value::Float(*x),
+        OwnedValue::Str(s) => Value::Str(s.clone()),
+        OwnedValue::Bool(b) => Value::Bool(*b),
+    }
+}
+
+fn u64_json(x: u64) -> Value {
+    if x <= i64::MAX as u64 {
+        Value::Int(x as i64)
+    } else {
+        Value::UInt(x)
+    }
+}
+
+/// Renders a metrics snapshot as a `ripple.run_report.v1` document.
+///
+/// Layout: `schema` / `command` / `app` at the top, then `phases` (name →
+/// `{count, total_ns, max_ns}`), `counters` (name → value), `gauges`
+/// (name → value) and `jobs` — one entry per `harness.job` event, each
+/// carrying the batch `scope`, job index, `queue_wait_ns` and `run_ns`.
+/// Key order is deterministic: snapshots sort metric names, and events
+/// arrive in completion order.
+pub fn run_report(command: &str, app: &str, snapshot: &MetricsSnapshot) -> Value {
+    let phases = Value::Object(
+        snapshot
+            .phases
+            .iter()
+            .map(|(name, stat)| {
+                (
+                    name.clone(),
+                    object([
+                        ("count", u64_json(stat.count)),
+                        ("total_ns", u64_json(stat.total_nanos)),
+                        ("max_ns", u64_json(stat.max_nanos)),
+                    ]),
+                )
+            })
+            .collect(),
+    );
+    let counters = Value::Object(
+        snapshot
+            .counters
+            .iter()
+            .map(|(name, value)| (name.clone(), u64_json(*value)))
+            .collect(),
+    );
+    let gauges = Value::Object(
+        snapshot
+            .gauges
+            .iter()
+            .map(|(name, value)| (name.clone(), Value::Float(*value)))
+            .collect(),
+    );
+    let jobs = Value::Array(
+        snapshot
+            .events_named("harness.job")
+            .map(|event| {
+                Value::Object(
+                    event
+                        .fields
+                        .iter()
+                        .map(|(name, value)| (name.clone(), owned_to_json(value)))
+                        .collect(),
+                )
+            })
+            .collect(),
+    );
+    object([
+        ("schema", Value::Str(REPORT_SCHEMA.to_string())),
+        ("command", Value::Str(command.to_string())),
+        ("app", Value::Str(app.to_string())),
+        ("phases", phases),
+        ("counters", counters),
+        ("gauges", gauges),
+        ("jobs", jobs),
+    ])
+}
+
+/// Validates a parsed run report: schema tag, every `required_phase`
+/// present with a positive count and nonzero total wall time, and every
+/// `jobs` entry carrying its per-job timings. Returns the first problem
+/// found.
+pub fn validate_run_report(report: &Value, required_phases: &[&str]) -> Result<(), String> {
+    let schema = report
+        .get("schema")
+        .and_then(|v| v.as_str().map(str::to_string))
+        .map_err(|e| format!("missing schema: {e}"))?;
+    if schema != REPORT_SCHEMA {
+        return Err(format!("schema {schema:?}, expected {REPORT_SCHEMA:?}"));
+    }
+    let phases = report.get("phases").map_err(|e| e.to_string())?;
+    for &name in required_phases {
+        let phase = phases
+            .get(name)
+            .map_err(|_| format!("required phase {name:?} missing"))?;
+        let count = phase
+            .get("count")
+            .and_then(|v| v.as_u64())
+            .map_err(|e| format!("phase {name:?}: {e}"))?;
+        let total_ns = phase
+            .get("total_ns")
+            .and_then(|v| v.as_u64())
+            .map_err(|e| format!("phase {name:?}: {e}"))?;
+        if count == 0 {
+            return Err(format!("phase {name:?} has zero count"));
+        }
+        if total_ns == 0 {
+            return Err(format!("phase {name:?} has zero wall time"));
+        }
+    }
+    let jobs = report
+        .get("jobs")
+        .and_then(|v| v.as_array().map(<[Value]>::to_vec))
+        .map_err(|e| format!("missing jobs: {e}"))?;
+    for (i, job) in jobs.iter().enumerate() {
+        for key in ["scope", "job", "queue_wait_ns", "run_ns"] {
+            if job.get(key).is_err() {
+                return Err(format!("job entry {i} lacks {key:?}"));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ripple_obs::{FieldValue, MetricsRecorder, Recorder};
+
+    fn sample_snapshot() -> MetricsSnapshot {
+        let m = MetricsRecorder::new();
+        for name in COMPARE_PHASES {
+            m.phase(name, 1_000);
+        }
+        m.add("session.runs", 9);
+        m.gauge("threads", 4.0);
+        m.event(
+            "harness.job",
+            &[
+                ("scope", FieldValue::Str("policy_matrix")),
+                ("job", FieldValue::U64(0)),
+                ("queue_wait_ns", FieldValue::U64(12)),
+                ("run_ns", FieldValue::U64(990)),
+            ],
+        );
+        m.snapshot()
+    }
+
+    #[test]
+    fn report_round_trips_through_ripple_json_and_validates() {
+        let report = run_report("compare", "tomcat", &sample_snapshot());
+        let text = report.to_pretty_string();
+        let parsed = ripple_json::parse(&text).expect("report must parse");
+        assert_eq!(parsed, report);
+        validate_run_report(&parsed, COMPARE_PHASES).expect("sample must validate");
+        assert_eq!(parsed.get("command").unwrap().as_str().unwrap(), "compare");
+        let jobs = parsed.get("jobs").unwrap().as_array().unwrap();
+        assert_eq!(jobs.len(), 1);
+        assert_eq!(jobs[0].get("queue_wait_ns").unwrap().as_u64().unwrap(), 12);
+    }
+
+    #[test]
+    fn validation_rejects_missing_and_zero_phases() {
+        let mut snapshot = sample_snapshot();
+        snapshot.phases.retain(|(name, _)| name != "session.record");
+        let report = run_report("compare", "tomcat", &snapshot);
+        let err = validate_run_report(&report, COMPARE_PHASES).unwrap_err();
+        assert!(err.contains("session.record"), "{err}");
+
+        let m = MetricsRecorder::new();
+        for name in COMPARE_PHASES {
+            m.phase(name, 0);
+        }
+        let report = run_report("compare", "tomcat", &m.snapshot());
+        let err = validate_run_report(&report, COMPARE_PHASES).unwrap_err();
+        assert!(err.contains("zero wall time"), "{err}");
+    }
+
+    #[test]
+    fn validation_rejects_wrong_schema() {
+        let report = object([("schema", Value::Str("bogus.v0".into()))]);
+        assert!(validate_run_report(&report, &[]).is_err());
+    }
+
+    #[test]
+    fn job_entries_must_carry_timings() {
+        let m = MetricsRecorder::new();
+        for name in COMPARE_PHASES {
+            m.phase(name, 5);
+        }
+        m.event("harness.job", &[("scope", FieldValue::Str("x"))]);
+        let report = run_report("compare", "t", &m.snapshot());
+        let err = validate_run_report(&report, COMPARE_PHASES).unwrap_err();
+        assert!(err.contains("job"), "{err}");
+    }
+}

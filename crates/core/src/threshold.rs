@@ -3,7 +3,7 @@
 
 use ripple_trace::BbTrace;
 
-use crate::harness::{effective_threads, run_jobs, Job};
+use crate::harness::{effective_threads, run_jobs_observed, Job};
 use crate::pipeline::Ripple;
 
 /// One point of the coverage/accuracy trade-off curve.
@@ -41,15 +41,21 @@ pub fn sweep(ripple: &Ripple<'_>, eval_trace: &BbTrace, thresholds: &[f64]) -> V
             })
         })
         .collect();
-    run_jobs(threads, jobs)
+    run_jobs_observed(threads, "sweep", &**ripple.recorder(), jobs)
 }
 
 /// Picks the best-performing threshold from a sweep (the paper tunes each
 /// application; the winners fall in 0.45..=0.65).
+///
+/// Points with a non-finite speedup are skipped: `f64::total_cmp` orders
+/// `NaN` above every real number, so a single degenerate point (e.g. a
+/// division artifact from a warmup-dominated run) would otherwise be
+/// crowned "best". Returns `None` when no point has a finite speedup.
 pub fn best_threshold(points: &[ThresholdPoint]) -> Option<ThresholdPoint> {
     points
         .iter()
         .copied()
+        .filter(|p| p.speedup_pct.is_finite())
         .max_by(|a, b| a.speedup_pct.total_cmp(&b.speedup_pct))
 }
 
@@ -79,5 +85,39 @@ mod tests {
         assert!(points[2].accuracy + 1e-9 >= points[0].accuracy);
         let best = best_threshold(&points).unwrap();
         assert!(points.iter().all(|p| p.speedup_pct <= best.speedup_pct));
+    }
+
+    fn point(threshold: f64, speedup_pct: f64) -> ThresholdPoint {
+        ThresholdPoint {
+            threshold,
+            coverage: 0.5,
+            accuracy: 0.5,
+            speedup_pct,
+        }
+    }
+
+    #[test]
+    fn best_threshold_never_crowns_a_non_finite_point() {
+        // total_cmp orders NaN above all reals, so without the finite
+        // filter the NaN point would win every one of these.
+        let points = [
+            point(0.1, 2.0),
+            point(0.3, f64::NAN),
+            point(0.5, 5.0),
+            point(0.7, f64::INFINITY),
+            point(0.9, 3.0),
+        ];
+        let best = best_threshold(&points).unwrap();
+        assert_eq!(best.threshold, 0.5);
+        assert_eq!(best.speedup_pct, 5.0);
+    }
+
+    #[test]
+    fn best_threshold_handles_all_degenerate_sweeps() {
+        assert!(best_threshold(&[]).is_none());
+        assert!(best_threshold(&[point(0.5, f64::NAN)]).is_none());
+        // Negative speedups are still finite and comparable.
+        let best = best_threshold(&[point(0.2, -3.0), point(0.4, -1.0)]).unwrap();
+        assert_eq!(best.threshold, 0.4);
     }
 }

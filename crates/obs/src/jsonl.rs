@@ -1,0 +1,210 @@
+//! Streaming recorder: one JSON object per line, for timeline tooling.
+
+use std::io::Write;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::{Field, FieldValue, Recorder};
+
+/// Streams every observation to a writer as one JSON line.
+///
+/// Each line carries a `t_ns` offset from the recorder's creation, a
+/// `kind` (`"phase"` / `"counter"` / `"gauge"` / `"event"`), the
+/// observation `name`, and the payload. JSON is emitted with hand-rolled
+/// escaping so this crate stays dependency-free; the output parses with
+/// `ripple-json` (the workspace tests assert it).
+///
+/// Write errors are swallowed: observability must never fail the run it
+/// observes.
+pub struct JsonlRecorder<W: Write + Send> {
+    epoch: Instant,
+    writer: Mutex<W>,
+}
+
+impl<W: Write + Send> JsonlRecorder<W> {
+    /// Wraps a writer; `t_ns` offsets count from this moment.
+    pub fn new(writer: W) -> Self {
+        JsonlRecorder {
+            epoch: Instant::now(),
+            writer: Mutex::new(writer),
+        }
+    }
+
+    /// Flushes and returns the underlying writer.
+    pub fn into_inner(self) -> W {
+        let mut w = self.writer.into_inner().expect("jsonl recorder poisoned");
+        let _ = w.flush();
+        w
+    }
+
+    fn emit(&self, line: String) {
+        let mut w = self.writer.lock().expect("jsonl recorder poisoned");
+        let _ = w.write_all(line.as_bytes());
+        let _ = w.write_all(b"\n");
+    }
+
+    fn prefix(&self, kind: &str, name: &str) -> String {
+        let mut s = String::with_capacity(64);
+        s.push_str("{\"t_ns\":");
+        s.push_str(&self.epoch.elapsed().as_nanos().to_string());
+        s.push_str(",\"kind\":\"");
+        s.push_str(kind);
+        s.push_str("\",\"name\":");
+        push_json_str(&mut s, name);
+        s
+    }
+}
+
+impl<W: Write + Send> std::fmt::Debug for JsonlRecorder<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JsonlRecorder").finish_non_exhaustive()
+    }
+}
+
+impl<W: Write + Send> Recorder for JsonlRecorder<W> {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn phase(&self, name: &str, wall_nanos: u64) {
+        let mut s = self.prefix("phase", name);
+        s.push_str(",\"wall_ns\":");
+        s.push_str(&wall_nanos.to_string());
+        s.push('}');
+        self.emit(s);
+    }
+
+    fn add(&self, name: &str, delta: u64) {
+        let mut s = self.prefix("counter", name);
+        s.push_str(",\"delta\":");
+        s.push_str(&delta.to_string());
+        s.push('}');
+        self.emit(s);
+    }
+
+    fn gauge(&self, name: &str, value: f64) {
+        let mut s = self.prefix("gauge", name);
+        s.push_str(",\"value\":");
+        push_json_f64(&mut s, value);
+        s.push('}');
+        self.emit(s);
+    }
+
+    fn event(&self, name: &str, fields: &[Field<'_>]) {
+        let mut s = self.prefix("event", name);
+        s.push_str(",\"fields\":{");
+        for (i, &(fname, fval)) in fields.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            push_json_str(&mut s, fname);
+            s.push(':');
+            match fval {
+                FieldValue::U64(x) => s.push_str(&x.to_string()),
+                FieldValue::I64(x) => s.push_str(&x.to_string()),
+                FieldValue::F64(x) => push_json_f64(&mut s, x),
+                FieldValue::Str(v) => push_json_str(&mut s, v),
+                FieldValue::Bool(b) => s.push_str(if b { "true" } else { "false" }),
+            }
+        }
+        s.push_str("}}");
+        self.emit(s);
+    }
+}
+
+/// Appends `value` as a JSON string literal (quotes + escapes).
+fn push_json_str(out: &mut String, value: &str) {
+    out.push('"');
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends `value` as a JSON number; non-finite values become `null`
+/// (matching `ripple-json` printing).
+fn push_json_f64(out: &mut String, value: f64) {
+    if !value.is_finite() {
+        out.push_str("null");
+        return;
+    }
+    let s = format!("{value}");
+    out.push_str(&s);
+    // Keep the token a JSON *number* that round-trips as f64.
+    if !s.contains(['.', 'e', 'E']) {
+        out.push_str(".0");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lines(recorder: JsonlRecorder<Vec<u8>>) -> Vec<String> {
+        let bytes = recorder.into_inner();
+        String::from_utf8(bytes)
+            .unwrap()
+            .lines()
+            .map(str::to_string)
+            .collect()
+    }
+
+    #[test]
+    fn emits_one_line_per_observation() {
+        let r = JsonlRecorder::new(Vec::new());
+        r.phase("session.record", 1234);
+        r.add("session.runs", 1);
+        r.gauge("threads", 4.0);
+        r.event(
+            "harness.job",
+            &[
+                ("scope", FieldValue::Str("eval")),
+                ("job", FieldValue::U64(0)),
+                ("ok", FieldValue::Bool(true)),
+            ],
+        );
+        let out = lines(r);
+        assert_eq!(out.len(), 4);
+        assert!(out[0].contains("\"kind\":\"phase\""));
+        assert!(out[0].contains("\"wall_ns\":1234"));
+        assert!(out[1].contains("\"kind\":\"counter\""));
+        assert!(out[2].contains("\"value\":4.0"));
+        assert!(out[3].contains("\"scope\":\"eval\""));
+        assert!(out[3].contains("\"ok\":true"));
+    }
+
+    #[test]
+    fn escapes_strings_and_maps_nonfinite_to_null() {
+        let r = JsonlRecorder::new(Vec::new());
+        r.event(
+            "e",
+            &[
+                ("quote", FieldValue::Str("a\"b\\c\nd")),
+                ("nan", FieldValue::F64(f64::NAN)),
+            ],
+        );
+        let out = lines(r);
+        assert!(out[0].contains("\"quote\":\"a\\\"b\\\\c\\nd\""));
+        assert!(out[0].contains("\"nan\":null"));
+    }
+
+    #[test]
+    fn float_counters_round_trip_as_numbers() {
+        let r = JsonlRecorder::new(Vec::new());
+        r.gauge("g", 2.0);
+        r.gauge("h", 0.125);
+        let out = lines(r);
+        assert!(out[0].contains("\"value\":2.0"));
+        assert!(out[1].contains("\"value\":0.125"));
+    }
+}

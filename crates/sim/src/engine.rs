@@ -17,6 +17,7 @@
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::{Arc, OnceLock};
 
+use ripple_obs::{time_phase, FieldValue, NullRecorder, PhaseTimer, Recorder};
 use ripple_program::{Layout, Program};
 use ripple_trace::BbTrace;
 
@@ -82,6 +83,9 @@ pub struct SimSession<'a> {
     plan: FetchPlan,
     recorded: OnceLock<RecordedStream>,
     recording_passes: AtomicU32,
+    /// Observability sink; [`NullRecorder`] (the default) keeps every
+    /// instrumented seam on its free path.
+    recorder: Arc<dyn Recorder>,
 }
 
 impl std::fmt::Debug for SimSession<'_> {
@@ -113,7 +117,22 @@ impl<'a> SimSession<'a> {
             plan,
             recorded: OnceLock::new(),
             recording_passes: AtomicU32::new(0),
+            recorder: Arc::new(NullRecorder),
         }
+    }
+
+    /// Attaches an observability recorder; subsequent runs report
+    /// `session.*` and `frontend.*` phases into it. Recorders observe
+    /// only — simulation outputs stay byte-identical (the determinism
+    /// suite asserts this).
+    pub fn with_recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
+    /// The attached observability recorder ([`NullRecorder`] by default).
+    pub fn recorder(&self) -> &Arc<dyn Recorder> {
+        &self.recorder
     }
 
     /// The session's configuration (its `policy` field is the default for
@@ -144,8 +163,9 @@ impl<'a> SimSession<'a> {
 
     /// Simulates under `policy`, streaming every L1I eviction into `sink`.
     pub fn run_with_sink(&self, policy: PolicyKind, sink: &mut dyn EvictionSink) -> SimStats {
+        let timer = PhaseTimer::start(&*self.recorder);
         let cfg = self.config.clone().with_policy(policy);
-        if policy.is_offline_ideal() {
+        let stats = if policy.is_offline_ideal() {
             let rec = self.recorded();
             let oracle = build_ideal_policy(policy, cfg.l1i, rec.future.clone());
             self.run_frontend(&cfg, oracle, false, Some(&rec.stream), sink)
@@ -153,7 +173,19 @@ impl<'a> SimSession<'a> {
         } else {
             let policy = build_policy(&cfg);
             self.run_frontend(&cfg, policy, false, None, sink).0
+        };
+        if self.recorder.enabled() {
+            self.recorder.add("session.runs", 1);
+            self.recorder.event(
+                "session.run",
+                &[
+                    ("policy", FieldValue::Str(policy.name())),
+                    ("blocks", FieldValue::U64(stats.blocks)),
+                ],
+            );
+            timer.finish(&*self.recorder, "session.run");
         }
+        stats
     }
 
     /// Runs one frontend pass, dispatching on the configured
@@ -179,6 +211,7 @@ impl<'a> SimSession<'a> {
                 record,
                 verify,
                 sink,
+                &*self.recorder,
             )
             .run(self.trace.iter()),
             LinePath::Reference => ReferenceFrontend::new(
@@ -189,6 +222,7 @@ impl<'a> SimSession<'a> {
                 record,
                 verify,
                 sink,
+                &*self.recorder,
             )
             .run(self.trace.iter()),
         }
@@ -216,26 +250,31 @@ impl<'a> SimSession<'a> {
     fn recorded(&self) -> &RecordedStream {
         self.recorded.get_or_init(|| {
             self.recording_passes.fetch_add(1, Ordering::AcqRel);
+            self.recorder.add("session.recording_passes", 1);
             // The recording policy is irrelevant to the captured stream;
             // LRU is the cheapest throwaway.
             let cfg = self.config.clone().with_policy(PolicyKind::Lru);
             let mut sink = NullSink;
-            let (_, stream) = self.run_frontend(
-                &cfg,
-                Box::new(LruPolicy::new(cfg.l1i)),
-                true,
-                None,
-                &mut sink,
-            );
+            let (_, stream) = time_phase(&*self.recorder, "session.record", || {
+                self.run_frontend(
+                    &cfg,
+                    Box::new(LruPolicy::new(cfg.l1i)),
+                    true,
+                    None,
+                    &mut sink,
+                )
+            });
             let stream = stream.expect("recording pass returns a stream");
             // Every recorded line is interned (the stream only contains
             // layout lines and their next-line prefetch targets, all of
             // which the table covers), so the dense index build applies to
             // both paths and yields identical chains.
-            let future = match cfg.line_path {
-                LinePath::Interned => FutureIndex::build_dense(&stream, &self.table),
-                LinePath::Reference => FutureIndex::build(&stream),
-            };
+            let future = time_phase(&*self.recorder, "session.future_index", || {
+                match cfg.line_path {
+                    LinePath::Interned => FutureIndex::build_dense(&stream, &self.table),
+                    LinePath::Reference => FutureIndex::build(&stream),
+                }
+            });
             RecordedStream { stream, future }
         })
     }

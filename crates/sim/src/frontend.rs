@@ -9,7 +9,9 @@
 //! results (the equivalence suite enforces it).
 
 use std::collections::VecDeque;
+use std::time::Instant;
 
+use ripple_obs::Recorder;
 use ripple_program::{Addr, BlockId, InstKind, Layout, LineAddr, Program};
 
 use crate::bpred::{BranchPredictor, Prediction};
@@ -56,6 +58,9 @@ pub(crate) struct Frontend<'a> {
     verify: Option<&'a [StreamRecord]>,
     /// Observer receiving every eviction as it happens.
     sink: &'a mut dyn EvictionSink,
+    /// Observability recorder; disabled recorders cost one boolean check
+    /// per run.
+    recorder: &'a dyn Recorder,
     /// Trace position of each line's last demand access (`NO_POS` = never).
     last_demand_pos: Vec<u64>,
     /// Trace position of each line's oldest unconsumed prefetch *issue*
@@ -87,6 +92,7 @@ impl<'a> Frontend<'a> {
         record: bool,
         verify: Option<&'a [StreamRecord]>,
         sink: &'a mut dyn EvictionSink,
+        recorder: &'a dyn Recorder,
     ) -> Self {
         let base = table.line_base();
         let lines = table.len() as usize;
@@ -121,6 +127,7 @@ impl<'a> Frontend<'a> {
             record: record.then(Vec::new),
             verify,
             sink,
+            recorder,
             last_demand_pos: vec![NO_POS; lines],
             prefetch_issue_pos: vec![NO_POS; lines],
             seen_lines: vec![false; lines],
@@ -143,13 +150,34 @@ impl<'a> Frontend<'a> {
     ) -> (SimStats, Option<Vec<StreamRecord>>) {
         let len = trace.len() as u64;
         self.warmup_until = (len as f64 * self.config.warmup_fraction.clamp(0.0, 0.9)) as u64;
+        // Warmup/measure wall split. One short-circuited boolean per
+        // counted block when disabled; clocks read only when a recorder
+        // is listening (the overhead contract of ripple-obs).
+        let timing = self.recorder.enabled();
+        let run_start = timing.then(Instant::now);
+        let mut measure_start: Option<Instant> = None;
         let mut counted_blocks = 0u64;
         for block in trace {
             self.step(block);
             if self.trace_pos >= self.warmup_until {
+                if timing && counted_blocks == 0 {
+                    measure_start = Some(Instant::now());
+                }
                 counted_blocks += 1;
             }
             self.trace_pos += 1;
+        }
+        if let Some(run_start) = run_start {
+            let end = Instant::now();
+            let measured_at = measure_start.unwrap_or(end);
+            self.recorder.phase(
+                "frontend.warmup",
+                (measured_at - run_start).as_nanos() as u64,
+            );
+            if let Some(m) = measure_start {
+                self.recorder
+                    .phase("frontend.measure", (end - m).as_nanos() as u64);
+            }
         }
         let total_instr = self.stats.instructions + self.stats.invalidate_instructions;
         self.stats.blocks = counted_blocks;

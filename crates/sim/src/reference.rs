@@ -15,7 +15,9 @@
 //! be byte-identical to the fast path (the equivalence suite asserts it).
 
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::time::Instant;
 
+use ripple_obs::Recorder;
 use ripple_program::{BlockId, InstKind, Layout, LineAddr, Program};
 
 use crate::bpred::{BranchPredictor, Prediction};
@@ -68,6 +70,7 @@ pub(crate) struct ReferenceFrontend<'a> {
     record: Option<Vec<StreamRecord>>,
     verify: Option<&'a [StreamRecord]>,
     sink: &'a mut dyn EvictionSink,
+    recorder: &'a dyn Recorder,
     last_demand_pos: HashMap<LineAddr, u64>,
     prefetch_issue_pos: HashMap<LineAddr, u64>,
     seen_lines: HashSet<LineAddr>,
@@ -78,6 +81,7 @@ pub(crate) struct ReferenceFrontend<'a> {
 }
 
 impl<'a> ReferenceFrontend<'a> {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         program: &'a Program,
         layout: &'a Layout,
@@ -86,6 +90,7 @@ impl<'a> ReferenceFrontend<'a> {
         record: bool,
         verify: Option<&'a [StreamRecord]>,
         sink: &'a mut dyn EvictionSink,
+        recorder: &'a dyn Recorder,
     ) -> Self {
         let mut l3: Cache<dyn ReplacementPolicy> =
             Cache::new(config.l3, Box::new(LruPolicy::new(config.l3)));
@@ -111,6 +116,7 @@ impl<'a> ReferenceFrontend<'a> {
             record: record.then(Vec::new),
             verify,
             sink,
+            recorder,
             last_demand_pos: HashMap::new(),
             prefetch_issue_pos: HashMap::new(),
             seen_lines: HashSet::new(),
@@ -127,13 +133,33 @@ impl<'a> ReferenceFrontend<'a> {
     ) -> (SimStats, Option<Vec<StreamRecord>>) {
         let len = trace.len() as u64;
         self.warmup_until = (len as f64 * self.config.warmup_fraction.clamp(0.0, 0.9)) as u64;
+        // Warmup/measure wall split, mirroring the fast path so both
+        // LinePaths report the same phase taxonomy.
+        let timing = self.recorder.enabled();
+        let run_start = timing.then(Instant::now);
+        let mut measure_start: Option<Instant> = None;
         let mut counted_blocks = 0u64;
         for block in trace {
             self.step(block);
             if self.trace_pos >= self.warmup_until {
+                if timing && counted_blocks == 0 {
+                    measure_start = Some(Instant::now());
+                }
                 counted_blocks += 1;
             }
             self.trace_pos += 1;
+        }
+        if let Some(run_start) = run_start {
+            let end = Instant::now();
+            let measured_at = measure_start.unwrap_or(end);
+            self.recorder.phase(
+                "frontend.warmup",
+                (measured_at - run_start).as_nanos() as u64,
+            );
+            if let Some(m) = measure_start {
+                self.recorder
+                    .phase("frontend.measure", (end - m).as_nanos() as u64);
+            }
         }
         let total_instr = self.stats.instructions + self.stats.invalidate_instructions;
         self.stats.blocks = counted_blocks;

@@ -92,8 +92,12 @@ impl SimStats {
     /// Both runs must execute the same original workload (the same block
     /// trace); the comparison is on total cycles, so a run that injects
     /// extra instructions pays for them rather than inflating its IPC.
+    ///
+    /// Degenerate runs (zero or negative cycles on either side — e.g. a
+    /// warmup-dominated trace that counted no instructions) report 0.0
+    /// rather than dividing by zero; the result is always finite.
     pub fn speedup_pct_over(&self, baseline: &SimStats) -> f64 {
-        if self.cycles == 0.0 {
+        if self.cycles <= 0.0 || baseline.cycles <= 0.0 {
             return 0.0;
         }
         (baseline.cycles / self.cycles - 1.0) * 100.0
@@ -166,5 +170,24 @@ mod tests {
         assert_eq!(s.ipc(), 0.0);
         assert_eq!(s.mpki(), 0.0);
         assert_eq!(s.miss_reduction_pct_over(&s), 0.0);
+    }
+
+    #[test]
+    fn speedup_is_finite_on_degenerate_runs() {
+        // Warmup-dominated traces can produce zero counted cycles on
+        // either side of the comparison; all four combinations must stay
+        // finite (and, by convention, report "no speedup").
+        let zero = SimStats::default();
+        let real = SimStats {
+            instructions: 100,
+            cycles: 100.0,
+            ..SimStats::default()
+        };
+        for (a, b) in [(&zero, &zero), (&zero, &real), (&real, &zero)] {
+            let pct = a.speedup_pct_over(b);
+            assert!(pct.is_finite(), "{a:?} over {b:?} -> {pct}");
+            assert_eq!(pct, 0.0);
+        }
+        assert!(real.speedup_pct_over(&real).is_finite());
     }
 }

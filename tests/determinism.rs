@@ -3,9 +3,14 @@
 //! parallel evaluation harness, whose results are byte-identical to a
 //! sequential run at any thread count.
 
+use std::sync::Arc;
+
 use ripple::{collect_profile, policy_matrix, Ripple, RippleConfig};
+use ripple_obs::{JsonlRecorder, MetricsRecorder, NullRecorder, Recorder};
 use ripple_program::{Layout, LayoutConfig};
-use ripple_sim::{ideal_policy_for, simulate, PolicyKind, PrefetcherKind, SimConfig, SimSession};
+use ripple_sim::{
+    ideal_policy_for, simulate, PolicyKind, PrefetcherKind, SimConfig, SimSession, VecSink,
+};
 use ripple_workloads::{generate, App, AppSpec, InputConfig};
 
 #[test]
@@ -110,6 +115,69 @@ fn ripple_outcome_is_thread_count_invariant() {
                 ripple.evaluate(&profile.trace)
             };
             assert_eq!(outcome(1), outcome(8), "{app_id}/{}", pf.name());
+        }
+    }
+}
+
+/// Observability recorders observe, never feed back: attaching a
+/// `MetricsRecorder` or a `JsonlRecorder` must leave `SimStats`, the full
+/// eviction stream, and the entire `RippleOutcome` byte-identical to the
+/// `NullRecorder` default, across ≥2 apps × 2 prefetchers.
+#[test]
+fn recorders_never_perturb_results() {
+    for app_id in [App::Tomcat, App::Kafka] {
+        let spec = app_id.spec();
+        let app = generate(&spec);
+        let layout = Layout::new(&app.program, &LayoutConfig::default());
+        let profile = collect_profile(&app, &layout, InputConfig::training(spec.seed), 80_000)
+            .expect("profile collection");
+        for pf in [PrefetcherKind::None, PrefetcherKind::Fdip] {
+            let run = |recorder: Arc<dyn Recorder>| {
+                let cfg = SimConfig::default().with_prefetcher(pf);
+                let session = SimSession::new(&app.program, &layout, &profile.trace, cfg)
+                    .with_recorder(recorder);
+                let mut sink = VecSink::new();
+                let stats = session.run_with_sink(ideal_policy_for(pf), &mut sink);
+                (stats, sink.into_events())
+            };
+            let baseline = run(Arc::new(NullRecorder));
+            let metrics = Arc::new(MetricsRecorder::new());
+            assert_eq!(
+                baseline,
+                run(metrics.clone()),
+                "MetricsRecorder perturbed {app_id}/{}",
+                pf.name()
+            );
+            assert!(
+                metrics.snapshot().phase("session.run").is_some(),
+                "recorder saw nothing"
+            );
+            let jsonl = Arc::new(JsonlRecorder::new(Vec::new()));
+            assert_eq!(
+                baseline,
+                run(jsonl.clone()),
+                "JsonlRecorder perturbed {app_id}/{}",
+                pf.name()
+            );
+
+            let outcome = |recorder: Arc<dyn Recorder>| {
+                let mut config = RippleConfig::default();
+                config.sim.prefetcher = pf;
+                let ripple = Ripple::train_with_recorder(
+                    &app.program,
+                    &layout,
+                    &profile.trace,
+                    config,
+                    recorder,
+                );
+                ripple.evaluate(&profile.trace)
+            };
+            assert_eq!(
+                outcome(Arc::new(NullRecorder)),
+                outcome(Arc::new(MetricsRecorder::new())),
+                "recorded pipeline diverged on {app_id}/{}",
+                pf.name()
+            );
         }
     }
 }

@@ -19,8 +19,14 @@ fn main() {
         for final_layout in [true, false] {
             let mut config = RippleConfig::default();
             config.final_layout_analysis = final_layout;
-            let ripple = Ripple::train(&loaded.app.program, &loaded.layout, &loaded.trace, config);
-            speeds.push(ripple.evaluate(&loaded.trace).speedup_pct());
+            let ripple = Ripple::train(&loaded.app.program, &loaded.layout, &loaded.trace, config)
+                .expect("train");
+            speeds.push(
+                ripple
+                    .evaluate(&loaded.trace)
+                    .expect("evaluate")
+                    .speedup_pct(),
+            );
         }
         println!(
             "  {:<16} {:>14.2} {:>14.2}",

@@ -25,8 +25,14 @@ fn main() {
             let mut config = RippleConfig::default();
             config.sim.prefetcher = PrefetcherKind::None;
             config.mechanism = mech;
-            let ripple = Ripple::train(&loaded.app.program, &loaded.layout, &loaded.trace, config);
-            speeds.push(ripple.evaluate(&loaded.trace).speedup_pct());
+            let ripple = Ripple::train(&loaded.app.program, &loaded.layout, &loaded.trace, config)
+                .expect("train");
+            speeds.push(
+                ripple
+                    .evaluate(&loaded.trace)
+                    .expect("evaluate")
+                    .speedup_pct(),
+            );
         }
         println!(
             "  {:<16} {:>12.2} {:>9.2} {:>11.2}",

@@ -22,8 +22,9 @@ fn main() {
         ] {
             let mut config = RippleConfig::default();
             config.analysis.cue_selection = sel;
-            let ripple = Ripple::train(&loaded.app.program, &loaded.layout, &loaded.trace, config);
-            let o = ripple.evaluate(&loaded.trace);
+            let ripple = Ripple::train(&loaded.app.program, &loaded.layout, &loaded.trace, config)
+                .expect("train");
+            let o = ripple.evaluate(&loaded.trace).expect("evaluate");
             out.push(format!(
                 "{:+.2}% ({:.0}% cov)",
                 o.speedup_pct(),

@@ -30,8 +30,9 @@ fn main() {
             );
             let mut config = RippleConfig::default();
             config.underlying = underlying;
-            let ripple = Ripple::train(&loaded.app.program, &loaded.layout, &loaded.trace, config);
-            let o = ripple.evaluate(&loaded.trace);
+            let ripple = Ripple::train(&loaded.app.program, &loaded.layout, &loaded.trace, config)
+                .expect("train");
+            let o = ripple.evaluate(&loaded.trace).expect("evaluate");
             let plain_sp = plain.speedup_pct_over(&lru);
             let ripple_sp = o.speedup_pct();
             println!(

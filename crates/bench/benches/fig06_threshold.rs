@@ -9,9 +9,10 @@ use ripple_workloads::App;
 fn main() {
     let loaded = load_app(App::FinagleHttp, bench_budget());
     let config = RippleConfig::default();
-    let ripple = Ripple::train(&loaded.app.program, &loaded.layout, &loaded.trace, config);
+    let ripple =
+        Ripple::train(&loaded.app.program, &loaded.layout, &loaded.trace, config).expect("train");
     let thresholds: Vec<f64> = (0..=10).map(|i| i as f64 / 10.0).collect();
-    let points = sweep(&ripple, &loaded.trace, &thresholds);
+    let points = sweep(&ripple, &loaded.trace, &thresholds).expect("sweep");
     println!("\nFig. 6 — Coverage/accuracy vs invalidation threshold (finagle-http)");
     println!(
         "  {:>9} {:>10} {:>10} {:>10}",

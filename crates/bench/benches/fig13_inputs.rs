@@ -31,14 +31,16 @@ fn main() {
             budget,
         )
         .expect("profile");
-        let trained = Ripple::train(&generated.program, &layout, &train.trace, config.clone());
+        let trained = Ripple::train(&generated.program, &layout, &train.trace, config.clone())
+            .expect("train");
         for input_id in 1..=3u32 {
             let input = InputConfig::numbered(input_id, spec.seed);
             let eval = collect_profile(&generated, &layout, input, budget).expect("profile");
-            let cross = trained.evaluate(&eval.trace);
+            let cross = trained.evaluate(&eval.trace).expect("evaluate");
             let matched_ripple =
-                Ripple::train(&generated.program, &layout, &eval.trace, config.clone());
-            let matched = matched_ripple.evaluate(&eval.trace);
+                Ripple::train(&generated.program, &layout, &eval.trace, config.clone())
+                    .expect("train");
+            let matched = matched_ripple.evaluate(&eval.trace).expect("evaluate");
             println!(
                 "  {:<16} {:>6} {:>16.2} {:>16.2}",
                 app.name(),

@@ -27,7 +27,8 @@ fn main() {
             &session,
             &[PolicyKind::Lru, PolicyKind::Opt, PolicyKind::DemandMin],
             effective_threads(None),
-        );
+        )
+        .expect("policy matrix");
         let (lru, opt, dm) = (&results[0], &results[1], &results[2]);
         let dm_sp = dm.speedup_pct_over(lru);
         let opt_sp = opt.speedup_pct_over(lru);

@@ -238,8 +238,9 @@ fn pipeline_phase_breakdown(loaded: &LoadedApp) -> Value {
         &loaded.trace,
         config,
         recorder.clone(),
-    );
-    black_box(ripple.evaluate(&loaded.trace));
+    )
+    .expect("train");
+    black_box(ripple.evaluate(&loaded.trace).expect("evaluate"));
     let snapshot = recorder.snapshot();
     let total: u64 = snapshot.phases.iter().map(|(_, s)| s.total_nanos).sum();
     println!("group: pipeline_phases (train + evaluate, 1 thread)");

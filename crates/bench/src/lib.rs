@@ -315,7 +315,7 @@ pub fn compute_cell(loaded: &LoadedApp, prefetcher: PrefetcherKind, threshold: f
     matrix.extend(PRIOR_POLICIES);
     matrix.push(ideal_kind);
     let session = SimSession::new(program, layout, trace, cfg.clone());
-    let results = policy_matrix(&session, &matrix, threads);
+    let results = policy_matrix(&session, &matrix, threads).expect("policy matrix jobs");
     let lru = &results[0];
     let mut policies = BTreeMap::new();
     for (kind, r) in PRIOR_POLICIES.iter().zip(&results[1..]) {
@@ -348,12 +348,15 @@ pub fn run_ripple(
     threshold: f64,
     lru_baseline: &SimStats,
 ) -> RippleRow {
-    let mut config = RippleConfig::default();
-    config.sim = sim_config(prefetcher);
-    config.underlying = underlying;
-    config.threshold = threshold;
-    let ripple = Ripple::train(&loaded.app.program, &loaded.layout, &loaded.trace, config);
-    let o = ripple.evaluate(&loaded.trace);
+    let config = RippleConfig {
+        sim: sim_config(prefetcher),
+        underlying,
+        threshold,
+        ..RippleConfig::default()
+    };
+    let ripple = Ripple::train(&loaded.app.program, &loaded.layout, &loaded.trace, config)
+        .expect("bench config is valid");
+    let o = ripple.evaluate(&loaded.trace).expect("evaluation");
     RippleRow {
         row: PolicyRow::from_stats(&o.ripple, lru_baseline),
         coverage: o.coverage.coverage(),
@@ -372,10 +375,13 @@ pub fn run_ripple(
 /// [`sweep`]; the first-listed threshold wins ties, as a sequential scan
 /// would pick.
 pub fn tune_threshold(loaded: &LoadedApp, prefetcher: PrefetcherKind) -> f64 {
-    let mut config = RippleConfig::default();
-    config.sim = sim_config(prefetcher);
-    let ripple = Ripple::train(&loaded.app.program, &loaded.layout, &loaded.trace, config);
-    let points = sweep(&ripple, &loaded.trace, &TUNE_THRESHOLDS);
+    let config = RippleConfig {
+        sim: sim_config(prefetcher),
+        ..RippleConfig::default()
+    };
+    let ripple = Ripple::train(&loaded.app.program, &loaded.layout, &loaded.trace, config)
+        .expect("bench config is valid");
+    let points = sweep(&ripple, &loaded.trace, &TUNE_THRESHOLDS).expect("threshold sweep");
     let mut best = (f64::NEG_INFINITY, TUNE_THRESHOLDS[0]);
     for p in &points {
         if p.speedup_pct > best.0 {

@@ -147,21 +147,23 @@ pub fn gen_full_case(seed: u64) -> FullCase {
     };
 
     let (size, assoc) = L1I_GEOMETRIES[rng.gen_range(0..L1I_GEOMETRIES.len())];
-    let mut config = SimConfig::default();
-    config.l1i = CacheGeometry::new(size, assoc);
-    config.prefetcher = match rng.gen_range(0u32..3) {
-        0 => PrefetcherKind::None,
-        1 => PrefetcherKind::NextLine,
-        _ => PrefetcherKind::Fdip,
+    let mut config = SimConfig {
+        l1i: CacheGeometry::new(size, assoc),
+        prefetcher: match rng.gen_range(0u32..3) {
+            0 => PrefetcherKind::None,
+            1 => PrefetcherKind::NextLine,
+            _ => PrefetcherKind::Fdip,
+        },
+        eviction_mechanism: match rng.gen_range(0u32..3) {
+            0 => EvictionMechanism::Invalidate,
+            1 => EvictionMechanism::Demote,
+            _ => EvictionMechanism::NoOp,
+        },
+        warmup_fraction: [0.0, 0.1, 0.25, 0.4][rng.gen_range(0..4usize)],
+        ftq_depth: rng.gen_range(4usize..=16),
+        random_seed: rng.next_u64(),
+        ..SimConfig::default()
     };
-    config.eviction_mechanism = match rng.gen_range(0u32..3) {
-        0 => EvictionMechanism::Invalidate,
-        1 => EvictionMechanism::Demote,
-        _ => EvictionMechanism::NoOp,
-    };
-    config.warmup_fraction = [0.0, 0.1, 0.25, 0.4][rng.gen_range(0..4usize)];
-    config.ftq_depth = rng.gen_range(4usize..=16);
-    config.random_seed = rng.next_u64();
 
     // Optionally script invalidations: sample a pilot LRU run's evictions
     // (likely resident at their positions) plus a few arbitrary lines

@@ -1,0 +1,501 @@
+//! Dimension 6: fault injection — corrupted inputs must surface typed
+//! errors, never panics.
+//!
+//! Three layered oracles over the decoding and reporting surfaces:
+//!
+//! * **strict decode** — encoded traces mangled by random [`Mutation`]s
+//!   pushed through [`reconstruct_trace`] return `Ok` or a typed
+//!   `ReconstructError`; a panic is a divergence;
+//! * **lossy decode** — [`reconstruct_trace_lossy`] with an open drop
+//!   bound always succeeds on the same mangled bytes, its `TraceHealth`
+//!   satisfies the accounting invariants (byte totals, ratio range,
+//!   valid recovered block ids), decoding the same bytes twice is
+//!   bit-identical, and a zero drop bound rejects exactly the streams
+//!   that dropped bytes. The recovered trace must also survive
+//!   `Ripple::train` + `plan` without panicking;
+//! * **json** — mutated run-report documents pushed through
+//!   [`ripple_json::parse`] and `validate_run_report` never panic, and
+//!   any document that still parses survives a print → reparse round
+//!   trip.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use rand::{Rng, SeedableRng, StdRng};
+use ripple::ripple_json::{self, Value};
+use ripple::{validate_run_report, RippleConfig};
+use ripple_program::{Layout, LayoutConfig, Program};
+use ripple_trace::{
+    reconstruct_trace, reconstruct_trace_lossy, record_trace, record_trace_with_sync,
+    DecodeOptions, ReconstructError,
+};
+use ripple_workloads::{execute, generate, AppSpec, InputConfig};
+
+use crate::shrink::shrink_list;
+
+/// One mutation applied to an encoded byte stream. Offsets and lengths
+/// are clamped against the stream's current size at application time, so
+/// a mutation list stays valid while being shrunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mutation {
+    /// Flip bit `bit` of the byte at `offset`.
+    BitFlip {
+        /// Byte offset (clamped into the stream).
+        offset: usize,
+        /// Bit index, `0..8`.
+        bit: u8,
+    },
+    /// Overwrite the byte at `offset` with `byte`.
+    Overwrite {
+        /// Byte offset (clamped into the stream).
+        offset: usize,
+        /// Replacement byte.
+        byte: u8,
+    },
+    /// Cut the stream to at most `len` bytes.
+    Truncate {
+        /// New maximum length.
+        len: usize,
+    },
+    /// Re-insert a copy of the span at `start..start+len` right after it
+    /// (packet duplication).
+    Duplicate {
+        /// Span start.
+        start: usize,
+        /// Span length.
+        len: usize,
+    },
+    /// Swap the two `len`-byte spans starting at `a` and `b`
+    /// (packet reordering).
+    Swap {
+        /// First span start.
+        a: usize,
+        /// Second span start.
+        b: usize,
+        /// Span length.
+        len: usize,
+    },
+    /// Insert a raw byte at `offset`.
+    Insert {
+        /// Insertion offset (clamped to the stream length).
+        offset: usize,
+        /// The byte to insert.
+        byte: u8,
+    },
+    /// Delete up to `len` bytes at `offset`.
+    Delete {
+        /// Deletion start.
+        offset: usize,
+        /// Bytes to remove.
+        len: usize,
+    },
+}
+
+/// Applies one mutation in place. Never panics: every offset is clamped
+/// against the current stream, and degenerate spans are no-ops.
+pub fn apply_mutation(bytes: &mut Vec<u8>, m: Mutation) {
+    match m {
+        Mutation::BitFlip { offset, bit } => {
+            if !bytes.is_empty() {
+                let i = offset % bytes.len();
+                bytes[i] ^= 1 << (bit % 8);
+            }
+        }
+        Mutation::Overwrite { offset, byte } => {
+            if !bytes.is_empty() {
+                let i = offset % bytes.len();
+                bytes[i] = byte;
+            }
+        }
+        Mutation::Truncate { len } => bytes.truncate(len),
+        Mutation::Duplicate { start, len } => {
+            if !bytes.is_empty() && len > 0 {
+                let start = start % bytes.len();
+                let end = (start + len).min(bytes.len());
+                let span: Vec<u8> = bytes[start..end].to_vec();
+                let mut out = Vec::with_capacity(bytes.len() + span.len());
+                out.extend_from_slice(&bytes[..end]);
+                out.extend_from_slice(&span);
+                out.extend_from_slice(&bytes[end..]);
+                *bytes = out;
+            }
+        }
+        Mutation::Swap { a, b, len } => {
+            if !bytes.is_empty() && len > 0 {
+                let (mut a, mut b) = (a % bytes.len(), b % bytes.len());
+                if a > b {
+                    std::mem::swap(&mut a, &mut b);
+                }
+                // Only swap non-overlapping spans that both fit.
+                let len = len.min(b - a).min(bytes.len() - b);
+                for i in 0..len {
+                    bytes.swap(a + i, b + i);
+                }
+            }
+        }
+        Mutation::Insert { offset, byte } => {
+            let i = offset.min(bytes.len());
+            bytes.insert(i, byte);
+        }
+        Mutation::Delete { offset, len } => {
+            if !bytes.is_empty() && len > 0 {
+                let start = offset % bytes.len();
+                let end = (start + len).min(bytes.len());
+                bytes.drain(start..end);
+            }
+        }
+    }
+}
+
+/// Applies `mutations` to a copy of `bytes`, in order.
+pub fn mutate(bytes: &[u8], mutations: &[Mutation]) -> Vec<u8> {
+    let mut out = bytes.to_vec();
+    for &m in mutations {
+        apply_mutation(&mut out, m);
+    }
+    out
+}
+
+/// Draws a random mutation list sized for a `len`-byte stream from
+/// `seed`. Deterministic: the same seed and length always produce the
+/// same list.
+pub fn gen_mutations(seed: u64, len: usize) -> Vec<Mutation> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let span = len.max(1);
+    let count = rng.gen_range(1usize..=6);
+    (0..count)
+        .map(|_| match rng.gen_range(0u32..14) {
+            // Bit flips dominate: they probe every decoder branch without
+            // destroying the whole stream.
+            0..=5 => Mutation::BitFlip {
+                offset: rng.gen_range(0..span),
+                bit: rng.gen_range(0u8..8),
+            },
+            6..=7 => Mutation::Overwrite {
+                offset: rng.gen_range(0..span),
+                byte: rng.next_u64() as u8,
+            },
+            8 => Mutation::Truncate {
+                len: rng.gen_range(0..span),
+            },
+            9 => Mutation::Duplicate {
+                start: rng.gen_range(0..span),
+                len: rng.gen_range(1..=16usize),
+            },
+            10..=11 => Mutation::Swap {
+                a: rng.gen_range(0..span),
+                b: rng.gen_range(0..span),
+                len: rng.gen_range(1..=8usize),
+            },
+            12 => Mutation::Insert {
+                offset: rng.gen_range(0..=span),
+                byte: rng.next_u64() as u8,
+            },
+            _ => Mutation::Delete {
+                offset: rng.gen_range(0..span),
+                len: rng.gen_range(1..=8usize),
+            },
+        })
+        .collect()
+}
+
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "<non-string panic>"
+    }
+}
+
+/// Runs every trace-level oracle against `bytes` mangled by `mutations`.
+/// Returns a violation message, or `None` if all invariants hold.
+fn trace_fault_violation(
+    program: &Program,
+    layout: &Layout,
+    bytes: &[u8],
+    mutations: &[Mutation],
+) -> Option<String> {
+    let corrupt = mutate(bytes, mutations);
+
+    // Strict decode: a typed error or a clean decode, never a panic.
+    if let Err(p) = catch_unwind(AssertUnwindSafe(|| {
+        let _ = reconstruct_trace(program, layout, &corrupt);
+    })) {
+        return Some(format!("strict decoder panicked: {}", panic_text(&*p)));
+    }
+
+    // Lossy decode with the open bound must always produce a result.
+    let open = DecodeOptions {
+        max_drop_ratio: 1.0,
+    };
+    let lossy = match catch_unwind(AssertUnwindSafe(|| {
+        reconstruct_trace_lossy(program, layout, &corrupt, &open)
+    })) {
+        Err(p) => return Some(format!("lossy decoder panicked: {}", panic_text(&*p))),
+        Ok(Err(e)) => return Some(format!("lossy decode with open drop bound failed: {e}")),
+        Ok(Ok(l)) => l,
+    };
+
+    // Health accounting invariants.
+    let h = lossy.health;
+    if h.total_bytes != corrupt.len() as u64 {
+        return Some(format!(
+            "health.total_bytes {} != stream length {}",
+            h.total_bytes,
+            corrupt.len()
+        ));
+    }
+    if h.dropped_bytes > h.total_bytes {
+        return Some(format!(
+            "health dropped {} of only {} bytes",
+            h.dropped_bytes, h.total_bytes
+        ));
+    }
+    if !(0.0..=1.0).contains(&h.drop_ratio()) {
+        return Some(format!("drop ratio {} outside 0..=1", h.drop_ratio()));
+    }
+    if let Some(&b) = lossy
+        .trace
+        .blocks()
+        .iter()
+        .find(|b| b.index() >= program.num_blocks())
+    {
+        return Some(format!(
+            "recovered block {b:?} outside program ({} blocks)",
+            program.num_blocks()
+        ));
+    }
+
+    // Lossy decoding is a pure function of the bytes: run it again and
+    // demand a bit-identical trace and health.
+    match reconstruct_trace_lossy(program, layout, &corrupt, &open) {
+        Ok(again) => {
+            if again.trace != lossy.trace || again.health != h {
+                return Some("lossy decode is nondeterministic on identical bytes".into());
+            }
+        }
+        Err(e) => {
+            return Some(format!(
+                "lossy decode nondeterministic: second run failed: {e}"
+            ))
+        }
+    }
+
+    // A zero drop bound accepts exactly the streams that dropped nothing.
+    let strict_bound = DecodeOptions {
+        max_drop_ratio: 0.0,
+    };
+    match reconstruct_trace_lossy(program, layout, &corrupt, &strict_bound) {
+        Ok(_) if h.dropped_bytes > 0 => {
+            return Some(format!(
+                "zero drop bound accepted a stream that dropped {} bytes",
+                h.dropped_bytes
+            ))
+        }
+        Ok(_) => {}
+        Err(ReconstructError::DropRatioExceeded { .. }) if h.dropped_bytes == 0 => {
+            return Some("zero drop bound rejected a stream that dropped nothing".into())
+        }
+        Err(ReconstructError::DropRatioExceeded { .. }) => {}
+        Err(e) => {
+            return Some(format!(
+                "zero-bound decode failed with unexpected error: {e}"
+            ))
+        }
+    }
+
+    // The recovered trace must flow through the pipeline without
+    // panicking (typed errors are fine: the trace may be empty or
+    // degenerate).
+    if !lossy.trace.is_empty() {
+        let decoded = lossy.trace;
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let mut config = RippleConfig::default();
+            config.sim.l1i = ripple_sim::CacheGeometry::new(1024, 2);
+            config.analysis.min_windows_per_injection = 1;
+            config.threads = Some(1);
+            ripple::Ripple::train(program, layout, &decoded, config)
+                .and_then(|r| r.plan().map(|_| ()))
+        }));
+        if let Err(p) = outcome {
+            return Some(format!(
+                "pipeline panicked on a lossily recovered trace: {}",
+                panic_text(&*p)
+            ));
+        }
+    }
+    None
+}
+
+/// Runs the JSON oracles against `doc` mangled by `mutations`.
+fn json_fault_violation(doc: &str, mutations: &[Mutation]) -> Option<String> {
+    let corrupt = mutate(doc.as_bytes(), mutations);
+    let corrupt = String::from_utf8_lossy(&corrupt);
+    let parsed = match catch_unwind(AssertUnwindSafe(|| ripple_json::parse(&corrupt))) {
+        Err(p) => return Some(format!("json parser panicked: {}", panic_text(&*p))),
+        Ok(Err(_)) => return None, // a typed parse error is the expected outcome
+        Ok(Ok(v)) => v,
+    };
+
+    // Whatever still parses must survive print -> reparse. Non-finite
+    // floats print as null (JSON has no Inf), so equality only holds for
+    // finite documents; reparsing must succeed either way.
+    let printed = parsed.to_compact_string();
+    match ripple_json::parse(&printed) {
+        Err(e) => return Some(format!("printed document no longer parses: {e}")),
+        Ok(reparsed) => {
+            if all_finite(&parsed) && reparsed != parsed {
+                return Some("print -> reparse changed the document".into());
+            }
+        }
+    }
+
+    // The report validator sees arbitrary shapes; it must reject them
+    // with a message, not a panic.
+    if let Err(p) = catch_unwind(AssertUnwindSafe(|| {
+        let _ = validate_run_report(&parsed, ripple::PIPELINE_PHASES);
+    })) {
+        return Some(format!("report validator panicked: {}", panic_text(&*p)));
+    }
+    None
+}
+
+fn all_finite(v: &Value) -> bool {
+    match v {
+        Value::Float(f) => f.is_finite(),
+        Value::Array(items) => items.iter().all(all_finite),
+        Value::Object(members) => members.iter().all(|(_, v)| all_finite(v)),
+        _ => true,
+    }
+}
+
+/// A realistic run-report document to mutate (schema, phases, counters,
+/// harness events), rendered pretty so truncations land mid-structure.
+fn sample_report_text(rng: &mut StdRng) -> String {
+    use ripple_obs::Recorder as _;
+    let m = ripple_obs::MetricsRecorder::new();
+    for name in ripple::PIPELINE_PHASES {
+        m.phase(name, rng.gen_range(1u64..2_000_000));
+    }
+    m.gauge("trace.dropped_packets", rng.gen_range(0u32..50) as f64);
+    m.gauge("trace.resync_events", rng.gen_range(0u32..10) as f64);
+    m.event(
+        "harness.job",
+        &[
+            ("scope", ripple_obs::FieldValue::Str("policy_matrix")),
+            ("job", ripple_obs::FieldValue::U64(rng.gen_range(0u64..8))),
+            (
+                "queue_wait_ns",
+                ripple_obs::FieldValue::U64(rng.next_u64() >> 40),
+            ),
+            ("run_ns", ripple_obs::FieldValue::U64(rng.next_u64() >> 40)),
+        ],
+    );
+    ripple::run_report("optimize", "tomcat", &m.snapshot()).to_pretty_string()
+}
+
+/// Checks one trace-corruption case and one report-corruption case;
+/// shrinks the mutation list on failure.
+pub fn check(seed: u64) -> Result<(), (String, String)> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xfa17_1e57_u64.rotate_left(23));
+
+    let spec = if rng.gen_bool(0.3) {
+        AppSpec::tiny(rng.next_u64())
+    } else {
+        AppSpec::randomized(rng.next_u64())
+    };
+    let app = generate(&spec);
+    let layout = Layout::new(&app.program, &LayoutConfig::default());
+    let budget = rng.gen_range(400u64..=1500);
+    let trace = execute(
+        &app.program,
+        &app.model,
+        InputConfig::training(rng.next_u64()),
+        budget,
+    );
+    // Mix plain streams with checkpointed ones: sync points are what the
+    // lossy decoder resynchronizes on, so both shapes must hold up.
+    let sync_interval = [0u64, 8, 32][rng.gen_range(0..3usize)];
+    let bytes = if sync_interval == 0 {
+        record_trace(&app.program, &layout, trace.iter())
+    } else {
+        record_trace_with_sync(&app.program, &layout, trace.iter(), sync_interval)
+    };
+    let mutations = gen_mutations(rng.next_u64(), bytes.len());
+    if let Some(message) = trace_fault_violation(&app.program, &layout, &bytes, &mutations) {
+        let minimal = shrink_list(&mutations, |m| {
+            trace_fault_violation(&app.program, &layout, &bytes, m).is_some()
+        });
+        let final_message = trace_fault_violation(&app.program, &layout, &bytes, &minimal)
+            .expect("shrunk case still fails");
+        let repro = format!(
+            "app {} (spec seed {:#x}), {} trace bytes (sync {}), mutations shrunk {} -> {}:\n  {:?}\n  {}",
+            spec.name,
+            spec.seed,
+            bytes.len(),
+            sync_interval,
+            mutations.len(),
+            minimal.len(),
+            minimal,
+            final_message,
+        );
+        return Err((message, repro));
+    }
+
+    let doc = sample_report_text(&mut rng);
+    let mutations = gen_mutations(rng.next_u64(), doc.len());
+    if let Some(message) = json_fault_violation(&doc, &mutations) {
+        let minimal = shrink_list(&mutations, |m| json_fault_violation(&doc, m).is_some());
+        let final_message = json_fault_violation(&doc, &minimal).expect("shrunk case still fails");
+        let repro = format!(
+            "run report of {} bytes, mutations shrunk {} -> {}:\n  {:?}\n  {}",
+            doc.len(),
+            mutations.len(),
+            minimal.len(),
+            minimal,
+            final_message,
+        );
+        return Err((message, repro));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_cases_pass_on_many_seeds() {
+        for seed in 0..32 {
+            if let Err((msg, repro)) = check(seed) {
+                panic!("seed {seed}: {msg}\n{repro}");
+            }
+        }
+    }
+
+    #[test]
+    fn mutations_are_deterministic_and_clamped() {
+        let bytes: Vec<u8> = (0..64u8).collect();
+        for seed in 0..64 {
+            let muts = gen_mutations(seed, bytes.len());
+            assert_eq!(muts, gen_mutations(seed, bytes.len()));
+            assert_eq!(mutate(&bytes, &muts), mutate(&bytes, &muts));
+            // Mutations stay total on degenerate inputs too.
+            let _ = mutate(&[], &muts);
+            let _ = mutate(&[0x06], &muts);
+        }
+    }
+
+    #[test]
+    fn truncate_and_delete_shrink_the_stream() {
+        let bytes: Vec<u8> = (0..16u8).collect();
+        let out = mutate(&bytes, &[Mutation::Truncate { len: 4 }]);
+        assert_eq!(out, vec![0, 1, 2, 3]);
+        let out = mutate(&bytes, &[Mutation::Delete { offset: 2, len: 30 }]);
+        assert_eq!(out, vec![0, 1]);
+        let out = mutate(&bytes, &[Mutation::Duplicate { start: 0, len: 2 }]);
+        assert_eq!(&out[..4], &[0, 1, 0, 1]);
+        assert_eq!(out.len(), 18);
+    }
+}

@@ -1,7 +1,7 @@
 //! Differential oracle checker for the Ripple simulator.
 //!
 //! `ripple-check` fuzzes the production simulator against small executable
-//! models in five independent dimensions:
+//! models in six independent dimensions:
 //!
 //! 1. [`model_cache`] — a brute-force associative cache model cross-checked
 //!    against [`ripple_sim::Cache`] for LRU, SRRIP, and DRRIP, comparing
@@ -15,7 +15,10 @@
 //! 4. [`threads`] — thread-count invariance of the parallel policy matrix
 //!    and single-shot offline recording;
 //! 5. [`trace_rt`] — packet encode→decode and end-to-end trace
-//!    record→reconstruct round trips.
+//!    record→reconstruct round trips;
+//! 6. [`faults`] — fault injection: randomly mutated trace bytes and
+//!    report documents must surface typed errors (strict) or accounted
+//!    loss (lossy), and never panic.
 //!
 //! Every case derives from a single `u64` seed. Failures shrink to locally
 //! minimal repros (the vendored proptest stand-in has no shrinking, so
@@ -26,6 +29,7 @@
 pub mod belady;
 pub mod case;
 pub mod equiv;
+pub mod faults;
 pub mod model_cache;
 pub mod shrink;
 pub mod threads;
@@ -44,15 +48,21 @@ pub enum Dimension {
     Threads,
     /// Trace packet and end-to-end round trips.
     TraceRoundTrip,
+    /// Fault injection: corrupted traces and reports never panic.
+    Faults,
 }
 
+/// Number of checker dimensions (the length of [`ALL_DIMENSIONS`]).
+pub const NUM_DIMENSIONS: usize = 6;
+
 /// Every dimension, in the order the corpus round-robins them.
-pub const ALL_DIMENSIONS: [Dimension; 5] = [
+pub const ALL_DIMENSIONS: [Dimension; NUM_DIMENSIONS] = [
     Dimension::ModelCache,
     Dimension::Belady,
     Dimension::Equivalence,
     Dimension::Threads,
     Dimension::TraceRoundTrip,
+    Dimension::Faults,
 ];
 
 impl Dimension {
@@ -64,6 +74,7 @@ impl Dimension {
             Dimension::Equivalence => "equivalence",
             Dimension::Threads => "threads",
             Dimension::TraceRoundTrip => "trace-roundtrip",
+            Dimension::Faults => "faults",
         }
     }
 
@@ -110,6 +121,7 @@ pub fn check_case(dimension: Dimension, case_seed: u64) -> Result<(), Failure> {
         Dimension::Equivalence => equiv::check(case_seed),
         Dimension::Threads => threads::check(case_seed),
         Dimension::TraceRoundTrip => trace_rt::check(case_seed),
+        Dimension::Faults => faults::check(case_seed),
     };
     outcome.map_err(|(message, repro)| Failure {
         dimension,
@@ -152,7 +164,7 @@ pub fn mix_seed(base_seed: u64, index: u64) -> u64 {
 #[derive(Debug, Default)]
 pub struct Report {
     /// Cases passed, per dimension (indexed like [`ALL_DIMENSIONS`]).
-    pub passed: [u64; 5],
+    pub passed: [u64; NUM_DIMENSIONS],
     /// First failure per dimension, if any.
     pub failures: Vec<Failure>,
 }
@@ -183,7 +195,7 @@ pub fn run_corpus(
     mut progress: impl FnMut(u64, u64),
 ) -> Report {
     let mut report = Report::default();
-    let mut dead = [false; 5];
+    let mut dead = [false; NUM_DIMENSIONS];
     for index in 0..cases {
         let dimension = dims[(index % dims.len() as u64) as usize];
         let di = dim_index(dimension);
@@ -238,9 +250,9 @@ mod tests {
 
     #[test]
     fn corpus_runs_every_dimension() {
-        let report = run_corpus(7, 10, &ALL_DIMENSIONS, |_, _| {});
+        let report = run_corpus(7, 12, &ALL_DIMENSIONS, |_, _| {});
         assert!(report.failures.is_empty(), "{:?}", report.failures);
-        assert_eq!(report.total_passed(), 10);
+        assert_eq!(report.total_passed(), 12);
         for (i, &p) in report.passed.iter().enumerate() {
             assert!(p >= 2, "dimension {} starved", ALL_DIMENSIONS[i]);
         }

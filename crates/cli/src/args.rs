@@ -17,7 +17,7 @@ impl std::error::Error for ArgError {}
 
 /// Flags that are boolean switches: they take no value token. Every other
 /// `--flag` consumes the following token as its value.
-pub const SWITCHES: &[&str] = &["progress"];
+pub const SWITCHES: &[&str] = &["progress", "lossy"];
 
 /// Parsed positional arguments, `--flag value` pairs and bare switches.
 #[derive(Debug, Default)]

@@ -11,7 +11,8 @@ use ripple::{
 use ripple_json::ToJson;
 use ripple_obs::{Field, FieldValue, MetricsRecorder, NullRecorder, Recorder, TeeRecorder};
 use ripple_program::{Layout, LayoutConfig};
-use ripple_sim::{simulate, PolicyKind, PrefetcherKind, SimConfig, SimSession};
+use ripple_sim::{PolicyKind, PrefetcherKind, SimConfig, SimSession};
+use ripple_trace::DecodeOptions;
 use ripple_workloads::{generate, App, Application, InputConfig};
 
 use crate::args::{ArgError, Args};
@@ -22,12 +23,14 @@ usage:
   ripple-cli apps
   ripple-cli spec     <app> [--out FILE]           # export a workload spec as JSON
   ripple-cli plan     <app> [--threshold T] [--prefetcher P] [--out FILE]
-  ripple-cli profile  <app> [--instructions N] [--input K] [--out FILE]
+  ripple-cli profile  <app> [--instructions N] [--input K] [--sync N] [--out FILE]
   ripple-cli inspect  <FILE> --app <app>
   ripple-cli simulate <app> [--policy P] [--prefetcher P] [--instructions N]
+                            [--trace FILE] [--lossy] [--max-drop-ratio R] [--metrics FILE]
   ripple-cli compare  <app> [--prefetcher P] [--instructions N] [--threads N] [--metrics FILE] [--progress]
   ripple-cli optimize <app> [--threshold T] [--prefetcher P] [--underlying P] [--instructions N] [--threads N] [--metrics FILE] [--progress]
   ripple-cli sweep    <app> [--prefetcher P] [--instructions N] [--threads N] [--metrics FILE] [--progress]
+  ripple-cli faults   [--cases N] [--seed S]
   ripple-cli validate-metrics <FILE> [--phases compare|pipeline]
 
 apps: cassandra drupal finagle-chirper finagle-http kafka mediawiki tomcat verilator wordpress
@@ -37,7 +40,14 @@ prefetchers: none nlp fdip
 parallelism; results are identical at any thread count
 --metrics FILE dumps a ripple.run_report.v1 JSON document (phase timings,
 counters, per-job harness timings); --progress prints live k/n
-job-completion lines to stderr";
+job-completion lines to stderr
+simulate --trace FILE replays a recorded packet stream (see `profile
+--out`) instead of re-executing; --lossy skips unrecoverable packet spans
+(counted as trace.dropped_packets / trace.resync_events) as long as the
+dropped-byte fraction stays within --max-drop-ratio (default 1.0)
+
+exit codes: 0 success, 1 runtime/io error, 2 usage or invalid
+configuration, 3 corrupt trace, 4 isolated evaluation-job panic";
 
 type CmdResult = Result<(), Box<dyn Error>>;
 
@@ -57,6 +67,7 @@ pub fn dispatch(argv: &[String]) -> CmdResult {
         "compare" => compare(&rest),
         "optimize" => optimize(&rest),
         "sweep" => sweep_cmd(&rest),
+        "faults" => faults_cmd(&rest),
         "validate-metrics" => validate_metrics(&rest),
         other => Err(Box::new(ArgError(format!("unknown subcommand {other:?}")))),
     }
@@ -335,11 +346,18 @@ fn plan_cmd(args: &Args) -> CmdResult {
     let threshold = parse_threshold(args, 0.55)?;
     let prefetcher = parse_prefetcher(args)?;
     let (app, layout, trace) = load(app_id, InputConfig::training(app_id.spec().seed), budget)?;
-    let mut config = RippleConfig::default();
-    config.threshold = threshold;
-    config.sim.prefetcher = prefetcher;
-    let ripple = Ripple::train(&app.program, &layout, &trace, config);
-    let (plan, cov) = ripple.plan();
+    let config = RippleConfig::builder()
+        .threshold(threshold)
+        .sim(
+            SimConfig::builder()
+                .prefetcher(prefetcher)
+                .build()
+                .map_err(ripple::Error::from)?,
+        )
+        .build()
+        .map_err(ripple::Error::from)?;
+    let ripple = Ripple::train(&app.program, &layout, &trace, config)?;
+    let (plan, cov) = ripple.plan()?;
     println!(
         "{app_id}: {} injections covering {}/{} windows ({:.1}%)",
         plan.len(),
@@ -355,17 +373,25 @@ fn plan_cmd(args: &Args) -> CmdResult {
 }
 
 fn profile(args: &Args) -> CmdResult {
-    args.expect_flags(&["instructions", "input", "out"])?;
+    args.expect_flags(&["instructions", "input", "out", "sync"])?;
     let app_id = parse_app(args)?;
     let budget = args.parse_flag("instructions", 400_000u64)?;
     let input_id = args.parse_flag("input", 0u32)?;
+    let sync_interval = args.parse_flag("sync", 0u64)?;
     let spec = app_id.spec();
     let app = generate(&spec);
     let layout = Layout::new(&app.program, &LayoutConfig::default());
     let input = InputConfig::numbered(input_id, spec.seed);
 
     let executed = ripple_workloads::execute(&app.program, &app.model, input, budget);
-    let bytes = ripple_trace::record_trace(&app.program, &layout, executed.iter());
+    let bytes = if sync_interval == 0 {
+        ripple_trace::record_trace(&app.program, &layout, executed.iter())
+    } else {
+        // Periodic PSB checkpoints: slightly larger stream, but a lossy
+        // replay can resynchronize mid-stream instead of dropping the
+        // whole tail after a corrupt span.
+        ripple_trace::record_trace_with_sync(&app.program, &layout, executed.iter(), sync_interval)
+    };
     println!("profiled {app_id} input#{input_id}");
     println!("  executed blocks  {}", executed.len());
     println!(
@@ -415,17 +441,69 @@ fn inspect(args: &Args) -> CmdResult {
 }
 
 fn simulate_cmd(args: &Args) -> CmdResult {
-    args.expect_flags(&["policy", "prefetcher", "instructions"])?;
+    args.expect_flags(&[
+        "policy",
+        "prefetcher",
+        "instructions",
+        "trace",
+        "lossy",
+        "max-drop-ratio",
+        "metrics",
+    ])?;
     let app_id = parse_app(args)?;
     let budget = args.parse_flag("instructions", 400_000u64)?;
     let policy = parse_policy(args.flag("policy").unwrap_or("lru"))?;
     let prefetcher = parse_prefetcher(args)?;
-    let (app, layout, trace) = load(app_id, InputConfig::training(app_id.spec().seed), budget)?;
+    let max_drop_ratio = args.parse_flag("max-drop-ratio", 1.0f64)?;
+    if !max_drop_ratio.is_finite() || !(0.0..=1.0).contains(&max_drop_ratio) {
+        return Err(Box::new(ArgError(format!(
+            "--max-drop-ratio: {max_drop_ratio} is out of range (must be within 0.0..=1.0)"
+        ))));
+    }
+    if args.switch("lossy") && args.flag("trace").is_none() {
+        return Err(Box::new(ArgError(
+            "--lossy only applies when replaying a recorded stream (--trace FILE)".into(),
+        )));
+    }
+    let (recorder, metrics) = build_recorder(args);
 
-    let cfg = SimConfig::default()
-        .with_policy(policy)
-        .with_prefetcher(prefetcher);
-    let r = simulate(&app.program, &layout, &trace, &cfg);
+    let cfg = SimConfig::builder()
+        .policy(policy)
+        .prefetcher(prefetcher)
+        .build()
+        .map_err(ripple::Error::from)?;
+
+    // Replay a recorded packet stream, or execute the app fresh.
+    let (app, layout, trace, health) = match args.flag("trace") {
+        Some(path) => {
+            let spec = app_id.spec();
+            let app = generate(&spec);
+            let layout = Layout::new(&app.program, &LayoutConfig::default());
+            let bytes = fs::read(path)?;
+            if args.switch("lossy") {
+                let options = DecodeOptions { max_drop_ratio };
+                let lossy =
+                    ripple_trace::reconstruct_trace_lossy(&app.program, &layout, &bytes, &options)
+                        .map_err(ripple::Error::from)?;
+                (app, layout, lossy.trace, Some(lossy.health))
+            } else {
+                let trace = ripple_trace::reconstruct_trace(&app.program, &layout, &bytes)
+                    .map_err(ripple::Error::from)?;
+                (app, layout, trace, None)
+            }
+        }
+        None => {
+            let (app, layout, trace) =
+                load(app_id, InputConfig::training(app_id.spec().seed), budget)?;
+            (app, layout, trace, None)
+        }
+    };
+
+    let mut session = SimSession::new(&app.program, &layout, &trace, cfg).with_recorder(recorder);
+    if let Some(health) = health {
+        session = session.with_trace_health(health);
+    }
+    let r = session.run(policy);
     println!("{app_id} / {} / {}", policy.name(), prefetcher.name());
     println!("  instructions   {}", r.instructions);
     println!("  cycles         {:.0}", r.cycles);
@@ -439,7 +517,59 @@ fn simulate_cmd(args: &Args) -> CmdResult {
             r.prefetches_issued, r.prefetch_fills
         );
     }
+    if let Some(h) = session.trace_health() {
+        println!(
+            "  trace health   {} of {} bytes dropped ({:.2}%), {} packets lost, {} resyncs",
+            h.dropped_bytes,
+            h.total_bytes,
+            h.drop_ratio() * 100.0,
+            h.dropped_packets,
+            h.resync_events
+        );
+    }
+    write_metrics(args, "simulate", app_id.name(), metrics)?;
     Ok(())
+}
+
+/// Runs the fault-injection dimension of the `ripple-check` oracle suite:
+/// `--cases` mutated traces and reports, all of which must surface typed
+/// errors (never panics) and keep the lossy decoder's loss accounting
+/// consistent.
+fn faults_cmd(args: &Args) -> CmdResult {
+    args.expect_flags(&["cases", "seed"])?;
+    let cases = args.parse_flag("cases", 500u64)?;
+    let seed = args.parse_flag("seed", 0x5269_7070_6c65u64)?;
+    println!("injecting faults into {cases} cases (seed {seed:#x})");
+    let report = ripple_check::run_corpus(
+        seed,
+        cases,
+        &[ripple_check::Dimension::Faults],
+        |done, total| {
+            if done % 100 == 0 || done == total {
+                eprintln!("  {done}/{total} cases");
+            }
+        },
+    );
+    if report.failures.is_empty() {
+        println!(
+            "ok: {} corrupted inputs handled, zero panics",
+            report.total_passed()
+        );
+        return Ok(());
+    }
+    for failure in &report.failures {
+        eprintln!(
+            "FAULT HANDLING FAILURE (case seed {:#x}): {}",
+            failure.case_seed, failure.message
+        );
+        eprintln!("minimized repro:\n{}", failure.repro);
+        eprintln!("replay: {}", failure.replay_line());
+    }
+    Err(format!(
+        "{} of {cases} fault cases mishandled",
+        report.failures.len()
+    )
+    .into())
 }
 
 fn compare(args: &Args) -> CmdResult {
@@ -472,7 +602,7 @@ fn compare(args: &Args) -> CmdResult {
         PolicyKind::Opt,
         PolicyKind::DemandMin,
     ];
-    let results = policy_matrix(&session, &policies, threads);
+    let results = policy_matrix(&session, &policies, threads)?;
     let lru = &results[0];
     println!("{app_id} under {} prefetching", prefetcher.name());
     println!(
@@ -511,13 +641,20 @@ fn optimize(args: &Args) -> CmdResult {
     let (recorder, metrics) = build_recorder(args);
     let (app, layout, trace) = load(app_id, InputConfig::training(app_id.spec().seed), budget)?;
 
-    let mut config = RippleConfig::default();
-    config.threshold = threshold;
-    config.sim.prefetcher = prefetcher;
-    config.underlying = underlying;
-    config.threads = threads;
-    let ripple = Ripple::train_with_recorder(&app.program, &layout, &trace, config, recorder);
-    let o = ripple.evaluate(&trace);
+    let config = RippleConfig::builder()
+        .threshold(threshold)
+        .underlying(underlying)
+        .threads(threads)
+        .sim(
+            SimConfig::builder()
+                .prefetcher(prefetcher)
+                .build()
+                .map_err(ripple::Error::from)?,
+        )
+        .build()
+        .map_err(ripple::Error::from)?;
+    let ripple = Ripple::train_with_recorder(&app.program, &layout, &trace, config, recorder)?;
+    let o = ripple.evaluate(&trace)?;
 
     println!(
         "{app_id}: Ripple-{} under {} (threshold {threshold})",
@@ -570,12 +707,19 @@ fn sweep_cmd(args: &Args) -> CmdResult {
     let threads = parse_threads(args)?;
     let (recorder, metrics) = build_recorder(args);
     let (app, layout, trace) = load(app_id, InputConfig::training(app_id.spec().seed), budget)?;
-    let mut config = RippleConfig::default();
-    config.sim.prefetcher = prefetcher;
-    config.threads = threads;
-    let ripple = Ripple::train_with_recorder(&app.program, &layout, &trace, config, recorder);
+    let config = RippleConfig::builder()
+        .threads(threads)
+        .sim(
+            SimConfig::builder()
+                .prefetcher(prefetcher)
+                .build()
+                .map_err(ripple::Error::from)?,
+        )
+        .build()
+        .map_err(ripple::Error::from)?;
+    let ripple = Ripple::train_with_recorder(&app.program, &layout, &trace, config, recorder)?;
     let thresholds: Vec<f64> = (1..=9).map(|i| i as f64 / 10.0).collect();
-    let points = sweep(&ripple, &trace, &thresholds);
+    let points = sweep(&ripple, &trace, &thresholds)?;
     println!("{app_id} threshold sweep under {}", prefetcher.name());
     println!(" threshold  coverage  accuracy   speedup");
     for p in &points {
@@ -643,6 +787,92 @@ mod tests {
     #[test]
     fn unknown_flag_is_rejected_per_command() {
         let err = run(&["compare", "tomcat", "--florb", "1"]).unwrap_err();
+        assert!(err.contains("unknown flag --florb"), "{err}");
+    }
+
+    #[test]
+    fn lossy_without_trace_is_rejected() {
+        let err = run(&["simulate", "tomcat", "--lossy"]).unwrap_err();
+        assert!(err.contains("--lossy only applies"), "{err}");
+    }
+
+    #[test]
+    fn out_of_range_drop_ratio_is_rejected() {
+        for bad in ["1.5", "-0.1", "NaN"] {
+            let err = run(&[
+                "simulate",
+                "tomcat",
+                "--trace",
+                "x.bin",
+                "--lossy",
+                "--max-drop-ratio",
+                bad,
+            ])
+            .unwrap_err();
+            assert!(
+                err.contains("out of range"),
+                "--max-drop-ratio {bad}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn trace_replay_strict_rejects_corruption_and_lossy_recovers() {
+        let dir = std::env::temp_dir();
+        let trace_path = dir.join("ripple_cli_replay.bin");
+        let trace_path = trace_path.to_str().unwrap().to_string();
+
+        // Record a checkpointed stream, then replay it strictly: identical
+        // simulator output to the in-process path.
+        run(&[
+            "profile",
+            "tomcat",
+            "--instructions",
+            "20000",
+            "--sync",
+            "64",
+            "--out",
+            &trace_path,
+        ])
+        .unwrap();
+        run(&["simulate", "tomcat", "--trace", &trace_path]).unwrap();
+
+        // Corrupt a mid-stream span: strict replay fails with a decode
+        // error, lossy replay degrades gracefully, and a zero drop bound
+        // refuses the loss.
+        let mut bytes = fs::read(&trace_path).unwrap();
+        let start = bytes.len() / 3;
+        let end = (start + 24).min(bytes.len());
+        for b in &mut bytes[start..end] {
+            *b ^= 0xff;
+        }
+        let corrupt_path = dir.join("ripple_cli_replay_corrupt.bin");
+        let corrupt_path = corrupt_path.to_str().unwrap().to_string();
+        fs::write(&corrupt_path, &bytes).unwrap();
+
+        let err = run(&["simulate", "tomcat", "--trace", &corrupt_path]).unwrap_err();
+        assert!(err.contains("trace reconstruction failed"), "{err}");
+        run(&["simulate", "tomcat", "--trace", &corrupt_path, "--lossy"]).unwrap();
+        let err = run(&[
+            "simulate",
+            "tomcat",
+            "--trace",
+            &corrupt_path,
+            "--lossy",
+            "--max-drop-ratio",
+            "0.0",
+        ])
+        .unwrap_err();
+        assert!(err.contains("drop-ratio"), "{err}");
+
+        fs::remove_file(&trace_path).ok();
+        fs::remove_file(&corrupt_path).ok();
+    }
+
+    #[test]
+    fn faults_subcommand_runs_a_small_corpus() {
+        run(&["faults", "--cases", "6", "--seed", "11"]).unwrap();
+        let err = run(&["faults", "--cases", "6", "--florb", "1"]).unwrap_err();
         assert!(err.contains("unknown flag --florb"), "{err}");
     }
 

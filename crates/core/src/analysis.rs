@@ -318,10 +318,11 @@ impl Analysis {
                 }
                 let key = (cand.block, self.layout_line(victim_loc));
                 if seen.contains(&key) {
-                    pair_value
-                        .get_mut(&key)
-                        .expect("seen pairs are in pair_value")
-                        .1 += 1;
+                    // `seen` and `pair_value` are inserted in lockstep, so
+                    // a seen key always resolves.
+                    if let Some(entry) = pair_value.get_mut(&key) {
+                        entry.1 += 1;
+                    }
                     placed = true;
                     saw_rewritable = true;
                     break;

@@ -1,4 +1,4 @@
-//! Shared parallel evaluation harness.
+//! Shared parallel evaluation harness with per-job panic isolation.
 //!
 //! Every consumer of the simulator — [`Ripple::evaluate_with_threshold`]'s
 //! five runs, the CLI's policy-compare and threshold-sweep loops, the bench
@@ -12,8 +12,18 @@
 //! thread or sixteen therefore yields byte-identical output; the
 //! `tests/determinism.rs` suite asserts this end to end.
 //!
+//! Fault isolation: every job runs under [`std::panic::catch_unwind`]. A
+//! panicking job never sinks its batch — the remaining jobs complete, and
+//! the failure comes back as a typed [`JobError`] carrying the batch scope,
+//! the job index and the panic message. [`run_jobs_settled`] exposes the
+//! full per-job picture; [`run_jobs`] collapses it to first-error for
+//! callers that need all results anyway. [`run_jobs_retrying`] re-runs
+//! panicking jobs a bounded number of times for workloads with transient
+//! failure modes.
+//!
 //! [`Ripple::evaluate_with_threshold`]: crate::Ripple::evaluate_with_threshold
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
@@ -21,9 +31,15 @@ use std::time::Instant;
 use ripple_obs::{FieldValue, Recorder};
 use ripple_sim::{PolicyKind, SimSession, SimStats};
 
+use crate::error::JobError;
+
 /// A unit of work for [`run_jobs`]: boxed so heterogeneous closures can
 /// share one job list.
 pub type Job<'env, T> = Box<dyn FnOnce() -> T + Send + 'env>;
+
+/// A re-runnable unit of work for [`run_jobs_retrying`]: `Fn` rather than
+/// `FnOnce`, so a panicked attempt can be retried.
+pub type RetryJob<'env, T> = Box<dyn Fn() -> T + Send + Sync + 'env>;
 
 /// Resolves a requested worker count: both `None` and `Some(0)` mean
 /// "auto-detect" — the machine's available parallelism (at least 1).
@@ -42,8 +58,31 @@ pub fn effective_threads(requested: Option<usize>) -> usize {
     }
 }
 
-/// Runs `jobs` on up to `threads` scoped worker threads and returns their
-/// results in job order.
+/// Renders a panic payload as text (panics with non-string payloads are
+/// reported as `"<non-string panic>"`).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic>".to_string()
+    }
+}
+
+/// Runs one job under `catch_unwind`, converting a panic into a
+/// [`JobError`].
+fn settle_one<T>(scope: &str, index: usize, job: Job<'_, T>) -> Result<T, JobError> {
+    catch_unwind(AssertUnwindSafe(job)).map_err(|payload| JobError {
+        scope: scope.to_string(),
+        index,
+        attempts: 1,
+        panic_message: panic_message(payload),
+    })
+}
+
+/// Runs `jobs` on up to `threads` scoped worker threads, isolating each
+/// job's panics, and returns the per-job outcomes in job order.
 ///
 /// Jobs are claimed from a shared counter, so long jobs do not serialize
 /// short ones; results land in the slot of the job that produced them, so
@@ -51,17 +90,26 @@ pub fn effective_threads(requested: Option<usize>) -> usize {
 /// single job) everything runs inline on the caller's thread — the
 /// sequential reference order the parallel path is measured against.
 ///
-/// # Panics
-///
-/// A panicking job propagates its panic to the caller once the scope joins.
-pub fn run_jobs<'env, T: Send>(threads: usize, jobs: Vec<Job<'env, T>>) -> Vec<T> {
+/// A panicking job yields an `Err(JobError)` in its slot; every other job
+/// still runs and returns its own outcome. Panics never cross the harness
+/// boundary.
+pub fn run_jobs_settled<'env, T: Send>(
+    threads: usize,
+    scope: &str,
+    jobs: Vec<Job<'env, T>>,
+) -> Vec<Result<T, JobError>> {
     let n = jobs.len();
     if threads <= 1 || n <= 1 {
-        return jobs.into_iter().map(|job| job()).collect();
+        return jobs
+            .into_iter()
+            .enumerate()
+            .map(|(i, job)| settle_one(scope, i, job))
+            .collect();
     }
     let slots: Vec<Mutex<Option<Job<'env, T>>>> =
         jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
-    let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let results: Vec<Mutex<Option<Result<T, JobError>>>> =
+        (0..n).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
     std::thread::scope(|s| {
         for _ in 0..threads.min(n) {
@@ -70,23 +118,97 @@ pub fn run_jobs<'env, T: Send>(threads: usize, jobs: Vec<Job<'env, T>>) -> Vec<T
                 if i >= n {
                     break;
                 }
-                let job = slots[i]
-                    .lock()
-                    .expect("job slot poisoned")
-                    .take()
-                    .expect("each job index is claimed exactly once");
-                let out = job();
-                *results[i].lock().expect("result slot poisoned") = Some(out);
+                // Panics are contained by `settle_one`, so a worker can
+                // never die mid-slot; poison recovery is pure belt and
+                // braces (the data is a plain Option either way).
+                let job = slots[i].lock().unwrap_or_else(|p| p.into_inner()).take();
+                let Some(job) = job else { continue };
+                let out = settle_one(scope, i, job);
+                *results[i].lock().unwrap_or_else(|p| p.into_inner()) = Some(out);
             });
         }
     });
     results
         .into_iter()
-        .map(|m| {
+        .enumerate()
+        .map(|(i, m)| {
             m.into_inner()
-                .expect("result slot poisoned")
-                .expect("every claimed job stores a result")
+                .unwrap_or_else(|p| p.into_inner())
+                .unwrap_or_else(|| {
+                    Err(JobError {
+                        scope: scope.to_string(),
+                        index: i,
+                        attempts: 0,
+                        panic_message: "job was never run (harness bug)".to_string(),
+                    })
+                })
         })
+        .collect()
+}
+
+/// Runs `jobs` on up to `threads` workers and returns their results in job
+/// order, or the first (lowest-index) [`JobError`] if any job panicked.
+///
+/// The batch always runs to completion — a panicking job does not cancel
+/// its siblings — but the partial results are discarded when any job
+/// failed. Use [`run_jobs_settled`] to keep the survivors.
+pub fn run_jobs<'env, T: Send>(
+    threads: usize,
+    jobs: Vec<Job<'env, T>>,
+) -> Result<Vec<T>, JobError> {
+    run_jobs_settled(threads, "jobs", jobs)
+        .into_iter()
+        .collect()
+}
+
+/// [`run_jobs_settled`] with bounded retry: each job is attempted up to
+/// `max_attempts` times (panicked attempts are re-run from scratch), and a
+/// job that panics on every attempt reports the *last* panic with its
+/// attempt count.
+///
+/// Jobs must be [`Fn`] (see [`RetryJob`]) so an attempt can be repeated.
+/// Retry only helps jobs with nondeterministic failure modes (I/O,
+/// resource exhaustion); the simulator itself is deterministic, so its
+/// panics repeat — which the attempt count then documents.
+pub fn run_jobs_retrying<'env, T: Send + 'env>(
+    threads: usize,
+    scope: &str,
+    max_attempts: u32,
+    jobs: Vec<RetryJob<'env, T>>,
+) -> Vec<Result<T, JobError>> {
+    let max_attempts = max_attempts.max(1);
+    let wrapped: Vec<Job<'env, Result<T, JobError>>> = jobs
+        .into_iter()
+        .enumerate()
+        .map(|(i, job)| -> Job<'env, Result<T, JobError>> {
+            let scope = scope.to_string();
+            Box::new(move || {
+                let mut last = None;
+                for attempt in 1..=max_attempts {
+                    match catch_unwind(AssertUnwindSafe(&job)) {
+                        Ok(out) => return Ok(out),
+                        Err(payload) => {
+                            last = Some(JobError {
+                                scope: scope.clone(),
+                                index: i,
+                                attempts: attempt,
+                                panic_message: panic_message(payload),
+                            });
+                        }
+                    }
+                }
+                Err(last.unwrap_or_else(|| JobError {
+                    scope: scope.clone(),
+                    index: i,
+                    attempts: 0,
+                    panic_message: "zero attempts (harness bug)".to_string(),
+                }))
+            })
+        })
+        .collect();
+    run_jobs_settled(threads, scope, wrapped)
+        .into_iter()
+        .map(|slot| slot.and_then(|inner| inner))
         .collect()
 }
 
@@ -97,8 +219,10 @@ pub fn run_jobs<'env, T: Send>(threads: usize, jobs: Vec<Job<'env, T>>) -> Vec<T
 /// Per job, a `harness.job` event carries the batch `scope`, the job
 /// index, `queue_wait_ns` (batch start → the job being claimed by a
 /// worker) and `run_ns`; a `harness.job` phase aggregates run times and a
-/// `harness.jobs` counter tallies completions. The whole batch is wrapped
-/// in a `harness.batch` phase with a start/finish event pair around it.
+/// `harness.jobs` counter tallies completions. A job that panics reports a
+/// `harness.job_failed` counter and event instead, and the batch returns
+/// the first [`JobError`]. The whole batch is wrapped in a `harness.batch`
+/// phase with a start/finish event pair around it.
 ///
 /// With a disabled recorder this delegates straight to [`run_jobs`] —
 /// same closures, no clock reads — so observability never perturbs the
@@ -108,9 +232,22 @@ pub fn run_jobs_observed<'env, T: Send + 'env>(
     scope: &'env str,
     recorder: &'env dyn Recorder,
     jobs: Vec<Job<'env, T>>,
-) -> Vec<T> {
+) -> Result<Vec<T>, JobError> {
+    run_jobs_observed_settled(threads, scope, recorder, jobs)
+        .into_iter()
+        .collect()
+}
+
+/// [`run_jobs_settled`] with the observability of [`run_jobs_observed`]:
+/// per-job outcomes, nothing collapsed.
+pub fn run_jobs_observed_settled<'env, T: Send + 'env>(
+    threads: usize,
+    scope: &'env str,
+    recorder: &'env dyn Recorder,
+    jobs: Vec<Job<'env, T>>,
+) -> Vec<Result<T, JobError>> {
     if !recorder.enabled() {
-        return run_jobs(threads, jobs);
+        return run_jobs_settled(threads, scope, jobs);
     }
     let n = jobs.len();
     recorder.event(
@@ -146,13 +283,26 @@ pub fn run_jobs_observed<'env, T: Send + 'env>(
             })
         })
         .collect();
-    let results = run_jobs(threads, observed);
+    let results = run_jobs_settled(threads, scope, observed);
+    for (i, r) in results.iter().enumerate() {
+        if r.is_err() {
+            recorder.add("harness.job_failed", 1);
+            recorder.event(
+                "harness.job_failed",
+                &[
+                    ("scope", FieldValue::Str(scope)),
+                    ("job", FieldValue::U64(i as u64)),
+                ],
+            );
+        }
+    }
     recorder.phase("harness.batch", batch_start.elapsed().as_nanos() as u64);
     results
 }
 
 /// Evaluates each policy of a matrix against one [`SimSession`], in
-/// parallel, returning stats in `policies` order.
+/// parallel, returning stats in `policies` order (or the first
+/// [`JobError`] if a policy run panicked).
 ///
 /// Offline-ideal policies replay the session's shared recording pass, so an
 /// entire matrix costs one recording run no matter how many ideals it
@@ -161,7 +311,7 @@ pub fn policy_matrix(
     session: &SimSession<'_>,
     policies: &[PolicyKind],
     threads: usize,
-) -> Vec<SimStats> {
+) -> Result<Vec<SimStats>, JobError> {
     let jobs: Vec<Job<'_, SimStats>> = policies
         .iter()
         .map(|&p| -> Job<'_, SimStats> { Box::new(move || session.run(p)) })
@@ -176,12 +326,25 @@ mod tests {
     use ripple_sim::SimConfig;
     use ripple_workloads::{execute, generate, AppSpec, InputConfig};
 
+    /// Silences the default panic-to-stderr hook for the duration of a
+    /// test that panics on purpose. Serialized so concurrent tests never
+    /// interleave their hook swaps.
+    fn quiet_panics<R>(f: impl FnOnce() -> R) -> R {
+        static HOOK_LOCK: Mutex<()> = Mutex::new(());
+        let _guard = HOOK_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let out = f();
+        std::panic::set_hook(prev);
+        out
+    }
+
     #[test]
     fn results_come_back_in_job_order() {
         let jobs: Vec<Job<'_, usize>> = (0..32)
             .map(|i| -> Job<'_, usize> { Box::new(move || i * i) })
             .collect();
-        let out = run_jobs(4, jobs);
+        let out = run_jobs(4, jobs).unwrap();
         assert_eq!(out, (0..32).map(|i| i * i).collect::<Vec<_>>());
     }
 
@@ -193,7 +356,7 @@ mod tests {
         let par: Vec<Job<'_, u64>> = (0..17)
             .map(|i: u64| -> Job<'_, u64> { Box::new(move || i.wrapping_mul(0x9e37)) })
             .collect();
-        assert_eq!(run_jobs(1, seq), run_jobs(8, par));
+        assert_eq!(run_jobs(1, seq).unwrap(), run_jobs(8, par).unwrap());
     }
 
     #[test]
@@ -216,7 +379,89 @@ mod tests {
                 .collect()
         };
         assert_eq!(effective_threads(Some(1000)), 1000);
-        assert_eq!(run_jobs(1000, make()), run_jobs(1, make()));
+        assert_eq!(
+            run_jobs(1000, make()).unwrap(),
+            run_jobs(1, make()).unwrap()
+        );
+    }
+
+    #[test]
+    fn one_panicking_job_does_not_sink_the_batch() {
+        // The poisoned job fails; all seven siblings still complete, at
+        // one thread and at four.
+        for threads in [1, 4] {
+            let jobs: Vec<Job<'_, usize>> = (0..8)
+                .map(|i| -> Job<'_, usize> {
+                    Box::new(move || {
+                        if i == 3 {
+                            panic!("poisoned job {i}");
+                        }
+                        i * 10
+                    })
+                })
+                .collect();
+            let out = quiet_panics(|| run_jobs_settled(threads, "test", jobs));
+            assert_eq!(out.len(), 8);
+            for (i, slot) in out.iter().enumerate() {
+                if i == 3 {
+                    let err = slot.as_ref().unwrap_err();
+                    assert_eq!(err.index, 3);
+                    assert_eq!(err.scope, "test");
+                    assert_eq!(err.attempts, 1);
+                    assert!(err.panic_message.contains("poisoned job 3"));
+                } else {
+                    assert_eq!(slot.as_ref().unwrap(), &(i * 10), "threads {threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn run_jobs_reports_the_first_error() {
+        let jobs: Vec<Job<'_, u32>> = (0..6)
+            .map(|i| -> Job<'_, u32> {
+                Box::new(move || {
+                    if i % 2 == 1 {
+                        panic!("odd job {i}");
+                    }
+                    i
+                })
+            })
+            .collect();
+        let err = quiet_panics(|| run_jobs(3, jobs)).unwrap_err();
+        assert_eq!(err.index, 1, "lowest failing index wins");
+        assert!(err.panic_message.contains("odd job 1"));
+    }
+
+    #[test]
+    fn retrying_recovers_transient_failures_and_counts_attempts() {
+        use std::sync::atomic::AtomicU32;
+        // Job 0 succeeds on attempt 3; job 1 always panics; job 2 is fine.
+        let tries = AtomicU32::new(0);
+        let jobs: Vec<RetryJob<'_, u32>> = vec![
+            Box::new(|| {
+                if tries.fetch_add(1, Ordering::SeqCst) < 2 {
+                    panic!("transient");
+                }
+                7
+            }),
+            Box::new(|| panic!("permanent")),
+            Box::new(|| 42),
+        ];
+        let out = quiet_panics(|| run_jobs_retrying(1, "retry_test", 3, jobs));
+        assert_eq!(out[0].as_ref().unwrap(), &7);
+        let err = out[1].as_ref().unwrap_err();
+        assert_eq!(err.attempts, 3);
+        assert!(err.panic_message.contains("permanent"));
+        assert_eq!(out[2].as_ref().unwrap(), &42);
+    }
+
+    #[test]
+    fn non_string_panics_are_reported() {
+        let jobs: Vec<Job<'_, ()>> = vec![Box::new(|| std::panic::panic_any(17_u64))];
+        let out = quiet_panics(|| run_jobs_settled(1, "weird", jobs));
+        let err = out[0].as_ref().unwrap_err();
+        assert_eq!(err.panic_message, "<non-string panic>");
     }
 
     #[test]
@@ -225,10 +470,11 @@ mod tests {
         let jobs: Vec<Job<'_, usize>> = (0..6)
             .map(|i| -> Job<'_, usize> { Box::new(move || i + 1) })
             .collect();
-        let out = run_jobs_observed(3, "test_batch", &recorder, jobs);
+        let out = run_jobs_observed(3, "test_batch", &recorder, jobs).unwrap();
         assert_eq!(out, vec![1, 2, 3, 4, 5, 6]);
         let snap = recorder.snapshot();
         assert_eq!(snap.counter("harness.jobs"), Some(6));
+        assert_eq!(snap.counter("harness.job_failed"), None);
         assert_eq!(snap.phase("harness.job").map(|p| p.count), Some(6));
         assert_eq!(snap.phase("harness.batch").map(|p| p.count), Some(1));
         // One event per job, each carrying scope + both timings.
@@ -252,11 +498,38 @@ mod tests {
     }
 
     #[test]
+    fn observed_failures_are_counted() {
+        let recorder = ripple_obs::MetricsRecorder::new();
+        let jobs: Vec<Job<'_, usize>> = (0..4)
+            .map(|i| -> Job<'_, usize> {
+                Box::new(move || {
+                    if i == 2 {
+                        panic!("observed failure");
+                    }
+                    i
+                })
+            })
+            .collect();
+        let out = quiet_panics(|| run_jobs_observed_settled(2, "obs_fail", &recorder, jobs));
+        assert!(out[2].is_err());
+        let snap = recorder.snapshot();
+        assert_eq!(snap.counter("harness.job_failed"), Some(1));
+        let failed: Vec<_> = snap.events_named("harness.job_failed").collect();
+        assert_eq!(failed.len(), 1);
+        assert_eq!(
+            failed[0]
+                .field("job")
+                .and_then(ripple_obs::OwnedValue::as_u64),
+            Some(2)
+        );
+    }
+
+    #[test]
     fn observed_disabled_recorder_is_passthrough() {
         let jobs: Vec<Job<'_, usize>> = (0..4)
             .map(|i| -> Job<'_, usize> { Box::new(move || i * 2) })
             .collect();
-        let out = run_jobs_observed(2, "x", &ripple_obs::NullRecorder, jobs);
+        let out = run_jobs_observed(2, "x", &ripple_obs::NullRecorder, jobs).unwrap();
         assert_eq!(out, vec![0, 2, 4, 6]);
     }
 
@@ -274,7 +547,7 @@ mod tests {
             PolicyKind::DemandMin,
             PolicyKind::Random,
         ];
-        let par = policy_matrix(&session, &policies, 4);
+        let par = policy_matrix(&session, &policies, 4).unwrap();
         assert_eq!(
             session.recording_passes(),
             1,

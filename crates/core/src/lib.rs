@@ -38,16 +38,23 @@
 //!
 //! let mut config = RippleConfig::default();
 //! config.sim.l1i = ripple_sim::CacheGeometry::new(2 * 1024, 4); // tiny demo cache
-//! let ripple = Ripple::train(&app.program, &layout, &profile.trace, config);
-//! let outcome = ripple.evaluate(&profile.trace);
+//! let ripple = Ripple::train(&app.program, &layout, &profile.trace, config)?;
+//! let outcome = ripple.evaluate(&profile.trace)?;
 //! assert!(outcome.ripple.demand_misses <= outcome.baseline.demand_misses);
-//! # Ok::<(), ripple_trace::ReconstructError>(())
+//! # Ok::<(), ripple::Error>(())
 //! ```
+//!
+//! Every fallible entry point returns the workspace-wide [`Error`], whose
+//! variants wrap the substrate crates' typed errors; see the error
+//! taxonomy in `DESIGN.md` §10.
 
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 #![warn(missing_debug_implementations)]
 
 mod analysis;
+mod error;
 mod harness;
 mod metrics;
 mod pipeline;
@@ -59,12 +66,16 @@ pub use analysis::{
     analyze, analyze_windows, Analysis, AnalysisConfig, CoverageStats, CueCandidate, CueSelection,
     EvictionWindow, WindowChoice, WindowSink,
 };
-pub use harness::{effective_threads, policy_matrix, run_jobs, run_jobs_observed, Job};
+pub use error::{ConfigError, Error, JobError};
+pub use harness::{
+    effective_threads, policy_matrix, run_jobs, run_jobs_observed, run_jobs_observed_settled,
+    run_jobs_retrying, run_jobs_settled, Job, RetryJob,
+};
 pub use metrics::{
     decision_is_accurate, eviction_accuracy, invalidation_accuracy, plan_accuracy, AccuracySink,
     AccuracyStats, LineAccessIndex, WindowIndex,
 };
-pub use pipeline::{Ripple, RippleConfig, RippleOutcome};
+pub use pipeline::{Ripple, RippleConfig, RippleConfigBuilder, RippleOutcome};
 pub use profile::{collect_profile, Profile};
 pub use report::{run_report, validate_run_report, COMPARE_PHASES, PIPELINE_PHASES, REPORT_SCHEMA};
 pub use threshold::{best_threshold, sweep, ThresholdPoint};

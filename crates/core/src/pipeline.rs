@@ -17,6 +17,7 @@ use ripple_trace::BbTrace;
 use crate::analysis::{
     analyze, analyze_windows, Analysis, AnalysisConfig, CoverageStats, WindowSink,
 };
+use crate::error::{ConfigError, Error};
 use crate::harness::{effective_threads, run_jobs_observed, Job};
 use crate::metrics::{
     eviction_accuracy, plan_accuracy, AccuracySink, AccuracyStats, LineAccessIndex, WindowIndex,
@@ -70,6 +71,49 @@ impl Default for RippleConfig {
 }
 
 impl RippleConfig {
+    /// Starts a validating builder seeded with the default configuration.
+    pub fn builder() -> RippleConfigBuilder {
+        RippleConfigBuilder {
+            config: RippleConfig::default(),
+        }
+    }
+
+    /// Checks every knob against its documented range, the embedded
+    /// [`SimConfig`] included, returning the first violation.
+    ///
+    /// [`Ripple::train`] calls this, so a config assembled by struct
+    /// literal is still validated before any expensive work happens.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        fn finite_in(
+            field: &'static str,
+            value: f64,
+            min: f64,
+            max: f64,
+        ) -> Result<(), ConfigError> {
+            if !value.is_finite() {
+                return Err(ConfigError::NotFinite { field });
+            }
+            if value < min || value > max {
+                return Err(ConfigError::OutOfRange {
+                    field,
+                    value,
+                    min,
+                    max,
+                });
+            }
+            Ok(())
+        }
+        finite_in("threshold", self.threshold, 0.0, 1.0)?;
+        finite_in(
+            "slot_threshold_factor",
+            self.slot_threshold_factor,
+            0.0,
+            1.0,
+        )?;
+        self.sim.validate().map_err(ConfigError::Sim)?;
+        Ok(())
+    }
+
     /// The ideal policy reported as the "ideal replacement" upper bound:
     /// prefetch-aware Demand-MIN whenever a prefetcher is active, plain
     /// Belady-OPT otherwise (§II-C).
@@ -89,6 +133,86 @@ impl RippleConfig {
     /// them mostly injects misses.
     pub fn analysis_oracle(&self) -> PolicyKind {
         PolicyKind::Opt
+    }
+}
+
+/// Validating builder for [`RippleConfig`].
+///
+/// Starts from [`RippleConfig::default`], lets callers override individual
+/// knobs, and checks every range in [`RippleConfigBuilder::build`] — a NaN
+/// threshold or a degenerate cache geometry comes back as a
+/// [`ConfigError`] instead of a panic mid-pipeline.
+///
+/// # Examples
+///
+/// ```
+/// use ripple::{ConfigError, RippleConfig};
+///
+/// let cfg = RippleConfig::builder().threshold(0.55).build().unwrap();
+/// assert_eq!(cfg.threshold, 0.55);
+///
+/// let err = RippleConfig::builder().threshold(f64::NAN).build();
+/// assert!(matches!(err, Err(ConfigError::NotFinite { .. })));
+/// ```
+#[derive(Debug, Clone)]
+pub struct RippleConfigBuilder {
+    config: RippleConfig,
+}
+
+impl RippleConfigBuilder {
+    /// Sets the invalidation threshold (must end up in `0.0..=1.0`).
+    pub fn threshold(mut self, threshold: f64) -> Self {
+        self.config.threshold = threshold;
+        self
+    }
+
+    /// Sets the eviction-window analysis knobs.
+    pub fn analysis(mut self, analysis: AnalysisConfig) -> Self {
+        self.config.analysis = analysis;
+        self
+    }
+
+    /// Sets the underlying hardware replacement policy.
+    pub fn underlying(mut self, underlying: PolicyKind) -> Self {
+        self.config.underlying = underlying;
+        self
+    }
+
+    /// Sets how injected instructions act on the cache.
+    pub fn mechanism(mut self, mechanism: EvictionMechanism) -> Self {
+        self.config.mechanism = mechanism;
+        self
+    }
+
+    /// Enables or disables the final-layout analysis pass.
+    pub fn final_layout_analysis(mut self, enabled: bool) -> Self {
+        self.config.final_layout_analysis = enabled;
+        self
+    }
+
+    /// Sets the slot-reservation generosity factor (`0.0..=1.0`).
+    pub fn slot_threshold_factor(mut self, factor: f64) -> Self {
+        self.config.slot_threshold_factor = factor;
+        self
+    }
+
+    /// Sets the simulator configuration (validated as part of `build`).
+    pub fn sim(mut self, sim: SimConfig) -> Self {
+        self.config.sim = sim;
+        self
+    }
+
+    /// Sets the evaluation-harness worker count (`None`/`Some(0)` =
+    /// auto-detect).
+    pub fn threads(mut self, threads: Option<usize>) -> Self {
+        self.config.threads = threads;
+        self
+    }
+
+    /// Validates every knob and returns the configuration.
+    pub fn build(self) -> Result<RippleConfig, ConfigError> {
+        self.config.validate()?;
+        Ok(self.config)
     }
 }
 
@@ -169,12 +293,18 @@ pub struct Ripple<'p> {
 impl<'p> Ripple<'p> {
     /// Profiles nothing itself: takes an already-collected training trace,
     /// replays the oracle over it, and builds the eviction analysis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] when `config` fails
+    /// [`RippleConfig::validate`]; no simulation work happens in that
+    /// case.
     pub fn train(
         program: &'p Program,
         layout: &'p Layout,
         train_trace: &BbTrace,
         config: RippleConfig,
-    ) -> Self {
+    ) -> Result<Self, Error> {
         Self::train_with_recorder(program, layout, train_trace, config, Arc::new(NullRecorder))
     }
 
@@ -188,7 +318,8 @@ impl<'p> Ripple<'p> {
         train_trace: &BbTrace,
         config: RippleConfig,
         recorder: Arc<dyn Recorder>,
-    ) -> Self {
+    ) -> Result<Self, Error> {
+        config.validate()?;
         let oracle_cfg = config.sim.clone().with_policy(config.analysis_oracle());
         let mut windows = WindowSink::new();
         let _ = time_phase(&*recorder, "train.oracle_replay", || {
@@ -208,14 +339,14 @@ impl<'p> Ripple<'p> {
         let train_windows = time_phase(&*recorder, "train.window_index", || {
             WindowIndex::build(analysis.windows())
         });
-        Ripple {
+        Ok(Ripple {
             program,
             layout,
             config,
             analysis,
             train_windows,
             recorder,
-        }
+        })
     }
 
     /// The attached observability recorder ([`NullRecorder`] unless
@@ -240,14 +371,21 @@ impl<'p> Ripple<'p> {
     }
 
     /// The injection plan at the configured threshold.
-    pub fn plan(&self) -> (InjectionPlan, CoverageStats) {
-        self.analysis.plan_for_threshold(self.config.threshold)
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] when the configured threshold is not a
+    /// finite probability (possible when the config was assembled by
+    /// struct literal rather than the validating builder).
+    pub fn plan(&self) -> Result<(InjectionPlan, CoverageStats), Error> {
+        check_threshold(self.config.threshold)?;
+        Ok(self.analysis.plan_for_threshold(self.config.threshold))
     }
 
     /// Applies the plan and evaluates on `eval_trace` (which may be the
     /// training trace — the paper's default — or a different input's
     /// trace for the Fig. 13 study).
-    pub fn evaluate(&self, eval_trace: &BbTrace) -> RippleOutcome {
+    pub fn evaluate(&self, eval_trace: &BbTrace) -> Result<RippleOutcome, Error> {
         self.evaluate_with_threshold(eval_trace, self.config.threshold)
     }
 
@@ -258,7 +396,18 @@ impl<'p> Ripple<'p> {
     /// relinking fixes the final layout; a second analysis pass against
     /// that final layout assigns the victim operands (the binary's
     /// addresses are only meaningful once the layout is final).
-    pub fn evaluate_with_threshold(&self, eval_trace: &BbTrace, threshold: f64) -> RippleOutcome {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] for a non-finite or out-of-range
+    /// `threshold` and [`Error::Job`] when an evaluation job panicked (the
+    /// harness isolates the panic; sibling runs still complete).
+    pub fn evaluate_with_threshold(
+        &self,
+        eval_trace: &BbTrace,
+        threshold: f64,
+    ) -> Result<RippleOutcome, Error> {
+        check_threshold(threshold)?;
         let (mut plan, mut coverage) = time_phase(&*self.recorder, "eval.plan", || {
             self.analysis.plan_for_threshold(threshold)
         });
@@ -412,22 +561,23 @@ impl<'p> Ripple<'p> {
         ];
         let mut outs = time_phase(&*self.recorder, "eval.sim_runs", || {
             run_jobs_observed(threads, "evaluate", &*self.recorder, jobs)
-        })
+        })?
         .into_iter();
-        let baseline_out = outs.next().expect("baseline job");
-        let ripple_stats = match outs.next().expect("ripple job") {
-            RunOut::Stats(s) => s,
-            _ => unreachable!("ripple job returns plain stats"),
+        let mut next_out = |name: &str| {
+            outs.next()
+                .ok_or_else(|| Error::Internal(format!("missing {name} job output")))
         };
-        let lru_reference = match outs.next().expect("lru job") {
-            RunOut::Stats(s) => s,
-            _ => unreachable!("lru job returns plain stats"),
+        let plain_stats = |out: RunOut, name: &str| match out {
+            RunOut::Stats(s) => Ok(s),
+            _ => Err(Error::Internal(format!(
+                "{name} job returned a sink output"
+            ))),
         };
-        let ideal_out = outs.next().expect("ideal job");
-        let ideal_cache = match outs.next().expect("ideal-cache job") {
-            RunOut::Stats(s) => s,
-            _ => unreachable!("ideal-cache job returns plain stats"),
-        };
+        let baseline_out = next_out("baseline")?;
+        let ripple_stats = plain_stats(next_out("ripple")?, "ripple")?;
+        let lru_reference = plain_stats(next_out("lru")?, "lru")?;
+        let ideal_out = next_out("ideal")?;
+        let ideal_cache = plain_stats(next_out("ideal-cache")?, "ideal-cache")?;
 
         // Accuracy against ideal windows (final layout when available).
         let accuracy_timer = PhaseTimer::start(&*self.recorder);
@@ -451,7 +601,11 @@ impl<'p> Ripple<'p> {
                     let acc = eviction_accuracy(&base_log, &windows, &accesses);
                     (baseline, ideal, windows, accesses, self.layout, acc)
                 }
-                _ => unreachable!("job output shape follows the prebuilt-index path"),
+                _ => {
+                    return Err(Error::Internal(
+                        "job output shape diverged from the prebuilt-index path".to_string(),
+                    ))
+                }
             };
         let ripple_accuracy = plan_accuracy(
             &final_plan,
@@ -471,7 +625,7 @@ impl<'p> Ripple<'p> {
             ripple_stats.invalidate_instructions as f64 / dyn_orig as f64 * 100.0
         };
 
-        RippleOutcome {
+        Ok(RippleOutcome {
             coverage,
             injected_static: plan.len(),
             baseline,
@@ -483,8 +637,24 @@ impl<'p> Ripple<'p> {
             underlying_accuracy,
             static_overhead_pct,
             dynamic_overhead_pct,
-        }
+        })
     }
+}
+
+/// An explicit sweep threshold must be a finite probability.
+fn check_threshold(threshold: f64) -> Result<(), Error> {
+    if !threshold.is_finite() {
+        return Err(Error::Config(ConfigError::NotFinite { field: "threshold" }));
+    }
+    if !(0.0..=1.0).contains(&threshold) {
+        return Err(Error::Config(ConfigError::OutOfRange {
+            field: "threshold",
+            value: threshold,
+            min: 0.0,
+            max: 1.0,
+        }));
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -508,8 +678,8 @@ mod tests {
         let app = generate(&AppSpec::tiny(21));
         let layout = Layout::new(&app.program, &LayoutConfig::default());
         let trace = execute(&app.program, &app.model, InputConfig::training(21), 60_000);
-        let ripple = Ripple::train(&app.program, &layout, &trace, small_config());
-        let outcome = ripple.evaluate(&trace);
+        let ripple = Ripple::train(&app.program, &layout, &trace, small_config()).unwrap();
+        let outcome = ripple.evaluate(&trace).unwrap();
 
         assert!(outcome.coverage.total_windows > 0, "no eviction windows");
         assert!(outcome.injected_static > 0, "nothing injected");
@@ -535,11 +705,66 @@ mod tests {
         let app = generate(&AppSpec::tiny(33));
         let layout = Layout::new(&app.program, &LayoutConfig::default());
         let trace = execute(&app.program, &app.model, InputConfig::training(33), 60_000);
-        let ripple = Ripple::train(&app.program, &layout, &trace, small_config());
-        let o = ripple.evaluate(&trace);
+        let ripple = Ripple::train(&app.program, &layout, &trace, small_config()).unwrap();
+        let o = ripple.evaluate(&trace).unwrap();
         // ideal cache >= ideal replacement >= ripple (in IPC terms).
         assert!(o.ideal_cache.ipc() >= o.ideal.ipc() - 1e-9);
         assert!(o.ideal_speedup_pct() >= o.speedup_pct() - 1.0);
         assert_eq!(o.ideal_cache.demand_misses, 0);
+    }
+
+    #[test]
+    fn train_rejects_invalid_configs_before_any_work() {
+        let app = generate(&AppSpec::tiny(21));
+        let layout = Layout::new(&app.program, &LayoutConfig::default());
+        let trace = execute(&app.program, &app.model, InputConfig::training(21), 10_000);
+
+        let mut bad = small_config();
+        bad.threshold = f64::NAN;
+        assert!(matches!(
+            Ripple::train(&app.program, &layout, &trace, bad),
+            Err(Error::Config(ConfigError::NotFinite { field: "threshold" }))
+        ));
+
+        let mut bad = small_config();
+        bad.sim.warmup_fraction = 2.0;
+        assert!(matches!(
+            Ripple::train(&app.program, &layout, &trace, bad),
+            Err(Error::Config(ConfigError::Sim(_)))
+        ));
+    }
+
+    #[test]
+    fn evaluate_rejects_bad_explicit_thresholds() {
+        let app = generate(&AppSpec::tiny(21));
+        let layout = Layout::new(&app.program, &LayoutConfig::default());
+        let trace = execute(&app.program, &app.model, InputConfig::training(21), 10_000);
+        let ripple = Ripple::train(&app.program, &layout, &trace, small_config()).unwrap();
+        assert!(matches!(
+            ripple.evaluate_with_threshold(&trace, f64::INFINITY),
+            Err(Error::Config(ConfigError::NotFinite { .. }))
+        ));
+        assert!(matches!(
+            ripple.evaluate_with_threshold(&trace, -0.5),
+            Err(Error::Config(ConfigError::OutOfRange { .. }))
+        ));
+    }
+
+    #[test]
+    fn builder_validates_the_embedded_sim_config() {
+        assert!(RippleConfig::builder().build().is_ok());
+        let mut sim = ripple_sim::SimConfig::default();
+        sim.base_cpi = f64::NAN;
+        assert!(matches!(
+            RippleConfig::builder().sim(sim).build(),
+            Err(ConfigError::Sim(_))
+        ));
+        assert!(matches!(
+            RippleConfig::builder().slot_threshold_factor(2.0).build(),
+            Err(ConfigError::OutOfRange {
+                field: "slot_threshold_factor",
+                ..
+            })
+        ));
     }
 }

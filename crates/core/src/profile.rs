@@ -7,8 +7,10 @@
 //! provides: taken/not-taken bits and indirect targets.
 
 use ripple_program::Layout;
-use ripple_trace::{reconstruct_trace, record_trace, BbTrace, ReconstructError};
+use ripple_trace::{reconstruct_trace, record_trace, BbTrace};
 use ripple_workloads::{Application, Executor, InputConfig};
+
+use crate::error::Error;
 
 /// A collected profile: the decoded block trace plus tracing statistics.
 #[derive(Debug, Clone)]
@@ -38,14 +40,14 @@ impl Profile {
 ///
 /// # Errors
 ///
-/// Returns a [`ReconstructError`] if decoding fails (which would indicate
+/// Returns [`Error::Reconstruct`] if decoding fails (which would indicate
 /// a tracer bug; the round trip is property-tested in `ripple-trace`).
 pub fn collect_profile(
     app: &Application,
     layout: &Layout,
     input: InputConfig,
     budget_instructions: u64,
-) -> Result<Profile, ReconstructError> {
+) -> Result<Profile, Error> {
     let executed = Executor::new(&app.program, &app.model, input).run(budget_instructions);
     let bytes = record_trace(&app.program, layout, executed.iter());
     let trace = reconstruct_trace(&app.program, layout, &bytes)?;

@@ -3,6 +3,7 @@
 
 use ripple_trace::BbTrace;
 
+use crate::error::Error;
 use crate::harness::{effective_threads, run_jobs_observed, Job};
 use crate::pipeline::Ripple;
 
@@ -25,23 +26,35 @@ pub struct ThresholdPoint {
 /// Thresholds are independent, so they run as parallel harness jobs (the
 /// worker count follows the trained config's `threads`); the returned
 /// points are in `thresholds` order, bit-identical to a sequential sweep.
-pub fn sweep(ripple: &Ripple<'_>, eval_trace: &BbTrace, thresholds: &[f64]) -> Vec<ThresholdPoint> {
+///
+/// # Errors
+///
+/// The first point that fails to evaluate — an invalid threshold
+/// ([`Error::Config`]) or an isolated job panic ([`Error::Job`]) — aborts
+/// the sweep's result (the remaining jobs still run to completion).
+pub fn sweep(
+    ripple: &Ripple<'_>,
+    eval_trace: &BbTrace,
+    thresholds: &[f64],
+) -> Result<Vec<ThresholdPoint>, Error> {
     let threads = effective_threads(ripple.config().threads);
-    let jobs: Vec<Job<'_, ThresholdPoint>> = thresholds
+    let jobs: Vec<Job<'_, Result<ThresholdPoint, Error>>> = thresholds
         .iter()
-        .map(|&t| -> Job<'_, ThresholdPoint> {
+        .map(|&t| -> Job<'_, Result<ThresholdPoint, Error>> {
             Box::new(move || {
-                let outcome = ripple.evaluate_with_threshold(eval_trace, t);
-                ThresholdPoint {
+                let outcome = ripple.evaluate_with_threshold(eval_trace, t)?;
+                Ok(ThresholdPoint {
                     threshold: t,
                     coverage: outcome.coverage.coverage(),
                     accuracy: outcome.ripple_accuracy.accuracy(),
                     speedup_pct: outcome.speedup_pct(),
-                }
+                })
             })
         })
         .collect();
-    run_jobs_observed(threads, "sweep", &**ripple.recorder(), jobs)
+    run_jobs_observed(threads, "sweep", &**ripple.recorder(), jobs)?
+        .into_iter()
+        .collect()
 }
 
 /// Picks the best-performing threshold from a sweep (the paper tunes each
@@ -73,9 +86,9 @@ mod tests {
         let trace = execute(&app.program, &app.model, InputConfig::training(55), 60_000);
         let mut cfg = RippleConfig::default();
         cfg.sim.l1i = ripple_sim::CacheGeometry::new(2 * 1024, 4);
-        let ripple = Ripple::train(&app.program, &layout, &trace, cfg);
+        let ripple = Ripple::train(&app.program, &layout, &trace, cfg).unwrap();
 
-        let points = sweep(&ripple, &trace, &[0.05, 0.5, 0.95]);
+        let points = sweep(&ripple, &trace, &[0.05, 0.5, 0.95]).unwrap();
         assert_eq!(points.len(), 3);
         // Coverage is monotonically non-increasing in the threshold.
         assert!(points[0].coverage >= points[1].coverage);

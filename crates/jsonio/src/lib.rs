@@ -8,6 +8,8 @@
 //! cycle is lossless.
 
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 use std::fmt;
 
@@ -33,23 +35,47 @@ pub enum Value {
 }
 
 /// Error raised by parsing or typed extraction.
+///
+/// Parse errors carry the byte offset in the input where the problem was
+/// detected ([`JsonError::offset`]); extraction errors (wrong type,
+/// missing key) have no position because they operate on an already
+/// parsed tree.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JsonError {
     message: String,
+    offset: Option<usize>,
 }
 
 impl JsonError {
-    /// Creates an error with the given message.
+    /// Creates an error with the given message and no input position.
     pub fn new(message: impl Into<String>) -> Self {
         JsonError {
             message: message.into(),
+            offset: None,
         }
+    }
+
+    /// Creates an error anchored at a byte offset of the input document.
+    pub fn at(offset: usize, message: impl Into<String>) -> Self {
+        JsonError {
+            message: message.into(),
+            offset: Some(offset),
+        }
+    }
+
+    /// Byte offset in the input where the error was detected, if this is
+    /// a parse error.
+    pub fn offset(&self) -> Option<usize> {
+        self.offset
     }
 }
 
 impl fmt::Display for JsonError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "json error: {}", self.message)
+        match self.offset {
+            Some(pos) => write!(f, "json error at byte {pos}: {}", self.message),
+            None => write!(f, "json error: {}", self.message),
+        }
     }
 }
 
@@ -232,10 +258,7 @@ pub fn parse(input: &str) -> Result<Value, JsonError> {
     let v = p.value()?;
     p.skip_ws();
     if p.pos != p.bytes.len() {
-        return Err(JsonError::new(format!(
-            "trailing characters at byte {}",
-            p.pos
-        )));
+        return Err(JsonError::at(p.pos, "trailing characters"));
     }
     Ok(v)
 }
@@ -265,10 +288,7 @@ impl Parser<'_> {
             self.pos += 1;
             Ok(())
         } else {
-            Err(JsonError::new(format!(
-                "expected {:?} at byte {}",
-                b as char, self.pos
-            )))
+            Err(JsonError::at(self.pos, format!("expected {:?}", b as char)))
         }
     }
 
@@ -277,10 +297,7 @@ impl Parser<'_> {
             self.pos += word.len();
             Ok(value)
         } else {
-            Err(JsonError::new(format!(
-                "invalid literal at byte {}",
-                self.pos
-            )))
+            Err(JsonError::at(self.pos, "invalid literal"))
         }
     }
 
@@ -293,10 +310,7 @@ impl Parser<'_> {
             Some(b'[') => self.array(),
             Some(b'{') => self.object(),
             Some(b'-') | Some(b'0'..=b'9') => self.number(),
-            _ => Err(JsonError::new(format!(
-                "unexpected character at byte {}",
-                self.pos
-            ))),
+            _ => Err(JsonError::at(self.pos, "unexpected character")),
         }
     }
 
@@ -318,7 +332,7 @@ impl Parser<'_> {
                     self.pos += 1;
                     return Ok(Value::Array(items));
                 }
-                _ => return Err(JsonError::new(format!("bad array at byte {}", self.pos))),
+                _ => return Err(JsonError::at(self.pos, "expected ',' or ']' in array")),
             }
         }
     }
@@ -346,7 +360,7 @@ impl Parser<'_> {
                     self.pos += 1;
                     return Ok(Value::Object(members));
                 }
-                _ => return Err(JsonError::new(format!("bad object at byte {}", self.pos))),
+                _ => return Err(JsonError::at(self.pos, "expected ',' or '}' in object")),
             }
         }
     }
@@ -357,14 +371,14 @@ impl Parser<'_> {
         loop {
             let b = self
                 .peek()
-                .ok_or_else(|| JsonError::new("unterminated string"))?;
+                .ok_or_else(|| JsonError::at(self.pos, "unterminated string"))?;
             self.pos += 1;
             match b {
                 b'"' => return Ok(out),
                 b'\\' => {
                     let esc = self
                         .peek()
-                        .ok_or_else(|| JsonError::new("unterminated escape"))?;
+                        .ok_or_else(|| JsonError::at(self.pos, "unterminated escape"))?;
                     self.pos += 1;
                     match esc {
                         b'"' => out.push('"'),
@@ -379,19 +393,19 @@ impl Parser<'_> {
                             let hex = self
                                 .bytes
                                 .get(self.pos..self.pos + 4)
-                                .ok_or_else(|| JsonError::new("truncated \\u escape"))?;
+                                .ok_or_else(|| JsonError::at(self.pos, "truncated \\u escape"))?;
                             let hex = std::str::from_utf8(hex)
-                                .map_err(|_| JsonError::new("bad \\u escape"))?;
+                                .map_err(|_| JsonError::at(self.pos, "bad \\u escape"))?;
                             let code = u32::from_str_radix(hex, 16)
-                                .map_err(|_| JsonError::new("bad \\u escape"))?;
+                                .map_err(|_| JsonError::at(self.pos, "bad \\u escape"))?;
                             self.pos += 4;
                             // Surrogate pairs are not needed by our artifacts.
                             out.push(
                                 char::from_u32(code)
-                                    .ok_or_else(|| JsonError::new("bad \\u code point"))?,
+                                    .ok_or_else(|| JsonError::at(self.pos, "bad \\u code point"))?,
                             );
                         }
-                        _ => return Err(JsonError::new("unknown escape")),
+                        _ => return Err(JsonError::at(self.pos - 1, "unknown escape")),
                     }
                 }
                 _ => {
@@ -402,7 +416,7 @@ impl Parser<'_> {
                         end += 1;
                     }
                     let s = std::str::from_utf8(&self.bytes[start..end])
-                        .map_err(|_| JsonError::new("invalid utf-8 in string"))?;
+                        .map_err(|_| JsonError::at(start, "invalid utf-8 in string"))?;
                     out.push_str(s);
                     self.pos = end;
                 }
@@ -427,7 +441,7 @@ impl Parser<'_> {
             }
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .map_err(|_| JsonError::new("invalid number"))?;
+            .map_err(|_| JsonError::at(start, "invalid number"))?;
         if !is_float {
             if let Ok(i) = text.parse::<i64>() {
                 return Ok(Value::Int(i));
@@ -438,7 +452,7 @@ impl Parser<'_> {
         }
         text.parse::<f64>()
             .map(Value::Float)
-            .map_err(|_| JsonError::new(format!("invalid number {text:?}")))
+            .map_err(|_| JsonError::at(start, format!("invalid number {text:?}")))
     }
 }
 
@@ -604,6 +618,63 @@ mod tests {
         for bad in ["", "{", "[1,", "nul", "\"abc", "1 2", "{\"a\" 1}"] {
             assert!(parse(bad).is_err(), "{bad:?} should not parse");
         }
+    }
+
+    #[test]
+    fn parse_errors_carry_byte_offsets() {
+        // (document, offset the error must point at)
+        let cases = [
+            ("", 0),             // empty input
+            ("{", 1),            // truncated object: key expected at 1
+            ("[1,", 3),          // truncated array: value expected at 3
+            ("[1 2]", 3),        // missing comma
+            ("{\"a\" 1}", 5),    // missing colon
+            ("nulx", 0),         // bad literal starts at 0
+            ("\"abc", 4),        // unterminated string
+            ("\"a\\", 3),        // unterminated escape
+            ("\"a\\u12", 4),     // truncated \u escape
+            ("\"a\\q\"", 3),     // unknown escape points at the escape char
+            ("12..5", 0),        // malformed number starts at 0
+            ("{\"a\": 1} x", 9), // trailing characters
+            ("[1, 2, nope]", 7), // nested error keeps its position
+        ];
+        for (doc, want) in cases {
+            let err = parse(doc).unwrap_err();
+            assert_eq!(
+                err.offset(),
+                Some(want),
+                "{doc:?} should fail at byte {want}, got {err}"
+            );
+            assert!(
+                err.to_string().contains(&format!("at byte {want}")),
+                "{err}"
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_documents_fail_cleanly_at_every_prefix() {
+        let full = r#"{"name": "tom \"cat\"", "xs": [1, -2.5e3, null], "ok": true}"#;
+        assert!(parse(full).is_ok());
+        for cut in 0..full.len() {
+            if !full.is_char_boundary(cut) {
+                continue;
+            }
+            let prefix = &full[..cut];
+            let err = parse(prefix).expect_err("every proper prefix is incomplete");
+            assert!(
+                err.offset().is_some(),
+                "prefix {prefix:?} should carry an offset"
+            );
+            assert!(err.offset().unwrap() <= prefix.len());
+        }
+    }
+
+    #[test]
+    fn extraction_errors_have_no_offset() {
+        let v = parse("{\"a\": 1}").unwrap();
+        assert_eq!(v.get("missing").unwrap_err().offset(), None);
+        assert_eq!(v.as_array().unwrap_err().offset(), None);
     }
 
     #[test]

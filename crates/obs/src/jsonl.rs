@@ -32,13 +32,21 @@ impl<W: Write + Send> JsonlRecorder<W> {
 
     /// Flushes and returns the underlying writer.
     pub fn into_inner(self) -> W {
-        let mut w = self.writer.into_inner().expect("jsonl recorder poisoned");
+        // A poisoning panic was already reported where it happened; the
+        // recorder must not compound it, so recover the writer as-is.
+        let mut w = self
+            .writer
+            .into_inner()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
         let _ = w.flush();
         w
     }
 
     fn emit(&self, line: String) {
-        let mut w = self.writer.lock().expect("jsonl recorder poisoned");
+        let mut w = self
+            .writer
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
         let _ = w.write_all(line.as_bytes());
         let _ = w.write_all(b"\n");
     }

@@ -103,9 +103,19 @@ impl MetricsRecorder {
         MetricsRecorder::default()
     }
 
+    /// Each lock recovers from poisoning instead of panicking: metric
+    /// state is a set of independent counters (every update leaves it
+    /// consistent), and observability must not compound a panic that was
+    /// already reported where it happened.
+    fn locked(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
     /// A consistent copy of everything recorded so far.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let inner = self.inner.lock().expect("metrics recorder poisoned");
+        let inner = self.locked();
         MetricsSnapshot {
             counters: inner
                 .counters
@@ -125,7 +135,7 @@ impl Recorder for MetricsRecorder {
     }
 
     fn phase(&self, name: &str, wall_nanos: u64) {
-        let mut inner = self.inner.lock().expect("metrics recorder poisoned");
+        let mut inner = self.locked();
         let stat = inner.phases.entry(name.to_string()).or_default();
         stat.count += 1;
         stat.total_nanos += wall_nanos;
@@ -133,12 +143,12 @@ impl Recorder for MetricsRecorder {
     }
 
     fn add(&self, name: &str, delta: u64) {
-        let mut inner = self.inner.lock().expect("metrics recorder poisoned");
+        let mut inner = self.locked();
         *inner.counters.entry(name.to_string()).or_insert(0) += delta;
     }
 
     fn gauge(&self, name: &str, value: f64) {
-        let mut inner = self.inner.lock().expect("metrics recorder poisoned");
+        let mut inner = self.locked();
         inner.gauges.insert(name.to_string(), value);
     }
 
@@ -150,7 +160,7 @@ impl Recorder for MetricsRecorder {
                 .map(|&(n, v)| (n.to_string(), OwnedValue::from(v)))
                 .collect(),
         };
-        let mut inner = self.inner.lock().expect("metrics recorder poisoned");
+        let mut inner = self.locked();
         inner.events.push(record);
     }
 }

@@ -136,6 +136,9 @@ impl Program {
     ///
     /// Panics on an invalid program (e.g. a fall-through off a function
     /// end); [`Program::validate`] rejects those.
+    // The panics below are the documented contract for invalid programs,
+    // which `Program::validate` (run by every constructor) rules out.
+    #[allow(clippy::expect_used)]
     pub fn successors(&self, id: BlockId) -> Successors {
         let block = self.block(id);
         match block.terminator() {
@@ -197,10 +200,9 @@ impl Program {
             return Err(ValidateProgramError::MissingEntry(self.entry));
         }
         for func in &self.functions {
-            if func.blocks().is_empty() {
+            let Some(&last) = func.blocks().last() else {
                 return Err(ValidateProgramError::EmptyFunction(func.id()));
-            }
-            let last = *func.blocks().last().expect("non-empty");
+            };
             for &bid in func.blocks() {
                 let block = self.block(bid);
                 if block.is_empty() {

@@ -19,7 +19,7 @@ use std::sync::{Arc, OnceLock};
 
 use ripple_obs::{time_phase, FieldValue, NullRecorder, PhaseTimer, Recorder};
 use ripple_program::{Layout, Program};
-use ripple_trace::BbTrace;
+use ripple_trace::{BbTrace, TraceHealth};
 
 use crate::config::{LinePath, PolicyKind, SimConfig};
 use crate::frontend::Frontend;
@@ -86,6 +86,9 @@ pub struct SimSession<'a> {
     /// Observability sink; [`NullRecorder`] (the default) keeps every
     /// instrumented seam on its free path.
     recorder: Arc<dyn Recorder>,
+    /// Decode-health of the input trace when it came through the lossy
+    /// decoder; stamped onto every run's stats and gauges.
+    trace_health: Option<TraceHealth>,
 }
 
 impl std::fmt::Debug for SimSession<'_> {
@@ -118,7 +121,24 @@ impl<'a> SimSession<'a> {
             recorded: OnceLock::new(),
             recording_passes: AtomicU32::new(0),
             recorder: Arc::new(NullRecorder),
+            trace_health: None,
         }
+    }
+
+    /// Attaches the decode-health of the session's trace (as produced by
+    /// `reconstruct_trace_lossy`). Every run stamps
+    /// [`SimStats::dropped_packets`] / [`SimStats::resync_events`] from it
+    /// and, when a recorder is attached, reports the
+    /// `trace.dropped_packets` / `trace.resync_events` gauges — so a run
+    /// over a degraded trace is visibly degraded in its outputs.
+    pub fn with_trace_health(mut self, health: TraceHealth) -> Self {
+        self.trace_health = Some(health);
+        self
+    }
+
+    /// The attached trace decode-health, if any.
+    pub fn trace_health(&self) -> Option<TraceHealth> {
+        self.trace_health
     }
 
     /// Attaches an observability recorder; subsequent runs report
@@ -165,7 +185,7 @@ impl<'a> SimSession<'a> {
     pub fn run_with_sink(&self, policy: PolicyKind, sink: &mut dyn EvictionSink) -> SimStats {
         let timer = PhaseTimer::start(&*self.recorder);
         let cfg = self.config.clone().with_policy(policy);
-        let stats = if policy.is_offline_ideal() {
+        let mut stats = if policy.is_offline_ideal() {
             let rec = self.recorded();
             let oracle = build_ideal_policy(policy, cfg.l1i, rec.future.clone());
             self.run_frontend(&cfg, oracle, false, Some(&rec.stream), sink)
@@ -174,7 +194,17 @@ impl<'a> SimSession<'a> {
             let policy = build_policy(&cfg);
             self.run_frontend(&cfg, policy, false, None, sink).0
         };
+        if let Some(health) = self.trace_health {
+            stats.dropped_packets = health.dropped_packets;
+            stats.resync_events = health.resync_events;
+        }
         if self.recorder.enabled() {
+            if let Some(health) = self.trace_health {
+                self.recorder
+                    .gauge("trace.dropped_packets", health.dropped_packets as f64);
+                self.recorder
+                    .gauge("trace.resync_events", health.resync_events as f64);
+            }
             self.recorder.add("session.runs", 1);
             self.recorder.event(
                 "session.run",
@@ -264,6 +294,8 @@ impl<'a> SimSession<'a> {
                     &mut sink,
                 )
             });
+            // `run_frontend` with `record = true` always returns a stream.
+            #[allow(clippy::expect_used)]
             let stream = stream.expect("recording pass returns a stream");
             // Every recorded line is interned (the stream only contains
             // layout lines and their next-line prefetch targets, all of
@@ -532,6 +564,42 @@ mod tests {
             let one_shot = simulate(&p, &l, &t, &cfg.clone().with_policy(kind));
             assert_eq!(session.run(kind), one_shot, "{}", kind.name());
         }
+    }
+
+    #[test]
+    fn trace_health_is_stamped_onto_stats_and_gauges() {
+        let (p, l, t) = small_setup();
+        let health = TraceHealth {
+            total_bytes: 1000,
+            dropped_bytes: 40,
+            dropped_packets: 7,
+            resync_events: 2,
+        };
+        let metrics = Arc::new(ripple_obs::MetricsRecorder::new());
+        let session = SimSession::new(&p, &l, &t, small_cfg())
+            .with_trace_health(health)
+            .with_recorder(metrics.clone());
+        let stats = session.run(PolicyKind::Lru);
+        assert_eq!(stats.dropped_packets, 7);
+        assert_eq!(stats.resync_events, 2);
+        let snap = metrics.snapshot();
+        assert_eq!(snap.gauge("trace.dropped_packets"), Some(7.0));
+        assert_eq!(snap.gauge("trace.resync_events"), Some(2.0));
+
+        // Without attached health, the fields stay zero (lossless runs are
+        // indistinguishable from pre-lossy behaviour).
+        let plain = SimSession::new(&p, &l, &t, small_cfg()).run(PolicyKind::Lru);
+        assert_eq!(plain.dropped_packets, 0);
+        assert_eq!(plain.resync_events, 0);
+        // Health stamping never perturbs the simulation itself.
+        assert_eq!(
+            SimStats {
+                dropped_packets: 0,
+                resync_events: 0,
+                ..stats
+            },
+            plain
+        );
     }
 
     #[test]

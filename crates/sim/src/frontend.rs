@@ -348,8 +348,9 @@ impl<'a> Frontend<'a> {
             return;
         }
         if self.filter_fifo.len() == PREFETCH_FILTER {
-            let oldest = self.filter_fifo.pop_front().expect("filter full");
-            self.in_filter[oldest.index()] = false;
+            if let Some(oldest) = self.filter_fifo.pop_front() {
+                self.in_filter[oldest.index()] = false;
+            }
         }
         self.filter_fifo.push_back(id);
         self.in_filter[id.index()] = true;

@@ -181,6 +181,10 @@ impl FetchPlan {
     ///
     /// Panics if a block touches a line outside `table` (the table was
     /// built from a different layout).
+    // The panics are the documented contract for a table built from a
+    // different layout; `LineTable::build` over the same layout covers
+    // every block line, and a >4 GiB-entry plan is out of scope by far.
+    #[allow(clippy::expect_used)]
     pub fn build(program: &Program, layout: &Layout, table: &LineTable) -> Self {
         let n = program.num_blocks();
         let mut ids = Vec::new();

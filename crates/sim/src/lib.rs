@@ -25,6 +25,8 @@
 //! into an [`EvictionSink`] instead of being materialized by the engine.
 
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 #![warn(missing_debug_implementations)]
 
 mod bpred;
@@ -42,6 +44,7 @@ pub use bpred::{BranchPredictor, Prediction};
 pub use cache::{AccessOutcome, Cache};
 pub use config::{
     CacheGeometry, EvictionMechanism, LinePath, PolicyKind, PrefetcherKind, SimConfig,
+    SimConfigBuilder, SimConfigError,
 };
 pub use engine::{
     baseline_and_ideal, ideal_policy_for, simulate, simulate_ideal_cache, simulate_with_sink,

@@ -120,8 +120,9 @@ impl ReplacementPolicy for GhrpPolicy {
         // the earlier eviction was premature — untrain its signature.
         if !info.is_prefetch {
             if let Some(pos) = self.victims.iter().position(|&(l, _)| l == info.line) {
-                let (_, old_sig) = self.victims.remove(pos).expect("position valid");
-                self.train(old_sig, false);
+                if let Some((_, old_sig)) = self.victims.remove(pos) {
+                    self.train(old_sig, false);
+                }
             }
         }
         self.push_history(info);
@@ -153,7 +154,7 @@ impl ReplacementPolicy for GhrpPolicy {
         }
         (0..ways.len())
             .min_by_key(|&w| self.stamps[base + w])
-            .expect("non-empty set")
+            .unwrap_or(0)
     }
 
     fn on_evict(&mut self, set: u32, way: usize, line: LineId) {

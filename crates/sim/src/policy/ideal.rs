@@ -70,6 +70,9 @@ impl FutureIndex {
     /// # Panics
     ///
     /// Panics if the stream contains a line outside `table`.
+    // The panic is the documented contract for a table/stream mismatch,
+    // which `SimSession` (building both from one layout) rules out.
+    #[allow(clippy::expect_used)]
     pub fn build_dense(stream: &[StreamRecord], table: &LineTable) -> Arc<Self> {
         let n = stream.len();
         let mut next_demand = vec![NEVER; n];
@@ -191,7 +194,7 @@ impl ReplacementPolicy for OptPolicy {
         let base = self.idx(info.set, 0);
         (0..ways.len())
             .max_by_key(|&w| self.ways[base + w].next_demand)
-            .expect("non-empty set")
+            .unwrap_or(0)
     }
 }
 
@@ -266,7 +269,7 @@ impl ReplacementPolicy for DemandMinPolicy {
         }
         (0..ways.len())
             .max_by_key(|&w| self.ways[base + w].next_demand)
-            .expect("non-empty set")
+            .unwrap_or(0)
     }
 }
 

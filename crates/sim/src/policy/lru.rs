@@ -61,7 +61,7 @@ impl ReplacementPolicy for LruPolicy {
         let base = self.idx(info.set, 0);
         (0..ways.len())
             .min_by_key(|&w| self.stamps[base + w])
-            .expect("non-empty set")
+            .unwrap_or(0)
     }
 
     fn on_evict(&mut self, _set: u32, _way: usize, _line: LineId) {}

@@ -53,6 +53,13 @@ pub struct SimStats {
     pub invalidate_hits: u64,
     /// Mispredicted block transitions (squashes the FDIP runahead).
     pub mispredictions: u64,
+    /// Trace packets dropped during lossy decoding of the input trace
+    /// (zero when the trace decoded losslessly; see
+    /// `ripple_trace::TraceHealth`).
+    pub dropped_packets: u64,
+    /// Times the lossy decoder re-joined the stream at a sync point after
+    /// skipping a corrupt span.
+    pub resync_events: u64,
 }
 
 impl SimStats {

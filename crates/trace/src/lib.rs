@@ -9,7 +9,10 @@
 //! * [`TraceRecorder`] / [`record_trace`] — turn an executed basic-block
 //!   sequence into a packet stream;
 //! * [`reconstruct_trace`] — decode a packet stream back into a
-//!   [`BbTrace`] by walking the program's control-flow graph.
+//!   [`BbTrace`] by walking the program's control-flow graph;
+//! * [`reconstruct_trace_lossy`] — best-effort decoding of damaged
+//!   streams: corrupt spans are skipped up to the next PSB sync point
+//!   (see [`record_trace_with_sync`]) and accounted in a [`TraceHealth`].
 //!
 //! # Examples
 //!
@@ -36,6 +39,8 @@
 //! ```
 
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 #![warn(missing_debug_implementations)]
 
 mod bbtrace;
@@ -48,5 +53,8 @@ pub use packet::{
     decode_packets, DecodePacketError, Packet, PacketReader, PacketWriter, LONG_TNT_BITS,
     SHORT_TNT_BITS,
 };
-pub use reconstruct::{reconstruct_trace, ReconstructError};
-pub use recorder::{record_trace, TraceRecorder};
+pub use reconstruct::{
+    reconstruct_trace, reconstruct_trace_lossy, DecodeOptions, LossyReconstruction,
+    ReconstructError, TraceHealth,
+};
+pub use recorder::{record_trace, record_trace_with_sync, TraceRecorder};

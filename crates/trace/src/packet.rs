@@ -93,7 +93,7 @@ impl std::error::Error for DecodePacketError {}
 // even and distinguished by their low nibble.
 const HDR_LONG_TNT: u8 = 0x02;
 const HDR_TIP_NIBBLE: u8 = 0x04;
-const HDR_PSB: u8 = 0x06;
+pub(crate) const HDR_PSB: u8 = 0x06;
 const HDR_END: u8 = 0x08;
 const HDR_FUP_NIBBLE: u8 = 0x0a;
 
@@ -129,13 +129,21 @@ impl PacketWriter {
 
     /// Appends one packet.
     ///
+    /// A [`Packet::Psb`] resets the IP-compression state (like Intel PT's
+    /// PSB), so the first TIP/FUP after a sync point is always encoded
+    /// with its full address and a decoder can join the stream at any PSB
+    /// without history.
+    ///
     /// # Panics
     ///
     /// Panics if a [`Packet::Tnt`] has `count == 0` or
     /// `count > LONG_TNT_BITS`.
     pub fn write(&mut self, packet: Packet) {
         match packet {
-            Packet::Psb => self.bytes.push(HDR_PSB),
+            Packet::Psb => {
+                self.bytes.push(HDR_PSB);
+                self.last_ip = 0;
+            }
             Packet::End => self.bytes.push(HDR_END),
             Packet::Tnt { bits, count } => {
                 assert!(
@@ -241,10 +249,20 @@ impl<'a> PacketReader<'a> {
             let bits = u64::from((hdr >> 1) & ((1 << count) - 1));
             return Ok(Some(Packet::Tnt { bits, count }));
         }
+        // Only TIP/FUP headers carry payload in the high nibble (the IP
+        // byte count); the writer emits every other header with it clear,
+        // so a set high nibble there is corruption, not a packet. The
+        // lossy resync scan relies on this: it looks for the exact PSB
+        // byte, and the strict decoder must not accept anything looser.
         match hdr & 0x0f {
-            HDR_PSB => Ok(Some(Packet::Psb)),
-            HDR_END => Ok(Some(Packet::End)),
-            HDR_LONG_TNT => {
+            HDR_PSB if hdr == HDR_PSB => {
+                // PSB resets IP compression (mirrors the writer), so a
+                // decoder can resynchronize at any PSB without history.
+                self.last_ip = 0;
+                Ok(Some(Packet::Psb))
+            }
+            HDR_END if hdr == HDR_END => Ok(Some(Packet::End)),
+            HDR_LONG_TNT if hdr == HDR_LONG_TNT => {
                 let count = *self
                     .bytes
                     .get(self.pos)
@@ -432,6 +450,23 @@ mod tests {
     }
 
     #[test]
+    fn high_nibble_noise_on_payloadless_headers_is_rejected() {
+        // A single flipped bit in a PSB/END/long-TNT header must surface
+        // as corruption, not silently decode as the clean header (found
+        // by the `faults` check dimension: 0x16 used to pass for PSB
+        // while the lossy resync scan only matches the exact byte).
+        for hdr in [0x16u8, 0x26, 0x18, 0x48, 0x12, 0xf2] {
+            assert!(
+                matches!(
+                    PacketReader::new(&[hdr]).next_packet(),
+                    Err(DecodePacketError::BadHeader(b)) if b == hdr
+                ),
+                "{hdr:#04x}"
+            );
+        }
+    }
+
+    #[test]
     fn fup_roundtrip_shares_ip_compression() {
         let mut w = PacketWriter::new();
         w.write(Packet::Tip {
@@ -445,6 +480,34 @@ mod tests {
             decoded[1],
             Packet::Fup {
                 addr: Addr::new(0x0040_2040)
+            }
+        );
+    }
+
+    #[test]
+    fn psb_resets_ip_compression() {
+        // A TIP after a mid-stream PSB must carry its full address: a
+        // decoder that joins the stream at that PSB (no history) has to
+        // recover the same address as one that read from the start.
+        let mut w = PacketWriter::new();
+        w.write(Packet::Tip {
+            addr: Addr::new(0x0040_2000),
+        });
+        w.write(Packet::Psb);
+        let sync_pos = w.as_bytes().len() - 1;
+        w.write(Packet::Tip {
+            addr: Addr::new(0x0040_2000),
+        });
+        w.write(Packet::End);
+        let bytes = w.into_bytes();
+
+        let full = decode_packets(&bytes).unwrap();
+        let joined = decode_packets(&bytes[sync_pos..]).unwrap();
+        assert_eq!(full[1..], joined[..]);
+        assert_eq!(
+            joined[1],
+            Packet::Tip {
+                addr: Addr::new(0x0040_2000)
             }
         );
     }

@@ -1,4 +1,13 @@
 //! Reconstructs the executed basic-block sequence from a packet stream.
+//!
+//! Two entry points share one CFG-walking segment decoder:
+//!
+//! * [`reconstruct_trace`] — strict: the first malformed packet or
+//!   CFG-inconsistent event aborts with a [`ReconstructError`];
+//! * [`reconstruct_trace_lossy`] — production-trace mode: unrecoverable
+//!   spans are skipped up to the next PSB sync point, the loss is counted
+//!   in a [`TraceHealth`], and decoding proceeds as long as the byte drop
+//!   ratio stays under a configurable bound ([`DecodeOptions`]).
 
 use std::error::Error;
 use std::fmt;
@@ -6,7 +15,7 @@ use std::fmt;
 use ripple_program::{Addr, BlockId, Layout, Program, Successors};
 
 use crate::bbtrace::BbTrace;
-use crate::packet::{DecodePacketError, Packet, PacketReader};
+use crate::packet::{DecodePacketError, Packet, PacketReader, HDR_PSB};
 
 /// Errors produced while reconstructing a block trace.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,6 +44,22 @@ pub enum ReconstructError {
         /// Address the FUP packet reported.
         reported: Addr,
     },
+    /// A mid-stream sync checkpoint names a different block than the one
+    /// the CFG walk arrived at — the stream is corrupt.
+    SyncMismatch {
+        /// Block the decoder is standing on.
+        decoded: Addr,
+        /// Address the checkpoint TIP reported.
+        reported: Addr,
+    },
+    /// Lossy decoding dropped more bytes than the configured bound allows
+    /// (see [`DecodeOptions::max_drop_ratio`]).
+    DropRatioExceeded {
+        /// Bytes skipped as unrecoverable.
+        dropped_bytes: u64,
+        /// Total bytes in the stream.
+        total_bytes: u64,
+    },
 }
 
 impl fmt::Display for ReconstructError {
@@ -56,6 +81,18 @@ impl fmt::Display for ReconstructError {
                 f,
                 "fup address {reported} disagrees with decoded final block {decoded}"
             ),
+            ReconstructError::SyncMismatch { decoded, reported } => write!(
+                f,
+                "sync checkpoint {reported} disagrees with decoded block {decoded}"
+            ),
+            ReconstructError::DropRatioExceeded {
+                dropped_bytes,
+                total_bytes,
+            } => write!(
+                f,
+                "lossy decode dropped {dropped_bytes} of {total_bytes} bytes, \
+                 over the configured drop-ratio bound"
+            ),
         }
     }
 }
@@ -75,6 +112,73 @@ impl From<DecodePacketError> for ReconstructError {
     }
 }
 
+/// Options for [`reconstruct_trace_lossy`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecodeOptions {
+    /// Maximum tolerated fraction of the stream's bytes dropped as
+    /// unrecoverable, `0.0..=1.0`. Decoding that drops more fails with
+    /// [`ReconstructError::DropRatioExceeded`]. The default (`1.0`)
+    /// accepts any amount of loss.
+    pub max_drop_ratio: f64,
+}
+
+impl Default for DecodeOptions {
+    fn default() -> Self {
+        DecodeOptions {
+            max_drop_ratio: 1.0,
+        }
+    }
+}
+
+/// Loss accounting for one lossy reconstruction.
+///
+/// `dropped_*` counts bytes/packets the decoder skipped as unrecoverable;
+/// `resync_events` counts how many times it had to re-join the stream at
+/// a PSB sync point (the initial sync of a well-formed stream does not
+/// count). A pristine stream decodes with an all-zero health (except
+/// `total_bytes`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceHealth {
+    /// Total bytes in the encoded stream.
+    pub total_bytes: u64,
+    /// Bytes skipped as unrecoverable.
+    pub dropped_bytes: u64,
+    /// Packets lost inside skipped spans (plus one per span that failed
+    /// mid-packet).
+    pub dropped_packets: u64,
+    /// Times the decoder re-synchronized at a mid-stream PSB after a
+    /// corrupt span.
+    pub resync_events: u64,
+}
+
+impl TraceHealth {
+    /// Fraction of the stream's bytes that were dropped (`0.0` for an
+    /// empty stream).
+    pub fn drop_ratio(&self) -> f64 {
+        if self.total_bytes == 0 {
+            0.0
+        } else {
+            self.dropped_bytes as f64 / self.total_bytes as f64
+        }
+    }
+
+    /// Whether nothing was dropped and no resync was needed.
+    pub fn is_lossless(&self) -> bool {
+        self.dropped_bytes == 0 && self.dropped_packets == 0 && self.resync_events == 0
+    }
+}
+
+/// Result of a [`reconstruct_trace_lossy`] call: the blocks that could be
+/// recovered plus the loss accounting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LossyReconstruction {
+    /// The recovered block sequence (possibly with gaps where spans were
+    /// dropped).
+    pub trace: BbTrace,
+    /// What was lost along the way.
+    pub health: TraceHealth,
+}
+
 struct Cursor<'a> {
     reader: PacketReader<'a>,
     tnt_bits: u64,
@@ -92,6 +196,12 @@ impl<'a> Cursor<'a> {
             tnt_consumed: 0,
             lookahead: None,
         }
+    }
+
+    /// Byte offset the reader has consumed up to (including any packet
+    /// held in the lookahead slot).
+    fn position(&self) -> usize {
+        self.reader.position()
     }
 
     fn next_packet(&mut self) -> Result<Option<Packet>, ReconstructError> {
@@ -158,50 +268,138 @@ impl<'a> Cursor<'a> {
             _ => Ok(None),
         }
     }
+
+    /// Whether the decoder stands at a mid-stream sync point (all TNT
+    /// bits consumed, next packet is PSB).
+    fn at_sync(&mut self) -> Result<bool, ReconstructError> {
+        if self.has_pending_bit() {
+            return Ok(false);
+        }
+        Ok(matches!(self.peek_packet()?, Some(Packet::Psb)))
+    }
 }
 
-/// Reconstructs the executed block sequence from an encoded packet stream.
+/// How one segment walk ended.
+enum SegmentEnd {
+    /// END packet consumed; byte position just past it.
+    Finished { end_pos: usize },
+    /// Decode failed; `fail_pos` is the byte position the reader had
+    /// consumed up to when the error was detected.
+    Failed {
+        error: ReconstructError,
+        fail_pos: usize,
+    },
+}
+
+/// Walks one sync-delimited segment starting at byte `start`, appending
+/// recovered blocks to `blocks`.
 ///
-/// Inverse of [`record_trace`](crate::record_trace): walks the program's
-/// CFG, consuming one TNT bit per conditional branch (and per compressed
-/// return) and one TIP per indirect transfer, stopping at the FUP marker.
-///
-/// # Errors
-///
-/// Returns a [`ReconstructError`] if the stream is malformed or
-/// inconsistent with the program.
-pub fn reconstruct_trace(
+/// A segment begins with PSB + TIP and runs until the FUP + END trailer
+/// (`Finished`) or the first inconsistency (`Failed`). Mid-stream PSB +
+/// TIP sync points (see `TraceRecorder::with_sync_interval`) are walked
+/// through: the call stack is forgotten and decoding re-anchors at the
+/// TIP's block.
+fn decode_segment(
     program: &Program,
     layout: &Layout,
     bytes: &[u8],
-) -> Result<BbTrace, ReconstructError> {
-    let mut cursor = Cursor::new(PacketReader::new(bytes));
-    // Empty trace: no packets at all.
-    if cursor.peek_packet()?.is_none() {
-        return Ok(BbTrace::new(Vec::new()));
+    start: usize,
+    blocks: &mut Vec<BlockId>,
+) -> SegmentEnd {
+    let mut cursor = Cursor::new(PacketReader::new(&bytes[start..]));
+    let fail = |cursor: &Cursor<'_>, error: ReconstructError| SegmentEnd::Failed {
+        error,
+        fail_pos: start + cursor.position(),
+    };
+    macro_rules! try_seg {
+        ($cursor:expr, $e:expr) => {
+            match $e {
+                Ok(v) => v,
+                Err(error) => return fail($cursor, error),
+            }
+        };
     }
-    if cursor.next_packet()? != Some(Packet::Psb) {
-        return Err(ReconstructError::MissingSync);
+
+    // Empty stream: a complete, empty trace.
+    if start == 0 && bytes.is_empty() {
+        return SegmentEnd::Finished { end_pos: 0 };
     }
-    let entry_addr = cursor.next_tip()?;
-    let mut current = block_at(layout, entry_addr)?;
-    let mut blocks = vec![current];
+    if try_seg!(&cursor, cursor.next_packet()) != Some(Packet::Psb) {
+        return fail(&cursor, ReconstructError::MissingSync);
+    }
+    let entry_addr = match cursor.next_tip() {
+        Ok(a) => a,
+        // A PSB not followed by a TIP is not a joinable sync point.
+        Err(_) => return fail(&cursor, ReconstructError::MissingSync),
+    };
+    let mut current = try_seg!(&cursor, block_at(layout, entry_addr));
+    blocks.push(current);
     let mut call_stack: Vec<BlockId> = Vec::new();
 
     loop {
         // Stop when the FUP marker names the block we are standing on.
-        if let Some(fup_addr) = cursor.at_fup()? {
+        if let Some(fup_addr) = try_seg!(&cursor, cursor.at_fup()) {
             if layout.block_addr(current) == fup_addr {
-                cursor.next_packet()?; // consume FUP
+                try_seg!(&cursor, cursor.next_packet()); // consume FUP
                 break;
             }
             // Otherwise we are mid way through an unconditional chain that
             // continues below; only unconditional successors may follow
             // (anything needing an event will error out as corrupt).
         }
+        // A mid-stream sync checkpoint re-states the block the recorder
+        // was standing on. Packet-less transitions (jumps, fallthroughs,
+        // direct calls) may separate the walk from the checkpoint — walk
+        // them forward first; anything needing an event means the stream
+        // is corrupt. Both sides forget their call stacks at the
+        // checkpoint.
+        if try_seg!(&cursor, cursor.at_sync()) {
+            try_seg!(&cursor, cursor.next_packet()); // consume PSB
+            let addr = match cursor.next_tip() {
+                Ok(a) => a,
+                Err(_) => return fail(&cursor, ReconstructError::MissingSync),
+            };
+            // Quiet chains never revisit a block (that would be an
+            // event-less infinite loop), so the program's block count
+            // bounds the walk even on corrupt input.
+            let mut remaining = program.num_blocks();
+            while layout.block_addr(current) != addr {
+                let next = match program.successors(current) {
+                    Successors::Jump(t) => t,
+                    Successors::Fallthrough(t) => t,
+                    Successors::Call { callee, return_to } => {
+                        call_stack.push(return_to);
+                        callee
+                    }
+                    _ => {
+                        return fail(
+                            &cursor,
+                            ReconstructError::SyncMismatch {
+                                decoded: layout.block_addr(current),
+                                reported: addr,
+                            },
+                        )
+                    }
+                };
+                blocks.push(next);
+                current = next;
+                if remaining == 0 {
+                    return fail(
+                        &cursor,
+                        ReconstructError::SyncMismatch {
+                            decoded: layout.block_addr(current),
+                            reported: addr,
+                        },
+                    );
+                }
+                remaining -= 1;
+            }
+            call_stack.clear();
+            continue;
+        }
         let next = match program.successors(current) {
             Successors::Cond { taken, not_taken } => {
-                if cursor.next_bit()? {
+                if try_seg!(&cursor, cursor.next_bit()) {
                     taken
                 } else {
                     not_taken
@@ -215,19 +413,26 @@ pub fn reconstruct_trace(
             }
             Successors::IndirectCall { return_to } => {
                 call_stack.push(return_to);
-                block_at(layout, cursor.next_tip()?)?
+                let addr = try_seg!(&cursor, cursor.next_tip());
+                try_seg!(&cursor, block_at(layout, addr))
             }
-            Successors::Indirect => block_at(layout, cursor.next_tip()?)?,
+            Successors::Indirect => {
+                let addr = try_seg!(&cursor, cursor.next_tip());
+                try_seg!(&cursor, block_at(layout, addr))
+            }
             Successors::Return => {
-                if cursor.next_event_is_bit()? {
-                    if !cursor.next_bit()? {
-                        return Err(ReconstructError::BadReturnBit);
+                if try_seg!(&cursor, cursor.next_event_is_bit()) {
+                    if !try_seg!(&cursor, cursor.next_bit()) {
+                        return fail(&cursor, ReconstructError::BadReturnBit);
                     }
-                    call_stack.pop().ok_or(ReconstructError::StackUnderflow)?
+                    match call_stack.pop() {
+                        Some(b) => b,
+                        None => return fail(&cursor, ReconstructError::StackUnderflow),
+                    }
                 } else {
-                    let addr = cursor.next_tip()?;
+                    let addr = try_seg!(&cursor, cursor.next_tip());
                     call_stack.pop();
-                    block_at(layout, addr)?
+                    try_seg!(&cursor, block_at(layout, addr))
                 }
             }
         };
@@ -235,9 +440,137 @@ pub fn reconstruct_trace(
         current = next;
     }
 
-    match cursor.next_packet()? {
-        Some(Packet::End) => Ok(BbTrace::new(blocks)),
-        _ => Err(ReconstructError::MissingEnd),
+    match try_seg!(&cursor, cursor.next_packet()) {
+        Some(Packet::End) => SegmentEnd::Finished {
+            end_pos: start + cursor.position(),
+        },
+        _ => fail(&cursor, ReconstructError::MissingEnd),
+    }
+}
+
+/// Reconstructs the executed block sequence from an encoded packet stream.
+///
+/// Inverse of [`record_trace`](crate::record_trace): walks the program's
+/// CFG, consuming one TNT bit per conditional branch (and per compressed
+/// return) and one TIP per indirect transfer, stopping at the FUP marker.
+/// Mid-stream sync points (from
+/// [`TraceRecorder::with_sync_interval`](crate::TraceRecorder::with_sync_interval))
+/// are decoded transparently.
+///
+/// # Errors
+///
+/// Returns a [`ReconstructError`] if the stream is malformed or
+/// inconsistent with the program. For best-effort decoding of damaged
+/// streams, use [`reconstruct_trace_lossy`].
+pub fn reconstruct_trace(
+    program: &Program,
+    layout: &Layout,
+    bytes: &[u8],
+) -> Result<BbTrace, ReconstructError> {
+    let mut blocks = Vec::new();
+    match decode_segment(program, layout, bytes, 0, &mut blocks) {
+        SegmentEnd::Finished { .. } => Ok(BbTrace::new(blocks)),
+        SegmentEnd::Failed { error, .. } => Err(error),
+    }
+}
+
+/// Best-effort reconstruction of a damaged packet stream.
+///
+/// Decodes like [`reconstruct_trace`], but on the first inconsistency
+/// the decoder scans forward for the next PSB sync point, counts the
+/// skipped span into a [`TraceHealth`], and rejoins the stream there
+/// (which is why [`record_trace_with_sync`](crate::record_trace_with_sync)
+/// exists: without mid-stream sync points a corrupt prefix loses the
+/// whole stream). Decoding is a pure function of the bytes — the same
+/// damaged input always yields the same blocks and the same health.
+///
+/// # Errors
+///
+/// Returns [`ReconstructError::DropRatioExceeded`] when more than
+/// `options.max_drop_ratio` of the stream's bytes had to be dropped.
+/// All other damage is absorbed into the health counters.
+pub fn reconstruct_trace_lossy(
+    program: &Program,
+    layout: &Layout,
+    bytes: &[u8],
+    options: &DecodeOptions,
+) -> Result<LossyReconstruction, ReconstructError> {
+    let mut health = TraceHealth {
+        total_bytes: bytes.len() as u64,
+        ..TraceHealth::default()
+    };
+    let mut blocks = Vec::new();
+    let mut pos = 0usize;
+    let mut first_join = true;
+    while pos < bytes.len() {
+        let Some(sync) = find_psb(bytes, pos) else {
+            drop_span(&mut health, bytes, pos, bytes.len());
+            break;
+        };
+        if sync > pos {
+            drop_span(&mut health, bytes, pos, sync);
+        }
+        let initial_join = first_join && sync == 0;
+        first_join = false;
+        if !initial_join {
+            health.resync_events += 1;
+        }
+        match decode_segment(program, layout, bytes, sync, &mut blocks) {
+            SegmentEnd::Finished { end_pos } => {
+                // Anything after END is not part of this trace.
+                if end_pos < bytes.len() {
+                    drop_span(&mut health, bytes, end_pos, bytes.len());
+                }
+                pos = bytes.len();
+            }
+            SegmentEnd::Failed { fail_pos, .. } => {
+                // The packet that broke is gone; whatever lies between
+                // here and the next sync point is counted when the next
+                // iteration scans over it.
+                health.dropped_packets += 1;
+                pos = fail_pos.max(sync + 1);
+            }
+        }
+    }
+    if health.drop_ratio() > options.max_drop_ratio {
+        return Err(ReconstructError::DropRatioExceeded {
+            dropped_bytes: health.dropped_bytes,
+            total_bytes: health.total_bytes,
+        });
+    }
+    Ok(LossyReconstruction {
+        trace: BbTrace::new(blocks),
+        health,
+    })
+}
+
+/// Finds the next PSB header byte at or after `from`.
+///
+/// A payload byte can collide with the PSB header; a false positive just
+/// produces a short failed segment and the scan continues, so collisions
+/// cost time, not correctness.
+fn find_psb(bytes: &[u8], from: usize) -> Option<usize> {
+    bytes[from.min(bytes.len())..]
+        .iter()
+        .position(|&b| b == HDR_PSB)
+        .map(|i| from + i)
+}
+
+/// Counts a skipped byte span into `health`, estimating how many packets
+/// it contained (a span that stops parsing mid-way counts the broken
+/// packet too).
+fn drop_span(health: &mut TraceHealth, bytes: &[u8], from: usize, to: usize) {
+    health.dropped_bytes += (to - from) as u64;
+    let span = &bytes[from..to];
+    let mut pos = 0usize;
+    while pos < span.len() {
+        let mut reader = PacketReader::new(&span[pos..]);
+        match reader.next_packet() {
+            Ok(Some(_)) => pos += reader.position(),
+            Ok(None) => break,
+            Err(_) => pos += reader.position().max(1),
+        }
+        health.dropped_packets += 1;
     }
 }
 

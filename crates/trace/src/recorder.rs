@@ -25,6 +25,8 @@ pub struct TraceRecorder<'p> {
     call_stack: Vec<BlockId>,
     current: Option<BlockId>,
     started: bool,
+    sync_interval: u64,
+    blocks_since_sync: u64,
 }
 
 impl<'p> TraceRecorder<'p> {
@@ -39,7 +41,26 @@ impl<'p> TraceRecorder<'p> {
             call_stack: Vec::new(),
             current: None,
             started: false,
+            sync_interval: 0,
+            blocks_since_sync: 0,
         }
+    }
+
+    /// Emits a mid-stream sync point (PSB + full TIP) roughly every
+    /// `interval` recorded blocks (`0` — the default — means never).
+    ///
+    /// A sync point carries everything a decoder needs to join the stream
+    /// cold: the PSB resets IP compression, the TIP names the block the
+    /// recorder is standing on with its full address, and the recorder
+    /// forgets its call stack so every return until the stack rebuilds is
+    /// emitted as an uncompressed TIP rather than a stack-relative bit.
+    /// The checkpoint is purely additive — every transition keeps its
+    /// normal event — so the strict decoder uses it only as a consistency
+    /// check, while a lossy decoder (see `reconstruct_trace_lossy`) uses
+    /// it to rejoin the stream after a corrupt span.
+    pub fn with_sync_interval(mut self, interval: u64) -> Self {
+        self.sync_interval = interval;
+        self
     }
 
     fn push_bit(&mut self, bit: bool) {
@@ -79,8 +100,24 @@ impl<'p> TraceRecorder<'p> {
             self.emit_tip(self.layout.block_addr(block));
             self.current = Some(block);
             self.started = true;
+            self.blocks_since_sync = 0;
             return;
         };
+        if self.sync_interval > 0 {
+            self.blocks_since_sync += 1;
+            if self.blocks_since_sync >= self.sync_interval {
+                // Checkpoint: re-state the block we are standing on with a
+                // full-address TIP, then record the transition as usual (no
+                // event is replaced, so nothing is lost if the checkpoint
+                // is skipped). Both sides forget the call stack, so returns
+                // are emitted uncompressed until it rebuilds.
+                self.flush_bits();
+                self.call_stack.clear();
+                self.writer.write(Packet::Psb);
+                self.emit_tip(self.layout.block_addr(prev));
+                self.blocks_since_sync = 0;
+            }
+        }
         match self.program.successors(prev) {
             Successors::Cond { taken, not_taken } => {
                 if block == taken {
@@ -168,6 +205,28 @@ pub fn record_trace(
     blocks: impl IntoIterator<Item = BlockId>,
 ) -> Vec<u8> {
     let mut recorder = TraceRecorder::new(program, layout);
+    for b in blocks {
+        recorder.record_block(b);
+    }
+    recorder.finish()
+}
+
+/// [`record_trace`] with a mid-stream sync point roughly every
+/// `sync_interval` blocks (see [`TraceRecorder::with_sync_interval`]).
+///
+/// The stream stays decodable by the strict [`reconstruct_trace`]
+/// (sync points are walked through transparently), and additionally gives
+/// [`reconstruct_trace_lossy`] places to rejoin after a corrupt span.
+///
+/// [`reconstruct_trace`]: crate::reconstruct_trace
+/// [`reconstruct_trace_lossy`]: crate::reconstruct_trace_lossy
+pub fn record_trace_with_sync(
+    program: &Program,
+    layout: &Layout,
+    blocks: impl IntoIterator<Item = BlockId>,
+    sync_interval: u64,
+) -> Vec<u8> {
+    let mut recorder = TraceRecorder::new(program, layout).with_sync_interval(sync_interval);
     for b in blocks {
         recorder.record_block(b);
     }

@@ -7,7 +7,10 @@ use rand::{Rng, SeedableRng};
 use ripple_program::{
     BlockId, CodeKind, Instruction, Layout, LayoutConfig, Program, ProgramBuilder, Successors,
 };
-use ripple_trace::{reconstruct_trace, record_trace};
+use ripple_trace::{
+    reconstruct_trace, reconstruct_trace_lossy, record_trace, record_trace_with_sync,
+    DecodeOptions, ReconstructError,
+};
 
 /// Builds a program exercising conditionals, direct/indirect calls,
 /// indirect jumps and returns.
@@ -163,6 +166,109 @@ fn single_block_trace_roundtrips() {
     let bytes = record_trace(&program, &layout, std::iter::once(entry));
     let decoded = reconstruct_trace(&program, &layout, &bytes).unwrap();
     assert_eq!(decoded.blocks(), &[entry]);
+}
+
+#[test]
+fn sync_points_roundtrip_through_strict_decoder() {
+    // Mid-stream sync points must be transparent to the strict decoder,
+    // at every interval (including ones that land on calls/returns so the
+    // cleared call stack forces uncompressed return TIPs).
+    let (program, _) = rich_program();
+    let layout = Layout::new(&program, &LayoutConfig::default());
+    let executed = random_execution(&program, 64, 400);
+    for interval in [1, 2, 3, 7, 16, 64] {
+        let bytes = record_trace_with_sync(&program, &layout, executed.iter().copied(), interval);
+        let decoded = reconstruct_trace(&program, &layout, &bytes)
+            .unwrap_or_else(|e| panic!("interval {interval}: {e}"));
+        assert_eq!(decoded.blocks(), &executed[..], "interval {interval}");
+    }
+}
+
+#[test]
+fn lossy_decode_of_pristine_stream_is_lossless() {
+    let (program, _) = rich_program();
+    let layout = Layout::new(&program, &LayoutConfig::default());
+    let executed = random_execution(&program, 5, 300);
+    for bytes in [
+        record_trace(&program, &layout, executed.iter().copied()),
+        record_trace_with_sync(&program, &layout, executed.iter().copied(), 25),
+    ] {
+        let out = reconstruct_trace_lossy(&program, &layout, &bytes, &DecodeOptions::default())
+            .expect("pristine stream");
+        assert!(out.health.is_lossless(), "{:?}", out.health);
+        assert_eq!(out.health.total_bytes, bytes.len() as u64);
+        assert_eq!(out.trace.blocks(), &executed[..]);
+    }
+}
+
+#[test]
+fn lossy_decode_recovers_after_a_corrupt_span() {
+    let (program, _) = rich_program();
+    let layout = Layout::new(&program, &LayoutConfig::default());
+    let executed = random_execution(&program, 64, 400);
+    let mut bytes = record_trace_with_sync(&program, &layout, executed.iter().copied(), 8);
+    // Stomp a span near the front with 0x0e (an illegal even header): the
+    // strict decoder must reject the stream, the lossy one must skip the
+    // span, rejoin at a later sync point, and decode through to the end.
+    let span = 6..16.min(bytes.len());
+    for i in span {
+        bytes[i] = 0x0e;
+    }
+    assert!(reconstruct_trace(&program, &layout, &bytes).is_err());
+
+    let out = reconstruct_trace_lossy(&program, &layout, &bytes, &DecodeOptions::default())
+        .expect("lossy decode");
+    assert!(out.health.dropped_packets > 0, "{:?}", out.health);
+    assert!(out.health.resync_events > 0, "{:?}", out.health);
+    assert!(!out.trace.is_empty());
+    // After the last successful rejoin the walk runs to the true end of
+    // the execution.
+    assert_eq!(out.trace.blocks().last(), executed.last());
+
+    // Pure function of the bytes: decoding again gives identical results.
+    let again = reconstruct_trace_lossy(&program, &layout, &bytes, &DecodeOptions::default())
+        .expect("lossy decode (second)");
+    assert_eq!(out, again);
+}
+
+#[test]
+fn lossy_decode_enforces_the_drop_ratio_bound() {
+    let (program, _) = rich_program();
+    let layout = Layout::new(&program, &LayoutConfig::default());
+    let executed = random_execution(&program, 64, 400);
+    let mut bytes = record_trace_with_sync(&program, &layout, executed.iter().copied(), 8);
+    for i in 6..16.min(bytes.len()) {
+        bytes[i] = 0x0e;
+    }
+    let strict_bound = DecodeOptions {
+        max_drop_ratio: 0.0,
+    };
+    match reconstruct_trace_lossy(&program, &layout, &bytes, &strict_bound) {
+        Err(ReconstructError::DropRatioExceeded {
+            dropped_bytes,
+            total_bytes,
+        }) => {
+            assert!(dropped_bytes > 0);
+            assert_eq!(total_bytes, bytes.len() as u64);
+        }
+        other => panic!("expected DropRatioExceeded, got {other:?}"),
+    }
+}
+
+#[test]
+fn lossy_decode_survives_truncation() {
+    let (program, _) = rich_program();
+    let layout = Layout::new(&program, &LayoutConfig::default());
+    let executed = random_execution(&program, 9, 200);
+    let bytes = record_trace_with_sync(&program, &layout, executed.iter().copied(), 10);
+    for keep in 1..bytes.len() {
+        let out =
+            reconstruct_trace_lossy(&program, &layout, &bytes[..keep], &DecodeOptions::default())
+                .unwrap_or_else(|e| panic!("keep {keep}: {e}"));
+        // Every prefix must decode without panicking and account for
+        // exactly the bytes it was given.
+        assert_eq!(out.health.total_bytes, keep as u64);
+    }
 }
 
 proptest! {

@@ -121,6 +121,10 @@ impl<'a> Executor<'a> {
         (h >> 11) as f64 / (1u64 << 53) as f64
     }
 
+    // Structural invariant of the synthetic model: execution starts in
+    // the event loop and every return matches a recorded call, so an
+    // empty stack on `Return` is unreachable on a validated model.
+    #[allow(clippy::expect_used)]
     fn next_block(&mut self, current: BlockId) -> BlockId {
         match self.program.successors(current) {
             Successors::Cond { taken, not_taken } => {
@@ -189,6 +193,9 @@ impl<'a> Executor<'a> {
     /// with `path_noise` deviations. Still hard to *prefetch* (the BTB
     /// only remembers one target per site), but statistically regular, the
     /// combination Ripple's cue analysis exploits (§II-C Observation #2).
+    // The generator registers a site model for every indirect terminator
+    // it emits (see `generate`), so the lookup cannot miss.
+    #[allow(clippy::expect_used)]
     fn pick_indirect(&mut self, site_block: BlockId) -> BlockId {
         let site = self
             .model

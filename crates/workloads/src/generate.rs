@@ -38,6 +38,9 @@ fn sample(rng: &mut StdRng, r: Range) -> u32 {
 ///
 /// Panics if `spec` fails [`AppSpec::validate`] or generation produces an
 /// invalid program (a bug, guarded by [`Program::validate`]).
+// The panic is the documented contract: a generation bug, not an input
+// error (`AppSpec::validate` has already vetted the spec).
+#[allow(clippy::expect_used)]
 pub fn generate(spec: &AppSpec) -> Application {
     try_generate(spec).expect("generated program must validate")
 }

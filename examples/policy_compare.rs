@@ -41,7 +41,8 @@ fn main() {
     // One session records the request stream once; every policy replays it,
     // fanned out across the machine's cores.
     let session = SimSession::new(&app.program, &layout, &profile.trace, cfg);
-    let results = policy_matrix(&session, &policies, effective_threads(None));
+    let results =
+        policy_matrix(&session, &policies, effective_threads(None)).expect("policy matrix");
     let lru = &results[0];
     for (kind, r) in policies.iter().zip(&results) {
         println!(

@@ -46,11 +46,15 @@ fn main() {
         &layout,
         &profile.trace,
         RippleConfig::default(),
-    );
-    let tuned = best_threshold(&sweep(&ripple, &profile.trace, &[0.45, 0.55, 0.65]))
-        .expect("non-empty sweep");
+    )
+    .expect("train");
+    let tuned =
+        best_threshold(&sweep(&ripple, &profile.trace, &[0.45, 0.55, 0.65]).expect("sweep"))
+            .expect("non-empty sweep");
     println!("tuned invalidation threshold: {:.2}", tuned.threshold);
-    let o = ripple.evaluate_with_threshold(&profile.trace, tuned.threshold);
+    let o = ripple
+        .evaluate_with_threshold(&profile.trace, tuned.threshold)
+        .expect("evaluate");
 
     println!("\nresults (32 KB / 8-way L1I, no prefetching, LRU underneath)");
     println!("  LRU baseline misses    {}", o.lru_reference.demand_misses);

@@ -26,9 +26,10 @@ fn main() {
         &layout,
         &profile.trace,
         RippleConfig::default(),
-    );
+    )
+    .expect("train");
     let thresholds: Vec<f64> = (1..=9).map(|i| i as f64 / 10.0).collect();
-    let points = sweep(&ripple, &profile.trace, &thresholds);
+    let points = sweep(&ripple, &profile.trace, &thresholds).expect("sweep");
 
     println!("\n threshold  coverage  accuracy   speedup");
     for p in &points {

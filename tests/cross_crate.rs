@@ -140,8 +140,8 @@ fn plan_artifacts_serialize_and_reapply() {
     config.sim.l1i = ripple_sim::CacheGeometry::new(2 * 1024, 4);
     config.analysis.min_windows_per_injection = 1;
     config.threshold = 0.2;
-    let ripple = Ripple::train(&app.program, &layout, &trace, config);
-    let (plan, _) = ripple.plan();
+    let ripple = Ripple::train(&app.program, &layout, &trace, config).expect("train");
+    let (plan, _) = ripple.plan().expect("plan");
     assert!(!plan.is_empty());
 
     use ripple_json::{FromJson, ToJson};

@@ -46,8 +46,9 @@ fn full_ripple_pipeline_is_deterministic() {
             &layout,
             &profile.trace,
             RippleConfig::default(),
-        );
-        let o = ripple.evaluate(&profile.trace);
+        )
+        .unwrap();
+        let o = ripple.evaluate(&profile.trace).unwrap();
         (
             o.injected_static,
             o.ripple.demand_misses,
@@ -89,8 +90,8 @@ fn policy_matrix_is_thread_count_invariant() {
                 PolicyKind::Srrip,
                 ideal_policy_for(pf),
             ];
-            let sequential = policy_matrix(&session, &policies, 1);
-            let parallel = policy_matrix(&session, &policies, 8);
+            let sequential = policy_matrix(&session, &policies, 1).unwrap();
+            let parallel = policy_matrix(&session, &policies, 8).unwrap();
             assert_eq!(sequential, parallel, "{app_id}/{}", pf.name());
         }
     }
@@ -111,8 +112,8 @@ fn ripple_outcome_is_thread_count_invariant() {
                 let mut config = RippleConfig::default();
                 config.sim.prefetcher = pf;
                 config.threads = Some(threads);
-                let ripple = Ripple::train(&app.program, &layout, &profile.trace, config);
-                ripple.evaluate(&profile.trace)
+                let ripple = Ripple::train(&app.program, &layout, &profile.trace, config).unwrap();
+                ripple.evaluate(&profile.trace).unwrap()
             };
             assert_eq!(outcome(1), outcome(8), "{app_id}/{}", pf.name());
         }
@@ -169,8 +170,9 @@ fn recorders_never_perturb_results() {
                     &profile.trace,
                     config,
                     recorder,
-                );
-                ripple.evaluate(&profile.trace)
+                )
+                .unwrap();
+                ripple.evaluate(&profile.trace).unwrap()
             };
             assert_eq!(
                 outcome(Arc::new(NullRecorder)),

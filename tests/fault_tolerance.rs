@@ -1,0 +1,197 @@
+//! Fault-tolerance integration tests: corrupted packet streams must
+//! surface typed errors or degrade gracefully — never panic — and the
+//! degraded pipeline must stay deterministic at any thread count.
+//!
+//! The `ripple-check` `faults` dimension fuzzes the same surfaces with
+//! shrinking repros; these tests pin the workflow end to end from the
+//! public `ripple` API.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use rand::{Rng, SeedableRng, StdRng};
+use ripple::ripple_trace::{
+    reconstruct_trace, reconstruct_trace_lossy, record_trace_with_sync, DecodeOptions,
+};
+use ripple::{policy_matrix, Ripple, RippleConfig};
+use ripple_program::{Layout, LayoutConfig};
+use ripple_sim::{PolicyKind, SimConfig, SimSession};
+use ripple_workloads::{execute, generate, App, AppSpec, InputConfig};
+
+/// Applies `rounds` random byte-level faults (bit flips, truncation,
+/// duplication, deletion, insertion) to a copy of `bytes`.
+fn corrupt(bytes: &[u8], seed: u64, rounds: usize) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = bytes.to_vec();
+    for _ in 0..rounds {
+        if out.is_empty() {
+            out.push(rng.next_u64() as u8);
+            continue;
+        }
+        let i = rng.gen_range(0..out.len());
+        match rng.gen_range(0u32..10) {
+            0..=5 => out[i] ^= 1 << rng.gen_range(0u8..8),
+            6 => out.truncate(i),
+            7 => {
+                let end = (i + rng.gen_range(1..=8usize)).min(out.len());
+                let span = out[i..end].to_vec();
+                out.splice(i..i, span);
+            }
+            8 => {
+                let end = (i + rng.gen_range(1..=8usize)).min(out.len());
+                out.drain(i..end);
+            }
+            _ => out.insert(i, rng.next_u64() as u8),
+        }
+    }
+    out
+}
+
+/// 500 fixed-seed mutated streams through both decoders: every outcome is
+/// a typed result, never a panic, and lossy decoding with an open bound
+/// always produces a trace plus consistent loss accounting.
+#[test]
+fn five_hundred_mutated_traces_never_panic() {
+    let app = generate(&AppSpec::tiny(23));
+    let layout = Layout::new(&app.program, &LayoutConfig::default());
+    let trace = execute(&app.program, &app.model, InputConfig::training(23), 12_000);
+    let bytes = record_trace_with_sync(&app.program, &layout, trace.iter(), 32);
+    let open = DecodeOptions {
+        max_drop_ratio: 1.0,
+    };
+
+    for seed in 0..500u64 {
+        let mangled = corrupt(&bytes, 0xdead_beef ^ seed, 1 + (seed % 5) as usize);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let strict = reconstruct_trace(&app.program, &layout, &mangled);
+            let lossy = reconstruct_trace_lossy(&app.program, &layout, &mangled, &open);
+            (strict.is_ok(), lossy)
+        }));
+        let (strict_ok, lossy) = match outcome {
+            Ok(pair) => pair,
+            Err(_) => panic!("decoder panicked on mutated stream (seed {seed})"),
+        };
+        let lossy = lossy
+            .unwrap_or_else(|e| panic!("lossy decode with open bound failed (seed {seed}): {e}"));
+        let h = lossy.health;
+        assert_eq!(h.total_bytes, mangled.len() as u64, "seed {seed}");
+        assert!(h.dropped_bytes <= h.total_bytes, "seed {seed}");
+        assert!((0.0..=1.0).contains(&h.drop_ratio()), "seed {seed}");
+        if strict_ok {
+            // A stream the strict decoder accepts is pristine to the
+            // lossy one as well.
+            assert!(h.is_lossless(), "seed {seed}: {h:?}");
+        }
+    }
+}
+
+/// A lossily recovered trace produces byte-identical simulator output on
+/// one worker and on four, with the trace health stamped onto every
+/// policy's stats.
+#[test]
+fn lossy_recovery_is_thread_count_invariant() {
+    let spec = App::Tomcat.spec();
+    let app = generate(&spec);
+    let layout = Layout::new(&app.program, &LayoutConfig::default());
+    let trace = execute(
+        &app.program,
+        &app.model,
+        InputConfig::training(spec.seed),
+        30_000,
+    );
+    let mut bytes = record_trace_with_sync(&app.program, &layout, trace.iter(), 64);
+    let start = bytes.len() / 2;
+    let end = (start + 24).min(bytes.len());
+    for b in &mut bytes[start..end] {
+        *b = !*b;
+    }
+
+    let lossy = reconstruct_trace_lossy(
+        &app.program,
+        &layout,
+        &bytes,
+        &DecodeOptions {
+            max_drop_ratio: 1.0,
+        },
+    )
+    .expect("open bound accepts any loss");
+    assert!(
+        lossy.health.dropped_packets > 0,
+        "the corrupt span must actually cost packets: {:?}",
+        lossy.health
+    );
+
+    let policies = [PolicyKind::Lru, PolicyKind::Random, PolicyKind::Srrip];
+    let run = |threads: usize| {
+        let session = SimSession::new(&app.program, &layout, &lossy.trace, SimConfig::default())
+            .with_trace_health(lossy.health);
+        policy_matrix(&session, &policies, threads).expect("no job panics")
+    };
+    let sequential = run(1);
+    let parallel = run(4);
+    assert_eq!(sequential, parallel);
+    for stats in &sequential {
+        assert_eq!(stats.dropped_packets, lossy.health.dropped_packets);
+        assert_eq!(stats.resync_events, lossy.health.resync_events);
+    }
+
+    // The full pipeline accepts the degraded trace too, identically at
+    // either worker count.
+    let outcome = |threads: usize| {
+        let config = RippleConfig::builder()
+            .threads(Some(threads))
+            .build()
+            .expect("valid config");
+        let ripple =
+            Ripple::train(&app.program, &layout, &lossy.trace, config).expect("train degraded");
+        ripple.evaluate(&lossy.trace).expect("evaluate degraded")
+    };
+    let seq = outcome(1);
+    let par = outcome(4);
+    assert_eq!(seq.ripple, par.ripple);
+    assert_eq!(seq.baseline, par.baseline);
+    assert_eq!(seq.injected_static, par.injected_static);
+}
+
+/// The drop-ratio bound is enforced: the same corrupt stream decodes
+/// under an open bound and fails under a bound tighter than its actual
+/// loss, with the typed `DropRatioExceeded` error.
+#[test]
+fn drop_ratio_bound_is_enforced() {
+    use ripple::ripple_trace::ReconstructError;
+
+    let app = generate(&AppSpec::tiny(31));
+    let layout = Layout::new(&app.program, &LayoutConfig::default());
+    let trace = execute(&app.program, &app.model, InputConfig::training(31), 8_000);
+    let mut bytes = record_trace_with_sync(&app.program, &layout, trace.iter(), 16);
+    let start = bytes.len() / 2;
+    let end = (start + 16).min(bytes.len());
+    for b in &mut bytes[start..end] {
+        *b = !*b;
+    }
+
+    let open = reconstruct_trace_lossy(
+        &app.program,
+        &layout,
+        &bytes,
+        &DecodeOptions {
+            max_drop_ratio: 1.0,
+        },
+    )
+    .expect("open bound accepts any loss");
+    let ratio = open.health.drop_ratio();
+    assert!(ratio > 0.0, "corruption must drop bytes: {:?}", open.health);
+
+    let err = reconstruct_trace_lossy(
+        &app.program,
+        &layout,
+        &bytes,
+        &DecodeOptions {
+            max_drop_ratio: ratio / 2.0,
+        },
+    )
+    .expect_err("tight bound must reject");
+    assert!(
+        matches!(err, ReconstructError::DropRatioExceeded { .. }),
+        "{err}"
+    );
+}

@@ -20,8 +20,8 @@ fn outcome(line_path: LinePath, threads: Option<usize>) -> RippleOutcome {
     cfg.analysis.min_windows_per_injection = 1;
     cfg.threshold = 0.1;
     cfg.threads = threads;
-    let ripple = Ripple::train(&app.program, &layout, &trace, cfg);
-    ripple.evaluate(&trace)
+    let ripple = Ripple::train(&app.program, &layout, &trace, cfg).expect("train");
+    ripple.evaluate(&trace).expect("evaluate")
 }
 
 #[test]

@@ -19,8 +19,8 @@ fn run_app(app_id: App, prefetcher: PrefetcherKind) -> ripple::RippleOutcome {
     let mut config = RippleConfig::default();
     config.sim.prefetcher = prefetcher;
     config.threshold = 0.55;
-    let ripple = Ripple::train(&app.program, &layout, &profile.trace, config);
-    ripple.evaluate(&profile.trace)
+    let ripple = Ripple::train(&app.program, &layout, &profile.trace, config).expect("train");
+    ripple.evaluate(&profile.trace).expect("evaluate")
 }
 
 #[test]

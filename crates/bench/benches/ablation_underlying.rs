@@ -1,14 +1,47 @@
 //! Ablation: Ripple is replacement-policy agnostic (§III). The same plan
 //! assists true LRU, hardware tree-PLRU and metadata-free Random.
+//!
+//! Underlying candidates are drawn from the policy registry: offline
+//! ideals are excluded (they need a recorded future index, which Ripple's
+//! online evaluation path does not provide), and RRIP / predictive-reuse
+//! policies are excluded because they carry their own insertion/eviction
+//! predictions — stacking Ripple's plan on top would measure two
+//! predictors fighting, not policy-agnosticism.
 
 use ripple::{Ripple, RippleConfig};
 use ripple_bench::{bench_budget, load_app};
-use ripple_sim::{simulate, PolicyKind, SimConfig};
+use ripple_sim::{simulate, PolicyFamily, PolicyKind, PolicyRegistry, SimConfig};
 use ripple_workloads::App;
+
+fn underlying_candidates() -> Vec<PolicyKind> {
+    let mut underlyings = Vec::new();
+    for id in PolicyRegistry::global().all() {
+        let d = id.descriptor();
+        if d.needs_future_index {
+            println!(
+                "  (skipping {}: offline ideal, needs a recorded future index)",
+                d.name
+            );
+            continue;
+        }
+        if matches!(d.family, PolicyFamily::Rrip | PolicyFamily::PredictiveReuse) {
+            println!(
+                "  (skipping {}: {} policies carry their own insertion/eviction \
+                 predictions and are not a neutral substrate for Ripple's plan)",
+                d.name,
+                d.family.name()
+            );
+            continue;
+        }
+        underlyings.push(id);
+    }
+    underlyings
+}
 
 fn main() {
     let budget = bench_budget() / 2;
     println!("\nAblation — underlying policy (no-prefetch, % speedup over LRU)");
+    let underlyings = underlying_candidates();
     println!(
         "  {:<16} {:>10} {:>15} {:>13} {:>11}",
         "app", "plain-pol", "ripple-on-pol", "ripple-gain", "policy"
@@ -21,7 +54,7 @@ fn main() {
             &loaded.trace,
             &SimConfig::default(),
         );
-        for underlying in [PolicyKind::Lru, PolicyKind::TreePlru, PolicyKind::Random] {
+        for &underlying in &underlyings {
             let plain = simulate(
                 &loaded.app.program,
                 &loaded.layout,

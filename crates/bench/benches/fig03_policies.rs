@@ -1,69 +1,56 @@
 //! Figure 3: prior replacement policies vs LRU under FDIP. Paper: none of
 //! GHRP/Hawkeye/Harmony/SRRIP/DRRIP beat LRU, while the ideal policy
 //! gains 3.16 % on average.
+//!
+//! The policy columns come from [`prior_policies`] (the registry's online
+//! policies minus the LRU baseline), so a newly registered policy gets a
+//! column without touching this bench.
 
-use ripple_bench::{ensure_grid, print_paper_check};
+use ripple_bench::{ensure_grid, print_paper_check, prior_policies};
 use ripple_sim::PrefetcherKind;
 use ripple_workloads::App;
 
 fn main() {
     let grid = ensure_grid();
+    let priors = prior_policies();
     println!("\nFig. 3 — Replacement-policy speedup over LRU (FDIP at L1I), %");
-    println!(
-        "  {:<16} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7}",
-        "app", "random", "srrip", "drrip", "ghrp", "hawkeye", "harmony", "ideal"
-    );
-    let mut sums = [0.0f64; 7];
+    let mut header = format!("  {:<16}", "app");
+    for p in &priors {
+        header.push_str(&format!(" {:>9}", p.name()));
+    }
+    header.push_str(&format!(" {:>9}", "ideal"));
+    println!("{header}");
+    let mut sums = vec![0.0f64; priors.len() + 1];
     for &a in App::ALL.iter() {
         let c = grid.cell(a, PrefetcherKind::Fdip);
-        let vals = [
-            c.policies["random"].speedup_pct,
-            c.policies["srrip"].speedup_pct,
-            c.policies["drrip"].speedup_pct,
-            c.policies["ghrp"].speedup_pct,
-            c.policies["hawkeye"].speedup_pct,
-            c.policies["harmony"].speedup_pct,
-            c.ideal.speedup_pct,
-        ];
-        for (s, v) in sums.iter_mut().zip(vals) {
+        let mut row = format!("  {:<16}", a.name());
+        let mut vals: Vec<f64> = priors
+            .iter()
+            .map(|p| c.policies[p.name()].speedup_pct)
+            .collect();
+        vals.push(c.ideal.speedup_pct);
+        for (s, v) in sums.iter_mut().zip(&vals) {
             *s += v;
+            row.push_str(&format!(" {v:>9.2}"));
         }
-        println!(
-            "  {:<16} {:>7.2} {:>7.2} {:>7.2} {:>7.2} {:>7.2} {:>7.2} {:>7.2}",
-            a.name(),
-            vals[0],
-            vals[1],
-            vals[2],
-            vals[3],
-            vals[4],
-            vals[5],
-            vals[6]
-        );
+        println!("{row}");
     }
     let n = App::ALL.len() as f64;
-    println!(
-        "  {:<16} {:>7.2} {:>7.2} {:>7.2} {:>7.2} {:>7.2} {:>7.2} {:>7.2}",
-        "MEAN",
-        sums[0] / n,
-        sums[1] / n,
-        sums[2] / n,
-        sums[3] / n,
-        sums[4] / n,
-        sums[5] / n,
-        sums[6] / n
-    );
-    print_paper_check("fig3 mean ideal speedup under fdip", 3.16, sums[6] / n, "%");
+    let mut mean_row = format!("  {:<16}", "MEAN");
+    for s in &sums {
+        mean_row.push_str(&format!(" {:>9.2}", s / n));
+    }
+    println!("{mean_row}");
+    let ideal_mean = sums.last().expect("ideal column") / n;
+    print_paper_check("fig3 mean ideal speedup under fdip", 3.16, ideal_mean, "%");
     // The paper's headline: no prior policy meaningfully beats LRU while
     // ideal clearly does.
-    let ideal_mean = sums[6] / n;
-    for (i, name) in ["random", "srrip", "drrip", "ghrp", "hawkeye", "harmony"]
-        .iter()
-        .enumerate()
-    {
-        let mean = sums[i] / n;
+    for (p, s) in priors.iter().zip(&sums) {
+        let mean = s / n;
         assert!(
             mean < ideal_mean,
-            "{name} mean {mean:.2}% must trail the ideal {ideal_mean:.2}%"
+            "{} mean {mean:.2}% must trail the ideal {ideal_mean:.2}%",
+            p.name()
         );
     }
 }

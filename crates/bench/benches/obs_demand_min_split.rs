@@ -25,7 +25,7 @@ fn main() {
         let session = SimSession::new(&loaded.app.program, &loaded.layout, &loaded.trace, cfg);
         let results = policy_matrix(
             &session,
-            &[PolicyKind::Lru, PolicyKind::Opt, PolicyKind::DemandMin],
+            &[PolicyKind::LRU, PolicyKind::OPT, PolicyKind::DEMAND_MIN],
             effective_threads(None),
         )
         .expect("policy matrix");

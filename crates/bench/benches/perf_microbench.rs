@@ -28,8 +28,8 @@ use ripple_bench::{bench_budget, load_app, LoadedApp};
 use ripple_json::{object, Value};
 use ripple_obs::MetricsRecorder;
 use ripple_sim::{
-    simulate, simulate_with_sink, LinePath, PolicyKind, PrefetcherKind, SimConfig, SimSession,
-    VecSink,
+    simulate, simulate_with_sink, LinePath, PolicyKind, PolicyRegistry, PrefetcherKind, SimConfig,
+    SimSession, VecSink,
 };
 use ripple_workloads::App;
 
@@ -37,23 +37,36 @@ fn bench_simulator(c: &mut Criterion) {
     let loaded = load_app(App::Tomcat, 120_000);
     let mut group = c.benchmark_group("simulator");
     group.sample_size(10);
-    for (name, cfg) in [
-        ("lru_noprefetch", SimConfig::default()),
-        (
-            "lru_fdip",
-            SimConfig::default().with_prefetcher(PrefetcherKind::Fdip),
-        ),
-        (
-            "opt_two_pass",
-            SimConfig::default().with_policy(PolicyKind::Opt),
-        ),
-        (
-            "hawkeye",
-            SimConfig::default().with_policy(PolicyKind::Hawkeye),
-        ),
-    ] {
-        group.bench_function(name, |b| {
-            b.iter(|| simulate(&loaded.app.program, &loaded.layout, &loaded.trace, &cfg))
+    // One no-prefetch scenario per registered *online* policy, so a newly
+    // registered policy gets a throughput number without touching this
+    // bench. Offline ideals are excluded from this loop — they need a
+    // recorded future index and run two passes — and are covered by the
+    // `opt_two_pass` / `opt_replay_shared_recording` scenarios below.
+    let mut scenarios: Vec<(String, SimConfig)> = Vec::new();
+    for id in PolicyRegistry::global().online() {
+        scenarios.push((
+            format!("{}_noprefetch", id.name()),
+            SimConfig::default().with_policy(id),
+        ));
+    }
+    for id in PolicyRegistry::global().offline() {
+        println!(
+            "  (skipping {}_noprefetch: offline ideal needs a recorded future index; \
+             see opt_two_pass / opt_replay_shared_recording)",
+            id.name()
+        );
+    }
+    scenarios.push((
+        "lru_fdip".to_string(),
+        SimConfig::default().with_prefetcher(PrefetcherKind::Fdip),
+    ));
+    scenarios.push((
+        "opt_two_pass".to_string(),
+        SimConfig::default().with_policy(PolicyKind::OPT),
+    ));
+    for (name, cfg) in &scenarios {
+        group.bench_function(name.as_str(), |b| {
+            b.iter(|| simulate(&loaded.app.program, &loaded.layout, &loaded.trace, cfg))
         });
     }
     // Replaying an ideal policy against a session's already-recorded stream
@@ -65,16 +78,16 @@ fn bench_simulator(c: &mut Criterion) {
         &loaded.trace,
         SimConfig::default(),
     );
-    let _ = session.run(PolicyKind::Opt); // pay the recording pass up front
+    let _ = session.run(PolicyKind::OPT); // pay the recording pass up front
     group.bench_function("opt_replay_shared_recording", |b| {
-        b.iter(|| session.run(PolicyKind::Opt))
+        b.iter(|| session.run(PolicyKind::OPT))
     });
     group.finish();
 }
 
 fn bench_analysis(c: &mut Criterion) {
     let loaded = load_app(App::Tomcat, 120_000);
-    let cfg = SimConfig::default().with_policy(PolicyKind::Opt);
+    let cfg = SimConfig::default().with_policy(PolicyKind::OPT);
     let mut sink = VecSink::new();
     let _ = simulate_with_sink(
         &loaded.app.program,
@@ -152,7 +165,7 @@ fn measure_path(loaded: &LoadedApp, path: LinePath) -> [(&'static str, f64); 4] 
     );
     warm.ensure_recorded();
     let replay = secs_per_run(|| {
-        black_box(warm.run(PolicyKind::DemandMin));
+        black_box(warm.run(PolicyKind::DEMAND_MIN));
     });
 
     let online = secs_per_run(|| {
@@ -171,7 +184,7 @@ fn measure_path(loaded: &LoadedApp, path: LinePath) -> [(&'static str, f64); 4] 
             &loaded.trace,
             oracle_cfg.clone(),
         );
-        black_box(session.run(PolicyKind::DemandMin));
+        black_box(session.run(PolicyKind::DEMAND_MIN));
     });
 
     [

@@ -12,12 +12,17 @@
 use std::collections::BTreeMap;
 use std::fs;
 use std::path::PathBuf;
+use std::sync::Arc;
 
-use ripple::{collect_profile, effective_threads, policy_matrix, sweep, Ripple, RippleConfig};
+use ripple::{
+    collect_profile, effective_threads, policy_matrix, profile_temperatures, sweep, Ripple,
+    RippleConfig,
+};
 use ripple_json::{object, FromJson, JsonError, ToJson, Value};
 use ripple_program::{Layout, LayoutConfig};
 use ripple_sim::{
-    simulate_ideal_cache, PolicyKind, PrefetcherKind, SimConfig, SimSession, SimStats,
+    simulate_ideal_cache, PolicyKind, PolicyRegistry, PrefetcherKind, SimConfig, SimSession,
+    SimStats,
 };
 use ripple_trace::BbTrace;
 use ripple_workloads::{generate, App, Application, InputConfig};
@@ -86,8 +91,8 @@ pub struct AppCell {
     pub prefetcher: String,
     /// LRU baseline (speedup 0 by construction).
     pub lru: PolicyRow,
-    /// Prior replacement policies (random, srrip, drrip, ghrp, hawkeye,
-    /// harmony).
+    /// Prior replacement policies, keyed by registered name (see
+    /// [`prior_policies`]).
     pub policies: BTreeMap<String, PolicyRow>,
     /// Prefetch-aware ideal replacement (Demand-MIN; OPT when no
     /// prefetcher).
@@ -283,49 +288,56 @@ fn sim_config(prefetcher: PrefetcherKind) -> SimConfig {
     SimConfig::default().with_prefetcher(prefetcher)
 }
 
-/// The prior policies compared in Figs. 3, 7 and 8.
-pub const PRIOR_POLICIES: [PolicyKind; 6] = [
-    PolicyKind::Random,
-    PolicyKind::Srrip,
-    PolicyKind::Drrip,
-    PolicyKind::Ghrp,
-    PolicyKind::Hawkeye,
-    PolicyKind::Harmony,
-];
+/// The prior policies compared in Figs. 3, 7 and 8: every registered
+/// online policy except the LRU baseline, in registration order. The
+/// offline ideals are excluded here because they need the session's
+/// recorded [`FutureIndex`](ripple_sim::FutureIndex) and are reported
+/// separately as the cell's ideal bound. A newly registered online policy
+/// (e.g. TRRIP) lands in every figure with zero bench edits.
+pub fn prior_policies() -> Vec<PolicyKind> {
+    PolicyRegistry::global()
+        .online()
+        .filter(|&p| p != PolicyKind::LRU)
+        .collect()
+}
 
 /// Computes one grid cell. `threshold` is the app's tuned invalidation
 /// threshold (shared across prefetchers, like the paper's per-app tuning).
 ///
-/// The eight policy runs (LRU, six priors, the ideal) share one
+/// The policy runs (LRU, every registered prior, the ideal) share one
 /// [`SimSession`] and run as parallel harness jobs; the cell's contents are
 /// bit-identical at any worker count.
 pub fn compute_cell(loaded: &LoadedApp, prefetcher: PrefetcherKind, threshold: f64) -> AppCell {
     let program = &loaded.app.program;
     let layout = &loaded.layout;
     let trace = &loaded.trace;
-    let cfg = sim_config(prefetcher);
+    let mut cfg = sim_config(prefetcher);
+    // Line temperatures profiled once per cell: hint-driven policies
+    // (TRRIP) consume them, everything else ignores the map.
+    cfg.temperatures = Some(Arc::new(profile_temperatures(layout, trace)));
     let threads = effective_threads(None);
 
     let ideal_kind = if prefetcher == PrefetcherKind::None {
-        PolicyKind::Opt
+        PolicyKind::OPT
     } else {
-        PolicyKind::DemandMin
+        PolicyKind::DEMAND_MIN
     };
-    let mut matrix = vec![PolicyKind::Lru];
-    matrix.extend(PRIOR_POLICIES);
+    let priors = prior_policies();
+    let mut matrix = vec![PolicyKind::LRU];
+    matrix.extend(&priors);
     matrix.push(ideal_kind);
     let session = SimSession::new(program, layout, trace, cfg.clone());
     let results = policy_matrix(&session, &matrix, threads).expect("policy matrix jobs");
     let lru = &results[0];
     let mut policies = BTreeMap::new();
-    for (kind, r) in PRIOR_POLICIES.iter().zip(&results[1..]) {
+    for (kind, r) in priors.iter().zip(&results[1..]) {
         policies.insert(kind.name().to_string(), PolicyRow::from_stats(r, lru));
     }
     let ideal = results.last().expect("matrix is non-empty");
     let ideal_cache = simulate_ideal_cache(program, trace, &cfg);
 
-    let ripple_lru = run_ripple(loaded, prefetcher, PolicyKind::Lru, threshold, lru);
-    let ripple_random = run_ripple(loaded, prefetcher, PolicyKind::Random, threshold, lru);
+    let ripple_lru = run_ripple(loaded, prefetcher, PolicyKind::LRU, threshold, lru);
+    let ripple_random = run_ripple(loaded, prefetcher, PolicyKind::RANDOM, threshold, lru);
 
     AppCell {
         app: loaded.app.name.clone(),
@@ -405,8 +417,22 @@ pub fn ensure_grid() -> Grid {
     let path = grid_path(budget);
     if let Ok(text) = fs::read_to_string(&path) {
         if let Ok(grid) = ripple_json::parse(&text).and_then(|v| Grid::from_json(&v)) {
-            if grid.budget == budget && grid.cells.len() == App::ALL.len() * 3 {
+            // A cached grid is stale once a policy registers that its
+            // cells never measured (e.g. a grid cached before TRRIP
+            // landed) — recompute instead of silently dropping the row.
+            let prior_names: Vec<&str> = prior_policies().iter().map(|p| p.name()).collect();
+            let covers_registry = grid
+                .cells
+                .iter()
+                .all(|c| prior_names.iter().all(|n| c.policies.contains_key(*n)));
+            if grid.budget == budget && grid.cells.len() == App::ALL.len() * 3 && covers_registry {
                 return grid;
+            }
+            if !covers_registry {
+                eprintln!(
+                    "[ripple-bench] cached grid at {} predates a registered policy; recomputing",
+                    path.display()
+                );
             }
         }
     }

@@ -119,8 +119,8 @@ fn gen_case(seed: u64) -> (CacheGeometry, Vec<Req>) {
 /// The divergence test applied to one (geometry, stream) pair.
 fn violation(geom: CacheGeometry, stream: &[Req]) -> Option<String> {
     let min = exhaustive_min_demand_misses(geom, stream);
-    let opt = ideal_demand_misses(geom, PolicyKind::Opt, stream);
-    let dm = ideal_demand_misses(geom, PolicyKind::DemandMin, stream);
+    let opt = ideal_demand_misses(geom, PolicyKind::OPT, stream);
+    let dm = ideal_demand_misses(geom, PolicyKind::DEMAND_MIN, stream);
     if opt < min {
         return Some(format!(
             "opt {opt} demand misses beats the exhaustive minimum {min}: the search or the cache is wrong"

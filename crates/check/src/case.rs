@@ -14,25 +14,18 @@ use ripple_program::{
     rewrite, BlockId, CodeLoc, Injection, InjectionPlan, Layout, LayoutConfig, LineAddr, Program,
 };
 use ripple_sim::{
-    CacheGeometry, EvictionMechanism, LinePath, PolicyKind, PrefetcherKind, SimConfig, SimSession,
-    VecSink,
+    CacheGeometry, EvictionMechanism, LinePath, PolicyKind, PolicyRegistry, PrefetcherKind,
+    SimConfig, SimSession, Temperature, TemperatureMap, VecSink,
 };
 use ripple_trace::BbTrace;
 use ripple_workloads::{execute, generate, AppSpec, InputConfig};
 
-/// All replacement policies the full-simulator dimensions may select.
-pub const ALL_POLICIES: [PolicyKind; 10] = [
-    PolicyKind::Lru,
-    PolicyKind::TreePlru,
-    PolicyKind::Random,
-    PolicyKind::Srrip,
-    PolicyKind::Drrip,
-    PolicyKind::Ghrp,
-    PolicyKind::Hawkeye,
-    PolicyKind::Harmony,
-    PolicyKind::Opt,
-    PolicyKind::DemandMin,
-];
+/// All replacement policies the full-simulator dimensions may select:
+/// everything in the global registry, so a newly registered policy is
+/// fuzzed without any checker edit.
+pub fn all_policies() -> Vec<PolicyKind> {
+    PolicyRegistry::global().all().collect()
+}
 
 /// Small L1I geometries that actually miss on the tiny fuzzed programs.
 const L1I_GEOMETRIES: [(u64, u16); 5] = [(512, 2), (1024, 2), (1024, 4), (2048, 4), (4096, 8)];
@@ -165,13 +158,31 @@ pub fn gen_full_case(seed: u64) -> FullCase {
         ..SimConfig::default()
     };
 
+    // Optionally attach a random temperature profile over the program's
+    // line span so TRRIP's hint-insertion path executes under every
+    // full-simulator dimension (other policies ignore the map).
+    if rng.gen_bool(0.3) {
+        if let Some((lo, hi)) = layout.line_bounds().map(|(a, b)| (a.index(), b.index())) {
+            let mut temps = TemperatureMap::new();
+            for line in lo..=hi {
+                match rng.gen_range(0u32..4) {
+                    0 => temps.set(LineAddr::new(line), Temperature::Hot),
+                    1 => temps.set(LineAddr::new(line), Temperature::Cold),
+                    2 => temps.set(LineAddr::new(line), Temperature::Warm),
+                    _ => {} // unprofiled: defaults to warm
+                }
+            }
+            config.temperatures = Some(Arc::new(temps));
+        }
+    }
+
     // Optionally script invalidations: sample a pilot LRU run's evictions
     // (likely resident at their positions) plus a few arbitrary lines
     // (out-of-span fallbacks, misses).
     if rng.gen_bool(0.5) {
         let session = SimSession::new(&program, &layout, &trace, config.clone());
         let mut sink = VecSink::new();
-        session.run_with_sink(PolicyKind::Lru, &mut sink);
+        session.run_with_sink(PolicyKind::LRU, &mut sink);
         let mut script: Vec<(u64, LineAddr)> = sink
             .into_events()
             .into_iter()
@@ -193,7 +204,7 @@ pub fn gen_full_case(seed: u64) -> FullCase {
     }
 
     let label = format!(
-        "app {} (spec seed {:#x}), {} blocks, l1i {}B/{}-way, {}, {:?}, warmup {}, injected {}, script {}",
+        "app {} (spec seed {:#x}), {} blocks, l1i {}B/{}-way, {}, {:?}, warmup {}, injected {}, script {}, temps {}",
         spec.name,
         spec.seed,
         trace.len(),
@@ -207,6 +218,7 @@ pub fn gen_full_case(seed: u64) -> FullCase {
             .scripted_invalidations
             .as_ref()
             .map_or(0, |s| s.len()),
+        config.temperatures.as_ref().map_or(0, |t| t.len()),
     );
     FullCase {
         label,

@@ -18,7 +18,7 @@ use rand::{Rng, SeedableRng, StdRng};
 use ripple_obs::MetricsRecorder;
 use ripple_sim::{LinePath, PolicyKind, SimStats};
 
-use crate::case::{gen_full_case, run_path, run_path_recorded, FullCase, ALL_POLICIES};
+use crate::case::{all_policies, gen_full_case, run_path, run_path_recorded, FullCase};
 use crate::shrink::{min_failing_prefix, shrink_list};
 
 /// Named u64 counters of [`SimStats`], for field-level diff messages and
@@ -130,7 +130,8 @@ fn violation(case: &FullCase, policy: PolicyKind) -> Option<String> {
 
 fn pick_policy(seed: u64) -> PolicyKind {
     let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
-    ALL_POLICIES[rng.gen_range(0..ALL_POLICIES.len())]
+    let pool = all_policies();
+    pool[rng.gen_range(0..pool.len())]
 }
 
 /// Checks one generated case; shrinks the trace (then the script) on

@@ -4,8 +4,10 @@
 //! models in six independent dimensions:
 //!
 //! 1. [`model_cache`] — a brute-force associative cache model cross-checked
-//!    against [`ripple_sim::Cache`] for LRU, SRRIP, and DRRIP, comparing
-//!    outcome *and* full resident state after every operation;
+//!    against [`ripple_sim::Cache`] for LRU, SRRIP, DRRIP, and TRRIP,
+//!    comparing outcome *and* full resident state after every operation
+//!    (a guard test forces every registered policy to be either mirrored
+//!    here or explicitly exempted);
 //! 2. [`belady`] — an exhaustive Belady search on short request streams
 //!    that lower-bounds (and, demand-only, pins exactly) the offline ideal
 //!    policies `Opt` and `DemandMin`;
@@ -38,7 +40,7 @@ pub mod trace_rt;
 /// One oracle dimension of the checker.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Dimension {
-    /// Brute-force associative cache model (LRU/SRRIP/DRRIP).
+    /// Brute-force associative cache model (LRU/SRRIP/DRRIP/TRRIP).
     ModelCache,
     /// Exhaustive Belady bound on the offline ideal policies.
     Belady,

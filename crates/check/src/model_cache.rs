@@ -8,12 +8,20 @@
 //! scratch buffers, no trait dispatch — so a divergence localizes a bug
 //! in the production fast path (or in the published algorithm's
 //! transcription, cf. CacheQuery's query-based policy checking).
+//!
+//! Which registered policies the dimension mirrors is tracked explicitly:
+//! [`model_covered`] lists the mirrored ones (LRU, SRRIP, DRRIP, TRRIP),
+//! [`model_exemptions`] documents why the rest are checked elsewhere, and
+//! a guard test fails whenever a newly registered policy appears in
+//! neither list.
+
+use std::sync::Arc;
 
 use rand::{Rng, SeedableRng, StdRng};
-use ripple_program::Addr;
+use ripple_program::LineAddr;
 use ripple_sim::{
-    AccessOutcome, Cache, CacheGeometry, DrripPolicy, LineId, LruPolicy, ReplacementPolicy,
-    SrripPolicy,
+    AccessOutcome, Cache, CacheGeometry, DrripPolicy, LineId, LruPolicy, PolicyKind,
+    ReplacementPolicy, SrripPolicy, Temperature, TemperatureMap, TrripPolicy,
 };
 
 use crate::shrink::shrink_list;
@@ -27,6 +35,8 @@ pub enum ModelPolicy {
     Srrip,
     /// Dynamic RRIP with set dueling.
     Drrip,
+    /// Temperature-steered RRIP with set dueling.
+    Trrip,
 }
 
 impl ModelPolicy {
@@ -35,8 +45,63 @@ impl ModelPolicy {
             ModelPolicy::Lru => "lru",
             ModelPolicy::Srrip => "srrip",
             ModelPolicy::Drrip => "drrip",
+            ModelPolicy::Trrip => "trrip",
         }
     }
+}
+
+/// Registered policies this dimension mirrors brute-force.
+pub fn model_covered() -> Vec<PolicyKind> {
+    vec![
+        PolicyKind::LRU,
+        PolicyKind::SRRIP,
+        PolicyKind::DRRIP,
+        PolicyKind::TRRIP,
+    ]
+}
+
+/// Registered policies deliberately *not* mirrored here, each with the
+/// reason and the dimension that covers it instead. The guard test below
+/// fails if a policy is registered but appears in neither list — adding a
+/// policy forces an explicit coverage decision.
+pub fn model_exemptions() -> Vec<(PolicyKind, &'static str)> {
+    vec![
+        (
+            PolicyKind::TREE_PLRU,
+            "tree-bit state has no simple independent mirror; covered by the \
+             equivalence and threads dimensions",
+        ),
+        (
+            PolicyKind::RANDOM,
+            "victim choice is a seeded RNG stream, mirroring it would copy the \
+             implementation; covered by the equivalence and threads dimensions",
+        ),
+        (
+            PolicyKind::GHRP,
+            "predictor tables are the implementation; covered by the equivalence \
+             and threads dimensions",
+        ),
+        (
+            PolicyKind::HAWKEYE,
+            "OPTgen sampler state is the implementation; covered by the \
+             equivalence and threads dimensions",
+        ),
+        (
+            PolicyKind::HARMONY,
+            "Demand-MIN-trained Hawkeye variant, same reasoning as hawkeye; \
+             covered by the equivalence and threads dimensions",
+        ),
+        (
+            PolicyKind::OPT,
+            "offline ideal; pinned exactly by the belady dimension's exhaustive \
+             search",
+        ),
+        (
+            PolicyKind::DEMAND_MIN,
+            "offline ideal; lower-bounded by the belady dimension's exhaustive \
+             search",
+        ),
+    ]
 }
 
 /// Which model implementation to run — the faithful one, or a
@@ -90,6 +155,7 @@ struct ModelCache {
     clock: u64,
     psel: i16,
     brrip_ctr: u32,
+    temps: Arc<TemperatureMap>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -100,7 +166,12 @@ enum ModelOutcome {
 }
 
 impl ModelCache {
-    fn new(geom: CacheGeometry, policy: ModelPolicy, flavor: ModelFlavor) -> Self {
+    fn new(
+        geom: CacheGeometry,
+        policy: ModelPolicy,
+        flavor: ModelFlavor,
+        temps: Arc<TemperatureMap>,
+    ) -> Self {
         ModelCache {
             num_sets: geom.num_sets() as u32,
             policy,
@@ -109,6 +180,7 @@ impl ModelCache {
             clock: 0,
             psel: 0,
             brrip_ctr: 0,
+            temps,
         }
     }
 
@@ -116,9 +188,14 @@ impl ModelCache {
         (line % self.num_sets) as usize
     }
 
-    /// Mirror of the (fixed) DRRIP leader classification: symmetric
-    /// single-leader dueling at or below 32 sets, complement-select above.
-    fn drrip_role(&self, set: u32) -> i16 {
+    fn temp_of(&self, line: u32) -> Temperature {
+        self.temps.of_line(LineAddr::new(u64::from(line)))
+    }
+
+    /// Mirror of the (fixed) set-dueling leader classification shared by
+    /// DRRIP and TRRIP: symmetric single-leader dueling at or below 32
+    /// sets, complement-select above.
+    fn duel_role(&self, set: u32) -> i16 {
         // Returns the PSEL delta a miss in this set trains: +1 for SRRIP
         // leaders, -1 for BRRIP leaders, 0 for followers.
         if self.num_sets <= 32 {
@@ -144,8 +221,10 @@ impl ModelCache {
         }
     }
 
-    fn drrip_uses_brrip(&self, set: u32) -> bool {
-        match self.drrip_role(set) {
+    /// Whether a fill/hit in `set` runs the challenger side (BRRIP for
+    /// DRRIP, temperature hints for TRRIP).
+    fn duel_uses_challenger(&self, set: u32) -> bool {
+        match self.duel_role(set) {
             1 => false,
             -1 => true,
             _ => self.psel > 0,
@@ -157,14 +236,27 @@ impl ModelCache {
             ModelPolicy::Lru => 0,
             ModelPolicy::Srrip => RRPV_LONG,
             ModelPolicy::Drrip => {
-                let delta = self.drrip_role(set);
+                let delta = self.duel_role(set);
                 self.psel = (self.psel + delta).clamp(PSEL_MIN, PSEL_MAX);
-                if self.drrip_uses_brrip(set) {
+                if self.duel_uses_challenger(set) {
                     self.brrip_ctr = self.brrip_ctr.wrapping_add(1);
                     if self.brrip_ctr.is_multiple_of(32) {
                         RRPV_LONG
                     } else {
                         RRPV_MAX
+                    }
+                } else {
+                    RRPV_LONG
+                }
+            }
+            ModelPolicy::Trrip => {
+                let delta = self.duel_role(set);
+                self.psel = (self.psel + delta).clamp(PSEL_MIN, PSEL_MAX);
+                if self.duel_uses_challenger(set) {
+                    match self.temp_of(line) {
+                        Temperature::Hot => 0,
+                        Temperature::Warm => RRPV_LONG,
+                        Temperature::Cold => RRPV_MAX,
                     }
                 } else {
                     RRPV_LONG
@@ -197,7 +289,7 @@ impl ModelCache {
                     }
                 }
             }
-            ModelPolicy::Srrip | ModelPolicy::Drrip => loop {
+            ModelPolicy::Srrip | ModelPolicy::Drrip | ModelPolicy::Trrip => loop {
                 if let Some(w) = self.sets[set]
                     .iter()
                     .position(|s| s.expect("victim on full set").rrpv >= RRPV_MAX)
@@ -219,6 +311,11 @@ impl ModelCache {
                     .iter()
                     .position(|s| s.is_some_and(|s| s.line == line))
                 {
+                    // Computed before the slot borrow: TRRIP caps hit
+                    // promotion of cold lines on the hint side.
+                    let capped = self.policy == ModelPolicy::Trrip
+                        && self.duel_uses_challenger(set as u32)
+                        && self.temp_of(line) == Temperature::Cold;
                     let slot = self.sets[set][w].as_mut().expect("hit slot");
                     if !prefetch {
                         slot.prefetched = false;
@@ -229,6 +326,9 @@ impl ModelCache {
                             slot.stamp = self.clock;
                         }
                         ModelPolicy::Srrip | ModelPolicy::Drrip => slot.rrpv = 0,
+                        ModelPolicy::Trrip => {
+                            slot.rrpv = if capped { RRPV_LONG } else { 0 };
+                        }
                     }
                     return ModelOutcome::Hit;
                 }
@@ -268,7 +368,9 @@ impl ModelCache {
                         let slot = self.sets[set][w].as_mut().expect("demote slot");
                         match self.policy {
                             ModelPolicy::Lru => slot.stamp = 0,
-                            ModelPolicy::Srrip | ModelPolicy::Drrip => slot.rrpv = RRPV_MAX,
+                            ModelPolicy::Srrip | ModelPolicy::Drrip | ModelPolicy::Trrip => {
+                                slot.rrpv = RRPV_MAX
+                            }
                         }
                         ModelOutcome::Present(true)
                     }
@@ -291,11 +393,16 @@ impl ModelCache {
     }
 }
 
-fn production_policy(policy: ModelPolicy, geom: CacheGeometry) -> Box<dyn ReplacementPolicy> {
+fn production_policy(
+    policy: ModelPolicy,
+    geom: CacheGeometry,
+    temps: &Arc<TemperatureMap>,
+) -> Box<dyn ReplacementPolicy> {
     match policy {
         ModelPolicy::Lru => Box::new(LruPolicy::new(geom)),
         ModelPolicy::Srrip => Box::new(SrripPolicy::new(geom)),
         ModelPolicy::Drrip => Box::new(DrripPolicy::new(geom)),
+        ModelPolicy::Trrip => Box::new(TrripPolicy::new(geom, Some(temps.clone()))),
     }
 }
 
@@ -305,14 +412,20 @@ pub fn run_ops(
     geom: CacheGeometry,
     policy: ModelPolicy,
     flavor: ModelFlavor,
+    temps: &Arc<TemperatureMap>,
     ops: &[Op],
 ) -> Option<String> {
-    let mut cache: Cache<dyn ReplacementPolicy> = Cache::new(geom, production_policy(policy, geom));
-    let mut model = ModelCache::new(geom, policy, flavor);
+    let mut cache: Cache<dyn ReplacementPolicy> =
+        Cache::new(geom, production_policy(policy, geom, temps));
+    let mut model = ModelCache::new(geom, policy, flavor, temps.clone());
     for (i, &op) in ops.iter().enumerate() {
         let got = match op {
             Op::Access { line, prefetch } => {
-                match cache.access(LineId::new(line), Addr::new(0), prefetch, i as u64) {
+                // The fetch PC is the line's base address, so PC-keyed
+                // policies (TRRIP's temperature lookup) see the same line
+                // the model does.
+                let pc = LineAddr::new(u64::from(line)).base_addr();
+                match cache.access(LineId::new(line), pc, prefetch, i as u64) {
                     AccessOutcome::Hit => ModelOutcome::Hit,
                     AccessOutcome::Miss { evicted } => ModelOutcome::Miss {
                         evicted: evicted.map(LineId::get),
@@ -344,14 +457,15 @@ pub fn run_ops(
 /// and 2..4 ways.
 const GEOMETRIES: [(u64, u16); 5] = [(128, 2), (256, 2), (256, 4), (512, 4), (512, 2)];
 
-fn gen_case(seed: u64) -> (CacheGeometry, ModelPolicy, Vec<Op>) {
+fn gen_case(seed: u64) -> (CacheGeometry, ModelPolicy, Arc<TemperatureMap>, Vec<Op>) {
     let mut rng = StdRng::seed_from_u64(seed);
     let (size, assoc) = GEOMETRIES[rng.gen_range(0..GEOMETRIES.len())];
     let geom = CacheGeometry::new(size, assoc);
-    let policy = match rng.gen_range(0u32..3) {
+    let policy = match rng.gen_range(0u32..4) {
         0 => ModelPolicy::Lru,
         1 => ModelPolicy::Srrip,
-        _ => ModelPolicy::Drrip,
+        2 => ModelPolicy::Drrip,
+        _ => ModelPolicy::Trrip,
     };
     // Universe slightly larger than the cache so misses and evictions are
     // constant; small enough that reuse (hits, demote/invalidate of
@@ -370,7 +484,20 @@ fn gen_case(seed: u64) -> (CacheGeometry, ModelPolicy, Vec<Op>) {
             _ => Op::Demote(line),
         });
     }
-    (geom, policy, ops)
+    // A random temperature profile over the line universe (TRRIP cases
+    // exercise all three classes plus the unprofiled-warm default).
+    let mut temps = TemperatureMap::new();
+    if policy == ModelPolicy::Trrip {
+        for line in 0..universe {
+            match rng.gen_range(0u32..4) {
+                0 => temps.set(LineAddr::new(u64::from(line)), Temperature::Hot),
+                1 => temps.set(LineAddr::new(u64::from(line)), Temperature::Cold),
+                2 => temps.set(LineAddr::new(u64::from(line)), Temperature::Warm),
+                _ => {} // unprofiled: defaults to warm
+            }
+        }
+    }
+    (geom, policy, Arc::new(temps), ops)
 }
 
 /// Checks one generated case; on divergence, shrinks the op stream to a
@@ -382,20 +509,22 @@ pub fn check(seed: u64) -> Result<(), (String, String)> {
 /// [`check`] against a chosen model flavor (self-tests inject
 /// [`ModelFlavor::BrokenLruTieBreak`] to prove faults are caught).
 pub fn check_with_flavor(seed: u64, flavor: ModelFlavor) -> Result<(), (String, String)> {
-    let (geom, policy, ops) = gen_case(seed);
-    let Some(message) = run_ops(geom, policy, flavor, &ops) else {
+    let (geom, policy, temps, ops) = gen_case(seed);
+    let Some(message) = run_ops(geom, policy, flavor, &temps, &ops) else {
         return Ok(());
     };
     let minimal = shrink_list(&ops, |candidate| {
-        run_ops(geom, policy, flavor, candidate).is_some()
+        run_ops(geom, policy, flavor, &temps, candidate).is_some()
     });
-    let final_message = run_ops(geom, policy, flavor, &minimal).expect("shrunk case still fails");
+    let final_message =
+        run_ops(geom, policy, flavor, &temps, &minimal).expect("shrunk case still fails");
     let repro = format!(
-        "geometry {} B / {}-way ({} sets), policy {}, {} ops (shrunk from {}):\n  {:?}\n  {}",
+        "geometry {} B / {}-way ({} sets), policy {}, {} profiled lines, {} ops (shrunk from {}):\n  {:?}\n  {}",
         geom.size_bytes,
         geom.assoc,
         geom.num_sets(),
         policy.name(),
+        temps.len(),
         minimal.len(),
         ops.len(),
         minimal,
@@ -414,6 +543,65 @@ mod tests {
             if let Err((msg, _)) = check(seed) {
                 panic!("seed {seed}: {msg}");
             }
+        }
+    }
+
+    #[test]
+    fn trrip_mirror_agrees_on_many_seeds() {
+        // Force the TRRIP mirror (instead of the random policy pick) so
+        // its hint-insertion, capped-promotion and dueling paths are
+        // fuzzed densely, with a fresh random temperature map per seed.
+        for seed in 0..48u64 {
+            let (geom, _, _, ops) = gen_case(seed);
+            let mut rng = StdRng::seed_from_u64(seed ^ 0x7272_6970);
+            let mut temps = TemperatureMap::new();
+            for line in 0..geom.num_lines() as u32 * 2 {
+                match rng.gen_range(0u32..4) {
+                    0 => temps.set(LineAddr::new(u64::from(line)), Temperature::Hot),
+                    1 => temps.set(LineAddr::new(u64::from(line)), Temperature::Cold),
+                    2 => temps.set(LineAddr::new(u64::from(line)), Temperature::Warm),
+                    _ => {}
+                }
+            }
+            if let Some(msg) = run_ops(
+                geom,
+                ModelPolicy::Trrip,
+                ModelFlavor::Faithful,
+                &Arc::new(temps),
+                &ops,
+            ) {
+                panic!("seed {seed}: {msg}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_registered_policy_is_covered_or_exempted() {
+        // The coverage guard: registering a policy without deciding how
+        // the differential checker covers it is a test failure.
+        use ripple_sim::PolicyRegistry;
+        let covered = model_covered();
+        let exempted = model_exemptions();
+        for id in PolicyRegistry::global().all() {
+            let in_covered = covered.contains(&id);
+            let in_exempt = exempted.iter().any(|&(p, _)| p == id);
+            assert!(
+                in_covered || in_exempt,
+                "policy {id:?} is registered but neither mirrored by the model-cache \
+                 dimension nor explicitly exempted; add a ModelPolicy mirror or an \
+                 exemption with a reason"
+            );
+            assert!(
+                !(in_covered && in_exempt),
+                "policy {id:?} is both covered and exempted"
+            );
+        }
+        assert_eq!(
+            covered.len() + exempted.len(),
+            PolicyRegistry::global().len()
+        );
+        for (_, reason) in &exempted {
+            assert!(!reason.is_empty());
         }
     }
 

@@ -16,26 +16,27 @@ use ripple::policy_matrix;
 use ripple_obs::MetricsRecorder;
 use ripple_sim::{PolicyKind, SimSession};
 
-use crate::case::{gen_full_case, FullCase, ALL_POLICIES};
+use crate::case::{all_policies, gen_full_case, FullCase};
 use crate::shrink::min_failing_prefix;
 
 /// Picks 3..=5 distinct policies, always including at least one offline
 /// ideal so the shared recording pass is exercised.
 fn pick_policies(seed: u64) -> Vec<PolicyKind> {
     let mut rng = StdRng::seed_from_u64(seed ^ 0x7ead_c0de_5eed_f00d);
+    let pool = all_policies();
     let want = rng.gen_range(3usize..=5);
     let mut picked: Vec<PolicyKind> = Vec::with_capacity(want);
     while picked.len() < want {
-        let p = ALL_POLICIES[rng.gen_range(0..ALL_POLICIES.len())];
+        let p = pool[rng.gen_range(0..pool.len())];
         if !picked.contains(&p) {
             picked.push(p);
         }
     }
     if !picked.iter().any(|p| p.is_offline_ideal()) {
         picked[0] = if rng.gen_bool(0.5) {
-            PolicyKind::Opt
+            PolicyKind::OPT
         } else {
-            PolicyKind::DemandMin
+            PolicyKind::DEMAND_MIN
         };
     }
     picked

@@ -5,22 +5,28 @@ use std::fs;
 use std::sync::{Arc, Mutex};
 
 use ripple::{
-    best_threshold, collect_profile, effective_threads, policy_matrix, run_report, sweep,
-    validate_run_report, Ripple, RippleConfig, COMPARE_PHASES, PIPELINE_PHASES, REPORT_SCHEMA,
+    best_threshold, collect_profile, effective_threads, policy_matrix_all, profile_temperatures,
+    run_report, sweep, validate_run_report, Ripple, RippleConfig, COMPARE_PHASES, PIPELINE_PHASES,
+    REPORT_SCHEMA,
 };
 use ripple_json::ToJson;
 use ripple_obs::{Field, FieldValue, MetricsRecorder, NullRecorder, Recorder, TeeRecorder};
 use ripple_program::{Layout, LayoutConfig};
-use ripple_sim::{PolicyKind, PrefetcherKind, SimConfig, SimSession};
+use ripple_sim::{PolicyKind, PolicyRegistry, PrefetcherKind, SimConfig, SimSession};
 use ripple_trace::DecodeOptions;
 use ripple_workloads::{generate, App, Application, InputConfig};
 
 use crate::args::{ArgError, Args};
 
-/// Top-level usage text.
-pub const USAGE: &str = "\
+/// Top-level usage text; the policy list is derived from the registry so
+/// a newly registered policy shows up with zero CLI edits.
+pub fn usage() -> String {
+    let policies: Vec<&str> = PolicyRegistry::global().names().collect();
+    format!(
+        "\
 usage:
   ripple-cli apps
+  ripple-cli policies                              # list registered replacement policies
   ripple-cli spec     <app> [--out FILE]           # export a workload spec as JSON
   ripple-cli plan     <app> [--threshold T] [--prefetcher P] [--out FILE]
   ripple-cli profile  <app> [--instructions N] [--input K] [--sync N] [--out FILE]
@@ -34,7 +40,7 @@ usage:
   ripple-cli validate-metrics <FILE> [--phases compare|pipeline]
 
 apps: cassandra drupal finagle-chirper finagle-http kafka mediawiki tomcat verilator wordpress
-policies: lru tree-plru random srrip drrip ghrp hawkeye harmony opt demand-min
+policies: {}
 prefetchers: none nlp fdip
 --threads 0 (or omitting the flag) auto-detects the machine's available
 parallelism; results are identical at any thread count
@@ -47,7 +53,10 @@ simulate --trace FILE replays a recorded packet stream (see `profile
 dropped-byte fraction stays within --max-drop-ratio (default 1.0)
 
 exit codes: 0 success, 1 runtime/io error, 2 usage or invalid
-configuration, 3 corrupt trace, 4 isolated evaluation-job panic";
+configuration, 3 corrupt trace, 4 isolated evaluation-job panic",
+        policies.join(" ")
+    )
+}
 
 type CmdResult = Result<(), Box<dyn Error>>;
 
@@ -59,6 +68,7 @@ pub fn dispatch(argv: &[String]) -> CmdResult {
     let rest = Args::parse(&argv[1..])?;
     match cmd.as_str() {
         "apps" => apps(&rest),
+        "policies" => policies_cmd(&rest),
         "spec" => spec_cmd(&rest),
         "plan" => plan_cmd(&rest),
         "profile" => profile(&rest),
@@ -105,23 +115,14 @@ fn parse_prefetcher(args: &Args) -> Result<PrefetcherKind, ArgError> {
 }
 
 fn parse_policy(name: &str) -> Result<PolicyKind, ArgError> {
-    Ok(match name {
-        "lru" => PolicyKind::Lru,
-        "tree-plru" | "plru" => PolicyKind::TreePlru,
-        "random" => PolicyKind::Random,
-        "srrip" => PolicyKind::Srrip,
-        "drrip" => PolicyKind::Drrip,
-        "ghrp" => PolicyKind::Ghrp,
-        "hawkeye" => PolicyKind::Hawkeye,
-        "harmony" => PolicyKind::Harmony,
-        "opt" => PolicyKind::Opt,
-        "demand-min" => PolicyKind::DemandMin,
-        other => {
-            return Err(ArgError(format!(
-                "unknown policy {other:?} (valid values: lru tree-plru random srrip drrip \
-                 ghrp hawkeye harmony opt demand-min)"
-            )))
-        }
+    // Name/alias resolution lives in the registry; the CLI only renders
+    // the error with the registered names.
+    PolicyKind::parse(name).ok_or_else(|| {
+        let valid: Vec<&str> = PolicyRegistry::global().names().collect();
+        ArgError(format!(
+            "unknown policy {name:?} (valid values: {})",
+            valid.join(" ")
+        ))
     })
 }
 
@@ -298,6 +299,33 @@ fn load(
     let layout = Layout::new(&app.program, &LayoutConfig::default());
     let profile = collect_profile(&app, &layout, input, budget)?;
     Ok((app, layout, profile.trace))
+}
+
+/// Lists every registered replacement policy straight from the registry —
+/// the README's policy table is regenerated from this output.
+fn policies_cmd(args: &Args) -> CmdResult {
+    args.expect_flags(&[])?;
+    println!(
+        "{:<12} {:<8} {:<17} {:<7} description",
+        "policy", "aliases", "family", "future"
+    );
+    for id in PolicyRegistry::global().all() {
+        let d = id.descriptor();
+        let aliases = if d.aliases.is_empty() {
+            "-".to_string()
+        } else {
+            d.aliases.join(",")
+        };
+        println!(
+            "{:<12} {:<8} {:<17} {:<7} {}",
+            d.name,
+            aliases,
+            d.family.name(),
+            if d.needs_future_index { "yes" } else { "no" },
+            d.description
+        );
+    }
+    Ok(())
 }
 
 fn apps(args: &Args) -> CmdResult {
@@ -586,24 +614,17 @@ fn compare(args: &Args) -> CmdResult {
     let threads = effective_threads(parse_threads(args)?);
     let (recorder, metrics) = build_recorder(args);
     let (app, layout, trace) = load(app_id, InputConfig::training(app_id.spec().seed), budget)?;
-    // One session: all nine policies replay the same recorded request
-    // stream as parallel harness jobs (the two offline ideals share the
-    // session's single recording pass).
-    let base_cfg = SimConfig::default().with_prefetcher(prefetcher);
+    // One session: every registered policy replays the same recorded
+    // request stream as parallel harness jobs (the offline ideals share
+    // the session's single recording pass). Line temperatures are profiled
+    // once from the trace; temperature-hinted policies (TRRIP) consume
+    // them, the rest ignore them.
+    let temperatures = profile_temperatures(&layout, &trace);
+    let mut base_cfg = SimConfig::default().with_prefetcher(prefetcher);
+    base_cfg.temperatures = Some(Arc::new(temperatures));
     let session = SimSession::new(&app.program, &layout, &trace, base_cfg).with_recorder(recorder);
-    let policies = [
-        PolicyKind::Lru,
-        PolicyKind::Random,
-        PolicyKind::Srrip,
-        PolicyKind::Drrip,
-        PolicyKind::Ghrp,
-        PolicyKind::Hawkeye,
-        PolicyKind::Harmony,
-        PolicyKind::Opt,
-        PolicyKind::DemandMin,
-    ];
-    let results = policy_matrix(&session, &policies, threads)?;
-    let lru = &results[0];
+    let (policies, results) = policy_matrix_all(&session, threads)?;
+    let lru = &results[PolicyKind::LRU.index()];
     println!("{app_id} under {} prefetching", prefetcher.name());
     println!(
         "{:<12} {:>9} {:>8} {:>10}",
@@ -745,6 +766,23 @@ mod tests {
     fn run(argv: &[&str]) -> Result<(), String> {
         let argv: Vec<String> = argv.iter().map(|s| s.to_string()).collect();
         dispatch(&argv).map_err(|e| e.to_string())
+    }
+
+    #[test]
+    fn policies_subcommand_runs_and_rejects_flags() {
+        run(&["policies"]).unwrap();
+        let err = run(&["policies", "--florb", "1"]).unwrap_err();
+        assert!(err.contains("unknown flag --florb"), "{err}");
+    }
+
+    #[test]
+    fn usage_lists_registered_policies() {
+        let u = usage();
+        // The policy list is registry-derived: a new policy (TRRIP) shows
+        // up without any usage-string edit.
+        assert!(u.contains("trrip"), "{u}");
+        assert!(u.contains("demand-min"), "{u}");
+        assert!(u.contains("ripple-cli policies"), "{u}");
     }
 
     #[test]

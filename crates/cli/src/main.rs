@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! ripple-cli apps
+//! ripple-cli policies
 //! ripple-cli profile  <app> [--instructions N] [--input K] [--out FILE]
 //! ripple-cli inspect  <FILE> --app <app>
 //! ripple-cli simulate <app> [--policy P] [--prefetcher P] [--instructions N]
@@ -73,7 +74,7 @@ fn main() -> ExitCode {
             eprintln!("error: {e}");
             let code = exit_code_for(e.as_ref());
             if code == EXIT_USAGE {
-                eprintln!("{}", commands::USAGE);
+                eprintln!("{}", commands::usage());
             }
             ExitCode::from(code)
         }

@@ -319,6 +319,20 @@ pub fn policy_matrix(
     run_jobs_observed(threads, "policy_matrix", &**session.recorder(), jobs)
 }
 
+/// [`policy_matrix`] over *every* policy in the global registry, in
+/// registration order — the CLI's `compare` and any other "run the whole
+/// zoo" consumer get new policies for free when they are registered.
+///
+/// Returns `(policies, stats)` with matching order.
+pub fn policy_matrix_all(
+    session: &SimSession<'_>,
+    threads: usize,
+) -> Result<(Vec<PolicyKind>, Vec<SimStats>), JobError> {
+    let policies: Vec<PolicyKind> = ripple_sim::PolicyRegistry::global().all().collect();
+    let stats = policy_matrix(session, &policies, threads)?;
+    Ok((policies, stats))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -534,6 +548,32 @@ mod tests {
     }
 
     #[test]
+    fn policy_matrix_all_is_thread_invariant_with_trrip_profile() {
+        // The full registry matrix — TRRIP included, fed real profiled
+        // temperatures — must be bit-identical at 1 and 4 workers.
+        let app = generate(&AppSpec::tiny(5));
+        let layout = Layout::new(&app.program, &LayoutConfig::default());
+        let trace = execute(&app.program, &app.model, InputConfig::training(5), 20_000);
+        let mut cfg = SimConfig::default();
+        cfg.l1i = ripple_sim::CacheGeometry::new(2 * 1024, 4);
+        cfg.temperatures = Some(std::sync::Arc::new(crate::metrics::profile_temperatures(
+            &layout, &trace,
+        )));
+        let session = SimSession::new(&app.program, &layout, &trace, cfg);
+        let (policies, sequential) = policy_matrix_all(&session, 1).unwrap();
+        let (_, parallel) = policy_matrix_all(&session, 4).unwrap();
+        assert_eq!(sequential, parallel, "matrix must be thread-invariant");
+        let trrip = policies
+            .iter()
+            .position(|&p| p == PolicyKind::TRRIP)
+            .expect("registry matrix includes trrip");
+        assert!(
+            sequential[trrip].demand_accesses > 0,
+            "trrip row must come from a real run"
+        );
+    }
+
+    #[test]
     fn policy_matrix_shares_one_recording_pass() {
         let app = generate(&AppSpec::tiny(9));
         let layout = Layout::new(&app.program, &LayoutConfig::default());
@@ -542,10 +582,10 @@ mod tests {
         cfg.l1i = ripple_sim::CacheGeometry::new(2 * 1024, 4);
         let session = SimSession::new(&app.program, &layout, &trace, cfg);
         let policies = [
-            PolicyKind::Lru,
-            PolicyKind::Opt,
-            PolicyKind::DemandMin,
-            PolicyKind::Random,
+            PolicyKind::LRU,
+            PolicyKind::OPT,
+            PolicyKind::DEMAND_MIN,
+            PolicyKind::RANDOM,
         ];
         let par = policy_matrix(&session, &policies, 4).unwrap();
         assert_eq!(

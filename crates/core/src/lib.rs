@@ -68,12 +68,12 @@ pub use analysis::{
 };
 pub use error::{ConfigError, Error, JobError};
 pub use harness::{
-    effective_threads, policy_matrix, run_jobs, run_jobs_observed, run_jobs_observed_settled,
-    run_jobs_retrying, run_jobs_settled, Job, RetryJob,
+    effective_threads, policy_matrix, policy_matrix_all, run_jobs, run_jobs_observed,
+    run_jobs_observed_settled, run_jobs_retrying, run_jobs_settled, Job, RetryJob,
 };
 pub use metrics::{
-    decision_is_accurate, eviction_accuracy, invalidation_accuracy, plan_accuracy, AccuracySink,
-    AccuracyStats, LineAccessIndex, WindowIndex,
+    decision_is_accurate, eviction_accuracy, invalidation_accuracy, plan_accuracy,
+    profile_temperatures, AccuracySink, AccuracyStats, LineAccessIndex, WindowIndex,
 };
 pub use pipeline::{Ripple, RippleConfig, RippleConfigBuilder, RippleOutcome};
 pub use profile::{collect_profile, Profile};

@@ -3,7 +3,7 @@
 use std::collections::HashMap;
 
 use ripple_program::{BlockId, InstKind, Layout, LineAddr, Program};
-use ripple_sim::{EvictionEvent, EvictionSink};
+use ripple_sim::{EvictionEvent, EvictionSink, Temperature, TemperatureMap};
 use ripple_trace::BbTrace;
 
 use crate::analysis::EvictionWindow;
@@ -43,6 +43,51 @@ impl LineAccessIndex {
     pub fn is_empty(&self) -> bool {
         self.positions.is_empty()
     }
+}
+
+/// Classifies every code line touched by `trace` into TRRIP temperature
+/// classes from its profiled access frequency.
+///
+/// This is the profile half of the TRRIP co-design (Kao et al.), fed by
+/// the same basic-block trace Ripple itself trains on:
+///
+/// * **cold** — touch-once lines (streaming code: init paths, cold error
+///   handling); TRRIP inserts them at distant re-reference.
+/// * **hot** — the top decile of multi-touch lines by access count (at
+///   least one line whenever any line is re-referenced); inserted at
+///   immediate re-reference.
+/// * **warm** — everything else, including unprofiled lines (the map's
+///   default), behaving like plain SRRIP insertion.
+///
+/// Deterministic: counts come from one trace walk and the decile cut is a
+/// pure function of the sorted counts.
+pub fn profile_temperatures(layout: &Layout, trace: &BbTrace) -> TemperatureMap {
+    let mut counts: HashMap<LineAddr, u64> = HashMap::new();
+    for block in trace.iter() {
+        for line in layout.lines_of_block(block) {
+            *counts.entry(line).or_insert(0) += 1;
+        }
+    }
+    let mut multi: Vec<u64> = counts.values().copied().filter(|&c| c >= 2).collect();
+    multi.sort_unstable_by(|a, b| b.cmp(a));
+    // Count at the top-10% boundary of multi-touch lines (the hottest
+    // line always qualifies when any multi-touch line exists).
+    let hot_cutoff = if multi.is_empty() {
+        u64::MAX
+    } else {
+        multi[(multi.len() - 1) / 10]
+    };
+    let mut map = TemperatureMap::new();
+    for (line, count) in counts {
+        if count <= 1 {
+            map.set(line, Temperature::Cold);
+        } else if count >= hot_cutoff {
+            map.set(line, Temperature::Hot);
+        } else {
+            map.set(line, Temperature::Warm);
+        }
+    }
+    map
 }
 
 /// Per-line index of ideal eviction windows, for "would the ideal policy
@@ -332,5 +377,38 @@ mod tests {
         let s = eviction_accuracy(&log, &windows, &accesses);
         assert_eq!(s.accurate, 1);
         assert_eq!(s.total, 2);
+    }
+
+    #[test]
+    fn profile_temperatures_classifies_hot_warm_cold() {
+        use ripple_program::{Layout, LayoutConfig};
+        use ripple_sim::Temperature;
+        use ripple_workloads::{execute, generate, AppSpec, InputConfig};
+
+        let app = generate(&AppSpec::tiny(3));
+        let layout = Layout::new(&app.program, &LayoutConfig::default());
+        let trace = execute(&app.program, &app.model, InputConfig::training(3), 20_000);
+        let temps = profile_temperatures(&layout, &trace);
+        assert!(!temps.is_empty());
+
+        // Recompute raw counts independently and spot-check the contract:
+        // the most-touched line is hot, touch-once lines are cold.
+        let mut counts: HashMap<LineAddr, u64> = HashMap::new();
+        for block in trace.iter() {
+            for line in layout.lines_of_block(block) {
+                *counts.entry(line).or_insert(0) += 1;
+            }
+        }
+        let (&hottest, &max) = counts.iter().max_by_key(|&(_, &c)| c).unwrap();
+        assert!(max >= 2, "20k-block trace must re-reference some line");
+        assert_eq!(temps.of_line(hottest), Temperature::Hot);
+        for (&line, &c) in &counts {
+            if c <= 1 {
+                assert_eq!(temps.of_line(line), Temperature::Cold);
+            }
+        }
+        // Unprofiled lines default to warm; the profile is deterministic.
+        assert_eq!(temps.of_line(LineAddr::new(u64::MAX)), Temperature::Warm);
+        assert_eq!(profile_temperatures(&layout, &trace), temps);
     }
 }

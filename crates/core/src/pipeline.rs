@@ -60,7 +60,7 @@ impl Default for RippleConfig {
         RippleConfig {
             threshold: 0.5,
             analysis: AnalysisConfig::default(),
-            underlying: PolicyKind::Lru,
+            underlying: PolicyKind::LRU,
             mechanism: EvictionMechanism::Invalidate,
             final_layout_analysis: true,
             slot_threshold_factor: 0.6,
@@ -119,9 +119,9 @@ impl RippleConfig {
     /// Belady-OPT otherwise (§II-C).
     pub fn oracle(&self) -> PolicyKind {
         if self.sim.prefetcher == PrefetcherKind::None {
-            PolicyKind::Opt
+            PolicyKind::OPT
         } else {
-            PolicyKind::DemandMin
+            PolicyKind::DEMAND_MIN
         }
     }
 
@@ -132,7 +132,7 @@ impl RippleConfig {
     /// the line; a software invalidation has no such guarantee, so cueing
     /// them mostly injects misses.
     pub fn analysis_oracle(&self) -> PolicyKind {
-        PolicyKind::Opt
+        PolicyKind::OPT
     }
 }
 
@@ -541,7 +541,7 @@ impl<'p> Ripple<'p> {
                 }
             }),
             Box::new(|| RunOut::Stats(final_session.run(underlying))),
-            Box::new(|| RunOut::Stats(session.run(PolicyKind::Lru))),
+            Box::new(|| RunOut::Stats(session.run(PolicyKind::LRU))),
             Box::new(|| {
                 if prebuilt.is_some() {
                     RunOut::Stats(session.run(oracle))

@@ -158,59 +158,11 @@ impl PrefetcherKind {
     }
 }
 
-/// Which replacement policy manages the L1I (§II-D).
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum PolicyKind {
-    /// Least-recently-used (true LRU ordering).
-    #[default]
-    Lru,
-    /// Tree pseudo-LRU (the 1-bit-per-line hardware approximation of
-    /// Table I's LRU row).
-    TreePlru,
-    /// Uniform random victim (zero metadata).
-    Random,
-    /// Static re-reference interval prediction.
-    Srrip,
-    /// Dynamic RRIP with set dueling.
-    Drrip,
-    /// Global-history reuse predictor (the only prior I-cache-specific
-    /// policy), with the confidence fix described in §II-D.
-    Ghrp,
-    /// Hawkeye: PC classification against simulated Belady-OPT.
-    Hawkeye,
-    /// Harmony: prefetch-aware Hawkeye (Demand-MIN-based training).
-    Harmony,
-    /// Offline Belady-OPT (ideal, demand-only): upper bound without
-    /// prefetch awareness.
-    Opt,
-    /// Offline revised Demand-MIN (ideal, prefetch-aware): the paper's
-    /// "ideal replacement policy".
-    DemandMin,
-}
-
-impl PolicyKind {
-    /// Display name as used in figure captions.
-    pub fn name(self) -> &'static str {
-        match self {
-            PolicyKind::Lru => "lru",
-            PolicyKind::TreePlru => "tree-plru",
-            PolicyKind::Random => "random",
-            PolicyKind::Srrip => "srrip",
-            PolicyKind::Drrip => "drrip",
-            PolicyKind::Ghrp => "ghrp",
-            PolicyKind::Hawkeye => "hawkeye",
-            PolicyKind::Harmony => "harmony",
-            PolicyKind::Opt => "opt",
-            PolicyKind::DemandMin => "demand-min",
-        }
-    }
-
-    /// Whether the policy requires offline future knowledge (two-pass
-    /// simulation).
-    pub fn is_offline_ideal(self) -> bool {
-        matches!(self, PolicyKind::Opt | PolicyKind::DemandMin)
-    }
-}
+// Which replacement policy manages the L1I (§II-D) is now named by a
+// `PolicyId` from the policy registry — the single source of truth for
+// policy names, families and constructors.
+pub use crate::policy::registry::PolicyKind;
+use crate::policy::TemperatureMap;
 
 /// How an executed `invalidate` instruction acts on the L1I (§IV,
 /// "Invalidation vs. reducing LRU priority").
@@ -299,6 +251,10 @@ pub struct SimConfig {
     /// Which frontend implementation to run (identical results either
     /// way; `Reference` is the equivalence oracle).
     pub line_path: LinePath,
+    /// Profile-derived code-temperature classes consumed by hint-guided
+    /// policies (currently TRRIP). `None` means every line is warm and
+    /// such policies degrade to their unhinted backbone.
+    pub temperatures: Option<std::sync::Arc<TemperatureMap>>,
 }
 
 impl Default for SimConfig {
@@ -314,7 +270,7 @@ impl Default for SimConfig {
             base_cpi: 0.5,
             stall_exposure: 0.6,
             prefetcher: PrefetcherKind::None,
-            policy: PolicyKind::Lru,
+            policy: PolicyKind::LRU,
             random_seed: 0x9e37_79b9,
             ftq_depth: 12,
             prefetch_timeliness_blocks: 2,
@@ -322,6 +278,7 @@ impl Default for SimConfig {
             warmup_fraction: 0.25,
             scripted_invalidations: None,
             line_path: LinePath::default(),
+            temperatures: None,
         }
     }
 }
@@ -415,11 +372,11 @@ impl SimConfig {
 /// use ripple_sim::{PolicyKind, SimConfig, SimConfigError};
 ///
 /// let cfg = SimConfig::builder()
-///     .policy(PolicyKind::Srrip)
+///     .policy(PolicyKind::SRRIP)
 ///     .warmup_fraction(0.1)
 ///     .build()
 ///     .unwrap();
-/// assert_eq!(cfg.policy, PolicyKind::Srrip);
+/// assert_eq!(cfg.policy, PolicyKind::SRRIP);
 ///
 /// let err = SimConfig::builder().warmup_fraction(f64::NAN).build();
 /// assert!(matches!(err, Err(SimConfigError::NotFinite { .. })));
@@ -497,6 +454,12 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Sets the profile-derived temperature map for hint-guided policies.
+    pub fn temperatures(mut self, temperatures: TemperatureMap) -> Self {
+        self.config.temperatures = Some(std::sync::Arc::new(temperatures));
+        self
+    }
+
     /// Validates every knob and returns the configuration.
     pub fn build(self) -> Result<SimConfig, SimConfigError> {
         self.config.validate()?;
@@ -555,13 +518,13 @@ mod tests {
         assert_eq!(cfg, SimConfig::default());
         let cfg = SimConfig::builder()
             .l1i(1024, 2)
-            .policy(PolicyKind::Ghrp)
+            .policy(PolicyKind::GHRP)
             .prefetcher(PrefetcherKind::Fdip)
             .warmup_fraction(0.0)
             .build()
             .unwrap();
         assert_eq!(cfg.l1i.num_sets(), 8);
-        assert_eq!(cfg.policy, PolicyKind::Ghrp);
+        assert_eq!(cfg.policy, PolicyKind::GHRP);
     }
 
     #[test]
@@ -630,9 +593,9 @@ mod tests {
 
     #[test]
     fn names() {
-        assert_eq!(PolicyKind::DemandMin.name(), "demand-min");
+        assert_eq!(PolicyKind::DEMAND_MIN.name(), "demand-min");
         assert_eq!(PrefetcherKind::Fdip.name(), "fdip");
-        assert!(PolicyKind::Opt.is_offline_ideal());
-        assert!(!PolicyKind::Lru.is_offline_ideal());
+        assert!(PolicyKind::OPT.is_offline_ideal());
+        assert!(!PolicyKind::LRU.is_offline_ideal());
     }
 }

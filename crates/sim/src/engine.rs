@@ -62,9 +62,9 @@ struct RecordedStream {
 /// let trace = execute(&app.program, &app.model, InputConfig::training(1), 20_000);
 ///
 /// let session = SimSession::new(&app.program, &layout, &trace, SimConfig::default());
-/// let lru = session.run(PolicyKind::Lru);
-/// let opt = session.run(PolicyKind::Opt);
-/// let demand_min = session.run(PolicyKind::DemandMin);
+/// let lru = session.run(PolicyKind::LRU);
+/// let opt = session.run(PolicyKind::OPT);
+/// let demand_min = session.run(PolicyKind::DEMAND_MIN);
 /// assert!(opt.demand_misses <= lru.demand_misses);
 /// assert!(demand_min.demand_misses <= lru.demand_misses);
 /// // Both oracle replays shared one recording pass.
@@ -283,7 +283,7 @@ impl<'a> SimSession<'a> {
             self.recorder.add("session.recording_passes", 1);
             // The recording policy is irrelevant to the captured stream;
             // LRU is the cheapest throwaway.
-            let cfg = self.config.clone().with_policy(PolicyKind::Lru);
+            let cfg = self.config.clone().with_policy(PolicyKind::LRU);
             let mut sink = NullSink;
             let (_, stream) = time_phase(&*self.recorder, "session.record", || {
                 self.run_frontend(
@@ -334,7 +334,7 @@ impl<'a> SimSession<'a> {
 ///     &app.program,
 ///     &layout,
 ///     &trace,
-///     &SimConfig::default().with_policy(PolicyKind::Opt),
+///     &SimConfig::default().with_policy(PolicyKind::OPT),
 /// );
 /// assert!(opt.demand_misses <= lru.demand_misses);
 /// ```
@@ -381,7 +381,7 @@ pub fn simulate_ideal_cache(program: &Program, trace: &BbTrace, config: &SimConf
 /// Convenience: run the baseline configuration (LRU, chosen prefetcher)
 /// and an ideal-replacement configuration, returning `(baseline, ideal)`.
 ///
-/// The ideal oracle is prefetch-aware ([`PolicyKind::DemandMin`]) whenever
+/// The ideal oracle is prefetch-aware ([`PolicyKind::DEMAND_MIN`]) whenever
 /// a prefetcher is active, matching §II-C, and plain OPT otherwise.
 pub fn baseline_and_ideal(
     program: &Program,
@@ -391,7 +391,7 @@ pub fn baseline_and_ideal(
 ) -> (SimStats, SimStats) {
     let session = SimSession::new(program, layout, trace, config.clone());
     (
-        session.run(PolicyKind::Lru),
+        session.run(PolicyKind::LRU),
         session.run(ideal_policy_for(config.prefetcher)),
     )
 }
@@ -400,9 +400,9 @@ pub fn baseline_and_ideal(
 /// Demand-MIN when prefetching is active, plain OPT otherwise (§II-C).
 pub fn ideal_policy_for(prefetcher: crate::config::PrefetcherKind) -> PolicyKind {
     if prefetcher == crate::config::PrefetcherKind::None {
-        PolicyKind::Opt
+        PolicyKind::OPT
     } else {
-        PolicyKind::DemandMin
+        PolicyKind::DEMAND_MIN
     }
 }
 
@@ -447,7 +447,7 @@ mod tests {
     fn opt_never_loses_to_lru() {
         let (p, l, t) = small_setup();
         let lru = simulate(&p, &l, &t, &small_cfg());
-        let opt = simulate(&p, &l, &t, &small_cfg().with_policy(PolicyKind::Opt));
+        let opt = simulate(&p, &l, &t, &small_cfg().with_policy(PolicyKind::OPT));
         assert!(opt.demand_misses <= lru.demand_misses);
         assert!(lru.demand_misses > 0, "workload must miss");
     }
@@ -480,7 +480,7 @@ mod tests {
         for pf in [PrefetcherKind::NextLine, PrefetcherKind::Fdip] {
             let cfg = small_cfg().with_prefetcher(pf);
             let lru = simulate(&p, &l, &t, &cfg);
-            let dm = simulate(&p, &l, &t, &cfg.clone().with_policy(PolicyKind::DemandMin));
+            let dm = simulate(&p, &l, &t, &cfg.clone().with_policy(PolicyKind::DEMAND_MIN));
             assert!(
                 dm.demand_misses <= lru.demand_misses,
                 "{}: {} > {}",
@@ -540,10 +540,10 @@ mod tests {
         let (p, l, t) = small_setup();
         let session = SimSession::new(&p, &l, &t, small_cfg());
         assert_eq!(session.recording_passes(), 0);
-        let opt = session.run(PolicyKind::Opt);
+        let opt = session.run(PolicyKind::OPT);
         assert_eq!(session.recording_passes(), 1);
-        let dm = session.run(PolicyKind::DemandMin);
-        let opt_again = session.run(PolicyKind::Opt);
+        let dm = session.run(PolicyKind::DEMAND_MIN);
+        let opt_again = session.run(PolicyKind::OPT);
         // Replaying a second (and third) oracle performed no new recording.
         assert_eq!(session.recording_passes(), 1);
         assert_eq!(opt, opt_again);
@@ -556,10 +556,10 @@ mod tests {
         let cfg = small_cfg().with_prefetcher(PrefetcherKind::Fdip);
         let session = SimSession::new(&p, &l, &t, cfg.clone());
         for kind in [
-            PolicyKind::Lru,
-            PolicyKind::Srrip,
-            PolicyKind::Opt,
-            PolicyKind::DemandMin,
+            PolicyKind::LRU,
+            PolicyKind::SRRIP,
+            PolicyKind::OPT,
+            PolicyKind::DEMAND_MIN,
         ] {
             let one_shot = simulate(&p, &l, &t, &cfg.clone().with_policy(kind));
             assert_eq!(session.run(kind), one_shot, "{}", kind.name());
@@ -579,7 +579,7 @@ mod tests {
         let session = SimSession::new(&p, &l, &t, small_cfg())
             .with_trace_health(health)
             .with_recorder(metrics.clone());
-        let stats = session.run(PolicyKind::Lru);
+        let stats = session.run(PolicyKind::LRU);
         assert_eq!(stats.dropped_packets, 7);
         assert_eq!(stats.resync_events, 2);
         let snap = metrics.snapshot();
@@ -588,7 +588,7 @@ mod tests {
 
         // Without attached health, the fields stay zero (lossless runs are
         // indistinguishable from pre-lossy behaviour).
-        let plain = SimSession::new(&p, &l, &t, small_cfg()).run(PolicyKind::Lru);
+        let plain = SimSession::new(&p, &l, &t, small_cfg()).run(PolicyKind::LRU);
         assert_eq!(plain.dropped_packets, 0);
         assert_eq!(plain.resync_events, 0);
         // Health stamping never perturbs the simulation itself.
@@ -606,14 +606,14 @@ mod tests {
     fn concurrent_session_replays_are_deterministic() {
         let (p, l, t) = small_setup();
         let session = SimSession::new(&p, &l, &t, small_cfg());
-        let sequential: Vec<SimStats> = [PolicyKind::Opt, PolicyKind::DemandMin, PolicyKind::Lru]
+        let sequential: Vec<SimStats> = [PolicyKind::OPT, PolicyKind::DEMAND_MIN, PolicyKind::LRU]
             .into_iter()
             .map(|k| session.run(k))
             .collect();
         let fresh = SimSession::new(&p, &l, &t, small_cfg());
         let fresh = &fresh;
         let parallel: Vec<SimStats> = std::thread::scope(|scope| {
-            let handles: Vec<_> = [PolicyKind::Opt, PolicyKind::DemandMin, PolicyKind::Lru]
+            let handles: Vec<_> = [PolicyKind::OPT, PolicyKind::DEMAND_MIN, PolicyKind::LRU]
                 .into_iter()
                 .map(|k| scope.spawn(move || fresh.run(k)))
                 .collect();

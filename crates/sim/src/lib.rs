@@ -43,18 +43,21 @@ mod stats;
 pub use bpred::{BranchPredictor, Prediction};
 pub use cache::{AccessOutcome, Cache};
 pub use config::{
-    CacheGeometry, EvictionMechanism, LinePath, PolicyKind, PrefetcherKind, SimConfig,
-    SimConfigBuilder, SimConfigError,
+    CacheGeometry, EvictionMechanism, LinePath, PrefetcherKind, SimConfig, SimConfigBuilder,
+    SimConfigError,
 };
 pub use engine::{
     baseline_and_ideal, ideal_policy_for, simulate, simulate_ideal_cache, simulate_with_sink,
     SimSession,
 };
 pub use intern::{FetchPlan, LineId, LineTable};
+pub use policy::registry::PolicyKind;
 pub use policy::{
     build_ideal_policy, build_policy, AccessInfo, DemandMinPolicy, DrripPolicy, FutureIndex,
-    GhrpPolicy, HawkeyePolicy, LruPolicy, OptPolicy, RandomPolicy, ReplacementPolicy, SrripPolicy,
-    StreamRecord, TreePlruPolicy, WayView, NEVER,
+    GhrpPolicy, HawkeyePolicy, LruPolicy, OptPolicy, PolicyConstructor, PolicyDescriptor,
+    PolicyFamily, PolicyId, PolicyRegistry, RandomPolicy, RegistryError, ReplacementPolicy,
+    SrripPolicy, StreamRecord, Temperature, TemperatureMap, TreePlruPolicy, TrripPolicy, WayView,
+    NEVER,
 };
 pub use sink::{EvictionSink, FnSink, NullSink, VecSink};
 pub use stats::{EvictionEvent, SimStats};

@@ -12,7 +12,9 @@ mod ideal;
 mod lru;
 mod plru;
 mod random;
+pub mod registry;
 mod rrip;
+mod trrip;
 
 pub use ghrp::GhrpPolicy;
 pub use hawkeye::HawkeyePolicy;
@@ -20,12 +22,17 @@ pub use ideal::{DemandMinPolicy, FutureIndex, OptPolicy, StreamRecord, NEVER};
 pub use lru::LruPolicy;
 pub use plru::TreePlruPolicy;
 pub use random::RandomPolicy;
+pub use registry::{
+    PolicyConstructor, PolicyDescriptor, PolicyFamily, PolicyId, PolicyRegistry, RegistryError,
+};
 pub use rrip::{DrripPolicy, SrripPolicy};
+pub use trrip::{Temperature, TemperatureMap, TrripPolicy};
 
 use ripple_program::Addr;
 
-use crate::config::{CacheGeometry, PolicyKind, SimConfig};
+use crate::config::{CacheGeometry, SimConfig};
 use crate::intern::LineId;
+use crate::policy::registry::PolicyKind;
 
 /// Context handed to a policy on every cache event.
 ///
@@ -101,44 +108,41 @@ pub trait ReplacementPolicy: std::fmt::Debug {
     }
 }
 
-/// Builds the policy named by `config.policy`.
+/// Builds the policy named by `config.policy` via its registry
+/// descriptor.
 ///
 /// # Panics
 ///
-/// Panics for [`PolicyKind::Opt`] / [`PolicyKind::DemandMin`], which
-/// require a recorded [`FutureIndex`]; use
-/// [`build_ideal_policy`] for those.
+/// Panics for offline ideals ([`PolicyId::OPT`] / [`PolicyId::DEMAND_MIN`]),
+/// which require a recorded [`FutureIndex`]; use [`build_ideal_policy`]
+/// for those.
 pub fn build_policy(config: &SimConfig) -> Box<dyn ReplacementPolicy> {
-    let geom = config.l1i;
-    match config.policy {
-        PolicyKind::Lru => Box::new(LruPolicy::new(geom)),
-        PolicyKind::TreePlru => Box::new(TreePlruPolicy::new(geom)),
-        PolicyKind::Random => Box::new(RandomPolicy::new(geom, config.random_seed)),
-        PolicyKind::Srrip => Box::new(SrripPolicy::new(geom)),
-        PolicyKind::Drrip => Box::new(DrripPolicy::new(geom)),
-        PolicyKind::Ghrp => Box::new(GhrpPolicy::new(geom)),
-        PolicyKind::Hawkeye => Box::new(HawkeyePolicy::new(geom, false)),
-        PolicyKind::Harmony => Box::new(HawkeyePolicy::new(geom, true)),
-        PolicyKind::Opt | PolicyKind::DemandMin => {
-            panic!("offline ideal policies need a FutureIndex; use build_ideal_policy")
-        }
+    match config.policy.descriptor().constructor {
+        PolicyConstructor::Online(build) => build(config),
+        PolicyConstructor::Offline(_) => panic!(
+            "offline ideal policy {} needs a FutureIndex; use build_ideal_policy",
+            config.policy.name()
+        ),
     }
 }
 
-/// Builds an offline-ideal policy over a recorded future index.
+/// Builds an offline-ideal policy over a recorded future index, via the
+/// registry descriptor.
 ///
 /// # Panics
 ///
-/// Panics if `kind` is not [`PolicyKind::Opt`] or [`PolicyKind::DemandMin`].
+/// Panics if `kind` is not an offline ideal
+/// (`kind.needs_future_index()` is false).
 pub fn build_ideal_policy(
     kind: PolicyKind,
     geom: CacheGeometry,
     future: std::sync::Arc<FutureIndex>,
 ) -> Box<dyn ReplacementPolicy> {
-    match kind {
-        PolicyKind::Opt => Box::new(OptPolicy::new(geom, future)),
-        PolicyKind::DemandMin => Box::new(DemandMinPolicy::new(geom, future)),
-        other => panic!("{} is not an offline ideal policy", other.name()),
+    match kind.descriptor().constructor {
+        PolicyConstructor::Offline(build) => build(geom, future),
+        PolicyConstructor::Online(_) => {
+            panic!("{} is not an offline ideal policy", kind.name())
+        }
     }
 }
 

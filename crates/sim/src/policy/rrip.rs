@@ -1,12 +1,16 @@
 //! Re-reference interval prediction policies: SRRIP and DRRIP
-//! (Jaleel et al., ISCA 2010).
+//! (Jaleel et al., ISCA 2010), plus the shared RRIP machinery
+//! ([`rrip_victim`], [`SetDuel`]) reused by TRRIP.
 
 use crate::config::CacheGeometry;
 use crate::policy::{AccessInfo, ReplacementPolicy, WayView};
 
-const RRPV_BITS: u8 = 2;
-const RRPV_MAX: u8 = (1 << RRPV_BITS) - 1; // 3 = distant future
-const RRPV_LONG: u8 = RRPV_MAX - 1; // 2 = long re-reference interval
+pub(crate) const RRPV_BITS: u8 = 2;
+pub(crate) const RRPV_MAX: u8 = (1 << RRPV_BITS) - 1; // 3 = distant future
+pub(crate) const RRPV_LONG: u8 = RRPV_MAX - 1; // 2 = long re-reference interval
+
+const PSEL_MAX: i16 = 511;
+const PSEL_MIN: i16 = -512;
 
 /// Static RRIP: every fill is presumed cache-averse (a scan) until a
 /// second access promotes it.
@@ -37,7 +41,7 @@ impl SrripPolicy {
 
 /// Shared SRRIP victim scan: find an `RRPV_MAX` way, aging the set until
 /// one exists.
-fn rrip_victim(rrpv: &mut [u8], set: u32, assoc: usize, ways: usize) -> usize {
+pub(crate) fn rrip_victim(rrpv: &mut [u8], set: u32, assoc: usize, ways: usize) -> usize {
     let base = set as usize * assoc;
     loop {
         for w in 0..ways {
@@ -47,6 +51,94 @@ fn rrip_victim(rrpv: &mut [u8], set: u32, assoc: usize, ways: usize) -> usize {
         }
         for w in 0..ways {
             rrpv[base + w] += 1;
+        }
+    }
+}
+
+/// Role of one set in a set-dueling scheme: the baseline leader always
+/// runs the incumbent insertion policy, the challenger leader always runs
+/// the contender, and followers obey the PSEL counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum DuelRole {
+    /// Dedicated to the incumbent policy (SRRIP insertion).
+    BaselineLeader,
+    /// Dedicated to the challenger (BRRIP for DRRIP, temperature hints
+    /// for TRRIP).
+    ChallengerLeader,
+    /// Follows the PSEL counter's current winner.
+    Follower,
+}
+
+/// Set-dueling machinery shared by DRRIP and TRRIP: leader-set selection
+/// plus the saturating PSEL counter trained on leader-set misses.
+#[derive(Debug)]
+pub(crate) struct SetDuel {
+    num_sets: u32,
+    /// 10-bit policy selector: high means the challenger is winning.
+    psel: i16,
+}
+
+impl SetDuel {
+    pub(crate) fn new(num_sets: u32) -> Self {
+        SetDuel { num_sets, psel: 0 }
+    }
+
+    /// Leader-set classification via the standard complement-select
+    /// scheme: low bits pattern picks baseline leaders, its complement
+    /// picks challenger leaders, the rest follow PSEL.
+    ///
+    /// Geometries of 32 sets or fewer cannot host the complement-select
+    /// pattern (it would dedicate leaders to one side only, training PSEL
+    /// one-sided), so dueling degrades symmetrically: one leader per
+    /// policy at the two ends of the set index space, and below two sets
+    /// dueling is disabled entirely (every set follows a neutral PSEL,
+    /// i.e. pure baseline).
+    pub(crate) fn role(&self, set: u32) -> DuelRole {
+        if self.num_sets <= 32 {
+            if self.num_sets < 2 {
+                return DuelRole::Follower;
+            }
+            return if set == 0 {
+                DuelRole::BaselineLeader
+            } else if set == self.num_sets - 1 {
+                DuelRole::ChallengerLeader
+            } else {
+                DuelRole::Follower
+            };
+        }
+        let sel = set & 0x1f;
+        let region = (set >> 5) & 0x1f;
+        if sel == region {
+            DuelRole::BaselineLeader
+        } else if sel == (!region & 0x1f) {
+            DuelRole::ChallengerLeader
+        } else {
+            DuelRole::Follower
+        }
+    }
+
+    /// Called on a fill: trains PSEL if `set` is a leader, and returns
+    /// whether this fill should use the challenger insertion policy.
+    pub(crate) fn train_and_select(&mut self, set: u32) -> bool {
+        match self.role(set) {
+            DuelRole::BaselineLeader => {
+                self.psel = (self.psel + 1).min(PSEL_MAX);
+                false
+            }
+            DuelRole::ChallengerLeader => {
+                self.psel = (self.psel - 1).max(PSEL_MIN);
+                true
+            }
+            DuelRole::Follower => self.psel > 0,
+        }
+    }
+
+    /// Whether `set` currently runs the challenger policy (no training).
+    pub(crate) fn prefers_challenger(&self, set: u32) -> bool {
+        match self.role(set) {
+            DuelRole::BaselineLeader => false,
+            DuelRole::ChallengerLeader => true,
+            DuelRole::Follower => self.psel > 0,
         }
     }
 }
@@ -91,24 +183,18 @@ impl ReplacementPolicy for SrripPolicy {
 #[derive(Debug)]
 pub struct DrripPolicy {
     assoc: usize,
-    num_sets: u32,
     rrpv: Vec<u8>,
-    /// 10-bit policy selector: high means BRRIP is winning.
-    psel: i16,
+    duel: SetDuel,
     brrip_ctr: u32,
 }
-
-const PSEL_MAX: i16 = 511;
-const PSEL_MIN: i16 = -512;
 
 impl DrripPolicy {
     /// Creates a DRRIP policy for `geom`.
     pub fn new(geom: CacheGeometry) -> Self {
         DrripPolicy {
             assoc: usize::from(geom.assoc),
-            num_sets: geom.num_sets() as u32,
             rrpv: vec![RRPV_MAX; geom.num_lines() as usize],
-            psel: 0,
+            duel: SetDuel::new(geom.num_sets() as u32),
             brrip_ctr: 0,
         }
     }
@@ -117,55 +203,6 @@ impl DrripPolicy {
     fn idx(&self, set: u32, way: usize) -> usize {
         set as usize * self.assoc + way
     }
-
-    /// Leader-set classification via the standard complement-select
-    /// scheme: low bits pattern picks SRRIP leaders, its complement picks
-    /// BRRIP leaders, the rest follow PSEL.
-    ///
-    /// Geometries of 32 sets or fewer cannot host the complement-select
-    /// pattern (it would dedicate leaders to one side only, training PSEL
-    /// one-sided), so dueling degrades symmetrically: one leader per
-    /// policy at the two ends of the set index space, and below two sets
-    /// dueling is disabled entirely (every set follows a neutral PSEL,
-    /// i.e. pure SRRIP).
-    fn set_role(&self, set: u32) -> SetRole {
-        if self.num_sets <= 32 {
-            if self.num_sets < 2 {
-                return SetRole::Follower;
-            }
-            return if set == 0 {
-                SetRole::SrripLeader
-            } else if set == self.num_sets - 1 {
-                SetRole::BrripLeader
-            } else {
-                SetRole::Follower
-            };
-        }
-        let sel = set & 0x1f;
-        let region = (set >> 5) & 0x1f;
-        if sel == region {
-            SetRole::SrripLeader
-        } else if sel == (!region & 0x1f) {
-            SetRole::BrripLeader
-        } else {
-            SetRole::Follower
-        }
-    }
-
-    fn use_brrip(&self, set: u32) -> bool {
-        match self.set_role(set) {
-            SetRole::SrripLeader => false,
-            SetRole::BrripLeader => true,
-            SetRole::Follower => self.psel > 0,
-        }
-    }
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum SetRole {
-    SrripLeader,
-    BrripLeader,
-    Follower,
 }
 
 impl ReplacementPolicy for DrripPolicy {
@@ -180,12 +217,7 @@ impl ReplacementPolicy for DrripPolicy {
 
     fn on_fill(&mut self, info: &AccessInfo, way: usize) {
         // A miss in a leader set trains PSEL toward the other policy.
-        match self.set_role(info.set) {
-            SetRole::SrripLeader => self.psel = (self.psel + 1).min(PSEL_MAX),
-            SetRole::BrripLeader => self.psel = (self.psel - 1).max(PSEL_MIN),
-            SetRole::Follower => {}
-        }
-        let brrip = self.use_brrip(info.set);
+        let brrip = self.duel.train_and_select(info.set);
         let i = self.idx(info.set, way);
         self.rrpv[i] = if brrip {
             // Bimodal: distant except 1/32 of fills.
@@ -282,28 +314,28 @@ mod tests {
     }
 
     #[test]
-    fn drrip_leader_sets_exist_and_differ() {
+    fn duel_leader_sets_exist_and_differ() {
         let geom = CacheGeometry::new(32 * 1024, 8);
-        let p = DrripPolicy::new(geom);
-        let mut srrip_leaders = 0;
-        let mut brrip_leaders = 0;
+        let duel = SetDuel::new(geom.num_sets() as u32);
+        let mut baseline_leaders = 0;
+        let mut challenger_leaders = 0;
         for set in 0..geom.num_sets() as u32 {
-            match p.set_role(set) {
-                SetRole::SrripLeader => srrip_leaders += 1,
-                SetRole::BrripLeader => brrip_leaders += 1,
-                SetRole::Follower => {}
+            match duel.role(set) {
+                DuelRole::BaselineLeader => baseline_leaders += 1,
+                DuelRole::ChallengerLeader => challenger_leaders += 1,
+                DuelRole::Follower => {}
             }
         }
-        assert!(srrip_leaders > 0);
-        assert!(brrip_leaders > 0);
-        assert!(srrip_leaders + brrip_leaders < geom.num_sets() as u32);
+        assert!(baseline_leaders > 0);
+        assert!(challenger_leaders > 0);
+        assert!(baseline_leaders + challenger_leaders < geom.num_sets() as u32);
     }
 
     #[test]
-    fn drrip_small_geometries_duel_symmetrically() {
+    fn duel_small_geometries_are_symmetric() {
         // Every geometry with at least 2 sets must dedicate the same
         // number of leader sets to each policy; a 1-set cache disables
-        // dueling (all followers, neutral PSEL → SRRIP).
+        // dueling (all followers, neutral PSEL → baseline).
         for (size, assoc) in [
             (128u64, 2u16), // 1 set
             (256, 2),       // 2 sets
@@ -315,28 +347,61 @@ mod tests {
             (32 * 1024, 8), // default geometry
         ] {
             let geom = CacheGeometry::new(size, assoc);
-            let p = DrripPolicy::new(geom);
-            let mut srrip_leaders = 0u32;
-            let mut brrip_leaders = 0u32;
+            let duel = SetDuel::new(geom.num_sets() as u32);
+            let mut baseline_leaders = 0u32;
+            let mut challenger_leaders = 0u32;
             for set in 0..geom.num_sets() as u32 {
-                match p.set_role(set) {
-                    SetRole::SrripLeader => srrip_leaders += 1,
-                    SetRole::BrripLeader => brrip_leaders += 1,
-                    SetRole::Follower => {}
+                match duel.role(set) {
+                    DuelRole::BaselineLeader => baseline_leaders += 1,
+                    DuelRole::ChallengerLeader => challenger_leaders += 1,
+                    DuelRole::Follower => {}
                 }
             }
             assert_eq!(
-                srrip_leaders,
-                brrip_leaders,
+                baseline_leaders,
+                challenger_leaders,
                 "asymmetric dueling at {} sets",
                 geom.num_sets()
             );
             if geom.num_sets() >= 2 {
-                assert!(srrip_leaders > 0, "no leaders at {} sets", geom.num_sets());
+                assert!(
+                    baseline_leaders > 0,
+                    "no leaders at {} sets",
+                    geom.num_sets()
+                );
             } else {
-                assert_eq!(srrip_leaders, 0);
+                assert_eq!(baseline_leaders, 0);
             }
         }
+    }
+
+    #[test]
+    fn duel_psel_saturates_and_selects() {
+        // A miss in a leader set is a vote *against* that leader's policy:
+        // baseline-leader misses push PSEL up (toward the challenger),
+        // challenger-leader misses push it back down. Followers obey the
+        // sign. Training runs far past the 10-bit range to check
+        // saturation.
+        let mut duel = SetDuel::new(64);
+        let follower = (0..64u32)
+            .find(|&s| duel.role(s) == DuelRole::Follower)
+            .unwrap();
+        let baseline = (0..64u32)
+            .find(|&s| duel.role(s) == DuelRole::BaselineLeader)
+            .unwrap();
+        let challenger = (0..64u32)
+            .find(|&s| duel.role(s) == DuelRole::ChallengerLeader)
+            .unwrap();
+        assert!(!duel.prefers_challenger(follower)); // psel = 0 → baseline
+        for _ in 0..2000 {
+            // Leader sets always run their own policy regardless of PSEL.
+            assert!(!duel.train_and_select(baseline));
+        }
+        assert!(duel.prefers_challenger(follower));
+        for _ in 0..4000 {
+            assert!(duel.train_and_select(challenger));
+        }
+        assert!(!duel.prefers_challenger(follower));
     }
 
     #[test]

@@ -1,0 +1,317 @@
+//! TRRIP: temperature-based re-reference interval prediction for
+//! instruction caching (Kao et al., "A TRRIP Down Memory Lane").
+//!
+//! TRRIP is a software/hardware co-design directly comparable to Ripple:
+//! an offline profile classifies code into *temperature* classes — hot
+//! (frequently re-referenced), warm, cold (streaming, touch-once) — and
+//! the hardware maps the class of each fetch PC onto RRIP insertion and
+//! promotion decisions. Hot code inserts at near-immediate re-reference,
+//! warm at long, cold at distant; on a hit, cold code is only promoted to
+//! long instead of zero so it cannot displace hot working-set lines.
+//!
+//! Because software hints can mislead (stale profile, input drift), the
+//! hint path duels against plain SRRIP insertion using the same
+//! complement-select set-dueling scheme as DRRIP: leader sets train a
+//! PSEL counter and follower sets obey the winner. With no temperature
+//! map configured every line is warm and both duel sides insert at long,
+//! so TRRIP degrades gracefully to SRRIP.
+
+use std::sync::Arc;
+
+use ripple_program::{Addr, LineAddr};
+
+use crate::config::CacheGeometry;
+use crate::policy::rrip::{rrip_victim, SetDuel, RRPV_BITS, RRPV_LONG, RRPV_MAX};
+use crate::policy::{AccessInfo, ReplacementPolicy, WayView};
+
+/// Profile-derived temperature class of a code line.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Temperature {
+    /// Frequently re-referenced; insert at immediate re-reference.
+    Hot,
+    /// Moderately reused; insert at long re-reference (SRRIP default).
+    /// Unprofiled code defaults to warm.
+    #[default]
+    Warm,
+    /// Streaming / touch-once; insert at distant and never promote past
+    /// long.
+    Cold,
+}
+
+impl Temperature {
+    /// Display name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Temperature::Hot => "hot",
+            Temperature::Warm => "warm",
+            Temperature::Cold => "cold",
+        }
+    }
+}
+
+/// Profile output consumed by [`TrripPolicy`]: a map from code lines to
+/// temperature classes.
+///
+/// Keys are *address-space* line indices (the line of the fetch PC), not
+/// interned cache line ids, so one map serves both simulator frontends
+/// identically. Lines absent from the map are [`Temperature::Warm`].
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct TemperatureMap {
+    by_line: std::collections::HashMap<u64, Temperature>,
+}
+
+impl TemperatureMap {
+    /// Creates an empty map (every line warm).
+    pub fn new() -> Self {
+        TemperatureMap::default()
+    }
+
+    /// Sets the class of one code line.
+    pub fn set(&mut self, line: LineAddr, temp: Temperature) {
+        self.by_line.insert(line.index(), temp);
+    }
+
+    /// The class of a code line (warm when unprofiled).
+    pub fn of_line(&self, line: LineAddr) -> Temperature {
+        self.by_line
+            .get(&line.index())
+            .copied()
+            .unwrap_or(Temperature::Warm)
+    }
+
+    /// The class of the line containing a fetch PC.
+    pub fn of_pc(&self, pc: Addr) -> Temperature {
+        self.of_line(pc.line())
+    }
+
+    /// Number of explicitly classified lines.
+    pub fn len(&self) -> usize {
+        self.by_line.len()
+    }
+
+    /// Whether any line is explicitly classified.
+    pub fn is_empty(&self) -> bool {
+        self.by_line.is_empty()
+    }
+}
+
+impl FromIterator<(LineAddr, Temperature)> for TemperatureMap {
+    fn from_iter<I: IntoIterator<Item = (LineAddr, Temperature)>>(iter: I) -> Self {
+        let mut map = TemperatureMap::new();
+        for (line, temp) in iter {
+            map.set(line, temp);
+        }
+        map
+    }
+}
+
+/// TRRIP replacement: an SRRIP backbone whose insertion/promotion RRPVs
+/// are steered by profile-derived temperatures, gated by set dueling.
+#[derive(Debug)]
+pub struct TrripPolicy {
+    assoc: usize,
+    rrpv: Vec<u8>,
+    duel: SetDuel,
+    temps: Option<Arc<TemperatureMap>>,
+}
+
+impl TrripPolicy {
+    /// Creates a TRRIP policy for `geom` with an optional temperature
+    /// profile (absent profile = all warm = SRRIP behavior).
+    pub fn new(geom: CacheGeometry, temps: Option<Arc<TemperatureMap>>) -> Self {
+        TrripPolicy {
+            assoc: usize::from(geom.assoc),
+            rrpv: vec![RRPV_MAX; geom.num_lines() as usize],
+            duel: SetDuel::new(geom.num_sets() as u32),
+            temps,
+        }
+    }
+
+    #[inline]
+    fn idx(&self, set: u32, way: usize) -> usize {
+        set as usize * self.assoc + way
+    }
+
+    #[inline]
+    fn temp_of(&self, pc: Addr) -> Temperature {
+        self.temps
+            .as_deref()
+            .map_or(Temperature::Warm, |t| t.of_pc(pc))
+    }
+}
+
+impl ReplacementPolicy for TrripPolicy {
+    fn name(&self) -> &'static str {
+        "trrip"
+    }
+
+    fn metadata_bytes(&self, geom: &CacheGeometry) -> u64 {
+        // 2 bits per line, like SRRIP: the temperature table lives in
+        // software (the profile), mirroring how Ripple's own hints cost no
+        // cache metadata.
+        geom.num_lines() * u64::from(RRPV_BITS) / 8
+    }
+
+    fn on_fill(&mut self, info: &AccessInfo, way: usize) {
+        // A miss in a leader set trains PSEL toward the other side.
+        let use_hint = self.duel.train_and_select(info.set);
+        let i = self.idx(info.set, way);
+        self.rrpv[i] = if use_hint {
+            match self.temp_of(info.pc) {
+                Temperature::Hot => 0,
+                Temperature::Warm => RRPV_LONG,
+                Temperature::Cold => RRPV_MAX,
+            }
+        } else {
+            RRPV_LONG
+        };
+    }
+
+    fn on_hit(&mut self, info: &AccessInfo, way: usize) {
+        let i = self.idx(info.set, way);
+        // Cold code never earns immediate re-reference on the hint side.
+        self.rrpv[i] = if self.duel.prefers_challenger(info.set)
+            && self.temp_of(info.pc) == Temperature::Cold
+        {
+            RRPV_LONG
+        } else {
+            0
+        };
+    }
+
+    fn victim(&mut self, info: &AccessInfo, ways: &[WayView]) -> usize {
+        rrip_victim(&mut self.rrpv, info.set, self.assoc, ways.len())
+    }
+
+    fn on_invalidate(&mut self, set: u32, way: usize) {
+        let i = self.idx(set, way);
+        self.rrpv[i] = RRPV_MAX;
+    }
+
+    fn on_demote(&mut self, set: u32, way: usize) {
+        let i = self.idx(set, way);
+        self.rrpv[i] = RRPV_MAX;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::test_util::{demand_misses, tiny_geom};
+    use crate::policy::SrripPolicy;
+
+    fn temps(entries: &[(u64, Temperature)]) -> Arc<TemperatureMap> {
+        Arc::new(
+            entries
+                .iter()
+                .map(|&(line, t)| (LineAddr::new(line), t))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn unprofiled_trrip_matches_srrip() {
+        // No temperature map: every line is warm, both duel sides insert
+        // at long — TRRIP must be miss-for-miss identical to SRRIP.
+        let geom = tiny_geom();
+        for seed in 0..8u64 {
+            let stream: Vec<(u64, bool)> = (0..200)
+                .map(|i| ((seed.wrapping_mul(31).wrapping_add(i * 7)) % 10, false))
+                .collect();
+            let t = demand_misses(geom, Box::new(TrripPolicy::new(geom, None)), &stream);
+            let s = demand_misses(geom, Box::new(SrripPolicy::new(geom)), &stream);
+            assert_eq!(t, s, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn hot_hint_protects_against_scan() {
+        // A 1-set × 2-way cache (all-follower, neutral PSEL → hint side
+        // since psel starts at 0... actually psel=0 means baseline).
+        // Use a 2-set geometry so set 0 is the baseline leader and set 1
+        // the hint leader; run the workload in set 1 (odd lines).
+        let geom = CacheGeometry::new(4 * 64, 2); // 2 sets × 2 ways
+        let a = 1u64; // maps to set 1 = hint leader
+        let map = temps(&[(a, Temperature::Hot)]);
+        // A, then a scan of cold lines X Y Z (also set 1), then A again.
+        let scan = [3u64, 5, 7];
+        let mut stream = vec![(a, false)];
+        for &x in &scan {
+            stream.push((x, false));
+        }
+        stream.push((a, false));
+        let map_cold: Arc<TemperatureMap> = {
+            let mut m = (*map).clone();
+            for &x in &scan {
+                m.set(LineAddr::new(x), Temperature::Cold);
+            }
+            Arc::new(m)
+        };
+        let hinted = demand_misses(
+            geom,
+            Box::new(TrripPolicy::new(geom, Some(map_cold))),
+            &stream,
+        );
+        // Hinted: A inserts at 0, cold scan inserts at distant and evicts
+        // itself; final A access hits. Misses = 1 (A) + 3 (scan) = 4.
+        assert_eq!(hinted, 4);
+    }
+
+    #[test]
+    fn cold_hit_promotion_is_capped() {
+        // In the hint-leader set, a cold line that hits is promoted only
+        // to long, so a subsequent warm fill finds it evictable before a
+        // hot line that hit.
+        let geom = CacheGeometry::new(4 * 64, 2); // 2 sets × 2 ways
+        let hot = 1u64;
+        let cold = 3u64;
+        let other = 5u64;
+        let map = temps(&[(hot, Temperature::Hot), (cold, Temperature::Cold)]);
+        let stream = [
+            (hot, false),
+            (cold, false),
+            (cold, false),  // cold hit: promoted to long only
+            (hot, false),   // hot hit: promoted to 0
+            (other, false), // fill must victimize cold, not hot
+            (hot, false),   // still resident
+        ];
+        let misses = demand_misses(geom, Box::new(TrripPolicy::new(geom, Some(map))), &stream);
+        // Misses: hot, cold, other = 3. If hot were evicted instead the
+        // final access would miss (4).
+        assert_eq!(misses, 3);
+    }
+
+    #[test]
+    fn trrip_is_deterministic() {
+        let geom = tiny_geom();
+        let map = temps(&[(0, Temperature::Hot), (2, Temperature::Cold)]);
+        let stream: Vec<(u64, bool)> = (0..600).map(|i| ((i % 5) * 2, i % 7 == 0)).collect();
+        let a = demand_misses(
+            geom,
+            Box::new(TrripPolicy::new(geom, Some(map.clone()))),
+            &stream,
+        );
+        let b = demand_misses(geom, Box::new(TrripPolicy::new(geom, Some(map))), &stream);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn metadata_matches_srrip() {
+        let geom = CacheGeometry::new(32 * 1024, 8);
+        let p = TrripPolicy::new(geom, None);
+        assert_eq!(p.metadata_bytes(&geom), 128);
+    }
+
+    #[test]
+    fn temperature_map_defaults_warm() {
+        let mut m = TemperatureMap::new();
+        assert!(m.is_empty());
+        assert_eq!(m.of_line(LineAddr::new(7)), Temperature::Warm);
+        m.set(LineAddr::new(7), Temperature::Cold);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.of_line(LineAddr::new(7)), Temperature::Cold);
+        assert_eq!(m.of_pc(LineAddr::new(7).base_addr()), Temperature::Cold);
+        assert_eq!(m.of_line(LineAddr::new(8)), Temperature::Warm);
+        assert_eq!(Temperature::Hot.name(), "hot");
+    }
+}

@@ -10,7 +10,7 @@
 use ripple_program::{rewrite, BlockId, CodeLoc, Injection, InjectionPlan, Layout, LayoutConfig};
 use ripple_sim::{
     CacheGeometry, EvictionMechanism, LinePath, PolicyKind, PrefetcherKind, SimConfig, SimSession,
-    VecSink,
+    Temperature, TemperatureMap, VecSink,
 };
 use ripple_workloads::{execute, generate, AppSpec, InputConfig};
 
@@ -34,7 +34,7 @@ fn interned_and_reference_paths_are_byte_identical() {
             30_000,
         );
         for prefetcher in [PrefetcherKind::NextLine, PrefetcherKind::Fdip] {
-            for policy in [PolicyKind::Lru, PolicyKind::Srrip, PolicyKind::DemandMin] {
+            for policy in [PolicyKind::LRU, PolicyKind::SRRIP, PolicyKind::DEMAND_MIN] {
                 let mut outputs = Vec::new();
                 for path in [LinePath::Interned, LinePath::Reference] {
                     let cfg = small_cfg(prefetcher).with_line_path(path);
@@ -68,6 +68,57 @@ fn interned_and_reference_paths_are_byte_identical() {
 }
 
 #[test]
+fn trrip_paths_are_byte_identical_under_a_profile() {
+    // TRRIP is the only policy whose decisions read the profiled
+    // temperature map, so its hint path crosses the interned/reference
+    // boundary nowhere else in this file. Cycle every line through
+    // hot/warm/cold (plus unprofiled gaps) and demand identical stats and
+    // eviction streams on both frontends.
+    for seed in [13, 41] {
+        let app = generate(&AppSpec::tiny(seed));
+        let layout = Layout::new(&app.program, &LayoutConfig::default());
+        let trace = execute(
+            &app.program,
+            &app.model,
+            InputConfig::training(seed),
+            30_000,
+        );
+        let (lo, hi) = layout.line_bounds().expect("non-empty layout");
+        let mut temps = TemperatureMap::new();
+        for (i, line) in (lo.index()..=hi.index()).enumerate() {
+            match i % 4 {
+                0 => temps.set(ripple_program::LineAddr::new(line), Temperature::Hot),
+                1 => temps.set(ripple_program::LineAddr::new(line), Temperature::Cold),
+                2 => temps.set(ripple_program::LineAddr::new(line), Temperature::Warm),
+                _ => {} // unprofiled: defaults to warm
+            }
+        }
+        let temps = std::sync::Arc::new(temps);
+        for prefetcher in [PrefetcherKind::None, PrefetcherKind::Fdip] {
+            let mut outputs = Vec::new();
+            for path in [LinePath::Interned, LinePath::Reference] {
+                let mut cfg = small_cfg(prefetcher).with_line_path(path);
+                cfg.temperatures = Some(temps.clone());
+                let session = SimSession::new(&app.program, &layout, &trace, cfg);
+                let mut sink = VecSink::new();
+                let stats = session.run_with_sink(PolicyKind::TRRIP, &mut sink);
+                outputs.push((stats, sink.into_events()));
+            }
+            assert_eq!(
+                outputs[0],
+                outputs[1],
+                "trrip diverged: seed {seed}, {}",
+                prefetcher.name()
+            );
+            assert!(
+                !outputs[0].1.is_empty(),
+                "equivalence must be over a non-trivial run"
+            );
+        }
+    }
+}
+
+#[test]
 fn scripted_invalidations_are_path_independent() {
     // The scripted-oracle configuration exercises the invalidation lookup
     // (including unmapped-address fallbacks) on both paths.
@@ -76,10 +127,10 @@ fn scripted_invalidations_are_path_independent() {
     let trace = execute(&app.program, &app.model, InputConfig::training(7), 30_000);
 
     // Record the OPT eviction schedule once, then script it.
-    let opt_cfg = small_cfg(PrefetcherKind::None).with_policy(PolicyKind::Opt);
+    let opt_cfg = small_cfg(PrefetcherKind::None).with_policy(PolicyKind::OPT);
     let mut sink = VecSink::new();
     let session = SimSession::new(&app.program, &layout, &trace, opt_cfg);
-    session.run_with_sink(PolicyKind::Opt, &mut sink);
+    session.run_with_sink(PolicyKind::OPT, &mut sink);
     let mut script: Vec<(u64, ripple_program::LineAddr)> = sink
         .events()
         .iter()
@@ -95,7 +146,7 @@ fn scripted_invalidations_are_path_independent() {
         cfg.scripted_invalidations = Some(std::sync::Arc::new(script.clone()));
         let session = SimSession::new(&app.program, &layout, &trace, cfg);
         let mut sink = VecSink::new();
-        let stats = session.run_with_sink(PolicyKind::Lru, &mut sink);
+        let stats = session.run_with_sink(PolicyKind::LRU, &mut sink);
         results.push((stats, sink.into_events()));
     }
     assert_eq!(results[0], results[1]);
@@ -111,10 +162,10 @@ fn scripted_invalidations_with_warmup_are_path_independent() {
     let layout = Layout::new(&app.program, &LayoutConfig::default());
     let trace = execute(&app.program, &app.model, InputConfig::training(7), 30_000);
 
-    let opt_cfg = small_cfg(PrefetcherKind::None).with_policy(PolicyKind::Opt);
+    let opt_cfg = small_cfg(PrefetcherKind::None).with_policy(PolicyKind::OPT);
     let mut sink = VecSink::new();
     let session = SimSession::new(&app.program, &layout, &trace, opt_cfg);
-    session.run_with_sink(PolicyKind::Opt, &mut sink);
+    session.run_with_sink(PolicyKind::OPT, &mut sink);
     let mut script: Vec<(u64, ripple_program::LineAddr)> = sink
         .events()
         .iter()
@@ -130,7 +181,7 @@ fn scripted_invalidations_with_warmup_are_path_independent() {
         cfg.scripted_invalidations = Some(script.clone());
         let session = SimSession::new(&app.program, &layout, &trace, cfg);
         let mut sink = VecSink::new();
-        let stats = session.run_with_sink(PolicyKind::Lru, &mut sink);
+        let stats = session.run_with_sink(PolicyKind::LRU, &mut sink);
         results.push((stats, sink.into_events()));
     }
     assert_eq!(results[0], results[1]);
@@ -173,7 +224,7 @@ fn eviction_mechanisms_are_path_independent_on_injected_programs() {
             cfg.eviction_mechanism = mechanism;
             let session = SimSession::new(&rewritten.program, &rewritten.layout, &trace, cfg);
             let mut sink = VecSink::new();
-            let stats = session.run_with_sink(PolicyKind::Lru, &mut sink);
+            let stats = session.run_with_sink(PolicyKind::LRU, &mut sink);
             results.push((stats, sink.into_events()));
         }
         assert_eq!(results[0], results[1], "{mechanism:?} diverged");

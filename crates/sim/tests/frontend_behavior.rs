@@ -44,7 +44,7 @@ fn scripted_invalidation_of_ideal_victims_reproduces_opt() {
     // The oracle experiment from DESIGN.md §3a: invalidate every ideal
     // victim right before its eviction trigger and LRU becomes OPT.
     let (app, layout, trace) = setup();
-    let opt_cfg = small_cfg().with_policy(PolicyKind::Opt);
+    let opt_cfg = small_cfg().with_policy(PolicyKind::OPT);
     let mut sink = VecSink::new();
     let opt = simulate_with_sink(&app.program, &layout, &trace, &opt_cfg, &mut sink);
     let mut script: Vec<(u64, LineAddr)> = sink
@@ -70,7 +70,7 @@ fn scripted_invalidate_hits_respect_warmup() {
     let (app, layout, trace) = setup();
     // A script that provably hits: invalidate every OPT victim at its
     // eviction trigger (same construction as the OPT oracle test above).
-    let opt_cfg = small_cfg().with_policy(PolicyKind::Opt);
+    let opt_cfg = small_cfg().with_policy(PolicyKind::OPT);
     let mut sink = VecSink::new();
     simulate_with_sink(&app.program, &layout, &trace, &opt_cfg, &mut sink);
     let mut script: Vec<(u64, LineAddr)> = sink
@@ -191,13 +191,13 @@ fn demand_min_equals_opt_without_prefetching() {
         &app.program,
         &layout,
         &trace,
-        &small_cfg().with_policy(PolicyKind::Opt),
+        &small_cfg().with_policy(PolicyKind::OPT),
     );
     let dm = simulate(
         &app.program,
         &layout,
         &trace,
-        &small_cfg().with_policy(PolicyKind::DemandMin),
+        &small_cfg().with_policy(PolicyKind::DEMAND_MIN),
     );
     assert_eq!(opt.demand_misses, dm.demand_misses);
 }
@@ -230,7 +230,7 @@ fn tree_plru_tracks_lru_closely() {
         &app.program,
         &layout,
         &trace,
-        &small_cfg().with_policy(PolicyKind::TreePlru),
+        &small_cfg().with_policy(PolicyKind::TREE_PLRU),
     );
     // 2-way sets: tree-PLRU is exact LRU.
     assert_eq!(lru.demand_misses, plru.demand_misses);

@@ -1,10 +1,16 @@
-//! Policy comparison: run every replacement policy on one application and
-//! print the §II-D comparison (none of the prior policies beat LRU; the
-//! offline ideals do).
+//! Policy comparison: run every registered replacement policy on one
+//! application and print the §II-D comparison (none of the prior policies
+//! beat LRU; the offline ideals do).
+//!
+//! The policy list comes from the global registry via
+//! [`ripple::policy_matrix_all`] — registering a new policy adds a row
+//! here with no code change.
 //!
 //! Run with `cargo run --release --example policy_compare [app]`.
 
-use ripple::{collect_profile, effective_threads, policy_matrix};
+use std::sync::Arc;
+
+use ripple::{collect_profile, effective_threads, policy_matrix_all, profile_temperatures};
 use ripple_program::{Layout, LayoutConfig};
 use ripple_sim::{PolicyKind, PrefetcherKind, SimConfig, SimSession};
 use ripple_workloads::{generate, App, InputConfig};
@@ -26,24 +32,16 @@ fn main() {
         " {:<12} {:>8} {:>10} {:>12}",
         "policy", "misses", "mpki", "speedup-vs-lru"
     );
-    let cfg = SimConfig::default().with_prefetcher(PrefetcherKind::Fdip);
-    let policies = [
-        PolicyKind::Lru,
-        PolicyKind::Random,
-        PolicyKind::Srrip,
-        PolicyKind::Drrip,
-        PolicyKind::Ghrp,
-        PolicyKind::Hawkeye,
-        PolicyKind::Harmony,
-        PolicyKind::Opt,
-        PolicyKind::DemandMin,
-    ];
+    let mut cfg = SimConfig::default().with_prefetcher(PrefetcherKind::Fdip);
+    // Profile-hinted policies (TRRIP) read line temperatures from the
+    // training trace; the others ignore them.
+    cfg.temperatures = Some(Arc::new(profile_temperatures(&layout, &profile.trace)));
     // One session records the request stream once; every policy replays it,
     // fanned out across the machine's cores.
     let session = SimSession::new(&app.program, &layout, &profile.trace, cfg);
-    let results =
-        policy_matrix(&session, &policies, effective_threads(None)).expect("policy matrix");
-    let lru = &results[0];
+    let (policies, results) =
+        policy_matrix_all(&session, effective_threads(None)).expect("policy matrix");
+    let lru = &results[PolicyKind::LRU.index()];
     for (kind, r) in policies.iter().zip(&results) {
         println!(
             " {:<12} {:>8} {:>10.2} {:>11.2}%",

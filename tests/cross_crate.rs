@@ -80,9 +80,9 @@ fn offline_ideals_lower_bound_online_policies_on_real_apps() {
         let cfg = SimConfig::default().with_prefetcher(pf);
         let lru = simulate(&app.program, &layout, &trace, &cfg);
         let ideal_kind = if pf == PrefetcherKind::None {
-            PolicyKind::Opt
+            PolicyKind::OPT
         } else {
-            PolicyKind::DemandMin
+            PolicyKind::DEMAND_MIN
         };
         let ideal = simulate(
             &app.program,

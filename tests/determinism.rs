@@ -85,9 +85,9 @@ fn policy_matrix_is_thread_count_invariant() {
             let cfg = SimConfig::default().with_prefetcher(pf);
             let session = SimSession::new(&app.program, &layout, &profile.trace, cfg);
             let policies = [
-                PolicyKind::Lru,
-                PolicyKind::Random,
-                PolicyKind::Srrip,
+                PolicyKind::LRU,
+                PolicyKind::RANDOM,
+                PolicyKind::SRRIP,
                 ideal_policy_for(pf),
             ];
             let sequential = policy_matrix(&session, &policies, 1).unwrap();

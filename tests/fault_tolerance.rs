@@ -120,7 +120,7 @@ fn lossy_recovery_is_thread_count_invariant() {
         lossy.health
     );
 
-    let policies = [PolicyKind::Lru, PolicyKind::Random, PolicyKind::Srrip];
+    let policies = [PolicyKind::LRU, PolicyKind::RANDOM, PolicyKind::SRRIP];
     let run = |threads: usize| {
         let session = SimSession::new(&app.program, &layout, &lossy.trace, SimConfig::default())
             .with_trace_health(lossy.health);

@@ -228,6 +228,7 @@ fn bench_line_paths(_c: &mut Criterion) {
         ("trace_blocks", Value::UInt(loaded.trace.len() as u64)),
         ("samples_per_scenario", Value::UInt(u64::from(SAMPLES))),
         ("scenarios", Value::Object(scenarios)),
+        ("phase_throughput", phase_throughput(&loaded)),
         ("pipeline_phases", pipeline_phase_breakdown(&loaded)),
     ]);
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_perf.json");
@@ -235,6 +236,85 @@ fn bench_line_paths(_c: &mut Criterion) {
         Ok(()) => println!("  wrote {path}"),
         Err(e) => eprintln!("  could not write {path}: {e}"),
     }
+}
+
+/// Blocks/sec through the two historically dominant pipeline phases,
+/// measured directly rather than inferred from the share breakdown:
+///
+/// * `cue_selection` — the dense [`ripple::analyze_windows`] over the real
+///   oracle window set of the training trace;
+/// * `final_layout` — the evaluate fixpoint (incremental relink + columnar
+///   oracle replay + dense window analysis + operand patch), taken from
+///   the `eval.final_layout` phase timer over repeated evaluates.
+fn phase_throughput(loaded: &LoadedApp) -> Value {
+    let blocks = loaded.trace.len() as u64;
+
+    // cue_selection: a direct analyze_windows loop on real windows.
+    let oracle_cfg = SimConfig::default()
+        .with_prefetcher(PrefetcherKind::NextLine)
+        .with_policy(PolicyKind::OPT);
+    let mut sink = ripple::WindowSink::new();
+    let _ = simulate_with_sink(
+        &loaded.app.program,
+        &loaded.layout,
+        &loaded.trace,
+        &oracle_cfg,
+        &mut sink,
+    );
+    let windows = sink.into_windows();
+    let cue_secs = secs_per_run(|| {
+        black_box(ripple::analyze_windows(
+            &loaded.app.program,
+            &loaded.layout,
+            &loaded.trace,
+            windows.clone(),
+            &ripple::AnalysisConfig::default(),
+        ));
+    });
+
+    // final_layout: the phase timer's delta over SAMPLES evaluates.
+    let recorder = Arc::new(MetricsRecorder::new());
+    let mut config = RippleConfig::default();
+    config.threads = Some(1);
+    let ripple = Ripple::train_with_recorder(
+        &loaded.app.program,
+        &loaded.layout,
+        &loaded.trace,
+        config,
+        recorder.clone(),
+    )
+    .expect("train");
+    black_box(ripple.evaluate(&loaded.trace).expect("evaluate")); // warmup
+    let before = recorder
+        .snapshot()
+        .phase("eval.final_layout")
+        .map_or(0, |s| s.total_nanos);
+    for _ in 0..SAMPLES {
+        black_box(ripple.evaluate(&loaded.trace).expect("evaluate"));
+    }
+    let after = recorder
+        .snapshot()
+        .phase("eval.final_layout")
+        .map_or(0, |s| s.total_nanos);
+    let final_layout_secs = (after - before) as f64 / 1e9 / f64::from(SAMPLES);
+
+    println!("group: phase_throughput (Tomcat, 1 thread)");
+    let mut out: Vec<(String, Value)> = Vec::new();
+    for (name, secs) in [
+        ("cue_selection", cue_secs),
+        ("final_layout", final_layout_secs),
+    ] {
+        let bps = blocks_per_sec(blocks, secs);
+        println!("  {name}: {:.2}ms per run, {bps:.0} blocks/s", secs * 1e3);
+        out.push((
+            name.to_string(),
+            object([
+                ("secs_per_run", Value::Float(secs)),
+                ("blocks_per_sec", Value::Float(bps)),
+            ]),
+        ));
+    }
+    Value::Object(out)
 }
 
 /// One instrumented train + evaluate run: the observability layer's phase

@@ -20,7 +20,10 @@
 //!    record→reconstruct round trips;
 //! 6. [`faults`] — fault injection: randomly mutated trace bytes and
 //!    report documents must surface typed errors (strict) or accounted
-//!    loss (lossy), and never panic.
+//!    loss (lossy), and never panic;
+//! 7. [`rewrite_eq`] — incremental relinking vs full rewrite on random
+//!    injection-plan chains, dense vs reference cue analysis on real
+//!    oracle window sets, and 1-vs-4-thread `RippleOutcome` invariance.
 //!
 //! Every case derives from a single `u64` seed. Failures shrink to locally
 //! minimal repros (the vendored proptest stand-in has no shrinking, so
@@ -33,6 +36,7 @@ pub mod case;
 pub mod equiv;
 pub mod faults;
 pub mod model_cache;
+pub mod rewrite_eq;
 pub mod shrink;
 pub mod threads;
 pub mod trace_rt;
@@ -52,10 +56,12 @@ pub enum Dimension {
     TraceRoundTrip,
     /// Fault injection: corrupted traces and reports never panic.
     Faults,
+    /// Incremental relink vs full rewrite + dense vs reference analysis.
+    Rewrite,
 }
 
 /// Number of checker dimensions (the length of [`ALL_DIMENSIONS`]).
-pub const NUM_DIMENSIONS: usize = 6;
+pub const NUM_DIMENSIONS: usize = 7;
 
 /// Every dimension, in the order the corpus round-robins them.
 pub const ALL_DIMENSIONS: [Dimension; NUM_DIMENSIONS] = [
@@ -65,6 +71,7 @@ pub const ALL_DIMENSIONS: [Dimension; NUM_DIMENSIONS] = [
     Dimension::Threads,
     Dimension::TraceRoundTrip,
     Dimension::Faults,
+    Dimension::Rewrite,
 ];
 
 impl Dimension {
@@ -77,6 +84,7 @@ impl Dimension {
             Dimension::Threads => "threads",
             Dimension::TraceRoundTrip => "trace-roundtrip",
             Dimension::Faults => "faults",
+            Dimension::Rewrite => "rewrite",
         }
     }
 
@@ -124,6 +132,7 @@ pub fn check_case(dimension: Dimension, case_seed: u64) -> Result<(), Failure> {
         Dimension::Threads => threads::check(case_seed),
         Dimension::TraceRoundTrip => trace_rt::check(case_seed),
         Dimension::Faults => faults::check(case_seed),
+        Dimension::Rewrite => rewrite_eq::check(case_seed),
     };
     outcome.map_err(|(message, repro)| Failure {
         dimension,
@@ -252,9 +261,9 @@ mod tests {
 
     #[test]
     fn corpus_runs_every_dimension() {
-        let report = run_corpus(7, 12, &ALL_DIMENSIONS, |_, _| {});
+        let report = run_corpus(7, 14, &ALL_DIMENSIONS, |_, _| {});
         assert!(report.failures.is_empty(), "{:?}", report.failures);
-        assert_eq!(report.total_passed(), 12);
+        assert_eq!(report.total_passed(), 14);
         for (i, &p) in report.passed.iter().enumerate() {
             assert!(p >= 2, "dimension {} starved", ALL_DIMENSIONS[i]);
         }

@@ -283,8 +283,13 @@ impl Analysis {
                 None => used < self.per_block_cap,
             }
         };
-        // (cue, victim-identity) -> (victim CodeLoc, windows covered)
+        // (cue, victim-identity) -> (victim CodeLoc, windows covered).
+        // `pair_order` remembers first-placement order: the plan must be
+        // emitted deterministically (HashMap iteration order is
+        // per-instance random, and injection order dictates the injected
+        // byte sequence, hence the layout).
         let mut pair_value: HashMap<(BlockId, LineAddr), (CodeLoc, u32)> = HashMap::new();
+        let mut pair_order: Vec<(BlockId, LineAddr)> = Vec::new();
         let mut skipped = 0u64;
         for choice in &self.choices {
             // Candidates eligible at this threshold, in selection order.
@@ -341,6 +346,7 @@ impl Analysis {
                     let key = (cand.block, self.layout_line(victim_loc));
                     seen.insert(key);
                     pair_value.insert(key, (victim_loc, 1));
+                    pair_order.push(key);
                     placed = true;
                     break;
                 }
@@ -360,7 +366,11 @@ impl Analysis {
         } else {
             min_pair_windows.max(1)
         };
-        for (&(cue, _), &(victim, windows)) in &pair_value {
+        for &key @ (cue, _) in &pair_order {
+            // Inserted in lockstep with `pair_order`, so the key resolves.
+            let Some(&(victim, windows)) = pair_value.get(&key) else {
+                continue;
+            };
             if windows >= min_pair_windows {
                 plan.push(Injection { cue, victim });
             } else {
@@ -403,7 +413,201 @@ pub fn analyze(
 
 /// Runs the eviction analysis over eviction `windows` already extracted
 /// from the ideal policy's run (usually streamed via [`WindowSink`]).
+///
+/// This is the dense production path: windows are grouped by victim line,
+/// each window is scanned exactly once (back side then front side, fused),
+/// and all per-window / per-victim scratch lives in flat `BlockId`-indexed
+/// arrays with epoch stamps instead of hash maps — no per-window clears,
+/// no hashing in the scan loop. [`analyze_windows_reference`] keeps the
+/// original two-pass map-based implementation as the equivalence oracle;
+/// both must produce identical `WindowChoice` sequences.
 pub fn analyze_windows(
+    program: &Program,
+    layout: &Layout,
+    trace: &BbTrace,
+    windows: Vec<EvictionWindow>,
+    config: &AnalysisConfig,
+) -> Analysis {
+    let blocks = trace.blocks();
+    let num_blocks = program.num_blocks();
+
+    // Execution counts for the probability denominator.
+    let mut exec_count = vec![0u64; num_blocks];
+    for &b in blocks {
+        exec_count[b.index()] += 1;
+    }
+
+    // Precomputed block -> (first, last) spanned-line table (flat, eager):
+    // the scan loop tests victim containment per trace position, so this
+    // must be a plain indexed load.
+    let mut span: Vec<(u64, u64)> = Vec::with_capacity(num_blocks);
+    let mut rewritable = vec![false; num_blocks];
+    for block in program.blocks() {
+        let mut iter = layout.lines_of_block(block.id());
+        let first = iter.next().map(|l| l.index()).unwrap_or(u64::MAX);
+        let last = iter.last().map(|l| l.index()).unwrap_or(first);
+        span.push((first, last));
+        rewritable[block.id().index()] = program.function(block.func()).kind().is_rewritable();
+    }
+    debug_assert_eq!(span.len(), num_blocks);
+
+    // Group windows by victim so pair counts (distinct windows of this
+    // victim containing block B) complete as soon as the group does: a
+    // stable sort keeps each group's windows in arrival order, and the
+    // per-window choice is written back to its original index.
+    let mut order: Vec<u32> = (0..windows.len() as u32).collect();
+    order.sort_by_key(|&i| windows[i as usize].victim);
+
+    // Epoch-stamped scratch, all BlockId-indexed: `win_epoch`/`earliest`
+    // reset per window, `pair_epoch`/`pair_count` per victim group — a
+    // stale stamp *is* the cleared state, so no O(num_blocks) clears.
+    let mut win_epoch = vec![0u64; num_blocks];
+    let mut earliest = vec![0u64; num_blocks];
+    let mut pair_epoch = vec![0u64; num_blocks];
+    let mut pair_count = vec![0u32; num_blocks];
+    let mut window_no = 0u64;
+    let mut group_no = 0u64;
+
+    // Per-group staging: each window's capped candidate list (block,
+    // earliest position) in scan order, finalized into probabilities once
+    // the group's pair counts are complete.
+    struct Staged {
+        window: u32,
+        hi: u64,
+        cands: Vec<(BlockId, u64)>,
+    }
+    let mut staged: Vec<Staged> = Vec::new();
+    let half = config.max_candidates / 2;
+
+    let mut choices: Vec<Option<WindowChoice>> = Vec::new();
+    choices.resize_with(windows.len(), || None);
+
+    let flush_group = |staged: &mut Vec<Staged>,
+                       pair_count: &[u32],
+                       choices: &mut Vec<Option<WindowChoice>>,
+                       victim: LineAddr| {
+        for s in staged.drain(..) {
+            let candidates: Vec<CueCandidate> = s
+                .cands
+                .iter()
+                .filter_map(|&(b, early)| {
+                    let execs = exec_count[b.index()];
+                    if execs == 0 {
+                        return None;
+                    }
+                    Some(CueCandidate {
+                        block: b,
+                        probability: f64::from(pair_count[b.index()]) / execs as f64,
+                        rewritable: rewritable[b.index()],
+                        earliest_gap: s.hi - early,
+                    })
+                })
+                .collect();
+            choices[s.window as usize] = Some(WindowChoice { victim, candidates });
+        }
+    };
+
+    let mut group_victim: Option<LineAddr> = None;
+    for &wi in &order {
+        let w = &windows[wi as usize];
+        if group_victim != Some(w.victim) {
+            if let Some(v) = group_victim {
+                flush_group(&mut staged, &pair_count, &mut choices, v);
+            }
+            group_victim = Some(w.victim);
+            group_no += 1;
+        }
+        window_no += 1;
+        let victim_line = w.victim.index();
+
+        let lo = w.start + 1;
+        let hi = w.end; // exclusive: the trigger block itself is too late
+        let back_lo = hi.saturating_sub(config.max_window_blocks as u64).max(lo);
+        let front_hi = lo.saturating_add(config.front_window_blocks as u64).min(hi);
+        let mut cands: Vec<(BlockId, u64)> = Vec::with_capacity(config.max_candidates);
+
+        // Back side, nearest the trigger first. Walking backward means a
+        // later iteration is an earlier position, so a plain overwrite of
+        // `earliest` converges on the minimum.
+        for p in (back_lo..hi).rev() {
+            let b = blocks[p as usize];
+            let bi = b.index();
+            let (first, last) = span[bi];
+            if (first..=last).contains(&victim_line) {
+                break;
+            }
+            if win_epoch[bi] != window_no {
+                win_epoch[bi] = window_no;
+                if pair_epoch[bi] != group_no {
+                    pair_epoch[bi] = group_no;
+                    pair_count[bi] = 0;
+                }
+                pair_count[bi] += 1;
+                if cands.len() < half {
+                    cands.push((b, p));
+                }
+            }
+            earliest[bi] = p;
+        }
+        // Front side, nearest the last access first.
+        for p in lo..front_hi {
+            let b = blocks[p as usize];
+            let bi = b.index();
+            let (first, last) = span[bi];
+            if (first..=last).contains(&victim_line) {
+                break;
+            }
+            if win_epoch[bi] != window_no {
+                win_epoch[bi] = window_no;
+                if pair_epoch[bi] != group_no {
+                    pair_epoch[bi] = group_no;
+                    pair_count[bi] = 0;
+                }
+                pair_count[bi] += 1;
+                if cands.len() < config.max_candidates {
+                    cands.push((b, p));
+                }
+                earliest[bi] = p;
+            } else {
+                earliest[bi] = earliest[bi].min(p);
+            }
+        }
+        // Snapshot earliest positions now: the next window reuses the
+        // array under a fresh epoch.
+        for slot in &mut cands {
+            slot.1 = earliest[slot.0.index()];
+        }
+        staged.push(Staged {
+            window: wi,
+            hi,
+            cands,
+        });
+    }
+    if let Some(v) = group_victim {
+        flush_group(&mut staged, &pair_count, &mut choices, v);
+    }
+
+    let choices: Vec<WindowChoice> = choices
+        .into_iter()
+        .map(|c| c.unwrap_or_else(|| unreachable!("every window staged exactly once")))
+        .collect();
+
+    Analysis {
+        windows,
+        choices,
+        origins: line_origins(program, layout),
+        selection: config.cue_selection,
+        per_block_cap: config.max_injections_per_block.max(1),
+        max_earliest_gap: config.max_earliest_gap,
+        min_pair_windows: config.min_windows_per_injection.max(1),
+    }
+}
+
+/// The original two-pass, map-based implementation of
+/// [`analyze_windows`], retained verbatim as the equivalence oracle for
+/// the dense path (and exercised by `ripple-check` and the analysis
+/// equivalence tests). Must produce an identical [`Analysis`].
+pub fn analyze_windows_reference(
     program: &Program,
     layout: &Layout,
     trace: &BbTrace,

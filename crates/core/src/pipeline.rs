@@ -6,11 +6,12 @@ use std::sync::Arc;
 
 use ripple_obs::{time_phase, NullRecorder, PhaseTimer, Recorder};
 use ripple_program::{
-    patch_invalidates, rewrite, BlockId, InjectionPlan, Layout, LineAddr, Program,
+    patch_invalidates, rewrite, rewrite_incremental, BlockId, InjectionPlan, Layout, LineAddr,
+    Program,
 };
 use ripple_sim::{
-    simulate_ideal_cache, simulate_with_sink, EvictionEvent, EvictionMechanism, PolicyKind,
-    PrefetcherKind, SimConfig, SimSession, SimStats, VecSink,
+    simulate_ideal_cache, EvictionEvent, EvictionMechanism, PlanCache, PolicyKind, PrefetcherKind,
+    SimConfig, SimSession, SimStats, VecSink,
 };
 use ripple_trace::BbTrace;
 
@@ -425,9 +426,15 @@ impl<'p> Ripple<'p> {
         } else {
             0
         };
-        let mut rewritten = rewrite(self.program, self.layout, &plan);
+        let mut rewritten = time_phase(&*self.recorder, "eval.relink", || {
+            rewrite(self.program, self.layout, &plan)
+        });
         let mut eval_analysis_opt = None;
         let mut final_plan = plan.clone();
+        // Per-function line lists survive relinking for every function the
+        // round didn't dirty; the cache from each round's session seeds the
+        // next round's (and the final evaluation's) fetch-plan splice.
+        let mut plan_cache: Option<PlanCache> = None;
         for round in 0..rounds {
             let mut oracle_cfg = self
                 .config
@@ -436,49 +443,63 @@ impl<'p> Ripple<'p> {
                 .with_policy(self.config.analysis_oracle());
             oracle_cfg.eviction_mechanism = EvictionMechanism::NoOp;
             let mut windows_i = WindowSink::new();
-            let _ = simulate_with_sink(
-                &rewritten.program,
-                &rewritten.layout,
-                eval_trace,
-                &oracle_cfg,
-                &mut windows_i,
-            );
-            let analysis_i = analyze_windows(
-                &rewritten.program,
-                &rewritten.layout,
-                eval_trace,
-                windows_i.into_windows(),
-                &self.config.analysis,
-            );
+            plan_cache = Some(time_phase(&*self.recorder, "eval.oracle_replay", || {
+                let session = SimSession::new_cached(
+                    &rewritten.program,
+                    &rewritten.layout,
+                    eval_trace,
+                    oracle_cfg.clone(),
+                    plan_cache.as_ref(),
+                )
+                .with_recorder(self.recorder.clone());
+                let _ = session.run_with_sink(oracle_cfg.policy, &mut windows_i);
+                session.plan_cache()
+            }));
+            let analysis_i = time_phase(&*self.recorder, "eval.window_analysis", || {
+                analyze_windows(
+                    &rewritten.program,
+                    &rewritten.layout,
+                    eval_trace,
+                    windows_i.into_windows(),
+                    &self.config.analysis,
+                )
+            });
             if round + 1 < rounds {
                 // Intermediate round: re-place slots from this layout's
-                // analysis and relink.
+                // analysis and relink only the functions whose injected
+                // prefixes changed, splicing the rest of the old layout.
                 let (plan_i, _) = analysis_i.plan_for_threshold(threshold);
+                rewritten = time_phase(&*self.recorder, "eval.relink", || {
+                    rewrite_incremental(self.program, self.layout, &plan_i, &plan, rewritten)
+                });
                 plan = plan_i;
-                rewritten = rewrite(self.program, self.layout, &plan);
                 continue;
             }
             // Final round: the layout is frozen; select cues *subject to*
             // the reserved slot budget (each window picks an eligible cue
             // that still has a free slot) and patch operands in place.
-            let mut slots: HashMap<BlockId, usize> = HashMap::new();
-            for block in rewritten.program.blocks() {
-                if block.injected_prefix_len() > 0 {
-                    slots.insert(block.id(), block.injected_prefix_len() as usize);
+            let (plan_i, coverage_i) = time_phase(&*self.recorder, "eval.patch", || {
+                let mut slots: HashMap<BlockId, usize> = HashMap::new();
+                for block in rewritten.program.blocks() {
+                    if block.injected_prefix_len() > 0 {
+                        slots.insert(block.id(), block.injected_prefix_len() as usize);
+                    }
                 }
-            }
-            let (plan_i, coverage_i) = analysis_i.plan_for_slots(threshold, &slots);
-            let mut assignments: HashMap<BlockId, Vec<LineAddr>> = HashMap::new();
-            for inj in plan_i.injections() {
-                assignments
-                    .entry(inj.cue)
-                    .or_default()
-                    .push(rewritten.layout.line_of(inj.victim));
-            }
-            if std::env::var("RIPPLE_DEBUG").is_ok() {
-                eprintln!("    [debug] slots={} assigned={}", plan.len(), plan_i.len(),);
-            }
-            patch_invalidates(&mut rewritten.program, &assignments);
+                let (plan_i, coverage_i) = analysis_i.plan_for_slots(threshold, &slots);
+                let mut assignments: HashMap<BlockId, Vec<LineAddr>> = HashMap::new();
+                for inj in plan_i.injections() {
+                    assignments
+                        .entry(inj.cue)
+                        .or_default()
+                        .push(rewritten.layout.line_of(inj.victim));
+                }
+                patch_invalidates(&mut rewritten.program, &assignments);
+                (plan_i, coverage_i)
+            });
+            self.recorder
+                .gauge("eval.slots_reserved", plan.len() as f64);
+            self.recorder
+                .gauge("eval.slots_assigned", plan_i.len() as f64);
             coverage = coverage_i;
             final_plan = plan_i;
             eval_analysis_opt = Some(analysis_i);
@@ -504,8 +525,14 @@ impl<'p> Ripple<'p> {
         .with_recorder(self.recorder.clone());
         let mut under_cfg = self.config.sim.clone().with_policy(self.config.underlying);
         under_cfg.eviction_mechanism = self.config.mechanism;
-        let final_session = SimSession::new(&final_program, &final_layout, eval_trace, under_cfg)
-            .with_recorder(self.recorder.clone());
+        let final_session = SimSession::new_cached(
+            &final_program,
+            &final_layout,
+            eval_trace,
+            under_cfg,
+            plan_cache.as_ref(),
+        )
+        .with_recorder(self.recorder.clone());
         let underlying = self.config.underlying;
         let oracle = self.config.oracle();
 

@@ -36,6 +36,10 @@ pub const PIPELINE_PHASES: &[&str] = &[
     "train.window_index",
     "eval.plan",
     "eval.final_layout",
+    "eval.relink",
+    "eval.oracle_replay",
+    "eval.window_analysis",
+    "eval.patch",
     "eval.sim_runs",
     "eval.accuracy",
     "session.run",

@@ -62,6 +62,11 @@ pub struct Cache<P: ?Sized + ReplacementPolicy> {
     /// `geom.num_sets()`, cached to keep the two divisions out of the
     /// per-access path.
     num_sets: u64,
+    /// `num_sets - 1` when the set count is a power of two, else 0: lets
+    /// `set_of` use a mask instead of a 64-bit division on every access.
+    /// (0 is unambiguous: a one-set cache maps everything to set 0 under
+    /// either formula.)
+    set_mask: u64,
     /// Raw line index of `LineId(0)` in the interner that produced the ids
     /// this cache is accessed with (0 for identity interning).
     line_base: u64,
@@ -69,6 +74,20 @@ pub struct Cache<P: ?Sized + ReplacementPolicy> {
     policy: Box<P>,
     /// Scratch buffer for victim calls, reused across misses.
     views: Vec<WayView>,
+}
+
+impl<P: ReplacementPolicy + Clone> Clone for Cache<P> {
+    fn clone(&self) -> Self {
+        Cache {
+            geom: self.geom,
+            num_sets: self.num_sets,
+            set_mask: self.set_mask,
+            line_base: self.line_base,
+            ways: self.ways.clone(),
+            policy: self.policy.clone(),
+            views: Vec::with_capacity(usize::from(self.geom.assoc)),
+        }
+    }
 }
 
 impl<P: ?Sized + ReplacementPolicy> Cache<P> {
@@ -83,9 +102,15 @@ impl<P: ?Sized + ReplacementPolicy> Cache<P> {
     pub fn with_line_base(geom: CacheGeometry, policy: Box<P>, line_base: u64) -> Self {
         let num_sets = geom.num_sets();
         let ways = vec![Way::default(); (num_sets * u64::from(geom.assoc)) as usize];
+        let set_mask = if num_sets.is_power_of_two() {
+            num_sets - 1
+        } else {
+            0
+        };
         Cache {
             geom,
             num_sets,
+            set_mask,
             line_base,
             ways,
             policy,
@@ -114,7 +139,12 @@ impl<P: ?Sized + ReplacementPolicy> Cache<P> {
     /// The set `line` maps to; identical to mapping the underlying address.
     #[inline]
     fn set_of(&self, line: LineId) -> u32 {
-        ((self.line_base + u64::from(line.get())) % self.num_sets) as u32
+        let raw = self.line_base + u64::from(line.get());
+        if self.set_mask != 0 {
+            (raw & self.set_mask) as u32
+        } else {
+            (raw % self.num_sets) as u32
+        }
     }
 
     #[inline]

@@ -23,18 +23,31 @@ use ripple_trace::{BbTrace, TraceHealth};
 
 use crate::config::{LinePath, PolicyKind, SimConfig};
 use crate::frontend::Frontend;
-use crate::intern::{FetchPlan, LineTable};
+use crate::intern::{FetchPlan, LineTable, PlanCache};
 use crate::policy::{
-    build_ideal_policy, build_policy, FutureIndex, LruPolicy, ReplacementPolicy, StreamRecord,
+    build_ideal_policy, build_policy, DemandMinPolicy, FutureIndex, LruPolicy, OptPolicy,
+    ReplacementPolicy, StreamRecord,
 };
 use crate::reference::ReferenceFrontend;
+use crate::replay::{CaptureFrontend, ColumnarStream, ReplayFrontend};
 use crate::sink::{EvictionSink, NullSink};
 use crate::stats::SimStats;
 
 /// The policy-independent artifacts of a recording pass.
-struct RecordedStream {
-    stream: Vec<StreamRecord>,
-    future: Arc<FutureIndex>,
+enum RecordedStream {
+    /// Interned path: the bit-packed columnar capture. Every policy —
+    /// oracle or online — replays it through [`ReplayFrontend`].
+    Columnar {
+        stream: ColumnarStream,
+        future: Arc<FutureIndex>,
+    },
+    /// Reference path: the legacy materialized stream, kept verbatim as
+    /// the equivalence oracle (replays re-derive the stream and verify
+    /// against it).
+    Reference {
+        stream: Vec<StreamRecord>,
+        future: Arc<FutureIndex>,
+    },
 }
 
 /// A reusable simulation context over one (program, layout, trace, config).
@@ -82,6 +95,9 @@ pub struct SimSession<'a> {
     /// Precomputed block → interned-lines fetch plan over `table`.
     plan: FetchPlan,
     recorded: OnceLock<RecordedStream>,
+    /// The steady-state L3 pre-warm every columnar replay starts from,
+    /// built lazily on the first replay and cloned into each run.
+    l3_seed: OnceLock<crate::cache::Cache<LruPolicy>>,
     recording_passes: AtomicU32,
     /// Observability sink; [`NullRecorder`] (the default) keeps every
     /// instrumented seam on its free path.
@@ -109,8 +125,21 @@ impl<'a> SimSession<'a> {
         trace: &'a BbTrace,
         config: SimConfig,
     ) -> Self {
+        Self::new_cached(program, layout, trace, config, None)
+    }
+
+    /// [`SimSession::new`], splicing the fetch plan from a previous
+    /// session's [`PlanCache`] where per-function layout hashes match
+    /// (identical plans either way; see [`FetchPlan::build_cached`]).
+    pub fn new_cached(
+        program: &'a Program,
+        layout: &'a Layout,
+        trace: &'a BbTrace,
+        config: SimConfig,
+        prev: Option<&PlanCache>,
+    ) -> Self {
         let table = LineTable::build(layout);
-        let plan = FetchPlan::build(program, layout, &table);
+        let plan = FetchPlan::build_cached(program, layout, &table, prev);
         SimSession {
             program,
             layout,
@@ -119,6 +148,7 @@ impl<'a> SimSession<'a> {
             table,
             plan,
             recorded: OnceLock::new(),
+            l3_seed: OnceLock::new(),
             recording_passes: AtomicU32::new(0),
             recorder: Arc::new(NullRecorder),
             trace_health: None,
@@ -176,6 +206,13 @@ impl<'a> SimSession<'a> {
         self.trace
     }
 
+    /// Extracts this session's reusable interning artifacts, to seed a
+    /// later session over a re-linked layout via
+    /// [`SimSession::new_cached`].
+    pub fn plan_cache(&self) -> PlanCache {
+        PlanCache::capture(self.program, self.layout, &self.table, &self.plan)
+    }
+
     /// Simulates under `policy`, discarding evictions.
     pub fn run(&self, policy: PolicyKind) -> SimStats {
         self.run_with_sink(policy, &mut NullSink)
@@ -186,10 +223,32 @@ impl<'a> SimSession<'a> {
         let timer = PhaseTimer::start(&*self.recorder);
         let cfg = self.config.clone().with_policy(policy);
         let mut stats = if policy.is_offline_ideal() {
-            let rec = self.recorded();
-            let oracle = build_ideal_policy(policy, cfg.l1i, rec.future.clone());
-            self.run_frontend(&cfg, oracle, false, Some(&rec.stream), sink)
-                .0
+            match self.recorded() {
+                RecordedStream::Columnar { stream, future } => {
+                    // Monomorphized replays for the two known oracles: the
+                    // policy callbacks inline into the replay hot loop
+                    // instead of virtual-dispatching per request.
+                    if policy == PolicyKind::OPT {
+                        let oracle = Box::new(OptPolicy::new(cfg.l1i, future.clone()));
+                        self.run_replay(&cfg, oracle, stream, sink)
+                    } else if policy == PolicyKind::DEMAND_MIN {
+                        let oracle = Box::new(DemandMinPolicy::new(cfg.l1i, future.clone()));
+                        self.run_replay(&cfg, oracle, stream, sink)
+                    } else {
+                        let oracle = build_ideal_policy(policy, cfg.l1i, future.clone());
+                        self.run_replay(&cfg, oracle, stream, sink)
+                    }
+                }
+                RecordedStream::Reference { stream, future } => {
+                    let oracle = build_ideal_policy(policy, cfg.l1i, future.clone());
+                    self.run_frontend(&cfg, oracle, false, Some(stream), sink).0
+                }
+            }
+        } else if let Some(RecordedStream::Columnar { stream, .. }) = self.recorded.get() {
+            // An online policy with a capture already in hand: replaying
+            // the packed stream is byte-identical to a fresh frontend pass
+            // and skips the fetch plan, predictor and filter entirely.
+            self.run_replay(&cfg, build_policy(&cfg), stream, sink)
         } else {
             let policy = build_policy(&cfg);
             self.run_frontend(&cfg, policy, false, None, sink).0
@@ -281,34 +340,81 @@ impl<'a> SimSession<'a> {
         self.recorded.get_or_init(|| {
             self.recording_passes.fetch_add(1, Ordering::AcqRel);
             self.recorder.add("session.recording_passes", 1);
-            // The recording policy is irrelevant to the captured stream;
-            // LRU is the cheapest throwaway.
-            let cfg = self.config.clone().with_policy(PolicyKind::LRU);
-            let mut sink = NullSink;
-            let (_, stream) = time_phase(&*self.recorder, "session.record", || {
-                self.run_frontend(
-                    &cfg,
-                    Box::new(LruPolicy::new(cfg.l1i)),
-                    true,
-                    None,
-                    &mut sink,
-                )
-            });
-            // `run_frontend` with `record = true` always returns a stream.
-            #[allow(clippy::expect_used)]
-            let stream = stream.expect("recording pass returns a stream");
-            // Every recorded line is interned (the stream only contains
-            // layout lines and their next-line prefetch targets, all of
-            // which the table covers), so the dense index build applies to
-            // both paths and yields identical chains.
-            let future = time_phase(&*self.recorder, "session.future_index", || {
-                match cfg.line_path {
-                    LinePath::Interned => FutureIndex::build_dense(&stream, &self.table),
-                    LinePath::Reference => FutureIndex::build(&stream),
+            match self.config.line_path {
+                LinePath::Interned => {
+                    // The request stream never reads cache contents, so
+                    // the capture pass runs no cache model at all: one
+                    // walk through the predictor and prefetch filter,
+                    // bit-packed as it goes.
+                    let stream = time_phase(&*self.recorder, "session.record", || {
+                        CaptureFrontend::new(
+                            self.program,
+                            self.layout,
+                            &self.config,
+                            &self.table,
+                            &self.plan,
+                            &*self.recorder,
+                        )
+                        .run(self.trace.iter())
+                    });
+                    let future = time_phase(&*self.recorder, "session.future_index", || {
+                        FutureIndex::build_packed(&stream.packed, self.table.len())
+                    });
+                    RecordedStream::Columnar { stream, future }
                 }
-            });
-            RecordedStream { stream, future }
+                LinePath::Reference => {
+                    // The recording policy is irrelevant to the captured
+                    // stream; LRU is the cheapest throwaway.
+                    let cfg = self.config.clone().with_policy(PolicyKind::LRU);
+                    let mut sink = NullSink;
+                    let (_, stream) = time_phase(&*self.recorder, "session.record", || {
+                        self.run_frontend(
+                            &cfg,
+                            Box::new(LruPolicy::new(cfg.l1i)),
+                            true,
+                            None,
+                            &mut sink,
+                        )
+                    });
+                    // `run_frontend` with `record = true` always returns a
+                    // stream.
+                    #[allow(clippy::expect_used)]
+                    let stream = stream.expect("recording pass returns a stream");
+                    let future = time_phase(&*self.recorder, "session.future_index", || {
+                        FutureIndex::build(&stream)
+                    });
+                    RecordedStream::Reference { stream, future }
+                }
+            }
         })
+    }
+
+    /// Replays the captured columnar stream under `l1i_policy`.
+    fn run_replay<P: ?Sized + ReplacementPolicy>(
+        &self,
+        cfg: &SimConfig,
+        l1i_policy: Box<P>,
+        stream: &ColumnarStream,
+        sink: &mut dyn EvictionSink,
+    ) -> SimStats {
+        // The steady-state L3 pre-warm only depends on session-level state
+        // (program, plan, geometry — never the policy), so it is built on
+        // the first replay and cloned into later ones instead of re-running
+        // the O(blocks × lines) fill loop per run.
+        let l3_seed = self.l3_seed.get_or_init(|| {
+            crate::replay::prewarm_l3(self.program, &self.table, &self.plan, &self.config)
+        });
+        ReplayFrontend::new(
+            self.layout,
+            cfg,
+            &self.table,
+            stream,
+            l3_seed.clone(),
+            l1i_policy,
+            sink,
+            &*self.recorder,
+        )
+        .run(self.trace.iter())
     }
 }
 

@@ -30,7 +30,7 @@ pub(crate) const PREFETCH_FILTER: usize = 32;
 
 /// Position sentinel meaning "never" (no demand access / no outstanding
 /// prefetch issue for this line yet).
-const NO_POS: u64 = u64::MAX;
+pub(crate) const NO_POS: u64 = u64::MAX;
 
 /// One frontend simulation over a block trace.
 pub(crate) struct Frontend<'a> {
@@ -40,8 +40,10 @@ pub(crate) struct Frontend<'a> {
     table: &'a LineTable,
     plan: &'a FetchPlan,
     l1i: Cache<dyn ReplacementPolicy>,
-    l2: Cache<dyn ReplacementPolicy>,
-    l3: Cache<dyn ReplacementPolicy>,
+    // L2 and L3 are always LRU, so they stay concrete: no virtual dispatch
+    // on the miss path.
+    l2: Cache<LruPolicy>,
+    l3: Cache<LruPolicy>,
     bpred: BranchPredictor,
     ftq: VecDeque<BlockId>,
     frontier: Option<BlockId>,
@@ -100,7 +102,7 @@ impl<'a> Frontend<'a> {
         // before the measured window, so its text is resident in the last
         // level cache (the paper's 100 M-instruction steady-state traces
         // imply the same). First touches then cost an L3 hit, not DRAM.
-        let mut l3: Cache<dyn ReplacementPolicy> =
+        let mut l3: Cache<LruPolicy> =
             Cache::with_line_base(config.l3, Box::new(LruPolicy::new(config.l3)), base);
         for block in program.blocks() {
             for &id in plan.lines_of(block.id()) {

@@ -37,6 +37,7 @@ mod frontend;
 mod intern;
 pub mod policy;
 mod reference;
+mod replay;
 mod sink;
 mod stats;
 
@@ -50,7 +51,7 @@ pub use engine::{
     baseline_and_ideal, ideal_policy_for, simulate, simulate_ideal_cache, simulate_with_sink,
     SimSession,
 };
-pub use intern::{FetchPlan, LineId, LineTable};
+pub use intern::{FetchPlan, LineId, LineTable, PlanCache};
 pub use policy::registry::PolicyKind;
 pub use policy::{
     build_ideal_policy, build_policy, AccessInfo, DemandMinPolicy, DrripPolicy, FutureIndex,

@@ -20,6 +20,21 @@ use crate::policy::{AccessInfo, ReplacementPolicy, WayView};
 /// Position value meaning "never again".
 pub const NEVER: u64 = u64::MAX;
 
+/// Internal `u32` sentinel for [`NEVER`]: stream positions fit `u32` (the
+/// packed capture indexes records with `u32`), so the index stores half-
+/// width positions and widens on read. `u32::MAX` widens to `NEVER`.
+const NEVER_32: u32 = u32::MAX;
+
+/// Widens a stored position, mapping the sentinel to [`NEVER`].
+#[inline]
+fn widen(pos: u32) -> u64 {
+    if pos == NEVER_32 {
+        NEVER
+    } else {
+        u64::from(pos)
+    }
+}
+
 /// One request in the recorded stream.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StreamRecord {
@@ -33,27 +48,33 @@ pub struct StreamRecord {
 /// next demand access and the next prefetch to the same line.
 #[derive(Debug)]
 pub struct FutureIndex {
-    next_demand: Vec<u64>,
-    next_prefetch: Vec<u64>,
+    next_demand: Vec<u32>,
+    next_prefetch: Vec<u32>,
     len: u64,
 }
 
 impl FutureIndex {
     /// Builds the index with a single backward scan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream has `u32::MAX` or more records (the same
+    /// capacity contract as the packed capture).
     pub fn build(stream: &[StreamRecord]) -> Arc<Self> {
         let n = stream.len();
-        let mut next_demand = vec![NEVER; n];
-        let mut next_prefetch = vec![NEVER; n];
-        let mut last_demand: HashMap<LineAddr, u64> = HashMap::new();
-        let mut last_prefetch: HashMap<LineAddr, u64> = HashMap::new();
+        assert!(n < NEVER_32 as usize, "stream exceeds u32 records");
+        let mut next_demand = vec![NEVER_32; n];
+        let mut next_prefetch = vec![NEVER_32; n];
+        let mut last_demand: HashMap<LineAddr, u32> = HashMap::new();
+        let mut last_prefetch: HashMap<LineAddr, u32> = HashMap::new();
         for i in (0..n).rev() {
             let r = stream[i];
-            next_demand[i] = last_demand.get(&r.line).copied().unwrap_or(NEVER);
-            next_prefetch[i] = last_prefetch.get(&r.line).copied().unwrap_or(NEVER);
+            next_demand[i] = last_demand.get(&r.line).copied().unwrap_or(NEVER_32);
+            next_prefetch[i] = last_prefetch.get(&r.line).copied().unwrap_or(NEVER_32);
             if r.is_prefetch {
-                last_prefetch.insert(r.line, i as u64);
+                last_prefetch.insert(r.line, i as u32);
             } else {
-                last_demand.insert(r.line, i as u64);
+                last_demand.insert(r.line, i as u32);
             }
         }
         Arc::new(FutureIndex {
@@ -75,10 +96,11 @@ impl FutureIndex {
     #[allow(clippy::expect_used)]
     pub fn build_dense(stream: &[StreamRecord], table: &LineTable) -> Arc<Self> {
         let n = stream.len();
-        let mut next_demand = vec![NEVER; n];
-        let mut next_prefetch = vec![NEVER; n];
-        let mut last_demand = vec![NEVER; table.len() as usize];
-        let mut last_prefetch = vec![NEVER; table.len() as usize];
+        assert!(n < NEVER_32 as usize, "stream exceeds u32 records");
+        let mut next_demand = vec![NEVER_32; n];
+        let mut next_prefetch = vec![NEVER_32; n];
+        let mut last_demand = vec![NEVER_32; table.len() as usize];
+        let mut last_prefetch = vec![NEVER_32; table.len() as usize];
         for i in (0..n).rev() {
             let r = stream[i];
             let id = table
@@ -88,9 +110,40 @@ impl FutureIndex {
             next_demand[i] = last_demand[id];
             next_prefetch[i] = last_prefetch[id];
             if r.is_prefetch {
-                last_prefetch[id] = i as u64;
+                last_prefetch[id] = i as u32;
             } else {
-                last_demand[id] = i as u64;
+                last_demand[id] = i as u32;
+            }
+        }
+        Arc::new(FutureIndex {
+            next_demand,
+            next_prefetch,
+            len: n as u64,
+        })
+    }
+
+    /// [`FutureIndex::build_dense`] over a bit-packed columnar stream
+    /// (`bit 31` = prefetch, low bits = raw [`LineId`](crate::LineId)):
+    /// the records *are* already interned, so the build touches nothing
+    /// but flat arrays. Produces exactly the same index as `build` over
+    /// the equivalent [`StreamRecord`] stream.
+    pub(crate) fn build_packed(packed: &[u32], num_lines: u32) -> Arc<Self> {
+        use crate::replay::{LINE_MASK, PREFETCH_BIT};
+        let n = packed.len();
+        assert!(n < NEVER_32 as usize, "stream exceeds u32 records");
+        let mut next_demand = vec![NEVER_32; n];
+        let mut next_prefetch = vec![NEVER_32; n];
+        let mut last_demand = vec![NEVER_32; num_lines as usize];
+        let mut last_prefetch = vec![NEVER_32; num_lines as usize];
+        for i in (0..n).rev() {
+            let raw = packed[i];
+            let id = (raw & LINE_MASK) as usize;
+            next_demand[i] = last_demand[id];
+            next_prefetch[i] = last_prefetch[id];
+            if raw & PREFETCH_BIT != 0 {
+                last_prefetch[id] = i as u32;
+            } else {
+                last_demand[id] = i as u32;
             }
         }
         Arc::new(FutureIndex {
@@ -113,13 +166,13 @@ impl FutureIndex {
     /// Next demand access to the same line strictly after position `seq`.
     #[inline]
     pub fn next_demand(&self, seq: u64) -> u64 {
-        self.next_demand[seq as usize]
+        widen(self.next_demand[seq as usize])
     }
 
     /// Next prefetch of the same line strictly after position `seq`.
     #[inline]
     pub fn next_prefetch(&self, seq: u64) -> u64 {
-        self.next_prefetch[seq as usize]
+        widen(self.next_prefetch[seq as usize])
     }
 }
 

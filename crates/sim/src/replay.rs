@@ -1,0 +1,616 @@
+//! Columnar capture and replay of the L1I request stream.
+//!
+//! The request stream is replacement-policy-independent: the prefetcher,
+//! its dedup filter and the branch predictor never observe cache contents
+//! (the invariant [`engine`](crate::engine) documents). The capture pass
+//! exploits that fully — it runs **no cache model at all**, walking the
+//! trace once through the branch predictor and prefetch filter and
+//! bit-packing every request into a [`ColumnarStream`]: one `u32` per
+//! request (bit 31 = prefetch, low bits = [`LineId`]), per-trace-step
+//! bounds, and the policy-independent post-warmup counters.
+//!
+//! Policy runs then replay the packed stream through the cache hierarchy
+//! via [`ReplayFrontend`], reproducing the full frontend byte-for-byte —
+//! identical [`SimStats`] and identical eviction events — without
+//! re-deriving the stream (no fetch-plan walks, no predictor, no filter).
+//! One capture serves every policy replay and every fixpoint-round oracle
+//! replay of a session.
+
+use std::collections::VecDeque;
+use std::time::Instant;
+
+use ripple_obs::Recorder;
+use ripple_program::{BlockId, InstKind, Layout, LineAddr, Program};
+
+use crate::bpred::{BranchPredictor, Prediction};
+use crate::cache::Cache;
+use crate::config::{EvictionMechanism, PrefetcherKind, SimConfig};
+use crate::frontend::{NO_POS, PREFETCH_FILTER};
+use crate::intern::{FetchPlan, LineId, LineTable};
+use crate::policy::{LruPolicy, ReplacementPolicy};
+use crate::sink::EvictionSink;
+use crate::stats::{EvictionEvent, SimStats};
+
+/// Bit 31 of a packed record: set when the request is a prefetch.
+pub(crate) const PREFETCH_BIT: u32 = 1 << 31;
+
+/// Low 31 bits of a packed record: the raw [`LineId`].
+pub(crate) const LINE_MASK: u32 = PREFETCH_BIT - 1;
+
+/// The post-warmup counters that do not depend on the replacement policy,
+/// captured once and stamped onto every replay's [`SimStats`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct BaseStats {
+    pub(crate) blocks: u64,
+    pub(crate) instructions: u64,
+    pub(crate) invalidate_instructions: u64,
+    pub(crate) demand_accesses: u64,
+    pub(crate) prefetches_issued: u64,
+    pub(crate) mispredictions: u64,
+}
+
+/// The bit-packed, policy-independent record of one session's request
+/// stream, captured once per [`SimSession`](crate::SimSession).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct ColumnarStream {
+    /// One `u32` per request: `PREFETCH_BIT | LineId` for prefetches,
+    /// the bare raw [`LineId`] for demand fetches. The index of a record
+    /// is its global `seq` (what [`FutureIndex`](crate::FutureIndex)
+    /// positions refer to).
+    pub(crate) packed: Vec<u32>,
+    /// `trace_len + 1` offsets into `packed`: the requests issued while
+    /// trace step `i` executed are `packed[step_bounds[i]..step_bounds[i+1]]`.
+    pub(crate) step_bounds: Vec<u32>,
+    /// Raw [`BlockId`] whose address is the `pc` of each prefetch request,
+    /// in issue order (FDIP prefetches are issued on behalf of *predicted*
+    /// blocks, so the issuer is not derivable from the trace step).
+    pub(crate) prefetch_pc: Vec<u32>,
+    /// Interned operand of every injected `invalidate` instruction, in
+    /// block-id-then-prefix order; `LineId::INVALID` marks an operand
+    /// outside the text segment (never resident, executes as a miss).
+    pub(crate) inval_ids: Vec<u32>,
+    /// `num_blocks + 1` offsets into `inval_ids`.
+    pub(crate) inval_bounds: Vec<u32>,
+    /// Policy-independent post-warmup counters.
+    pub(crate) base: BaseStats,
+}
+
+impl ColumnarStream {
+    /// The injected-invalidate operands of `block` (raw ids).
+    #[inline]
+    fn inval_ops(&self, block: BlockId) -> &[u32] {
+        let i = block.index();
+        &self.inval_ids[self.inval_bounds[i] as usize..self.inval_bounds[i + 1] as usize]
+    }
+}
+
+/// The capture pass: derives the [`ColumnarStream`] from the trace without
+/// simulating any cache. Mirrors [`Frontend`](crate::frontend::Frontend)
+/// step for step, minus everything that reads or writes cache state.
+pub(crate) struct CaptureFrontend<'a> {
+    program: &'a Program,
+    layout: &'a Layout,
+    config: &'a SimConfig,
+    table: &'a LineTable,
+    plan: &'a FetchPlan,
+    bpred: BranchPredictor,
+    ftq: VecDeque<BlockId>,
+    frontier: Option<BlockId>,
+    filter_fifo: VecDeque<LineId>,
+    in_filter: Vec<bool>,
+    /// Per-block original-instruction counts, flattened so the hot loop
+    /// never dereferences a `Block` (the plan already holds the lines).
+    instr_counts: Vec<u32>,
+    /// Per-block injected-invalidate prefix lengths, flattened likewise.
+    inval_counts: Vec<u32>,
+    packed: Vec<u32>,
+    step_bounds: Vec<u32>,
+    prefetch_pc: Vec<u32>,
+    base: BaseStats,
+    recorder: &'a dyn Recorder,
+    prev_block: Option<BlockId>,
+    trace_pos: u64,
+    warmup_until: u64,
+}
+
+impl<'a> CaptureFrontend<'a> {
+    pub(crate) fn new(
+        program: &'a Program,
+        layout: &'a Layout,
+        config: &'a SimConfig,
+        table: &'a LineTable,
+        plan: &'a FetchPlan,
+        recorder: &'a dyn Recorder,
+    ) -> Self {
+        assert!(
+            table.len() < PREFETCH_BIT,
+            "text segment too large for packed stream records"
+        );
+        let mut instr_counts = Vec::with_capacity(program.num_blocks());
+        let mut inval_counts = Vec::with_capacity(program.num_blocks());
+        for block in program.blocks() {
+            instr_counts.push(block.original_instructions().len() as u32);
+            inval_counts.push(block.injected_prefix_len());
+        }
+        CaptureFrontend {
+            program,
+            layout,
+            config,
+            table,
+            plan,
+            bpred: BranchPredictor::new(),
+            ftq: VecDeque::new(),
+            frontier: None,
+            filter_fifo: VecDeque::with_capacity(PREFETCH_FILTER),
+            in_filter: vec![false; table.len() as usize],
+            instr_counts,
+            inval_counts,
+            packed: Vec::new(),
+            step_bounds: vec![0],
+            prefetch_pc: Vec::new(),
+            base: BaseStats::default(),
+            recorder,
+            prev_block: None,
+            trace_pos: 0,
+            warmup_until: 0,
+        }
+    }
+
+    /// Walks the whole trace and returns the packed stream.
+    // The expect is a capacity backstop (> 4 Gi requests), matching
+    // `FetchPlan::build`'s contract; the workloads stay far below it.
+    #[allow(clippy::expect_used)]
+    pub(crate) fn run(mut self, trace: impl ExactSizeIterator<Item = BlockId>) -> ColumnarStream {
+        let len = trace.len() as u64;
+        self.step_bounds.reserve(trace.len());
+        // Heuristic: ~1-2 demand lines per block plus up to one filtered
+        // prefetch each; overshoot is returned at the end of the capture.
+        self.packed.reserve(trace.len() * 3);
+        self.warmup_until = (len as f64 * self.config.warmup_fraction.clamp(0.0, 0.9)) as u64;
+        let timing = self.recorder.enabled();
+        let run_start = timing.then(Instant::now);
+        let mut measure_start: Option<Instant> = None;
+        for block in trace {
+            self.step(block);
+            let end = u32::try_from(self.packed.len()).expect("packed stream exceeds u32 records");
+            self.step_bounds.push(end);
+            if self.trace_pos >= self.warmup_until {
+                if timing && self.base.blocks == 0 {
+                    measure_start = Some(Instant::now());
+                }
+                self.base.blocks += 1;
+            }
+            self.trace_pos += 1;
+        }
+        if let Some(run_start) = run_start {
+            let end = Instant::now();
+            let measured_at = measure_start.unwrap_or(end);
+            self.recorder.phase(
+                "frontend.warmup",
+                (measured_at - run_start).as_nanos() as u64,
+            );
+            if let Some(m) = measure_start {
+                self.recorder
+                    .phase("frontend.measure", (end - m).as_nanos() as u64);
+            }
+        }
+        let (inval_ids, inval_bounds) = invalidate_ops(self.program, self.table);
+        ColumnarStream {
+            packed: self.packed,
+            step_bounds: self.step_bounds,
+            prefetch_pc: self.prefetch_pc,
+            inval_ids,
+            inval_bounds,
+            base: self.base,
+        }
+    }
+
+    #[inline]
+    fn counting(&self) -> bool {
+        self.trace_pos >= self.warmup_until
+    }
+
+    fn step(&mut self, block: BlockId) {
+        // Scripted invalidations (frontend step 0) only touch the L1I:
+        // neither the stream nor any policy-independent counter depends on
+        // them, so capture skips them; replays apply them.
+
+        // 1. FDIP bookkeeping — identical to the frontend.
+        if self.config.prefetcher == PrefetcherKind::Fdip {
+            if let Some(prev) = self.prev_block {
+                let correct = self.bpred.train(self.program, self.layout, prev, block);
+                if !correct && self.counting() {
+                    self.base.mispredictions += 1;
+                }
+            }
+            match self.ftq.front() {
+                Some(&head) if head == block => {
+                    self.ftq.pop_front();
+                }
+                Some(_) => {
+                    self.ftq.clear();
+                    self.frontier = None;
+                    self.bpred.reset_speculation();
+                }
+                None => {}
+            }
+        }
+        self.prev_block = Some(block);
+
+        // 2. Demand fetches: pack the block's plan lines.
+        let plan = self.plan;
+        let ids = plan.lines_of(block);
+        if self.counting() {
+            self.base.instructions += u64::from(self.instr_counts[block.index()]);
+            self.base.invalidate_instructions += u64::from(self.inval_counts[block.index()]);
+            self.base.demand_accesses += ids.len() as u64;
+        }
+        for &id in ids {
+            self.packed.push(id.get());
+        }
+
+        // 3. Prefetching (stream-visible; the filter is cache-independent).
+        match self.config.prefetcher {
+            PrefetcherKind::None => {}
+            PrefetcherKind::NextLine => {
+                for &id in ids {
+                    self.issue_prefetch(id.next(), block);
+                }
+            }
+            PrefetcherKind::Fdip => self.extend_runahead(block),
+        }
+
+        // 4. Injected invalidations only touch the L1I: replays apply them
+        // from the precomputed per-block operand table.
+    }
+
+    fn issue_prefetch(&mut self, id: LineId, issuer: BlockId) {
+        if self.in_filter[id.index()] {
+            return;
+        }
+        if self.filter_fifo.len() == PREFETCH_FILTER {
+            if let Some(oldest) = self.filter_fifo.pop_front() {
+                self.in_filter[oldest.index()] = false;
+            }
+        }
+        self.filter_fifo.push_back(id);
+        self.in_filter[id.index()] = true;
+        self.packed.push(id.get() | PREFETCH_BIT);
+        self.prefetch_pc.push(issuer.get());
+        if self.counting() {
+            self.base.prefetches_issued += 1;
+        }
+    }
+
+    fn extend_runahead(&mut self, current: BlockId) {
+        if self.ftq.is_empty() && self.frontier.is_none() {
+            self.frontier = Some(current);
+        }
+        while self.ftq.len() < self.config.ftq_depth {
+            let from = match self.frontier {
+                Some(f) => f,
+                None => break,
+            };
+            match self.bpred.predict(self.program, self.layout, from) {
+                Prediction::Block(next) => {
+                    self.ftq.push_back(next);
+                    self.frontier = Some(next);
+                    let plan = self.plan;
+                    for &id in plan.lines_of(next) {
+                        self.issue_prefetch(id, next);
+                    }
+                }
+                Prediction::Unknown => break,
+            }
+        }
+    }
+}
+
+/// Per-block injected-invalidate operands, interned once per capture.
+// The expect is the same > 4 Gi capacity backstop as `FetchPlan::build`.
+#[allow(clippy::expect_used)]
+fn invalidate_ops(program: &Program, table: &LineTable) -> (Vec<u32>, Vec<u32>) {
+    let mut ids = Vec::new();
+    let mut bounds = Vec::with_capacity(program.num_blocks() + 1);
+    bounds.push(0u32);
+    for block in program.blocks() {
+        for inst in &block.instructions()[..block.injected_prefix_len() as usize] {
+            if let InstKind::Invalidate { line } = inst.kind() {
+                ids.push(
+                    table
+                        .lookup(line)
+                        .map_or(LineId::INVALID.get(), LineId::get),
+                );
+            }
+        }
+        bounds.push(u32::try_from(ids.len()).expect("invalidate plan exceeds u32 entries"));
+    }
+    (ids, bounds)
+}
+
+/// Replays a [`ColumnarStream`] through the cache hierarchy under one
+/// replacement policy, reproducing the full frontend's [`SimStats`] and
+/// eviction events byte for byte.
+pub(crate) struct ReplayFrontend<'a, P: ?Sized + ReplacementPolicy = dyn ReplacementPolicy> {
+    layout: &'a Layout,
+    config: &'a SimConfig,
+    table: &'a LineTable,
+    stream: &'a ColumnarStream,
+    l1i: Cache<P>,
+    l2: Cache<LruPolicy>,
+    l3: Cache<LruPolicy>,
+    stats: SimStats,
+    stall_cycles: f64,
+    sink: &'a mut dyn EvictionSink,
+    recorder: &'a dyn Recorder,
+    last_demand_pos: Vec<u64>,
+    prefetch_issue_pos: Vec<u64>,
+    seen_lines: Vec<bool>,
+    /// Cursor into `stream.prefetch_pc`, advanced per prefetch record.
+    prefetch_cursor: usize,
+    trace_pos: u64,
+    script: Option<&'a [(u64, LineAddr)]>,
+    script_cursor: usize,
+    warmup_until: u64,
+}
+
+/// The steady-state L3 pre-warm every replay starts from: identical to
+/// `Frontend::new`'s (all plan lines filled in block order). It depends
+/// only on session-level state, so [`SimSession`](crate::SimSession)
+/// builds it once per capture and clones it per replay instead of
+/// re-running the O(blocks × lines) fill loop.
+pub(crate) fn prewarm_l3(
+    program: &Program,
+    table: &LineTable,
+    plan: &FetchPlan,
+    config: &SimConfig,
+) -> Cache<LruPolicy> {
+    let base = table.line_base();
+    let mut l3: Cache<LruPolicy> =
+        Cache::with_line_base(config.l3, Box::new(LruPolicy::new(config.l3)), base);
+    for block in program.blocks() {
+        for &id in plan.lines_of(block.id()) {
+            l3.access(id, table.line(id).base_addr(), false, 0);
+        }
+    }
+    l3
+}
+
+impl<'a, P: ?Sized + ReplacementPolicy> ReplayFrontend<'a, P> {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        layout: &'a Layout,
+        config: &'a SimConfig,
+        table: &'a LineTable,
+        stream: &'a ColumnarStream,
+        l3: Cache<LruPolicy>,
+        l1i_policy: Box<P>,
+        sink: &'a mut dyn EvictionSink,
+        recorder: &'a dyn Recorder,
+    ) -> Self {
+        let base = table.line_base();
+        let lines = table.len() as usize;
+        ReplayFrontend {
+            layout,
+            config,
+            table,
+            stream,
+            l1i: Cache::with_line_base(config.l1i, l1i_policy, base),
+            l2: Cache::with_line_base(config.l2, Box::new(LruPolicy::new(config.l2)), base),
+            l3,
+            stats: SimStats::default(),
+            stall_cycles: 0.0,
+            sink,
+            recorder,
+            last_demand_pos: vec![NO_POS; lines],
+            prefetch_issue_pos: vec![NO_POS; lines],
+            seen_lines: vec![false; lines],
+            prefetch_cursor: 0,
+            trace_pos: 0,
+            script: config.scripted_invalidations.as_ref().map(|s| s.as_slice()),
+            script_cursor: 0,
+            warmup_until: 0,
+        }
+    }
+
+    /// Replays the whole trace; returns statistics identical to a fresh
+    /// frontend pass under the same policy.
+    pub(crate) fn run(mut self, trace: impl ExactSizeIterator<Item = BlockId>) -> SimStats {
+        let len = trace.len() as u64;
+        debug_assert_eq!(
+            self.stream.step_bounds.len() as u64,
+            len + 1,
+            "stream captured over a different trace"
+        );
+        self.warmup_until = (len as f64 * self.config.warmup_fraction.clamp(0.0, 0.9)) as u64;
+        let timing = self.recorder.enabled();
+        let run_start = timing.then(Instant::now);
+        let mut measure_start: Option<Instant> = None;
+        let mut counted_blocks = 0u64;
+        for block in trace {
+            self.step(block);
+            if self.trace_pos >= self.warmup_until {
+                if timing && counted_blocks == 0 {
+                    measure_start = Some(Instant::now());
+                }
+                counted_blocks += 1;
+            }
+            self.trace_pos += 1;
+        }
+        if let Some(run_start) = run_start {
+            let end = Instant::now();
+            let measured_at = measure_start.unwrap_or(end);
+            self.recorder.phase(
+                "frontend.warmup",
+                (measured_at - run_start).as_nanos() as u64,
+            );
+            if let Some(m) = measure_start {
+                self.recorder
+                    .phase("frontend.measure", (end - m).as_nanos() as u64);
+            }
+        }
+        let base = self.stream.base;
+        debug_assert_eq!(counted_blocks, base.blocks);
+        self.stats.blocks = base.blocks;
+        self.stats.instructions = base.instructions;
+        self.stats.invalidate_instructions = base.invalidate_instructions;
+        self.stats.demand_accesses = base.demand_accesses;
+        self.stats.prefetches_issued = base.prefetches_issued;
+        self.stats.mispredictions = base.mispredictions;
+        let total_instr = self.stats.instructions + self.stats.invalidate_instructions;
+        self.stats.cycles = total_instr as f64 * self.config.base_cpi + self.stall_cycles;
+        self.stats
+    }
+
+    #[inline]
+    fn counting(&self) -> bool {
+        self.trace_pos >= self.warmup_until
+    }
+
+    fn step(&mut self, block: BlockId) {
+        // 0. Scripted (oracle) invalidations — identical to the frontend.
+        if let Some(script) = self.script {
+            while let Some(&(pos, line)) = script.get(self.script_cursor) {
+                if pos > self.trace_pos {
+                    break;
+                }
+                self.script_cursor += 1;
+                if pos == self.trace_pos {
+                    let hit = self
+                        .table
+                        .lookup(line)
+                        .is_some_and(|id| self.l1i.invalidate(id));
+                    if hit && self.counting() {
+                        self.stats.invalidate_hits += 1;
+                    }
+                }
+            }
+        }
+
+        // 1. Replay the step's recorded requests. Within a step the capture
+        // order (demands, then prefetches) is preserved by construction;
+        // the record index is the request's global `seq`.
+        let i = self.trace_pos as usize;
+        let start = self.stream.step_bounds[i] as usize;
+        let end = self.stream.step_bounds[i + 1] as usize;
+        let pc = self.layout.block_addr(block);
+        for k in start..end {
+            let raw = self.stream.packed[k];
+            let id = LineId::new(raw & LINE_MASK);
+            if raw & PREFETCH_BIT == 0 {
+                self.demand_access(id, pc, k as u64);
+            } else {
+                let issuer = BlockId::new(self.stream.prefetch_pc[self.prefetch_cursor]);
+                self.prefetch_cursor += 1;
+                let issuer_pc = self.layout.block_addr(issuer);
+                self.prefetch_fill(id, issuer_pc, k as u64);
+            }
+        }
+
+        // 2. Injected invalidations at the block head, from the interned
+        // operand table (frontend step 4).
+        let stream = self.stream;
+        for &raw in stream.inval_ops(block) {
+            let id = (raw != LineId::INVALID.get()).then(|| LineId::new(raw));
+            let present = match (self.config.eviction_mechanism, id) {
+                (EvictionMechanism::Invalidate, Some(id)) => self.l1i.invalidate(id),
+                (EvictionMechanism::Demote, Some(id)) => self.l1i.demote(id),
+                _ => false,
+            };
+            if present && self.counting() {
+                self.stats.invalidate_hits += 1;
+            }
+        }
+    }
+
+    fn demand_access(&mut self, id: LineId, pc: ripple_program::Addr, seq: u64) {
+        let counting = self.counting();
+        let out = self.l1i.access(id, pc, false, seq);
+        let issue_pos = self.prefetch_issue_pos[id.index()];
+        if issue_pos != NO_POS {
+            self.prefetch_issue_pos[id.index()] = NO_POS;
+            if out.is_hit() && counting {
+                let window = u64::from(self.config.prefetch_timeliness_blocks);
+                let elapsed = self.trace_pos.saturating_sub(issue_pos);
+                if elapsed < window && window > 0 {
+                    let remaining = (window - elapsed) as f64 / window as f64;
+                    self.stall_cycles +=
+                        f64::from(self.config.l2_latency) * remaining * self.config.stall_exposure;
+                }
+            }
+        }
+        match out {
+            crate::cache::AccessOutcome::Hit => {}
+            crate::cache::AccessOutcome::Miss { evicted } => {
+                let first_touch = !self.seen_lines[id.index()];
+                self.seen_lines[id.index()] = true;
+                let latency = self.lower_levels(id);
+                if counting {
+                    self.stats.demand_misses += 1;
+                    if first_touch {
+                        self.stats.compulsory_misses += 1;
+                    }
+                    self.stall_cycles += f64::from(latency) * self.config.stall_exposure;
+                }
+                self.note_eviction(evicted, false);
+            }
+        }
+        self.last_demand_pos[id.index()] = self.trace_pos;
+    }
+
+    fn prefetch_fill(&mut self, id: LineId, pc: ripple_program::Addr, seq: u64) {
+        if self.prefetch_issue_pos[id.index()] == NO_POS {
+            self.prefetch_issue_pos[id.index()] = self.trace_pos;
+        }
+        let out = self.l1i.access(id, pc, true, seq);
+        if let crate::cache::AccessOutcome::Miss { evicted } = out {
+            if self.counting() {
+                self.stats.prefetch_fills += 1;
+            }
+            self.seen_lines[id.index()] = true;
+            let _ = self.lower_levels(id);
+            self.note_eviction(evicted, true);
+        }
+    }
+
+    fn note_eviction(&mut self, evicted: Option<LineId>, by_prefetch: bool) {
+        let Some(victim) = evicted else { return };
+        let last = self.last_demand_pos[victim.index()];
+        if self.counting() {
+            self.stats.evictions += 1;
+            if last == NO_POS {
+                self.stats.prefetch_pollution_evictions += 1;
+            }
+        }
+        self.sink.record(EvictionEvent {
+            victim: self.table.line(victim),
+            evict_pos: self.trace_pos,
+            last_access_pos: last,
+            by_prefetch,
+        });
+    }
+
+    fn lower_levels(&mut self, id: LineId) -> u32 {
+        let pc = self.table.line(id).base_addr();
+        let counting = self.counting();
+        let l2_hit = self.l2.access(id, pc, false, 0).is_hit();
+        if l2_hit {
+            if counting {
+                self.stats.served_l2 += 1;
+            }
+            return self.config.l2_latency;
+        }
+        let l3_hit = self.l3.access(id, pc, false, 0).is_hit();
+        if l3_hit {
+            if counting {
+                self.stats.served_l3 += 1;
+            }
+            self.config.l3_latency
+        } else {
+            if counting {
+                self.stats.served_mem += 1;
+            }
+            self.config.mem_latency
+        }
+    }
+}

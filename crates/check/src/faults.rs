@@ -375,8 +375,14 @@ fn all_finite(v: &Value) -> bool {
 fn sample_report_text(rng: &mut StdRng) -> String {
     use ripple_obs::Recorder as _;
     let m = ripple_obs::MetricsRecorder::new();
+    // The root wall must cover the disjoint top-level phases or the
+    // share-sum gate fires on the *uncorrupted* document; summing every
+    // phase total over-covers, which is fine (the gate is one-sided).
+    let mut wall_ns = 0u64;
     for name in ripple::PIPELINE_PHASES {
-        m.phase(name, rng.gen_range(1u64..2_000_000));
+        let total = rng.gen_range(1u64..2_000_000);
+        m.phase(name, total);
+        wall_ns += total;
     }
     m.gauge("trace.dropped_packets", rng.gen_range(0u32..50) as f64);
     m.gauge("trace.resync_events", rng.gen_range(0u32..10) as f64);
@@ -392,7 +398,7 @@ fn sample_report_text(rng: &mut StdRng) -> String {
             ("run_ns", ripple_obs::FieldValue::U64(rng.next_u64() >> 40)),
         ],
     );
-    ripple::run_report("optimize", "tomcat", &m.snapshot()).to_pretty_string()
+    ripple::run_report("optimize", "tomcat", &m.snapshot(), wall_ns).to_pretty_string()
 }
 
 /// Checks one trace-corruption case and one report-corruption case;

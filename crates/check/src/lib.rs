@@ -1,7 +1,7 @@
 //! Differential oracle checker for the Ripple simulator.
 //!
 //! `ripple-check` fuzzes the production simulator against small executable
-//! models in six independent dimensions:
+//! models in eight independent dimensions:
 //!
 //! 1. [`model_cache`] — a brute-force associative cache model cross-checked
 //!    against [`ripple_sim::Cache`] for LRU, SRRIP, DRRIP, and TRRIP,
@@ -23,7 +23,11 @@
 //!    loss (lossy), and never panic;
 //! 7. [`rewrite_eq`] — incremental relinking vs full rewrite on random
 //!    injection-plan chains, dense vs reference cue analysis on real
-//!    oracle window sets, and 1-vs-4-thread `RippleOutcome` invariance.
+//!    oracle window sets, and 1-vs-4-thread `RippleOutcome` invariance;
+//! 8. [`shards`] — replay shard-count invariance: stats and eviction
+//!    streams byte-identical at 1, 2, 4 and 7 replay shards for every
+//!    registered policy (set-local families shard, the rest must fall
+//!    back to sequential replay unchanged).
 //!
 //! Every case derives from a single `u64` seed. Failures shrink to locally
 //! minimal repros (the vendored proptest stand-in has no shrinking, so
@@ -37,6 +41,7 @@ pub mod equiv;
 pub mod faults;
 pub mod model_cache;
 pub mod rewrite_eq;
+pub mod shards;
 pub mod shrink;
 pub mod threads;
 pub mod trace_rt;
@@ -58,10 +63,12 @@ pub enum Dimension {
     Faults,
     /// Incremental relink vs full rewrite + dense vs reference analysis.
     Rewrite,
+    /// Replay shard-count invariance of the set-batched replay engine.
+    Shards,
 }
 
 /// Number of checker dimensions (the length of [`ALL_DIMENSIONS`]).
-pub const NUM_DIMENSIONS: usize = 7;
+pub const NUM_DIMENSIONS: usize = 8;
 
 /// Every dimension, in the order the corpus round-robins them.
 pub const ALL_DIMENSIONS: [Dimension; NUM_DIMENSIONS] = [
@@ -72,6 +79,7 @@ pub const ALL_DIMENSIONS: [Dimension; NUM_DIMENSIONS] = [
     Dimension::TraceRoundTrip,
     Dimension::Faults,
     Dimension::Rewrite,
+    Dimension::Shards,
 ];
 
 impl Dimension {
@@ -85,6 +93,7 @@ impl Dimension {
             Dimension::TraceRoundTrip => "trace-roundtrip",
             Dimension::Faults => "faults",
             Dimension::Rewrite => "rewrite",
+            Dimension::Shards => "shards",
         }
     }
 
@@ -133,6 +142,7 @@ pub fn check_case(dimension: Dimension, case_seed: u64) -> Result<(), Failure> {
         Dimension::TraceRoundTrip => trace_rt::check(case_seed),
         Dimension::Faults => faults::check(case_seed),
         Dimension::Rewrite => rewrite_eq::check(case_seed),
+        Dimension::Shards => shards::check(case_seed),
     };
     outcome.map_err(|(message, repro)| Failure {
         dimension,
@@ -150,6 +160,7 @@ pub fn check_case_recorded(dimension: Dimension, case_seed: u64) -> Result<(), F
     let outcome = match dimension {
         Dimension::Equivalence => equiv::check_recorded(case_seed),
         Dimension::Threads => threads::check_recorded(case_seed),
+        Dimension::Shards => shards::check_recorded(case_seed),
         _ => return check_case(dimension, case_seed),
     };
     outcome.map_err(|(message, repro)| Failure {
@@ -261,9 +272,9 @@ mod tests {
 
     #[test]
     fn corpus_runs_every_dimension() {
-        let report = run_corpus(7, 14, &ALL_DIMENSIONS, |_, _| {});
+        let report = run_corpus(7, 16, &ALL_DIMENSIONS, |_, _| {});
         assert!(report.failures.is_empty(), "{:?}", report.failures);
-        assert_eq!(report.total_passed(), 14);
+        assert_eq!(report.total_passed(), 16);
         for (i, &p) in report.passed.iter().enumerate() {
             assert!(p >= 2, "dimension {} starved", ALL_DIMENSIONS[i]);
         }

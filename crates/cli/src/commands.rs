@@ -32,8 +32,10 @@ usage:
   ripple-cli profile  <app> [--instructions N] [--input K] [--sync N] [--out FILE]
   ripple-cli inspect  <FILE> --app <app>
   ripple-cli simulate <app> [--policy P] [--prefetcher P] [--instructions N]
-                            [--trace FILE] [--lossy] [--max-drop-ratio R] [--metrics FILE]
-  ripple-cli compare  <app> [--prefetcher P] [--instructions N] [--threads N] [--metrics FILE] [--progress]
+                            [--trace FILE] [--lossy] [--max-drop-ratio R]
+                            [--replay-shards N] [--metrics FILE]
+  ripple-cli compare  <app> [--prefetcher P] [--instructions N] [--threads N]
+                            [--replay-shards N] [--metrics FILE] [--progress]
   ripple-cli optimize <app> [--threshold T] [--prefetcher P] [--underlying P] [--instructions N] [--threads N] [--metrics FILE] [--progress]
   ripple-cli sweep    <app> [--prefetcher P] [--instructions N] [--threads N] [--metrics FILE] [--progress]
   ripple-cli faults   [--cases N] [--seed S]
@@ -44,6 +46,9 @@ policies: {}
 prefetchers: none nlp fdip
 --threads 0 (or omitting the flag) auto-detects the machine's available
 parallelism; results are identical at any thread count
+--replay-shards N partitions the L1I sets across N threads during
+captured-stream replay (set-local policies only; others fall back to
+sequential replay); results are byte-identical at any shard count
 --metrics FILE dumps a ripple.run_report.v1 JSON document (phase timings,
 counters, per-job harness timings); --progress prints live k/n
 job-completion lines to stderr
@@ -136,6 +141,14 @@ fn parse_threads(args: &Args) -> Result<Option<usize>, ArgError> {
             .map(Some)
             .map_err(|_| ArgError(format!("--threads: cannot parse {v:?}"))),
     }
+}
+
+/// Parses `--replay-shards N` (default 1): how many threads partition
+/// the L1I sets during captured-stream replay. Results are byte-identical
+/// at any shard count; range validation happens in the sim config
+/// builder.
+fn parse_replay_shards(args: &Args) -> Result<usize, ArgError> {
+    args.parse_flag("replay-shards", 1usize)
 }
 
 /// Parses `--threshold T`, rejecting values outside the probability range
@@ -238,14 +251,19 @@ fn build_recorder(args: &Args) -> (Arc<dyn Recorder>, Option<Arc<MetricsRecorder
 }
 
 /// Dumps the run report to the `--metrics` path, if one was requested.
+/// `wall` is the clock started before the command's first timed work —
+/// the single root every phase's `share_pct` is computed against (phases
+/// nest, so shares against a phase-total sum would double-count).
 fn write_metrics(
     args: &Args,
     command: &str,
     app: &str,
     metrics: Option<Arc<MetricsRecorder>>,
+    wall: std::time::Instant,
 ) -> CmdResult {
     if let (Some(path), Some(m)) = (args.flag("metrics"), metrics) {
-        let report = run_report(command, app, &m.snapshot());
+        let wall_ns = u64::try_from(wall.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let report = run_report(command, app, &m.snapshot(), wall_ns);
         fs::write(path, report.to_pretty_string())?;
         println!("metrics written to {path}");
     }
@@ -476,6 +494,7 @@ fn simulate_cmd(args: &Args) -> CmdResult {
         "trace",
         "lossy",
         "max-drop-ratio",
+        "replay-shards",
         "metrics",
     ])?;
     let app_id = parse_app(args)?;
@@ -494,10 +513,12 @@ fn simulate_cmd(args: &Args) -> CmdResult {
         )));
     }
     let (recorder, metrics) = build_recorder(args);
+    let wall = std::time::Instant::now();
 
     let cfg = SimConfig::builder()
         .policy(policy)
         .prefetcher(prefetcher)
+        .replay_shards(parse_replay_shards(args)?)
         .build()
         .map_err(ripple::Error::from)?;
 
@@ -555,7 +576,7 @@ fn simulate_cmd(args: &Args) -> CmdResult {
             h.resync_events
         );
     }
-    write_metrics(args, "simulate", app_id.name(), metrics)?;
+    write_metrics(args, "simulate", app_id.name(), metrics, wall)?;
     Ok(())
 }
 
@@ -605,6 +626,7 @@ fn compare(args: &Args) -> CmdResult {
         "prefetcher",
         "instructions",
         "threads",
+        "replay-shards",
         "metrics",
         "progress",
     ])?;
@@ -612,7 +634,9 @@ fn compare(args: &Args) -> CmdResult {
     let budget = args.parse_flag("instructions", 400_000u64)?;
     let prefetcher = parse_prefetcher(args)?;
     let threads = effective_threads(parse_threads(args)?);
+    let replay_shards = parse_replay_shards(args)?;
     let (recorder, metrics) = build_recorder(args);
+    let wall = std::time::Instant::now();
     let (app, layout, trace) = load(app_id, InputConfig::training(app_id.spec().seed), budget)?;
     // One session: every registered policy replays the same recorded
     // request stream as parallel harness jobs (the offline ideals share
@@ -620,7 +644,11 @@ fn compare(args: &Args) -> CmdResult {
     // once from the trace; temperature-hinted policies (TRRIP) consume
     // them, the rest ignore them.
     let temperatures = profile_temperatures(&layout, &trace);
-    let mut base_cfg = SimConfig::default().with_prefetcher(prefetcher);
+    let mut base_cfg = SimConfig::builder()
+        .prefetcher(prefetcher)
+        .replay_shards(replay_shards)
+        .build()
+        .map_err(ripple::Error::from)?;
     base_cfg.temperatures = Some(Arc::new(temperatures));
     let session = SimSession::new(&app.program, &layout, &trace, base_cfg).with_recorder(recorder);
     let (policies, results) = policy_matrix_all(&session, threads)?;
@@ -639,7 +667,7 @@ fn compare(args: &Args) -> CmdResult {
             r.speedup_pct_over(lru)
         );
     }
-    write_metrics(args, "compare", app_id.name(), metrics)?;
+    write_metrics(args, "compare", app_id.name(), metrics, wall)?;
     Ok(())
 }
 
@@ -660,6 +688,7 @@ fn optimize(args: &Args) -> CmdResult {
     let underlying = parse_policy(args.flag("underlying").unwrap_or("lru"))?;
     let threads = parse_threads(args)?;
     let (recorder, metrics) = build_recorder(args);
+    let wall = std::time::Instant::now();
     let (app, layout, trace) = load(app_id, InputConfig::training(app_id.spec().seed), budget)?;
 
     let config = RippleConfig::builder()
@@ -710,7 +739,7 @@ fn optimize(args: &Args) -> CmdResult {
         o.static_overhead_pct, o.injected_static
     );
     println!("  dynamic overhead    {:.2}%", o.dynamic_overhead_pct);
-    write_metrics(args, "optimize", app_id.name(), metrics)?;
+    write_metrics(args, "optimize", app_id.name(), metrics, wall)?;
     Ok(())
 }
 
@@ -727,6 +756,7 @@ fn sweep_cmd(args: &Args) -> CmdResult {
     let prefetcher = parse_prefetcher(args)?;
     let threads = parse_threads(args)?;
     let (recorder, metrics) = build_recorder(args);
+    let wall = std::time::Instant::now();
     let (app, layout, trace) = load(app_id, InputConfig::training(app_id.spec().seed), budget)?;
     let config = RippleConfig::builder()
         .threads(threads)
@@ -755,7 +785,7 @@ fn sweep_cmd(args: &Args) -> CmdResult {
     if let Some(b) = best_threshold(&points) {
         println!("best: {:.2} ({:+.2}%)", b.threshold, b.speedup_pct);
     }
-    write_metrics(args, "sweep", app_id.name(), metrics)?;
+    write_metrics(args, "sweep", app_id.name(), metrics, wall)?;
     Ok(())
 }
 
@@ -930,7 +960,7 @@ mod tests {
                 ("run_ns", FieldValue::U64(995)),
             ],
         );
-        let report = run_report("compare", "tomcat", &m.snapshot());
+        let report = run_report("compare", "tomcat", &m.snapshot(), 10_000);
         let path = std::env::temp_dir().join("ripple_cli_validate_metrics_round_trip.json");
         fs::write(&path, report.to_pretty_string()).unwrap();
         let path = path.to_str().unwrap().to_string();

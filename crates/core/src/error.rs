@@ -11,7 +11,7 @@
 
 use ripple_json::JsonError;
 use ripple_program::ValidateProgramError;
-use ripple_sim::SimConfigError;
+use ripple_sim::{SimConfigError, StreamLimitError};
 use ripple_trace::{DecodePacketError, ReconstructError};
 
 /// Any failure a Ripple pipeline entry point can report.
@@ -29,6 +29,9 @@ pub enum Error {
     Job(JobError),
     /// A JSON document failed to parse or had the wrong shape.
     Json(JsonError),
+    /// A trace produced more cache requests than the simulator's columnar
+    /// capture can index (`u32` positions), detected at record time.
+    StreamLimit(StreamLimitError),
     /// An internal invariant broke (always a bug; the message says which).
     Internal(String),
 }
@@ -42,6 +45,7 @@ impl std::fmt::Display for Error {
             Error::Config(e) => write!(f, "invalid configuration: {e}"),
             Error::Job(e) => write!(f, "{e}"),
             Error::Json(e) => write!(f, "{e}"),
+            Error::StreamLimit(e) => write!(f, "trace too large to simulate: {e}"),
             Error::Internal(msg) => write!(f, "internal invariant violated: {msg}"),
         }
     }
@@ -56,6 +60,7 @@ impl std::error::Error for Error {
             Error::Config(e) => Some(e),
             Error::Job(_) | Error::Internal(_) => None,
             Error::Json(e) => Some(e),
+            Error::StreamLimit(e) => Some(e),
         }
     }
 }
@@ -99,6 +104,12 @@ impl From<JobError> for Error {
 impl From<JsonError> for Error {
     fn from(e: JsonError) -> Self {
         Error::Json(e)
+    }
+}
+
+impl From<StreamLimitError> for Error {
+    fn from(e: StreamLimitError) -> Self {
+        Error::StreamLimit(e)
     }
 }
 
@@ -198,6 +209,16 @@ mod tests {
         let e = Error::from(SimConfigError::NotFinite { field: "base_cpi" });
         let cfg = e.source().expect("config source");
         assert!(cfg.source().is_some(), "Sim wraps the sim error");
+    }
+
+    #[test]
+    fn stream_limit_wraps_the_sim_error() {
+        use std::error::Error as _;
+        let e = Error::from(StreamLimitError {
+            records: u64::from(u32::MAX),
+        });
+        assert!(e.to_string().contains("trace too large"));
+        assert!(e.source().is_some());
     }
 
     #[test]

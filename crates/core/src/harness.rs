@@ -574,6 +574,36 @@ mod tests {
     }
 
     #[test]
+    fn policy_matrix_is_shard_invariant() {
+        // `replay_shards` rides in on the session's SimConfig, so a whole
+        // policy matrix — threaded harness on top of sharded replay —
+        // must stay byte-identical to the single-shard single-thread run.
+        let app = generate(&AppSpec::tiny(13));
+        let layout = Layout::new(&app.program, &LayoutConfig::default());
+        let trace = execute(&app.program, &app.model, InputConfig::training(13), 20_000);
+        let mut cfg = SimConfig::default();
+        cfg.l1i = ripple_sim::CacheGeometry::new(2 * 1024, 4);
+        let policies = [
+            PolicyKind::LRU,
+            PolicyKind::OPT,
+            PolicyKind::DEMAND_MIN,
+            PolicyKind::DRRIP, // not set-local: must fall back unchanged
+        ];
+        let base_session = SimSession::new(&app.program, &layout, &trace, cfg.clone());
+        let baseline = policy_matrix(&base_session, &policies, 1).unwrap();
+        for shards in [2usize, 4] {
+            let sharded_cfg = cfg.clone().with_replay_shards(shards);
+            let session = SimSession::new(&app.program, &layout, &trace, sharded_cfg);
+            let sharded = policy_matrix(&session, &policies, 4).unwrap();
+            assert_eq!(
+                baseline, sharded,
+                "matrix must be shard-invariant ({shards})"
+            );
+            assert_eq!(session.recording_passes(), 1);
+        }
+    }
+
+    #[test]
     fn policy_matrix_shares_one_recording_pass() {
         let app = generate(&AppSpec::tiny(9));
         let layout = Layout::new(&app.program, &LayoutConfig::default());

@@ -77,7 +77,10 @@ pub use metrics::{
 };
 pub use pipeline::{Ripple, RippleConfig, RippleConfigBuilder, RippleOutcome};
 pub use profile::{collect_profile, Profile};
-pub use report::{run_report, validate_run_report, COMPARE_PHASES, PIPELINE_PHASES, REPORT_SCHEMA};
+pub use report::{
+    run_report, top_level_phases, validate_run_report, COMPARE_PHASES, COMPARE_TOP_PHASES,
+    PIPELINE_PHASES, PIPELINE_TOP_PHASES, REPORT_SCHEMA,
+};
 pub use threshold::{best_threshold, sweep, ThresholdPoint};
 
 // Re-export the substrate crates so downstream users need only `ripple`.

@@ -49,6 +49,44 @@ pub const PIPELINE_PHASES: &[&str] = &[
     "harness.job",
 ];
 
+/// The top-level (mutually disjoint) phases of a `compare` run. A
+/// `compare` does all its simulation inside one `policy_matrix` harness
+/// batch, so `harness.batch` alone partitions the run's timed work —
+/// `harness.job`, `session.*` and `frontend.*` all nest inside it (and
+/// `harness.job` aggregates *per-thread* run time, which can legitimately
+/// exceed wall clock under parallelism).
+pub const COMPARE_TOP_PHASES: &[&str] = &["harness.batch"];
+
+/// The top-level (mutually disjoint) phases of a pipeline run
+/// (`optimize` / `sweep`). Every other reported phase nests inside one of
+/// these: `eval.relink` / `eval.oracle_replay` / `eval.window_analysis` /
+/// `eval.patch` inside `eval.final_layout`; `harness.batch` ⊃
+/// `harness.job` ⊃ `session.run` ⊃ `frontend.*` inside `eval.sim_runs`
+/// (and `session.*` inside `train.oracle_replay` for the training pass).
+/// Summing *all* phase totals therefore double-counts; shares are
+/// computed against a single measured root wall time instead.
+pub const PIPELINE_TOP_PHASES: &[&str] = &[
+    "train.oracle_replay",
+    "train.cue_selection",
+    "train.window_index",
+    "eval.plan",
+    "eval.final_layout",
+    "eval.sim_runs",
+    "eval.accuracy",
+];
+
+/// The disjoint top-level phase set for a report's `command` — the
+/// phases whose `share_pct` values must sum to at most 100%. Commands
+/// without a known phase tree (e.g. `simulate`) get an empty set, which
+/// disables the share-sum gate without weakening the other checks.
+pub fn top_level_phases(command: &str) -> &'static [&'static str] {
+    match command {
+        "compare" => COMPARE_TOP_PHASES,
+        "optimize" | "sweep" => PIPELINE_TOP_PHASES,
+        _ => &[],
+    }
+}
+
 fn owned_to_json(v: &OwnedValue) -> Value {
     match v {
         OwnedValue::U64(x) => {
@@ -75,13 +113,27 @@ fn u64_json(x: u64) -> Value {
 
 /// Renders a metrics snapshot as a `ripple.run_report.v1` document.
 ///
-/// Layout: `schema` / `command` / `app` at the top, then `phases` (name →
-/// `{count, total_ns, max_ns}`), `counters` (name → value), `gauges`
-/// (name → value) and `jobs` — one entry per `harness.job` event, each
-/// carrying the batch `scope`, job index, `queue_wait_ns` and `run_ns`.
-/// Key order is deterministic: snapshots sort metric names, and events
-/// arrive in completion order.
-pub fn run_report(command: &str, app: &str, snapshot: &MetricsSnapshot) -> Value {
+/// Layout: `schema` / `command` / `app` / `wall_ns` at the top, then
+/// `phases` (name → `{count, total_ns, max_ns, share_pct}`), `counters`
+/// (name → value), `gauges` (name → value) and `jobs` — one entry per
+/// `harness.job` event, each carrying the batch `scope`, job index,
+/// `queue_wait_ns` and `run_ns`. Key order is deterministic: snapshots
+/// sort metric names, and events arrive in completion order.
+///
+/// `wall_ns` is the caller-measured wall time of the whole run — the
+/// single root every `share_pct` is computed against. Phases nest
+/// (`harness.batch` ⊃ `harness.job`, `eval.sim_runs` ⊃ `session.run`),
+/// so dividing by the *sum* of phase totals would double-count every
+/// nested level; dividing by the root wall keeps disjoint top-level
+/// shares summing to ≤ 100% (see [`top_level_phases`]).
+pub fn run_report(command: &str, app: &str, snapshot: &MetricsSnapshot, wall_ns: u64) -> Value {
+    let share_of_wall = |total_ns: u64| {
+        if wall_ns == 0 {
+            0.0
+        } else {
+            100.0 * total_ns as f64 / wall_ns as f64
+        }
+    };
     let phases = Value::Object(
         snapshot
             .phases
@@ -93,6 +145,7 @@ pub fn run_report(command: &str, app: &str, snapshot: &MetricsSnapshot) -> Value
                         ("count", u64_json(stat.count)),
                         ("total_ns", u64_json(stat.total_nanos)),
                         ("max_ns", u64_json(stat.max_nanos)),
+                        ("share_pct", Value::Float(share_of_wall(stat.total_nanos))),
                     ]),
                 )
             })
@@ -130,6 +183,7 @@ pub fn run_report(command: &str, app: &str, snapshot: &MetricsSnapshot) -> Value
         ("schema", Value::Str(REPORT_SCHEMA.to_string())),
         ("command", Value::Str(command.to_string())),
         ("app", Value::Str(app.to_string())),
+        ("wall_ns", u64_json(wall_ns)),
         ("phases", phases),
         ("counters", counters),
         ("gauges", gauges),
@@ -137,8 +191,10 @@ pub fn run_report(command: &str, app: &str, snapshot: &MetricsSnapshot) -> Value
     ])
 }
 
-/// Validates a parsed run report: schema tag, every `required_phase`
-/// present with a positive count and nonzero total wall time, and every
+/// Validates a parsed run report: schema tag, a positive root `wall_ns`,
+/// every `required_phase` present with a positive count, nonzero total
+/// wall time and a `share_pct`, disjoint top-level shares summing to at
+/// most 100% (the gate against nested-phase double counting), and every
 /// `jobs` entry carrying its per-job timings. Returns the first problem
 /// found.
 pub fn validate_run_report(report: &Value, required_phases: &[&str]) -> Result<(), String> {
@@ -148,6 +204,13 @@ pub fn validate_run_report(report: &Value, required_phases: &[&str]) -> Result<(
         .map_err(|e| format!("missing schema: {e}"))?;
     if schema != REPORT_SCHEMA {
         return Err(format!("schema {schema:?}, expected {REPORT_SCHEMA:?}"));
+    }
+    let wall_ns = report
+        .get("wall_ns")
+        .and_then(|v| v.as_u64())
+        .map_err(|e| format!("missing wall_ns: {e}"))?;
+    if wall_ns == 0 {
+        return Err("wall_ns is zero".to_string());
     }
     let phases = report.get("phases").map_err(|e| e.to_string())?;
     for &name in required_phases {
@@ -162,12 +225,45 @@ pub fn validate_run_report(report: &Value, required_phases: &[&str]) -> Result<(
             .get("total_ns")
             .and_then(|v| v.as_u64())
             .map_err(|e| format!("phase {name:?}: {e}"))?;
+        phase
+            .get("share_pct")
+            .and_then(|v| v.as_f64())
+            .map_err(|e| format!("phase {name:?}: {e}"))?;
         if count == 0 {
             return Err(format!("phase {name:?} has zero count"));
         }
         if total_ns == 0 {
             return Err(format!("phase {name:?} has zero wall time"));
         }
+    }
+    // The double-count gate: the top-level phases of the report's command
+    // are disjoint slices of one wall clock, so their shares can never
+    // legitimately sum past 100%. A sum beyond that means shares were
+    // computed against something smaller than the true root wall (the
+    // historical bug: dividing by the sum of *all* phase totals, which
+    // counts `harness.job` inside `harness.batch` and `session.run`
+    // inside `eval.sim_runs` twice). Absent top-level phases contribute
+    // nothing: the gate is one-sided by design.
+    let command = report
+        .get("command")
+        .ok()
+        .and_then(|v| v.as_str().ok())
+        .unwrap_or("");
+    let mut top_share_sum = 0.0f64;
+    for &name in top_level_phases(command) {
+        if let Ok(phase) = phases.get(name) {
+            let share = phase
+                .get("share_pct")
+                .and_then(|v| v.as_f64())
+                .map_err(|e| format!("phase {name:?}: {e}"))?;
+            top_share_sum += share;
+        }
+    }
+    if top_share_sum > 100.0 + 1e-6 {
+        return Err(format!(
+            "top-level phase shares sum to {top_share_sum:.1}% (> 100%): \
+             share_pct was not computed against a single root wall time"
+        ));
     }
     let jobs = report
         .get("jobs")
@@ -209,22 +305,81 @@ mod tests {
 
     #[test]
     fn report_round_trips_through_ripple_json_and_validates() {
-        let report = run_report("compare", "tomcat", &sample_snapshot());
+        let report = run_report("compare", "tomcat", &sample_snapshot(), 10_000);
         let text = report.to_pretty_string();
         let parsed = ripple_json::parse(&text).expect("report must parse");
         assert_eq!(parsed, report);
         validate_run_report(&parsed, COMPARE_PHASES).expect("sample must validate");
         assert_eq!(parsed.get("command").unwrap().as_str().unwrap(), "compare");
+        assert_eq!(parsed.get("wall_ns").unwrap().as_u64().unwrap(), 10_000);
         let jobs = parsed.get("jobs").unwrap().as_array().unwrap();
         assert_eq!(jobs.len(), 1);
         assert_eq!(jobs[0].get("queue_wait_ns").unwrap().as_u64().unwrap(), 12);
     }
 
     #[test]
+    fn shares_are_computed_against_the_root_wall_not_the_phase_sum() {
+        // Seven phases of 1,000 ns each against a 10,000 ns root wall:
+        // every share is 10%, even though the summed phase time (7,000 ns)
+        // would have inflated each slice to ~14.3% under the old
+        // sum-of-totals denominator.
+        let report = run_report("compare", "tomcat", &sample_snapshot(), 10_000);
+        let phases = report.get("phases").unwrap();
+        for name in COMPARE_PHASES {
+            let share = phases
+                .get(name)
+                .unwrap()
+                .get("share_pct")
+                .unwrap()
+                .as_f64()
+                .unwrap();
+            assert!((share - 10.0).abs() < 1e-9, "{name}: {share}");
+        }
+    }
+
+    #[test]
+    fn validation_rejects_top_level_shares_past_100_pct() {
+        // A wall shorter than the (single) top-level phase is exactly
+        // what a wrong denominator produces: harness.batch at 1,000 ns
+        // against a claimed 800 ns root wall is a 125% share.
+        let report = run_report("compare", "tomcat", &sample_snapshot(), 800);
+        let err = validate_run_report(&report, COMPARE_PHASES).unwrap_err();
+        assert!(err.contains("> 100%"), "{err}");
+
+        // Pipeline command: the seven disjoint train/eval slices at
+        // 1,000 ns each overflow a 5,000 ns wall (140% summed) even
+        // though each individual share is well under 100%.
+        let m = MetricsRecorder::new();
+        for name in PIPELINE_TOP_PHASES {
+            m.phase(name, 1_000);
+        }
+        let report = run_report("sweep", "tomcat", &m.snapshot(), 5_000);
+        let err = validate_run_report(&report, &[]).unwrap_err();
+        assert!(err.contains("> 100%"), "{err}");
+        // The same snapshot against an honest root wall passes.
+        let report = run_report("sweep", "tomcat", &m.snapshot(), 7_000);
+        validate_run_report(&report, &[]).expect("honest wall must validate");
+    }
+
+    #[test]
+    fn validation_rejects_missing_and_zero_wall() {
+        let report = run_report("compare", "tomcat", &sample_snapshot(), 0);
+        let err = validate_run_report(&report, COMPARE_PHASES).unwrap_err();
+        assert!(err.contains("wall_ns is zero"), "{err}");
+
+        let mut report = run_report("compare", "tomcat", &sample_snapshot(), 10_000);
+        if let Value::Object(members) = &mut report {
+            members.retain(|(k, _)| k != "wall_ns");
+        }
+        let err = validate_run_report(&report, COMPARE_PHASES).unwrap_err();
+        assert!(err.contains("wall_ns"), "{err}");
+    }
+
+    #[test]
     fn validation_rejects_missing_and_zero_phases() {
         let mut snapshot = sample_snapshot();
         snapshot.phases.retain(|(name, _)| name != "session.record");
-        let report = run_report("compare", "tomcat", &snapshot);
+        let report = run_report("compare", "tomcat", &snapshot, 10_000);
         let err = validate_run_report(&report, COMPARE_PHASES).unwrap_err();
         assert!(err.contains("session.record"), "{err}");
 
@@ -232,7 +387,7 @@ mod tests {
         for name in COMPARE_PHASES {
             m.phase(name, 0);
         }
-        let report = run_report("compare", "tomcat", &m.snapshot());
+        let report = run_report("compare", "tomcat", &m.snapshot(), 10_000);
         let err = validate_run_report(&report, COMPARE_PHASES).unwrap_err();
         assert!(err.contains("zero wall time"), "{err}");
     }
@@ -244,13 +399,27 @@ mod tests {
     }
 
     #[test]
+    fn top_level_sets_are_subsets_of_the_required_sets() {
+        for name in COMPARE_TOP_PHASES {
+            assert!(COMPARE_PHASES.contains(name), "{name}");
+        }
+        for name in PIPELINE_TOP_PHASES {
+            assert!(PIPELINE_PHASES.contains(name), "{name}");
+        }
+        assert_eq!(top_level_phases("compare"), COMPARE_TOP_PHASES);
+        assert_eq!(top_level_phases("optimize"), PIPELINE_TOP_PHASES);
+        assert_eq!(top_level_phases("sweep"), PIPELINE_TOP_PHASES);
+        assert!(top_level_phases("simulate").is_empty());
+    }
+
+    #[test]
     fn job_entries_must_carry_timings() {
         let m = MetricsRecorder::new();
         for name in COMPARE_PHASES {
             m.phase(name, 5);
         }
         m.event("harness.job", &[("scope", FieldValue::Str("x"))]);
-        let report = run_report("compare", "t", &m.snapshot());
+        let report = run_report("compare", "t", &m.snapshot(), 10_000);
         let err = validate_run_report(&report, COMPARE_PHASES).unwrap_err();
         assert!(err.contains("job"), "{err}");
     }

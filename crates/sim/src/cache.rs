@@ -27,23 +27,9 @@ impl AccessOutcome {
     }
 }
 
-/// A tag way: a dense [`LineId`] with [`LineId::INVALID`] as the empty
-/// sentinel, so tag matching is a plain `u32` compare instead of an
-/// `Option<LineAddr>` scan.
-#[derive(Debug, Clone, Copy)]
-struct Way {
-    line: LineId,
-    prefetched: bool,
-}
-
-impl Default for Way {
-    fn default() -> Self {
-        Way {
-            line: LineId::INVALID,
-            prefetched: false,
-        }
-    }
-}
+/// Raw-tag sentinel for an empty way: [`LineId::INVALID`]'s repr, kept as
+/// a bare `u32` so the hot scans compare machine words directly.
+const EMPTY_TAG: u32 = u32::MAX;
 
 /// A set-associative cache of 64-byte lines, parameterized by a
 /// [`ReplacementPolicy`].
@@ -56,6 +42,12 @@ impl Default for Way {
 /// underlying addresses: the cache carries the interner's `line_base` so
 /// `set_of(id)` equals `CacheGeometry::set_of` of the original
 /// [`LineAddr`](ripple_program::LineAddr).
+///
+/// Tag state is stored structure-of-arrays: `tags` is a dense `u32` array
+/// (sets × assoc, row-major, [`EMPTY_TAG`] = empty way) so the per-access
+/// tag match is a contiguous word scan the compiler can vectorize, and the
+/// rarely-read prefetch bits live in a separate parallel array instead of
+/// padding every tag to eight bytes.
 #[derive(Debug)]
 pub struct Cache<P: ?Sized + ReplacementPolicy> {
     geom: CacheGeometry,
@@ -70,7 +62,10 @@ pub struct Cache<P: ?Sized + ReplacementPolicy> {
     /// Raw line index of `LineId(0)` in the interner that produced the ids
     /// this cache is accessed with (0 for identity interning).
     line_base: u64,
-    ways: Vec<Way>, // sets × assoc, row-major
+    /// Raw tags, sets × assoc row-major; [`EMPTY_TAG`] marks an empty way.
+    tags: Vec<u32>,
+    /// Whether each way's last fill was a prefetch (parallel to `tags`).
+    prefetched: Vec<bool>,
     policy: Box<P>,
     /// Scratch buffer for victim calls, reused across misses.
     views: Vec<WayView>,
@@ -83,7 +78,8 @@ impl<P: ReplacementPolicy + Clone> Clone for Cache<P> {
             num_sets: self.num_sets,
             set_mask: self.set_mask,
             line_base: self.line_base,
-            ways: self.ways.clone(),
+            tags: self.tags.clone(),
+            prefetched: self.prefetched.clone(),
             policy: self.policy.clone(),
             views: Vec::with_capacity(usize::from(self.geom.assoc)),
         }
@@ -101,7 +97,7 @@ impl<P: ?Sized + ReplacementPolicy> Cache<P> {
     /// [`line_base`](crate::LineTable::line_base) is `line_base`.
     pub fn with_line_base(geom: CacheGeometry, policy: Box<P>, line_base: u64) -> Self {
         let num_sets = geom.num_sets();
-        let ways = vec![Way::default(); (num_sets * u64::from(geom.assoc)) as usize];
+        let total = (num_sets * u64::from(geom.assoc)) as usize;
         let set_mask = if num_sets.is_power_of_two() {
             num_sets - 1
         } else {
@@ -112,7 +108,8 @@ impl<P: ?Sized + ReplacementPolicy> Cache<P> {
             num_sets,
             set_mask,
             line_base,
-            ways,
+            tags: vec![EMPTY_TAG; total],
+            prefetched: vec![false; total],
             policy,
             views: Vec::with_capacity(usize::from(geom.assoc)),
         }
@@ -157,17 +154,13 @@ impl<P: ?Sized + ReplacementPolicy> Cache<P> {
     /// Whether `line` is currently cached.
     pub fn contains(&self, line: LineId) -> bool {
         let set = self.set_of(line);
-        self.ways[self.set_range(set)]
-            .iter()
-            .any(|w| w.line == line)
+        let tag = line.get();
+        self.tags[self.set_range(set)].contains(&tag)
     }
 
     /// Number of valid lines currently cached.
     pub fn occupancy(&self) -> usize {
-        self.ways
-            .iter()
-            .filter(|w| w.line != LineId::INVALID)
-            .count()
+        self.tags.iter().filter(|&&t| t != EMPTY_TAG).count()
     }
 
     /// Oracle-visible tag state: every valid way as
@@ -179,11 +172,18 @@ impl<P: ?Sized + ReplacementPolicy> Cache<P> {
     /// reproduce decisions, not peek at them.
     pub fn resident_lines(&self) -> Vec<(u32, usize, LineId, bool)> {
         let assoc = usize::from(self.geom.assoc);
-        self.ways
+        self.tags
             .iter()
             .enumerate()
-            .filter(|(_, w)| w.line != LineId::INVALID)
-            .map(|(i, w)| ((i / assoc) as u32, i % assoc, w.line, w.prefetched))
+            .filter(|(_, &t)| t != EMPTY_TAG)
+            .map(|(i, &t)| {
+                (
+                    (i / assoc) as u32,
+                    i % assoc,
+                    LineId::new(t),
+                    self.prefetched[i],
+                )
+            })
             .collect()
     }
 
@@ -204,37 +204,39 @@ impl<P: ?Sized + ReplacementPolicy> Cache<P> {
             seq,
         };
         let range = self.set_range(set);
+        let tag = line.get();
 
-        // Hit?
-        if let Some(off) = self.ways[range.clone()].iter().position(|w| w.line == line) {
-            let way = &mut self.ways[range.start + off];
+        // Hit? A contiguous word scan over the set's tags.
+        if let Some(off) = self.tags[range.clone()].iter().position(|&t| t == tag) {
             if !is_prefetch {
-                way.prefetched = false;
+                self.prefetched[range.start + off] = false;
             }
             self.policy.on_hit(&info, off);
             return AccessOutcome::Hit;
         }
 
         // Fill an invalid way if one exists.
-        if let Some(off) = self.ways[range.clone()]
+        if let Some(off) = self.tags[range.clone()]
             .iter()
-            .position(|w| w.line == LineId::INVALID)
+            .position(|&t| t == EMPTY_TAG)
         {
-            self.ways[range.start + off] = Way {
-                line,
-                prefetched: is_prefetch,
-            };
+            self.tags[range.start + off] = tag;
+            self.prefetched[range.start + off] = is_prefetch;
             self.policy.on_fill(&info, off);
             return AccessOutcome::Miss { evicted: None };
         }
 
         // Ask the policy for a victim.
         self.views.clear();
-        self.views
-            .extend(self.ways[range.clone()].iter().map(|w| WayView {
-                line: w.line,
-                prefetched: w.prefetched,
-            }));
+        self.views.extend(
+            self.tags[range.clone()]
+                .iter()
+                .zip(&self.prefetched[range.clone()])
+                .map(|(&t, &p)| WayView {
+                    line: LineId::new(t),
+                    prefetched: p,
+                }),
+        );
         let off = self.policy.victim(&info, &self.views);
         assert!(
             off < self.views.len(),
@@ -242,13 +244,11 @@ impl<P: ?Sized + ReplacementPolicy> Cache<P> {
             self.policy.name(),
             self.views.len()
         );
-        let evicted = self.ways[range.start + off].line;
+        let evicted = LineId::new(self.tags[range.start + off]);
         debug_assert!(evicted != LineId::INVALID, "set was full");
         self.policy.on_evict(set, off, evicted);
-        self.ways[range.start + off] = Way {
-            line,
-            prefetched: is_prefetch,
-        };
+        self.tags[range.start + off] = tag;
+        self.prefetched[range.start + off] = is_prefetch;
         self.policy.on_fill(&info, off);
         AccessOutcome::Miss {
             evicted: Some(evicted),
@@ -259,8 +259,10 @@ impl<P: ?Sized + ReplacementPolicy> Cache<P> {
     pub fn invalidate(&mut self, line: LineId) -> bool {
         let set = self.set_of(line);
         let range = self.set_range(set);
-        if let Some(off) = self.ways[range.clone()].iter().position(|w| w.line == line) {
-            self.ways[range.start + off] = Way::default();
+        let tag = line.get();
+        if let Some(off) = self.tags[range.clone()].iter().position(|&t| t == tag) {
+            self.tags[range.start + off] = EMPTY_TAG;
+            self.prefetched[range.start + off] = false;
             self.policy.on_invalidate(set, off);
             true
         } else {
@@ -273,7 +275,8 @@ impl<P: ?Sized + ReplacementPolicy> Cache<P> {
     pub fn demote(&mut self, line: LineId) -> bool {
         let set = self.set_of(line);
         let range = self.set_range(set);
-        if let Some(off) = self.ways[range].iter().position(|w| w.line == line) {
+        let tag = line.get();
+        if let Some(off) = self.tags[range].iter().position(|&t| t == tag) {
             self.policy.on_demote(set, off);
             true
         } else {

@@ -21,6 +21,7 @@ use ripple_obs::{time_phase, FieldValue, NullRecorder, PhaseTimer, Recorder};
 use ripple_program::{Layout, Program};
 use ripple_trace::{BbTrace, TraceHealth};
 
+use crate::batch::BucketedStream;
 use crate::config::{LinePath, PolicyKind, SimConfig};
 use crate::frontend::Frontend;
 use crate::intern::{FetchPlan, LineTable, PlanCache};
@@ -29,7 +30,7 @@ use crate::policy::{
     ReplacementPolicy, StreamRecord,
 };
 use crate::reference::ReferenceFrontend;
-use crate::replay::{CaptureFrontend, ColumnarStream, ReplayFrontend};
+use crate::replay::{CaptureFrontend, ColumnarStream, ReplayFrontend, StreamLimitError};
 use crate::sink::{EvictionSink, NullSink};
 use crate::stats::SimStats;
 
@@ -94,7 +95,12 @@ pub struct SimSession<'a> {
     table: LineTable,
     /// Precomputed block → interned-lines fetch plan over `table`.
     plan: FetchPlan,
-    recorded: OnceLock<RecordedStream>,
+    recorded: OnceLock<Result<RecordedStream, StreamLimitError>>,
+    /// The recorded stream bucketed by L1I set for set-major (and sharded)
+    /// replay, built lazily on the first eligible replay; `None` when the
+    /// session's shape rules batching out (see
+    /// [`crate::batch::bucket_stream`]).
+    bucketed: OnceLock<Option<BucketedStream>>,
     /// The steady-state L3 pre-warm every columnar replay starts from,
     /// built lazily on the first replay and cloned into each run.
     l3_seed: OnceLock<crate::cache::Cache<LruPolicy>>,
@@ -148,6 +154,7 @@ impl<'a> SimSession<'a> {
             table,
             plan,
             recorded: OnceLock::new(),
+            bucketed: OnceLock::new(),
             l3_seed: OnceLock::new(),
             recording_passes: AtomicU32::new(0),
             recorder: Arc::new(NullRecorder),
@@ -214,21 +221,75 @@ impl<'a> SimSession<'a> {
     }
 
     /// Simulates under `policy`, discarding evictions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace produces more cache requests than the columnar
+    /// capture can index (≥ `u32::MAX` records); use
+    /// [`SimSession::try_run`] to handle that as a typed error.
     pub fn run(&self, policy: PolicyKind) -> SimStats {
         self.run_with_sink(policy, &mut NullSink)
     }
 
     /// Simulates under `policy`, streaming every L1I eviction into `sink`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace produces more cache requests than the columnar
+    /// capture can index (≥ `u32::MAX` records); use
+    /// [`SimSession::try_run_with_sink`] to handle that as a typed error.
     pub fn run_with_sink(&self, policy: PolicyKind, sink: &mut dyn EvictionSink) -> SimStats {
+        // The panic is the documented contract; the try_* entry points
+        // exist for callers that want the typed error instead.
+        #[allow(clippy::expect_used)]
+        self.try_run_with_sink(policy, sink)
+            .expect("request stream exceeds the columnar capture's u32 capacity")
+    }
+
+    /// [`SimSession::run`], returning a typed [`StreamLimitError`] instead
+    /// of panicking when the trace produces more cache requests than the
+    /// columnar capture can index.
+    pub fn try_run(&self, policy: PolicyKind) -> Result<SimStats, StreamLimitError> {
+        self.try_run_with_sink(policy, &mut NullSink)
+    }
+
+    /// [`SimSession::run_with_sink`], returning a typed
+    /// [`StreamLimitError`] instead of panicking when the trace produces
+    /// more cache requests than the columnar capture can index.
+    pub fn try_run_with_sink(
+        &self,
+        policy: PolicyKind,
+        sink: &mut dyn EvictionSink,
+    ) -> Result<SimStats, StreamLimitError> {
         let timer = PhaseTimer::start(&*self.recorder);
         let cfg = self.config.clone().with_policy(policy);
         let mut stats = if policy.is_offline_ideal() {
-            match self.recorded() {
+            match self.recorded()? {
                 RecordedStream::Columnar { stream, future } => {
-                    // Monomorphized replays for the two known oracles: the
-                    // policy callbacks inline into the replay hot loop
-                    // instead of virtual-dispatching per request.
-                    if policy == PolicyKind::OPT {
+                    let batched = if policy.replay_set_local() {
+                        self.bucketed(stream, future)
+                    } else {
+                        None
+                    };
+                    if let Some(b) = batched {
+                        // Set-major (and, when configured, sharded) replay;
+                        // monomorphized factories for the two known oracles
+                        // so the policy callbacks inline into the hot loop.
+                        let geom = cfg.l1i;
+                        let fut = b.future.clone();
+                        if policy == PolicyKind::OPT {
+                            let make = move || Box::new(OptPolicy::new(geom, fut.clone()));
+                            self.run_batched(&cfg, stream, b, &make, sink)
+                        } else if policy == PolicyKind::DEMAND_MIN {
+                            let make = move || Box::new(DemandMinPolicy::new(geom, fut.clone()));
+                            self.run_batched(&cfg, stream, b, &make, sink)
+                        } else {
+                            let make = move || build_ideal_policy(policy, geom, fut.clone());
+                            self.run_batched(&cfg, stream, b, &make, sink)
+                        }
+                    } else if policy == PolicyKind::OPT {
+                        // Sequential replay fallback, monomorphized as
+                        // above.
                         let oracle = Box::new(OptPolicy::new(cfg.l1i, future.clone()));
                         self.run_replay(&cfg, oracle, stream, sink)
                     } else if policy == PolicyKind::DEMAND_MIN {
@@ -244,14 +305,46 @@ impl<'a> SimSession<'a> {
                     self.run_frontend(&cfg, oracle, false, Some(stream), sink).0
                 }
             }
-        } else if let Some(RecordedStream::Columnar { stream, .. }) = self.recorded.get() {
-            // An online policy with a capture already in hand: replaying
-            // the packed stream is byte-identical to a fresh frontend pass
-            // and skips the fetch plan, predictor and filter entirely.
-            self.run_replay(&cfg, build_policy(&cfg), stream, sink)
         } else {
-            let policy = build_policy(&cfg);
-            self.run_frontend(&cfg, policy, false, None, sink).0
+            // Online policy. Replay the capture when one is already in
+            // hand (byte-identical to a fresh frontend pass, minus the
+            // fetch plan, predictor and filter); additionally *force* a
+            // capture when sharded replay was requested and the policy
+            // permits it, since sharding only exists on the replay path.
+            let capture_ready = matches!(
+                self.recorded.get(),
+                Some(Ok(RecordedStream::Columnar { .. }))
+            );
+            let want_batched = cfg.replay_shards > 1
+                && cfg.line_path == LinePath::Interned
+                && policy.replay_set_local();
+            if capture_ready || want_batched {
+                match self.recorded() {
+                    Ok(RecordedStream::Columnar { stream, future }) => {
+                        let batched = if policy.replay_set_local() {
+                            self.bucketed(stream, future)
+                        } else {
+                            None
+                        };
+                        if let Some(b) = batched {
+                            let make = || build_policy(&cfg);
+                            self.run_batched(&cfg, stream, b, &make, sink)
+                        } else {
+                            self.run_replay(&cfg, build_policy(&cfg), stream, sink)
+                        }
+                    }
+                    // Reference recordings don't replay online policies;
+                    // a failed capture falls back to the single-pass
+                    // frontend, which has no u32 position limit.
+                    Ok(RecordedStream::Reference { .. }) | Err(_) => {
+                        self.run_frontend(&cfg, build_policy(&cfg), false, None, sink)
+                            .0
+                    }
+                }
+            } else {
+                let policy = build_policy(&cfg);
+                self.run_frontend(&cfg, policy, false, None, sink).0
+            }
         };
         if let Some(health) = self.trace_health {
             stats.dropped_packets = health.dropped_packets;
@@ -274,7 +367,7 @@ impl<'a> SimSession<'a> {
             );
             timer.finish(&*self.recorder, "session.run");
         }
-        stats
+        Ok(stats)
     }
 
     /// Runs one frontend pass, dispatching on the configured
@@ -332,61 +425,133 @@ impl<'a> SimSession<'a> {
     /// now; it otherwise happens lazily on the first offline-ideal
     /// replay. Lets callers pay the pass up front — before spawning
     /// replay threads, or to time recording and replay separately.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace produces more cache requests than the columnar
+    /// capture can index; use [`SimSession::try_ensure_recorded`] to
+    /// handle that as a typed error.
     pub fn ensure_recorded(&self) {
-        let _ = self.recorded();
+        // The panic is the documented contract; try_ensure_recorded is the
+        // fallible variant.
+        #[allow(clippy::expect_used)]
+        self.try_ensure_recorded()
+            .expect("request stream exceeds the columnar capture's u32 capacity")
     }
 
-    fn recorded(&self) -> &RecordedStream {
-        self.recorded.get_or_init(|| {
-            self.recording_passes.fetch_add(1, Ordering::AcqRel);
-            self.recorder.add("session.recording_passes", 1);
-            match self.config.line_path {
-                LinePath::Interned => {
-                    // The request stream never reads cache contents, so
-                    // the capture pass runs no cache model at all: one
-                    // walk through the predictor and prefetch filter,
-                    // bit-packed as it goes.
-                    let stream = time_phase(&*self.recorder, "session.record", || {
-                        CaptureFrontend::new(
-                            self.program,
-                            self.layout,
-                            &self.config,
-                            &self.table,
-                            &self.plan,
-                            &*self.recorder,
-                        )
-                        .run(self.trace.iter())
-                    });
-                    let future = time_phase(&*self.recorder, "session.future_index", || {
-                        FutureIndex::build_packed(&stream.packed, self.table.len())
-                    });
-                    RecordedStream::Columnar { stream, future }
+    /// [`SimSession::ensure_recorded`], returning a typed
+    /// [`StreamLimitError`] instead of panicking when the trace produces
+    /// more cache requests than the capture's `u32` positions can index.
+    pub fn try_ensure_recorded(&self) -> Result<(), StreamLimitError> {
+        self.recorded().map(|_| ())
+    }
+
+    fn recorded(&self) -> Result<&RecordedStream, StreamLimitError> {
+        self.recorded
+            .get_or_init(|| {
+                self.recording_passes.fetch_add(1, Ordering::AcqRel);
+                self.recorder.add("session.recording_passes", 1);
+                match self.config.line_path {
+                    LinePath::Interned => {
+                        // The request stream never reads cache contents, so
+                        // the capture pass runs no cache model at all: one
+                        // walk through the predictor and prefetch filter,
+                        // bit-packed as it goes. A trace beyond the u32
+                        // record capacity surfaces here, at record time,
+                        // and the error is cached like a successful pass.
+                        let stream = time_phase(&*self.recorder, "session.record", || {
+                            CaptureFrontend::new(
+                                self.program,
+                                self.layout,
+                                &self.config,
+                                &self.table,
+                                &self.plan,
+                                &*self.recorder,
+                            )
+                            .run(self.trace.iter())
+                        })?;
+                        let future = time_phase(&*self.recorder, "session.future_index", || {
+                            FutureIndex::build_packed(&stream.packed, self.table.len())
+                        });
+                        Ok(RecordedStream::Columnar { stream, future })
+                    }
+                    LinePath::Reference => {
+                        // The recording policy is irrelevant to the captured
+                        // stream; LRU is the cheapest throwaway.
+                        let cfg = self.config.clone().with_policy(PolicyKind::LRU);
+                        let mut sink = NullSink;
+                        let (_, stream) = time_phase(&*self.recorder, "session.record", || {
+                            self.run_frontend(
+                                &cfg,
+                                Box::new(LruPolicy::new(cfg.l1i)),
+                                true,
+                                None,
+                                &mut sink,
+                            )
+                        });
+                        // `run_frontend` with `record = true` always returns a
+                        // stream.
+                        #[allow(clippy::expect_used)]
+                        let stream = stream.expect("recording pass returns a stream");
+                        let future = time_phase(&*self.recorder, "session.future_index", || {
+                            FutureIndex::build(&stream)
+                        });
+                        Ok(RecordedStream::Reference { stream, future })
+                    }
                 }
-                LinePath::Reference => {
-                    // The recording policy is irrelevant to the captured
-                    // stream; LRU is the cheapest throwaway.
-                    let cfg = self.config.clone().with_policy(PolicyKind::LRU);
-                    let mut sink = NullSink;
-                    let (_, stream) = time_phase(&*self.recorder, "session.record", || {
-                        self.run_frontend(
-                            &cfg,
-                            Box::new(LruPolicy::new(cfg.l1i)),
-                            true,
-                            None,
-                            &mut sink,
-                        )
-                    });
-                    // `run_frontend` with `record = true` always returns a
-                    // stream.
-                    #[allow(clippy::expect_used)]
-                    let stream = stream.expect("recording pass returns a stream");
-                    let future = time_phase(&*self.recorder, "session.future_index", || {
-                        FutureIndex::build(&stream)
-                    });
-                    RecordedStream::Reference { stream, future }
-                }
-            }
-        })
+            })
+            .as_ref()
+            .map_err(|&e| e)
+    }
+
+    /// The recorded stream bucketed by L1I set, built once per session;
+    /// `None` when the session's shape rules set-batched replay out.
+    fn bucketed(
+        &self,
+        stream: &ColumnarStream,
+        future: &std::sync::Arc<FutureIndex>,
+    ) -> Option<&BucketedStream> {
+        self.bucketed
+            .get_or_init(|| {
+                time_phase(&*self.recorder, "session.bucket", || {
+                    crate::batch::bucket_stream(
+                        self.trace,
+                        stream,
+                        &self.config,
+                        &self.table,
+                        future,
+                    )
+                })
+            })
+            .as_ref()
+    }
+
+    /// Replays the bucketed stream set-major under fresh policies from
+    /// `make_policy`, sharded per `cfg.replay_shards`; byte-identical to
+    /// [`SimSession::run_replay`] (the `ripple-check` shards dimension
+    /// asserts this).
+    fn run_batched<P: ?Sized + ReplacementPolicy>(
+        &self,
+        cfg: &SimConfig,
+        stream: &ColumnarStream,
+        bucketed: &BucketedStream,
+        make_policy: &(dyn Fn() -> Box<P> + Sync),
+        sink: &mut dyn EvictionSink,
+    ) -> SimStats {
+        let l3_seed = self.l3_seed.get_or_init(|| {
+            crate::replay::prewarm_l3(self.program, &self.table, &self.plan, &self.config)
+        });
+        crate::batch::run_batched(
+            self.layout,
+            cfg,
+            &self.table,
+            bucketed,
+            stream,
+            l3_seed,
+            make_policy,
+            sink,
+            &*self.recorder,
+        )
     }
 
     /// Replays the captured columnar stream under `l1i_policy`.
@@ -404,6 +569,10 @@ impl<'a> SimSession<'a> {
         let l3_seed = self.l3_seed.get_or_init(|| {
             crate::replay::prewarm_l3(self.program, &self.table, &self.plan, &self.config)
         });
+        if self.recorder.enabled() {
+            // The sequential replay clones the shared L3 seed exactly once.
+            self.recorder.add("session.l3_seed_clones", 1);
+        }
         ReplayFrontend::new(
             self.layout,
             cfg,
@@ -706,6 +875,150 @@ mod tests {
             },
             plain
         );
+    }
+
+    /// A scripted-invalidation plan over real interned lines, exercising
+    /// the inval-op bucketing path.
+    fn small_script(layout: &Layout, trace: &BbTrace) -> Vec<(u64, ripple_program::LineAddr)> {
+        let table = crate::intern::LineTable::build(layout);
+        let mut script: Vec<(u64, ripple_program::LineAddr)> = (0..200u64)
+            .map(|i| {
+                let pos = (i * 37) % trace.len() as u64;
+                let id = crate::LineId::new((i % u64::from(table.len())) as u32);
+                (pos, table.line(id))
+            })
+            .collect();
+        script.sort_by_key(|&(pos, _)| pos);
+        script
+    }
+
+    #[test]
+    fn batched_replay_is_byte_identical_to_fresh_frontend() {
+        // An online set-local policy runs the single-pass frontend when no
+        // capture exists, and the set-batched replay once one does. Both
+        // must produce identical stats and identical eviction streams.
+        let (p, l, t) = small_setup();
+        for pf in [PrefetcherKind::NextLine, PrefetcherKind::Fdip] {
+            let mut cfg = small_cfg().with_prefetcher(pf);
+            cfg.scripted_invalidations = Some(Arc::new(small_script(&l, &t)));
+            for kind in [PolicyKind::LRU, PolicyKind::TREE_PLRU, PolicyKind::SRRIP] {
+                let mut frontend_sink = VecSink::new();
+                let frontend = SimSession::new(&p, &l, &t, cfg.clone())
+                    .run_with_sink(kind, &mut frontend_sink);
+                let session = SimSession::new(&p, &l, &t, cfg.clone());
+                session.ensure_recorded();
+                let mut batched_sink = VecSink::new();
+                let batched = session.run_with_sink(kind, &mut batched_sink);
+                assert_eq!(frontend, batched, "{} under {}", kind.name(), pf.name());
+                assert_eq!(
+                    frontend_sink.into_events(),
+                    batched_sink.into_events(),
+                    "{} under {}: eviction streams diverge",
+                    kind.name(),
+                    pf.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_replay_is_byte_identical_across_shard_counts() {
+        let (p, l, t) = small_setup();
+        let script = small_script(&l, &t);
+        // small_cfg's L1I has 8 sets; 7 shards exercises a ragged
+        // round-robin partition.
+        for kind in [
+            PolicyKind::LRU,
+            PolicyKind::SRRIP,
+            PolicyKind::OPT,
+            PolicyKind::DEMAND_MIN,
+        ] {
+            let run = |shards: usize| {
+                let mut cfg = small_cfg().with_prefetcher(PrefetcherKind::Fdip);
+                cfg.replay_shards = shards;
+                cfg.scripted_invalidations = Some(Arc::new(script.clone()));
+                let session = SimSession::new(&p, &l, &t, cfg);
+                session.ensure_recorded();
+                let mut sink = VecSink::new();
+                let stats = session.run_with_sink(kind, &mut sink);
+                (stats, sink.into_events())
+            };
+            let single = run(1);
+            for shards in [2, 4, 7] {
+                assert_eq!(
+                    run(shards),
+                    single,
+                    "{} diverges at {} shards",
+                    kind.name(),
+                    shards
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn non_set_local_policies_fall_back_to_sequential_replay() {
+        // DRRIP's global PSEL duel rules set-major order out; with a
+        // capture in hand (and even with shards configured) it must still
+        // match the fresh frontend pass — via the sequential replay.
+        let (p, l, t) = small_setup();
+        let mut cfg = small_cfg().with_prefetcher(PrefetcherKind::NextLine);
+        cfg.replay_shards = 4;
+        for kind in [PolicyKind::DRRIP, PolicyKind::RANDOM] {
+            let frontend = SimSession::new(
+                &p,
+                &l,
+                &t,
+                SimConfig {
+                    replay_shards: 1,
+                    ..cfg.clone()
+                },
+            )
+            .run(kind);
+            let session = SimSession::new(&p, &l, &t, cfg.clone());
+            session.ensure_recorded();
+            assert_eq!(session.run(kind), frontend, "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn l3_seed_cloned_once_per_shard() {
+        let (p, l, t) = small_setup();
+        let metrics = Arc::new(ripple_obs::MetricsRecorder::new());
+        let mut cfg = small_cfg();
+        cfg.replay_shards = 3;
+        let session = SimSession::new(&p, &l, &t, cfg).with_recorder(metrics.clone());
+        session.run(PolicyKind::OPT);
+        assert_eq!(
+            metrics.snapshot().counter("session.l3_seed_clones"),
+            Some(3),
+            "batched replay must clone the L3 seed once per shard"
+        );
+        session.run(PolicyKind::DEMAND_MIN);
+        assert_eq!(
+            metrics.snapshot().counter("session.l3_seed_clones"),
+            Some(6)
+        );
+        // The sequential replay fallback (non-set-local policy) clones
+        // exactly once per run.
+        session.run(PolicyKind::DRRIP);
+        assert_eq!(
+            metrics.snapshot().counter("session.l3_seed_clones"),
+            Some(7)
+        );
+    }
+
+    #[test]
+    fn try_run_succeeds_within_stream_capacity() {
+        let (p, l, t) = small_setup();
+        let session = SimSession::new(&p, &l, &t, small_cfg());
+        assert!(session.try_ensure_recorded().is_ok());
+        let stats = session.try_run(PolicyKind::OPT).unwrap();
+        assert_eq!(stats, session.run(PolicyKind::OPT));
+        let mut sink = VecSink::new();
+        assert!(session
+            .try_run_with_sink(PolicyKind::LRU, &mut sink)
+            .is_ok());
     }
 
     #[test]

@@ -29,6 +29,7 @@
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 #![warn(missing_debug_implementations)]
 
+mod batch;
 mod bpred;
 mod cache;
 mod config;
@@ -60,5 +61,6 @@ pub use policy::{
     SrripPolicy, StreamRecord, Temperature, TemperatureMap, TreePlruPolicy, TrripPolicy, WayView,
     NEVER,
 };
+pub use replay::{StreamLimitError, MAX_STREAM_RECORDS};
 pub use sink::{EvictionSink, FnSink, NullSink, VecSink};
 pub use stats::{EvictionEvent, SimStats};

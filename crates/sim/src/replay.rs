@@ -37,6 +37,53 @@ pub(crate) const PREFETCH_BIT: u32 = 1 << 31;
 /// Low 31 bits of a packed record: the raw [`LineId`].
 pub(crate) const LINE_MASK: u32 = PREFETCH_BIT - 1;
 
+/// Maximum number of records a capture may hold: positions are stored as
+/// `u32` throughout the columnar machinery (`step_bounds`, the
+/// [`FutureIndex`](crate::FutureIndex)'s half-width next-use arrays with
+/// `u32::MAX` reserved as the "never again" sentinel), so the stream must
+/// stay strictly below `u32::MAX` records.
+pub const MAX_STREAM_RECORDS: u64 = u32::MAX as u64;
+
+/// A trace produced more cache requests than the columnar capture can
+/// index: record positions are `u32` (see [`MAX_STREAM_RECORDS`]), and a
+/// longer stream would silently wrap instead of simulating correctly.
+///
+/// Returned at *record* time — before any replay consumes a truncated
+/// position — by the fallible session entry points
+/// ([`SimSession::try_ensure_recorded`](crate::SimSession::try_ensure_recorded),
+/// [`SimSession::try_run`](crate::SimSession::try_run)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamLimitError {
+    /// How many records the capture had produced when it hit the limit.
+    pub records: u64,
+}
+
+impl std::fmt::Display for StreamLimitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "captured request stream reached {} records; the columnar \
+             capture indexes positions with u32 and supports at most {} \
+             records per trace",
+            self.records,
+            MAX_STREAM_RECORDS - 1
+        )
+    }
+}
+
+impl std::error::Error for StreamLimitError {}
+
+/// The record-time capacity guard: `records` is the stream length after
+/// the latest trace step. Kept as a standalone function so the bound is
+/// unit-testable without materializing a 4-billion-request trace.
+#[inline]
+pub(crate) fn check_stream_capacity(records: u64) -> Result<u32, StreamLimitError> {
+    if records >= MAX_STREAM_RECORDS {
+        return Err(StreamLimitError { records });
+    }
+    Ok(records as u32)
+}
+
 /// The post-warmup counters that do not depend on the replacement policy,
 /// captured once and stamped onto every replay's [`SimStats`].
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -78,7 +125,7 @@ pub(crate) struct ColumnarStream {
 impl ColumnarStream {
     /// The injected-invalidate operands of `block` (raw ids).
     #[inline]
-    fn inval_ops(&self, block: BlockId) -> &[u32] {
+    pub(crate) fn inval_ops(&self, block: BlockId) -> &[u32] {
         let i = block.index();
         &self.inval_ids[self.inval_bounds[i] as usize..self.inval_bounds[i + 1] as usize]
     }
@@ -156,11 +203,13 @@ impl<'a> CaptureFrontend<'a> {
         }
     }
 
-    /// Walks the whole trace and returns the packed stream.
-    // The expect is a capacity backstop (> 4 Gi requests), matching
-    // `FetchPlan::build`'s contract; the workloads stay far below it.
-    #[allow(clippy::expect_used)]
-    pub(crate) fn run(mut self, trace: impl ExactSizeIterator<Item = BlockId>) -> ColumnarStream {
+    /// Walks the whole trace and returns the packed stream, or a typed
+    /// [`StreamLimitError`] if the trace produces more requests than `u32`
+    /// positions can index (checked per step, before anything wraps).
+    pub(crate) fn run(
+        mut self,
+        trace: impl ExactSizeIterator<Item = BlockId>,
+    ) -> Result<ColumnarStream, StreamLimitError> {
         let len = trace.len() as u64;
         self.step_bounds.reserve(trace.len());
         // Heuristic: ~1-2 demand lines per block plus up to one filtered
@@ -172,7 +221,7 @@ impl<'a> CaptureFrontend<'a> {
         let mut measure_start: Option<Instant> = None;
         for block in trace {
             self.step(block);
-            let end = u32::try_from(self.packed.len()).expect("packed stream exceeds u32 records");
+            let end = check_stream_capacity(self.packed.len() as u64)?;
             self.step_bounds.push(end);
             if self.trace_pos >= self.warmup_until {
                 if timing && self.base.blocks == 0 {
@@ -195,14 +244,14 @@ impl<'a> CaptureFrontend<'a> {
             }
         }
         let (inval_ids, inval_bounds) = invalidate_ops(self.program, self.table);
-        ColumnarStream {
+        Ok(ColumnarStream {
             packed: self.packed,
             step_bounds: self.step_bounds,
             prefetch_pc: self.prefetch_pc,
             inval_ids,
             inval_bounds,
             base: self.base,
-        }
+        })
     }
 
     #[inline]
@@ -612,5 +661,42 @@ impl<'a, P: ?Sized + ReplacementPolicy> ReplayFrontend<'a, P> {
             }
             self.config.mem_latency
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_capacity_guard_bounds() {
+        // Synthetic bound check: the guard, not a 4-billion-request trace.
+        assert_eq!(check_stream_capacity(0), Ok(0));
+        assert_eq!(
+            check_stream_capacity(MAX_STREAM_RECORDS - 1),
+            Ok(u32::MAX - 1)
+        );
+        assert_eq!(
+            check_stream_capacity(MAX_STREAM_RECORDS),
+            Err(StreamLimitError {
+                records: MAX_STREAM_RECORDS
+            })
+        );
+        assert_eq!(
+            check_stream_capacity((1 << 32) + 5),
+            Err(StreamLimitError {
+                records: (1 << 32) + 5
+            })
+        );
+    }
+
+    #[test]
+    fn stream_limit_error_display_names_the_limit() {
+        let e = StreamLimitError {
+            records: MAX_STREAM_RECORDS,
+        };
+        let s = e.to_string();
+        assert!(s.contains("4294967295"), "{s}");
+        assert!(s.contains("u32"), "{s}");
     }
 }

@@ -1,7 +1,7 @@
 //! Differential oracle checker for the Ripple simulator.
 //!
 //! `ripple-check` fuzzes the production simulator against small executable
-//! models in eight independent dimensions:
+//! models in nine independent dimensions:
 //!
 //! 1. [`model_cache`] — a brute-force associative cache model cross-checked
 //!    against [`ripple_sim::Cache`] for LRU, SRRIP, DRRIP, and TRRIP,
@@ -27,7 +27,11 @@
 //! 8. [`shards`] — replay shard-count invariance: stats and eviction
 //!    streams byte-identical at 1, 2, 4 and 7 replay shards for every
 //!    registered policy (set-local families shard, the rest must fall
-//!    back to sequential replay unchanged).
+//!    back to sequential replay unchanged);
+//! 9. [`fleet`] — fleet shard aggregation vs a brute-force oracle:
+//!    weighted profile merging must equal physically repeating each shard
+//!    `weight` times in one long trace, independent of shard order, all
+//!    the way through temperature classification.
 //!
 //! Every case derives from a single `u64` seed. Failures shrink to locally
 //! minimal repros (the vendored proptest stand-in has no shrinking, so
@@ -39,6 +43,7 @@ pub mod belady;
 pub mod case;
 pub mod equiv;
 pub mod faults;
+pub mod fleet;
 pub mod model_cache;
 pub mod rewrite_eq;
 pub mod shards;
@@ -65,10 +70,12 @@ pub enum Dimension {
     Rewrite,
     /// Replay shard-count invariance of the set-batched replay engine.
     Shards,
+    /// Fleet shard aggregation vs the physical-repetition oracle.
+    Fleet,
 }
 
 /// Number of checker dimensions (the length of [`ALL_DIMENSIONS`]).
-pub const NUM_DIMENSIONS: usize = 8;
+pub const NUM_DIMENSIONS: usize = 9;
 
 /// Every dimension, in the order the corpus round-robins them.
 pub const ALL_DIMENSIONS: [Dimension; NUM_DIMENSIONS] = [
@@ -80,6 +87,7 @@ pub const ALL_DIMENSIONS: [Dimension; NUM_DIMENSIONS] = [
     Dimension::Faults,
     Dimension::Rewrite,
     Dimension::Shards,
+    Dimension::Fleet,
 ];
 
 impl Dimension {
@@ -94,6 +102,7 @@ impl Dimension {
             Dimension::Faults => "faults",
             Dimension::Rewrite => "rewrite",
             Dimension::Shards => "shards",
+            Dimension::Fleet => "fleet",
         }
     }
 
@@ -143,6 +152,7 @@ pub fn check_case(dimension: Dimension, case_seed: u64) -> Result<(), Failure> {
         Dimension::Faults => faults::check(case_seed),
         Dimension::Rewrite => rewrite_eq::check(case_seed),
         Dimension::Shards => shards::check(case_seed),
+        Dimension::Fleet => fleet::check(case_seed),
     };
     outcome.map_err(|(message, repro)| Failure {
         dimension,
@@ -272,9 +282,9 @@ mod tests {
 
     #[test]
     fn corpus_runs_every_dimension() {
-        let report = run_corpus(7, 16, &ALL_DIMENSIONS, |_, _| {});
+        let report = run_corpus(7, 18, &ALL_DIMENSIONS, |_, _| {});
         assert!(report.failures.is_empty(), "{:?}", report.failures);
-        assert_eq!(report.total_passed(), 16);
+        assert_eq!(report.total_passed(), 18);
         for (i, &p) in report.passed.iter().enumerate() {
             assert!(p >= 2, "dimension {} starved", ALL_DIMENSIONS[i]);
         }

@@ -9,7 +9,8 @@ use ripple::{
     run_report, sweep, validate_run_report, Ripple, RippleConfig, COMPARE_PHASES, PIPELINE_PHASES,
     REPORT_SCHEMA,
 };
-use ripple_json::ToJson;
+use ripple_fleet::{run_fleet, validate_fleet_report, FleetConfig, FLEET_PHASES, FLEET_SCHEMA};
+use ripple_json::{ToJson, Value};
 use ripple_obs::{Field, FieldValue, MetricsRecorder, NullRecorder, Recorder, TeeRecorder};
 use ripple_program::{Layout, LayoutConfig};
 use ripple_sim::{PolicyKind, PolicyRegistry, PrefetcherKind, SimConfig, SimSession};
@@ -38,8 +39,11 @@ usage:
                             [--replay-shards N] [--metrics FILE] [--progress]
   ripple-cli optimize <app> [--threshold T] [--prefetcher P] [--underlying P] [--instructions N] [--threads N] [--metrics FILE] [--progress]
   ripple-cli sweep    <app> [--prefetcher P] [--instructions N] [--threads N] [--metrics FILE] [--progress]
+  ripple-cli fleet    [--instances N] [--epochs N] [--canary-pct P] [--seed S] [--threads N]
+                      [--shard-instructions N] [--drift-epoch E] [--gate-pct P]
+                      [--poison-instance I] [--retry-attempts N] [--metrics FILE] [--progress]
   ripple-cli faults   [--cases N] [--seed S]
-  ripple-cli validate-metrics <FILE> [--phases compare|pipeline]
+  ripple-cli validate-metrics <FILE> [--phases compare|pipeline|fleet]
 
 apps: cassandra drupal finagle-chirper finagle-http kafka mediawiki tomcat verilator wordpress
 policies: {}
@@ -56,6 +60,11 @@ simulate --trace FILE replays a recorded packet stream (see `profile
 --out`) instead of re-executing; --lossy skips unrecoverable packet spans
 (counted as trace.dropped_packets / trace.resync_events) as long as the
 dropped-byte fraction stays within --max-drop-ratio (default 1.0)
+fleet runs the continuous profiling service: N instances emit trace
+shards each epoch, profiles aggregate per service, plans train through a
+drift-invalidated artifact cache and canary-roll behind an MPKI gate;
+--metrics dumps a deterministic ripple.fleet_report.v1 (byte-identical
+at any --threads, validated by validate-metrics)
 
 exit codes: 0 success, 1 runtime/io error, 2 usage or invalid
 configuration, 3 corrupt trace, 4 isolated evaluation-job panic",
@@ -82,6 +91,7 @@ pub fn dispatch(argv: &[String]) -> CmdResult {
         "compare" => compare(&rest),
         "optimize" => optimize(&rest),
         "sweep" => sweep_cmd(&rest),
+        "fleet" => fleet_cmd(&rest),
         "faults" => faults_cmd(&rest),
         "validate-metrics" => validate_metrics(&rest),
         other => Err(Box::new(ArgError(format!("unknown subcommand {other:?}")))),
@@ -270,10 +280,11 @@ fn write_metrics(
     Ok(())
 }
 
-/// Validates a `--metrics` dump: parses it with ripple-json and checks
-/// the schema plus the required phase set (inferred from the report's
-/// `command` unless `--phases` overrides it). This is the CI gate for the
-/// observability artifact.
+/// Validates a `--metrics` dump: parses it with ripple-json, dispatches
+/// on the document's `schema` tag (run reports vs fleet reports), and
+/// checks the required phase set (inferred from the report's `command`
+/// unless `--phases` overrides it). This is the CI gate for the
+/// observability artifacts.
 fn validate_metrics(args: &Args) -> CmdResult {
     args.expect_flags(&["phases"])?;
     let path = args
@@ -281,31 +292,156 @@ fn validate_metrics(args: &Args) -> CmdResult {
         .ok_or_else(|| ArgError("missing <FILE> argument".into()))?;
     // Reject a bad --phases value before touching the file, so the flag
     // error is never masked by a missing artifact.
-    let explicit: Option<&[&str]> = match args.flag("phases") {
-        None => None,
-        Some("compare") => Some(COMPARE_PHASES),
-        Some("pipeline") => Some(PIPELINE_PHASES),
-        Some(other) => {
+    let explicit = args.flag("phases");
+    if let Some(other) = explicit {
+        if !["compare", "pipeline", "fleet"].contains(&other) {
             return Err(Box::new(ArgError(format!(
-                "unknown phase set {other:?} (valid values: compare pipeline)"
-            ))))
+                "unknown phase set {other:?} (valid values: compare pipeline fleet)"
+            ))));
         }
-    };
+    }
     let text = fs::read_to_string(path)?;
     let report =
         ripple_json::parse(&text).map_err(|e| ArgError(format!("{path}: not valid JSON: {e}")))?;
-    let required: &[&str] = explicit.unwrap_or_else(|| {
-        match report.get("command").ok().and_then(|v| v.as_str().ok()) {
+    let schema = report
+        .get("schema")
+        .ok()
+        .and_then(|v| v.as_str().ok())
+        .unwrap_or("");
+    if explicit == Some("fleet") || (explicit.is_none() && schema == FLEET_SCHEMA) {
+        validate_fleet_report(&report).map_err(|e| ArgError(format!("{path}: {e}")))?;
+        println!(
+            "{path}: valid {FLEET_SCHEMA} report, all {} fleet phases present",
+            FLEET_PHASES.len()
+        );
+        return Ok(());
+    }
+    let required: &[&str] = match explicit {
+        Some("compare") => COMPARE_PHASES,
+        Some("pipeline") => PIPELINE_PHASES,
+        _ => match report.get("command").ok().and_then(|v| v.as_str().ok()) {
             Some("compare") => COMPARE_PHASES,
             _ => PIPELINE_PHASES,
-        }
-    });
+        },
+    };
     validate_run_report(&report, required).map_err(|e| ArgError(format!("{path}: {e}")))?;
     println!(
         "{path}: valid {REPORT_SCHEMA} report, all {} required phases timed",
         required.len()
     );
     Ok(())
+}
+
+/// Runs the fleet-scale continuous profiling service and prints the
+/// per-epoch outcome table. `--metrics` dumps the deterministic
+/// `ripple.fleet_report.v1` document (the fleet's own schema — unlike
+/// the other subcommands this is not a wall-time run report, so it is
+/// byte-identical at any `--threads`).
+fn fleet_cmd(args: &Args) -> CmdResult {
+    args.expect_flags(&[
+        "instances",
+        "epochs",
+        "canary-pct",
+        "seed",
+        "threads",
+        "shard-instructions",
+        "drift-epoch",
+        "gate-pct",
+        "poison-instance",
+        "retry-attempts",
+        "metrics",
+        "progress",
+    ])?;
+    let defaults = FleetConfig::default();
+    let parse_opt = |name: &str| -> Result<Option<u32>, ArgError> {
+        match args.flag(name) {
+            None => Ok(None),
+            Some(v) => v
+                .parse::<u32>()
+                .map(Some)
+                .map_err(|_| ArgError(format!("--{name}: cannot parse {v:?}"))),
+        }
+    };
+    let config = FleetConfig {
+        instances: args.parse_flag("instances", defaults.instances)?,
+        epochs: args.parse_flag("epochs", defaults.epochs)?,
+        canary_pct: args.parse_flag("canary-pct", defaults.canary_pct)?,
+        seed: args.parse_flag("seed", defaults.seed)?,
+        threads: parse_threads(args)?,
+        shard_instructions: args.parse_flag("shard-instructions", defaults.shard_instructions)?,
+        drift_epoch: parse_opt("drift-epoch")?,
+        regression_gate_pct: args.parse_flag("gate-pct", defaults.regression_gate_pct)?,
+        poison_instance: parse_opt("poison-instance")?.map(|p| p as usize),
+        retry_attempts: args.parse_flag("retry-attempts", defaults.retry_attempts)?,
+    };
+    let recorder: Arc<dyn Recorder> = if args.switch("progress") {
+        Arc::new(ProgressRecorder::default())
+    } else {
+        Arc::new(NullRecorder)
+    };
+    let report = run_fleet(&config, recorder)?;
+    print_fleet_table(&report);
+    if let Some(path) = args.flag("metrics") {
+        fs::write(path, report.to_pretty_string())?;
+        println!("metrics written to {path}");
+    }
+    Ok(())
+}
+
+fn print_fleet_table(report: &Value) {
+    let get_u = |v: &Value, k: &str| v.get(k).ok().and_then(|x| x.as_u64().ok()).unwrap_or(0);
+    let get_f = |v: &Value, k: &str| v.get(k).ok().and_then(|x| x.as_f64().ok()).unwrap_or(0.0);
+    println!(
+        "fleet: {} instances over {} services, {} epochs, canary {}%, seed {}",
+        get_u(report, "instances"),
+        get_u(report, "services"),
+        get_u(report, "epochs"),
+        get_u(report, "canary_pct"),
+        get_u(report, "seed"),
+    );
+    println!(
+        "{:<5} {:<5} {:>10} {:>13} {:>13} {:>10} {:>7}  decisions",
+        "epoch", "drift", "fleet-mpki", "baseline-mpki", "canary-delta%", "cache-hit%", "shards"
+    );
+    let entries = report
+        .get("epoch_reports")
+        .ok()
+        .and_then(|e| e.as_array().ok())
+        .unwrap_or(&[]);
+    for entry in entries {
+        let canary = entry.get("canary").ok();
+        let cache = entry.get("artifact_cache").ok();
+        let health = entry.get("shard_health").ok();
+        let decisions = canary
+            .and_then(|c| c.get("decisions").ok())
+            .and_then(|d| d.as_array().ok())
+            .map(|ds| {
+                ds.iter()
+                    .filter_map(|d| d.as_str().ok())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            })
+            .unwrap_or_default();
+        let drift = entry
+            .get("drift")
+            .ok()
+            .and_then(|d| d.as_bool().ok())
+            .unwrap_or(false);
+        let (ok_shards, failed) = health
+            .map(|h| (get_u(h, "shards_ok"), get_u(h, "shards_failed")))
+            .unwrap_or((0, 0));
+        println!(
+            "{:<5} {:<5} {:>10.3} {:>13.3} {:>13.2} {:>10.1} {:>7}  {}",
+            get_u(entry, "epoch"),
+            if drift { "yes" } else { "-" },
+            get_f(entry, "fleet_mpki"),
+            get_f(entry, "baseline_mpki"),
+            canary.map(|c| get_f(c, "delta_pct")).unwrap_or(0.0),
+            cache.map(|c| get_f(c, "hit_rate") * 100.0).unwrap_or(0.0),
+            format!("{}/{}", ok_shards, ok_shards + failed),
+            decisions
+        );
+    }
 }
 
 fn load(
@@ -972,5 +1108,60 @@ mod tests {
         let err = run(&["validate-metrics", &path, "--phases", "pipeline"]).unwrap_err();
         assert!(err.contains("train.oracle_replay"), "{err}");
         fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fleet_smoke_is_thread_deterministic_and_validates() {
+        let dir = std::env::temp_dir();
+        let path_a = dir.join("ripple_cli_fleet_a.json");
+        let path_b = dir.join("ripple_cli_fleet_b.json");
+        let (path_a, path_b) = (
+            path_a.to_str().unwrap().to_string(),
+            path_b.to_str().unwrap().to_string(),
+        );
+        let base = [
+            "fleet",
+            "--instances",
+            "3",
+            "--epochs",
+            "2",
+            "--canary-pct",
+            "50",
+            "--seed",
+            "7",
+            "--shard-instructions",
+            "4000",
+        ];
+        let mut argv_a: Vec<&str> = base.to_vec();
+        argv_a.extend(["--threads", "1", "--metrics", &path_a]);
+        run(&argv_a).unwrap();
+        let mut argv_b: Vec<&str> = base.to_vec();
+        argv_b.extend(["--threads", "4", "--metrics", &path_b]);
+        run(&argv_b).unwrap();
+        assert_eq!(
+            fs::read_to_string(&path_a).unwrap(),
+            fs::read_to_string(&path_b).unwrap(),
+            "fleet report diverged across thread counts"
+        );
+        // Schema-tag inference and the explicit override both validate.
+        run(&["validate-metrics", &path_a]).unwrap();
+        run(&["validate-metrics", &path_a, "--phases", "fleet"]).unwrap();
+        // A fleet report is not a run report: forcing the wrong set fails.
+        let err = run(&["validate-metrics", &path_a, "--phases", "pipeline"]).unwrap_err();
+        assert!(err.contains("schema"), "{err}");
+        fs::remove_file(&path_a).ok();
+        fs::remove_file(&path_b).ok();
+    }
+
+    #[test]
+    fn fleet_rejects_bad_knobs() {
+        let err = run(&["fleet", "--canary-pct", "150"]).unwrap_err();
+        assert!(err.contains("canary-pct"), "{err}");
+        let err = run(&["fleet", "--instances", "abc"]).unwrap_err();
+        assert!(err.contains("instances"), "{err}");
+        let err = run(&["fleet", "--florb", "1"]).unwrap_err();
+        assert!(err.contains("unknown flag --florb"), "{err}");
+        let err = run(&["fleet", "--drift-epoch", "x"]).unwrap_err();
+        assert!(err.contains("drift-epoch"), "{err}");
     }
 }

@@ -50,6 +50,12 @@ fn exit_code_for(e: &(dyn Error + 'static)) -> u8 {
             _ => 1,
         };
     }
+    if let Some(err) = e.downcast_ref::<ripple_fleet::FleetError>() {
+        return match err {
+            ripple_fleet::FleetError::Config(_) => EXIT_USAGE,
+            ripple_fleet::FleetError::Pipeline(inner) => exit_code_for(inner),
+        };
+    }
     // Errors the substrate crates surface without the `ripple::Error`
     // wrapper (e.g. `inspect`'s direct decode, a bare harness failure).
     if e.is::<ripple::ripple_trace::ReconstructError>()
@@ -119,6 +125,19 @@ mod tests {
         assert_eq!(
             exit_code_for(boxed(std::io::Error::other("disk on fire")).as_ref()),
             1
+        );
+        assert_eq!(
+            exit_code_for(boxed(ripple_fleet::FleetError::Config("instances".into())).as_ref()),
+            EXIT_USAGE
+        );
+        assert_eq!(
+            exit_code_for(
+                boxed(ripple_fleet::FleetError::Pipeline(ripple::Error::Config(
+                    ripple::ConfigError::NotFinite { field: "threshold" }
+                )))
+                .as_ref()
+            ),
+            EXIT_USAGE
         );
     }
 }

@@ -72,14 +72,15 @@ pub use harness::{
     run_jobs_observed_settled, run_jobs_retrying, run_jobs_settled, Job, RetryJob,
 };
 pub use metrics::{
-    decision_is_accurate, eviction_accuracy, invalidation_accuracy, plan_accuracy,
-    profile_temperatures, AccuracySink, AccuracyStats, LineAccessIndex, WindowIndex,
+    decision_is_accurate, eviction_accuracy, invalidation_accuracy, line_access_counts,
+    plan_accuracy, profile_temperatures, temperatures_from_counts, AccuracySink, AccuracyStats,
+    LineAccessIndex, WindowIndex,
 };
 pub use pipeline::{Ripple, RippleConfig, RippleConfigBuilder, RippleOutcome};
 pub use profile::{collect_profile, Profile};
 pub use report::{
     run_report, top_level_phases, validate_run_report, COMPARE_PHASES, COMPARE_TOP_PHASES,
-    PIPELINE_PHASES, PIPELINE_TOP_PHASES, REPORT_SCHEMA,
+    PIPELINE_PHASES, PIPELINE_TOP_PHASES, REPORT_SCHEMA, ZERO_WALL_NOTE,
 };
 pub use threshold::{best_threshold, sweep, ThresholdPoint};
 

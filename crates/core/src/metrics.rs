@@ -45,49 +45,79 @@ impl LineAccessIndex {
     }
 }
 
-/// Classifies every code line touched by `trace` into TRRIP temperature
-/// classes from its profiled access frequency.
-///
-/// This is the profile half of the TRRIP co-design (Kao et al.), fed by
-/// the same basic-block trace Ripple itself trains on:
-///
-/// * **cold** — touch-once lines (streaming code: init paths, cold error
-///   handling); TRRIP inserts them at distant re-reference.
-/// * **hot** — the top decile of multi-touch lines by access count (at
-///   least one line whenever any line is re-referenced); inserted at
-///   immediate re-reference.
-/// * **warm** — everything else, including unprofiled lines (the map's
-///   default), behaving like plain SRRIP insertion.
-///
-/// Deterministic: counts come from one trace walk and the decile cut is a
-/// pure function of the sorted counts.
-pub fn profile_temperatures(layout: &Layout, trace: &BbTrace) -> TemperatureMap {
+/// Raw per-line demand access counts of `trace` under `layout` — the
+/// mergeable half of [`profile_temperatures`]. Fleet-profile aggregation
+/// sums these across trace shards (weighted by instance traffic) before
+/// classifying the merged counts with [`temperatures_from_counts`].
+pub fn line_access_counts(layout: &Layout, trace: &BbTrace) -> HashMap<LineAddr, u64> {
     let mut counts: HashMap<LineAddr, u64> = HashMap::new();
     for block in trace.iter() {
         for line in layout.lines_of_block(block) {
             *counts.entry(line).or_insert(0) += 1;
         }
     }
-    let mut multi: Vec<u64> = counts.values().copied().filter(|&c| c >= 2).collect();
-    multi.sort_unstable_by(|a, b| b.cmp(a));
-    // Count at the top-10% boundary of multi-touch lines (the hottest
-    // line always qualifies when any multi-touch line exists).
-    let hot_cutoff = if multi.is_empty() {
-        u64::MAX
-    } else {
-        multi[(multi.len() - 1) / 10]
-    };
-    let mut map = TemperatureMap::new();
+    counts
+}
+
+/// Classifies profiled per-line access counts into TRRIP temperature
+/// classes — the classification half of [`profile_temperatures`].
+///
+/// * **cold** — touch-once lines (streaming code: init paths, cold error
+///   handling); TRRIP inserts them at distant re-reference.
+/// * **hot** — the top decile of multi-touch lines *by rank*: exactly
+///   `(n - 1) / 10 + 1` of `n` multi-touch lines, ranked by count
+///   descending with ties broken by ascending [`LineAddr`]. A value-based
+///   cutoff would classify every line tied with the boundary count as hot;
+///   an all-equal-counts profile (common after fleet shard merging) would
+///   then make *every* re-referenced line hot instead of one decile.
+/// * **warm** — everything else, including unprofiled lines (the map's
+///   default), behaving like plain SRRIP insertion.
+///
+/// Deterministic and input-order independent: the (count, address) rank is
+/// a total order, so equal count multisets always produce equal maps.
+pub fn temperatures_from_counts(
+    counts: impl IntoIterator<Item = (LineAddr, u64)>,
+) -> TemperatureMap {
+    let mut cold: Vec<LineAddr> = Vec::new();
+    let mut multi: Vec<(LineAddr, u64)> = Vec::new();
     for (line, count) in counts {
         if count <= 1 {
-            map.set(line, Temperature::Cold);
-        } else if count >= hot_cutoff {
-            map.set(line, Temperature::Hot);
+            cold.push(line);
         } else {
-            map.set(line, Temperature::Warm);
+            multi.push((line, count));
         }
     }
+    multi.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    let hot_n = if multi.is_empty() {
+        0
+    } else {
+        (multi.len() - 1) / 10 + 1
+    };
+    let mut map = TemperatureMap::new();
+    for line in cold {
+        map.set(line, Temperature::Cold);
+    }
+    for (rank, &(line, _)) in multi.iter().enumerate() {
+        let temp = if rank < hot_n {
+            Temperature::Hot
+        } else {
+            Temperature::Warm
+        };
+        map.set(line, temp);
+    }
     map
+}
+
+/// Classifies every code line touched by `trace` into TRRIP temperature
+/// classes from its profiled access frequency.
+///
+/// This is the profile half of the TRRIP co-design (Kao et al.), fed by
+/// the same basic-block trace Ripple itself trains on. Composition of
+/// [`line_access_counts`] (one trace walk) and [`temperatures_from_counts`]
+/// (rank-based decile cut, ties broken by `LineAddr`); both halves are
+/// exposed so fleet aggregation can merge shard counts before classifying.
+pub fn profile_temperatures(layout: &Layout, trace: &BbTrace) -> TemperatureMap {
+    temperatures_from_counts(line_access_counts(layout, trace))
 }
 
 /// Per-line index of ideal eviction windows, for "would the ideal policy
@@ -399,7 +429,15 @@ mod tests {
                 *counts.entry(line).or_insert(0) += 1;
             }
         }
-        let (&hottest, &max) = counts.iter().max_by_key(|&(_, &c)| c).unwrap();
+        // Among count-tied maxima, the lowest address wins the rank
+        // tie-break, so that line is the one guaranteed hot.
+        let max = counts.values().copied().max().unwrap();
+        let hottest = counts
+            .iter()
+            .filter(|&(_, &c)| c == max)
+            .map(|(&line, _)| line)
+            .min()
+            .unwrap();
         assert!(max >= 2, "20k-block trace must re-reference some line");
         assert_eq!(temps.of_line(hottest), Temperature::Hot);
         for (&line, &c) in &counts {
@@ -410,5 +448,73 @@ mod tests {
         // Unprofiled lines default to warm; the profile is deterministic.
         assert_eq!(temps.of_line(LineAddr::new(u64::MAX)), Temperature::Warm);
         assert_eq!(profile_temperatures(&layout, &trace), temps);
+    }
+
+    /// Regression test for the tie-unstable decile cut: a trace whose
+    /// multi-touch lines all share one access count must classify exactly
+    /// the top decile (by the `LineAddr` tie-break) as hot — the old
+    /// value-based cutoff marked *every* boundary-tied line hot.
+    #[test]
+    fn all_equal_counts_trace_hots_exactly_the_top_decile() {
+        use ripple_program::{Layout, LayoutConfig};
+        use ripple_sim::Temperature;
+        use ripple_trace::BbTrace;
+        use ripple_workloads::{generate, AppSpec};
+
+        let app = generate(&AppSpec::tiny(11));
+        let layout = Layout::new(&app.program, &LayoutConfig::default());
+        // A multi-line block repeated N times: every line it touches has
+        // the same count N — an all-equal-counts profile.
+        let block = app
+            .program
+            .blocks()
+            .iter()
+            .map(|b| b.id())
+            .find(|&b| layout.lines_of_block(b).count() >= 2)
+            .expect("tiny app must contain a block spanning >= 2 lines");
+        let trace = BbTrace::new(vec![block; 3]);
+        let temps = profile_temperatures(&layout, &trace);
+
+        let mut lines: Vec<LineAddr> = layout.lines_of_block(block).collect();
+        lines.sort_unstable();
+        lines.dedup();
+        let hot_n = (lines.len() - 1) / 10 + 1;
+        for (rank, &line) in lines.iter().enumerate() {
+            let expect = if rank < hot_n {
+                Temperature::Hot
+            } else {
+                Temperature::Warm
+            };
+            assert_eq!(temps.of_line(line), expect, "line {line:?} rank {rank}");
+        }
+    }
+
+    #[test]
+    fn temperature_rank_cut_is_order_independent_and_bounded_under_ties() {
+        use ripple_sim::Temperature;
+
+        // Twenty lines all tied at count 5: exactly (20-1)/10 + 1 = 2 hot,
+        // and the tie-break picks the two lowest addresses.
+        let counts: Vec<(LineAddr, u64)> = (0..20).map(|i| (l(100 + i), 5)).collect();
+        let temps = temperatures_from_counts(counts.iter().copied());
+        let hot: Vec<LineAddr> = (0..20)
+            .map(|i| l(100 + i))
+            .filter(|&line| temps.of_line(line) == Temperature::Hot)
+            .collect();
+        assert_eq!(hot, vec![l(100), l(101)]);
+
+        // Input order must not matter (HashMap iteration order never
+        // leaks into the classification).
+        let mut reversed = counts.clone();
+        reversed.reverse();
+        assert_eq!(temperatures_from_counts(reversed), temps);
+
+        // Touch-once lines stay cold regardless of the hot-set churn.
+        let mut with_cold = counts;
+        with_cold.push((l(7), 1));
+        assert_eq!(
+            temperatures_from_counts(with_cold).of_line(l(7)),
+            Temperature::Cold
+        );
     }
 }

@@ -13,6 +13,13 @@ use ripple_obs::{MetricsSnapshot, OwnedValue};
 /// Schema tag carried by every report this module emits.
 pub const REPORT_SCHEMA: &str = "ripple.run_report.v1";
 
+/// Note attached to a report whose caller-measured wall clock read zero
+/// (a trivial run below the clock's resolution). Shares are emitted as
+/// 0.0 instead of NaN/inf, and [`validate_run_report`] accepts the zero
+/// wall exactly when this note explains it.
+pub const ZERO_WALL_NOTE: &str =
+    "wall_ns is zero (run completed below clock resolution); share_pct values emitted as 0.0";
+
 /// Phases a `compare` run (a policy matrix over one [`SimSession`]) must
 /// report with nonzero wall time.
 ///
@@ -179,16 +186,27 @@ pub fn run_report(command: &str, app: &str, snapshot: &MetricsSnapshot, wall_ns:
             })
             .collect(),
     );
-    object([
-        ("schema", Value::Str(REPORT_SCHEMA.to_string())),
-        ("command", Value::Str(command.to_string())),
-        ("app", Value::Str(app.to_string())),
-        ("wall_ns", u64_json(wall_ns)),
-        ("phases", phases),
-        ("counters", counters),
-        ("gauges", gauges),
-        ("jobs", jobs),
-    ])
+    let mut members = vec![
+        ("schema".to_string(), Value::Str(REPORT_SCHEMA.to_string())),
+        ("command".to_string(), Value::Str(command.to_string())),
+        ("app".to_string(), Value::Str(app.to_string())),
+        ("wall_ns".to_string(), u64_json(wall_ns)),
+    ];
+    if wall_ns == 0 {
+        // A zero caller-measured wall (trivial run, coarse clock) must
+        // stay self-describing: the guard above already emitted 0.0
+        // shares instead of NaN/inf, and this note is what lets the
+        // validator accept the degenerate report instead of rejecting it
+        // with a confusing "zero wall" error.
+        members.push(("note".to_string(), Value::Str(ZERO_WALL_NOTE.to_string())));
+    }
+    members.extend([
+        ("phases".to_string(), phases),
+        ("counters".to_string(), counters),
+        ("gauges".to_string(), gauges),
+        ("jobs".to_string(), jobs),
+    ]);
+    Value::Object(members)
 }
 
 /// Validates a parsed run report: schema tag, a positive root `wall_ns`,
@@ -209,8 +227,20 @@ pub fn validate_run_report(report: &Value, required_phases: &[&str]) -> Result<(
         .get("wall_ns")
         .and_then(|v| v.as_u64())
         .map_err(|e| format!("missing wall_ns: {e}"))?;
-    if wall_ns == 0 {
-        return Err("wall_ns is zero".to_string());
+    let zero_wall = wall_ns == 0;
+    if zero_wall {
+        // A zero wall is legal only when the report says so itself (the
+        // explicit note `run_report` attaches): sub-resolution runs stay
+        // valid, while a report that silently lost its wall time is still
+        // rejected.
+        let note = report.get("note").ok().and_then(|v| v.as_str().ok());
+        if note != Some(ZERO_WALL_NOTE) {
+            return Err(
+                "wall_ns is zero without the explicit zero-wall note (corrupt or truncated \
+                 report?)"
+                    .to_string(),
+            );
+        }
     }
     let phases = report.get("phases").map_err(|e| e.to_string())?;
     for &name in required_phases {
@@ -232,7 +262,10 @@ pub fn validate_run_report(report: &Value, required_phases: &[&str]) -> Result<(
         if count == 0 {
             return Err(format!("phase {name:?} has zero count"));
         }
-        if total_ns == 0 {
+        // Under a declared zero root wall, phase totals below the clock's
+        // resolution are expected; requiring them nonzero would reject
+        // exactly the runs the note exists for.
+        if total_ns == 0 && !zero_wall {
             return Err(format!("phase {name:?} has zero wall time"));
         }
     }
@@ -362,10 +395,43 @@ mod tests {
     }
 
     #[test]
-    fn validation_rejects_missing_and_zero_wall() {
+    fn zero_wall_report_carries_note_and_validates() {
+        // Regression: a sub-resolution run used to produce a report the
+        // validator rejected with a bare "wall_ns is zero". The report now
+        // explains itself (explicit note, 0.0 shares) and validates.
         let report = run_report("compare", "tomcat", &sample_snapshot(), 0);
+        assert_eq!(
+            report.get("note").unwrap().as_str().unwrap(),
+            ZERO_WALL_NOTE
+        );
+        let phases = report.get("phases").unwrap();
+        for name in COMPARE_PHASES {
+            let share = phases
+                .get(name)
+                .unwrap()
+                .get("share_pct")
+                .unwrap()
+                .as_f64()
+                .unwrap();
+            assert_eq!(share, 0.0, "{name}: zero wall must yield 0.0 shares");
+        }
+        validate_run_report(&report, COMPARE_PHASES)
+            .expect("zero-wall report with the explicit note must validate");
+        // Nonzero-wall reports carry no note.
+        let normal = run_report("compare", "tomcat", &sample_snapshot(), 10_000);
+        assert!(normal.get("note").is_err());
+    }
+
+    #[test]
+    fn validation_rejects_missing_wall_and_unexplained_zero_wall() {
+        // A zero wall *without* the note (hand-edited / truncated report)
+        // is still rejected.
+        let mut report = run_report("compare", "tomcat", &sample_snapshot(), 0);
+        if let Value::Object(members) = &mut report {
+            members.retain(|(k, _)| k != "note");
+        }
         let err = validate_run_report(&report, COMPARE_PHASES).unwrap_err();
-        assert!(err.contains("wall_ns is zero"), "{err}");
+        assert!(err.contains("zero-wall note"), "{err}");
 
         let mut report = run_report("compare", "tomcat", &sample_snapshot(), 10_000);
         if let Value::Object(members) = &mut report {

@@ -1,0 +1,156 @@
+//! The instance registry: which services exist, which instances run
+//! them, and how much traffic each instance carries.
+
+use ripple_program::{Layout, LayoutConfig, Program};
+use ripple_workloads::{generate, AppSpec, ExecModel};
+
+use crate::{mix, FleetConfig};
+
+/// One service: a generated application shared by its instances.
+#[derive(Debug)]
+pub struct ServiceSpec {
+    /// Service index within the fleet.
+    pub id: usize,
+    /// The specification the service was generated from.
+    pub spec: AppSpec,
+    /// The generated program (the binary every instance of this service
+    /// runs).
+    pub program: Program,
+    /// The service's execution model.
+    pub model: ExecModel,
+    /// The baseline (pre-Ripple) layout.
+    pub layout: Layout,
+}
+
+/// One app instance: a replica of a service with its own traffic weight
+/// and input mix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InstanceSpec {
+    /// Instance index within the fleet (stable across epochs; all
+    /// aggregation iterates in this order, which is what makes the fleet
+    /// report thread-count independent).
+    pub id: usize,
+    /// Index into [`FleetRegistry::services`].
+    pub service: usize,
+    /// Traffic weight: how many requests this instance serves relative
+    /// to a weight-1 instance. Profile aggregation scales by it.
+    pub weight: u64,
+    /// The instance's input variant before any drift shift.
+    pub base_variant: u32,
+}
+
+/// The fleet: services plus the instances running them.
+#[derive(Debug)]
+pub struct FleetRegistry {
+    /// Generated services, indexed by [`InstanceSpec::service`].
+    pub services: Vec<ServiceSpec>,
+    /// Instances in id order.
+    pub instances: Vec<InstanceSpec>,
+}
+
+impl FleetRegistry {
+    /// Builds the registry for `config`: `min(4, instances)` services,
+    /// instances assigned round-robin, weights and input variants mixed
+    /// deterministically from the master seed.
+    pub fn build(config: &FleetConfig) -> FleetRegistry {
+        let num_services = config.instances.min(4);
+        let services = (0..num_services)
+            .map(|id| {
+                let spec = AppSpec::fleet_service(id, config.seed);
+                let app = generate(&spec);
+                let layout = Layout::new(&app.program, &LayoutConfig::default());
+                ServiceSpec {
+                    id,
+                    spec,
+                    program: app.program,
+                    model: app.model,
+                    layout,
+                }
+            })
+            .collect();
+        let instances = (0..config.instances)
+            .map(|id| InstanceSpec {
+                id,
+                service: id % num_services,
+                weight: 1 + mix(config.seed, id as u64) % 4,
+                base_variant: (id % 4) as u32,
+            })
+            .collect();
+        FleetRegistry {
+            services,
+            instances,
+        }
+    }
+
+    /// Instance ids of `service`, in id order.
+    pub fn replicas_of(&self, service: usize) -> Vec<usize> {
+        self.instances
+            .iter()
+            .filter(|i| i.service == service)
+            .map(|i| i.id)
+            .collect()
+    }
+
+    /// The canary set of `service`: the first `ceil(replicas ×
+    /// canary_pct / 100)` replicas in id order — at least one whenever
+    /// the percentage is positive and the service has replicas.
+    pub fn canaries_of(&self, service: usize, canary_pct: u32) -> Vec<usize> {
+        let replicas = self.replicas_of(service);
+        if canary_pct == 0 || replicas.is_empty() {
+            return Vec::new();
+        }
+        let n = (replicas.len() * canary_pct as usize).div_ceil(100).max(1);
+        replicas[..n.min(replicas.len())].to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_deterministic_and_covers_all_instances() {
+        let cfg = FleetConfig {
+            instances: 10,
+            ..FleetConfig::default()
+        };
+        let a = FleetRegistry::build(&cfg);
+        let b = FleetRegistry::build(&cfg);
+        assert_eq!(a.services.len(), 4);
+        assert_eq!(a.instances, b.instances);
+        for inst in &a.instances {
+            assert!(inst.service < a.services.len());
+            assert!((1..=4).contains(&inst.weight));
+        }
+        let covered: usize = (0..a.services.len()).map(|s| a.replicas_of(s).len()).sum();
+        assert_eq!(covered, 10);
+    }
+
+    #[test]
+    fn small_fleets_have_one_service_per_instance() {
+        let cfg = FleetConfig {
+            instances: 2,
+            ..FleetConfig::default()
+        };
+        let r = FleetRegistry::build(&cfg);
+        assert_eq!(r.services.len(), 2);
+        assert_eq!(r.replicas_of(0), vec![0]);
+        assert_eq!(r.replicas_of(1), vec![1]);
+    }
+
+    #[test]
+    fn canary_set_is_a_leading_slice_and_never_empty_when_enabled() {
+        let cfg = FleetConfig {
+            instances: 9,
+            ..FleetConfig::default()
+        };
+        let r = FleetRegistry::build(&cfg);
+        // Service 0 has replicas {0, 4, 8}.
+        assert_eq!(r.replicas_of(0), vec![0, 4, 8]);
+        assert_eq!(r.canaries_of(0, 25), vec![0]);
+        assert_eq!(r.canaries_of(0, 67), vec![0, 4, 8]);
+        assert_eq!(r.canaries_of(0, 100), vec![0, 4, 8]);
+        assert!(r.canaries_of(0, 0).is_empty());
+        assert_eq!(r.canaries_of(0, 1), vec![0], "positive pct canaries ≥ 1");
+    }
+}

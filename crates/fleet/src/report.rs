@@ -1,0 +1,367 @@
+//! The `ripple.fleet_report.v1` schema: construction helpers and the
+//! validator `validate-metrics` dispatches to.
+//!
+//! The report is **fully deterministic**: it contains per-epoch MPKI,
+//! canary deltas, cache counters and shard health — never wall times.
+//! Real timings flow through the attached [`ripple_obs`] recorder
+//! instead; the report's `phases` section carries only the fixed
+//! per-epoch phase counts, so two runs with equal config produce
+//! byte-identical JSON at any thread count, warm or cold cache.
+
+use ripple_json::{object, Value};
+
+/// Schema identifier of a fleet report.
+pub const FLEET_SCHEMA: &str = "ripple.fleet_report.v1";
+
+/// The per-epoch pipeline phases, in execution order.
+pub const FLEET_PHASES: [&str; 4] = [
+    "fleet.collect",
+    "fleet.aggregate",
+    "fleet.train",
+    "fleet.rollout",
+];
+
+/// Canary decision vocabulary (one decision per service per epoch).
+pub const FLEET_DECISIONS: [&str; 4] = ["promote", "rollback", "hold", "skipped"];
+
+/// One epoch's observable outcome.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct EpochReport {
+    pub epoch: u32,
+    pub drift: bool,
+    pub fleet_mpki: f64,
+    pub baseline_mpki: f64,
+    pub canary_instances: u64,
+    pub canary_deployed_mpki: f64,
+    pub canary_candidate_mpki: f64,
+    pub canary_delta_pct: f64,
+    pub decisions: Vec<String>,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    pub cache_invalidations: u64,
+    pub shards_ok: u64,
+    pub shards_failed: u64,
+    pub dropped_packets: u64,
+    pub resync_events: u64,
+}
+
+fn round6(x: f64) -> f64 {
+    // Serialized figures are rounded so the textual report is stable
+    // against float-formatting noise; 1e-6 MPKI is far below anything
+    // the gate or a reader cares about.
+    (x * 1e6).round() / 1e6
+}
+
+impl EpochReport {
+    fn to_value(&self) -> Value {
+        object([
+            ("epoch", Value::UInt(u64::from(self.epoch))),
+            ("drift", Value::Bool(self.drift)),
+            ("fleet_mpki", Value::Float(round6(self.fleet_mpki))),
+            ("baseline_mpki", Value::Float(round6(self.baseline_mpki))),
+            (
+                "canary",
+                object([
+                    ("instances", Value::UInt(self.canary_instances)),
+                    (
+                        "deployed_mpki",
+                        Value::Float(round6(self.canary_deployed_mpki)),
+                    ),
+                    (
+                        "candidate_mpki",
+                        Value::Float(round6(self.canary_candidate_mpki)),
+                    ),
+                    ("delta_pct", Value::Float(round6(self.canary_delta_pct))),
+                    (
+                        "decisions",
+                        Value::Array(
+                            self.decisions
+                                .iter()
+                                .map(|d| Value::Str(d.clone()))
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ),
+            (
+                "artifact_cache",
+                object([
+                    ("hits", Value::UInt(self.cache_hits)),
+                    ("misses", Value::UInt(self.cache_misses)),
+                    ("invalidations", Value::UInt(self.cache_invalidations)),
+                    (
+                        "hit_rate",
+                        Value::Float(if self.cache_hits + self.cache_misses == 0 {
+                            0.0
+                        } else {
+                            round6(
+                                self.cache_hits as f64
+                                    / (self.cache_hits + self.cache_misses) as f64,
+                            )
+                        }),
+                    ),
+                ]),
+            ),
+            (
+                "shard_health",
+                object([
+                    ("shards_ok", Value::UInt(self.shards_ok)),
+                    ("shards_failed", Value::UInt(self.shards_failed)),
+                    ("dropped_packets", Value::UInt(self.dropped_packets)),
+                    ("resync_events", Value::UInt(self.resync_events)),
+                ]),
+            ),
+        ])
+    }
+}
+
+pub(crate) fn fleet_report(
+    config: &crate::FleetConfig,
+    services: u64,
+    epochs: &[EpochReport],
+) -> Value {
+    object([
+        ("schema", Value::Str(FLEET_SCHEMA.to_string())),
+        ("command", Value::Str("fleet".to_string())),
+        ("instances", Value::UInt(config.instances as u64)),
+        ("epochs", Value::UInt(u64::from(config.epochs))),
+        ("canary_pct", Value::UInt(u64::from(config.canary_pct))),
+        ("seed", Value::UInt(config.seed)),
+        ("services", Value::UInt(services)),
+        (
+            "epoch_reports",
+            Value::Array(epochs.iter().map(EpochReport::to_value).collect()),
+        ),
+        (
+            "phases",
+            Value::Array(
+                FLEET_PHASES
+                    .iter()
+                    .map(|&name| {
+                        object([
+                            ("name", Value::Str(name.to_string())),
+                            ("count", Value::UInt(u64::from(config.epochs))),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn field_u64(v: &Value, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(|f| f.as_u64())
+        .map_err(|e| format!("{key}: {e}"))
+}
+
+fn field_finite(v: &Value, key: &str) -> Result<f64, String> {
+    let x = v
+        .get(key)
+        .and_then(|f| f.as_f64())
+        .map_err(|e| format!("{key}: {e}"))?;
+    if !x.is_finite() {
+        return Err(format!("{key} is not finite: {x}"));
+    }
+    Ok(x)
+}
+
+/// Validates a parsed `ripple.fleet_report.v1` document: schema and
+/// command tags, per-epoch structure, decision vocabulary, cache
+/// arithmetic (`hit_rate ∈ [0, 1]` and consistent with the counters),
+/// shard-health bounds, and the fixed phase roster.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first violation.
+pub fn validate_fleet_report(report: &Value) -> Result<(), String> {
+    let schema = report
+        .get("schema")
+        .and_then(|s| s.as_str())
+        .map_err(|e| format!("schema: {e}"))?;
+    if schema != FLEET_SCHEMA {
+        return Err(format!(
+            "unknown schema {schema:?}, expected {FLEET_SCHEMA:?}"
+        ));
+    }
+    let command = report
+        .get("command")
+        .and_then(|s| s.as_str())
+        .map_err(|e| format!("command: {e}"))?;
+    if command != "fleet" {
+        return Err(format!("command {command:?} is not \"fleet\""));
+    }
+    let instances = field_u64(report, "instances")?;
+    let epochs = field_u64(report, "epochs")?;
+    let services = field_u64(report, "services")?;
+    if services == 0 || services > instances {
+        return Err(format!(
+            "services ({services}) must be in [1, instances = {instances}]"
+        ));
+    }
+    let entries = report
+        .get("epoch_reports")
+        .and_then(|e| e.as_array())
+        .map_err(|e| format!("epoch_reports: {e}"))?;
+    if entries.len() as u64 != epochs {
+        return Err(format!(
+            "epoch_reports has {} entries, header promises {epochs}",
+            entries.len()
+        ));
+    }
+    for (i, entry) in entries.iter().enumerate() {
+        let epoch = field_u64(entry, "epoch")?;
+        if epoch != i as u64 {
+            return Err(format!("epoch_reports[{i}] is labelled epoch {epoch}"));
+        }
+        entry
+            .get("drift")
+            .and_then(|d| d.as_bool())
+            .map_err(|e| format!("epoch {i} drift: {e}"))?;
+        for key in ["fleet_mpki", "baseline_mpki"] {
+            let x = field_finite(entry, key)?;
+            if x < 0.0 {
+                return Err(format!("epoch {i} {key} is negative: {x}"));
+            }
+        }
+        let canary = entry.get("canary").map_err(|e| format!("epoch {i}: {e}"))?;
+        let canary_instances = field_u64(canary, "instances")?;
+        if canary_instances > instances {
+            return Err(format!(
+                "epoch {i} canaries {canary_instances} exceed the fleet ({instances})"
+            ));
+        }
+        field_finite(canary, "deployed_mpki")?;
+        field_finite(canary, "candidate_mpki")?;
+        field_finite(canary, "delta_pct")?;
+        let decisions = canary
+            .get("decisions")
+            .and_then(|d| d.as_array())
+            .map_err(|e| format!("epoch {i} decisions: {e}"))?;
+        if decisions.len() as u64 != services {
+            return Err(format!(
+                "epoch {i} has {} decisions for {services} services",
+                decisions.len()
+            ));
+        }
+        for d in decisions {
+            let d = d.as_str().map_err(|e| format!("epoch {i} decision: {e}"))?;
+            if !FLEET_DECISIONS.contains(&d) {
+                return Err(format!("epoch {i} has unknown decision {d:?}"));
+            }
+        }
+        let cache = entry
+            .get("artifact_cache")
+            .map_err(|e| format!("epoch {i}: {e}"))?;
+        let hits = field_u64(cache, "hits")?;
+        let misses = field_u64(cache, "misses")?;
+        field_u64(cache, "invalidations")?;
+        let hit_rate = field_finite(cache, "hit_rate")?;
+        if !(0.0..=1.0).contains(&hit_rate) {
+            return Err(format!("epoch {i} hit_rate {hit_rate} outside [0, 1]"));
+        }
+        if hits + misses == 0 && hit_rate != 0.0 {
+            return Err(format!("epoch {i} hit_rate {hit_rate} with zero lookups"));
+        }
+        let health = entry
+            .get("shard_health")
+            .map_err(|e| format!("epoch {i}: {e}"))?;
+        let ok = field_u64(health, "shards_ok")?;
+        let failed = field_u64(health, "shards_failed")?;
+        if ok + failed != instances {
+            return Err(format!(
+                "epoch {i} shard counts ({ok} ok + {failed} failed) don't cover {instances} instances"
+            ));
+        }
+        field_u64(health, "dropped_packets")?;
+        field_u64(health, "resync_events")?;
+    }
+    let phases = report
+        .get("phases")
+        .and_then(|p| p.as_array())
+        .map_err(|e| format!("phases: {e}"))?;
+    for name in FLEET_PHASES {
+        let found = phases.iter().any(|p| {
+            p.get("name")
+                .and_then(|n| n.as_str())
+                .map(|n| n == name)
+                .unwrap_or(false)
+                && p.get("count").and_then(|c| c.as_u64()).unwrap_or(0) >= 1
+        });
+        if !found {
+            return Err(format!("required phase {name:?} missing or never ran"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FleetConfig;
+
+    fn sample() -> Value {
+        let config = FleetConfig {
+            instances: 4,
+            epochs: 2,
+            ..FleetConfig::default()
+        };
+        let epochs: Vec<EpochReport> = (0..2)
+            .map(|epoch| EpochReport {
+                epoch,
+                fleet_mpki: 12.5,
+                baseline_mpki: 14.0,
+                canary_instances: 2,
+                decisions: vec![
+                    "promote".into(),
+                    "hold".into(),
+                    "hold".into(),
+                    "hold".into(),
+                ],
+                cache_hits: u64::from(epoch),
+                cache_misses: 1,
+                shards_ok: 4,
+                ..EpochReport::default()
+            })
+            .collect();
+        fleet_report(&config, 4, &epochs)
+    }
+
+    #[test]
+    fn sample_report_round_trips_and_validates() {
+        let report = sample();
+        let text = report.to_pretty_string();
+        let parsed = ripple_json::parse(&text).unwrap();
+        validate_fleet_report(&parsed).unwrap();
+    }
+
+    #[test]
+    fn validator_rejects_corruption() {
+        let corrupt = |mutate: fn(&mut String), why: &str| {
+            let mut text = sample().to_pretty_string();
+            mutate(&mut text);
+            let parsed = ripple_json::parse(&text).unwrap();
+            assert!(validate_fleet_report(&parsed).is_err(), "{why}");
+        };
+        corrupt(
+            |t| *t = t.replace("ripple.fleet_report.v1", "ripple.fleet_report.v2"),
+            "wrong schema",
+        );
+        corrupt(
+            |t| *t = t.replace("\"promote\"", "\"yolo\""),
+            "bad decision",
+        );
+        corrupt(
+            |t| *t = t.replace("\"fleet.rollout\"", "\"fleet.party\""),
+            "missing phase",
+        );
+        corrupt(
+            |t| *t = t.replace("\"shards_ok\": 4", "\"shards_ok\": 3"),
+            "shard counts must cover the fleet",
+        );
+        corrupt(
+            |t| *t = t.replacen("\"hit_rate\": 0.0", "\"hit_rate\": 1.5", 1),
+            "hit rate outside [0,1]",
+        );
+    }
+}

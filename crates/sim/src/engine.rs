@@ -14,7 +14,7 @@
 //! oracle run. Sessions are `Sync`; one session can serve replays from many
 //! threads concurrently.
 
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use ripple_obs::{time_phase, FieldValue, NullRecorder, PhaseTimer, Recorder};
@@ -105,6 +105,10 @@ pub struct SimSession<'a> {
     /// built lazily on the first replay and cloned into each run.
     l3_seed: OnceLock<crate::cache::Cache<LruPolicy>>,
     recording_passes: AtomicU32,
+    /// Set once the session has warned on stderr that a `replay_shards`
+    /// request was downgraded to sequential replay, so a policy matrix
+    /// over one session prints the note once, not once per run.
+    shard_note_emitted: AtomicBool,
     /// Observability sink; [`NullRecorder`] (the default) keeps every
     /// instrumented seam on its free path.
     recorder: Arc<dyn Recorder>,
@@ -157,6 +161,7 @@ impl<'a> SimSession<'a> {
             bucketed: OnceLock::new(),
             l3_seed: OnceLock::new(),
             recording_passes: AtomicU32::new(0),
+            shard_note_emitted: AtomicBool::new(false),
             recorder: Arc::new(NullRecorder),
             trace_health: None,
         }
@@ -263,6 +268,7 @@ impl<'a> SimSession<'a> {
     ) -> Result<SimStats, StreamLimitError> {
         let timer = PhaseTimer::start(&*self.recorder);
         let cfg = self.config.clone().with_policy(policy);
+        let mut used_batched = false;
         let mut stats = if policy.is_offline_ideal() {
             match self.recorded()? {
                 RecordedStream::Columnar { stream, future } => {
@@ -275,6 +281,7 @@ impl<'a> SimSession<'a> {
                         // Set-major (and, when configured, sharded) replay;
                         // monomorphized factories for the two known oracles
                         // so the policy callbacks inline into the hot loop.
+                        used_batched = true;
                         let geom = cfg.l1i;
                         let fut = b.future.clone();
                         if policy == PolicyKind::OPT {
@@ -327,6 +334,7 @@ impl<'a> SimSession<'a> {
                             None
                         };
                         if let Some(b) = batched {
+                            used_batched = true;
                             let make = || build_policy(&cfg);
                             self.run_batched(&cfg, stream, b, &make, sink)
                         } else {
@@ -346,6 +354,30 @@ impl<'a> SimSession<'a> {
                 self.run_frontend(&cfg, policy, false, None, sink).0
             }
         };
+        if cfg.replay_shards > 1 && !used_batched {
+            // The shard request was silently unusable for this run; say so
+            // once (stderr) and always (gauge) instead of quietly running
+            // the sequential path.
+            let reason = if !policy.replay_set_local() {
+                "the policy has no set-local replay state"
+            } else if cfg.line_path != LinePath::Interned {
+                "the reference line path has no sharded replay"
+            } else {
+                "the trace or cache geometry is ineligible for set-batched replay \
+                 (set divisibility, line-id width, or stream-size limits)"
+            };
+            if self.recorder.enabled() {
+                self.recorder
+                    .gauge("session.replay_shards_downgraded", cfg.replay_shards as f64);
+            }
+            if !self.shard_note_emitted.swap(true, Ordering::Relaxed) {
+                eprintln!(
+                    "ripple-sim: --replay-shards {} downgraded to sequential replay for {}: {reason}",
+                    cfg.replay_shards,
+                    policy.name()
+                );
+            }
+        }
         if let Some(health) = self.trace_health {
             stats.dropped_packets = health.dropped_packets;
             stats.resync_events = health.resync_events;
@@ -1005,6 +1037,60 @@ mod tests {
         assert_eq!(
             metrics.snapshot().counter("session.l3_seed_clones"),
             Some(7)
+        );
+    }
+
+    #[test]
+    fn shard_downgrade_is_reported_for_non_set_local_policy() {
+        // DRRIP cannot shard (global PSEL duel); requesting shards must
+        // surface the downgrade as a gauge instead of silently running the
+        // sequential path.
+        let (p, l, t) = small_setup();
+        let metrics = Arc::new(ripple_obs::MetricsRecorder::new());
+        let mut cfg = small_cfg();
+        cfg.replay_shards = 4;
+        let session = SimSession::new(&p, &l, &t, cfg).with_recorder(metrics.clone());
+        session.run(PolicyKind::DRRIP);
+        assert_eq!(
+            metrics.snapshot().gauge("session.replay_shards_downgraded"),
+            Some(4.0),
+            "a non-set-local policy must report the shard downgrade"
+        );
+    }
+
+    #[test]
+    fn shard_downgrade_is_reported_when_set_divisibility_fails() {
+        // A set-local policy with an L2 whose set count is not a multiple
+        // of the L1I's (12 % 8 != 0) rules set-batched replay out; the
+        // downgrade must be reported even though the policy could shard.
+        let (p, l, t) = small_setup();
+        let metrics = Arc::new(ripple_obs::MetricsRecorder::new());
+        let mut cfg = small_cfg();
+        cfg.replay_shards = 4;
+        cfg.l2 = crate::config::CacheGeometry::new(12 * 64, 1);
+        assert!(!cfg.l2.num_sets().is_multiple_of(cfg.l1i.num_sets()));
+        let session = SimSession::new(&p, &l, &t, cfg).with_recorder(metrics.clone());
+        session.run(PolicyKind::LRU);
+        assert_eq!(
+            metrics.snapshot().gauge("session.replay_shards_downgraded"),
+            Some(4.0),
+            "an ineligible geometry must report the shard downgrade"
+        );
+    }
+
+    #[test]
+    fn no_downgrade_gauge_when_sharding_applies() {
+        let (p, l, t) = small_setup();
+        let metrics = Arc::new(ripple_obs::MetricsRecorder::new());
+        let mut cfg = small_cfg();
+        cfg.replay_shards = 2;
+        let session = SimSession::new(&p, &l, &t, cfg).with_recorder(metrics.clone());
+        session.run(PolicyKind::LRU);
+        session.run(PolicyKind::OPT);
+        assert_eq!(
+            metrics.snapshot().gauge("session.replay_shards_downgraded"),
+            None,
+            "an honoured shard request must not report a downgrade"
         );
     }
 

@@ -61,6 +61,14 @@ impl BbTrace {
             .sum()
     }
 
+    /// Appends every block of `other`, in order. The concatenation
+    /// primitive for stitching per-instance trace shards into one
+    /// training trace (order matters: the merged trace replays shard by
+    /// shard).
+    pub fn extend_from(&mut self, other: &BbTrace) {
+        self.blocks.extend_from_slice(&other.blocks);
+    }
+
     /// Number of distinct blocks executed.
     pub fn unique_blocks(&self) -> usize {
         self.blocks.iter().collect::<HashSet<_>>().len()
@@ -130,5 +138,24 @@ mod tests {
         trace.extend(vec![BlockId::new(1), BlockId::new(2)]);
         let collected: Vec<_> = (&trace).into_iter().collect();
         assert_eq!(collected, vec![BlockId::new(1), BlockId::new(2)]);
+    }
+
+    #[test]
+    fn extend_from_concatenates_in_order() {
+        let mut merged = BbTrace::new(vec![BlockId::new(1), BlockId::new(2)]);
+        let shard = BbTrace::new(vec![BlockId::new(3), BlockId::new(1)]);
+        merged.extend_from(&shard);
+        merged.extend_from(&BbTrace::default());
+        assert_eq!(
+            merged.blocks(),
+            &[
+                BlockId::new(1),
+                BlockId::new(2),
+                BlockId::new(3),
+                BlockId::new(1)
+            ]
+        );
+        // The source shard is untouched.
+        assert_eq!(shard.len(), 2);
     }
 }

@@ -129,6 +129,30 @@ impl AppSpec {
         }
     }
 
+    /// A small fleet-service specification: `tiny`-sized (so fleet runs
+    /// over many instances stay fast) with per-index shape variation, so
+    /// service 0 and service 1 of a fleet have genuinely different code
+    /// footprints and miss profiles. Equal `(index, seed)` pairs produce
+    /// equal specifications.
+    pub fn fleet_service(index: usize, seed: u64) -> Self {
+        let mix = seed
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(index as u64);
+        let mut spec = AppSpec::tiny(mix);
+        spec.name = format!("svc-{index}");
+        // Vary the dominant shape knobs deterministically by index.
+        spec.layer_functions = match index % 4 {
+            0 => vec![4, 8, 12],
+            1 => vec![3, 6, 9, 12],
+            2 => vec![6, 10],
+            _ => vec![4, 6, 8, 10],
+        };
+        spec.hot_handler_frac = 0.35 + 0.1 * ((index % 3) as f64);
+        spec.loop_frac = 0.1 + 0.05 * ((index % 2) as f64);
+        spec.num_phases = 2 + (index % 2) as u64;
+        spec
+    }
+
     /// A randomized small specification for differential fuzzing
     /// (`ripple-check`): every knob is drawn uniformly from a slice of its
     /// validated range, sized so generation and simulation stay fast. Two
@@ -258,6 +282,17 @@ mod tests {
     #[test]
     fn tiny_spec_validates() {
         AppSpec::tiny(1).validate();
+    }
+
+    #[test]
+    fn fleet_service_specs_validate_and_vary_by_index() {
+        for index in 0..8 {
+            let a = AppSpec::fleet_service(index, 7);
+            a.validate();
+            assert_eq!(a, AppSpec::fleet_service(index, 7));
+        }
+        assert_ne!(AppSpec::fleet_service(0, 7), AppSpec::fleet_service(1, 7));
+        assert_ne!(AppSpec::fleet_service(0, 7), AppSpec::fleet_service(0, 8));
     }
 
     #[test]

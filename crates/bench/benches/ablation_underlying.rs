@@ -1,20 +1,21 @@
 //! Ablation: Ripple is replacement-policy agnostic (§III). The same plan
 //! assists true LRU, hardware tree-PLRU and metadata-free Random.
 //!
-//! Underlying candidates are drawn from the policy registry: offline
-//! ideals are excluded (they need a recorded future index, which Ripple's
-//! online evaluation path does not provide), and RRIP / predictive-reuse
-//! policies are excluded because they carry their own insertion/eviction
-//! predictions — stacking Ripple's plan on top would measure two
-//! predictors fighting, not policy-agnosticism.
+//! Thin wrapper over the declarative `ablation-underlying` experiment
+//! (`experiments/ablation-underlying.json`). Its `@underlying-agnostic`
+//! token encodes the candidate rule this bench used to hand-roll:
+//! offline ideals are excluded (they need a recorded future index, which
+//! Ripple's online evaluation path does not provide), and RRIP /
+//! predictive-reuse policies are excluded because they carry their own
+//! insertion/eviction predictions — stacking Ripple's plan on top would
+//! measure two predictors fighting, not policy-agnosticism. The walk
+//! below only narrates those exclusions; the lab owns the measurement.
 
-use ripple::{Ripple, RippleConfig};
-use ripple_bench::{bench_budget, load_app};
-use ripple_sim::{simulate, PolicyFamily, PolicyKind, PolicyRegistry, SimConfig};
-use ripple_workloads::App;
+use ripple_bench::{bench_budget, bench_profile};
+use ripple_lab::{builtin, run_experiment, LabOptions};
+use ripple_sim::{PolicyFamily, PolicyRegistry};
 
-fn underlying_candidates() -> Vec<PolicyKind> {
-    let mut underlyings = Vec::new();
+fn print_skips() {
     for id in PolicyRegistry::global().all() {
         let d = id.descriptor();
         if d.needs_future_index {
@@ -22,67 +23,65 @@ fn underlying_candidates() -> Vec<PolicyKind> {
                 "  (skipping {}: offline ideal, needs a recorded future index)",
                 d.name
             );
-            continue;
-        }
-        if matches!(d.family, PolicyFamily::Rrip | PolicyFamily::PredictiveReuse) {
+        } else if matches!(d.family, PolicyFamily::Rrip | PolicyFamily::PredictiveReuse) {
             println!(
                 "  (skipping {}: {} policies carry their own insertion/eviction \
                  predictions and are not a neutral substrate for Ripple's plan)",
                 d.name,
                 d.family.name()
             );
-            continue;
         }
-        underlyings.push(id);
     }
-    underlyings
 }
 
 fn main() {
-    let budget = bench_budget() / 2;
+    let mut decl = builtin("ablation-underlying").expect("embedded declaration");
+    decl.profiles = vec![bench_profile().name.to_string()];
+    let resolved = decl.resolve().expect("declaration resolves");
+    let options = LabOptions {
+        instructions: Some(bench_budget() / 2),
+        ..LabOptions::default()
+    };
+    let run = run_experiment(&resolved, &options).expect("lab run");
+
     println!("\nAblation — underlying policy (no-prefetch, % speedup over LRU)");
-    let underlyings = underlying_candidates();
+    print_skips();
     println!(
         "  {:<16} {:>10} {:>15} {:>13} {:>11}",
         "app", "plain-pol", "ripple-on-pol", "ripple-gain", "policy"
     );
-    for app in [App::Cassandra, App::Verilator] {
-        let loaded = load_app(app, budget);
-        let lru = simulate(
-            &loaded.app.program,
-            &loaded.layout,
-            &loaded.trace,
-            &SimConfig::default(),
-        );
-        for &underlying in &underlyings {
-            let plain = simulate(
-                &loaded.app.program,
-                &loaded.layout,
-                &loaded.trace,
-                &SimConfig::default().with_policy(underlying),
-            );
-            let mut config = RippleConfig::default();
-            config.underlying = underlying;
-            let ripple = Ripple::train(&loaded.app.program, &loaded.layout, &loaded.trace, config)
-                .expect("train");
-            let o = ripple.evaluate(&loaded.trace).expect("evaluate");
-            let plain_sp = plain.speedup_pct_over(&lru);
-            let ripple_sp = o.speedup_pct();
+    for (point, outcome) in run.points.iter().zip(&run.outcomes) {
+        for row in &outcome.ripple {
+            // The plain run of every non-LRU substrate sits in the
+            // point's policy matrix; LRU itself is the baseline (0 %).
+            let plain_sp = if row.underlying == "lru" {
+                0.0
+            } else {
+                outcome
+                    .policies
+                    .iter()
+                    .find(|(n, _)| *n == row.underlying)
+                    .expect("underlying measured plain in the same point")
+                    .1
+                    .speedup_pct
+            };
+            let ripple_sp = row.row.speedup_pct;
             println!(
                 "  {:<16} {:>10.2} {:>15.2} {:>13.2} {:>11}",
-                app.name(),
+                point.app.name(),
                 plain_sp,
                 ripple_sp,
                 ripple_sp - plain_sp,
-                underlying.name()
+                row.underlying
             );
             // On thrash-heavy apps plain Random can already beat LRU
             // (classic cyclic-pattern behaviour), leaving little for
             // Ripple; allow noise-level regressions there.
             assert!(
                 ripple_sp > plain_sp - 0.25,
-                "{app}/{}: ripple must not meaningfully hurt its underlying policy",
-                underlying.name()
+                "{}/{}: ripple must not meaningfully hurt its underlying policy",
+                point.app.name(),
+                row.underlying
             );
         }
     }

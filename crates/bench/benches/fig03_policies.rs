@@ -2,32 +2,43 @@
 //! GHRP/Hawkeye/Harmony/SRRIP/DRRIP beat LRU, while the ideal policy
 //! gains 3.16 % on average.
 //!
-//! The policy columns come from [`prior_policies`] (the registry's online
-//! policies minus the LRU baseline), so a newly registered policy gets a
-//! column without touching this bench.
+//! Thin wrapper over the declarative `fig03-policies` experiment
+//! (`experiments/fig03-policies.json`): the measurement itself is data
+//! executed by ripple-lab; this binary only prints the paper's table and
+//! asserts its headline shape. The policy columns come from the
+//! declaration's `@priors` token (the registry's online policies minus
+//! the LRU baseline), so a newly registered policy still gets a column
+//! without touching this bench.
 
-use ripple_bench::{ensure_grid, print_paper_check, prior_policies};
+use ripple_bench::{bench_budget, bench_profile, print_paper_check};
+use ripple_lab::{builtin, run_experiment, LabOptions};
 use ripple_sim::PrefetcherKind;
-use ripple_workloads::App;
 
 fn main() {
-    let grid = ensure_grid();
-    let priors = prior_policies();
+    let mut decl = builtin("fig03-policies").expect("embedded declaration");
+    decl.profiles = vec![bench_profile().name.to_string()];
+    let resolved = decl.resolve().expect("declaration resolves");
+    let options = LabOptions {
+        instructions: Some(bench_budget()),
+        ..LabOptions::default()
+    };
+    let run = run_experiment(&resolved, &options).expect("lab run");
+
+    let policy_names: Vec<&str> = resolved.policies.iter().map(|p| p.name()).collect();
     println!("\nFig. 3 — Replacement-policy speedup over LRU (FDIP at L1I), %");
     let mut header = format!("  {:<16}", "app");
-    for p in &priors {
-        header.push_str(&format!(" {:>9}", p.name()));
+    for name in &policy_names {
+        header.push_str(&format!(" {name:>9}"));
     }
     header.push_str(&format!(" {:>9}", "ideal"));
     println!("{header}");
-    let mut sums = vec![0.0f64; priors.len() + 1];
-    for &a in App::ALL.iter() {
-        let c = grid.cell(a, PrefetcherKind::Fdip);
+    let mut sums = vec![0.0f64; policy_names.len() + 1];
+    for &a in &resolved.apps {
+        let c = run
+            .outcome(bench_profile().name, a.name(), PrefetcherKind::Fdip)
+            .expect("grid covers every app");
         let mut row = format!("  {:<16}", a.name());
-        let mut vals: Vec<f64> = priors
-            .iter()
-            .map(|p| c.policies[p.name()].speedup_pct)
-            .collect();
+        let mut vals: Vec<f64> = c.policies.iter().map(|(_, r)| r.speedup_pct).collect();
         vals.push(c.ideal.speedup_pct);
         for (s, v) in sums.iter_mut().zip(&vals) {
             *s += v;
@@ -35,7 +46,7 @@ fn main() {
         }
         println!("{row}");
     }
-    let n = App::ALL.len() as f64;
+    let n = resolved.apps.len() as f64;
     let mut mean_row = format!("  {:<16}", "MEAN");
     for s in &sums {
         mean_row.push_str(&format!(" {:>9.2}", s / n));
@@ -45,12 +56,11 @@ fn main() {
     print_paper_check("fig3 mean ideal speedup under fdip", 3.16, ideal_mean, "%");
     // The paper's headline: no prior policy meaningfully beats LRU while
     // ideal clearly does.
-    for (p, s) in priors.iter().zip(&sums) {
+    for (name, s) in policy_names.iter().zip(&sums) {
         let mean = s / n;
         assert!(
             mean < ideal_mean,
-            "{} mean {mean:.2}% must trail the ideal {ideal_mean:.2}%",
-            p.name()
+            "{name} mean {mean:.2}% must trail the ideal {ideal_mean:.2}%"
         );
     }
 }

@@ -1,39 +1,46 @@
 //! Figure 6: coverage/accuracy trade-off vs invalidation threshold for
 //! finagle-http. Paper: coverage falls and accuracy rises with the
 //! threshold; the sweet spot sits at 40–60 %.
+//!
+//! Thin wrapper over the declarative `fig06-threshold` experiment
+//! (`experiments/fig06-threshold.json`): one grid point, eleven Ripple
+//! rows — the whole sweep is data.
 
-use ripple::{sweep, Ripple, RippleConfig};
-use ripple_bench::{bench_budget, load_app};
-use ripple_workloads::App;
+use ripple_bench::{bench_budget, bench_profile};
+use ripple_lab::{builtin, run_experiment, LabOptions, RipplePointRow};
 
 fn main() {
-    let loaded = load_app(App::FinagleHttp, bench_budget());
-    let config = RippleConfig::default();
-    let ripple =
-        Ripple::train(&loaded.app.program, &loaded.layout, &loaded.trace, config).expect("train");
-    let thresholds: Vec<f64> = (0..=10).map(|i| i as f64 / 10.0).collect();
-    let points = sweep(&ripple, &loaded.trace, &thresholds).expect("sweep");
+    let mut decl = builtin("fig06-threshold").expect("embedded declaration");
+    decl.profiles = vec![bench_profile().name.to_string()];
+    let resolved = decl.resolve().expect("declaration resolves");
+    let options = LabOptions {
+        instructions: Some(bench_budget()),
+        ..LabOptions::default()
+    };
+    let run = run_experiment(&resolved, &options).expect("lab run");
+    let points = &run.outcomes[0].ripple;
+    assert_eq!(points.len(), resolved.thresholds.len());
+
     println!("\nFig. 6 — Coverage/accuracy vs invalidation threshold (finagle-http)");
     println!(
         "  {:>9} {:>10} {:>10} {:>10}",
         "threshold", "coverage%", "accuracy%", "speedup%"
     );
-    for p in &points {
+    for p in points {
         println!(
             "  {:>9.2} {:>10.1} {:>10.1} {:>10.2}",
             p.threshold,
             p.coverage * 100.0,
             p.accuracy * 100.0,
-            p.speedup_pct
+            p.row.speedup_pct
         );
     }
     // The paper's trade-off shape, asserted as a trend (slot fitting and
     // relinking make individual points slightly non-monotone): coverage
     // falls and accuracy rises from the low-threshold to the
     // high-threshold end of the curve.
-    let low =
-        |f: &dyn Fn(&ripple::ThresholdPoint) -> f64| points[..4].iter().map(f).sum::<f64>() / 4.0;
-    let high = |f: &dyn Fn(&ripple::ThresholdPoint) -> f64| {
+    let low = |f: &dyn Fn(&RipplePointRow) -> f64| points[..4].iter().map(f).sum::<f64>() / 4.0;
+    let high = |f: &dyn Fn(&RipplePointRow) -> f64| {
         points[points.len() - 4..].iter().map(f).sum::<f64>() / 4.0
     };
     assert!(

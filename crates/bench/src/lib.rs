@@ -19,6 +19,7 @@ use ripple::{
     RippleConfig,
 };
 use ripple_json::{object, FromJson, JsonError, ToJson, Value};
+use ripple_lab::TargetProfile;
 use ripple_program::{Layout, LayoutConfig};
 use ripple_sim::{
     simulate_ideal_cache, PolicyKind, PolicyRegistry, PrefetcherKind, SimConfig, SimSession,
@@ -33,6 +34,22 @@ pub fn bench_budget() -> u64 {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(1_000_000)
+}
+
+/// The target profile benches measure on (`RIPPLE_BENCH_PROFILE`, a
+/// `ripple-lab` profile name; default `paper`, the paper's Table II).
+pub fn bench_profile() -> &'static TargetProfile {
+    let name = std::env::var("RIPPLE_BENCH_PROFILE").unwrap_or_else(|_| "paper".to_string());
+    TargetProfile::find(&name).unwrap_or_else(|| {
+        panic!(
+            "RIPPLE_BENCH_PROFILE={name:?} names no target profile (valid: {})",
+            ripple_lab::TARGET_PROFILES
+                .iter()
+                .map(|p| p.name)
+                .collect::<Vec<_>>()
+                .join(" ")
+        )
+    })
 }
 
 /// Candidate invalidation thresholds for per-app tuning (§III-C: the
@@ -112,6 +129,11 @@ pub struct AppCell {
 pub struct Grid {
     /// Instruction budget the grid was computed with.
     pub budget: u64,
+    /// Cache-geometry fingerprint of the target profile the grid was
+    /// measured on (see [`TargetProfile::fingerprint`]). A cached grid
+    /// from a different geometry holds figures for a different machine
+    /// and must never be reused.
+    pub geometry: String,
     /// One cell per (app, prefetcher).
     pub cells: Vec<AppCell>,
 }
@@ -242,6 +264,7 @@ impl ToJson for Grid {
     fn to_json(&self) -> Value {
         object([
             ("budget", self.budget.to_json()),
+            ("geometry", self.geometry.to_json()),
             ("cells", self.cells.to_json()),
         ])
     }
@@ -249,8 +272,11 @@ impl ToJson for Grid {
 
 impl FromJson for Grid {
     fn from_json(v: &Value) -> Result<Self, JsonError> {
+        // A cache written before the geometry field existed fails here,
+        // which correctly falls through to a recompute.
         Ok(Grid {
             budget: v.get("budget")?.as_u64()?,
+            geometry: String::from_json(v.get("geometry")?)?,
             cells: Vec::<AppCell>::from_json(v.get("cells")?)?,
         })
     }
@@ -285,7 +311,7 @@ pub fn load_app(app: App, budget: u64) -> LoadedApp {
 }
 
 fn sim_config(prefetcher: PrefetcherKind) -> SimConfig {
-    SimConfig::default().with_prefetcher(prefetcher)
+    bench_profile().sim_config().with_prefetcher(prefetcher)
 }
 
 /// The prior policies compared in Figs. 3, 7 and 8: every registered
@@ -411,29 +437,42 @@ fn grid_path(budget: u64) -> PathBuf {
     PathBuf::from(target).join(format!("ripple_grid_{budget}.json"))
 }
 
+/// Whether a cached grid can be reused for this run's configuration: the
+/// same instruction budget, the same cache geometry, full
+/// (app × prefetcher) coverage, and a row for every currently registered
+/// prior policy. Anything else means the cells were measured under a
+/// different experiment and the grid must be recomputed.
+pub fn grid_is_fresh(grid: &Grid, budget: u64, geometry: &str) -> bool {
+    let prior_names: Vec<&str> = prior_policies().iter().map(|p| p.name()).collect();
+    let covers_registry = grid
+        .cells
+        .iter()
+        .all(|c| prior_names.iter().all(|n| c.policies.contains_key(*n)));
+    grid.budget == budget
+        && grid.geometry == geometry
+        && grid.cells.len() == App::ALL.len() * 3
+        && covers_registry
+}
+
 /// Loads the cached grid or computes it (all 9 apps × 3 prefetchers).
 pub fn ensure_grid() -> Grid {
     let budget = bench_budget();
+    let geometry = bench_profile().fingerprint();
     let path = grid_path(budget);
     if let Ok(text) = fs::read_to_string(&path) {
         if let Ok(grid) = ripple_json::parse(&text).and_then(|v| Grid::from_json(&v)) {
             // A cached grid is stale once a policy registers that its
             // cells never measured (e.g. a grid cached before TRRIP
-            // landed) — recompute instead of silently dropping the row.
-            let prior_names: Vec<&str> = prior_policies().iter().map(|p| p.name()).collect();
-            let covers_registry = grid
-                .cells
-                .iter()
-                .all(|c| prior_names.iter().all(|n| c.policies.contains_key(*n)));
-            if grid.budget == budget && grid.cells.len() == App::ALL.len() * 3 && covers_registry {
+            // landed) or once the target geometry changes
+            // (RIPPLE_BENCH_PROFILE) — recompute instead of silently
+            // reporting another machine's figures.
+            if grid_is_fresh(&grid, budget, &geometry) {
                 return grid;
             }
-            if !covers_registry {
-                eprintln!(
-                    "[ripple-bench] cached grid at {} predates a registered policy; recomputing",
-                    path.display()
-                );
-            }
+            eprintln!(
+                "[ripple-bench] cached grid at {} is stale (budget/geometry/registry changed); recomputing",
+                path.display()
+            );
         }
     }
     eprintln!(
@@ -460,7 +499,11 @@ pub fn ensure_grid() -> Grid {
             t0.elapsed().as_secs_f64()
         );
     }
-    let grid = Grid { budget, cells };
+    let grid = Grid {
+        budget,
+        geometry,
+        cells,
+    };
     let _ = fs::write(&path, grid.to_json().to_pretty_string());
     grid
 }
@@ -478,4 +521,112 @@ pub fn print_series(title: &str, unit: &str, rows: &[(String, f64)]) {
 /// `paper=` vs `measured=` comparison line (grepped into EXPERIMENTS.md).
 pub fn print_paper_check(label: &str, paper: f64, measured: f64, unit: &str) {
     println!("check: {label}: paper={paper}{unit} measured={measured:.2}{unit}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial_row() -> PolicyRow {
+        PolicyRow {
+            speedup_pct: 0.0,
+            mpki: 0.0,
+            miss_reduction_pct: 0.0,
+            demand_misses: 0,
+        }
+    }
+
+    fn trivial_ripple() -> RippleRow {
+        RippleRow {
+            row: trivial_row(),
+            coverage: 0.0,
+            accuracy: 0.0,
+            underlying_accuracy: 0.0,
+            static_overhead_pct: 0.0,
+            dynamic_overhead_pct: 0.0,
+            threshold: 0.5,
+        }
+    }
+
+    fn synthetic_grid(budget: u64, geometry: &str) -> Grid {
+        let mut cells = Vec::new();
+        for app in App::ALL {
+            for pf in [
+                PrefetcherKind::None,
+                PrefetcherKind::NextLine,
+                PrefetcherKind::Fdip,
+            ] {
+                let mut policies = BTreeMap::new();
+                for p in prior_policies() {
+                    policies.insert(p.name().to_string(), trivial_row());
+                }
+                cells.push(AppCell {
+                    app: app.name().to_string(),
+                    prefetcher: pf.name().to_string(),
+                    lru: trivial_row(),
+                    policies,
+                    ideal: trivial_row(),
+                    ideal_cache: trivial_row(),
+                    ripple_lru: trivial_ripple(),
+                    ripple_random: trivial_ripple(),
+                    compulsory_mpki: 0.0,
+                });
+            }
+        }
+        Grid {
+            budget,
+            geometry: geometry.to_string(),
+            cells,
+        }
+    }
+
+    /// Regression: a cached grid measured on one cache geometry must not
+    /// be reused on another. Before the geometry fingerprint landed,
+    /// freshness only keyed on budget + registry coverage, so switching
+    /// the target profile silently reported another machine's figures.
+    #[test]
+    fn grid_from_another_geometry_is_stale() {
+        let geometry = bench_profile().fingerprint();
+        let grid = synthetic_grid(1000, &geometry);
+        assert!(grid_is_fresh(&grid, 1000, &geometry));
+        let other = TargetProfile::find("zen2")
+            .expect("zen2 profile exists")
+            .fingerprint();
+        assert_ne!(geometry, other, "profiles must fingerprint distinctly");
+        assert!(
+            !grid_is_fresh(&grid, 1000, &other),
+            "a geometry change must invalidate the cache"
+        );
+        assert!(
+            !grid_is_fresh(&grid, 2000, &geometry),
+            "a budget change must invalidate the cache"
+        );
+    }
+
+    #[test]
+    fn grid_missing_a_registered_policy_is_stale() {
+        let geometry = bench_profile().fingerprint();
+        let mut grid = synthetic_grid(1000, &geometry);
+        let dropped = prior_policies()[0].name();
+        grid.cells[0].policies.remove(dropped);
+        assert!(!grid_is_fresh(&grid, 1000, &geometry));
+    }
+
+    #[test]
+    fn grid_round_trips_through_json_with_geometry() {
+        let grid = synthetic_grid(7, "l1i=32768x8 l2=x l3=x lat=1/2/3/4");
+        let text = grid.to_json().to_pretty_string();
+        let back =
+            Grid::from_json(&ripple_json::parse(&text).expect("valid json")).expect("round trip");
+        assert_eq!(back.geometry, grid.geometry);
+        assert_eq!(back.budget, grid.budget);
+        assert_eq!(back.cells.len(), grid.cells.len());
+        // A legacy cache predating the geometry field fails to parse,
+        // which ensure_grid treats as a recompute.
+        let legacy = text.replace("\"geometry\"", "\"geometry_gone\"");
+        assert!(
+            Grid::from_json(&ripple_json::parse(&legacy).expect("valid json")).is_err(),
+            "legacy caches must invalidate"
+        );
+    }
 }

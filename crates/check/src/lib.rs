@@ -1,7 +1,7 @@
 //! Differential oracle checker for the Ripple simulator.
 //!
 //! `ripple-check` fuzzes the production simulator against small executable
-//! models in nine independent dimensions:
+//! models in ten independent dimensions:
 //!
 //! 1. [`model_cache`] — a brute-force associative cache model cross-checked
 //!    against [`ripple_sim::Cache`] for LRU, SRRIP, DRRIP, and TRRIP,
@@ -31,7 +31,11 @@
 //! 9. [`fleet`] — fleet shard aggregation vs a brute-force oracle:
 //!    weighted profile merging must equal physically repeating each shard
 //!    `weight` times in one long trace, independent of shard order, all
-//!    the way through temperature classification.
+//!    the way through temperature classification;
+//! 10. [`lab`] — declarative experiment grids vs independent oracles:
+//!     mixed-radix index decoding of the expansion, axis dedup,
+//!     JSON round trips, and (on a bounded seed subset) end-to-end
+//!     thread-count byte-determinism of the emitted lab report.
 //!
 //! Every case derives from a single `u64` seed. Failures shrink to locally
 //! minimal repros (the vendored proptest stand-in has no shrinking, so
@@ -44,6 +48,7 @@ pub mod case;
 pub mod equiv;
 pub mod faults;
 pub mod fleet;
+pub mod lab;
 pub mod model_cache;
 pub mod rewrite_eq;
 pub mod shards;
@@ -72,10 +77,12 @@ pub enum Dimension {
     Shards,
     /// Fleet shard aggregation vs the physical-repetition oracle.
     Fleet,
+    /// Declarative lab experiment expansion, round trips and determinism.
+    Lab,
 }
 
 /// Number of checker dimensions (the length of [`ALL_DIMENSIONS`]).
-pub const NUM_DIMENSIONS: usize = 9;
+pub const NUM_DIMENSIONS: usize = 10;
 
 /// Every dimension, in the order the corpus round-robins them.
 pub const ALL_DIMENSIONS: [Dimension; NUM_DIMENSIONS] = [
@@ -88,6 +95,7 @@ pub const ALL_DIMENSIONS: [Dimension; NUM_DIMENSIONS] = [
     Dimension::Rewrite,
     Dimension::Shards,
     Dimension::Fleet,
+    Dimension::Lab,
 ];
 
 impl Dimension {
@@ -103,6 +111,7 @@ impl Dimension {
             Dimension::Rewrite => "rewrite",
             Dimension::Shards => "shards",
             Dimension::Fleet => "fleet",
+            Dimension::Lab => "lab",
         }
     }
 
@@ -153,6 +162,7 @@ pub fn check_case(dimension: Dimension, case_seed: u64) -> Result<(), Failure> {
         Dimension::Rewrite => rewrite_eq::check(case_seed),
         Dimension::Shards => shards::check(case_seed),
         Dimension::Fleet => fleet::check(case_seed),
+        Dimension::Lab => lab::check(case_seed),
     };
     outcome.map_err(|(message, repro)| Failure {
         dimension,
@@ -282,9 +292,9 @@ mod tests {
 
     #[test]
     fn corpus_runs_every_dimension() {
-        let report = run_corpus(7, 18, &ALL_DIMENSIONS, |_, _| {});
+        let report = run_corpus(7, 20, &ALL_DIMENSIONS, |_, _| {});
         assert!(report.failures.is_empty(), "{:?}", report.failures);
-        assert_eq!(report.total_passed(), 18);
+        assert_eq!(report.total_passed(), 20);
         for (i, &p) in report.passed.iter().enumerate() {
             assert!(p >= 2, "dimension {} starved", ALL_DIMENSIONS[i]);
         }

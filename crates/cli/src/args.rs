@@ -87,6 +87,69 @@ impl Args {
     }
 }
 
+/// The run-control flag cluster shared by every harness-driving
+/// subcommand: `--threads N`, `--metrics FILE`, `--progress`, `--seed S`.
+///
+/// Parsing lives here once so `simulate`/`compare`/`optimize`/`sweep`/
+/// `fleet`/`lab` cannot drift apart in how they read these flags. Each
+/// command still owns its `expect_flags` allow-list; [`Self::allowed`]
+/// appends the cluster's names to the command's own.
+#[derive(Debug, Default, Clone)]
+pub struct CommonRunArgs {
+    /// `--threads N`: harness worker threads. `None` and `Some(0)` both
+    /// mean "auto-detect"; results are identical at any thread count.
+    pub threads: Option<usize>,
+    /// `--metrics FILE`: where to dump the command's JSON report.
+    pub metrics: Option<String>,
+    /// `--progress`: live per-job completion lines on stderr.
+    pub progress: bool,
+    /// `--seed S`: the command's deterministic seed override (training
+    /// input for simulation commands, service seed for `fleet`, fault
+    /// injector for `lab`).
+    pub seed: Option<u64>,
+}
+
+impl CommonRunArgs {
+    /// The flag names this cluster consumes.
+    pub const FLAGS: [&'static str; 4] = ["threads", "metrics", "progress", "seed"];
+
+    /// A command's full allow-list: its own flags plus the cluster's.
+    pub fn allowed(own: &[&'static str]) -> Vec<&'static str> {
+        own.iter().copied().chain(Self::FLAGS).collect()
+    }
+
+    /// Extracts the cluster from parsed `args`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError`] when `--threads` or `--seed` is not an
+    /// unsigned integer.
+    pub fn extract(args: &Args) -> Result<Self, ArgError> {
+        let parse_u64 = |name: &str| -> Result<Option<u64>, ArgError> {
+            match args.flag(name) {
+                None => Ok(None),
+                Some(v) => v
+                    .parse::<u64>()
+                    .map(Some)
+                    .map_err(|_| ArgError(format!("--{name}: cannot parse {v:?}"))),
+            }
+        };
+        let threads = match args.flag("threads") {
+            None => None,
+            Some(v) => Some(
+                v.parse::<usize>()
+                    .map_err(|_| ArgError(format!("--threads: cannot parse {v:?}")))?,
+            ),
+        };
+        Ok(CommonRunArgs {
+            threads,
+            metrics: args.flag("metrics").map(str::to_string),
+            progress: args.switch("progress"),
+            seed: parse_u64("seed")?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -139,5 +202,42 @@ mod tests {
         let a = Args::parse(&v(&["--progress"])).unwrap();
         assert!(a.expect_flags(&["threads"]).is_err());
         assert!(a.expect_flags(&["threads", "progress"]).is_ok());
+    }
+
+    #[test]
+    fn common_cluster_extracts_all_four_flags() {
+        let a = Args::parse(&v(&[
+            "kafka",
+            "--threads",
+            "3",
+            "--metrics",
+            "out.json",
+            "--progress",
+            "--seed",
+            "42",
+        ]))
+        .unwrap();
+        let common = CommonRunArgs::extract(&a).unwrap();
+        assert_eq!(common.threads, Some(3));
+        assert_eq!(common.metrics.as_deref(), Some("out.json"));
+        assert!(common.progress);
+        assert_eq!(common.seed, Some(42));
+        // The cluster's names pass a command allow-list built with it.
+        assert!(a
+            .expect_flags(&CommonRunArgs::allowed(&["instructions"]))
+            .is_ok());
+    }
+
+    #[test]
+    fn common_cluster_defaults_and_rejects_garbage() {
+        let empty = CommonRunArgs::extract(&Args::parse(&v(&[])).unwrap()).unwrap();
+        assert_eq!(empty.threads, None);
+        assert_eq!(empty.metrics, None);
+        assert!(!empty.progress);
+        assert_eq!(empty.seed, None);
+        for bad in [&["--threads", "x"][..], &["--seed", "-1"][..]] {
+            let a = Args::parse(&v(bad)).unwrap();
+            assert!(CommonRunArgs::extract(&a).is_err(), "{bad:?}");
+        }
     }
 }

@@ -6,18 +6,19 @@ use std::sync::{Arc, Mutex};
 
 use ripple::{
     best_threshold, collect_profile, effective_threads, policy_matrix_all, profile_temperatures,
-    run_report, sweep, validate_run_report, Ripple, RippleConfig, COMPARE_PHASES, PIPELINE_PHASES,
-    REPORT_SCHEMA,
+    run_report, sweep, validate_run_report, Ripple, RippleConfig, SchemaTag, COMPARE_PHASES,
+    PIPELINE_PHASES,
 };
-use ripple_fleet::{run_fleet, validate_fleet_report, FleetConfig, FLEET_PHASES, FLEET_SCHEMA};
+use ripple_fleet::{run_fleet, validate_fleet_report, FleetConfig, FLEET_PHASES};
 use ripple_json::{ToJson, Value};
+use ripple_lab::{validate_lab_report, Experiment, LabOptions, LAB_PHASES};
 use ripple_obs::{Field, FieldValue, MetricsRecorder, NullRecorder, Recorder, TeeRecorder};
 use ripple_program::{Layout, LayoutConfig};
 use ripple_sim::{PolicyKind, PolicyRegistry, PrefetcherKind, SimConfig, SimSession};
 use ripple_trace::DecodeOptions;
 use ripple_workloads::{generate, App, Application, InputConfig};
 
-use crate::args::{ArgError, Args};
+use crate::args::{ArgError, Args, CommonRunArgs};
 
 /// Top-level usage text; the policy list is derived from the registry so
 /// a newly registered policy shows up with zero CLI edits.
@@ -34,22 +35,30 @@ usage:
   ripple-cli inspect  <FILE> --app <app>
   ripple-cli simulate <app> [--policy P] [--prefetcher P] [--instructions N]
                             [--trace FILE] [--lossy] [--max-drop-ratio R]
-                            [--replay-shards N] [--metrics FILE]
-  ripple-cli compare  <app> [--prefetcher P] [--instructions N] [--threads N]
-                            [--replay-shards N] [--metrics FILE] [--progress]
-  ripple-cli optimize <app> [--threshold T] [--prefetcher P] [--underlying P] [--instructions N] [--threads N] [--metrics FILE] [--progress]
-  ripple-cli sweep    <app> [--prefetcher P] [--instructions N] [--threads N] [--metrics FILE] [--progress]
-  ripple-cli fleet    [--instances N] [--epochs N] [--canary-pct P] [--seed S] [--threads N]
+                            [--replay-shards N] [RUN-FLAGS]
+  ripple-cli compare  <app> [--prefetcher P] [--instructions N]
+                            [--replay-shards N] [RUN-FLAGS]
+  ripple-cli optimize <app> [--threshold T] [--prefetcher P] [--underlying P] [--instructions N] [RUN-FLAGS]
+  ripple-cli sweep    <app> [--prefetcher P] [--instructions N] [RUN-FLAGS]
+  ripple-cli fleet    [--instances N] [--epochs N] [--canary-pct P]
                       [--shard-instructions N] [--drift-epoch E] [--gate-pct P]
-                      [--poison-instance I] [--retry-attempts N] [--metrics FILE] [--progress]
+                      [--poison-instance I] [--retry-attempts N] [RUN-FLAGS]
+  ripple-cli lab      list
+  ripple-cli lab      describe <experiment>
+  ripple-cli lab      run <experiment> [--instructions N] [--out FILE] [RUN-FLAGS]
   ripple-cli faults   [--cases N] [--seed S]
-  ripple-cli validate-metrics <FILE> [--phases compare|pipeline|fleet]
+  ripple-cli validate-metrics <FILE> [--phases compare|pipeline|fleet|lab]
 
 apps: cassandra drupal finagle-chirper finagle-http kafka mediawiki tomcat verilator wordpress
 policies: {}
 prefetchers: none nlp fdip
+RUN-FLAGS is the shared run-control cluster, accepted uniformly:
+  [--threads N] [--metrics FILE] [--progress] [--seed S]
 --threads 0 (or omitting the flag) auto-detects the machine's available
 parallelism; results are identical at any thread count
+--seed S overrides the command's deterministic seed: the training-input
+seed for simulate/compare/optimize/sweep (default: the app spec's own),
+the service seed for fleet, the fault-injector seed for lab
 --replay-shards N partitions the L1I sets across N threads during
 captured-stream replay (set-local policies only; others fall back to
 sequential replay); results are byte-identical at any shard count
@@ -65,6 +74,12 @@ shards each epoch, profiles aggregate per service, plans train through a
 drift-invalidated artifact cache and canary-roll behind an MPKI gate;
 --metrics dumps a deterministic ripple.fleet_report.v1 (byte-identical
 at any --threads, validated by validate-metrics)
+lab runs a declarative experiment: a JSON grid declaration (a built-in
+name from `lab list`, or a path to a declaration file) expanded over
+apps x target profiles x prefetchers x policies x thresholds x fault
+modes x replay shards and executed on the shared harness; tables print
+to stdout, --metrics dumps the deterministic ripple.lab_report.v1
+(byte-identical at any --threads), --out saves the rendered tables
 
 exit codes: 0 success, 1 runtime/io error, 2 usage or invalid
 configuration, 3 corrupt trace, 4 isolated evaluation-job panic",
@@ -92,6 +107,7 @@ pub fn dispatch(argv: &[String]) -> CmdResult {
         "optimize" => optimize(&rest),
         "sweep" => sweep_cmd(&rest),
         "fleet" => fleet_cmd(&rest),
+        "lab" => lab_cmd(&rest),
         "faults" => faults_cmd(&rest),
         "validate-metrics" => validate_metrics(&rest),
         other => Err(Box::new(ArgError(format!("unknown subcommand {other:?}")))),
@@ -141,16 +157,10 @@ fn parse_policy(name: &str) -> Result<PolicyKind, ArgError> {
     })
 }
 
-/// Parses `--threads N`. `None` and `0` both mean "auto-detect the
-/// machine's available parallelism" (resolved by the harness).
-fn parse_threads(args: &Args) -> Result<Option<usize>, ArgError> {
-    match args.flag("threads") {
-        None => Ok(None),
-        Some(v) => v
-            .parse::<usize>()
-            .map(Some)
-            .map_err(|_| ArgError(format!("--threads: cannot parse {v:?}"))),
-    }
+/// The training input a simulation command profiles: the app spec's own
+/// seed unless the shared `--seed` flag overrides it.
+fn training_input(app_id: App, common: &CommonRunArgs) -> InputConfig {
+    InputConfig::training(common.seed.unwrap_or(app_id.spec().seed))
 }
 
 /// Parses `--replay-shards N` (default 1): how many threads partition
@@ -242,11 +252,12 @@ impl Recorder for ProgressRecorder {
 /// Builds the recorder requested by `--metrics` / `--progress`. Returns
 /// the recorder to attach plus the metrics aggregator (when a report file
 /// was requested) for [`write_metrics`] to snapshot afterwards.
-fn build_recorder(args: &Args) -> (Arc<dyn Recorder>, Option<Arc<MetricsRecorder>>) {
-    let metrics = args
-        .flag("metrics")
+fn build_recorder(common: &CommonRunArgs) -> (Arc<dyn Recorder>, Option<Arc<MetricsRecorder>>) {
+    let metrics = common
+        .metrics
+        .as_deref()
         .map(|_| Arc::new(MetricsRecorder::new()));
-    let progress = args.switch("progress");
+    let progress = common.progress;
     match (metrics, progress) {
         (None, false) => (Arc::new(NullRecorder), None),
         (Some(m), false) => (m.clone(), Some(m)),
@@ -265,13 +276,13 @@ fn build_recorder(args: &Args) -> (Arc<dyn Recorder>, Option<Arc<MetricsRecorder
 /// the single root every phase's `share_pct` is computed against (phases
 /// nest, so shares against a phase-total sum would double-count).
 fn write_metrics(
-    args: &Args,
+    common: &CommonRunArgs,
     command: &str,
     app: &str,
     metrics: Option<Arc<MetricsRecorder>>,
     wall: std::time::Instant,
 ) -> CmdResult {
-    if let (Some(path), Some(m)) = (args.flag("metrics"), metrics) {
+    if let (Some(path), Some(m)) = (common.metrics.as_deref(), metrics) {
         let wall_ns = u64::try_from(wall.elapsed().as_nanos()).unwrap_or(u64::MAX);
         let report = run_report(command, app, &m.snapshot(), wall_ns);
         fs::write(path, report.to_pretty_string())?;
@@ -291,44 +302,62 @@ fn validate_metrics(args: &Args) -> CmdResult {
         .positional(0)
         .ok_or_else(|| ArgError("missing <FILE> argument".into()))?;
     // Reject a bad --phases value before touching the file, so the flag
-    // error is never masked by a missing artifact.
+    // error is never masked by a missing artifact. Each phase set names
+    // the schema it belongs to; with no override the document's own
+    // schema tag picks the validator.
     let explicit = args.flag("phases");
-    if let Some(other) = explicit {
-        if !["compare", "pipeline", "fleet"].contains(&other) {
+    let forced = match explicit {
+        None => None,
+        Some("compare" | "pipeline") => Some(SchemaTag::Run),
+        Some("fleet") => Some(SchemaTag::Fleet),
+        Some("lab") => Some(SchemaTag::Lab),
+        Some(other) => {
             return Err(Box::new(ArgError(format!(
-                "unknown phase set {other:?} (valid values: compare pipeline fleet)"
-            ))));
+                "unknown phase set {other:?} (valid values: compare pipeline fleet lab)"
+            ))))
         }
-    }
+    };
     let text = fs::read_to_string(path)?;
     let report =
         ripple_json::parse(&text).map_err(|e| ArgError(format!("{path}: not valid JSON: {e}")))?;
-    let schema = report
-        .get("schema")
-        .ok()
-        .and_then(|v| v.as_str().ok())
-        .unwrap_or("");
-    if explicit == Some("fleet") || (explicit.is_none() && schema == FLEET_SCHEMA) {
-        validate_fleet_report(&report).map_err(|e| ArgError(format!("{path}: {e}")))?;
-        println!(
-            "{path}: valid {FLEET_SCHEMA} report, all {} fleet phases present",
-            FLEET_PHASES.len()
-        );
-        return Ok(());
-    }
-    let required: &[&str] = match explicit {
-        Some("compare") => COMPARE_PHASES,
-        Some("pipeline") => PIPELINE_PHASES,
-        _ => match report.get("command").ok().and_then(|v| v.as_str().ok()) {
-            Some("compare") => COMPARE_PHASES,
-            _ => PIPELINE_PHASES,
-        },
+    let tag = match forced {
+        Some(tag) => tag,
+        None => SchemaTag::of_report(&report).map_err(|e| ArgError(format!("{path}: {e}")))?,
     };
-    validate_run_report(&report, required).map_err(|e| ArgError(format!("{path}: {e}")))?;
-    println!(
-        "{path}: valid {REPORT_SCHEMA} report, all {} required phases timed",
-        required.len()
-    );
+    match tag {
+        SchemaTag::Fleet => {
+            validate_fleet_report(&report).map_err(|e| ArgError(format!("{path}: {e}")))?;
+            println!(
+                "{path}: valid {} report, all {} fleet phases present",
+                SchemaTag::Fleet.as_str(),
+                FLEET_PHASES.len()
+            );
+        }
+        SchemaTag::Lab => {
+            validate_lab_report(&report).map_err(|e| ArgError(format!("{path}: {e}")))?;
+            println!(
+                "{path}: valid {} report, all {} lab phases present",
+                SchemaTag::Lab.as_str(),
+                LAB_PHASES.len()
+            );
+        }
+        SchemaTag::Run => {
+            let required: &[&str] = match explicit {
+                Some("compare") => COMPARE_PHASES,
+                Some("pipeline") => PIPELINE_PHASES,
+                _ => match report.get("command").ok().and_then(|v| v.as_str().ok()) {
+                    Some("compare") => COMPARE_PHASES,
+                    _ => PIPELINE_PHASES,
+                },
+            };
+            validate_run_report(&report, required).map_err(|e| ArgError(format!("{path}: {e}")))?;
+            println!(
+                "{path}: valid {} report, all {} required phases timed",
+                SchemaTag::Run.as_str(),
+                required.len()
+            );
+        }
+    }
     Ok(())
 }
 
@@ -338,20 +367,17 @@ fn validate_metrics(args: &Args) -> CmdResult {
 /// the other subcommands this is not a wall-time run report, so it is
 /// byte-identical at any `--threads`).
 fn fleet_cmd(args: &Args) -> CmdResult {
-    args.expect_flags(&[
+    args.expect_flags(&CommonRunArgs::allowed(&[
         "instances",
         "epochs",
         "canary-pct",
-        "seed",
-        "threads",
         "shard-instructions",
         "drift-epoch",
         "gate-pct",
         "poison-instance",
         "retry-attempts",
-        "metrics",
-        "progress",
-    ])?;
+    ]))?;
+    let common = CommonRunArgs::extract(args)?;
     let defaults = FleetConfig::default();
     let parse_opt = |name: &str| -> Result<Option<u32>, ArgError> {
         match args.flag(name) {
@@ -366,23 +392,206 @@ fn fleet_cmd(args: &Args) -> CmdResult {
         instances: args.parse_flag("instances", defaults.instances)?,
         epochs: args.parse_flag("epochs", defaults.epochs)?,
         canary_pct: args.parse_flag("canary-pct", defaults.canary_pct)?,
-        seed: args.parse_flag("seed", defaults.seed)?,
-        threads: parse_threads(args)?,
+        seed: common.seed.unwrap_or(defaults.seed),
+        threads: common.threads,
         shard_instructions: args.parse_flag("shard-instructions", defaults.shard_instructions)?,
         drift_epoch: parse_opt("drift-epoch")?,
         regression_gate_pct: args.parse_flag("gate-pct", defaults.regression_gate_pct)?,
         poison_instance: parse_opt("poison-instance")?.map(|p| p as usize),
         retry_attempts: args.parse_flag("retry-attempts", defaults.retry_attempts)?,
     };
-    let recorder: Arc<dyn Recorder> = if args.switch("progress") {
+    let recorder: Arc<dyn Recorder> = if common.progress {
         Arc::new(ProgressRecorder::default())
     } else {
         Arc::new(NullRecorder)
     };
     let report = run_fleet(&config, recorder)?;
     print_fleet_table(&report);
-    if let Some(path) = args.flag("metrics") {
+    if let Some(path) = common.metrics.as_deref() {
         fs::write(path, report.to_pretty_string())?;
+        println!("metrics written to {path}");
+    }
+    Ok(())
+}
+
+/// The `lab` subcommand family: `list` the built-in experiment
+/// declarations, `describe` one's axes and grid size, or `run` one (a
+/// built-in name, or a path to a declaration JSON file) on the shared
+/// harness. Like `fleet`, `--metrics` dumps the command's own
+/// deterministic schema (`ripple.lab_report.v1`), byte-identical at any
+/// `--threads`.
+fn lab_cmd(args: &Args) -> CmdResult {
+    let action = args
+        .positional(0)
+        .ok_or_else(|| ArgError("missing lab action (list, describe or run)".into()))?;
+    match action {
+        "list" => lab_list(args),
+        "describe" => lab_describe(args),
+        "run" => lab_run(args),
+        other => Err(Box::new(ArgError(format!(
+            "unknown lab action {other:?} (valid values: list describe run)"
+        )))),
+    }
+}
+
+/// Loads an experiment declaration: a built-in name, or (when the
+/// argument names an existing file) a declaration JSON file on disk.
+fn load_experiment(name: &str) -> Result<Experiment, Box<dyn Error>> {
+    if std::path::Path::new(name).is_file() {
+        let text = fs::read_to_string(name)?;
+        return Ok(Experiment::parse(&text).map_err(|e| ArgError(format!("{name}: {e}")))?);
+    }
+    Ok(ripple_lab::builtin(name)?)
+}
+
+fn lab_list(args: &Args) -> CmdResult {
+    args.expect_flags(&[])?;
+    println!(
+        "{:<20} {:>7} {:>10}  description",
+        "experiment", "points", "runs/point"
+    );
+    for (name, _) in ripple_lab::BUILTIN_EXPERIMENTS {
+        let resolved = ripple_lab::builtin(name)?.resolve()?;
+        println!(
+            "{:<20} {:>7} {:>10}  {}",
+            name,
+            resolved.num_points(),
+            resolved.runs_per_point(),
+            resolved.description
+        );
+    }
+    Ok(())
+}
+
+fn lab_describe(args: &Args) -> CmdResult {
+    args.expect_flags(&[])?;
+    let name = args
+        .positional(1)
+        .ok_or_else(|| ArgError("missing <experiment> argument".into()))?;
+    let resolved = load_experiment(name)?.resolve()?;
+    println!("{}: {}", resolved.name, resolved.description);
+    println!("  instructions/app  {}", resolved.instructions);
+    let names = |v: Vec<String>| {
+        if v.is_empty() {
+            "-".into()
+        } else {
+            v.join(" ")
+        }
+    };
+    println!(
+        "  profiles          {}",
+        names(
+            resolved
+                .profiles
+                .iter()
+                .map(|p| p.name.to_string())
+                .collect()
+        )
+    );
+    println!(
+        "  apps              {}",
+        names(resolved.apps.iter().map(|a| a.name().to_string()).collect())
+    );
+    println!(
+        "  prefetchers       {}",
+        names(
+            resolved
+                .prefetchers
+                .iter()
+                .map(|p| p.name().to_string())
+                .collect()
+        )
+    );
+    println!(
+        "  policies          {}",
+        names(
+            resolved
+                .policies
+                .iter()
+                .map(|p| p.name().to_string())
+                .collect()
+        )
+    );
+    println!(
+        "  ripple underlying {}",
+        names(
+            resolved
+                .ripple_underlying
+                .iter()
+                .map(|p| p.name().to_string())
+                .collect()
+        )
+    );
+    println!(
+        "  thresholds        {}",
+        names(resolved.thresholds.iter().map(|t| format!("{t}")).collect())
+    );
+    println!(
+        "  fault modes       {}",
+        names(
+            resolved
+                .fault_modes
+                .iter()
+                .map(|m| m.name().to_string())
+                .collect()
+        )
+    );
+    println!(
+        "  replay shards     {}",
+        names(
+            resolved
+                .replay_shards
+                .iter()
+                .map(|n| n.to_string())
+                .collect()
+        )
+    );
+    println!(
+        "  grid              {} points x {} runs/point",
+        resolved.num_points(),
+        resolved.runs_per_point()
+    );
+    Ok(())
+}
+
+fn lab_run(args: &Args) -> CmdResult {
+    args.expect_flags(&CommonRunArgs::allowed(&["instructions", "out"]))?;
+    let common = CommonRunArgs::extract(args)?;
+    let name = args
+        .positional(1)
+        .ok_or_else(|| ArgError("missing <experiment> argument".into()))?;
+    let resolved = load_experiment(name)?.resolve()?;
+    let instructions = match args.flag("instructions") {
+        None => None,
+        Some(v) => Some(
+            v.parse::<u64>()
+                .map_err(|_| ArgError(format!("--instructions: cannot parse {v:?}")))?,
+        ),
+    };
+    let recorder: Arc<dyn Recorder> = if common.progress {
+        Arc::new(ProgressRecorder::default())
+    } else {
+        Arc::new(NullRecorder)
+    };
+    let options = LabOptions {
+        threads: common.threads,
+        recorder,
+        instructions,
+        seed: common.seed.unwrap_or(0),
+    };
+    let run = ripple_lab::run_experiment(&resolved, &options)?;
+    // The emitted document must always satisfy its own validator — a
+    // failure here is a lab bug, not a user error.
+    validate_lab_report(&run.report).map_err(|e| ArgError(format!("internal: {e}")))?;
+    let tables =
+        ripple_lab::render_tables(&run.report).map_err(|e| ArgError(format!("internal: {e}")))?;
+    print!("{tables}");
+    if let Some(path) = args.flag("out") {
+        fs::write(path, &tables)?;
+        println!("tables written to {path}");
+    }
+    if let Some(path) = common.metrics.as_deref() {
+        fs::write(path, run.report.to_pretty_string())?;
         println!("metrics written to {path}");
     }
     Ok(())
@@ -623,7 +832,7 @@ fn inspect(args: &Args) -> CmdResult {
 }
 
 fn simulate_cmd(args: &Args) -> CmdResult {
-    args.expect_flags(&[
+    args.expect_flags(&CommonRunArgs::allowed(&[
         "policy",
         "prefetcher",
         "instructions",
@@ -631,8 +840,8 @@ fn simulate_cmd(args: &Args) -> CmdResult {
         "lossy",
         "max-drop-ratio",
         "replay-shards",
-        "metrics",
-    ])?;
+    ]))?;
+    let common = CommonRunArgs::extract(args)?;
     let app_id = parse_app(args)?;
     let budget = args.parse_flag("instructions", 400_000u64)?;
     let policy = parse_policy(args.flag("policy").unwrap_or("lru"))?;
@@ -648,7 +857,7 @@ fn simulate_cmd(args: &Args) -> CmdResult {
             "--lossy only applies when replaying a recorded stream (--trace FILE)".into(),
         )));
     }
-    let (recorder, metrics) = build_recorder(args);
+    let (recorder, metrics) = build_recorder(&common);
     let wall = std::time::Instant::now();
 
     let cfg = SimConfig::builder()
@@ -678,8 +887,7 @@ fn simulate_cmd(args: &Args) -> CmdResult {
             }
         }
         None => {
-            let (app, layout, trace) =
-                load(app_id, InputConfig::training(app_id.spec().seed), budget)?;
+            let (app, layout, trace) = load(app_id, training_input(app_id, &common), budget)?;
             (app, layout, trace, None)
         }
     };
@@ -712,7 +920,7 @@ fn simulate_cmd(args: &Args) -> CmdResult {
             h.resync_events
         );
     }
-    write_metrics(args, "simulate", app_id.name(), metrics, wall)?;
+    write_metrics(&common, "simulate", app_id.name(), metrics, wall)?;
     Ok(())
 }
 
@@ -758,22 +966,20 @@ fn faults_cmd(args: &Args) -> CmdResult {
 }
 
 fn compare(args: &Args) -> CmdResult {
-    args.expect_flags(&[
+    args.expect_flags(&CommonRunArgs::allowed(&[
         "prefetcher",
         "instructions",
-        "threads",
         "replay-shards",
-        "metrics",
-        "progress",
-    ])?;
+    ]))?;
+    let common = CommonRunArgs::extract(args)?;
     let app_id = parse_app(args)?;
     let budget = args.parse_flag("instructions", 400_000u64)?;
     let prefetcher = parse_prefetcher(args)?;
-    let threads = effective_threads(parse_threads(args)?);
+    let threads = effective_threads(common.threads);
     let replay_shards = parse_replay_shards(args)?;
-    let (recorder, metrics) = build_recorder(args);
+    let (recorder, metrics) = build_recorder(&common);
     let wall = std::time::Instant::now();
-    let (app, layout, trace) = load(app_id, InputConfig::training(app_id.spec().seed), budget)?;
+    let (app, layout, trace) = load(app_id, training_input(app_id, &common), budget)?;
     // One session: every registered policy replays the same recorded
     // request stream as parallel harness jobs (the offline ideals share
     // the session's single recording pass). Line temperatures are profiled
@@ -803,29 +1009,27 @@ fn compare(args: &Args) -> CmdResult {
             r.speedup_pct_over(lru)
         );
     }
-    write_metrics(args, "compare", app_id.name(), metrics, wall)?;
+    write_metrics(&common, "compare", app_id.name(), metrics, wall)?;
     Ok(())
 }
 
 fn optimize(args: &Args) -> CmdResult {
-    args.expect_flags(&[
+    args.expect_flags(&CommonRunArgs::allowed(&[
         "threshold",
         "prefetcher",
         "underlying",
         "instructions",
-        "threads",
-        "metrics",
-        "progress",
-    ])?;
+    ]))?;
+    let common = CommonRunArgs::extract(args)?;
     let app_id = parse_app(args)?;
     let budget = args.parse_flag("instructions", 600_000u64)?;
     let threshold = parse_threshold(args, 0.55)?;
     let prefetcher = parse_prefetcher(args)?;
     let underlying = parse_policy(args.flag("underlying").unwrap_or("lru"))?;
-    let threads = parse_threads(args)?;
-    let (recorder, metrics) = build_recorder(args);
+    let threads = common.threads;
+    let (recorder, metrics) = build_recorder(&common);
     let wall = std::time::Instant::now();
-    let (app, layout, trace) = load(app_id, InputConfig::training(app_id.spec().seed), budget)?;
+    let (app, layout, trace) = load(app_id, training_input(app_id, &common), budget)?;
 
     let config = RippleConfig::builder()
         .threshold(threshold)
@@ -875,25 +1079,20 @@ fn optimize(args: &Args) -> CmdResult {
         o.static_overhead_pct, o.injected_static
     );
     println!("  dynamic overhead    {:.2}%", o.dynamic_overhead_pct);
-    write_metrics(args, "optimize", app_id.name(), metrics, wall)?;
+    write_metrics(&common, "optimize", app_id.name(), metrics, wall)?;
     Ok(())
 }
 
 fn sweep_cmd(args: &Args) -> CmdResult {
-    args.expect_flags(&[
-        "prefetcher",
-        "instructions",
-        "threads",
-        "metrics",
-        "progress",
-    ])?;
+    args.expect_flags(&CommonRunArgs::allowed(&["prefetcher", "instructions"]))?;
+    let common = CommonRunArgs::extract(args)?;
     let app_id = parse_app(args)?;
     let budget = args.parse_flag("instructions", 600_000u64)?;
     let prefetcher = parse_prefetcher(args)?;
-    let threads = parse_threads(args)?;
-    let (recorder, metrics) = build_recorder(args);
+    let threads = common.threads;
+    let (recorder, metrics) = build_recorder(&common);
     let wall = std::time::Instant::now();
-    let (app, layout, trace) = load(app_id, InputConfig::training(app_id.spec().seed), budget)?;
+    let (app, layout, trace) = load(app_id, training_input(app_id, &common), budget)?;
     let config = RippleConfig::builder()
         .threads(threads)
         .sim(
@@ -921,7 +1120,7 @@ fn sweep_cmd(args: &Args) -> CmdResult {
     if let Some(b) = best_threshold(&points) {
         println!("best: {:.2} ({:+.2}%)", b.threshold, b.speedup_pct);
     }
-    write_metrics(args, "sweep", app_id.name(), metrics, wall)?;
+    write_metrics(&common, "sweep", app_id.name(), metrics, wall)?;
     Ok(())
 }
 
@@ -1149,6 +1348,66 @@ mod tests {
         // A fleet report is not a run report: forcing the wrong set fails.
         let err = run(&["validate-metrics", &path_a, "--phases", "pipeline"]).unwrap_err();
         assert!(err.contains("schema"), "{err}");
+        fs::remove_file(&path_a).ok();
+        fs::remove_file(&path_b).ok();
+    }
+
+    #[test]
+    fn lab_list_and_describe_cover_the_builtins() {
+        run(&["lab", "list"]).unwrap();
+        run(&["lab", "describe", "lab-smoke"]).unwrap();
+        let err = run(&["lab", "describe", "fig99"]).unwrap_err();
+        assert!(err.contains("unknown experiment"), "{err}");
+        assert!(err.contains("lab-smoke"), "must list builtins: {err}");
+        let err = run(&["lab", "party"]).unwrap_err();
+        assert!(err.contains("unknown lab action"), "{err}");
+        let err = run(&["lab"]).unwrap_err();
+        assert!(err.contains("missing lab action"), "{err}");
+        let err = run(&["lab", "run"]).unwrap_err();
+        assert!(err.contains("missing <experiment>"), "{err}");
+        let err = run(&["lab", "run", "lab-smoke", "--florb", "1"]).unwrap_err();
+        assert!(err.contains("unknown flag --florb"), "{err}");
+    }
+
+    #[test]
+    fn lab_run_smoke_is_thread_deterministic_and_validates() {
+        let dir = std::env::temp_dir();
+        let path_a = dir.join("ripple_cli_lab_a.json");
+        let path_b = dir.join("ripple_cli_lab_b.json");
+        let (path_a, path_b) = (
+            path_a.to_str().unwrap().to_string(),
+            path_b.to_str().unwrap().to_string(),
+        );
+        let base = ["lab", "run", "lab-smoke", "--instructions", "20000"];
+        let mut argv_a: Vec<&str> = base.to_vec();
+        argv_a.extend(["--threads", "1", "--metrics", &path_a]);
+        run(&argv_a).unwrap();
+        let mut argv_b: Vec<&str> = base.to_vec();
+        argv_b.extend(["--threads", "4", "--metrics", &path_b]);
+        run(&argv_b).unwrap();
+        assert_eq!(
+            fs::read_to_string(&path_a).unwrap(),
+            fs::read_to_string(&path_b).unwrap(),
+            "lab report diverged across thread counts"
+        );
+        // Schema-tag inference and the explicit override both validate.
+        run(&["validate-metrics", &path_a]).unwrap();
+        run(&["validate-metrics", &path_a, "--phases", "lab"]).unwrap();
+        // A lab report is not a run report: forcing the wrong set fails.
+        let err = run(&["validate-metrics", &path_a, "--phases", "pipeline"]).unwrap_err();
+        assert!(err.contains("schema"), "{err}");
+        // A declaration file on disk runs through the same path as a
+        // built-in name.
+        let decl_path = dir.join("ripple_cli_lab_decl.json");
+        let decl_path = decl_path.to_str().unwrap().to_string();
+        let decl = ripple_lab::builtin("lab-smoke").unwrap();
+        fs::write(
+            &decl_path,
+            ripple_json::ToJson::to_json(&decl).to_pretty_string(),
+        )
+        .unwrap();
+        run(&["lab", "describe", &decl_path]).unwrap();
+        fs::remove_file(&decl_path).ok();
         fs::remove_file(&path_a).ok();
         fs::remove_file(&path_b).ok();
     }

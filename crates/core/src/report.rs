@@ -10,8 +10,61 @@
 use ripple_json::{object, Value};
 use ripple_obs::{MetricsSnapshot, OwnedValue};
 
+/// Every report schema the workspace emits, in one place: run reports
+/// (this module), fleet reports (`ripple-fleet`) and lab reports
+/// (`ripple-lab`) all derive their schema strings from here, and
+/// `validate-metrics` dispatches on a parsed tag instead of
+/// string-matching in each consumer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchemaTag {
+    /// `ripple.run_report.v1`: wall-time phase breakdown of one
+    /// instrumented CLI run.
+    Run,
+    /// `ripple.fleet_report.v1`: deterministic per-epoch fleet figures.
+    Fleet,
+    /// `ripple.lab_report.v1`: deterministic experiment-grid figures.
+    Lab,
+}
+
+impl SchemaTag {
+    /// Every known tag, in introduction order.
+    pub const ALL: [SchemaTag; 3] = [SchemaTag::Run, SchemaTag::Fleet, SchemaTag::Lab];
+
+    /// The schema string written into (and expected in) a report's
+    /// `schema` member.
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            SchemaTag::Run => "ripple.run_report.v1",
+            SchemaTag::Fleet => "ripple.fleet_report.v1",
+            SchemaTag::Lab => "ripple.lab_report.v1",
+        }
+    }
+
+    /// Resolves a schema string.
+    pub fn parse(tag: &str) -> Option<SchemaTag> {
+        SchemaTag::ALL.into_iter().find(|t| t.as_str() == tag)
+    }
+
+    /// Reads and resolves a parsed report's `schema` member.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message when the member is missing,
+    /// non-string, or names no known schema (listing the valid ones).
+    pub fn of_report(report: &Value) -> Result<SchemaTag, String> {
+        let tag = report
+            .get("schema")
+            .and_then(|s| s.as_str())
+            .map_err(|e| format!("schema: {e}"))?;
+        SchemaTag::parse(tag).ok_or_else(|| {
+            let valid: Vec<&str> = SchemaTag::ALL.iter().map(|t| t.as_str()).collect();
+            format!("unknown schema {tag:?} (known: {})", valid.join(" "))
+        })
+    }
+}
+
 /// Schema tag carried by every report this module emits.
-pub const REPORT_SCHEMA: &str = "ripple.run_report.v1";
+pub const REPORT_SCHEMA: &str = SchemaTag::Run.as_str();
 
 /// Note attached to a report whose caller-measured wall clock read zero
 /// (a trivial run below the clock's resolution). Shares are emitted as

@@ -10,8 +10,9 @@
 
 use ripple_json::{object, Value};
 
-/// Schema identifier of a fleet report.
-pub const FLEET_SCHEMA: &str = "ripple.fleet_report.v1";
+/// Schema identifier of a fleet report (see [`ripple::SchemaTag`] for
+/// the workspace's schema roster).
+pub const FLEET_SCHEMA: &str = ripple::SchemaTag::Fleet.as_str();
 
 /// The per-epoch pipeline phases, in execution order.
 pub const FLEET_PHASES: [&str; 4] = [
